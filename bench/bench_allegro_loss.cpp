@@ -1,0 +1,70 @@
+// §5.4: PCC Allegro with asymmetric random loss.
+//
+// Two Allegro flows, 120 Mbit/s, 40 ms RTT, 1 BDP buffer, 60 s. One flow
+// experiences 2% random loss. Paper: 10.3 vs 99.1 Mbit/s, with controls
+// showing (a) both-2% flows sharing fairly, and (b) a single 2%-loss flow
+// filling the link.
+#include "bench_common.hpp"
+
+#include "cc/allegro.hpp"
+
+using namespace ccstarve;
+
+int main() {
+  const Rate link = Rate::mbps(120);
+  const TimeNs rtt = TimeNs::millis(40);
+  const uint64_t bdp_bytes =
+      static_cast<uint64_t>(link.bytes_per_second() * rtt.to_seconds());
+  const TimeNs duration = TimeNs::seconds(60);
+
+  auto run = [&](int flows, double loss0, double loss1) {
+    ScenarioConfig cfg;
+    cfg.link_rate = link;
+    cfg.buffer_bytes = bdp_bytes;
+    auto sc = std::make_unique<Scenario>(std::move(cfg));
+    for (int i = 0; i < flows; ++i) {
+      FlowSpec f;
+      Allegro::Params p;
+      p.seed = 5 + static_cast<uint64_t>(i);
+      f.cca = std::make_unique<Allegro>(p);
+      f.min_rtt = rtt;
+      f.loss_rate = i == 0 ? loss0 : loss1;
+      f.loss_seed = 77 + static_cast<uint64_t>(i);
+      sc->add_flow(std::move(f));
+    }
+    sc->run_until(duration);
+    return sc;
+  };
+
+  Table table({"scenario", "flow", "measured Mbit/s", "paper Mbit/s"});
+
+  auto headline = run(2, 0.02, 0.0);
+  table.add_row({"2 flows, one with 2% loss", "allegro (2% loss)",
+                 Table::num(bench::mbps(*headline, 0, TimeNs::zero(), duration), 1),
+                 "10.3"});
+  table.add_row({"2 flows, one with 2% loss", "allegro (no loss)",
+                 Table::num(bench::mbps(*headline, 1, TimeNs::zero(), duration), 1),
+                 "99.1"});
+
+  auto both = run(2, 0.02, 0.02);
+  table.add_row({"control: both with 2% loss", "allegro #1",
+                 Table::num(bench::mbps(*both, 0, TimeNs::zero(), duration), 1),
+                 "fair share"});
+  table.add_row({"control: both with 2% loss", "allegro #2",
+                 Table::num(bench::mbps(*both, 1, TimeNs::zero(), duration), 1),
+                 "fair share"});
+
+  auto solo = run(1, 0.02, 0.0);
+  table.add_row({"control: single flow, 2% loss", "allegro",
+                 Table::num(bench::mbps(*solo, 0, TimeNs::zero(), duration), 1),
+                 "~120 (full)"});
+
+  bench::header("PCC Allegro loss starvation (E5.4)",
+                "Section 5.4, 120 Mbit/s, 40 ms, 1 BDP buffer, 2% loss");
+  table.print(std::cout);
+  std::cout << "\nNote: the both-2% control in our reimplementation shows a\n"
+               "winner-take-most PCC-vs-PCC artifact (see EXPERIMENTS.md);\n"
+               "the headline asymmetric-loss starvation and the single-flow\n"
+               "loss-resilience control match the paper.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §5.2: BBR starvation in cwnd-limited mode.
+//
+// Two BBR flows with Rm 40 ms and 80 ms share a 120 Mbit/s link for 60 s;
+// mild ACK jitter (standing in for the paper's "natural OS jitter") pushes
+// both into cwnd-limited mode. Paper: 8.3 vs 107 Mbit/s — the small-RTT
+// flow starves, per the fixed point rate_i = quanta/(RTT - 2*Rm_i).
+#include "bench_common.hpp"
+
+#include "cc/bbr.hpp"
+#include "core/equilibrium.hpp"
+#include "sim/jitter.hpp"
+
+using namespace ccstarve;
+
+int main() {
+  const TimeNs duration = TimeNs::seconds(60);
+  Table table({"scenario", "flow", "measured Mbit/s", "paper Mbit/s"});
+
+  {
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(120);
+    Scenario sc(std::move(cfg));
+    for (int i = 0; i < 2; ++i) {
+      FlowSpec f;
+      Bbr::Params p;
+      p.seed = 7 + static_cast<uint64_t>(i);
+      f.cca = std::make_unique<Bbr>(p);
+      f.min_rtt = TimeNs::millis(i == 0 ? 40 : 80);
+      f.ack_jitter = std::make_unique<UniformJitter>(
+          TimeNs::zero(), TimeNs::millis(3), 100 + static_cast<uint64_t>(i));
+      sc.add_flow(std::move(f));
+    }
+    sc.run_until(duration);
+    // Whole-run averages, matching the paper's measurement.
+    table.add_row({"Rm 40/80 ms + jitter", "bbr Rm=40ms (victim)",
+                   Table::num(bench::mbps(sc, 0, TimeNs::zero(), duration), 1),
+                   "8.3"});
+    table.add_row({"Rm 40/80 ms + jitter", "bbr Rm=80ms",
+                   Table::num(bench::mbps(sc, 1, TimeNs::zero(), duration), 1),
+                   "107"});
+    const TimeNs half = duration / 2.0;
+    table.add_row({"  (converged half)", "bbr Rm=40ms (victim)",
+                   Table::num(bench::mbps(sc, 0, half, duration), 1), "-"});
+    table.add_row({"  (converged half)", "bbr Rm=80ms",
+                   Table::num(bench::mbps(sc, 1, half, duration), 1), "-"});
+  }
+  {
+    // Control: equal Rm flows share fairly at the §5.2 equilibrium RTT.
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(120);
+    Scenario sc(std::move(cfg));
+    for (int i = 0; i < 2; ++i) {
+      FlowSpec f;
+      Bbr::Params p;
+      p.seed = 7 + static_cast<uint64_t>(i);
+      f.cca = std::make_unique<Bbr>(p);
+      f.min_rtt = TimeNs::millis(40);
+      f.ack_jitter = std::make_unique<UniformJitter>(
+          TimeNs::zero(), TimeNs::millis(3), 100 + static_cast<uint64_t>(i));
+      sc.add_flow(std::move(f));
+    }
+    sc.run_until(duration);
+    table.add_row({"control: both Rm=40ms", "bbr #1",
+                   Table::num(bench::mbps(sc, 0, TimeNs::zero(), duration), 1),
+                   "~60"});
+    table.add_row({"control: both Rm=40ms", "bbr #2",
+                   Table::num(bench::mbps(sc, 1, TimeNs::zero(), duration), 1),
+                   "~60"});
+    const double rtt_ms =
+        sc.stats(0).rtt_seconds.mean_over(duration / 2.0, duration) * 1e3;
+    const double predicted_ms =
+        bbr_cwnd_limited_rtt(cfg.link_rate, TimeNs::millis(40), 2, 3.0)
+            .to_millis();
+    std::printf(
+        "\ncwnd-limited equilibrium RTT: measured %.1f ms, theory "
+        "2*Rm + n*quanta/C = %.1f ms\n",
+        rtt_ms, predicted_ms);
+  }
+
+  bench::header("BBR RTT starvation (E5.2)",
+                "Section 5.2, 120 Mbit/s shared, Rm 40/80 ms, 60 s");
+  table.print(std::cout);
+  return 0;
+}

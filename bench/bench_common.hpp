@@ -1,0 +1,25 @@
+// Shared helpers for the benchmark harnesses. Each bench binary regenerates
+// one of the paper's tables or figures and prints the same rows/series the
+// paper reports, with the paper's numbers alongside for comparison.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/scenario.hpp"
+#include "util/table.hpp"
+
+namespace ccstarve::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+// Throughput of flow `i` over [from, to] in Mbit/s.
+inline double mbps(const Scenario& sc, size_t i, TimeNs from, TimeNs to) {
+  return sc.throughput(i, from, to).to_mbps();
+}
+
+}  // namespace ccstarve::bench

@@ -1,0 +1,105 @@
+// §5.1: Copa starvation from a single under-estimated min-RTT sample.
+//
+//   (a) one Copa flow on 120 Mbit/s, Rm = 60 ms; a single packet passes the
+//       jitter element 1 ms early -> the paper measured 8 Mbit/s;
+//   (b) two Copa flows, only one receives the early packet -> paper:
+//       8.8 vs 95 Mbit/s.
+//
+// Our Copa pins its delay-based default mode (the regime the paper's §5.1
+// analysis describes); its competitive-mode heuristic partially masks the
+// attack (discussed in EXPERIMENTS.md).
+#include "bench_common.hpp"
+
+#include "cc/copa.hpp"
+#include "sim/jitter.hpp"
+
+using namespace ccstarve;
+
+namespace {
+
+Copa::Params attack_params() {
+  Copa::Params p;
+  p.enable_mode_switching = false;
+  p.min_rtt_window = TimeNs::seconds(600);  // "min over a long period"
+  return p;
+}
+
+std::unique_ptr<JitterPolicy> attack_jitter() {
+  // Every packet is delayed 1 ms except one early packet: the flow's
+  // min-RTT filter under-estimates Rm by 1 ms forever after.
+  return std::make_unique<AllButOneJitter>(TimeNs::millis(1),
+                                           TimeNs::millis(150));
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = TimeNs::seconds(60);
+  const TimeNs measure_from = TimeNs::seconds(10);
+  Table table({"scenario", "flow", "measured Mbit/s", "paper Mbit/s"});
+
+  {
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(120);
+    Scenario sc(std::move(cfg));
+    FlowSpec f;
+    f.cca = std::make_unique<Copa>(attack_params());
+    f.min_rtt = TimeNs::millis(59);
+    f.data_jitter = attack_jitter();
+    sc.add_flow(std::move(f));
+    sc.run_until(duration);
+    table.add_row({"solo + 1ms minRTT error", "copa (victim)",
+                   Table::num(bench::mbps(sc, 0, measure_from, duration), 1),
+                   "8"});
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(120);
+    Scenario sc(std::move(cfg));
+    for (int i = 0; i < 2; ++i) {
+      FlowSpec f;
+      f.cca = std::make_unique<Copa>(attack_params());
+      f.min_rtt = TimeNs::millis(59);
+      if (i == 0) {
+        f.data_jitter = attack_jitter();
+      } else {
+        // The clean flow sees the same +1 ms on every packet (so both paths
+        // have identical effective Rm = 60 ms), just never an early one.
+        f.data_jitter = std::make_unique<ConstantJitter>(TimeNs::millis(1));
+      }
+      sc.add_flow(std::move(f));
+    }
+    sc.run_until(duration);
+    table.add_row({"two flows, one attacked", "copa (victim)",
+                   Table::num(bench::mbps(sc, 0, measure_from, duration), 1),
+                   "8.8"});
+    table.add_row({"two flows, one attacked", "copa (clean)",
+                   Table::num(bench::mbps(sc, 1, measure_from, duration), 1),
+                   "95"});
+  }
+  {
+    // Control: both flows clean share fairly and fill the link.
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(120);
+    Scenario sc(std::move(cfg));
+    for (int i = 0; i < 2; ++i) {
+      FlowSpec f;
+      f.cca = std::make_unique<Copa>(attack_params());
+      f.min_rtt = TimeNs::millis(59);
+      f.data_jitter = std::make_unique<ConstantJitter>(TimeNs::millis(1));
+      sc.add_flow(std::move(f));
+    }
+    sc.run_until(duration);
+    table.add_row({"control: both clean", "copa #1",
+                   Table::num(bench::mbps(sc, 0, measure_from, duration), 1),
+                   "~60"});
+    table.add_row({"control: both clean", "copa #2",
+                   Table::num(bench::mbps(sc, 1, measure_from, duration), 1),
+                   "~60"});
+  }
+
+  bench::header("Copa min-RTT starvation (E5.1)",
+                "Section 5.1, 120 Mbit/s, Rm = 60 ms, one 59 ms packet");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 1: ideal-path behavior of delay-convergent CCAs — the RTT
+// trajectory enters a bounded "converged region" and stays there. We print
+// real trajectories (downsampled) for Vegas and Copa plus the detected
+// region bounds.
+#include "bench_common.hpp"
+
+#include "cc/copa.hpp"
+#include "cc/vegas.hpp"
+#include "core/solo.hpp"
+
+using namespace ccstarve;
+
+namespace {
+
+void show(const std::string& name, const CcaMaker& maker) {
+  SoloConfig cfg;
+  cfg.link_rate = Rate::mbps(20);
+  cfg.min_rtt = TimeNs::millis(100);
+  cfg.duration = TimeNs::seconds(30);
+  cfg.trim_percent = 1.0;
+  const SoloResult r = run_solo(maker, cfg);
+
+  std::printf("-- %s on 20 Mbit/s, Rm = 100 ms --\n", name.c_str());
+  std::printf("  t(s)  RTT(ms)\n");
+  for (double t = 0.25; t <= 30.0; t += 1.5) {
+    std::printf("  %5.2f  %7.2f\n", t, r.rtt.at(TimeNs::seconds(t)) * 1e3);
+  }
+  const auto t_conv =
+      convergence_time(r.rtt, r.d_min_s, r.d_max_s, /*tolerance_s=*/0.002);
+  std::printf(
+      "converged region (last half): [%.2f, %.2f] ms, delta = %.2f ms, "
+      "utilization %.1f%%, T = %s\n\n",
+      r.d_min_s * 1e3, r.d_max_s * 1e3, r.delta_s() * 1e3,
+      100 * r.utilization(),
+      t_conv ? t_conv->to_string().c_str() : "not converged");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Delay convergence on an ideal path (Fig. 1)",
+                "Definition 1: RTT enters [d_min(C), d_max(C)] and stays");
+  show("vegas", [] { return std::unique_ptr<Cca>(new Vegas()); });
+  show("copa", [] { return std::unique_ptr<Cca>(new Copa()); });
+  return 0;
+}

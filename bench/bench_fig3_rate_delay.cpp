@@ -1,0 +1,74 @@
+// Figures 2-3: rate-delay graphs. For each delay-bounding CCA, sweep the
+// ideal-path link rate (Rm = 100 ms fixed) and print the converged delay
+// range [d_min, d_max] at each rate — the shaded regions of Figure 3.
+//
+// Expected shapes (paper):
+//   Vegas/FAST: a line (delta = 0) at Rm + alpha/C, approaching Rm;
+//   Copa:       a narrow band of width 4*MSS/C;
+//   BBR:        pacing mode band [Rm, 1.25*Rm] (we measure slightly above);
+//   Vivace:     band [Rm, ~1.05*Rm] at high rates.
+#include "bench_common.hpp"
+
+#include "cc/bbr.hpp"
+#include "cc/copa.hpp"
+#include "cc/fast.hpp"
+#include "cc/vegas.hpp"
+#include "cc/vivace.hpp"
+#include "core/rate_delay.hpp"
+
+using namespace ccstarve;
+
+int main() {
+  bench::header("Rate-delay graphs (Fig. 3)",
+                "delay range vs link rate, Rm = 100 ms, ideal path");
+
+  struct Entry {
+    std::string name;
+    CcaMaker make;
+    // Vivace's gradient learner is unstable below ~2 Mbit/s in our
+    // reimplementation (documented in EXPERIMENTS.md); sweep it over its
+    // stable range.
+    Rate min_rate;
+  };
+  const std::vector<Entry> ccas = {
+      {"vegas", [] { return std::unique_ptr<Cca>(new Vegas()); },
+       Rate::mbps(0.4)},
+      {"fast", [] { return std::unique_ptr<Cca>(new FastTcp()); },
+       Rate::mbps(0.4)},
+      {"copa", [] { return std::unique_ptr<Cca>(new Copa()); },
+       Rate::mbps(0.4)},
+      {"bbr", [] { return std::unique_ptr<Cca>(new Bbr()); },
+       Rate::mbps(0.4)},
+      {"vivace", [] { return std::unique_ptr<Cca>(new Vivace()); },
+       Rate::mbps(3)},
+  };
+
+  for (const Entry& e : ccas) {
+    RateDelaySweepConfig cfg;
+    cfg.min_rate = e.min_rate;
+    cfg.max_rate = Rate::mbps(100);
+    cfg.points = 9;
+    cfg.min_rtt = TimeNs::millis(100);
+    cfg.duration = TimeNs::seconds(60);
+    const auto sweep = rate_delay_sweep(e.make, cfg);
+
+    Table t({"link rate Mbit/s", "d_min ms", "d_max ms", "delta ms",
+             "d_max/Rm", "util"});
+    for (const auto& p : sweep) {
+      t.add_row({Table::num(p.link_rate.to_mbps(), 2),
+                 Table::num(p.d_min_s * 1e3, 2),
+                 Table::num(p.d_max_s * 1e3, 2),
+                 Table::num(p.delta_s() * 1e3, 2),
+                 Table::num(p.d_max_s / 0.1, 3),
+                 Table::num(p.utilization, 2)});
+    }
+    const DelayBounds b = delay_bounds(sweep, Rate::mbps(1));
+    std::cout << "\n-- " << e.name << " --\n";
+    t.print(std::cout);
+    std::printf("d_max bound (C > 1 Mbit/s): %.1f ms; delta_max: %.2f ms\n",
+                b.d_max_s * 1e3, b.delta_max_s * 1e3);
+  }
+  std::cout << "\nPaper's delta(C): 0 for Vegas/FAST; 4*MSS/C for Copa; "
+               "Rm/4 for BBR (pacing mode); ~Rm/20 for Vivace at high C.\n";
+  return 0;
+}

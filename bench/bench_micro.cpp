@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark): cost of the emulator primitives —
+// event queue throughput, bottleneck service, CCA on_ack processing, and
+// end-to-end simulated-seconds-per-wall-second for a loaded scenario.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cc/bbr.hpp"
+#include "cc/copa.hpp"
+#include "cc/vegas.hpp"
+#include "cc/vivace.hpp"
+#include "sim/link.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace ccstarve {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(TimeNs::micros(i * 7 % 500), [&sink] { ++sink; });
+    }
+    sim.run_until(TimeNs::seconds(1));
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_BottleneckService(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    NullHandler sink;
+    BottleneckLink::Config cfg;
+    cfg.rate = Rate::gbps(1);
+    BottleneckLink link(sim, cfg, sink);
+    for (int i = 0; i < 500; ++i) link.handle(Packet{});
+    sim.run_until(TimeNs::seconds(1));
+    benchmark::DoNotOptimize(link.delivered_packets());
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_BottleneckService);
+
+template <typename CcaT>
+void BM_CcaOnAck(benchmark::State& state) {
+  CcaT cca;
+  AckSample ack;
+  ack.rtt = TimeNs::millis(50);
+  uint64_t delivered = 0;
+  int64_t t = 0;
+  for (auto _ : state) {
+    t += 100'000;
+    delivered += kMss;
+    ack.now = TimeNs::nanos(t);
+    ack.sent_at = ack.now - ack.rtt;
+    ack.newly_acked_bytes = kMss;
+    ack.delivered_bytes = delivered;
+    ack.acked_seq = delivered;
+    cca.on_ack(ack);
+    benchmark::DoNotOptimize(cca.cwnd_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CcaOnAck<Vegas>);
+BENCHMARK(BM_CcaOnAck<Copa>);
+BENCHMARK(BM_CcaOnAck<Bbr>);
+BENCHMARK(BM_CcaOnAck<Vivace>);
+
+void BM_ScenarioSimSecondsPerWallSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(50);
+    Scenario sc(std::move(cfg));
+    FlowSpec f;
+    f.cca = std::make_unique<Copa>();
+    f.min_rtt = TimeNs::millis(50);
+    sc.add_flow(std::move(f));
+    sc.run_until(TimeNs::seconds(2));
+    benchmark::DoNotOptimize(sc.sender(0).delivered_bytes());
+  }
+  // Each iteration simulates 2 s of a ~4 kpps flow.
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ScenarioSimSecondsPerWallSecond);
+
+}  // namespace
+}  // namespace ccstarve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// §6.3: avoiding starvation in a bounded rate range — the figure-of-merit
+// table comparing the Vegas-family rate-delay curve (Eq. 1) with the
+// exponential mapping (Eq. 2), including the paper's worked examples
+// (D = 10 ms, s = 2 -> ~2^10 ~ 10^3; s = 4 -> ~2^20 ~ 10^6).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/rate_range.hpp"
+
+using namespace ccstarve;
+
+int main() {
+  bench::header("Bounded-rate-range design (E6.3a)",
+                "Section 6.3, Eq. 1 vs Eq. 2 figures of merit mu+/mu-");
+
+  Table table({"D ms", "s", "Rmax ms", "Vegas-family mu+/mu- (Eq.1)",
+               "exponential mu+/mu- (Eq.2)", "advantage"});
+  struct Row {
+    double d_ms, s, rmax_ms;
+  };
+  for (const Row& r : {Row{10, 2, 100}, Row{10, 4, 100}, Row{10, 2, 210},
+                       Row{5, 2, 100}, Row{20, 2, 100}, Row{10, 8, 100}}) {
+    RateRangeParams p;
+    p.d = TimeNs::millis(r.d_ms);
+    p.s = r.s;
+    p.rm = TimeNs::zero();
+    p.rmax = TimeNs::millis(r.rmax_ms);
+    const double eq1 = vegas_family_rate_range(p);
+    const double eq2 = exponential_rate_range(p);
+    table.add_row({Table::num(r.d_ms, 0), Table::num(r.s, 0),
+                   Table::num(r.rmax_ms, 0), Table::num(eq1, 1),
+                   Table::num(eq2, 0), Table::num(eq2 / eq1, 0) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEq. 2 mapping, normalized to mu- = 1 (D = 10 ms, s = 2, "
+               "Rm = 100 ms, Rmax = 100 ms):\n";
+  Table curve({"RTT ms", "queueing headroom ms", "mu/mu-"});
+  RateRangeParams p;
+  p.d = TimeNs::millis(10);
+  p.s = 2.0;
+  p.rm = TimeNs::millis(100);
+  p.rmax = TimeNs::millis(100);
+  for (double rtt_ms : {110.0, 120.0, 140.0, 160.0, 180.0, 200.0}) {
+    curve.add_row({Table::num(rtt_ms, 0), Table::num(200.0 - rtt_ms, 0),
+                   Table::num(exponential_mu(p, TimeNs::millis(rtt_ms)), 1)});
+  }
+  curve.print(std::cout);
+  std::cout << "\nRates a factor s apart map to delays more than D apart "
+               "over the whole range —\nthe property the Vegas family can "
+               "only provide over a linear-in-Rmax/D range.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Theorem 2: a CCA whose converged delay fits within the jitter budget can
+// be driven to arbitrarily low utilization — replay its modest-link delay
+// trajectory as pure non-congestive delay on ever-faster links.
+#include "bench_common.hpp"
+
+#include "cc/copa.hpp"
+#include "cc/vegas.hpp"
+#include "core/theorem2.hpp"
+
+using namespace ccstarve;
+
+int main() {
+  bench::header("Theorem 2: unbounded under-utilization",
+                "Section 6.1/Appendix A Case 2: emulate the rate-C "
+                "trajectory on C' >> C");
+
+  Table table({"CCA", "recorded at C", "actual link C'", "throughput Mbit/s",
+               "utilization", "max jitter needed"});
+  for (const auto& [name, maker] :
+       std::vector<std::pair<std::string, CcaMaker>>{
+           {"vegas", [] { return std::unique_ptr<Cca>(new Vegas()); }},
+           {"copa", [] { return std::unique_ptr<Cca>(new Copa()); }}}) {
+    for (double huge : {50.0, 200.0, 800.0}) {
+      Theorem2Config cfg;
+      cfg.modest_rate = Rate::mbps(5);
+      cfg.huge_rate = Rate::mbps(huge);
+      cfg.solo_duration = TimeNs::seconds(40);
+      cfg.emu_duration = TimeNs::seconds(40);
+      const Theorem2Outcome out = run_theorem2(maker, cfg);
+      table.add_row({name, "5 Mbit/s", Table::num(huge, 0) + " Mbit/s",
+                     Table::num(out.emulated_throughput_mbps, 2),
+                     Table::num(out.utilization * 100, 2) + "%",
+                     out.max_jitter_needed.to_string()});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThroughput stays pinned near the recorded 5 Mbit/s while "
+               "C' grows: utilization\nfalls without bound, using only "
+               "bounded non-congestive delay.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Theorem 3 (§6.5 / Appendix B): in the strong model — the adversary
+// controls the queueing-delay pattern outright — every deterministic,
+// f-efficient, delay-bounding CCA starves. This bench runs the appendix's
+// iterated trace construction and the resulting two-flow demo.
+#include "bench_common.hpp"
+
+#include "cc/fast.hpp"
+#include "cc/vegas.hpp"
+#include "core/theorem3.hpp"
+
+using namespace ccstarve;
+
+int main() {
+  bench::header("Theorem 3: strong-model starvation",
+                "Appendix B: iterate q <- max(0, q - D) until consecutive "
+                "traces differ by > s");
+
+  Table table({"CCA", "D", "trace throughputs Mbit/s", "slow flow Mbit/s",
+               "fast flow Mbit/s", "ratio"});
+  for (const auto& [name, maker] :
+       std::vector<std::pair<std::string, CcaMaker>>{
+           {"vegas", [] { return std::unique_ptr<Cca>(new Vegas()); }},
+           {"fast", [] { return std::unique_ptr<Cca>(new FastTcp()); }}}) {
+    Theorem3Config cfg;
+    cfg.lambda = Rate::mbps(5);
+    cfg.min_rtt = TimeNs::millis(50);
+    cfg.duration = TimeNs::seconds(40);
+    cfg.s = 4.0;
+    const Theorem3Outcome out = run_theorem3(maker, cfg);
+    std::string traces;
+    for (double t : out.trace_throughputs_mbps) {
+      if (!traces.empty()) traces += " -> ";
+      traces += Table::num(t, 1);
+    }
+    if (out.found_pair) {
+      table.add_row({name, out.d.to_string(), traces,
+                     Table::num(out.slow_throughput_mbps, 2),
+                     Table::num(out.fast_throughput_mbps, 1),
+                     Table::num(out.ratio, 1)});
+    } else {
+      table.add_row({name, out.d.to_string(), traces, "-", "-",
+                     "no pair found"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThe fast flow rides the reduced-delay trace while the "
+               "slow flow's per-flow element\nre-creates the original "
+               "delays: same queue, throughputs a factor s+ apart.\n";
+  return 0;
+}

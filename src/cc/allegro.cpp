@@ -1,0 +1,184 @@
+#include "cc/allegro.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ccstarve {
+
+Allegro::Allegro(const Params& params)
+    : params_(params),
+      rng_(params.seed),
+      base_rate_(params.initial_rate),
+      sending_rate_(params.initial_rate),
+      eps_(params.base_eps) {}
+
+double Allegro::utility(const MiReport& mi) const {
+  const double x = mi.goodput().to_mbps();
+  const double loss = mi.loss_rate();
+  const double sig =
+      1.0 / (1.0 + std::exp(-params_.sigmoid_alpha *
+                            (params_.loss_threshold - loss)));
+  return x * (1.0 - loss) * sig - x * loss;
+}
+
+void Allegro::on_packet_sent(TimeNs now, uint64_t seq, uint32_t /*bytes*/,
+                             uint64_t /*inflight*/, bool retransmit) {
+  tracker_.on_packet_sent(now, seq, retransmit);
+  maybe_open_mi(now);
+}
+
+void Allegro::on_ack(const AckSample& ack) {
+  srtt_.update(ack.rtt.to_seconds());
+  tracker_.on_ack(ack.now, ack.acked_seq, ack.rtt);
+  const TimeNs grace = TimeNs::seconds(std::max(2.0 * srtt_.value(), 0.01));
+  while (auto mi = tracker_.poll_mature(ack.now, grace)) {
+    on_mi_mature(*mi);
+  }
+  maybe_open_mi(ack.now);
+}
+
+void Allegro::maybe_open_mi(TimeNs now) {
+  if (tracker_.has_open_mi() && now < tracker_.open_mi_end()) return;
+  const double rtt = srtt_.initialized() ? srtt_.value() : 0.05;
+  // Allegro randomizes the MI length in [1.7, 2.2] RTTs, floored so each MI
+  // carries enough packets (~50) that the per-MI loss-rate estimate is not
+  // pure shot noise at low rates.
+  const double pkt_floor_s =
+      50.0 * kMss / std::max(base_rate_.bytes_per_second(), 1.0);
+  const TimeNs dur = TimeNs::seconds(
+      std::max({rng_.uniform(1.7, 2.2) * rtt, pkt_floor_s, 0.005}));
+
+  if (phase_ == Phase::kSlowStart) {
+    sending_rate_ = base_rate_;
+    tracker_.open(now, dur, sending_rate_, /*tag=*/-1);
+    return;
+  }
+
+  if (trial_index_ == 0) {
+    // Shuffle a fresh {+,+,-,-} assignment.
+    bool assign[4] = {true, true, false, false};
+    for (int i = 3; i > 0; --i) {
+      const int j = static_cast<int>(rng_.next_below(i + 1));
+      std::swap(assign[i], assign[j]);
+    }
+    std::copy(assign, assign + 4, trial_is_plus_);
+    matured_ = 0;
+  }
+  const bool plus = trial_is_plus_[trial_index_];
+  const double factor = plus ? 1.0 + eps_ : 1.0 - eps_;
+  sending_rate_ = ccstarve::max(params_.min_rate, base_rate_ * factor);
+  tracker_.open(now, dur, sending_rate_, trial_index_);
+  trial_index_ = (trial_index_ + 1) % 4;
+}
+
+void Allegro::on_mi_mature(const MiReport& mi) {
+  const double u = utility(mi);
+  if (params_.verbose) {
+    std::fprintf(stderr,
+                 "allegro mi: tag=%d target=%.2fMbps sent=%llu acked=%llu "
+                 "loss=%.3f goodput=%.2f u=%.2f phase=%d base=%.2f\n",
+                 mi.tag, mi.target_rate.to_mbps(),
+                 static_cast<unsigned long long>(mi.sent_pkts),
+                 static_cast<unsigned long long>(mi.acked_pkts),
+                 mi.loss_rate(), mi.goodput().to_mbps(), u,
+                 static_cast<int>(phase_), base_rate_.to_mbps());
+  }
+  if (phase_ == Phase::kSlowStart) {
+    // Exit only when the MI shows threshold-exceeding loss AND a clear
+    // utility drop. Allegro is *designed* to tolerate sub-threshold random
+    // loss, so a 2%-loss MI must not end the ramp (the §5.4 single-flow
+    // control depends on this).
+    const bool bad = mi.loss_rate() > params_.loss_threshold &&
+                     have_prev_utility_ && u <= 0.8 * prev_utility_;
+    ss_bad_streak_ = bad ? ss_bad_streak_ + 1 : 0;
+    if (ss_bad_streak_ >= 2) {
+      // Two consecutive over-threshold-loss MIs: genuine overload (a single
+      // unlucky MI of sub-threshold random loss must not end the ramp).
+      // Return to the last rate whose MI scored a healthy utility, as the
+      // Allegro paper's slow start does.
+      base_rate_ = ccstarve::max(
+          last_good_rate_ > Rate::zero() ? last_good_rate_
+                                         : base_rate_ * 0.5,
+          params_.min_rate);
+      phase_ = Phase::kDecision;
+    } else if (!bad) {
+      prev_utility_ = std::max(u, prev_utility_);
+      have_prev_utility_ = true;
+      last_good_rate_ = mi.goodput();
+      base_rate_ = ccstarve::min(base_rate_ * 2.0, params_.max_rate);
+    }
+    return;
+  }
+  if (mi.tag < 0 || mi.tag >= 4) return;
+  utilities_[mi.tag] = u;
+  if (++matured_ == 4) {
+    decide();
+    matured_ = 0;
+  }
+}
+
+void Allegro::decide() {
+  // All four trials scoring negative utility proves the operating point is
+  // past the loss cliff (the A/B comparison alone cannot see this once both
+  // directions saturate); back off multiplicatively.
+  if (*std::max_element(utilities_, utilities_ + 4) < 0.0) {
+    base_rate_ = ccstarve::max(base_rate_ * 0.7, params_.min_rate);
+    amplifier_ = 1;
+    last_direction_ = 0;
+    eps_ = params_.base_eps;
+    return;
+  }
+  double u_plus_min = 1e300, u_plus_max = -1e300;
+  double u_minus_min = 1e300, u_minus_max = -1e300;
+  for (int i = 0; i < 4; ++i) {
+    if (trial_is_plus_[i]) {
+      u_plus_min = std::min(u_plus_min, utilities_[i]);
+      u_plus_max = std::max(u_plus_max, utilities_[i]);
+    } else {
+      u_minus_min = std::min(u_minus_min, utilities_[i]);
+      u_minus_max = std::max(u_minus_max, utilities_[i]);
+    }
+  }
+
+  int direction = 0;
+  if (u_plus_min > u_minus_max) direction = +1;   // both + beat both -
+  if (u_minus_min > u_plus_max) direction = -1;   // both - beat both +
+
+  if (direction == 0) {
+    // Inconclusive under the strict dominance rule: drift one eps in the
+    // direction of the mean utilities (un-amplified) and look harder next
+    // round. Without the drift, sub-threshold random loss keeps the strict
+    // rule inconclusive forever and the rate stalls far below capacity.
+    double mean_plus = 0.0, mean_minus = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      (trial_is_plus_[i] ? mean_plus : mean_minus) += utilities_[i] / 2.0;
+    }
+    const double drift = mean_plus > mean_minus ? eps_ : -eps_;
+    const double r = std::clamp(base_rate_.to_mbps() * (1.0 + drift),
+                                params_.min_rate.to_mbps(),
+                                params_.max_rate.to_mbps());
+    base_rate_ = Rate::mbps(r);
+    eps_ = std::min(eps_ + params_.base_eps, params_.max_eps);
+    amplifier_ = 1;
+    last_direction_ = 0;
+    return;
+  }
+  if (direction == last_direction_) {
+    amplifier_ = std::min(amplifier_ + 1, params_.max_amplifier);
+  } else {
+    amplifier_ = 1;
+  }
+  last_direction_ = direction;
+  const double change =
+      static_cast<double>(amplifier_) * eps_ * static_cast<double>(direction);
+  const double r = std::clamp(base_rate_.to_mbps() * (1.0 + change),
+                              params_.min_rate.to_mbps(),
+                              params_.max_rate.to_mbps());
+  base_rate_ = Rate::mbps(r);
+  eps_ = params_.base_eps;
+}
+
+void Allegro::rebase_time(TimeNs delta) { tracker_.rebase_time(delta); }
+
+}  // namespace ccstarve

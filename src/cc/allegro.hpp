@@ -1,0 +1,81 @@
+// PCC Allegro (Dong et al., NSDI 2015): A/B experiments on the loss-based
+// utility u(x) = x * (1 - L) * sigmoid_a(0.05 - L) - x * L.
+//
+// Allegro tolerates up to a 5% loss threshold — the loss-domain analogue of
+// BBR's cwnd-limited mode keeping Rm of queueing (§5.4). It runs four
+// monitor intervals per decision, two at rate*(1+eps) and two at
+// rate*(1-eps) in random order, and moves only when both trials of a
+// direction beat both of the other.
+#pragma once
+
+#include "cc/cca.hpp"
+#include "cc/pcc_common.hpp"
+#include "util/filters.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Allegro final : public Cca {
+ public:
+  struct Params {
+    double loss_threshold = 0.05;
+    double sigmoid_alpha = 100.0;
+    double base_eps = 0.01;   // trial granularity
+    double max_eps = 0.05;
+    int max_amplifier = 6;
+    Rate min_rate = Rate::kbps(100);
+    Rate max_rate = Rate::gbps(20);
+    Rate initial_rate = Rate::mbps(2);
+    uint64_t seed = 11;
+    // Dump matured-MI scores to stderr (debugging aid).
+    bool verbose = false;
+  };
+
+  Allegro() : Allegro(Params{}) {}
+  explicit Allegro(const Params& params);
+
+  void on_packet_sent(TimeNs now, uint64_t seq, uint32_t bytes,
+                      uint64_t inflight, bool retransmit) override;
+  void on_ack(const AckSample& ack) override;
+
+  uint64_t cwnd_bytes() const override { return kNoCwndLimit; }
+  Rate pacing_rate() const override { return sending_rate_; }
+  std::string name() const override { return "pcc-allegro"; }
+  void rebase_time(TimeNs delta) override;
+
+  Rate base_rate() const { return base_rate_; }
+  double utility(const MiReport& mi) const;
+
+ private:
+  enum class Phase { kSlowStart, kDecision };
+
+  void maybe_open_mi(TimeNs now);
+  void on_mi_mature(const MiReport& mi);
+  void decide();
+
+  Params params_;
+  Rng rng_;
+  PccMiTracker tracker_;
+  Phase phase_ = Phase::kSlowStart;
+
+  Rate base_rate_;
+  Rate sending_rate_;
+  Ewma srtt_{1.0 / 4.0};
+
+  double prev_utility_ = 0.0;
+  bool have_prev_utility_ = false;
+  int ss_bad_streak_ = 0;
+  Rate last_good_rate_ = Rate::zero();
+
+  // Decision round: assignment of the 4 trial MIs (+,+,-,- shuffled).
+  double eps_;
+  int amplifier_ = 1;
+  int last_direction_ = 0;
+  int trial_index_ = 0;          // next MI to open within the round [0,4)
+  bool trial_is_plus_[4] = {};   // randomized each round
+  double utilities_[4] = {};
+  int matured_ = 0;
+};
+
+}  // namespace ccstarve

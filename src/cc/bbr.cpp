@@ -1,0 +1,205 @@
+#include "cc/bbr.hpp"
+
+#include <algorithm>
+
+namespace ccstarve {
+
+namespace {
+// The ProbeBW pacing-gain cycle: one probing phase, one draining phase, six
+// cruise phases.
+constexpr double kCycleGains[] = {1.25, 0.75, 1, 1, 1, 1, 1, 1};
+constexpr int kCycleLen = 8;
+constexpr double kDrainGain = 1.0 / 2.885;
+constexpr double kMinCwndPkts = 4.0;
+}  // namespace
+
+Bbr::Bbr(const Params& params)
+    : params_(params),
+      rng_(params.seed),
+      // The max filter window is expressed in round counts; reuse the
+      // time-keyed filter with "time" = round index in nanoseconds.
+      bw_filter_(TimeNs::nanos(params.bw_window_rounds - 1)) {}
+
+void Bbr::on_packet_sent(TimeNs, uint64_t, uint32_t, uint64_t inflight,
+                         bool) {
+  last_inflight_ = inflight;
+  cwnd_limited_ = inflight + kMss > cwnd_bytes();
+}
+
+void Bbr::on_ack(const AckSample& ack) {
+  last_inflight_ = ack.inflight_bytes;
+  update_round(ack);
+  update_min_rtt(ack);
+  update_state(ack);
+}
+
+void Bbr::update_round(const AckSample& ack) {
+  if (round_start_time_ < TimeNs::zero()) {
+    round_start_time_ = ack.now;
+    round_start_delivered_ = ack.delivered_bytes;
+    next_round_delivered_ = ack.delivered_bytes + ack.inflight_bytes + kMss;
+    return;
+  }
+  // Per-ACK delivery-rate sample: bytes delivered between the acked
+  // segment's transmission and its acknowledgment, over that (>= 1 RTT)
+  // interval. Bounded by the true delivery rate, so ACK compression can
+  // only inflate it by edge effects (which is exactly the bounded
+  // over-estimation §5.2 describes).
+  const TimeNs interval = ack.now - ack.sent_at;
+  if (interval > TimeNs::zero() &&
+      ack.delivered_bytes >= ack.delivered_at_send) {
+    const double bw_bytes_per_sec =
+        static_cast<double>(ack.delivered_bytes - ack.delivered_at_send) /
+        interval.to_seconds();
+    bw_filter_.update(bw_bytes_per_sec,
+                      TimeNs::nanos(static_cast<int64_t>(round_count_)));
+    btl_bw_ = Rate::bytes_per_sec(
+        bw_filter_.get(TimeNs::nanos(static_cast<int64_t>(round_count_)))
+            .value_or(bw_bytes_per_sec));
+  }
+
+  if (ack.delivered_bytes < next_round_delivered_) return;
+  ++round_count_;
+  round_start_time_ = ack.now;
+  round_start_delivered_ = ack.delivered_bytes;
+  next_round_delivered_ = ack.delivered_bytes + ack.inflight_bytes + kMss;
+
+  // Startup full-pipe check: bandwidth stopped growing 25% per round.
+  if (!full_pipe_) {
+    if (btl_bw_.bits_per_sec() >= full_bw_.bits_per_sec() * 1.25) {
+      full_bw_ = btl_bw_;
+      full_bw_rounds_ = 0;
+    } else if (++full_bw_rounds_ >= 3) {
+      full_pipe_ = true;
+    }
+  }
+}
+
+void Bbr::update_min_rtt(const AckSample& ack) {
+  if (ack.rtt <= TimeNs::zero()) return;
+  // Lower samples refresh the estimate; staleness is handled by ProbeRTT
+  // (draining the queue to re-measure), never by accepting an inflated RTT.
+  if (ack.rtt <= min_rtt_) {
+    min_rtt_ = ack.rtt;
+    min_rtt_stamp_ = ack.now;
+  }
+  if (state_ == State::kProbeRtt) {
+    probe_min_ = ccstarve::min(probe_min_, ack.rtt);
+  }
+}
+
+void Bbr::update_state(const AckSample& ack) {
+  const TimeNs now = ack.now;
+
+  // Enter ProbeRTT when the min-RTT estimate has gone stale.
+  if (state_ != State::kProbeRtt &&
+      now - min_rtt_stamp_ > params_.min_rtt_window) {
+    state_before_probe_ = full_pipe_ ? State::kProbeBw : State::kStartup;
+    state_ = State::kProbeRtt;
+    probe_rtt_done_at_ = TimeNs(-1);
+    probe_min_ = TimeNs::infinite();
+  }
+
+  switch (state_) {
+    case State::kStartup:
+      if (full_pipe_) state_ = State::kDrain;
+      break;
+    case State::kDrain:
+      if (static_cast<double>(ack.inflight_bytes) <= bdp_bytes()) {
+        state_ = State::kProbeBw;
+        // Randomized phase entry (never the draining phase) — BBR's fairness
+        // mechanism of probing at different times.
+        cycle_index_ = static_cast<int>(rng_.next_below(kCycleLen - 1));
+        if (cycle_index_ >= 1) ++cycle_index_;  // skip index 1 (0.75)
+        cycle_start_ = now;
+      }
+      break;
+    case State::kProbeBw:
+      advance_cycle_phase(now);
+      break;
+    case State::kProbeRtt:
+      if (probe_rtt_done_at_ < TimeNs::zero()) {
+        // Wait until inflight has drained to the floor, then hold 200 ms.
+        if (ack.inflight_bytes <= kMinCwndPkts * kMss) {
+          probe_rtt_done_at_ = now + params_.probe_rtt_duration;
+        }
+      } else if (now >= probe_rtt_done_at_) {
+        // Adopt whatever the drained path showed, even if the propagation
+        // delay genuinely increased.
+        if (!probe_min_.is_infinite()) min_rtt_ = probe_min_;
+        min_rtt_stamp_ = now;
+        state_ = state_before_probe_;
+        cycle_start_ = now;
+      }
+      break;
+  }
+}
+
+void Bbr::advance_cycle_phase(TimeNs now) {
+  if (min_rtt_.is_infinite()) return;
+  const double bdp = bdp_bytes();
+  bool advance = now - cycle_start_ >= min_rtt_;
+  if (cycle_index_ == 0) {
+    // Probing phase: hold until the 1.25x inflight target is reached, but
+    // not past one min_rtt of extra queue.
+    advance = advance &&
+              static_cast<double>(last_inflight_) >= 1.25 * bdp;
+    if (now - cycle_start_ >= min_rtt_ * 2.0) advance = true;
+  } else if (cycle_index_ == 1) {
+    // Draining phase: leave as soon as the probe's queue is gone.
+    advance = advance || static_cast<double>(last_inflight_) <= bdp;
+  }
+  if (!advance) return;
+  cycle_index_ = (cycle_index_ + 1) % kCycleLen;
+  cycle_start_ = now;
+}
+
+double Bbr::bdp_bytes() const {
+  if (min_rtt_.is_infinite() || btl_bw_ == Rate::zero()) {
+    return params_.initial_cwnd_pkts * kMss;
+  }
+  return btl_bw_.bytes_per_second() * min_rtt_.to_seconds();
+}
+
+double Bbr::pacing_gain() const {
+  switch (state_) {
+    case State::kStartup:
+      return params_.startup_gain;
+    case State::kDrain:
+      return kDrainGain;
+    case State::kProbeBw:
+      // Cruise phases (indices >= 2) honor the §6.1 cruise-gain override.
+      return cycle_index_ >= 2 ? params_.cruise_gain
+                               : kCycleGains[cycle_index_];
+    case State::kProbeRtt:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+uint64_t Bbr::cwnd_bytes() const {
+  if (state_ == State::kProbeRtt) {
+    return static_cast<uint64_t>(kMinCwndPkts * kMss);
+  }
+  if (btl_bw_ == Rate::zero() || min_rtt_.is_infinite()) {
+    return static_cast<uint64_t>(params_.initial_cwnd_pkts * kMss);
+  }
+  const double gain =
+      state_ == State::kStartup ? params_.startup_gain : params_.cwnd_gain;
+  const double cap = gain * bdp_bytes() + params_.quanta_pkts * kMss;
+  return static_cast<uint64_t>(std::max(cap, kMinCwndPkts * kMss));
+}
+
+Rate Bbr::pacing_rate() const {
+  if (btl_bw_ == Rate::zero()) return Rate::infinite();
+  return btl_bw_ * pacing_gain();
+}
+
+void Bbr::rebase_time(TimeNs delta) {
+  if (round_start_time_ >= TimeNs::zero()) round_start_time_ += delta;
+  min_rtt_stamp_ += delta;
+  cycle_start_ += delta;
+  if (probe_rtt_done_at_ >= TimeNs::zero()) probe_rtt_done_at_ += delta;
+}
+
+}  // namespace ccstarve

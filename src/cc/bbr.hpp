@@ -1,0 +1,107 @@
+// BBR v1 (Cardwell et al., ACM Queue 2016 + IETF draft), simplified but
+// with both of the modes the paper's §5.2 analyzes:
+//
+//   * pacing-limited mode: rate = pacing_gain * max-filtered bandwidth with
+//     the 8-phase [1.25, 0.75, 1 x6] gain cycle and periodic ProbeRTT;
+//     d_min = Rm, d_max = 1.25 Rm, so delta_max = Rm/4 (Fig. 3).
+//   * cwnd-limited mode: when jitter makes the max filter over-estimate the
+//     bandwidth, the flight cap cwnd = 2*BDP + quanta takes over and the
+//     equilibrium becomes rate = quanta / (RTT - 2 Rm) — the paper's §5.2
+//     fixed-point, whose uniqueness depends on the quanta (+alpha) term.
+//     `Params::quanta_pkts = 0` reproduces the paper's ablation where any
+//     split of 2*Rm*C between flows is a fixed point.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/cca.hpp"
+#include "util/filters.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Bbr final : public Cca {
+ public:
+  struct Params {
+    double startup_gain = 2.885;  // 2/ln(2)
+    double cwnd_gain = 2.0;
+    // Pacing gain of the six ProbeBW cruise phases. 1.0 is stock BBR; §6.1
+    // discusses the CCAC finding that a *higher* pacing rate (e.g. 1.1)
+    // forces BBR into cwnd-limited mode, where CCAC could no longer find
+    // under-utilization — the paper's candidate f-efficient,
+    // delay-convergent (but starvable) CCA.
+    double cruise_gain = 1.0;
+    // The +alpha term ("quanta") of the cwnd cap, in packets.
+    double quanta_pkts = 3.0;
+    uint32_t bw_window_rounds = 10;
+    TimeNs min_rtt_window = TimeNs::seconds(10);
+    TimeNs probe_rtt_duration = TimeNs::millis(200);
+    double initial_cwnd_pkts = 10.0;
+    uint64_t seed = 42;  // randomizes the ProbeBW phase entry point
+  };
+
+  Bbr() : Bbr(Params{}) {}
+  explicit Bbr(const Params& params);
+
+  void on_packet_sent(TimeNs now, uint64_t seq, uint32_t bytes,
+                      uint64_t inflight, bool retransmit) override;
+  void on_ack(const AckSample& ack) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override;
+  std::string name() const override { return "bbr"; }
+  void rebase_time(TimeNs delta) override;
+
+  enum class State { kStartup, kDrain, kProbeBw, kProbeRtt };
+  State state() const { return state_; }
+  Rate bandwidth_estimate() const { return btl_bw_; }
+  TimeNs min_rtt_estimate() const { return min_rtt_; }
+  // True when the flight cap, not the pacer, is the binding constraint.
+  bool cwnd_limited() const { return cwnd_limited_; }
+
+ private:
+  void update_round(const AckSample& ack);
+  void update_min_rtt(const AckSample& ack);
+  void update_state(const AckSample& ack);
+  void advance_cycle_phase(TimeNs now);
+  double bdp_bytes() const;
+  double pacing_gain() const;
+
+  Params params_;
+  Rng rng_;
+  State state_ = State::kStartup;
+
+  // Round (RTT-count) tracking by delivered bytes.
+  uint64_t next_round_delivered_ = 0;
+  uint64_t round_count_ = 0;
+  TimeNs round_start_time_ = TimeNs(-1);
+  uint64_t round_start_delivered_ = 0;
+
+  // Bandwidth max-filter over the last bw_window_rounds rounds.
+  WindowedMax<double> bw_filter_;  // bytes/sec keyed by round index
+  Rate btl_bw_ = Rate::zero();
+
+  // Min-RTT tracking.
+  TimeNs min_rtt_ = TimeNs::infinite();
+  TimeNs min_rtt_stamp_ = TimeNs::zero();
+
+  // Startup full-pipe detection.
+  Rate full_bw_ = Rate::zero();
+  int full_bw_rounds_ = 0;
+  bool full_pipe_ = false;
+
+  // ProbeBW gain cycling.
+  int cycle_index_ = 0;
+  TimeNs cycle_start_ = TimeNs::zero();
+
+  // ProbeRTT.
+  TimeNs probe_rtt_done_at_ = TimeNs(-1);
+  State state_before_probe_ = State::kProbeBw;
+  TimeNs probe_min_ = TimeNs::infinite();
+
+  uint64_t last_inflight_ = 0;
+  bool cwnd_limited_ = false;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,86 @@
+// Congestion-control algorithm interface.
+//
+// CCAs are deliberately simulator-free: they see only timestamped events
+// (packet sent / ACK / loss) and expose a congestion window and a pacing
+// rate. This has two payoffs:
+//   1. The same implementations could sit on a real transport.
+//   2. The Theorem 1 construction can *transplant* a converged CCA object
+//      from a solo run into a two-flow scenario (the proof starts the flows
+//      from their converged states at T1/T2); `rebase_time` shifts any
+//      internal timestamps onto the new timeline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+struct AckSample {
+  TimeNs now = TimeNs::zero();
+  // Measured round-trip time of the newest-acked segment.
+  TimeNs rtt = TimeNs::zero();
+  // When that segment was sent.
+  TimeNs sent_at = TimeNs::zero();
+  // Sequence number of the data segment this ACK acknowledges (1-segment
+  // SACK information; what the PCC monitor-interval tracker keys on).
+  uint64_t acked_seq = 0;
+  // Bytes newly removed from flight by this ACK (0 for pure duplicates).
+  uint64_t newly_acked_bytes = 0;
+  // Cumulative bytes delivered so far on this flow.
+  uint64_t delivered_bytes = 0;
+  // Value of delivered_bytes when the acked segment was (last) transmitted.
+  // (delivered_bytes - delivered_at_send)/(now - sent_at) is a delivery-rate
+  // sample bounded by the true rate over one RTT — BBR's bandwidth sample.
+  uint64_t delivered_at_send = 0;
+  // Bytes still in flight after processing this ACK.
+  uint64_t inflight_bytes = 0;
+  // True when ack_cum did not advance (reordering/loss indicator).
+  bool is_duplicate = false;
+  // True while the sender is in fast recovery; loss-based CCAs freeze
+  // window growth during recovery (RFC 6582 behaviour).
+  bool in_recovery = false;
+  // ECN-Echo: the receiver saw a CE mark since its last ACK (paper 6.4).
+  bool ece = false;
+};
+
+struct LossSample {
+  TimeNs now = TimeNs::zero();
+  uint64_t lost_bytes = 0;
+  uint64_t inflight_bytes = 0;
+  // True for a retransmission-timeout, false for fast-retransmit.
+  bool is_timeout = false;
+};
+
+class Cca {
+ public:
+  virtual ~Cca() = default;
+
+  virtual void on_packet_sent(TimeNs /*now*/, uint64_t /*seq*/,
+                              uint32_t /*bytes*/, uint64_t /*inflight_bytes*/,
+                              bool /*retransmit*/) {}
+  virtual void on_ack(const AckSample& ack) = 0;
+  virtual void on_loss(const LossSample& /*loss*/) {}
+
+  // Window limit in bytes; return a huge value for pure rate-based CCAs.
+  virtual uint64_t cwnd_bytes() const = 0;
+  // Pacing limit; return Rate::infinite() for pure window-based CCAs.
+  virtual Rate pacing_rate() const = 0;
+
+  virtual std::string name() const = 0;
+
+  // Shift all internal timestamps by `delta` (new_time = old_time + delta).
+  // Default is correct for CCAs that hold no absolute times.
+  virtual void rebase_time(TimeNs /*delta*/) {}
+
+  // Effectively-unbounded cwnd for rate-based CCAs.
+  static constexpr uint64_t kNoCwndLimit = uint64_t{1} << 48;
+};
+
+// Factory type used by sweeps that need a fresh CCA per run.
+using CcaFactory = std::unique_ptr<Cca> (*)();
+
+}  // namespace ccstarve

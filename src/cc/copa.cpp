@@ -1,0 +1,151 @@
+#include "cc/copa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ccstarve {
+
+Copa::Copa(const Params& params)
+    : params_(params),
+      cwnd_pkts_(params.initial_cwnd_pkts),
+      delta_(params.delta),
+      min_rtt_(params.min_rtt_window) {}
+
+void Copa::on_ack(const AckSample& ack) {
+  if (ack.rtt <= TimeNs::zero()) return;
+  const TimeNs now = ack.now;
+
+  srtt_.update(ack.rtt.to_seconds());
+  min_rtt_.update(ack.rtt, now);
+  // Standing window tau = srtt / 2.
+  standing_rtt_.set_window(TimeNs::seconds(srtt_.value() / 2.0));
+  standing_rtt_.update(ack.rtt, now);
+  recent_max_rtt_.set_window(TimeNs::seconds(4.0 * srtt_.value()));
+  recent_max_rtt_.update(ack.rtt, now);
+
+  const TimeNs rtt_min = min_rtt_.get(now).value_or(ack.rtt);
+  const TimeNs standing = standing_rtt_.get(now).value_or(ack.rtt);
+  last_min_rtt_ = rtt_min;
+  last_standing_ = standing;
+
+  const double dq = (standing - rtt_min).to_seconds();
+
+  if (params_.enable_mode_switching) check_mode(ack);
+
+  // Rates in packets per second.
+  const double current_rate = cwnd_pkts_ / standing.to_seconds();
+  const double target_rate =
+      dq <= 0.0 ? std::numeric_limits<double>::infinity()
+                : 1.0 / (delta_ * dq);
+
+  update_velocity(ack);
+
+  if (slow_start_) {
+    if (current_rate < target_rate) {
+      // Double once per RTT: +1 packet per packet acked.
+      cwnd_pkts_ +=
+          static_cast<double>(ack.newly_acked_bytes) / static_cast<double>(kMss);
+      return;
+    }
+    slow_start_ = false;
+  }
+
+  const double acked_pkts =
+      static_cast<double>(ack.newly_acked_bytes) / static_cast<double>(kMss);
+  const double step = velocity_ * acked_pkts / (delta_ * cwnd_pkts_);
+  if (current_rate < target_rate) {
+    cwnd_pkts_ += step;
+  } else {
+    cwnd_pkts_ -= step;
+  }
+  cwnd_pkts_ = std::max(cwnd_pkts_, 2.0);
+}
+
+void Copa::update_velocity(const AckSample& ack) {
+  // Epochs are delimited in delivered bytes (~1 RTT of data).
+  if (cwnd_at_epoch_start_ == 0.0) {
+    cwnd_at_epoch_start_ = cwnd_pkts_;
+    epoch_end_delivered_ =
+        ack.delivered_bytes + static_cast<uint64_t>(cwnd_pkts_) * kMss;
+    return;
+  }
+  if (ack.delivered_bytes < epoch_end_delivered_) return;
+  epoch_end_delivered_ =
+      ack.delivered_bytes + static_cast<uint64_t>(cwnd_pkts_) * kMss;
+
+  const int dir = cwnd_pkts_ >= cwnd_at_epoch_start_ ? +1 : -1;
+  if (dir == direction_) {
+    ++same_direction_epochs_;
+    if (same_direction_epochs_ >= 3) velocity_ *= 2.0;
+  } else {
+    direction_ = dir;
+    same_direction_epochs_ = 0;
+    velocity_ = 1.0;
+  }
+  // Never move more than one window per window.
+  velocity_ = std::min(velocity_, delta_ * cwnd_pkts_);
+  cwnd_at_epoch_start_ = cwnd_pkts_;
+}
+
+void Copa::check_mode(const AckSample& ack) {
+  const TimeNs now = ack.now;
+  const TimeNs rtt_min = last_min_rtt_;
+  const TimeNs max_rtt = recent_max_rtt_.get(now).value_or(ack.rtt);
+
+  // "Nearly empty": standing queue below 10% of the recent peak queue.
+  const double peak_q = (max_rtt - rtt_min).to_seconds();
+  const double standing_q = (last_standing_ - rtt_min).to_seconds();
+  if (peak_q <= 0.0 || standing_q < 0.1 * peak_q) {
+    queue_emptied_since_check_ = true;
+  }
+
+  const TimeNs interval = TimeNs::seconds(5.0 * std::max(srtt_.value(), 1e-4));
+  if (now < mode_check_at_) return;
+  mode_check_at_ = now + interval;
+
+  if (queue_emptied_since_check_) {
+    competitive_ = false;
+    delta_ = params_.delta;
+  } else {
+    competitive_ = true;
+  }
+  queue_emptied_since_check_ = false;
+
+  if (competitive_ && now >= last_delta_update_) {
+    // AIMD on 1/delta: additive increase of 1/delta once per interval.
+    delta_ = 1.0 / (1.0 / delta_ + 1.0);
+    delta_ = std::max(delta_, 0.04);
+    last_delta_update_ = now;
+  }
+}
+
+void Copa::on_loss(const LossSample& loss) {
+  if (!params_.enable_mode_switching || !competitive_) return;
+  // Competitive mode reacts to loss by halving 1/delta (gentler window).
+  (void)loss;
+  delta_ = std::min(params_.delta, 2.0 * delta_);
+}
+
+uint64_t Copa::cwnd_bytes() const {
+  return static_cast<uint64_t>(cwnd_pkts_ * kMss);
+}
+
+Rate Copa::pacing_rate() const {
+  if (!srtt_.initialized() || last_standing_.is_infinite()) {
+    return Rate::infinite();
+  }
+  const double pkts_per_sec =
+      params_.pacing_multiplier * cwnd_pkts_ / last_standing_.to_seconds();
+  return Rate::bytes_per_sec(pkts_per_sec * kMss);
+}
+
+void Copa::rebase_time(TimeNs delta) {
+  min_rtt_.rebase_time(delta);
+  standing_rtt_.rebase_time(delta);
+  recent_max_rtt_.rebase_time(delta);
+  mode_check_at_ += delta;
+  last_delta_update_ += delta;
+}
+
+}  // namespace ccstarve

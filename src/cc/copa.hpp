@@ -1,0 +1,80 @@
+// Copa (Arun & Balakrishnan, NSDI 2018).
+//
+// Targets a sending rate of 1/(delta * dq) packets/s where dq is the
+// estimated queueing delay, computed as standing RTT - min RTT:
+//   * min RTT   = min over a long (10 s) window,
+//   * standing  = min over a short (srtt/2) window — Copa's attempt to
+//     filter out non-congestive spikes (§5.1 of the starvation paper).
+// The window moves toward the target by v/(delta*cwnd) per ACK, with the
+// velocity v doubling after three same-direction RTTs. Equilibrium queue
+// occupancy is ~1/delta packets per flow and delta(C) = 4*MSS/C: the Copa
+// curve of the paper's Figure 3.
+//
+// The optional competitive mode (mode switching against buffer-fillers) does
+// AIMD on 1/delta when the queue has not emptied for 5 RTTs.
+#pragma once
+
+#include "cc/cca.hpp"
+#include "util/filters.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Copa final : public Cca {
+ public:
+  struct Params {
+    double delta = 0.5;
+    double initial_cwnd_pkts = 4.0;
+    TimeNs min_rtt_window = TimeNs::seconds(10);
+    bool enable_mode_switching = true;
+    // Pace at this multiple of cwnd/standing-RTT to smooth transmissions.
+    double pacing_multiplier = 2.0;
+  };
+
+  Copa() : Copa(Params{}) {}
+  explicit Copa(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override;
+  std::string name() const override { return "copa"; }
+  void rebase_time(TimeNs delta) override;
+
+  double delta() const { return delta_; }
+  bool in_competitive_mode() const { return competitive_; }
+  TimeNs min_rtt_estimate() const { return last_min_rtt_; }
+  TimeNs standing_rtt_estimate() const { return last_standing_; }
+
+ private:
+  void update_velocity(const AckSample& ack);
+  void check_mode(const AckSample& ack);
+
+  Params params_;
+  double cwnd_pkts_;
+  double delta_;
+  bool slow_start_ = true;
+
+  Ewma srtt_{1.0 / 8.0};
+  WindowedMin<TimeNs> min_rtt_;
+  WindowedMin<TimeNs> standing_rtt_{TimeNs::millis(50)};
+  WindowedMax<TimeNs> recent_max_rtt_{TimeNs::millis(400)};
+  TimeNs last_min_rtt_ = TimeNs::infinite();
+  TimeNs last_standing_ = TimeNs::infinite();
+
+  // Velocity state (per-RTT direction tracking).
+  double velocity_ = 1.0;
+  uint64_t epoch_end_delivered_ = 0;
+  double cwnd_at_epoch_start_ = 0.0;
+  int direction_ = 0;  // +1 up, -1 down
+  int same_direction_epochs_ = 0;
+
+  // Mode switching.
+  bool competitive_ = false;
+  TimeNs mode_check_at_ = TimeNs::zero();
+  bool queue_emptied_since_check_ = true;
+  TimeNs last_delta_update_ = TimeNs::zero();
+};
+
+}  // namespace ccstarve

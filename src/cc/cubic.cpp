@@ -1,0 +1,76 @@
+#include "cc/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccstarve {
+
+Cubic::Cubic(const Params& params)
+    : params_(params), cwnd_pkts_(params.initial_cwnd_pkts) {}
+
+void Cubic::on_ack(const AckSample& ack) {
+  if (ack.newly_acked_bytes == 0 || ack.in_recovery) return;
+  srtt_.update(ack.rtt.to_seconds());
+  const double acked_pkts =
+      static_cast<double>(ack.newly_acked_bytes) / static_cast<double>(kMss);
+
+  if (cwnd_pkts_ < ssthresh_pkts_) {
+    cwnd_pkts_ += acked_pkts;  // slow start
+    return;
+  }
+
+  if (epoch_start_ < TimeNs::zero()) {
+    // First congestion-avoidance ACK of this epoch.
+    epoch_start_ = ack.now;
+    if (w_max_pkts_ < cwnd_pkts_) {
+      w_max_pkts_ = cwnd_pkts_;
+      k_seconds_ = 0.0;
+    } else {
+      k_seconds_ = std::cbrt(w_max_pkts_ * (1.0 - params_.beta) / params_.c);
+    }
+    w_est_pkts_ = cwnd_pkts_;
+  }
+
+  const double t = (ack.now - epoch_start_).to_seconds();
+  const double rtt = std::max(srtt_.value(), 1e-4);
+
+  // Cubic target one RTT in the future.
+  const double dt = t + rtt - k_seconds_;
+  const double target = params_.c * dt * dt * dt + w_max_pkts_;
+
+  // TCP-friendly (Reno-tracking) estimate.
+  w_est_pkts_ += 3.0 * (1.0 - params_.beta) / (1.0 + params_.beta) *
+                 acked_pkts / cwnd_pkts_;
+
+  if (target > cwnd_pkts_) {
+    cwnd_pkts_ += (target - cwnd_pkts_) / cwnd_pkts_ * acked_pkts;
+  } else {
+    cwnd_pkts_ += acked_pkts / (100.0 * cwnd_pkts_);  // max probing, slow
+  }
+  cwnd_pkts_ = std::max(cwnd_pkts_, w_est_pkts_);
+}
+
+void Cubic::on_loss(const LossSample& loss) {
+  epoch_start_ = TimeNs(-1);
+  if (params_.fast_convergence && cwnd_pkts_ < w_max_pkts_) {
+    w_max_pkts_ = cwnd_pkts_ * (1.0 + params_.beta) / 2.0;
+  } else {
+    w_max_pkts_ = cwnd_pkts_;
+  }
+  cwnd_pkts_ = std::max(2.0, cwnd_pkts_ * params_.beta);
+  ssthresh_pkts_ = cwnd_pkts_;
+  if (loss.is_timeout) {
+    cwnd_pkts_ = 1.0;
+    ssthresh_pkts_ = std::max(2.0, w_max_pkts_ * params_.beta);
+  }
+}
+
+uint64_t Cubic::cwnd_bytes() const {
+  return static_cast<uint64_t>(std::max(1.0, cwnd_pkts_) * kMss);
+}
+
+void Cubic::rebase_time(TimeNs delta) {
+  if (epoch_start_ >= TimeNs::zero()) epoch_start_ += delta;
+}
+
+}  // namespace ccstarve

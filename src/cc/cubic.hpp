@@ -1,0 +1,48 @@
+// CUBIC (Ha, Rhee, Xu, 2008), the other loss-based baseline of Fig. 7.
+//
+// Window grows as W(t) = C (t - K)^3 + Wmax since the last backoff, with a
+// TCP-friendly lower envelope. Like Reno it is not delay-convergent; §5.4
+// shows its burstiness unfairness stays bounded (~3.2x in Fig. 7).
+#pragma once
+
+#include "cc/cca.hpp"
+#include "util/filters.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Cubic final : public Cca {
+ public:
+  struct Params {
+    double c = 0.4;      // cubic scaling constant (pkts/s^3)
+    double beta = 0.7;   // multiplicative decrease factor
+    bool fast_convergence = true;
+    double initial_cwnd_pkts = 4.0;
+  };
+
+  Cubic() : Cubic(Params{}) {}
+  explicit Cubic(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return Rate::infinite(); }
+  std::string name() const override { return "cubic"; }
+  void rebase_time(TimeNs delta) override;
+
+  double cwnd_pkts() const { return cwnd_pkts_; }
+
+ private:
+  Params params_;
+  double cwnd_pkts_;
+  double ssthresh_pkts_ = 1e9;
+  double w_max_pkts_ = 0.0;
+  double k_seconds_ = 0.0;
+  TimeNs epoch_start_ = TimeNs(-1);
+  Ewma srtt_{1.0 / 8.0};
+  // Reno-equivalent window for the TCP-friendly region.
+  double w_est_pkts_ = 0.0;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,55 @@
+#include "cc/ecn_reno.hpp"
+
+#include <algorithm>
+
+namespace ccstarve {
+
+EcnReno::EcnReno(const Params& params)
+    : params_(params), cwnd_pkts_(params.initial_cwnd_pkts) {}
+
+void EcnReno::on_ack(const AckSample& ack) {
+  if (ack.ece) {
+    if (ack.now >= backoff_allowed_at_) {
+      // One multiplicative decrease per RTT of marks (RFC 3168 semantics).
+      cwnd_pkts_ = std::max(2.0, cwnd_pkts_ * params_.decrease_factor);
+      ssthresh_pkts_ = cwnd_pkts_;
+      backoff_allowed_at_ = ack.now + ack.rtt;
+      ++ecn_backoffs_;
+    }
+    // No growth for the rest of the marked RTT either.
+    return;
+  }
+  // §6.4's idealized CCA reacts to ECN and *not* to small amounts of loss:
+  // with tolerate_loss, keep growing even through the transport's recovery
+  // episodes (an RFC-faithful Reno would freeze here).
+  if (ack.newly_acked_bytes == 0 ||
+      (ack.in_recovery && !params_.tolerate_loss)) {
+    return;
+  }
+  const double acked_pkts =
+      static_cast<double>(ack.newly_acked_bytes) / static_cast<double>(kMss);
+  if (cwnd_pkts_ < ssthresh_pkts_) {
+    cwnd_pkts_ += acked_pkts;
+  } else {
+    cwnd_pkts_ += acked_pkts / cwnd_pkts_;
+  }
+}
+
+void EcnReno::on_loss(const LossSample& loss) {
+  if (!loss.is_timeout && params_.tolerate_loss) {
+    // §6.4's prescription: react to ECN, ignore small amounts of loss.
+    // Count it; the transport still retransmits.
+    ++tolerated_losses_;
+    return;
+  }
+  ssthresh_pkts_ = std::max(2.0, cwnd_pkts_ / 2.0);
+  cwnd_pkts_ = loss.is_timeout ? 1.0 : ssthresh_pkts_;
+}
+
+uint64_t EcnReno::cwnd_bytes() const {
+  return static_cast<uint64_t>(std::max(1.0, cwnd_pkts_) * kMss);
+}
+
+void EcnReno::rebase_time(TimeNs delta) { backoff_allowed_at_ += delta; }
+
+}  // namespace ccstarve

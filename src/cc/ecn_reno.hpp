@@ -1,0 +1,52 @@
+// ECN-Reno: the CCA shape §6.4 conjectures avoids starvation — AIMD driven
+// by ECN marks (an unambiguous congestion signal) that *ignores small
+// amounts of loss*.
+//
+// "If the router set ECN bits when the queue exceeds a threshold, and a CCA
+//  reacted to that and not to small amounts of loss, then it may avoid
+//  starvation."  — §6.4
+//
+// With `tolerate_loss` (the default), fast-retransmit losses do not shrink
+// the window; only ECN echoes (once per RTT) and timeouts do. This makes the
+// algorithm immune to the §5.4 random-loss starvation while the AQM keeps
+// its queue bounded.
+#pragma once
+
+#include "cc/cca.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class EcnReno final : public Cca {
+ public:
+  struct Params {
+    double initial_cwnd_pkts = 4.0;
+    double decrease_factor = 0.5;
+    // React to ECN only; treat (non-timeout) loss as noise.
+    bool tolerate_loss = true;
+  };
+
+  EcnReno() : EcnReno(Params{}) {}
+  explicit EcnReno(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return Rate::infinite(); }
+  std::string name() const override { return "ecn-reno"; }
+  void rebase_time(TimeNs delta) override;
+
+  uint64_t ecn_backoffs() const { return ecn_backoffs_; }
+  uint64_t tolerated_losses() const { return tolerated_losses_; }
+
+ private:
+  Params params_;
+  double cwnd_pkts_;
+  double ssthresh_pkts_ = 1e9;
+  TimeNs backoff_allowed_at_ = TimeNs::zero();
+  uint64_t ecn_backoffs_ = 0;
+  uint64_t tolerated_losses_ = 0;
+};
+
+}  // namespace ccstarve

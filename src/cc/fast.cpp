@@ -1,0 +1,38 @@
+#include "cc/fast.hpp"
+
+#include <algorithm>
+
+namespace ccstarve {
+
+FastTcp::FastTcp(const Params& params)
+    : params_(params), cwnd_pkts_(params.initial_cwnd_pkts) {}
+
+void FastTcp::on_ack(const AckSample& ack) {
+  if (ack.in_recovery) return;
+  if (ack.rtt > TimeNs::zero()) {
+    base_rtt_ = ccstarve::min(base_rtt_, ack.rtt);
+    epoch_min_rtt_ = ccstarve::min(epoch_min_rtt_, ack.rtt);
+  }
+  if (ack.delivered_bytes < epoch_end_delivered_) return;
+  epoch_end_delivered_ =
+      ack.delivered_bytes + static_cast<uint64_t>(cwnd_pkts_) * kMss;
+  if (epoch_min_rtt_.is_infinite() || base_rtt_.is_infinite()) return;
+
+  const double ratio = base_rtt_.to_seconds() / epoch_min_rtt_.to_seconds();
+  epoch_min_rtt_ = TimeNs::infinite();
+
+  const double target =
+      (1.0 - params_.gamma) * cwnd_pkts_ +
+      params_.gamma * (ratio * cwnd_pkts_ + params_.alpha_pkts);
+  cwnd_pkts_ = std::max(2.0, std::min(2.0 * cwnd_pkts_, target));
+}
+
+void FastTcp::on_loss(const LossSample& loss) {
+  cwnd_pkts_ = std::max(2.0, cwnd_pkts_ * (loss.is_timeout ? 0.25 : 0.5));
+}
+
+uint64_t FastTcp::cwnd_bytes() const {
+  return static_cast<uint64_t>(cwnd_pkts_ * kMss);
+}
+
+}  // namespace ccstarve

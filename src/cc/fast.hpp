@@ -1,0 +1,40 @@
+// FAST TCP (Wei, Jin, Low, Hegde, ToN 2006).
+//
+// Same equilibrium as Vegas — alpha packets queued per flow, delta(C) = 0 —
+// but reaches it with a multiplicative window update each RTT:
+//   w <- min(2w, (1 - gamma) w + gamma (baseRTT/RTT * w + alpha)).
+#pragma once
+
+#include "cc/cca.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class FastTcp final : public Cca {
+ public:
+  struct Params {
+    double alpha_pkts = 4.0;
+    // Smoothing gain of the periodic update.
+    double gamma = 0.5;
+    double initial_cwnd_pkts = 4.0;
+  };
+
+  FastTcp() : FastTcp(Params{}) {}
+  explicit FastTcp(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return Rate::infinite(); }
+  std::string name() const override { return "fast"; }
+
+ private:
+  Params params_;
+  double cwnd_pkts_;
+  TimeNs base_rtt_ = TimeNs::infinite();
+  uint64_t epoch_end_delivered_ = 0;
+  TimeNs epoch_min_rtt_ = TimeNs::infinite();
+};
+
+}  // namespace ccstarve

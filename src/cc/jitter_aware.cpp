@@ -1,0 +1,51 @@
+#include "cc/jitter_aware.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccstarve {
+
+JitterAware::JitterAware(const Params& params)
+    : params_(params), mu_(params.initial_rate) {}
+
+Rate JitterAware::target_rate(TimeNs rtt) const {
+  // mu(d) = mu_minus * s^((Rmax - (d - Rm)) / D).
+  const double exponent =
+      (params_.rmax - (rtt - params_.rm)).to_seconds() /
+      params_.d.to_seconds();
+  return params_.mu_minus * std::pow(params_.s, exponent);
+}
+
+TimeNs JitterAware::equilibrium_rtt(Rate mu) const {
+  // Invert Eq. 2: d = Rm + Rmax - D * log_s(mu / mu_minus).
+  const double logs =
+      std::log(mu / params_.mu_minus) / std::log(params_.s);
+  return params_.rm + params_.rmax - params_.d * logs;
+}
+
+void JitterAware::on_ack(const AckSample& ack) {
+  latest_rtt_ = ack.rtt;
+  if (ack.now < next_update_) return;
+  // "Change the rate by the same amount every RTT independent of the number
+  // of ACKs received" (§6.3) — one decision per Rm.
+  next_update_ = ack.now + params_.rm;
+
+  if (mu_ < target_rate(latest_rtt_)) {
+    mu_ = mu_ + params_.additive_step;
+  } else {
+    mu_ = mu_ * params_.decrease_factor;
+  }
+  mu_ = ccstarve::max(mu_, params_.mu_minus * 0.1);
+}
+
+uint64_t JitterAware::cwnd_bytes() const {
+  // Safety cap: two max-delay BDPs. Normally the pacer is the binding limit.
+  const double cap =
+      mu_.bytes_per_second() * 2.0 *
+      (params_.rm + params_.rmax).to_seconds();
+  return static_cast<uint64_t>(std::max(cap, 4.0 * kMss));
+}
+
+void JitterAware::rebase_time(TimeNs delta) { next_update_ += delta; }
+
+}  // namespace ccstarve

@@ -1,0 +1,59 @@
+// The paper's Algorithm 1 (§6.3): a delay-convergent CCA that designs for a
+// known jitter bound D by using the exponential rate-delay mapping of Eq. 2:
+//
+//     mu(d) = mu_minus * s ^ ((Rmax - (d - Rm)) / D)
+//
+// Every Rm it compares its rate mu with the target implied by the latest
+// RTT d: below target -> mu += a (additive increase), otherwise mu *= b
+// (multiplicative decrease). Because consecutive rates that differ by a
+// factor s map to delays more than D apart, two flows experiencing
+// different jitter <= D can disagree by at most a factor ~s: s-fairness by
+// construction, at the cost of keeping at least D of standing queue.
+//
+// Like the paper's Algorithm 1, this assumes oracular knowledge of Rm (the
+// paper's §6.3 discusses why estimating Rm is an open problem) and does not
+// handle short buffers.
+#pragma once
+
+#include "cc/cca.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class JitterAware final : public Cca {
+ public:
+  struct Params {
+    TimeNs rm = TimeNs::millis(100);    // oracular propagation RTT
+    TimeNs d = TimeNs::millis(10);      // designed-for jitter bound D
+    TimeNs rmax = TimeNs::millis(200);  // max tolerable queueing (above Rm)
+    double s = 2.0;                     // tolerated unfairness ratio
+    Rate mu_minus = Rate::kbps(100);    // rate at d - Rm = Rmax
+    Rate additive_step = Rate::kbps(500);  // a
+    double decrease_factor = 0.9;          // b
+    Rate initial_rate = Rate::mbps(1);
+  };
+
+  JitterAware() : JitterAware(Params{}) {}
+  explicit JitterAware(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return mu_; }
+  std::string name() const override { return "jitter-aware"; }
+  void rebase_time(TimeNs delta) override;
+
+  // Eq. 2: target rate for a measured RTT d.
+  Rate target_rate(TimeNs rtt) const;
+  // Inverse mapping: equilibrium RTT for a given rate (used by tests and
+  // the §6.3 analysis).
+  TimeNs equilibrium_rtt(Rate mu) const;
+
+ private:
+  Params params_;
+  Rate mu_;
+  TimeNs next_update_ = TimeNs::zero();
+  TimeNs latest_rtt_ = TimeNs::zero();
+};
+
+}  // namespace ccstarve

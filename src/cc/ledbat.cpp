@@ -1,0 +1,38 @@
+#include "cc/ledbat.hpp"
+
+#include <algorithm>
+
+namespace ccstarve {
+
+Ledbat::Ledbat(const Params& params)
+    : params_(params),
+      cwnd_pkts_(params.initial_cwnd_pkts),
+      base_delay_(params.base_window) {}
+
+void Ledbat::on_ack(const AckSample& ack) {
+  if (ack.rtt <= TimeNs::zero() || ack.in_recovery) return;
+  base_delay_.update(ack.rtt, ack.now);
+  const TimeNs base = base_delay_.get(ack.now).value_or(ack.rtt);
+  const double queuing = (ack.rtt - base).to_seconds();
+  const double off =
+      (params_.target.to_seconds() - queuing) / params_.target.to_seconds();
+  const double acked_pkts =
+      static_cast<double>(ack.newly_acked_bytes) / static_cast<double>(kMss);
+  // RFC 6817: cwnd growth capped at one packet per RTT equivalent.
+  const double step =
+      std::min(params_.gain * off * acked_pkts / cwnd_pkts_,
+               acked_pkts / cwnd_pkts_);
+  cwnd_pkts_ = std::max(2.0, cwnd_pkts_ + step);
+}
+
+void Ledbat::on_loss(const LossSample& loss) {
+  cwnd_pkts_ = std::max(2.0, cwnd_pkts_ * (loss.is_timeout ? 0.25 : 0.5));
+}
+
+uint64_t Ledbat::cwnd_bytes() const {
+  return static_cast<uint64_t>(cwnd_pkts_ * kMss);
+}
+
+void Ledbat::rebase_time(TimeNs delta) { base_delay_.rebase_time(delta); }
+
+}  // namespace ccstarve

@@ -1,0 +1,49 @@
+// LEDBAT (RFC 6817): the low-extra-delay background transport the paper
+// cites among the min-filter delay CCAs (§2.1, [38]).
+//
+// Linear controller toward a fixed queueing-delay target:
+//   off = (TARGET - queuing_delay) / TARGET
+//   cwnd += GAIN * off / cwnd      per ACK (and at most one extra per RTT)
+// with queuing_delay = current delay - base delay (min over a long window).
+// Delay-convergent with d(C) = Rm + target and delta(C) -> 0: squarely in
+// the paper's starvation-prone class, and another subject for the Theorem 1
+// machinery.
+#pragma once
+
+#include "cc/cca.hpp"
+#include "util/filters.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Ledbat final : public Cca {
+ public:
+  struct Params {
+    TimeNs target = TimeNs::millis(25);  // RFC suggests <= 100 ms; typical 25
+    double gain = 1.0;
+    double initial_cwnd_pkts = 4.0;
+    TimeNs base_window = TimeNs::seconds(600);  // base-delay history
+  };
+
+  Ledbat() : Ledbat(Params{}) {}
+  explicit Ledbat(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return Rate::infinite(); }
+  std::string name() const override { return "ledbat"; }
+  void rebase_time(TimeNs delta) override;
+
+  TimeNs base_delay_estimate() const {
+    return base_delay_.peek().value_or(TimeNs::infinite());
+  }
+
+ private:
+  Params params_;
+  double cwnd_pkts_;
+  WindowedMin<TimeNs> base_delay_;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,41 @@
+#include "cc/misc.hpp"
+
+#include <algorithm>
+
+namespace ccstarve {
+
+DelayAimd::DelayAimd(const Params& params)
+    : params_(params), cwnd_pkts_(params.initial_cwnd_pkts) {}
+
+void DelayAimd::on_ack(const AckSample& ack) {
+  if (ack.rtt > TimeNs::zero()) base_rtt_ = ccstarve::min(base_rtt_, ack.rtt);
+
+  const TimeNs queueing = ack.rtt - base_rtt_;
+  if (queueing > params_.delay_threshold && ack.now >= backoff_allowed_at_) {
+    cwnd_pkts_ = std::max(2.0, cwnd_pkts_ * params_.decrease_factor);
+    slow_start_ = false;
+    backoff_allowed_at_ = ack.now + ack.rtt;
+    epoch_end_delivered_ =
+        ack.delivered_bytes + static_cast<uint64_t>(cwnd_pkts_) * kMss;
+    return;
+  }
+
+  if (ack.delivered_bytes >= epoch_end_delivered_) {
+    epoch_end_delivered_ =
+        ack.delivered_bytes + static_cast<uint64_t>(cwnd_pkts_) * kMss;
+    cwnd_pkts_ += slow_start_ ? cwnd_pkts_ : params_.increase_pkts_per_rtt;
+  }
+}
+
+void DelayAimd::on_loss(const LossSample&) {
+  cwnd_pkts_ = std::max(2.0, cwnd_pkts_ * params_.decrease_factor);
+  slow_start_ = false;
+}
+
+uint64_t DelayAimd::cwnd_bytes() const {
+  return static_cast<uint64_t>(cwnd_pkts_ * kMss);
+}
+
+void DelayAimd::rebase_time(TimeNs delta) { backoff_allowed_at_ += delta; }
+
+}  // namespace ccstarve

@@ -1,0 +1,62 @@
+// Small reference CCAs used by the analysis and the test suite:
+//
+//   * ConstCwnd — the paper's "silly" CCA ("set cwnd = 10 always"). It
+//     avoids starvation but is not f-efficient for any f on fast links,
+//     which is exactly why the paper's Definition 4 excludes it.
+//   * DelayAimd — AIMD driven by a delay threshold instead of loss (§6.2's
+//     conjectured route to starvation-freedom: large delay oscillations
+//     encode rate in the *frequency* of backoffs).
+#pragma once
+
+#include "cc/cca.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class ConstCwnd final : public Cca {
+ public:
+  explicit ConstCwnd(double cwnd_pkts = 10.0) : cwnd_pkts_(cwnd_pkts) {}
+
+  void on_ack(const AckSample&) override {}
+  uint64_t cwnd_bytes() const override {
+    return static_cast<uint64_t>(cwnd_pkts_ * kMss);
+  }
+  Rate pacing_rate() const override { return Rate::infinite(); }
+  std::string name() const override { return "const-cwnd"; }
+
+ private:
+  double cwnd_pkts_;
+};
+
+class DelayAimd final : public Cca {
+ public:
+  struct Params {
+    // Back off when queueing delay (RTT - minRTT) exceeds this.
+    TimeNs delay_threshold = TimeNs::millis(40);
+    double increase_pkts_per_rtt = 1.0;
+    double decrease_factor = 0.5;
+    double initial_cwnd_pkts = 4.0;
+  };
+
+  DelayAimd() : DelayAimd(Params{}) {}
+  explicit DelayAimd(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return Rate::infinite(); }
+  std::string name() const override { return "delay-aimd"; }
+  void rebase_time(TimeNs delta) override;
+
+ private:
+  Params params_;
+  double cwnd_pkts_;
+  bool slow_start_ = true;
+  TimeNs base_rtt_ = TimeNs::infinite();
+  uint64_t epoch_end_delivered_ = 0;
+  // Back off at most once per RTT.
+  TimeNs backoff_allowed_at_ = TimeNs::zero();
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,107 @@
+#include "cc/pcc_common.hpp"
+
+namespace ccstarve {
+
+void PccMiTracker::open(TimeNs now, TimeNs duration, Rate target_rate,
+                        int tag) {
+  if (!mis_.empty()) mis_.back().closed = true;
+  Mi mi;
+  mi.start = now;
+  mi.end = now + duration;
+  mi.target_rate = target_rate;
+  mi.tag = tag;
+  mi.report.target_rate = target_rate;
+  mi.report.duration = duration;
+  mi.report.tag = tag;
+  mis_.push_back(std::move(mi));
+}
+
+void PccMiTracker::on_packet_sent(TimeNs now, uint64_t seq, bool retransmit) {
+  if (retransmit) {
+    // A retransmission resolves the original segment as lost in whichever MI
+    // tracked it.
+    for (Mi& mi : mis_) {
+      if (!mi.any_sent || seq < mi.seq_lo || seq >= mi.seq_hi) continue;
+      const size_t idx = static_cast<size_t>((seq - mi.seq_lo) / kMss);
+      if (idx < mi.resolved.size() && !mi.resolved[idx]) {
+        mi.resolved[idx] = true;
+        ++mi.resolved_count;
+      }
+      return;
+    }
+    return;
+  }
+  if (mis_.empty()) return;
+  Mi& mi = mis_.back();
+  if (mi.closed || now >= mi.end) {
+    mi.closed = true;
+    return;
+  }
+  if (!mi.any_sent) {
+    mi.seq_lo = seq;
+    mi.any_sent = true;
+  }
+  if (seq < mi.seq_lo) return;
+  if (seq + kMss > mi.seq_hi) mi.seq_hi = seq + kMss;
+  const size_t idx = static_cast<size_t>((seq - mi.seq_lo) / kMss);
+  if (mi.resolved.size() <= idx) mi.resolved.resize(idx + 1, false);
+  if (mi.report.sent_pkts == 0) mi.report.first_send_at = now;
+  mi.report.last_send_at = now;
+  ++mi.report.sent_pkts;
+}
+
+void PccMiTracker::on_ack(TimeNs now, uint64_t acked_seq, TimeNs rtt) {
+  for (Mi& mi : mis_) {
+    if (!mi.any_sent || acked_seq < mi.seq_lo || acked_seq >= mi.seq_hi) {
+      continue;
+    }
+    const size_t idx = static_cast<size_t>((acked_seq - mi.seq_lo) / kMss);
+    if (idx >= mi.resolved.size() || mi.resolved[idx]) return;
+    mi.resolved[idx] = true;
+    ++mi.resolved_count;
+    ++mi.report.acked_pkts;
+    if (mi.report.first_rtt_at == TimeNs::zero()) {
+      mi.report.first_rtt = rtt;
+      mi.report.first_rtt_at = now;
+    }
+    mi.report.last_rtt = rtt;
+    mi.report.last_rtt_at = now;
+    const double t = (now - mi.report.first_rtt_at).to_seconds();
+    const double r = rtt.to_seconds();
+    mi.report.reg_n += 1.0;
+    mi.report.reg_st += t;
+    mi.report.reg_stt += t * t;
+    mi.report.reg_sr += r;
+    mi.report.reg_str += t * r;
+    return;
+  }
+}
+
+std::optional<MiReport> PccMiTracker::poll_mature(TimeNs now, TimeNs grace) {
+  if (mis_.empty()) return std::nullopt;
+  Mi& mi = mis_.front();
+  const bool ended = mi.closed || now >= mi.end;
+  if (!ended) return std::nullopt;
+  const bool all_resolved =
+      mi.any_sent && mi.resolved_count == mi.report.sent_pkts;
+  const bool deadline = now >= mi.end + grace;
+  if (!all_resolved && !deadline) return std::nullopt;
+  MiReport report = mi.report;
+  mis_.pop_front();
+  return report;
+}
+
+void PccMiTracker::rebase_time(TimeNs delta) {
+  for (Mi& mi : mis_) {
+    mi.start += delta;
+    mi.end += delta;
+    if (mi.report.first_rtt_at != TimeNs::zero()) {
+      mi.report.first_rtt_at += delta;
+    }
+    if (mi.report.last_rtt_at != TimeNs::zero()) {
+      mi.report.last_rtt_at += delta;
+    }
+  }
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,113 @@
+// Shared monitor-interval (MI) machinery for the PCC family.
+//
+// PCC reasons in experiments: it sends at a trial rate for one MI, waits
+// until every packet of that MI has been ACKed or is presumed lost, then
+// scores the MI with a utility function. The tracker here owns that
+// bookkeeping: per-MI segment accounting, RTT-gradient samples, and
+// maturity detection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cc/cca.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+struct MiReport {
+  // The rate PCC was trying during this MI.
+  Rate target_rate = Rate::zero();
+  TimeNs duration = TimeNs::zero();
+  uint64_t sent_pkts = 0;
+  uint64_t acked_pkts = 0;
+  // Actual send span (first to last transmission in the MI); goodput uses
+  // this rather than the nominal duration to avoid boundary quantization.
+  TimeNs first_send_at = TimeNs::zero();
+  TimeNs last_send_at = TimeNs::zero();
+  // First and last RTT samples for packets of this MI.
+  TimeNs first_rtt = TimeNs::zero();
+  TimeNs first_rtt_at = TimeNs::zero();
+  TimeNs last_rtt = TimeNs::zero();
+  TimeNs last_rtt_at = TimeNs::zero();
+  // Least-squares accumulators for the RTT-slope regression (times are
+  // seconds relative to the first sample).
+  double reg_n = 0, reg_st = 0, reg_stt = 0, reg_sr = 0, reg_str = 0;
+  // Opaque tag the CCA attached when opening the MI (trial direction etc.).
+  int tag = 0;
+
+  double loss_rate() const {
+    return sent_pkts == 0
+               ? 0.0
+               : static_cast<double>(sent_pkts - acked_pkts) /
+                     static_cast<double>(sent_pkts);
+  }
+  Rate goodput() const {
+    // Effective interval: send span stretched by n/(n-1) to cover the last
+    // packet's slot; falls back to the nominal duration.
+    TimeNs span = last_send_at - first_send_at;
+    if (sent_pkts >= 2 && span > TimeNs::zero()) {
+      span = span * (static_cast<double>(sent_pkts) /
+                     static_cast<double>(sent_pkts - 1));
+    } else {
+      span = duration;
+    }
+    return span <= TimeNs::zero()
+               ? Rate::zero()
+               : Rate::from_bytes_over(acked_pkts * kMss, span);
+  }
+  // True when the MI carried a congestion signal (delay growth or loss).
+  bool congestion_evidence() const {
+    return rtt_gradient() > 0.0 || acked_pkts < sent_pkts;
+  }
+  // Seconds of RTT change per second of wall time during the MI, from a
+  // least-squares fit over every RTT sample (robust to the packet-grain
+  // quantization that makes a first/last estimator pure noise at low rates).
+  double rtt_gradient() const {
+    if (reg_n < 2) return 0.0;
+    const double denom = reg_n * reg_stt - reg_st * reg_st;
+    if (denom <= 0.0) return 0.0;
+    return (reg_n * reg_str - reg_st * reg_sr) / denom;
+  }
+};
+
+class PccMiTracker {
+ public:
+  // Opens a new MI covering sends in [now, now + duration).
+  void open(TimeNs now, TimeNs duration, Rate target_rate, int tag);
+
+  bool has_open_mi() const { return !mis_.empty() && !mis_.back().closed; }
+  TimeNs open_mi_end() const { return mis_.back().end; }
+
+  // `retransmit` marks the segment as lost for MI accounting (PCC treats a
+  // retransmitted packet of an MI as a loss even if the retransmission is
+  // later delivered).
+  void on_packet_sent(TimeNs now, uint64_t seq, bool retransmit = false);
+  void on_ack(TimeNs now, uint64_t acked_seq, TimeNs rtt);
+
+  // Returns the oldest MI whose packets have all been ACKed or whose
+  // maturity deadline (end + grace) passed; otherwise nullopt.
+  std::optional<MiReport> poll_mature(TimeNs now, TimeNs grace);
+
+  void rebase_time(TimeNs delta);
+
+ private:
+  struct Mi {
+    TimeNs start, end;
+    Rate target_rate;
+    int tag;
+    bool closed = false;  // no longer accepting sends
+    uint64_t seq_lo = 0, seq_hi = 0;
+    bool any_sent = false;
+    // A segment is resolved once ACKed or declared lost (retransmitted).
+    std::vector<bool> resolved;
+    uint64_t resolved_count = 0;
+    MiReport report;
+  };
+
+  std::deque<Mi> mis_;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,37 @@
+#include "cc/reno.hpp"
+
+#include <algorithm>
+
+namespace ccstarve {
+
+NewReno::NewReno(const Params& params)
+    : params_(params),
+      cwnd_pkts_(params.initial_cwnd_pkts),
+      ssthresh_pkts_(params.initial_ssthresh_pkts) {}
+
+void NewReno::on_ack(const AckSample& ack) {
+  if (ack.newly_acked_bytes == 0 || ack.in_recovery) return;
+  const double acked_pkts =
+      static_cast<double>(ack.newly_acked_bytes) / static_cast<double>(kMss);
+  if (in_slow_start()) {
+    cwnd_pkts_ += acked_pkts;
+  } else {
+    cwnd_pkts_ += acked_pkts / cwnd_pkts_;
+  }
+}
+
+void NewReno::on_loss(const LossSample& loss) {
+  if (loss.is_timeout) {
+    ssthresh_pkts_ = std::max(2.0, cwnd_pkts_ / 2.0);
+    cwnd_pkts_ = 1.0;
+  } else {
+    ssthresh_pkts_ = std::max(2.0, cwnd_pkts_ / 2.0);
+    cwnd_pkts_ = ssthresh_pkts_;
+  }
+}
+
+uint64_t NewReno::cwnd_bytes() const {
+  return static_cast<uint64_t>(std::max(1.0, cwnd_pkts_) * kMss);
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,38 @@
+// TCP NewReno (RFC 6582 shape): the classic loss-based AIMD baseline.
+//
+// Not delay-convergent — its equilibrium is a sawtooth whose delay
+// oscillation spans the whole buffer — which is precisely why §5.4 finds its
+// unfairness under ACK burstiness *bounded* (~3x) rather than unbounded.
+#pragma once
+
+#include "cc/cca.hpp"
+
+namespace ccstarve {
+
+class NewReno final : public Cca {
+ public:
+  struct Params {
+    double initial_cwnd_pkts = 4.0;
+    double initial_ssthresh_pkts = 1e9;
+  };
+
+  NewReno() : NewReno(Params{}) {}
+  explicit NewReno(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return Rate::infinite(); }
+  std::string name() const override { return "newreno"; }
+
+  double cwnd_pkts() const { return cwnd_pkts_; }
+  bool in_slow_start() const { return cwnd_pkts_ < ssthresh_pkts_; }
+
+ private:
+  Params params_;
+  double cwnd_pkts_;
+  double ssthresh_pkts_;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,75 @@
+#include "cc/vegas.hpp"
+
+#include <algorithm>
+
+namespace ccstarve {
+
+Vegas::Vegas(const Params& params)
+    : params_(params), cwnd_pkts_(params.initial_cwnd_pkts) {}
+
+void Vegas::on_ack(const AckSample& ack) {
+  if (ack.in_recovery) return;
+  if (ack.rtt > TimeNs::zero()) {
+    base_rtt_ = ccstarve::min(base_rtt_, ack.rtt);
+    epoch_min_rtt_ = ccstarve::min(epoch_min_rtt_, ack.rtt);
+    latest_rtt_ = ack.rtt;
+  }
+  if (ack.delivered_bytes >= epoch_end_delivered_) {
+    end_epoch(ack);
+  }
+}
+
+void Vegas::end_epoch(const AckSample& ack) {
+  // Arm the next epoch: one window's worth of data from here.
+  epoch_end_delivered_ =
+      ack.delivered_bytes + static_cast<uint64_t>(cwnd_pkts_) * kMss;
+
+  if (epoch_min_rtt_.is_infinite() || base_rtt_.is_infinite()) return;
+  const TimeNs rtt = epoch_min_rtt_;
+  epoch_min_rtt_ = TimeNs::infinite();
+
+  // Estimated packets sitting in the bottleneck queue:
+  //   Diff = (Expected - Actual) * BaseRTT = W * (RTT - BaseRTT) / RTT.
+  const double diff =
+      cwnd_pkts_ * (rtt - base_rtt_).to_seconds() / rtt.to_seconds();
+  last_diff_ = diff;
+
+  if (slow_start_) {
+    if (diff > 1.0) {
+      // Exit slow start as soon as a packet of standing queue appears and
+      // clamp the window to the pipe estimate plus the target backlog —
+      // Vegas's congestion-detection-during-slow-start (without it, the
+      // doubling overshoot would take hundreds of AIAD RTTs to drain).
+      slow_start_ = false;
+      // Clamp against the *latest* RTT: at high BDP the epoch minimum was
+      // sampled before the overshoot queue built, and using it would leave
+      // a standing queue that AIAD takes thousands of RTTs to drain.
+      const TimeNs now_rtt = ccstarve::max(latest_rtt_, rtt);
+      const double pipe_pkts =
+          cwnd_pkts_ * base_rtt_.to_seconds() / now_rtt.to_seconds();
+      cwnd_pkts_ = std::max(2.0, pipe_pkts + params_.alpha_pkts);
+      return;
+    }
+    // Double every other RTT, as Vegas does.
+    if ((ss_epoch_++ & 1) == 0) cwnd_pkts_ *= 2.0;
+    return;
+  }
+  if (diff < params_.alpha_pkts) {
+    cwnd_pkts_ += 1.0;
+  } else if (diff > params_.beta_pkts) {
+    cwnd_pkts_ -= 1.0;
+  }
+  cwnd_pkts_ = std::max(cwnd_pkts_, 2.0);
+}
+
+void Vegas::on_loss(const LossSample& loss) {
+  // Vegas halves on loss like Reno; rare on the ideal paths studied here.
+  cwnd_pkts_ = std::max(2.0, cwnd_pkts_ * (loss.is_timeout ? 0.25 : 0.5));
+  slow_start_ = false;
+}
+
+uint64_t Vegas::cwnd_bytes() const {
+  return static_cast<uint64_t>(cwnd_pkts_ * kMss);
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,55 @@
+// TCP Vegas (Brakmo & Peterson, SIGCOMM 1994).
+//
+// The canonical delay-convergent CCA: it tries to keep between `alpha` and
+// `beta` packets queued at the bottleneck. On an ideal path it converges to
+// RTT = Rm + alpha_pkts * MSS / C with delta(C) = 0 — the flattest curve in
+// the paper's Figure 3 and therefore the most starvation-prone shape.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/cca.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Vegas final : public Cca {
+ public:
+  struct Params {
+    // Lower/upper bound on the target number of queued packets.
+    double alpha_pkts = 4.0;
+    double beta_pkts = 6.0;
+    double initial_cwnd_pkts = 4.0;
+  };
+
+  Vegas() : Vegas(Params{}) {}
+  explicit Vegas(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return Rate::infinite(); }
+  std::string name() const override { return "vegas"; }
+
+  double base_rtt_seconds() const { return base_rtt_.to_seconds(); }
+  // Current estimate of packets queued at the bottleneck.
+  double diff_pkts() const { return last_diff_; }
+
+ private:
+  void end_epoch(const AckSample& ack);
+
+  Params params_;
+  double cwnd_pkts_;
+  bool slow_start_ = true;
+  TimeNs base_rtt_ = TimeNs::infinite();
+
+  // Per-RTT measurement epoch, delimited by delivered-byte marks.
+  uint64_t epoch_end_delivered_ = 0;
+  TimeNs epoch_min_rtt_ = TimeNs::infinite();
+  TimeNs latest_rtt_ = TimeNs::zero();
+  double last_diff_ = 0.0;
+  uint64_t ss_epoch_ = 0;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,128 @@
+#include "cc/verus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccstarve {
+
+Verus::Verus(const Params& params)
+    : params_(params),
+      cwnd_pkts_(params.initial_cwnd_pkts),
+      min_rtt_(params.min_rtt_window) {}
+
+int Verus::bucket_of(double cwnd_pkts) const {
+  const double clamped = std::clamp(cwnd_pkts, 1.0, kMaxPkts);
+  const double frac = std::log2(clamped) / std::log2(kMaxPkts);
+  return std::clamp(static_cast<int>(frac * (kBuckets - 1)), 0, kBuckets - 1);
+}
+
+double Verus::bucket_center(int bucket) const {
+  const double frac = static_cast<double>(bucket) / (kBuckets - 1);
+  return std::pow(2.0, frac * std::log2(kMaxPkts));
+}
+
+double Verus::profiled_delay(double cwnd_pkts) const {
+  // Nearest set bucket at or below; falls back to the raw minimum RTT.
+  for (int b = bucket_of(cwnd_pkts); b >= 0; --b) {
+    if (profile_set_[static_cast<size_t>(b)]) {
+      return profile_s_[static_cast<size_t>(b)];
+    }
+  }
+  const auto mn = min_rtt_.peek();
+  return mn ? mn->to_seconds() : 0.0;
+}
+
+double Verus::inverse_profile(double target_s) const {
+  double best = 2.0;  // never below two packets
+  for (int b = 0; b < kBuckets; ++b) {
+    if (!profile_set_[static_cast<size_t>(b)]) continue;
+    if (profile_s_[static_cast<size_t>(b)] <= target_s) {
+      best = std::max(best, bucket_center(b));
+    }
+  }
+  return best;
+}
+
+void Verus::on_ack(const AckSample& ack) {
+  if (ack.rtt <= TimeNs::zero() || ack.in_recovery) return;
+  min_rtt_.update(ack.rtt, ack.now);
+  epoch_max_rtt_ = ccstarve::max(epoch_max_rtt_, ack.rtt);
+
+  // Learn the profile from the (window, delay) pair of this ACK.
+  const int b = bucket_of(cwnd_pkts_);
+  auto& cell = profile_s_[static_cast<size_t>(b)];
+  if (!profile_set_[static_cast<size_t>(b)]) {
+    cell = ack.rtt.to_seconds();
+    profile_set_[static_cast<size_t>(b)] = true;
+  } else {
+    cell += 0.2 * (ack.rtt.to_seconds() - cell);
+  }
+
+  // React to a threshold breach immediately (Verus's delay guard), at most
+  // once per epoch; waiting for the epoch boundary lets the overshoot
+  // compound.
+  const auto mn = min_rtt_.get(ack.now);
+  if (mn && ack.rtt.to_seconds() > params_.r_ratio * mn->to_seconds() &&
+      ack.now >= md_allowed_at_) {
+    cwnd_pkts_ = std::max(2.0, cwnd_pkts_ * params_.decrease_factor);
+    target_delay_s_ = std::max(mn->to_seconds() * 1.05,
+                               target_delay_s_ * params_.decrease_factor);
+    slow_start_ = false;
+    md_allowed_at_ = ack.now + params_.epoch;
+  }
+
+  if (ack.now >= epoch_end_) end_epoch(ack);
+}
+
+void Verus::end_epoch(const AckSample& ack) {
+  epoch_end_ = ack.now + params_.epoch;
+  const TimeNs epoch_max = epoch_max_rtt_;
+  epoch_max_rtt_ = TimeNs::zero();
+  const auto mn = min_rtt_.get(ack.now);
+  if (!mn || epoch_max <= TimeNs::zero()) return;
+  const double d_min = mn->to_seconds();
+
+  if (target_delay_s_ == 0.0) target_delay_s_ = d_min * 1.2;
+
+  if (epoch_max.to_seconds() > params_.r_ratio * d_min) {
+    return;  // the per-ACK guard already reacted this epoch
+  }
+
+  if (slow_start_) {
+    cwnd_pkts_ *= 1.5;
+    return;
+  }
+
+  // Nudge the delay target: shrinking delay -> room to ask for more.
+  if (epoch_max <= prev_epoch_max_) {
+    target_delay_s_ += params_.delta_up * d_min;
+  } else {
+    target_delay_s_ -= params_.delta_down * d_min;
+  }
+  prev_epoch_max_ = epoch_max;
+  target_delay_s_ =
+      std::clamp(target_delay_s_, d_min * 1.10, d_min * params_.r_ratio);
+
+  // Read the next window off the learned inverse profile, rate-limited to
+  // one doubling (or halving) per epoch.
+  const double want = inverse_profile(target_delay_s_);
+  cwnd_pkts_ = std::clamp(want, cwnd_pkts_ * 0.7, cwnd_pkts_ * 1.25);
+  cwnd_pkts_ = std::max(cwnd_pkts_, 2.0);
+}
+
+void Verus::on_loss(const LossSample& loss) {
+  cwnd_pkts_ = std::max(2.0, cwnd_pkts_ * (loss.is_timeout ? 0.25 : 0.7));
+  slow_start_ = false;
+}
+
+uint64_t Verus::cwnd_bytes() const {
+  return static_cast<uint64_t>(cwnd_pkts_ * kMss);
+}
+
+void Verus::rebase_time(TimeNs delta) {
+  min_rtt_.rebase_time(delta);
+  epoch_end_ += delta;
+  md_allowed_at_ += delta;
+}
+
+}  // namespace ccstarve

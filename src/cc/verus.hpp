@@ -1,0 +1,81 @@
+// Verus (Zaki et al., SIGCOMM 2015) — the delay-profile CCA the paper lists
+// among the delay-convergent algorithms (§2.2; it filters with *maximums*
+// of RTT, the opposite choice from Copa/LEDBAT's minimums).
+//
+// Simplified from the paper:
+//   * a continuously-learned *delay profile* maps sending window ->
+//     expected delay (log-bucketed EWMA of (cwnd, RTT) observations);
+//   * every epoch the max RTT seen is compared against R * minRTT: above
+//     the ratio -> multiplicative decrease; below -> the delay *target*
+//     is nudged up (delay shrinking: room to grow) or down (delay grew),
+//     and the next window is read off the inverse profile.
+// On an ideal path the delay stays bounded (a few multiples of minRTT) with
+// a visibly large oscillation — matching the original's cellular traces —
+// which still makes it delay-convergent by Definition 1 and therefore
+// inside Theorem 1's blast radius.
+#pragma once
+
+#include <array>
+
+#include "cc/cca.hpp"
+#include "util/filters.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Verus final : public Cca {
+ public:
+  struct Params {
+    // Multiplicative-decrease trigger: epoch max RTT > R * min RTT.
+    double r_ratio = 2.0;
+    double decrease_factor = 0.7;
+    // Target-delay nudge per epoch, as a fraction of min RTT.
+    double delta_up = 0.08;
+    double delta_down = 0.08;
+    TimeNs epoch = TimeNs::millis(25);
+    double initial_cwnd_pkts = 4.0;
+    TimeNs min_rtt_window = TimeNs::seconds(60);
+  };
+
+  Verus() : Verus(Params{}) {}
+  explicit Verus(const Params& params);
+
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return Rate::infinite(); }
+  std::string name() const override { return "verus"; }
+  void rebase_time(TimeNs delta) override;
+
+  double target_delay_seconds() const { return target_delay_s_; }
+  // Profiled delay for a window (exposed for tests).
+  double profiled_delay(double cwnd_pkts) const;
+
+ private:
+  static constexpr int kBuckets = 48;
+  static constexpr double kMaxPkts = 1 << 14;
+
+  int bucket_of(double cwnd_pkts) const;
+  double bucket_center(int bucket) const;
+  void end_epoch(const AckSample& ack);
+  // Largest window whose profiled delay stays at or below the target.
+  double inverse_profile(double target_s) const;
+
+  Params params_;
+  double cwnd_pkts_;
+  bool slow_start_ = true;
+
+  WindowedMin<TimeNs> min_rtt_;
+  TimeNs epoch_end_ = TimeNs::zero();
+  TimeNs md_allowed_at_ = TimeNs::zero();
+  TimeNs epoch_max_rtt_ = TimeNs::zero();
+  TimeNs prev_epoch_max_ = TimeNs::zero();
+  double target_delay_s_ = 0.0;
+
+  // Delay profile: EWMA of observed RTT per log-spaced window bucket.
+  std::array<double, kBuckets> profile_s_{};
+  std::array<bool, kBuckets> profile_set_{};
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,194 @@
+#include "cc/vivace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccstarve {
+
+Vivace::Vivace(const Params& params)
+    : params_(params),
+      rng_(params.seed),
+      base_rate_(params.initial_rate),
+      sending_rate_(params.initial_rate) {}
+
+double Vivace::utility(const MiReport& mi) const {
+  const double x = mi.goodput().to_mbps();
+  // Deadband at half the per-packet quantization scale: RTT samples move in
+  // steps of one transmission time, so slopes below tx_time/(2*duration)
+  // are indistinguishable from noise.
+  const double quantum =
+      mi.target_rate.bits_per_sec() > 0.0
+          ? (kMss * 8.0 / mi.target_rate.bits_per_sec()) /
+                (2.0 * std::max(mi.duration.to_seconds(), 1e-3))
+          : 0.0;
+  double grad = mi.rtt_gradient();
+  grad = grad > quantum ? grad - quantum : 0.0;
+  const double loss = mi.loss_rate();
+  return std::pow(std::max(x, 0.0), params_.throughput_exponent) -
+         params_.latency_coeff * x * grad - params_.loss_coeff * x * loss;
+}
+
+void Vivace::on_packet_sent(TimeNs now, uint64_t seq, uint32_t /*bytes*/,
+                            uint64_t /*inflight*/, bool retransmit) {
+  tracker_.on_packet_sent(now, seq, retransmit);
+  maybe_open_mi(now);
+}
+
+void Vivace::on_loss(const LossSample&) {
+  // Losses surface through MI accounting (unresolved segments); nothing to
+  // do here. Vivace has no loss-triggered window cut.
+}
+
+void Vivace::on_ack(const AckSample& ack) {
+  srtt_.update(ack.rtt.to_seconds());
+  min_rtt_.update(ack.rtt, ack.now);
+  tracker_.on_ack(ack.now, ack.acked_seq, ack.rtt);
+
+  if (phase_ == Phase::kDrain) {
+    // Hold at half the measured delivery rate until the slow-start queue is
+    // gone, then hand the operating point to the online learner.
+    const double floor =
+        min_rtt_.peek() ? min_rtt_.peek()->to_seconds() : 0.05;
+    if (ack.rtt.to_seconds() < 1.2 * floor) {
+      base_rate_ = drain_exit_rate_;
+      phase_ = Phase::kOnline;
+    }
+  }
+
+  const TimeNs grace =
+      TimeNs::seconds(std::max(2.0 * srtt_.value(), 0.01));
+  while (auto mi = tracker_.poll_mature(ack.now, grace)) {
+    on_mi_mature(*mi);
+  }
+  maybe_open_mi(ack.now);
+}
+
+void Vivace::maybe_open_mi(TimeNs now) {
+  if (tracker_.has_open_mi() && now < tracker_.open_mi_end()) return;
+  // MIs are sized by the propagation RTT estimate (windowed min), not the
+  // inflated smoothed RTT: during bufferbloat the control loop must keep
+  // deciding at path cadence rather than queue cadence.
+  const double rtt = min_rtt_.peek()
+                         ? min_rtt_.peek()->to_seconds()
+                         : (srtt_.initialized() ? srtt_.value() : 0.05);
+  // At least one propagation RTT, and long enough to carry ~20 packets so
+  // per-MI goodput and loss estimates are not quantization noise.
+  const double pkt_floor_s =
+      20.0 * kMss / std::max(base_rate_.bytes_per_second(), 1.0);
+  const TimeNs dur =
+      TimeNs::seconds(std::max({rtt, pkt_floor_s, 0.005}));
+
+  if (phase_ == Phase::kSlowStart || phase_ == Phase::kDrain) {
+    sending_rate_ = base_rate_;
+    tracker_.open(now, dur, sending_rate_, kTagStartup);
+    return;
+  }
+
+  // Online learning: alternate the two trial MIs of the current pair.
+  if (trials_outstanding_ == 0) {
+    trial_plus_first_ = rng_.bernoulli(0.5);
+    trials_outstanding_ = 2;
+  }
+  const bool plus = trials_outstanding_ == 2 ? trial_plus_first_
+                                             : !trial_plus_first_;
+  --trials_outstanding_;
+  const double factor = plus ? 1.0 + params_.trial_eps : 1.0 - params_.trial_eps;
+  sending_rate_ = ccstarve::max(params_.min_rate, base_rate_ * factor);
+  tracker_.open(now, dur, sending_rate_, plus ? kTagPlus : kTagMinus);
+}
+
+void Vivace::on_mi_mature(const MiReport& mi) {
+  const double u = utility(mi);
+  if (phase_ == Phase::kSlowStart) {
+    // A single noisy MI must not end the ramp: exit requires a clear (>20%)
+    // utility drop below the best seen so far.
+    if (!have_prev_utility_ || u > 0.8 * prev_utility_) {
+      prev_utility_ = std::max(u, prev_utility_);
+      have_prev_utility_ = true;
+      base_rate_ = ccstarve::min(base_rate_ * 2.0, params_.max_rate);
+    } else {
+      // Exit via a drain phase at half the *measured* goodput — the
+      // latency-gradient utility exerts no pressure on a static queue, so
+      // the slow-start overshoot must be drained explicitly before the
+      // learner takes over near the measured capacity.
+      const Rate anchor = ccstarve::min(base_rate_, mi.goodput());
+      drain_exit_rate_ = ccstarve::max(anchor, params_.min_rate);
+      base_rate_ = ccstarve::max(anchor * 0.5, params_.min_rate);
+      phase_ = Phase::kDrain;
+    }
+    return;
+  }
+  if (phase_ == Phase::kDrain) return;
+  if (mi.tag == kTagPlus) {
+    utility_plus_ = u;
+    have_plus_ = true;
+  } else if (mi.tag == kTagMinus) {
+    utility_minus_ = u;
+    have_minus_ = true;
+  }
+  pair_congestion_ |= mi.congestion_evidence();
+  if (have_plus_ && have_minus_) {
+    decide(utility_plus_, utility_minus_, pair_congestion_);
+    have_plus_ = have_minus_ = false;
+    pair_congestion_ = false;
+  }
+}
+
+void Vivace::decide(double utility_plus, double utility_minus,
+                    bool congestion_evidence) {
+  const double r = base_rate_.to_mbps();
+  if (utility_plus < 0.0 && utility_minus < 0.0) {
+    // Both trials scored negative utility: the A/B gradient is blind (both
+    // saturated the path), but the sign alone proves overload. Back off
+    // multiplicatively until the utility surfaces again.
+    base_rate_ = ccstarve::max(base_rate_ * 0.7, params_.min_rate);
+    amplifier_ = 1;
+    prev_gradient_sign_ = 0.0;
+    return;
+  }
+  const double denom = 2.0 * params_.trial_eps * std::max(r, 1e-6);
+  const double gradient = (utility_plus - utility_minus) / denom;
+
+  const double sign = gradient > 0 ? 1.0 : (gradient < 0 ? -1.0 : 0.0);
+  if (sign != 0.0 && sign == prev_gradient_sign_) {
+    amplifier_ = std::min(amplifier_ + 1, params_.max_amplifier);
+  } else {
+    amplifier_ = 1;
+  }
+  prev_gradient_sign_ = sign;
+
+  double step = static_cast<double>(amplifier_) * params_.step_theta_mbps *
+                gradient;
+  // Swing boundary, asymmetric: upswings stay cautious (feedback about an
+  // overshoot arrives a full queue-inflated RTT later), downswings grow
+  // geometrically so a runaway queue drains in a handful of decisions.
+  const double up = (0.05 + 0.02 * amplifier_) * std::max(r, 1.0);
+  // The aggressive downswing is reserved for decisions backed by an actual
+  // congestion signal; throughput-term noise alone moves the rate gently.
+  const double down =
+      congestion_evidence
+          ? std::min(0.05 * std::pow(2.0, amplifier_ - 1), 0.5) *
+                std::max(r, 1.0)
+          : up;
+  step = std::clamp(step, -down, up);
+
+  base_rate_ = Rate::mbps(std::clamp(r + step, params_.min_rate.to_mbps(),
+                                     params_.max_rate.to_mbps()));
+}
+
+uint64_t Vivace::cwnd_bytes() const {
+  // Inflight safety cap (the kernel module rides on TCP's window): a few
+  // BDPs at the trial rate. Only binds under pathological overload.
+  const double floor_s =
+      min_rtt_.peek() ? min_rtt_.peek()->to_seconds() : 0.1;
+  const double cap =
+      2.5 * sending_rate_.bytes_per_second() * (floor_s + 0.1);
+  return static_cast<uint64_t>(std::max(cap, 10.0 * kMss));
+}
+
+void Vivace::rebase_time(TimeNs delta) {
+  tracker_.rebase_time(delta);
+  min_rtt_.rebase_time(delta);
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,89 @@
+// PCC Vivace (Dong et al., NSDI 2018): gradient-ascent online learning on
+// the utility u(x) = x^0.9 - b * x * max(0, dRTT/dt) - c * x * L.
+//
+// Each decision runs two trial monitor intervals at rate*(1±eps) (order
+// randomized) and steps the rate along the measured utility gradient with a
+// confidence amplifier. On an ideal link Vivace converges to full
+// utilization with queueing oscillating between ~Rm and ~1.05 Rm
+// (delta_max = Rm/20; paper Fig. 3). It never compares delays across flows,
+// which is why quantized ACK delivery to *one* flow (§5.3) starves it.
+#pragma once
+
+#include "cc/cca.hpp"
+#include "cc/pcc_common.hpp"
+#include "util/filters.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Vivace final : public Cca {
+ public:
+  struct Params {
+    double throughput_exponent = 0.9;  // t in x^t
+    double latency_coeff = 900.0;      // b
+    double loss_coeff = 11.35;         // c
+    double trial_eps = 0.05;           // ±5% rate trials
+    double step_theta_mbps = 1.0;      // base gradient step
+    int max_amplifier = 6;
+    Rate min_rate = Rate::kbps(100);
+    Rate max_rate = Rate::gbps(20);
+    Rate initial_rate = Rate::mbps(2);
+    uint64_t seed = 7;
+  };
+
+  Vivace() : Vivace(Params{}) {}
+  explicit Vivace(const Params& params);
+
+  void on_packet_sent(TimeNs now, uint64_t seq, uint32_t bytes,
+                      uint64_t inflight, bool retransmit) override;
+  void on_ack(const AckSample& ack) override;
+  void on_loss(const LossSample& loss) override;
+
+  uint64_t cwnd_bytes() const override;
+  Rate pacing_rate() const override { return sending_rate_; }
+  std::string name() const override { return "pcc-vivace"; }
+  void rebase_time(TimeNs delta) override;
+
+  Rate base_rate() const { return base_rate_; }
+  bool in_slow_start() const { return phase_ == Phase::kSlowStart; }
+
+  // Utility of a finished MI under this Vivace's parameters (exposed so the
+  // tests can probe the utility landscape directly).
+  double utility(const MiReport& mi) const;
+
+ private:
+  enum class Phase { kSlowStart, kDrain, kOnline };
+  enum MiTag { kTagStartup = 0, kTagPlus = 1, kTagMinus = 2 };
+
+  void maybe_open_mi(TimeNs now);
+  void on_mi_mature(const MiReport& mi);
+  void decide(double utility_plus, double utility_minus,
+              bool congestion_evidence);
+
+  Params params_;
+  Rng rng_;
+  PccMiTracker tracker_;
+  Phase phase_ = Phase::kSlowStart;
+
+  Rate base_rate_;     // the learner's current operating point
+  Rate sending_rate_;  // what the pacer uses right now (trial rate)
+  Ewma srtt_{1.0 / 4.0};
+  WindowedMin<TimeNs> min_rtt_{TimeNs::seconds(10)};
+
+  // Slow-start bookkeeping.
+  double prev_utility_ = 0.0;
+  bool have_prev_utility_ = false;
+
+  // Online-learning bookkeeping.
+  bool trial_plus_first_ = true;
+  int trials_outstanding_ = 0;
+  double utility_plus_ = 0.0, utility_minus_ = 0.0;
+  bool have_plus_ = false, have_minus_ = false;
+  int amplifier_ = 1;
+  double prev_gradient_sign_ = 0.0;
+  Rate drain_exit_rate_ = Rate::mbps(1);
+  bool pair_congestion_ = false;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,33 @@
+#include "core/equilibrium.hpp"
+
+namespace ccstarve {
+
+TimeNs vegas_equilibrium_rtt(Rate c, TimeNs rm, int n_flows,
+                             double alpha_pkts) {
+  return rm + c.transmission_time(static_cast<uint64_t>(
+                  n_flows * alpha_pkts * kMss));
+}
+
+TimeNs bbr_cwnd_limited_rtt(Rate c, TimeNs rm, int n_flows,
+                            double quanta_pkts) {
+  return rm * 2.0 + c.transmission_time(static_cast<uint64_t>(
+                        n_flows * quanta_pkts * kMss));
+}
+
+Rate bbr_cwnd_limited_rate(TimeNs rtt, TimeNs rm, double quanta_pkts) {
+  const TimeNs excess = rtt - rm * 2.0;
+  if (excess <= TimeNs::zero()) return Rate::infinite();
+  return Rate::from_bytes_over(
+      static_cast<uint64_t>(quanta_pkts * kMss), excess);
+}
+
+TimeNs copa_delta(Rate c) { return c.transmission_time(4 * kMss); }
+
+Rate vegas_family_mu(TimeNs rtt, TimeNs rm, double alpha_pkts) {
+  const TimeNs queueing = rtt - rm;
+  if (queueing <= TimeNs::zero()) return Rate::infinite();
+  return Rate::from_bytes_over(static_cast<uint64_t>(alpha_pkts * kMss),
+                               queueing);
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,32 @@
+// Closed-form equilibria the paper derives in §5 — used by the test suite to
+// validate that the packet-level CCA implementations reach the fixed points
+// the theory predicts (our substitute for validating against kernel code).
+#pragma once
+
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+// Vegas/FAST/Copa-family equilibrium RTT with n flows each holding
+// alpha_pkts packets in the queue: Rm + n*alpha*MSS/C (§5.2's comparison).
+TimeNs vegas_equilibrium_rtt(Rate c, TimeNs rm, int n_flows,
+                             double alpha_pkts);
+
+// BBR cwnd-limited equilibrium RTT: 2*Rm + n*alpha*MSS/C (§5.2).
+TimeNs bbr_cwnd_limited_rtt(Rate c, TimeNs rm, int n_flows,
+                            double quanta_pkts);
+
+// BBR cwnd-limited per-flow sending rate as a function of the prevailing
+// RTT: quanta/(RTT - 2*Rm) (§5.2; diverges as RTT -> 2*Rm).
+Rate bbr_cwnd_limited_rate(TimeNs rtt, TimeNs rm, double quanta_pkts);
+
+// Copa's converged delay oscillation: delta(C) ~ 4*MSS/C seconds
+// (the paper's "4 alpha / C" with alpha = packet size; < 0.5 ms at
+// 96 Mbit/s).
+TimeNs copa_delta(Rate c);
+
+// Vegas-family rate-delay mapping mu(d) = alpha/(d - Rm) (§6.3).
+Rate vegas_family_mu(TimeNs rtt, TimeNs rm, double alpha_pkts);
+
+}  // namespace ccstarve

@@ -1,0 +1,41 @@
+#include "core/fairness.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace ccstarve {
+
+FairnessReport measure_fairness(const Scenario& sc, TimeNs from, TimeNs to) {
+  FairnessReport report;
+  double total = 0.0, lo = 1e300, hi = 0.0;
+  for (size_t i = 0; i < sc.flow_count(); ++i) {
+    const double mbps = sc.throughput(i, from, to).to_mbps();
+    report.throughput_mbps.push_back(mbps);
+    total += mbps;
+    lo = std::min(lo, mbps);
+    hi = std::max(hi, mbps);
+  }
+  report.ratio = lo > 0.0 ? hi / lo : (hi > 0.0 ? 1e9 : 1.0);
+  report.jain = jain_index(report.throughput_mbps);
+  if (sc.has_bottleneck()) {
+    report.utilization = total / sc.link().rate().to_mbps();
+  }
+  return report;
+}
+
+SFairnessVerdict check_s_fairness(const Scenario& sc, double s, TimeNs from,
+                                  TimeNs to, int windows) {
+  SFairnessVerdict v{true, 1.0};
+  for (int w = 0; w < windows; ++w) {
+    // Suffix windows [from + k*(to-from)/windows, to].
+    const TimeNs start =
+        from + (to - from) * (static_cast<double>(w) / windows);
+    const FairnessReport r = measure_fairness(sc, start, to);
+    v.worst_suffix_ratio = std::max(v.worst_suffix_ratio, r.ratio);
+  }
+  v.s_fair = v.worst_suffix_ratio < s;
+  return v;
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,36 @@
+// Fairness and starvation metrics (paper §4.2, Definitions 2–3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+struct FairnessReport {
+  // Per-flow throughput over the measurement window, Mbit/s.
+  std::vector<double> throughput_mbps;
+  // max/min throughput ratio (the paper reports e.g. 107/8.3 ~ 13:1).
+  double ratio = 1.0;
+  double jain = 1.0;
+  // Sum of throughputs / link rate (NaN-free; 0 if unknown link rate).
+  double utilization = 0.0;
+};
+
+// Throughputs measured over [from, to]; link rate taken from the scenario's
+// bottleneck (0 utilization when using a delay-server link).
+FairnessReport measure_fairness(const Scenario& sc, TimeNs from, TimeNs to);
+
+// Definition 2 check over a trajectory: the network is s-fair iff there is a
+// time t after which the running-throughput ratio stays below s. We test the
+// empirical analogue: the ratio over every suffix window of the run.
+struct SFairnessVerdict {
+  bool s_fair;
+  double worst_suffix_ratio;
+};
+SFairnessVerdict check_s_fairness(const Scenario& sc, double s, TimeNs from,
+                                  TimeNs to, int windows = 8);
+
+}  // namespace ccstarve

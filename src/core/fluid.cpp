@@ -1,0 +1,119 @@
+#include "core/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccstarve {
+
+double FluidJitterAware::dwdt(double w, double rtt, double) const {
+  const double mu = w / rtt;  // current rate, bytes/s
+  const double exponent =
+      (p_.rmax.to_seconds() - (rtt - p_.rm.to_seconds())) /
+      p_.d.to_seconds();
+  const double target = p_.mu_minus_bytes_per_s * std::pow(p_.s, exponent);
+  double dmu_dt;
+  if (mu < target) {
+    dmu_dt = p_.a_bytes_per_s_per_rtt / p_.rm.to_seconds();
+  } else {
+    // mu *= b once per Rm  ->  dmu/dt = -(1-b)*mu/Rm.
+    dmu_dt = -(1.0 - p_.b) * mu / p_.rm.to_seconds();
+  }
+  // w = mu * rtt; treat rtt as slowly varying within a step.
+  return dmu_dt * rtt;
+}
+
+namespace {
+
+struct State {
+  std::vector<double> w;  // windows, bytes
+  double q;               // queueing delay, seconds
+};
+
+// d/dt of the full state under the shared-queue fluid model.
+State derivative(const State& s, const std::vector<FluidFlowSpec>& flows,
+                 double capacity_bytes_per_s) {
+  State d;
+  d.w.resize(s.w.size());
+  double sum_rate = 0.0;
+  std::vector<double> rates(s.w.size());
+  for (size_t i = 0; i < s.w.size(); ++i) {
+    const double rtt =
+        flows[i].rm.to_seconds() + flows[i].eta.to_seconds() + s.q;
+    rates[i] = s.w[i] / rtt;
+    sum_rate += rates[i];
+  }
+  for (size_t i = 0; i < s.w.size(); ++i) {
+    const double rtt =
+        flows[i].rm.to_seconds() + flows[i].eta.to_seconds() + s.q;
+    d.w[i] = flows[i].cca->dwdt(s.w[i], rtt, rates[i]);
+  }
+  d.q = (sum_rate - capacity_bytes_per_s) / capacity_bytes_per_s;
+  // Reflecting boundary at q = 0.
+  if (s.q <= 0.0 && d.q < 0.0) d.q = 0.0;
+  return d;
+}
+
+State axpy(const State& a, const State& b, double h) {
+  State out = a;
+  for (size_t i = 0; i < a.w.size(); ++i) out.w[i] += h * b.w[i];
+  out.q = std::max(0.0, out.q + h * b.q);
+  for (double& w : out.w) w = std::max(w, static_cast<double>(kMss));
+  return out;
+}
+
+}  // namespace
+
+FluidResult run_fluid(const std::vector<FluidFlowSpec>& flows,
+                      const FluidConfig& config) {
+  FluidResult out;
+  out.rate_mbps.resize(flows.size());
+  out.rtt_seconds.resize(flows.size());
+
+  State s;
+  s.q = 0.0;
+  for (const FluidFlowSpec& f : flows) {
+    s.w.push_back(f.initial_window_bytes);
+  }
+
+  const double cap = config.link_rate.bytes_per_second();
+  const double h = config.dt.to_seconds();
+  TimeNs t = TimeNs::zero();
+  TimeNs next_sample = TimeNs::zero();
+
+  while (t < config.duration) {
+    if (t >= next_sample) {
+      for (size_t i = 0; i < flows.size(); ++i) {
+        const double rtt =
+            flows[i].rm.to_seconds() + flows[i].eta.to_seconds() + s.q;
+        out.rate_mbps[i].add(t, s.w[i] / rtt * 8.0 / 1e6);
+        out.rtt_seconds[i].add(t, rtt);
+      }
+      out.queue_seconds.add(t, s.q);
+      next_sample = t + config.sample_every;
+    }
+    // Classic RK4.
+    const State k1 = derivative(s, flows, cap);
+    const State k2 = derivative(axpy(s, k1, h / 2.0), flows, cap);
+    const State k3 = derivative(axpy(s, k2, h / 2.0), flows, cap);
+    const State k4 = derivative(axpy(s, k3, h), flows, cap);
+    State step;
+    step.w.resize(s.w.size());
+    for (size_t i = 0; i < s.w.size(); ++i) {
+      step.w[i] = (k1.w[i] + 2 * k2.w[i] + 2 * k3.w[i] + k4.w[i]) / 6.0;
+    }
+    step.q = (k1.q + 2 * k2.q + 2 * k3.q + k4.q) / 6.0;
+    s = axpy(s, step, h);
+    t += config.dt;
+  }
+
+  for (size_t i = 0; i < flows.size(); ++i) {
+    const double rtt =
+        flows[i].rm.to_seconds() + flows[i].eta.to_seconds() + s.q;
+    out.final_rate_mbps.push_back(s.w[i] / rtt * 8.0 / 1e6);
+    out.final_rtt_s.push_back(rtt);
+  }
+  out.final_queue_s = s.q;
+  return out;
+}
+
+}  // namespace ccstarve

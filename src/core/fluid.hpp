@@ -1,0 +1,123 @@
+// Fluid (ODE) models of the CCAs' window dynamics — the analytical
+// counterpart to the packet-level emulator, used to cross-validate the
+// equilibria the paper derives in §5 (and that our packet implementations
+// must reach):
+//
+//   Vegas family:  dw/dt ~ sign(alpha - w*q/RTT)          -> q* = alpha/C
+//   BBR (cwnd-limited): w = 2*xhat*Rm + quanta, xhat -> x -> x* = quanta/(RTT-2Rm)
+//   Algorithm 1:   AIMD toward mu(d) = mu- * s^((Rmax-(d-Rm))/D)
+//
+// Flows share one queue: dq/dt = (sum_i x_i - C)/C, q >= 0, x_i = w_i/RTT_i,
+// RTT_i = Rm_i + q + eta_i where eta_i is a constant per-flow non-congestive
+// offset (the fluid version of the jitter element). Integrated with RK4.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rate.hpp"
+#include "util/series.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+// One flow's fluid dynamics: returns dw/dt given the current window (bytes),
+// the *measured* RTT (including the flow's eta), and its delivery rate.
+class FluidCca {
+ public:
+  virtual ~FluidCca() = default;
+  virtual double dwdt(double w_bytes, double rtt_s,
+                      double rate_bytes_per_s) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Vegas/FAST-family: drive the own-backlog estimate w*(q/RTT) to alpha.
+class FluidVegas final : public FluidCca {
+ public:
+  FluidVegas(double alpha_pkts, TimeNs rm, double gain_per_rtt = 1.0)
+      : alpha_bytes_(alpha_pkts * kMss), rm_s_(rm.to_seconds()),
+        gain_(gain_per_rtt) {}
+  double dwdt(double w, double rtt, double) const override {
+    const double backlog = w * (rtt - rm_s_) / rtt;  // bytes queued (est.)
+    // Smooth AIAD: +-1 packet per RTT scaled by how far we are from alpha.
+    const double err = alpha_bytes_ - backlog;
+    const double step = std::clamp(err / static_cast<double>(kMss), -1.0, 1.0);
+    return gain_ * step * kMss / rtt;
+  }
+  std::string name() const override { return "fluid-vegas"; }
+
+ private:
+  double alpha_bytes_, rm_s_, gain_;
+};
+
+// BBR cwnd-limited mode: w = 2 * xhat * Rm + quanta, with the bandwidth
+// estimate xhat relaxing toward the actual delivery rate over ~1 RTT. We
+// model dw/dt directly from the implied target.
+class FluidBbrCwndLimited final : public FluidCca {
+ public:
+  FluidBbrCwndLimited(double quanta_pkts, TimeNs rm)
+      : quanta_bytes_(quanta_pkts * kMss), rm_s_(rm.to_seconds()) {}
+  double dwdt(double w, double rtt, double rate) const override {
+    const double target = 2.0 * rate * rm_s_ + quanta_bytes_;
+    // Relax toward the target within one RTT.
+    return (target - w) / rtt;
+  }
+  std::string name() const override { return "fluid-bbr-cwnd"; }
+
+ private:
+  double quanta_bytes_, rm_s_;
+};
+
+// Algorithm 1 (Eq. 2): AIMD on the sending rate toward the exponential
+// target; expressed as window dynamics with w = mu * RTT.
+class FluidJitterAware final : public FluidCca {
+ public:
+  struct Params {
+    TimeNs rm = TimeNs::millis(100);
+    TimeNs d = TimeNs::millis(10);
+    TimeNs rmax = TimeNs::millis(200);
+    double s = 2.0;
+    double mu_minus_bytes_per_s = Rate::kbps(100).bytes_per_second();
+    double a_bytes_per_s_per_rtt = Rate::kbps(500).bytes_per_second();
+    double b = 0.9;
+  };
+  explicit FluidJitterAware(const Params& p) : p_(p) {}
+  double dwdt(double w, double rtt, double) const override;
+  std::string name() const override { return "fluid-jitter-aware"; }
+
+ private:
+  Params p_;
+};
+
+struct FluidFlowSpec {
+  std::shared_ptr<FluidCca> cca;
+  TimeNs rm = TimeNs::millis(100);
+  // Constant non-congestive delay offset (the fluid jitter element).
+  TimeNs eta = TimeNs::zero();
+  double initial_window_bytes = 4.0 * kMss;
+};
+
+struct FluidConfig {
+  Rate link_rate = Rate::mbps(10);
+  TimeNs duration = TimeNs::seconds(60);
+  TimeNs dt = TimeNs::millis(1);
+  TimeNs sample_every = TimeNs::millis(50);
+};
+
+struct FluidResult {
+  // Per-flow delivery rate (Mbit/s) and RTT (s) trajectories.
+  std::vector<TimeSeries> rate_mbps;
+  std::vector<TimeSeries> rtt_seconds;
+  TimeSeries queue_seconds;
+  // Values at the end of the run.
+  std::vector<double> final_rate_mbps;
+  std::vector<double> final_rtt_s;
+  double final_queue_s = 0.0;
+};
+
+FluidResult run_fluid(const std::vector<FluidFlowSpec>& flows,
+                      const FluidConfig& config);
+
+}  // namespace ccstarve

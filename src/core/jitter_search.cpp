@@ -1,0 +1,96 @@
+#include "core/jitter_search.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "core/fairness.hpp"
+#include "sim/jitter.hpp"
+
+namespace ccstarve {
+
+namespace {
+
+using PolicyMaker = std::function<std::unique_ptr<JitterPolicy>()>;
+
+struct Schedule {
+  std::string name;
+  PolicyMaker make;
+};
+
+std::vector<Schedule> build_schedules(const JitterSearchConfig cfg) {
+  std::vector<Schedule> out;
+  const TimeNs d = cfg.d;
+  out.push_back({"none", [] { return std::make_unique<ZeroJitter>(); }});
+  out.push_back(
+      {"constant-D", [d] { return std::make_unique<ConstantJitter>(d); }});
+  out.push_back({"constant-D/2", [d] {
+                   return std::make_unique<ConstantJitter>(d / 2.0);
+                 }});
+  for (const double periods : {0.5, 1.0, 4.0, 16.0}) {
+    const TimeNs half = cfg.min_rtt * periods;
+    char label[32];
+    std::snprintf(label, sizeof label, "square-%.1frtt", periods);
+    out.push_back({label, [d, half] {
+                     return std::make_unique<OnOffJitter>(d, half, half);
+                   }});
+  }
+  out.push_back({"ack-quantize-D", [d] {
+                   return std::make_unique<PeriodicReleaseJitter>(d);
+                 }});
+  // The §5.1-style attack: every packet is delayed by D except one early
+  // packet, so the victim's min-RTT filter under-estimates by D.
+  out.push_back({"minrtt-skew-D", [d, cfg] {
+                   return std::make_unique<AllButOneJitter>(
+                       d, cfg.min_rtt * 2.0);
+                 }});
+  for (int i = 0; i < cfg.random_schedules; ++i) {
+    const uint64_t seed = cfg.seed + static_cast<uint64_t>(i);
+    out.push_back({"uniform-rand-" + std::to_string(i),
+                   [d, seed] {
+                     return std::make_unique<UniformJitter>(TimeNs::zero(), d,
+                                                            seed);
+                   }});
+  }
+  return out;
+}
+
+}  // namespace
+
+JitterSearchResult search_jitter_adversary(const CcaMaker& maker,
+                                           const JitterSearchConfig& cfg) {
+  JitterSearchResult result;
+  for (const Schedule& sched : build_schedules(cfg)) {
+    ScenarioConfig sc;
+    sc.link_rate = cfg.link_rate;
+    sc.jitter_budget = cfg.d;
+    Scenario scenario(std::move(sc));
+    for (int i = 0; i < 2; ++i) {
+      FlowSpec spec;
+      spec.cca = maker();
+      spec.min_rtt = cfg.min_rtt;
+      if (i == 0) spec.ack_jitter = sched.make();
+      scenario.add_flow(std::move(spec));
+    }
+    scenario.run_until(cfg.duration);
+
+    const FairnessReport rep =
+        measure_fairness(scenario, cfg.duration * 0.4, cfg.duration);
+    ScheduleOutcome outcome;
+    outcome.name = sched.name;
+    outcome.utilization = rep.utilization;
+    outcome.ratio = rep.ratio;
+    outcome.efficiency_violation = rep.utilization < cfg.f;
+    outcome.fairness_violation = rep.ratio > cfg.s;
+    result.worst_utilization =
+        std::min(result.worst_utilization, outcome.utilization);
+    result.worst_ratio = std::max(result.worst_ratio, outcome.ratio);
+    result.any_violation |=
+        outcome.efficiency_violation || outcome.fairness_violation;
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace ccstarve

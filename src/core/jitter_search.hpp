@@ -1,0 +1,50 @@
+// Bounded adversary search — our stand-in for the paper's CCAC SMT runs
+// (§6.3 "we used CCAC to produce traces where the algorithm is either
+// inefficient or more than s-unfair; CCAC was unable to produce such
+// traces").
+//
+// We search a family of jitter schedules bounded by D (constants, square
+// waves across periods, ACK quantizers, random walks), apply each to one
+// flow of a two-flow scenario, and report the worst utilization and
+// throughput ratio observed. Like CCAC over finite traces, finding nothing
+// is evidence, not proof.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/solo.hpp"
+#include "sim/scenario.hpp"
+
+namespace ccstarve {
+
+struct JitterSearchConfig {
+  Rate link_rate = Rate::mbps(20);
+  TimeNs min_rtt = TimeNs::millis(100);
+  TimeNs d = TimeNs::millis(10);  // adversary's budget
+  TimeNs duration = TimeNs::seconds(60);
+  double f = 0.3;  // efficiency floor to check
+  double s = 4.0;  // fairness ceiling to check
+  int random_schedules = 4;
+  uint64_t seed = 1234;
+};
+
+struct ScheduleOutcome {
+  std::string name;
+  double utilization = 0.0;
+  double ratio = 1.0;
+  bool efficiency_violation = false;
+  bool fairness_violation = false;
+};
+
+struct JitterSearchResult {
+  std::vector<ScheduleOutcome> outcomes;
+  double worst_utilization = 1.0;
+  double worst_ratio = 1.0;
+  bool any_violation = false;
+};
+
+JitterSearchResult search_jitter_adversary(const CcaMaker& maker,
+                                           const JitterSearchConfig& cfg);
+
+}  // namespace ccstarve

@@ -1,0 +1,141 @@
+#include "core/model_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace ccstarve {
+
+int AbstractExpMapping::update(int cwnd, double measured_queue_rtt,
+                               bool loss) const {
+  if (loss) return std::max(1, cwnd / 2);
+  // Target window from the exponential mapping mu(d) = mu- * s^((Rmax-d)/D),
+  // evaluated on the measured queueing delay.
+  const double exponent = (rmax_rtt_ - measured_queue_rtt) / d_rtt_;
+  const double target = mu_minus_ * std::pow(s_, exponent);
+  if (cwnd < target) return cwnd + 1;
+  // Multiplicative decrease, at least one packet.
+  return std::max(1, cwnd - std::max(1, cwnd / 8));
+}
+
+namespace {
+
+struct State {
+  int c1, c2;
+  auto operator<=>(const State&) const = default;
+};
+
+struct Provenance {
+  State parent;
+  std::string choice;
+};
+
+}  // namespace
+
+ModelCheckResult model_check(const AbstractCca& cca,
+                             const ModelCheckConfig& cfg) {
+  ModelCheckResult out;
+  out.traces_represented = 1;
+  for (int i = 0; i < cfg.horizon_rtts; ++i) {
+    out.traces_represented *= 9;  // 3 jitter choices per flow per round
+  }
+
+  const double jitters[3] = {0.0, cfg.d_rtt / 2.0, cfg.d_rtt};
+  const char* jitter_names[3] = {"0", "D/2", "D"};
+
+  std::map<State, Provenance> layer;
+  layer[{cfg.initial_cwnd1, cfg.initial_cwnd2}] = {{0, 0}, "start"};
+  std::vector<std::map<State, Provenance>> history;
+
+  for (int round = 0; round < cfg.horizon_rtts; ++round) {
+    history.push_back(layer);
+    std::map<State, Provenance> next;
+    for (const auto& [st, _] : layer) {
+      const int total = st.c1 + st.c2;
+      const int queue = std::max(0, total - cfg.capacity_pkts_per_rtt);
+      const bool overflow = queue > cfg.buffer_pkts;
+      const double q_rtt =
+          static_cast<double>(std::min(queue, cfg.buffer_pkts)) /
+          cfg.capacity_pkts_per_rtt;
+
+      // Loss assignment choices: none (no overflow) or adversary-chosen.
+      struct LossChoice {
+        bool l1, l2;
+        const char* name;
+      };
+      std::vector<LossChoice> loss_choices;
+      if (overflow && cfg.preferential_loss) {
+        loss_choices = {{true, false, "loss:1"},
+                        {false, true, "loss:2"},
+                        {true, true, "loss:both"}};
+      } else if (overflow) {
+        loss_choices = {{true, true, "loss:both"}};
+      } else {
+        loss_choices = {{false, false, "noloss"}};
+      }
+
+      for (int j1 = 0; j1 < 3; ++j1) {
+        for (int j2 = 0; j2 < 3; ++j2) {
+          for (const LossChoice& lc : loss_choices) {
+            State ns;
+            ns.c1 = std::clamp(
+                cca.update(st.c1, q_rtt + jitters[j1], lc.l1), 1,
+                cfg.max_cwnd_pkts);
+            ns.c2 = std::clamp(
+                cca.update(st.c2, q_rtt + jitters[j2], lc.l2), 1,
+                cfg.max_cwnd_pkts);
+            ++out.states_explored;
+            if (!next.count(ns)) {
+              char buf[64];
+              std::snprintf(buf, sizeof buf, "r%d j=(%s,%s) %s", round,
+                            jitter_names[j1], jitter_names[j2], lc.name);
+              next[ns] = {st, buf};
+            }
+          }
+        }
+      }
+    }
+    layer = std::move(next);
+  }
+
+  // Evaluate properties over the final layer and extract a witness.
+  State worst{cfg.initial_cwnd1, cfg.initial_cwnd2};
+  for (const auto& [st, _] : layer) {
+    const double ratio =
+        static_cast<double>(std::max(st.c1, st.c2)) /
+        static_cast<double>(std::min(st.c1, st.c2));
+    if (ratio > out.worst_final_ratio) {
+      out.worst_final_ratio = ratio;
+      worst = st;
+    }
+    const double util =
+        std::min(1.0, static_cast<double>(st.c1 + st.c2) /
+                          cfg.capacity_pkts_per_rtt);
+    out.worst_final_utilization =
+        std::min(out.worst_final_utilization, util);
+  }
+
+  if (out.worst_final_ratio > 1.0) {
+    // Walk the provenance chain backwards.
+    State cur = worst;
+    std::map<State, Provenance> final_layer = layer;
+    std::vector<std::string> rev;
+    for (int round = cfg.horizon_rtts; round >= 1; --round) {
+      const auto& lay =
+          round == cfg.horizon_rtts ? final_layer : history[static_cast<size_t>(round)];
+      const auto it = lay.find(cur);
+      if (it == lay.end()) break;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%s -> (%d, %d)",
+                    it->second.choice.c_str(), cur.c1, cur.c2);
+      rev.push_back(buf);
+      cur = it->second.parent;
+    }
+    out.witness.assign(rev.rbegin(), rev.rend());
+  }
+  return out;
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,118 @@
+// Bounded model checking of abstract CCA models — our in-C++ substitute for
+// the paper's CCAC/SMT experiments (Appendix C extends CCAC to two flows;
+// §5.4 "We used CCAC to prove that there is no trace of length 10 RTTs where
+// starvation is unbounded for two AIMD flows when the bottleneck has 1 BDP
+// of buffer").
+//
+// Like CCAC, the checker works on *models* of CCAs, not the packet-level
+// implementations: time advances in RTT-sized rounds, windows take integer
+// packet values, and the adversary chooses, every round,
+//   * a per-flow non-congestive delay from {0, D/2, D}, and
+//   * when the buffer overflows, which subset of flows takes the loss
+//     (the §5.4 "the bursty flow is more likely to lose packets" knob).
+// Exhaustive breadth-first search over all adversary strategies up to a
+// horizon yields reachable (cwnd_1, cwnd_2) states; properties are checked
+// over every reachable trace, so "no violation" is a proof for the model
+// and the horizon, exactly like CCAC's finite-trace guarantees.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccstarve {
+
+// One flow's abstract congestion controller: a deterministic window update.
+class AbstractCca {
+ public:
+  virtual ~AbstractCca() = default;
+  // `cwnd` in packets; `measured_queue_rtt` is the congestive queueing delay
+  // plus the adversary's jitter, in units of the base RTT; `loss` is whether
+  // this flow lost a packet this round. Returns the next cwnd (packets).
+  virtual int update(int cwnd, double measured_queue_rtt,
+                     bool loss) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// AIMD (Reno-like): +1 per round, halve on loss, ignore delay.
+class AbstractAimd final : public AbstractCca {
+ public:
+  int update(int cwnd, double, bool loss) const override {
+    return loss ? std::max(1, cwnd / 2) : cwnd + 1;
+  }
+  std::string name() const override { return "aimd"; }
+};
+
+// Vegas-like: keep `alpha` packets queued; +-1 based on inferred backlog.
+// The inferred backlog uses the *measured* delay, which the adversary can
+// inflate by up to D — the delay-convergent victim of Theorem 1.
+class AbstractVegas final : public AbstractCca {
+ public:
+  explicit AbstractVegas(int alpha = 2) : alpha_(alpha) {}
+  int update(int cwnd, double measured_queue_rtt, bool loss) const override {
+    if (loss) return std::max(1, cwnd / 2);
+    // Estimated own backlog: cwnd * queueing / (1 + queueing).
+    const double diff = cwnd * measured_queue_rtt / (1.0 + measured_queue_rtt);
+    if (diff < alpha_) return cwnd + 1;
+    if (diff > alpha_ + 1) return std::max(1, cwnd - 1);
+    return cwnd;
+  }
+  std::string name() const override { return "vegas"; }
+
+ private:
+  int alpha_;
+};
+
+// Algorithm-1-like: AIMD toward an exponential delay->rate target, so rates
+// a factor s apart need delays D apart (§6.3). `d_rtt` is the designed
+// jitter bound in base-RTT units.
+class AbstractExpMapping final : public AbstractCca {
+ public:
+  AbstractExpMapping(double d_rtt = 0.25, double s = 2.0, double rmax_rtt = 2.0,
+                     int mu_minus = 2)
+      : d_rtt_(d_rtt), s_(s), rmax_rtt_(rmax_rtt), mu_minus_(mu_minus) {}
+  int update(int cwnd, double measured_queue_rtt, bool loss) const override;
+  std::string name() const override { return "exp-mapping"; }
+
+ private:
+  double d_rtt_, s_, rmax_rtt_;
+  int mu_minus_;
+};
+
+struct ModelCheckConfig {
+  int capacity_pkts_per_rtt = 10;  // C (also the BDP at 1 RTT)
+  int buffer_pkts = 10;            // 1 BDP of buffer
+  double d_rtt = 0.5;              // jitter bound D, in base-RTT units
+  int horizon_rtts = 10;           // the paper's trace length
+  int max_cwnd_pkts = 64;          // state-space clamp
+  // Initial windows; (1, C) models "one flow was running, one just joined".
+  int initial_cwnd1 = 1;
+  int initial_cwnd2 = 10;
+  // true: on overflow the adversary picks which flow loses (models biased /
+  // non-congestive loss — §6.4: with it, "AIMD, Cubic and PCC Allegro all
+  // suffer starvation"). false: overflow losses hit both flows (plain
+  // drop-tail synchronization — the Appendix C setting where AIMD stays
+  // bounded).
+  bool preferential_loss = true;
+};
+
+struct ModelCheckResult {
+  uint64_t states_explored = 0;
+  uint64_t traces_represented;  // adversary branching ^ horizon (info only)
+  // Worst cwnd ratio over all reachable states at the horizon.
+  double worst_final_ratio = 1.0;
+  // Worst sum of windows (utilization proxy) at the horizon, as a fraction
+  // of capacity.
+  double worst_final_utilization = 1.0;
+  // A witness trace of per-round (jitter1, jitter2, loss assignment) choices
+  // reaching the worst ratio (empty if the ratio is 1).
+  std::vector<std::string> witness;
+};
+
+// Exhaustive BFS over adversary strategies for two flows running `cca`.
+ModelCheckResult model_check(const AbstractCca& cca,
+                             const ModelCheckConfig& config);
+
+}  // namespace ccstarve

@@ -1,0 +1,40 @@
+#include "core/rate_delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccstarve {
+
+std::vector<RateDelayPoint> rate_delay_sweep(const CcaMaker& maker,
+                                             const RateDelaySweepConfig& cfg) {
+  std::vector<RateDelayPoint> out;
+  out.reserve(static_cast<size_t>(cfg.points));
+  const double lo = std::log10(cfg.min_rate.bits_per_sec());
+  const double hi = std::log10(cfg.max_rate.bits_per_sec());
+  for (int i = 0; i < cfg.points; ++i) {
+    const double frac =
+        cfg.points == 1 ? 0.0
+                        : static_cast<double>(i) / (cfg.points - 1);
+    SoloConfig sc;
+    sc.link_rate = Rate::bps(std::pow(10.0, lo + frac * (hi - lo)));
+    sc.min_rtt = cfg.min_rtt;
+    sc.duration = cfg.duration;
+    sc.trim_percent = cfg.trim_percent;
+    const SoloResult r = run_solo(maker, sc);
+    out.push_back({sc.link_rate, r.d_min_s, r.d_max_s, r.utilization()});
+  }
+  return out;
+}
+
+DelayBounds delay_bounds(const std::vector<RateDelayPoint>& sweep,
+                         Rate lambda) {
+  DelayBounds b{0.0, 0.0};
+  for (const auto& p : sweep) {
+    if (p.link_rate < lambda) continue;
+    b.d_max_s = std::max(b.d_max_s, p.d_max_s);
+    b.delta_max_s = std::max(b.delta_max_s, p.delta_s());
+  }
+  return b;
+}
+
+}  // namespace ccstarve

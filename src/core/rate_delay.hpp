@@ -1,0 +1,42 @@
+// Rate–delay sweeps: Figures 2 and 3 of the paper. For a fixed Rm, sweep the
+// ideal-path link rate C over a log grid and record the converged delay
+// range of a CCA at each point.
+#pragma once
+
+#include <vector>
+
+#include "core/solo.hpp"
+
+namespace ccstarve {
+
+struct RateDelayPoint {
+  Rate link_rate;
+  double d_min_s;
+  double d_max_s;
+  double delta_s() const { return d_max_s - d_min_s; }
+  double utilization;
+};
+
+struct RateDelaySweepConfig {
+  Rate min_rate = Rate::mbps(0.1);
+  Rate max_rate = Rate::mbps(100);
+  int points = 13;  // log-spaced
+  TimeNs min_rtt = TimeNs::millis(100);
+  TimeNs duration = TimeNs::seconds(60);
+  double trim_percent = 1.0;
+};
+
+// One solo run per grid point.
+std::vector<RateDelayPoint> rate_delay_sweep(const CcaMaker& maker,
+                                             const RateDelaySweepConfig& cfg);
+
+// delta_max and d_max over all sweep points with C >= lambda
+// (Definition 1's bounds, estimated empirically).
+struct DelayBounds {
+  double d_max_s;
+  double delta_max_s;
+};
+DelayBounds delay_bounds(const std::vector<RateDelayPoint>& sweep,
+                         Rate lambda);
+
+}  // namespace ccstarve

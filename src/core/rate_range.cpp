@@ -1,0 +1,29 @@
+#include "core/rate_range.hpp"
+
+#include <cmath>
+
+namespace ccstarve {
+
+double vegas_family_rate_range(const RateRangeParams& p) {
+  return (p.rmax - p.rm).to_seconds() / p.d.to_seconds() * (1.0 - 1.0 / p.s);
+}
+
+double exponential_rate_range(const RateRangeParams& p) {
+  const double exponent =
+      (p.rmax - p.rm - p.d).to_seconds() / p.d.to_seconds();
+  return std::pow(p.s, exponent);
+}
+
+double exponential_mu(const RateRangeParams& p, TimeNs rtt) {
+  const double exponent =
+      (p.rmax - (rtt - p.rm)).to_seconds() / p.d.to_seconds();
+  return std::pow(p.s, exponent);
+}
+
+double vegas_family_mu_plus(const RateRangeParams& p) {
+  // mu- corresponds to d = Rmax, i.e. mu- = alpha/(Rmax - Rm); in units of
+  // mu-, mu+ = (Rmax - Rm)/D * (1 - 1/s).
+  return vegas_family_rate_range(p);
+}
+
+}  // namespace ccstarve

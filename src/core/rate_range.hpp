@@ -1,0 +1,43 @@
+// §6.3: avoiding starvation in a bounded rate range.
+//
+// For jitter bound D, tolerable unfairness s and max delay Rmax, a rate-delay
+// curve supports s-fair operation over [mu-, mu+] iff rates s apart map to
+// delays more than D apart. The paper derives the figure of merit mu+/mu-:
+//
+//   Vegas family  mu(d) = alpha/(d - Rm):
+//       mu+/mu- = (Rmax - Rm)/D * (1 - 1/s)            (Eq. 1)
+//   Exponential   mu(d) = mu- * s^((Rmax - d)/D):
+//       mu+/mu- = s^((Rmax - Rm - D)/D)                (Eq. 2)
+//
+// These closed forms drive the §6.3 table bench and are cross-checked
+// against the JitterAware CCA's behaviour in tests.
+#pragma once
+
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+struct RateRangeParams {
+  TimeNs d = TimeNs::millis(10);       // jitter bound D
+  double s = 2.0;                      // tolerated throughput ratio
+  TimeNs rm = TimeNs::zero();          // propagation RTT
+  TimeNs rmax = TimeNs::millis(100);   // max tolerable RTT
+};
+
+// Eq. 1 figure of merit for the Vegas/FAST/Copa family.
+double vegas_family_rate_range(const RateRangeParams& p);
+
+// Eq. 2 figure of merit for the exponential mapping.
+double exponential_rate_range(const RateRangeParams& p);
+
+// The exponential mapping itself (Eq. 2), normalized to mu- = 1:
+// mu(d)/mu- given queueing headroom d - Rm.
+double exponential_mu(const RateRangeParams& p, TimeNs rtt);
+
+// Largest rate (in multiples of mu-) at which the Vegas-family curve still
+// separates rates s apart by more than D: mu+ = alpha/D * (1 - 1/s), with
+// alpha expressed via mu- = alpha/(Rmax - Rm).
+double vegas_family_mu_plus(const RateRangeParams& p);
+
+}  // namespace ccstarve

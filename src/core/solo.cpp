@@ -1,0 +1,63 @@
+#include "core/solo.hpp"
+
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace ccstarve {
+
+SoloResult run_solo(const CcaMaker& maker, const SoloConfig& config) {
+  ScenarioConfig sc;
+  sc.link_rate = config.link_rate;
+  auto scenario = std::make_unique<Scenario>(std::move(sc));
+
+  FlowSpec spec;
+  spec.cca = maker();
+  spec.min_rtt = config.min_rtt;
+  scenario->add_flow(std::move(spec));
+  scenario->run_until(config.duration);
+
+  SoloResult out;
+  out.link_rate = config.link_rate;
+  out.min_rtt = config.min_rtt;
+  out.rtt = scenario->stats(0).rtt_seconds;
+  out.delivered_bytes = scenario->stats(0).delivered_bytes;
+  out.end_time = config.duration;
+  out.converged_from = config.duration * (1.0 - config.converged_fraction);
+
+  if (!out.rtt.empty()) {
+    if (config.trim_percent > 0.0) {
+      std::vector<double> window;
+      for (const auto& s : out.rtt.samples()) {
+        if (s.at >= out.converged_from) window.push_back(s.value);
+      }
+      out.d_min_s = percentile(window, config.trim_percent);
+      out.d_max_s = percentile(window, 100.0 - config.trim_percent);
+    } else {
+      out.d_min_s = out.rtt.min_over(out.converged_from, out.end_time);
+      out.d_max_s = out.rtt.max_over(out.converged_from, out.end_time);
+    }
+  }
+  out.throughput =
+      scenario->throughput(0, out.converged_from, out.end_time);
+  out.scenario = std::move(scenario);
+  return out;
+}
+
+std::optional<TimeNs> convergence_time(const TimeSeries& rtt, double d_min_s,
+                                       double d_max_s, double tolerance_s) {
+  if (rtt.empty()) return std::nullopt;
+  const double lo = d_min_s - tolerance_s;
+  const double hi = d_max_s + tolerance_s;
+  // Scan backwards for the last excursion; T is just after it.
+  const auto& samples = rtt.samples();
+  for (size_t i = samples.size(); i-- > 0;) {
+    if (samples[i].value < lo || samples[i].value > hi) {
+      if (i + 1 >= samples.size()) return std::nullopt;
+      return samples[i + 1].at;
+    }
+  }
+  return rtt.front_time();
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,70 @@
+// Solo ("ideal path") runs: the measurement primitive of the paper's
+// Definition 1. A CCA runs alone on a constant-rate, fixed-Rm, deep-buffer
+// path; we record its RTT and delivery trajectories and extract the
+// converged delay range [d_min(C), d_max(C)] and delta(C).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "cc/cca.hpp"
+#include "sim/scenario.hpp"
+#include "util/rate.hpp"
+#include "util/series.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+// Creates a fresh CCA instance for each run of a sweep.
+using CcaMaker = std::function<std::unique_ptr<Cca>()>;
+
+struct SoloConfig {
+  Rate link_rate = Rate::mbps(10);
+  TimeNs min_rtt = TimeNs::millis(100);
+  TimeNs duration = TimeNs::seconds(60);
+  // The converged region is taken as the last `converged_fraction` of the
+  // run (after inspecting that the trajectory has settled, benches may
+  // choose a longer duration instead of a cleverer detector — this matches
+  // how the paper eyeballs Fig. 1's "converged region").
+  double converged_fraction = 0.5;
+  // Drop the most extreme tail when reporting d_min/d_max so one stray
+  // sample (e.g. a ProbeRTT dip) does not define the range; 0 = strict.
+  double trim_percent = 0.0;
+};
+
+struct SoloResult {
+  // Scenario kept alive so callers can transplant the converged CCA.
+  std::unique_ptr<Scenario> scenario;
+  Rate link_rate;
+  TimeNs min_rtt;
+  // Full trajectories (seconds on the value axis for RTT).
+  TimeSeries rtt;
+  TimeSeries delivered_bytes;
+  // Start of the converged window used for the delay range.
+  TimeNs converged_from;
+  TimeNs end_time;
+  // Converged delay range, in seconds.
+  double d_min_s = 0.0;
+  double d_max_s = 0.0;
+  double delta_s() const { return d_max_s - d_min_s; }
+  // Long-term throughput over the converged window.
+  Rate throughput;
+  double utilization() const { return throughput / link_rate; }
+  // RTT trajectory over the converged window, time-shifted to start at 0:
+  // the paper's d-bar_i(t).
+  TimeSeries converged_rtt() const {
+    return rtt.shifted_window(converged_from, end_time);
+  }
+};
+
+// Runs `maker()`'s CCA alone on the ideal path described by `config`.
+SoloResult run_solo(const CcaMaker& maker, const SoloConfig& config);
+
+// Definition 1's convergence time T: the first instant after which every
+// RTT sample lies within [d_min - tolerance, d_max + tolerance]. Returns
+// nullopt if even the final sample is outside the band (not converged).
+std::optional<TimeNs> convergence_time(const TimeSeries& rtt, double d_min_s,
+                                       double d_max_s, double tolerance_s);
+
+}  // namespace ccstarve

@@ -1,0 +1,134 @@
+#include "core/theorem1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ccstarve {
+
+PigeonholeSummary PigeonholePair::summary() const {
+  PigeonholeSummary s;
+  s.found = found;
+  s.dmax_by_step_s = dmax_by_step_s;
+  s.c1_mbps = slow.link_rate.to_mbps();
+  s.c2_mbps = fast.link_rate.to_mbps();
+  s.dmax1_s = slow.d_max_s;
+  s.dmax2_s = fast.d_max_s;
+  s.dmax_gap_s = dmax_gap_s;
+  s.delta_max_s = delta_max_s;
+  s.x1_mbps = slow.throughput.to_mbps();
+  s.x2_mbps = fast.throughput.to_mbps();
+  return s;
+}
+
+PigeonholePair find_rate_pair(const CcaMaker& maker,
+                              const PigeonholeConfig& cfg) {
+  PigeonholePair out;
+  const double step_factor = cfg.s / cfg.f;
+
+  std::vector<SoloResult> runs;
+  runs.reserve(static_cast<size_t>(cfg.max_steps));
+  for (int i = 0; i < cfg.max_steps; ++i) {
+    SoloConfig sc;
+    sc.link_rate = cfg.lambda * std::pow(step_factor, i);
+    sc.min_rtt = cfg.min_rtt;
+    sc.duration = cfg.duration;
+    sc.trim_percent = 1.0;
+    runs.push_back(run_solo(maker, sc));
+    out.dmax_by_step_s.push_back(runs.back().d_max_s);
+    out.delta_max_s = std::max(out.delta_max_s, runs.back().delta_s());
+  }
+
+  // Best colliding pair: adjacent-or-not i < j minimizing the d_max gap.
+  int best_i = -1, best_j = -1;
+  double best_gap = 1e300;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    for (size_t j = i + 1; j < runs.size(); ++j) {
+      const double gap = std::abs(runs[i].d_max_s - runs[j].d_max_s);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_i = static_cast<int>(i);
+        best_j = static_cast<int>(j);
+      }
+    }
+  }
+  if (best_i < 0) return out;
+  out.found = best_gap < cfg.epsilon_s;
+  out.dmax_gap_s = best_gap;
+  out.slow = std::move(runs[static_cast<size_t>(best_i)]);
+  out.fast = std::move(runs[static_cast<size_t>(best_j)]);
+  return out;
+}
+
+namespace {
+
+// Builds the per-flow emulation target trajectory: the converged window for
+// transplant mode, or the full solo trajectory for cold start.
+TimeSeries target_for(const SoloResult& solo, bool transplant) {
+  if (transplant) return solo.converged_rtt();
+  TimeSeries full = solo.rtt;
+  return full;
+}
+
+}  // namespace
+
+EmulationOutcome emulate_two_flow(const CcaMaker& maker, PigeonholePair pair,
+                                  const EmulationConfig& cfg) {
+  EmulationOutcome out;
+
+  ScenarioConfig sc;
+  sc.link_rate = pair.slow.link_rate + pair.fast.link_rate;
+  sc.jitter_budget = cfg.jitter_budget_d;
+  sc.prefill_bytes = cfg.prefill_bytes;
+  auto scenario = std::make_unique<Scenario>(std::move(sc));
+
+  auto add = [&](SoloResult& solo) {
+    FlowSpec spec;
+    if (cfg.transplant) {
+      // The proof's initial condition: the flow continues from its
+      // converged state. Internal CCA timestamps are shifted from the solo
+      // timeline (which ended at solo.end_time) onto the new one (t = 0).
+      spec.cca = solo.scenario->sender(0).take_cca();
+      spec.cca->rebase_time(TimeNs::zero() - solo.end_time);
+    } else {
+      spec.cca = maker();
+    }
+    spec.min_rtt = solo.min_rtt;
+    spec.ack_jitter = std::make_unique<DelayEmulationJitter>(
+        target_for(solo, cfg.transplant), /*loop=*/cfg.transplant);
+    scenario->add_flow(std::move(spec));
+  };
+  add(pair.slow);
+  add(pair.fast);
+
+  scenario->run_until(cfg.duration);
+
+  const TimeNs from = cfg.duration * cfg.measure_from_fraction;
+  out.throughput_slow_mbps =
+      scenario->throughput(0, from, cfg.duration).to_mbps();
+  out.throughput_fast_mbps =
+      scenario->throughput(1, from, cfg.duration).to_mbps();
+  out.ratio = out.throughput_slow_mbps > 0.0
+                  ? out.throughput_fast_mbps / out.throughput_slow_mbps
+                  : 1e9;
+  out.slow_jitter = scenario->ack_jitter_stats(0);
+  out.fast_jitter = scenario->ack_jitter_stats(1);
+  out.scenario = std::move(scenario);
+  return out;
+}
+
+Theorem1Report run_theorem1(const CcaMaker& maker, const PigeonholeConfig& pg,
+                            EmulationConfig emu) {
+  Theorem1Report report;
+  PigeonholePair pair = find_rate_pair(maker, pg);
+  report.pigeonhole = pair.summary();
+  if (!pair.found) return report;
+  // D = 2*delta_max + 2*epsilon, the theorem's threshold.
+  report.d_used =
+      TimeNs::seconds(2.0 * pair.delta_max_s + 2.0 * pg.epsilon_s);
+  emu.jitter_budget_d = report.d_used;
+  report.outcome = emulate_two_flow(maker, std::move(pair), emu);
+  return report;
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,100 @@
+// Constructive machinery of Theorem 1: starvation is inevitable for
+// deterministic, f-efficient, delay-convergent CCAs when D > 2*delta_max.
+//
+// Step 1 (pigeonhole): scan the geometric rate sequence lambda*(s/f)^i until
+//   two rates C1 << C2 have converged d_max within epsilon of each other.
+// Step 2 is implicit: the solo runs at C1 and C2 give throughputs >= s apart.
+// Step 3 (emulation): run both flows on one link of rate C1+C2 and drive
+//   each flow's ACK path with a DelayEmulationJitter so it observes exactly
+//   its solo delay trajectory d-bar_i(t). The jitter boxes audit that the
+//   non-congestive delay they had to add stayed within [0, D].
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/solo.hpp"
+#include "sim/jitter.hpp"
+#include "sim/scenario.hpp"
+
+namespace ccstarve {
+
+struct PigeonholeConfig {
+  double f = 0.5;          // assumed efficiency of the CCA
+  double s = 8.0;          // target starvation ratio
+  Rate lambda = Rate::mbps(1);
+  // Two rates "collide" when their d_max differ by less than this (the
+  // proof's epsilon; Step 1 guarantees a collision exists for any eps > 0).
+  double epsilon_s = 0.005;
+  int max_steps = 5;       // rates lambda*(s/f)^0 .. ^(max_steps-1)
+  TimeNs min_rtt = TimeNs::millis(100);
+  TimeNs duration = TimeNs::seconds(60);
+};
+
+// Copyable digest of a pigeonhole search (what benches print).
+struct PigeonholeSummary {
+  bool found = false;
+  std::vector<double> dmax_by_step_s;  // diagnostics: d_max at each rate
+  double c1_mbps = 0.0, c2_mbps = 0.0;
+  double dmax1_s = 0.0, dmax2_s = 0.0;
+  double dmax_gap_s = 0.0;
+  // delta_max over the scanned rates (empirical Definition 1 bound).
+  double delta_max_s = 0.0;
+  // Solo throughputs x1, x2 (Step 2 of the proof).
+  double x1_mbps = 0.0, x2_mbps = 0.0;
+};
+
+struct PigeonholePair {
+  bool found = false;
+  std::vector<double> dmax_by_step_s;
+  SoloResult slow;  // the C1 run
+  SoloResult fast;  // the C2 run
+  double dmax_gap_s = 0.0;
+  double delta_max_s = 0.0;
+
+  PigeonholeSummary summary() const;
+};
+
+PigeonholePair find_rate_pair(const CcaMaker& maker,
+                              const PigeonholeConfig& cfg);
+
+struct EmulationConfig {
+  // The model's non-congestive delay bound D. The construction needs
+  // D > 2*delta_max; the caller typically sets it from the pigeonhole
+  // result.
+  TimeNs jitter_budget_d = TimeNs::millis(25);
+  TimeNs duration = TimeNs::seconds(30);
+  // Converged-state transplant (the proof's construction) vs. starting both
+  // flows cold and replaying the full solo trajectories (works because the
+  // CCA is deterministic; transients may briefly exceed the budget).
+  bool transplant = true;
+  uint64_t prefill_bytes = 0;
+  // Measurement window start for the reported throughputs.
+  double measure_from_fraction = 0.2;
+};
+
+struct EmulationOutcome {
+  std::unique_ptr<Scenario> scenario;
+  double throughput_slow_mbps = 0.0;
+  double throughput_fast_mbps = 0.0;
+  double ratio = 1.0;
+  // Emulation audit: how much non-congestive delay was needed.
+  JitterBox::Stats slow_jitter;
+  JitterBox::Stats fast_jitter;
+};
+
+// Step 3: the two-flow scenario. `maker` is only used in cold-start mode.
+EmulationOutcome emulate_two_flow(const CcaMaker& maker, PigeonholePair pair,
+                                  const EmulationConfig& cfg);
+
+// End-to-end driver: Step 1 + Step 3 with D = 2*delta_max + 2*epsilon.
+struct Theorem1Report {
+  PigeonholeSummary pigeonhole;
+  std::optional<EmulationOutcome> outcome;
+  TimeNs d_used = TimeNs::zero();
+};
+Theorem1Report run_theorem1(const CcaMaker& maker, const PigeonholeConfig& pg,
+                            EmulationConfig emu);
+
+}  // namespace ccstarve

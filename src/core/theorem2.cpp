@@ -1,0 +1,39 @@
+#include "core/theorem2.hpp"
+
+#include <utility>
+
+namespace ccstarve {
+
+Theorem2Outcome run_theorem2(const CcaMaker& maker,
+                             const Theorem2Config& cfg) {
+  Theorem2Outcome out;
+
+  SoloConfig solo_cfg;
+  solo_cfg.link_rate = cfg.modest_rate;
+  solo_cfg.min_rtt = cfg.min_rtt;
+  solo_cfg.duration = cfg.solo_duration;
+  SoloResult solo = run_solo(maker, solo_cfg);
+  out.solo_throughput_mbps = solo.throughput.to_mbps();
+
+  ScenarioConfig sc;
+  sc.link_rate = cfg.huge_rate;
+  // The replay must only need up to d_max(C) - Rm of non-congestive delay.
+  sc.jitter_budget = TimeNs::seconds(solo.d_max_s) - cfg.min_rtt;
+  auto scenario = std::make_unique<Scenario>(std::move(sc));
+
+  FlowSpec spec;
+  spec.cca = maker();  // fresh deterministic CCA: cold-start replay
+  spec.min_rtt = cfg.min_rtt;
+  spec.ack_jitter =
+      std::make_unique<DelayEmulationJitter>(solo.rtt, /*loop=*/false);
+  scenario->add_flow(std::move(spec));
+  scenario->run_until(cfg.emu_duration);
+
+  out.emulated_throughput_mbps = scenario->throughput(0).to_mbps();
+  out.utilization = out.emulated_throughput_mbps / cfg.huge_rate.to_mbps();
+  out.max_jitter_needed = scenario->ack_jitter_stats(0).max_added;
+  out.scenario = std::move(scenario);
+  return out;
+}
+
+}  // namespace ccstarve

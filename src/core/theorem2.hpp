@@ -1,0 +1,37 @@
+// Theorem 2: a deterministic CCA whose converged delay is within the jitter
+// budget (d_max(C) - Rm <= D of non-congestive headroom) can be driven to
+// arbitrarily low utilization. Construction: record the CCA's solo delay
+// trajectory on a modest link C, then replay it as pure non-congestive delay
+// on a link C' >> C. The deterministic CCA sends exactly as it did at rate
+// ~C, so utilization ~ C/C' -> 0 as C' grows.
+#pragma once
+
+#include <memory>
+
+#include "core/solo.hpp"
+#include "sim/jitter.hpp"
+#include "sim/scenario.hpp"
+
+namespace ccstarve {
+
+struct Theorem2Config {
+  Rate modest_rate = Rate::mbps(5);     // C: where the trajectory is recorded
+  Rate huge_rate = Rate::mbps(500);     // C': the actual (wasted) link
+  TimeNs min_rtt = TimeNs::millis(100);
+  TimeNs solo_duration = TimeNs::seconds(40);
+  TimeNs emu_duration = TimeNs::seconds(40);
+};
+
+struct Theorem2Outcome {
+  std::unique_ptr<Scenario> scenario;
+  double solo_throughput_mbps = 0.0;   // ~ C
+  double emulated_throughput_mbps = 0.0;
+  double utilization = 1.0;            // emulated throughput / C'
+  // Max non-congestive delay the replay needed (must be <= d_max(C) - Rm
+  // when the queue at C' stays empty).
+  TimeNs max_jitter_needed = TimeNs::zero();
+};
+
+Theorem2Outcome run_theorem2(const CcaMaker& maker, const Theorem2Config& cfg);
+
+}  // namespace ccstarve

@@ -1,0 +1,47 @@
+// Theorem 3 ("absolute upper bound", §6.5 / Appendix B): in the strong model
+// — where the adversary controls the queueing-delay pattern outright — any
+// deterministic, f-efficient, delay-bounding CCA starves, even without
+// controlling initial conditions.
+//
+// Constructive search, following Appendix B:
+//   trace_0: ideal link at rate lambda, observed queueing delay q_0(t);
+//            D := max_t q_0(t).
+//   trace_{k+1}: delay-server imposing q_{k+1}(t) = max(0, q_k(t) - D).
+//   Stop at the first k where throughput(k+1)/throughput(k) > s; the two-flow
+//   demo then runs both flows over the q_{k+1} delay server and gives one
+//   flow a constant extra D of non-congestive delay: that flow sees q_k
+//   exactly and reproduces the slow trace.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/solo.hpp"
+#include "sim/scenario.hpp"
+
+namespace ccstarve {
+
+struct Theorem3Config {
+  Rate lambda = Rate::mbps(5);
+  TimeNs min_rtt = TimeNs::millis(50);
+  TimeNs duration = TimeNs::seconds(40);
+  double s = 4.0;      // starvation ratio to exhibit
+  int max_traces = 12; // ceil(Q/D) bound from the proof
+};
+
+struct Theorem3Outcome {
+  // Throughput of each constructed single-flow trace, Mbit/s.
+  std::vector<double> trace_throughputs_mbps;
+  TimeNs d = TimeNs::zero();  // the proof's D = max delay of trace 0
+  bool found_pair = false;
+  int slow_trace = -1;  // index k whose successor is > s faster
+  // Two-flow demo results.
+  double slow_throughput_mbps = 0.0;
+  double fast_throughput_mbps = 0.0;
+  double ratio = 1.0;
+  std::unique_ptr<Scenario> scenario;
+};
+
+Theorem3Outcome run_theorem3(const CcaMaker& maker, const Theorem3Config& cfg);
+
+}  // namespace ccstarve

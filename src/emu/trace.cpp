@@ -1,0 +1,128 @@
+#include "emu/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ccstarve {
+
+DeliveryTrace::DeliveryTrace(std::vector<TimeNs> opportunities)
+    : opportunities_(std::move(opportunities)) {
+  if (!std::is_sorted(opportunities_.begin(), opportunities_.end())) {
+    throw std::runtime_error("delivery trace timestamps must be sorted");
+  }
+}
+
+DeliveryTrace DeliveryTrace::parse(std::istream& in) {
+  std::vector<TimeNs> opps;
+  std::string line;
+  int64_t prev = -1;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    int64_t ms = 0;
+    try {
+      size_t pos = 0;
+      ms = std::stoll(line, &pos);
+      if (pos != line.size()) throw std::invalid_argument(line);
+    } catch (const std::exception&) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": expected integer milliseconds, got '" +
+                               line + "'");
+    }
+    if (ms < prev) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": timestamps must be non-decreasing");
+    }
+    prev = ms;
+    opps.push_back(TimeNs::millis(static_cast<double>(ms)));
+  }
+  return DeliveryTrace(std::move(opps));
+}
+
+DeliveryTrace DeliveryTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return parse(in);
+}
+
+void DeliveryTrace::write(std::ostream& out) const {
+  for (const TimeNs t : opportunities_) {
+    out << static_cast<int64_t>(t.to_millis()) << '\n';
+  }
+}
+
+void DeliveryTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  write(out);
+}
+
+DeliveryTrace DeliveryTrace::constant(Rate rate, TimeNs duration) {
+  std::vector<TimeNs> opps;
+  const double interval_s = static_cast<double>(kMss) / rate.bytes_per_second();
+  const auto n = static_cast<size_t>(duration.to_seconds() / interval_s);
+  opps.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Snap to the millisecond grid like Mahimahi's saved traces.
+    const double ms = std::floor((i + 1) * interval_s * 1e3);
+    opps.push_back(TimeNs::millis(ms));
+  }
+  return DeliveryTrace(std::move(opps));
+}
+
+DeliveryTrace DeliveryTrace::sawtooth(Rate lo, Rate hi, TimeNs period,
+                                      TimeNs duration) {
+  std::vector<TimeNs> opps;
+  // Integrate the instantaneous rate in 1 ms steps; emit an opportunity per
+  // accumulated MTU.
+  double accumulated_bytes = 0.0;
+  for (int64_t ms = 0; ms < static_cast<int64_t>(duration.to_millis()); ++ms) {
+    const double phase =
+        std::fmod(static_cast<double>(ms), period.to_millis()) /
+        period.to_millis();
+    const double tri = phase < 0.5 ? 2.0 * phase : 2.0 * (1.0 - phase);
+    const Rate rate = lo + (hi - lo) * tri;
+    accumulated_bytes += rate.bytes_per_second() * 1e-3;
+    while (accumulated_bytes >= kMss) {
+      accumulated_bytes -= kMss;
+      opps.push_back(TimeNs::millis(static_cast<double>(ms)));
+    }
+  }
+  return DeliveryTrace(std::move(opps));
+}
+
+DeliveryTrace DeliveryTrace::poisson(Rate mean_rate, TimeNs duration,
+                                     uint64_t seed) {
+  std::vector<TimeNs> opps;
+  Rng rng(seed);
+  const double mean_interval_s =
+      static_cast<double>(kMss) / mean_rate.bytes_per_second();
+  double t = 0.0;
+  while (true) {
+    t += -mean_interval_s * std::log(1.0 - rng.next_double());
+    if (t >= duration.to_seconds()) break;
+    opps.push_back(TimeNs::millis(std::floor(t * 1e3)));
+  }
+  return DeliveryTrace(std::move(opps));
+}
+
+TimeNs DeliveryTrace::span() const {
+  if (opportunities_.empty()) return TimeNs::zero();
+  // Round up to the next ms so a trailing opportunity at t=span still fires
+  // before the loop wraps.
+  return opportunities_.back() + TimeNs::millis(1);
+}
+
+Rate DeliveryTrace::mean_rate() const {
+  const TimeNs s = span();
+  if (s <= TimeNs::zero()) return Rate::zero();
+  return Rate::from_bytes_over(opportunities_.size() * kMss, s);
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,56 @@
+// Mahimahi packet-delivery traces.
+//
+// The paper runs its experiments in Mahimahi [32], whose link model is a
+// text file with one integer millisecond timestamp per line; each line is an
+// opportunity to deliver one MTU-sized packet. We implement the same format
+// (reader, writer, generators) and a trace-driven bottleneck so workloads
+// like cellular sawtooth links can be replayed deterministically.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class DeliveryTrace {
+ public:
+  DeliveryTrace() = default;
+  explicit DeliveryTrace(std::vector<TimeNs> opportunities);
+
+  // Parses Mahimahi's format: one non-negative integer (milliseconds) per
+  // line, non-decreasing. Throws std::runtime_error on malformed input.
+  static DeliveryTrace parse(std::istream& in);
+  static DeliveryTrace load(const std::string& path);
+
+  // Writes the trace in Mahimahi's format (millisecond granularity).
+  void write(std::ostream& out) const;
+  void save(const std::string& path) const;
+
+  // --- Generators ---
+  // One opportunity every MTU/rate (rounded to the trace's ms grid).
+  static DeliveryTrace constant(Rate rate, TimeNs duration);
+  // Rate ramping linearly between lo and hi with the given period
+  // (triangle wave) — a stylized cellular link.
+  static DeliveryTrace sawtooth(Rate lo, Rate hi, TimeNs period,
+                                TimeNs duration);
+  // Poisson arrivals of delivery opportunities at the given mean rate.
+  static DeliveryTrace poisson(Rate mean_rate, TimeNs duration, uint64_t seed);
+
+  const std::vector<TimeNs>& opportunities() const { return opportunities_; }
+  bool empty() const { return opportunities_.empty(); }
+  size_t size() const { return opportunities_.size(); }
+  // Total span; a trace-driven link loops with this period.
+  TimeNs span() const;
+  // Average delivery rate over the span (MTU bytes per opportunity).
+  Rate mean_rate() const;
+
+ private:
+  std::vector<TimeNs> opportunities_;  // sorted, ms-granular
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,47 @@
+#include "emu/trace_link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ccstarve {
+
+TraceDrivenLink::TraceDrivenLink(Simulator& sim, DeliveryTrace trace,
+                                 const Config& config, PacketHandler& next)
+    : sim_(sim), trace_(std::move(trace)), config_(config), next_(next) {
+  assert(!trace_.empty());
+  schedule_next_opportunity();
+}
+
+void TraceDrivenLink::handle(Packet pkt) {
+  if (queued_bytes_ + pkt.bytes > config_.buffer_bytes) {
+    ++drops_;
+    return;
+  }
+  queued_bytes_ += pkt.bytes;
+  queue_.push_back(pkt);
+}
+
+void TraceDrivenLink::schedule_next_opportunity() {
+  const TimeNs base = trace_.span() * static_cast<double>(loop_count_);
+  const TimeNs at = base + trace_.opportunities()[next_index_];
+  sim_.schedule_at(ccstarve::max(at, sim_.now()), [this] { on_opportunity(); });
+}
+
+void TraceDrivenLink::on_opportunity() {
+  if (queue_.empty()) {
+    ++wasted_;
+  } else {
+    Packet pkt = queue_.front();
+    queue_.pop_front();
+    queued_bytes_ -= pkt.bytes;
+    ++used_;
+    next_.handle(pkt);
+  }
+  if (++next_index_ >= trace_.size()) {
+    next_index_ = 0;
+    ++loop_count_;
+  }
+  schedule_next_opportunity();
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,49 @@
+// Trace-driven bottleneck: Mahimahi's link model. Packets wait in a FIFO
+// drop-tail queue; one MTU-sized packet departs at each delivery opportunity
+// of the trace, which loops forever.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "emu/trace.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace ccstarve {
+
+class TraceDrivenLink final : public PacketHandler {
+ public:
+  struct Config {
+    uint64_t buffer_bytes = std::numeric_limits<uint64_t>::max() / 2;
+  };
+
+  TraceDrivenLink(Simulator& sim, DeliveryTrace trace, const Config& config,
+                  PacketHandler& next);
+
+  void handle(Packet pkt) override;
+
+  uint64_t queued_bytes() const { return queued_bytes_; }
+  uint64_t drops() const { return drops_; }
+  uint64_t opportunities_used() const { return used_; }
+  uint64_t opportunities_wasted() const { return wasted_; }
+
+ private:
+  void schedule_next_opportunity();
+  void on_opportunity();
+
+  Simulator& sim_;
+  DeliveryTrace trace_;
+  Config config_;
+  PacketHandler& next_;
+  std::deque<Packet> queue_;
+  uint64_t queued_bytes_ = 0;
+  uint64_t drops_ = 0;
+  uint64_t used_ = 0;
+  uint64_t wasted_ = 0;
+  size_t next_index_ = 0;
+  uint64_t loop_count_ = 0;
+};
+
+}  // namespace ccstarve

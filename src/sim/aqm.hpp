@@ -1,0 +1,79 @@
+// Active queue management and explicit congestion notification (§6.4).
+//
+// The paper conjectures that ECN — an unambiguous congestion signal, unlike
+// delay or loss — lets CCAs avoid starvation: "if the router set ECN bits
+// when the queue exceeds a threshold, and a CCA reacted to that and not to
+// small amounts of loss, then it may avoid starvation."
+//
+// This header adds marking disciplines to the bottleneck:
+//   * ThresholdEcn — mark when the instantaneous queue exceeds a threshold
+//     (the simple heuristic §6.4 describes);
+//   * RedEcn — Random Early Detection (Floyd & Jacobson 1993): mark with a
+//     probability ramping between two thresholds of the averaged queue.
+//
+// Marks ride on Packet::ecn_ce and are echoed by the receiver onto ACKs
+// (Packet::ack_ece); the AckSample carries them to the CCA.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/packet.hpp"
+#include "util/rng.hpp"
+
+namespace ccstarve {
+
+class AqmPolicy {
+ public:
+  virtual ~AqmPolicy() = default;
+  // Decide whether to CE-mark a packet that arrives with the queue holding
+  // `queued_bytes` (excluding this packet).
+  virtual bool should_mark(uint64_t queued_bytes) = 0;
+};
+
+// Mark everything above a fixed backlog threshold.
+class ThresholdEcn final : public AqmPolicy {
+ public:
+  explicit ThresholdEcn(uint64_t threshold_bytes)
+      : threshold_bytes_(threshold_bytes) {}
+  bool should_mark(uint64_t queued_bytes) override {
+    return queued_bytes >= threshold_bytes_;
+  }
+
+ private:
+  uint64_t threshold_bytes_;
+};
+
+// RED-style probabilistic marking on an EWMA of the queue length.
+class RedEcn final : public AqmPolicy {
+ public:
+  struct Params {
+    uint64_t min_threshold_bytes = 15 * kMss;
+    uint64_t max_threshold_bytes = 45 * kMss;
+    double max_probability = 0.2;
+    double queue_weight = 0.05;  // EWMA gain
+    uint64_t seed = 19;
+  };
+
+  explicit RedEcn(const Params& params) : params_(params), rng_(params.seed) {}
+
+  bool should_mark(uint64_t queued_bytes) override {
+    avg_ += params_.queue_weight * (static_cast<double>(queued_bytes) - avg_);
+    if (avg_ < static_cast<double>(params_.min_threshold_bytes)) return false;
+    if (avg_ >= static_cast<double>(params_.max_threshold_bytes)) return true;
+    const double frac =
+        (avg_ - static_cast<double>(params_.min_threshold_bytes)) /
+        static_cast<double>(params_.max_threshold_bytes -
+                            params_.min_threshold_bytes);
+    return rng_.bernoulli(frac * params_.max_probability);
+  }
+
+  double average_queue_bytes() const { return avg_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+  double avg_ = 0.0;
+};
+
+}  // namespace ccstarve

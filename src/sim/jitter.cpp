@@ -1,0 +1,38 @@
+#include "sim/jitter.hpp"
+
+namespace ccstarve {
+
+TimeNs PeriodicReleaseJitter::release_at(const Packet&, TimeNs arrival) {
+  const int64_t rel = arrival.ns() - phase_.ns();
+  if (rel <= 0) return phase_;
+  const int64_t periods = (rel + period_.ns() - 1) / period_.ns();
+  return phase_ + TimeNs::nanos(periods * period_.ns());
+}
+
+TimeNs OnOffJitter::release_at(const Packet&, TimeNs arrival) {
+  const int64_t cycle = on_time_.ns() + off_time_.ns();
+  const int64_t pos = arrival.ns() % cycle;
+  return pos < on_time_.ns() ? arrival + high_ : arrival;
+}
+
+JitterBox::JitterBox(Simulator& sim, std::unique_ptr<JitterPolicy> policy,
+                     TimeNs budget, PacketHandler& next)
+    : sim_(sim), policy_(std::move(policy)), budget_(budget), next_(next) {}
+
+void JitterBox::handle(Packet pkt) {
+  const TimeNs arrival = sim_.now();
+  TimeNs release = policy_->release_at(pkt, arrival);
+  release = ccstarve::max(release, arrival);     // eta >= 0
+  release = ccstarve::max(release, last_release_);  // no reordering
+  last_release_ = release;
+
+  const TimeNs added = release - arrival;
+  ++stats_.packets;
+  stats_.total_added_seconds += added.to_seconds();
+  stats_.max_added = ccstarve::max(stats_.max_added, added);
+  if (added > budget_) ++stats_.budget_violations;
+
+  sim_.schedule_at(release, [this, pkt] { next_.handle(pkt); });
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,215 @@
+// The non-congestive delay element of the paper's §3 model: a per-flow box
+// that may hold any packet for a bounded extra time without reordering.
+//
+// A JitterPolicy decides the (absolute) release time of each packet; the
+// JitterBox enforces FIFO order and accounts for how much non-congestive
+// delay was actually added, including violations of the [0, D] budget —
+// the Theorem 1 construction asserts that its emulation stayed within
+// budget by reading these counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/series.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class JitterPolicy {
+ public:
+  virtual ~JitterPolicy() = default;
+  // Absolute release time for a packet arriving now. The box clamps this to
+  // `arrival` from below and enforces no-reordering.
+  virtual TimeNs release_at(const Packet& pkt, TimeNs arrival) = 0;
+};
+
+// eta(t) = 0: the ideal path.
+class ZeroJitter final : public JitterPolicy {
+ public:
+  TimeNs release_at(const Packet&, TimeNs arrival) override { return arrival; }
+};
+
+// eta(t) = c for every packet (e.g. a constant processing overhead).
+class ConstantJitter final : public JitterPolicy {
+ public:
+  explicit ConstantJitter(TimeNs c) : c_(c) {}
+  TimeNs release_at(const Packet&, TimeNs arrival) override {
+    return arrival + c_;
+  }
+
+ private:
+  TimeNs c_;
+};
+
+// eta(t) = c for every packet except one, which passes through untouched:
+// the first packet arriving at or after `exempt_after`. Reproduces the
+// paper's §5.1 Copa attack — a single packet with an RTT 1 ms below every
+// other makes Copa under-estimate its min RTT for as long as the sample
+// stays in its min-RTT window. Exempting by time (rather than sequence
+// number) lets the experiment pick a moment when the queue is empty, so the
+// exempt packet's RTT really is Rm.
+class AllButOneJitter final : public JitterPolicy {
+ public:
+  AllButOneJitter(TimeNs c, TimeNs exempt_after)
+      : c_(c), exempt_after_(exempt_after) {}
+  TimeNs release_at(const Packet& pkt, TimeNs arrival) override {
+    (void)pkt;
+    // Only exempt a packet whose early release would not reorder it behind
+    // its (+c delayed) predecessor, i.e. one preceded by a >= c gap;
+    // otherwise the box's no-reorder clamp would erase the exemption.
+    const bool gap_ok = arrival - last_arrival_ >= c_;
+    last_arrival_ = arrival;
+    if (!exempted_ && arrival >= exempt_after_ && gap_ok) {
+      exempted_ = true;
+      return arrival;
+    }
+    return arrival + c_;
+  }
+
+  bool fired() const { return exempted_; }
+
+ private:
+  TimeNs c_;
+  TimeNs exempt_after_;
+  TimeNs last_arrival_ = TimeNs(-(int64_t)1e15);
+  bool exempted_ = false;
+};
+
+// Constant jitter that switches on at `start`: zero before, c after. Lets
+// an experiment poison a CCA's steady state while its min-RTT baseline was
+// learned clean (persistent non-congestive delay arriving mid-connection).
+class StepJitter final : public JitterPolicy {
+ public:
+  StepJitter(TimeNs c, TimeNs start) : c_(c), start_(start) {}
+  TimeNs release_at(const Packet&, TimeNs arrival) override {
+    return arrival < start_ ? arrival : arrival + c_;
+  }
+
+ private:
+  TimeNs c_;
+  TimeNs start_;
+};
+
+// Uniform random jitter in [lo, hi] (OS-scheduling-style noise).
+class UniformJitter final : public JitterPolicy {
+ public:
+  UniformJitter(TimeNs lo, TimeNs hi, uint64_t seed)
+      : lo_(lo), hi_(hi), rng_(seed) {}
+  TimeNs release_at(const Packet&, TimeNs arrival) override {
+    return arrival +
+           TimeNs::nanos(static_cast<int64_t>(rng_.uniform(
+               static_cast<double>(lo_.ns()), static_cast<double>(hi_.ns()))));
+  }
+
+ private:
+  TimeNs lo_, hi_;
+  Rng rng_;
+};
+
+// Releases packets only at integer multiples of `period` (measured from
+// `phase`). Models ACK aggregation / quantized delivery: the paper's §5.3
+// Vivace experiment delivers one flow's ACKs only at multiples of 60 ms.
+class PeriodicReleaseJitter final : public JitterPolicy {
+ public:
+  explicit PeriodicReleaseJitter(TimeNs period, TimeNs phase = TimeNs::zero())
+      : period_(period), phase_(phase) {}
+  TimeNs release_at(const Packet&, TimeNs arrival) override;
+
+ private:
+  TimeNs period_, phase_;
+};
+
+// Square-wave jitter: alternates between `high` for `on_time` and zero for
+// `off_time`. A simple model of a link-layer scheduler whose allocation lags
+// demand (the §5.2 BBR discussion).
+class OnOffJitter final : public JitterPolicy {
+ public:
+  OnOffJitter(TimeNs high, TimeNs on_time, TimeNs off_time)
+      : high_(high), on_time_(on_time), off_time_(off_time) {}
+  TimeNs release_at(const Packet&, TimeNs arrival) override;
+
+ private:
+  TimeNs high_, on_time_, off_time_;
+};
+
+// Jitter given by an arbitrary trajectory eta(t) sampled from a TimeSeries
+// (seconds). Used to replay adversarial schedules produced by the analysis
+// core.
+class TrajectoryJitter final : public JitterPolicy {
+ public:
+  explicit TrajectoryJitter(TimeSeries eta) : eta_(std::move(eta)) {}
+  TimeNs release_at(const Packet&, TimeNs arrival) override {
+    return arrival + TimeNs::seconds(eta_.at(arrival));
+  }
+
+ private:
+  TimeSeries eta_;
+};
+
+// Delay-emulation policy used by the Theorem 1/2 constructions. Placed on a
+// flow's ACK path, it holds each ACK until the total RTT of the associated
+// data packet equals a target trajectory d(t) evaluated at the data packet's
+// send time: release = data_sent_at + d(data_sent_at). The implied
+// non-congestive delay is eta = release - arrival, which the surrounding
+// JitterBox audits against the budget D.
+class DelayEmulationJitter final : public JitterPolicy {
+ public:
+  // `target_rtt` maps send time (series time axis) to target RTT in seconds.
+  // With `loop` set, the trajectory is tiled: send times beyond its span are
+  // wrapped modulo the span, so a converged-window recording can drive an
+  // arbitrarily long emulation.
+  explicit DelayEmulationJitter(TimeSeries target_rtt, bool loop = false)
+      : target_(std::move(target_rtt)), loop_(loop) {}
+
+  TimeNs release_at(const Packet& pkt, TimeNs arrival) override {
+    const TimeNs want = pkt.data_sent_at + TimeNs::seconds(target_at(pkt.data_sent_at));
+    return ccstarve::max(want, arrival);
+  }
+
+  double target_at(TimeNs send_time) const {
+    if (!loop_) return target_.at(send_time);
+    const int64_t span = target_.back_time().ns();
+    if (span <= 0) return target_.at(send_time);
+    return target_.at(TimeNs::nanos(send_time.ns() % span));
+  }
+
+ private:
+  TimeSeries target_;
+  bool loop_;
+};
+
+// The box itself: applies a policy, forbids reordering, audits the added
+// delay against a budget D.
+class JitterBox final : public PacketHandler {
+ public:
+  struct Stats {
+    uint64_t packets = 0;
+    // Packets whose added delay exceeded the budget D.
+    uint64_t budget_violations = 0;
+    TimeNs max_added = TimeNs::zero();
+    double total_added_seconds = 0.0;
+  };
+
+  // `budget` is the model's D; pass TimeNs::infinite() to disable auditing.
+  JitterBox(Simulator& sim, std::unique_ptr<JitterPolicy> policy,
+            TimeNs budget, PacketHandler& next);
+
+  void handle(Packet pkt) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<JitterPolicy> policy_;
+  TimeNs budget_;
+  PacketHandler& next_;
+  TimeNs last_release_ = TimeNs::zero();
+  Stats stats_;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,120 @@
+// Bottleneck and delay elements of the paper's §3 network model:
+//
+//   * BottleneckLink — byte-accurate FIFO drop-tail queue drained at a
+//     constant (but settable, for the §6.5 strong model) rate. Supports
+//     prefilling with dummy bytes to establish an initial queueing delay,
+//     which the Theorem 1 construction needs to set d*(0).
+//   * PropagationDelay — fixed delay Rm portion of the path.
+//   * DelayServerLink — FIFO element that imposes an arbitrary caller-chosen
+//     queueing-delay trajectory; this is the §6.5 "strong model" adversary,
+//     which may emulate any variable-rate link.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <limits>
+
+#include "sim/aqm.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rate.hpp"
+#include "util/series.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class BottleneckLink final : public PacketHandler {
+ public:
+  struct Config {
+    Rate rate = Rate::mbps(10);
+    // Drop-tail capacity. Defaults to effectively infinite, matching the
+    // paper's ideal path ("a bottleneck queue large enough to never
+    // overflow").
+    uint64_t buffer_bytes = std::numeric_limits<uint64_t>::max() / 2;
+  };
+
+  BottleneckLink(Simulator& sim, const Config& config, PacketHandler& next);
+
+  void handle(Packet pkt) override;
+
+  // Installs an ECN marking discipline (install before traffic flows).
+  void set_aqm(std::unique_ptr<AqmPolicy> aqm) { aqm_ = std::move(aqm); }
+  uint64_t ce_marks() const { return ce_marks_; }
+
+  // Inserts `bytes` of dummy traffic ahead of everything else; they are
+  // served normally and discarded by the demultiplexer.
+  void prefill(uint64_t bytes);
+
+  // Changes the drain rate; affects packets whose service starts afterwards.
+  void set_rate(Rate r);
+  Rate rate() const { return rate_; }
+
+  uint64_t queued_bytes() const { return queued_bytes_; }
+  // Backlog expressed as time-to-drain at the current rate.
+  TimeNs queueing_delay() const { return rate_.transmission_time(queued_bytes_); }
+
+  uint64_t drops() const { return drops_; }
+  uint64_t delivered_packets() const { return delivered_packets_; }
+
+  // Optional observer invoked when a packet is dropped at enqueue.
+  void set_drop_listener(std::function<void(const Packet&)> fn) {
+    drop_listener_ = std::move(fn);
+  }
+
+ private:
+  void start_service();
+  void finish_service();
+
+  Simulator& sim_;
+  Rate rate_;
+  uint64_t buffer_bytes_;
+  PacketHandler& next_;
+  std::deque<Packet> queue_;
+  uint64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  uint64_t drops_ = 0;
+  uint64_t delivered_packets_ = 0;
+  std::unique_ptr<AqmPolicy> aqm_;
+  uint64_t ce_marks_ = 0;
+  uint64_t epoch_ = 0;  // invalidates in-flight service events after set_rate
+  std::function<void(const Packet&)> drop_listener_;
+};
+
+class PropagationDelay final : public PacketHandler {
+ public:
+  PropagationDelay(Simulator& sim, TimeNs delay, PacketHandler& next)
+      : sim_(sim), delay_(delay), next_(next) {}
+
+  void handle(Packet pkt) override;
+
+  TimeNs delay() const { return delay_; }
+
+ private:
+  Simulator& sim_;
+  TimeNs delay_;
+  PacketHandler& next_;
+};
+
+// FIFO element whose per-packet holding time is a caller-supplied function of
+// arrival time. Releases never reorder. This gives the adversary direct
+// control of the queueing-delay pattern (Theorem 3 notes a variable-rate link
+// "can create any queueing delay pattern it likes").
+class DelayServerLink final : public PacketHandler {
+ public:
+  using DelayFn = std::function<TimeNs(TimeNs arrival)>;
+
+  DelayServerLink(Simulator& sim, DelayFn fn, PacketHandler& next)
+      : sim_(sim), fn_(std::move(fn)), next_(next) {}
+
+  void handle(Packet pkt) override;
+
+ private:
+  Simulator& sim_;
+  DelayFn fn_;
+  PacketHandler& next_;
+  TimeNs last_release_ = TimeNs::zero();
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,34 @@
+// Bernoulli packet-loss gate (the §5.4 PCC Allegro experiment injects 2%
+// random loss on one flow's path).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/packet.hpp"
+#include "util/rng.hpp"
+
+namespace ccstarve {
+
+class LossGate final : public PacketHandler {
+ public:
+  LossGate(double loss_rate, uint64_t seed, PacketHandler& next)
+      : loss_rate_(loss_rate), rng_(seed), next_(next) {}
+
+  void handle(Packet pkt) override {
+    if (!pkt.is_dummy && loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
+      ++dropped_;
+      return;
+    }
+    next_.handle(pkt);
+  }
+
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  double loss_rate_;
+  Rng rng_;
+  PacketHandler& next_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace ccstarve

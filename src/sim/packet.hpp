@@ -1,0 +1,58 @@
+// The single packet type that flows through every emulator component.
+//
+// Data segments and ACKs share one struct so queues, delay elements and
+// jitter boxes can be reused on either path; ACK-only fields are prefixed
+// `ack_`.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+struct Packet {
+  uint32_t flow = 0;
+  // Data: sequence number of the first payload byte. Segments are always
+  // MSS-sized, so seq advances in multiples of kMss.
+  uint64_t seq = 0;
+  // Wire size; determines queue occupancy and transmission time.
+  uint32_t bytes = kMss;
+  bool is_ack = false;
+  bool is_retransmit = false;
+  // Queue-prefill filler used to set an initial queueing delay (Theorem 1
+  // construction); occupies the bottleneck but is discarded downstream.
+  bool is_dummy = false;
+  // When the corresponding data segment left the sender (echoed on ACKs so
+  // the sender can take an RTT sample).
+  TimeNs data_sent_at = TimeNs::zero();
+  // Congestion Experienced: set by an ECN-marking bottleneck (sim/aqm.hpp).
+  bool ecn_ce = false;
+  // ACKs: echo of CE marks seen by the receiver (ECN-Echo).
+  bool ack_ece = false;
+
+  // --- ACK fields ---
+  // Cumulative bytes received in order at the receiver.
+  uint64_t ack_cum = 0;
+  // Sequence number of the data segment that triggered this ACK (a 1-segment
+  // SACK, enough for fast retransmit in a fixed-MSS world).
+  uint64_t ack_seq = 0;
+  // Number of data segments this ACK covers (>1 with delayed ACKs).
+  uint32_t ack_pkts = 1;
+};
+
+// Anything that accepts packets at the current simulation time.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle(Packet pkt) = 0;
+};
+
+// Terminal sink that discards packets (used for dummies and in tests).
+class NullHandler final : public PacketHandler {
+ public:
+  void handle(Packet) override {}
+};
+
+}  // namespace ccstarve

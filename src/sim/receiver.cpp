@@ -1,0 +1,68 @@
+#include "sim/receiver.hpp"
+
+namespace ccstarve {
+
+Receiver::Receiver(Simulator& sim, const AckPolicy& policy,
+                   PacketHandler& ack_path)
+    : sim_(sim), policy_(policy), ack_path_(ack_path) {}
+
+void Receiver::handle(Packet pkt) {
+  if (pkt.is_dummy || pkt.is_ack) return;
+  ++packets_;
+
+  if (pkt.seq == cum_) {
+    cum_ += pkt.bytes;
+    // Absorb any previously buffered out-of-order segments that are now
+    // contiguous.
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && *it <= cum_) {
+      if (*it == cum_) cum_ += kMss;
+      it = ooo_.erase(it);
+    }
+  } else if (pkt.seq > cum_) {
+    ooo_.insert(pkt.seq);
+  }
+  // pkt.seq < cum_: spurious retransmission, still ACKed below so the
+  // sender's scoreboard converges.
+
+  last_data_ = pkt;
+  ece_pending_ |= pkt.ecn_ce;
+  ++unacked_;
+
+  const bool gap = pkt.seq != cum_ - pkt.bytes;  // did not advance in order
+  if (gap || unacked_ >= policy_.ack_every) {
+    // Out-of-order data triggers an immediate (duplicate) ACK, as TCP does;
+    // in-order data respects the delayed-ACK policy.
+    emit_ack(pkt);
+  } else if (!timer_armed_) {
+    arm_timer();
+  }
+}
+
+void Receiver::arm_timer() {
+  timer_armed_ = true;
+  const uint64_t epoch = ++timer_epoch_;
+  sim_.schedule_in(policy_.delayed_ack_timeout, [this, epoch] {
+    if (epoch != timer_epoch_ || unacked_ == 0) return;
+    emit_ack(last_data_);
+  });
+}
+
+void Receiver::emit_ack(const Packet& trigger) {
+  Packet ack;
+  ack.flow = trigger.flow;
+  ack.is_ack = true;
+  ack.bytes = 40;  // header-only; the return path has no bottleneck
+  ack.data_sent_at = trigger.data_sent_at;
+  ack.ack_cum = cum_;
+  ack.ack_seq = trigger.seq;
+  ack.ack_pkts = unacked_ == 0 ? 1 : unacked_;
+  ack.ack_ece = ece_pending_;
+  ece_pending_ = false;
+  unacked_ = 0;
+  timer_armed_ = false;
+  ++timer_epoch_;
+  ack_path_.handle(ack);
+}
+
+}  // namespace ccstarve

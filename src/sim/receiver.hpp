@@ -1,0 +1,50 @@
+// Receiver endpoint: tracks in-order delivery, generates cumulative ACKs
+// (optionally delayed, as in the Fig. 7 experiment where one receiver ACKs
+// only every 4th segment) and echoes timestamps for RTT measurement.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+struct AckPolicy {
+  // Send an ACK after this many unacknowledged data segments.
+  uint32_t ack_every = 1;
+  // ...or after this long since the first unacknowledged segment arrived,
+  // whichever comes first (classic delayed-ACK timer).
+  TimeNs delayed_ack_timeout = TimeNs::millis(40);
+};
+
+class Receiver final : public PacketHandler {
+ public:
+  Receiver(Simulator& sim, const AckPolicy& policy, PacketHandler& ack_path);
+
+  void handle(Packet pkt) override;
+
+  uint64_t cum_received() const { return cum_; }
+  uint64_t packets_received() const { return packets_; }
+
+ private:
+  void emit_ack(const Packet& trigger);
+  void arm_timer();
+
+  Simulator& sim_;
+  AckPolicy policy_;
+  PacketHandler& ack_path_;
+  std::set<uint64_t> ooo_;  // out-of-order segment seqs awaiting the gap
+  uint64_t cum_ = 0;        // bytes received in order
+  uint64_t packets_ = 0;
+  uint32_t unacked_ = 0;    // segments since last ACK
+  Packet last_data_;        // newest data segment (echo fields for the ACK)
+  uint64_t timer_epoch_ = 0;
+  bool timer_armed_ = false;
+  // CE seen since the last ACK (ECN-Echo accumulation).
+  bool ece_pending_ = false;
+};
+
+}  // namespace ccstarve

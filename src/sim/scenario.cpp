@@ -1,0 +1,88 @@
+#include "sim/scenario.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ccstarve {
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)), demux_(*this) {
+  if (config_.delay_server) {
+    delay_server_ =
+        std::make_unique<DelayServerLink>(sim_, config_.delay_server, demux_);
+    ingress_ = delay_server_.get();
+  } else {
+    BottleneckLink::Config lc;
+    lc.rate = config_.link_rate;
+    lc.buffer_bytes = config_.buffer_bytes;
+    link_ = std::make_unique<BottleneckLink>(sim_, lc, demux_);
+    if (config_.aqm) link_->set_aqm(std::move(config_.aqm));
+    if (config_.prefill_bytes > 0) link_->prefill(config_.prefill_bytes);
+    ingress_ = link_.get();
+  }
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::Demux::handle(Packet pkt) {
+  if (pkt.is_dummy) return;
+  assert(pkt.flow < owner_.flows_.size());
+  owner_.flows_[pkt.flow]->prop->handle(pkt);
+}
+
+uint32_t Scenario::add_flow(FlowSpec spec) {
+  assert(spec.cca != nullptr);
+  const uint32_t id = static_cast<uint32_t>(flows_.size());
+  auto flow = std::make_unique<Flow>();
+
+  Sender::Config sc;
+  sc.flow_id = id;
+  sc.stats_interval = spec.stats_interval;
+  sc.max_cwnd_bytes = spec.max_cwnd_bytes;
+  // The chain is built in dependency order: each element references the one
+  // that consumes its output.
+  PacketHandler* sender_egress = ingress_;
+  if (spec.loss_rate > 0.0) {
+    flow->loss_gate =
+        std::make_unique<LossGate>(spec.loss_rate, spec.loss_seed, *ingress_);
+    sender_egress = flow->loss_gate.get();
+  }
+  flow->sender =
+      std::make_unique<Sender>(sim_, sc, std::move(spec.cca), *sender_egress);
+  flow->ack_jitter = std::make_unique<JitterBox>(
+      sim_,
+      spec.ack_jitter ? std::move(spec.ack_jitter)
+                      : std::make_unique<ZeroJitter>(),
+      config_.jitter_budget, *flow->sender);
+  flow->receiver =
+      std::make_unique<Receiver>(sim_, spec.ack_policy, *flow->ack_jitter);
+  flow->data_jitter = std::make_unique<JitterBox>(
+      sim_,
+      spec.data_jitter ? std::move(spec.data_jitter)
+                       : std::make_unique<ZeroJitter>(),
+      config_.jitter_budget, *flow->receiver);
+  flow->prop = std::make_unique<PropagationDelay>(sim_, spec.min_rtt,
+                                                  *flow->data_jitter);
+
+  flow->sender->start(spec.start_at);
+  flows_.push_back(std::move(flow));
+  return id;
+}
+
+void Scenario::run_until(TimeNs until) { sim_.run_until(until); }
+
+Rate Scenario::throughput(size_t i, TimeNs from, TimeNs to) const {
+  const FlowStats& st = stats(i);
+  if (st.delivered_bytes.empty() || to <= from) return Rate::zero();
+  const double bytes =
+      st.delivered_bytes.at(to) - st.delivered_bytes.at(from);
+  return Rate::bytes_per_sec(bytes / (to - from).to_seconds());
+}
+
+Rate Scenario::throughput(size_t i) const {
+  const TimeNs now = sim_.now();
+  if (now <= TimeNs::zero()) return Rate::zero();
+  return Rate::from_bytes_over(flows_[i]->sender->delivered_bytes(), now);
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,133 @@
+// Scenario: the paper's §3 topology, assembled and ready to run.
+//
+//   sender_i -> [loss gate_i] -> shared FIFO bottleneck -> demux
+//        -> propagation Rm_i -> data jitter box_i -> receiver_i
+//        -> ack jitter box_i -> sender_i
+//
+// Every experiment in the paper (and every bench binary here) is an
+// instance of this scenario with different flow specs, jitter policies and
+// link parameters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cc/cca.hpp"
+#include "sim/aqm.hpp"
+#include "sim/jitter.hpp"
+#include "sim/link.hpp"
+#include "sim/loss.hpp"
+#include "sim/packet.hpp"
+#include "sim/receiver.hpp"
+#include "sim/sender.hpp"
+#include "sim/simulator.hpp"
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+struct FlowSpec {
+  std::unique_ptr<Cca> cca;
+  TimeNs start_at = TimeNs::zero();
+  // Per-flow minimum propagation RTT (the non-bottleneck path may differ
+  // between flows, e.g. the §5.2 BBR experiment uses 40 ms and 80 ms).
+  TimeNs min_rtt = TimeNs::millis(100);
+  // Optional non-congestive delay elements; null means the ideal path.
+  std::unique_ptr<JitterPolicy> data_jitter;
+  std::unique_ptr<JitterPolicy> ack_jitter;
+  // Random loss on the data path before the bottleneck.
+  double loss_rate = 0.0;
+  uint64_t loss_seed = 1;
+  AckPolicy ack_policy;
+  TimeNs stats_interval = TimeNs::zero();
+  // Sender-level window cap (see Sender::Config::max_cwnd_bytes).
+  uint64_t max_cwnd_bytes = uint64_t{1} << 40;
+};
+
+struct ScenarioConfig {
+  Rate link_rate = Rate::mbps(100);
+  // When set, the shared bottleneck is replaced by a DelayServerLink whose
+  // queueing delay is this function of arrival time — the §6.5 strong model
+  // where the adversary controls the queueing pattern directly (via an
+  // arbitrarily variable link rate). link_rate/buffer/prefill are ignored.
+  DelayServerLink::DelayFn delay_server;
+  // Drop-tail buffer; default effectively infinite (the paper's ideal path).
+  uint64_t buffer_bytes = std::numeric_limits<uint64_t>::max() / 2;
+  // The model's D: jitter boxes audit added delay against this budget.
+  TimeNs jitter_budget = TimeNs::infinite();
+  // Dummy bytes pre-loaded into the bottleneck at t=0 (sets d*(0)).
+  uint64_t prefill_bytes = 0;
+  // Optional ECN marking discipline installed at the bottleneck (paper 6.4).
+  std::unique_ptr<AqmPolicy> aqm;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // Adds a flow and returns its index. All flows must be added before run.
+  uint32_t add_flow(FlowSpec spec);
+
+  // Advances the simulation to absolute time `until`.
+  void run_until(TimeNs until);
+
+  Simulator& sim() { return sim_; }
+  // Only valid when the scenario uses a rate-limited bottleneck (no
+  // delay_server).
+  BottleneckLink& link() { return *link_; }
+  const BottleneckLink& link() const { return *link_; }
+  bool has_bottleneck() const { return link_ != nullptr; }
+
+  size_t flow_count() const { return flows_.size(); }
+  const Sender& sender(size_t i) const { return *flows_[i]->sender; }
+  Sender& sender(size_t i) { return *flows_[i]->sender; }
+  const FlowStats& stats(size_t i) const { return flows_[i]->sender->stats(); }
+  const JitterBox::Stats& data_jitter_stats(size_t i) const {
+    return flows_[i]->data_jitter->stats();
+  }
+  const JitterBox::Stats& ack_jitter_stats(size_t i) const {
+    return flows_[i]->ack_jitter->stats();
+  }
+
+  // Average throughput of flow i over [from, to] measured from delivered
+  // (cumulatively ACKed) bytes.
+  Rate throughput(size_t i, TimeNs from, TimeNs to) const;
+  // Paper's definition: bytes acknowledged between time 0 and now()/t.
+  Rate throughput(size_t i) const;
+
+ private:
+  struct Flow;
+
+  // Routes bottleneck egress to the owning flow's path; discards dummies.
+  class Demux final : public PacketHandler {
+   public:
+    explicit Demux(Scenario& owner) : owner_(owner) {}
+    void handle(Packet pkt) override;
+
+   private:
+    Scenario& owner_;
+  };
+
+  struct Flow {
+    std::unique_ptr<Sender> sender;
+    std::unique_ptr<LossGate> loss_gate;   // sender -> bottleneck
+    std::unique_ptr<PropagationDelay> prop;
+    std::unique_ptr<JitterBox> data_jitter;
+    std::unique_ptr<Receiver> receiver;
+    std::unique_ptr<JitterBox> ack_jitter;
+  };
+
+  Simulator sim_;
+  ScenarioConfig config_;
+  Demux demux_;
+  std::unique_ptr<BottleneckLink> link_;
+  std::unique_ptr<DelayServerLink> delay_server_;
+  PacketHandler* ingress_ = nullptr;  // where senders push data packets
+  std::vector<std::unique_ptr<Flow>> flows_;
+};
+
+}  // namespace ccstarve

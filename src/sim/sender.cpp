@@ -1,0 +1,263 @@
+#include "sim/sender.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccstarve {
+
+namespace {
+constexpr TimeNs kMinRto = TimeNs::millis(200);
+constexpr TimeNs kMaxRto = TimeNs::seconds(60);
+}  // namespace
+
+Sender::Sender(Simulator& sim, const Config& config, std::unique_ptr<Cca> cca,
+               PacketHandler& data_path)
+    : sim_(sim), config_(config), cca_(std::move(cca)), data_path_(data_path) {
+  assert(cca_ != nullptr);
+}
+
+void Sender::start(TimeNs at) {
+  sim_.schedule_at(at, [this] {
+    started_ = true;
+    start_time_ = sim_.now();
+    pace_next_ = sim_.now();
+    maybe_send();
+  });
+}
+
+void Sender::maybe_send() {
+  if (!started_ || !cca_) return;
+  const TimeNs now = sim_.now();
+  while (true) {
+    const bool has_retx = !retx_queue_.empty();
+    const uint64_t cwnd =
+        std::min(cca_->cwnd_bytes(), config_.max_cwnd_bytes);
+    if (!has_retx && inflight_bytes_ + kMss > cwnd) {
+      return;  // window-blocked; an ACK will re-invoke us
+    }
+    if (pace_next_ > now) {
+      if (!wakeup_scheduled_) {
+        wakeup_scheduled_ = true;
+        sim_.schedule_at(pace_next_, [this] {
+          wakeup_scheduled_ = false;
+          maybe_send();
+        });
+      }
+      return;  // pacing-blocked
+    }
+    uint64_t seq;
+    bool retx = false;
+    if (has_retx) {
+      seq = *retx_queue_.begin();
+      retx_queue_.erase(retx_queue_.begin());
+      retx = true;
+    } else {
+      seq = next_seq_;
+      next_seq_ += kMss;
+    }
+    send_segment(seq, retx);
+    const Rate pr = cca_->pacing_rate();
+    pace_next_ = ccstarve::max(pace_next_, now) + pr.transmission_time(kMss);
+  }
+}
+
+void Sender::send_segment(uint64_t seq, bool retransmit) {
+  Packet pkt;
+  pkt.flow = config_.flow_id;
+  pkt.seq = seq;
+  pkt.bytes = kMss;
+  pkt.is_retransmit = retransmit;
+  pkt.data_sent_at = sim_.now();
+
+  // A retransmitted segment replaces its scoreboard entry; inflight only
+  // grows when the segment was not already outstanding.
+  auto [it, inserted] = outstanding_.insert_or_assign(
+      seq, SentInfo{sim_.now(), pkt.bytes, delivered_});
+  (void)it;
+  if (inserted) inflight_bytes_ += pkt.bytes;
+  ++packets_sent_;
+
+  cca_->on_packet_sent(sim_.now(), seq, pkt.bytes, inflight_bytes_,
+                        retransmit);
+  arm_rto();
+  data_path_.handle(pkt);
+}
+
+void Sender::handle(Packet pkt) {
+  if (!pkt.is_ack || pkt.flow != config_.flow_id) return;
+  on_ack_packet(pkt);
+}
+
+void Sender::on_ack_packet(const Packet& ack) {
+  const TimeNs now = sim_.now();
+  const TimeNs rtt = now - ack.data_sent_at;
+
+  // RTT estimators (RFC 6298 shape).
+  if (srtt_ == TimeNs::zero()) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2.0;
+  } else {
+    const TimeNs err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+    rttvar_ = rttvar_ * 0.75 + err * 0.25;
+    srtt_ = srtt_ * 0.875 + rtt * 0.125;
+  }
+  // The 1.25 multiplier keeps the timer clear of the steady-state boundary
+  // (with constant RTT, rttvar decays to zero and srtt alone would make the
+  // deadline coincide with the expected ACK arrival).
+  rto_ = ccstarve::min(ccstarve::max(srtt_ * 1.25 + 4.0 * rttvar_, kMinRto),
+                       kMaxRto);
+
+  // Scoreboard update: everything below the cumulative ACK, plus the
+  // specifically-acknowledged segment (1-segment SACK).
+  uint64_t newly_acked = 0;
+  uint64_t delivered_at_send = 0;
+  if (auto it = outstanding_.find(ack.ack_seq); it != outstanding_.end()) {
+    delivered_at_send = it->second.delivered_at_send;
+  }
+  while (!outstanding_.empty() && outstanding_.begin()->first < ack.ack_cum) {
+    newly_acked += outstanding_.begin()->second.bytes;
+    inflight_bytes_ -= outstanding_.begin()->second.bytes;
+    outstanding_.erase(outstanding_.begin());
+  }
+  if (auto it = outstanding_.find(ack.ack_seq); it != outstanding_.end()) {
+    newly_acked += it->second.bytes;
+    inflight_bytes_ -= it->second.bytes;
+    outstanding_.erase(it);
+  }
+  // Drop pending retransmits that the ACK made moot.
+  while (!retx_queue_.empty() && *retx_queue_.begin() < ack.ack_cum) {
+    retx_queue_.erase(retx_queue_.begin());
+  }
+
+  if (ack.ack_seq > max_sacked_) max_sacked_ = ack.ack_seq;
+
+  const uint64_t prev_cum = cum_acked_;
+  const bool advanced = ack.ack_cum > prev_cum;
+  if (advanced) {
+    cum_acked_ = ack.ack_cum;
+    backoff_ = 0;
+    if (in_recovery_) {
+      if (cum_acked_ >= recovery_point_) {
+        in_recovery_ = false;
+        dupacks_ = 0;
+      } else {
+        // Partial ACK: repair the known holes (SACK-style), starting with
+        // the one at the new cumulative point.
+        queue_retransmit(cum_acked_);
+        repair_holes(now);
+      }
+    } else {
+      dupacks_ = 0;
+    }
+  } else if (ack.ack_seq >= ack.ack_cum) {
+    // Duplicate ACK carrying evidence of out-of-order arrival.
+    ++dupacks_;
+    if (in_recovery_) repair_holes(now);
+    if (dupacks_ == 3 && !in_recovery_) {
+      in_recovery_ = true;
+      recovery_point_ = next_seq_;
+      ++stats_.fast_retransmits;
+      queue_retransmit(ack.ack_cum);
+      repair_holes(now);
+      LossSample loss;
+      loss.now = now;
+      loss.lost_bytes = kMss;
+      loss.inflight_bytes = inflight_bytes_;
+      loss.is_timeout = false;
+      cca_->on_loss(loss);
+    }
+  }
+
+  delivered_ = cum_acked_ > delivered_ ? cum_acked_ : delivered_;
+
+  AckSample sample;
+  sample.now = now;
+  sample.rtt = rtt;
+  sample.sent_at = ack.data_sent_at;
+  sample.acked_seq = ack.ack_seq;
+  sample.delivered_at_send = delivered_at_send;
+  sample.newly_acked_bytes = newly_acked;
+  sample.delivered_bytes = delivered_;
+  sample.inflight_bytes = inflight_bytes_;
+  sample.is_duplicate = !advanced;
+  sample.in_recovery = in_recovery_;
+  sample.ece = ack.ack_ece;
+  cca_->on_ack(sample);
+
+  record_stats(now, rtt);
+  arm_rto();
+  maybe_send();
+}
+
+void Sender::queue_retransmit(uint64_t seq) {
+  if (outstanding_.count(seq)) retx_queue_.insert(seq);
+}
+
+void Sender::repair_holes(TimeNs now) {
+  // Segments below the highest SACK that have been outstanding for an RTT
+  // are presumed lost. The per-call cap bounds ACK-processing cost.
+  const TimeNs age_limit = srtt_ > TimeNs::zero() ? srtt_ : rto_;
+  int budget = 128;
+  for (const auto& [seq, info] : outstanding_) {
+    if (seq >= max_sacked_ || budget == 0) break;
+    if (now - info.sent_at > age_limit && !retx_queue_.count(seq)) {
+      retx_queue_.insert(seq);
+      --budget;
+    }
+  }
+}
+
+void Sender::arm_rto() {
+  if (outstanding_.empty()) {
+    ++rto_epoch_;  // cancel
+    return;
+  }
+  const uint64_t epoch = ++rto_epoch_;
+  const TimeNs backoff_rto =
+      ccstarve::min(rto_ * static_cast<double>(uint64_t{1} << backoff_), kMaxRto);
+  // Anchor the deadline to the oldest outstanding transmission, not to the
+  // last ACK: a busy ACK stream must not postpone the timeout of a head-of-
+  // line hole forever.
+  const TimeNs deadline = ccstarve::max(
+      outstanding_.begin()->second.sent_at + backoff_rto,
+      sim_.now() + TimeNs::millis(1));
+  sim_.schedule_at(deadline, [this, epoch] { on_rto_fire(epoch); });
+}
+
+void Sender::on_rto_fire(uint64_t epoch) {
+  if (epoch != rto_epoch_ || outstanding_.empty()) return;
+  const TimeNs backoff_rto =
+      ccstarve::min(rto_ * static_cast<double>(uint64_t{1} << backoff_), kMaxRto);
+  if (sim_.now() - outstanding_.begin()->second.sent_at < backoff_rto) {
+    arm_rto();  // the head was retransmitted recently; re-check later
+    return;
+  }
+  ++stats_.timeouts;
+  ++backoff_;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  queue_retransmit(outstanding_.begin()->first);
+  LossSample loss;
+  loss.now = sim_.now();
+  loss.lost_bytes = outstanding_.begin()->second.bytes;
+  loss.inflight_bytes = inflight_bytes_;
+  loss.is_timeout = true;
+  cca_->on_loss(loss);
+  arm_rto();
+  maybe_send();
+}
+
+void Sender::record_stats(TimeNs now, TimeNs rtt) {
+  if (last_stats_at_ >= TimeNs::zero() &&
+      now - last_stats_at_ < config_.stats_interval) {
+    return;
+  }
+  last_stats_at_ = now;
+  stats_.rtt_seconds.add(now, rtt.to_seconds());
+  stats_.delivered_bytes.add(now, static_cast<double>(delivered_));
+  stats_.cwnd_bytes.add(now, static_cast<double>(cca_->cwnd_bytes()));
+  const Rate pr = cca_->pacing_rate();
+  stats_.pacing_mbps.add(now, pr.is_infinite() ? -1.0 : pr.to_mbps());
+}
+
+}  // namespace ccstarve

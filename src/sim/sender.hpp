@@ -1,0 +1,120 @@
+// Reliable, always-backlogged sender endpoint.
+//
+// Implements the transport machinery the CCAs sit on: fixed-MSS
+// segmentation, a scoreboard with cumulative + 1-segment-SACK accounting,
+// duplicate-ACK fast retransmit with NewReno-style recovery, a
+// retransmission timeout with exponential backoff, and dual cwnd/pacing
+// gating so both window-based (Vegas, Cubic, ...) and rate-based (BBR, PCC,
+// ...) algorithms run on the same code path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "cc/cca.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/series.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+// Per-flow measurement record. Values are sampled on every ACK (optionally
+// throttled); RTTs are in seconds on the series' value axis.
+struct FlowStats {
+  TimeSeries rtt_seconds;
+  TimeSeries delivered_bytes;  // cumulative in-order bytes vs time
+  TimeSeries cwnd_bytes;
+  TimeSeries pacing_mbps;
+  uint64_t fast_retransmits = 0;
+  uint64_t timeouts = 0;
+};
+
+class Sender final : public PacketHandler {
+ public:
+  struct Config {
+    uint32_t flow_id = 0;
+    // Record at most one stats sample per this interval (zero = every ACK).
+    TimeNs stats_interval = TimeNs::zero();
+    // Hard cap on the window regardless of the CCA (safety valve for
+    // strong-model experiments where throughput legitimately diverges).
+    uint64_t max_cwnd_bytes = uint64_t{1} << 40;
+  };
+
+  Sender(Simulator& sim, const Config& config, std::unique_ptr<Cca> cca,
+         PacketHandler& data_path);
+
+  // Begins transmitting at the given absolute time.
+  void start(TimeNs at);
+
+  // ACK ingress.
+  void handle(Packet pkt) override;
+
+  const Cca& cca() const { return *cca_; }
+  Cca& cca() { return *cca_; }
+  // Releases the CCA (with its converged state) for transplantation.
+  std::unique_ptr<Cca> take_cca() { return std::move(cca_); }
+
+  uint64_t delivered_bytes() const { return delivered_; }
+  uint64_t inflight_bytes() const { return inflight_bytes_; }
+  uint64_t packets_sent() const { return packets_sent_; }
+  const FlowStats& stats() const { return stats_; }
+
+ private:
+  struct SentInfo {
+    TimeNs sent_at;
+    uint32_t bytes;
+    uint64_t delivered_at_send;
+  };
+
+  void maybe_send();
+  void send_segment(uint64_t seq, bool retransmit);
+  void on_ack_packet(const Packet& ack);
+  void queue_retransmit(uint64_t seq);
+  // SACK-style loss repair: queue retransmits for outstanding segments below
+  // the highest SACKed seq that have not been (re)sent for an RTT.
+  void repair_holes(TimeNs now);
+  void arm_rto();
+  void on_rto_fire(uint64_t epoch);
+  void record_stats(TimeNs now, TimeNs rtt);
+
+  Simulator& sim_;
+  Config config_;
+  std::unique_ptr<Cca> cca_;
+  PacketHandler& data_path_;
+
+  bool started_ = false;
+  TimeNs start_time_ = TimeNs::zero();
+
+  uint64_t next_seq_ = 0;
+  std::map<uint64_t, SentInfo> outstanding_;
+  uint64_t inflight_bytes_ = 0;
+  std::set<uint64_t> retx_queue_;
+  uint64_t cum_acked_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t packets_sent_ = 0;
+
+  // Fast-retransmit state.
+  uint32_t dupacks_ = 0;
+  bool in_recovery_ = false;
+  uint64_t recovery_point_ = 0;
+  uint64_t max_sacked_ = 0;
+
+  // Pacing.
+  TimeNs pace_next_ = TimeNs::zero();
+  bool wakeup_scheduled_ = false;
+
+  // RTO machinery.
+  TimeNs srtt_ = TimeNs::zero();
+  TimeNs rttvar_ = TimeNs::zero();
+  TimeNs rto_ = TimeNs::millis(1000);
+  int backoff_ = 0;
+  uint64_t rto_epoch_ = 0;
+
+  FlowStats stats_;
+  TimeNs last_stats_at_ = TimeNs(-1);
+};
+
+}  // namespace ccstarve

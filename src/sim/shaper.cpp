@@ -1,0 +1,79 @@
+#include "sim/shaper.hpp"
+
+#include <algorithm>
+
+namespace ccstarve {
+
+TokenBucketFilter::TokenBucketFilter(Simulator& sim, const Config& config,
+                                     PacketHandler& next)
+    : sim_(sim),
+      config_(config),
+      next_(next),
+      tokens_(static_cast<double>(config.burst_bytes)) {}
+
+void TokenBucketFilter::refill() {
+  const TimeNs now = sim_.now();
+  tokens_ = std::min(
+      static_cast<double>(config_.burst_bytes),
+      tokens_ + config_.rate.bytes_per_second() *
+                    (now - last_refill_).to_seconds());
+  last_refill_ = now;
+}
+
+void TokenBucketFilter::handle(Packet pkt) {
+  refill();
+  if (queue_.empty() && tokens_ >= pkt.bytes) {
+    tokens_ -= pkt.bytes;
+    next_.handle(pkt);
+    return;
+  }
+  ++delayed_;
+  queue_.push_back(pkt);
+  drain_queue();
+}
+
+void TokenBucketFilter::drain_queue() {
+  refill();
+  while (!queue_.empty() && tokens_ >= queue_.front().bytes) {
+    tokens_ -= queue_.front().bytes;
+    next_.handle(queue_.front());
+    queue_.pop_front();
+  }
+  if (queue_.empty() || drain_scheduled_) return;
+  // Wake when enough tokens will exist for the head packet.
+  const double deficit = queue_.front().bytes - tokens_;
+  const TimeNs wait = TimeNs::seconds(
+      deficit / std::max(config_.rate.bytes_per_second(), 1.0));
+  drain_scheduled_ = true;
+  sim_.schedule_in(ccstarve::max(wait, TimeNs::micros(1)), [this] {
+    drain_scheduled_ = false;
+    drain_queue();
+  });
+}
+
+GsoBurster::GsoBurster(Simulator& sim, const Config& config,
+                       PacketHandler& next)
+    : sim_(sim), config_(config), next_(next) {}
+
+void GsoBurster::handle(Packet pkt) {
+  held_.push_back(pkt);
+  if (held_.size() >= config_.burst_pkts) {
+    flush();
+    return;
+  }
+  const uint64_t epoch = ++timer_epoch_;
+  sim_.schedule_in(config_.flush_timeout, [this, epoch] {
+    if (epoch == timer_epoch_ && !held_.empty()) flush();
+  });
+}
+
+void GsoBurster::flush() {
+  ++timer_epoch_;  // cancel any pending flush timer
+  ++bursts_;
+  while (!held_.empty()) {
+    next_.handle(held_.front());
+    held_.pop_front();
+  }
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,77 @@
+// Traffic-shaping path elements the paper names as real-world sources of
+// non-congestive delay (§2.1): token-bucket filters and segmentation-offload
+// (GSO) style burst aggregation.
+//
+//   * TokenBucketFilter — passes packets while tokens last, then delays them
+//     until the bucket refills (CCAC models this element explicitly; our
+//     network model subsumes its delay effects, §3).
+//   * GsoBurster — holds packets until `burst_pkts` have accumulated (or a
+//     flush timeout expires) and releases them back-to-back: the sender-side
+//     burstiness that makes one flow lossier at a nearly-full drop-tail
+//     queue (§5.4's delayed-ACK/GSO discussion).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class TokenBucketFilter final : public PacketHandler {
+ public:
+  struct Config {
+    Rate rate = Rate::mbps(10);       // token refill rate
+    uint64_t burst_bytes = 10 * kMss;  // bucket depth
+  };
+
+  TokenBucketFilter(Simulator& sim, const Config& config, PacketHandler& next);
+
+  void handle(Packet pkt) override;
+
+  double tokens_bytes() const { return tokens_; }
+  uint64_t delayed_packets() const { return delayed_; }
+
+ private:
+  void refill();
+  void drain_queue();
+
+  Simulator& sim_;
+  Config config_;
+  PacketHandler& next_;
+  double tokens_;
+  TimeNs last_refill_ = TimeNs::zero();
+  std::deque<Packet> queue_;
+  bool drain_scheduled_ = false;
+  uint64_t delayed_ = 0;
+};
+
+class GsoBurster final : public PacketHandler {
+ public:
+  struct Config {
+    uint32_t burst_pkts = 4;
+    // Flush a partial burst after this long (so a trickle still flows).
+    TimeNs flush_timeout = TimeNs::millis(5);
+  };
+
+  GsoBurster(Simulator& sim, const Config& config, PacketHandler& next);
+
+  void handle(Packet pkt) override;
+
+  uint64_t bursts_released() const { return bursts_; }
+
+ private:
+  void flush();
+
+  Simulator& sim_;
+  Config config_;
+  PacketHandler& next_;
+  std::deque<Packet> held_;
+  uint64_t timer_epoch_ = 0;
+  uint64_t bursts_ = 0;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,36 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ccstarve {
+
+void Simulator::schedule_at(TimeNs at, std::function<void()> fn) {
+  assert(at >= now_);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_in(TimeNs delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::run_next() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; the move is safe because we pop
+  // immediately and nothing else observes the moved-from function.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(TimeNs t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    run_next();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,59 @@
+// Deterministic discrete-event simulator.
+//
+// A single global event queue orders callbacks by (time, insertion sequence);
+// the sequence tie-break makes runs bit-for-bit reproducible regardless of
+// how many events share a timestamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= now).
+  void schedule_at(TimeNs at, std::function<void()> fn);
+  // Schedules `fn` to run `delay` from now.
+  void schedule_in(TimeNs delay, std::function<void()> fn);
+
+  // Runs events until the queue is empty or the next event is after `t`;
+  // afterwards now() == t (time advances even if idle).
+  void run_until(TimeNs t);
+
+  // Runs a single event if one exists. Returns false when idle.
+  bool run_next();
+
+  bool idle() const { return queue_.empty(); }
+  uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimeNs at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = TimeNs::zero();
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,114 @@
+// Time-windowed min/max filters and an EWMA, the estimator building blocks
+// the delay-bounding CCAs in this repo are made of:
+//   * Copa / LEDBAT keep windowed minimums of RTT,
+//   * BBR keeps a windowed maximum of delivery rate,
+//   * Vegas / FAST use smoothed averages.
+//
+// The windowed filters use a monotonic deque so each sample is amortized
+// O(1); expiry is by timestamp, matching "min over the last W seconds".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+namespace detail {
+
+template <typename T, typename Better>
+class WindowedExtremum {
+ public:
+  explicit WindowedExtremum(TimeNs window) : window_(window) {}
+
+  void set_window(TimeNs w) { window_ = w; }
+  TimeNs window() const { return window_; }
+
+  void update(T value, TimeNs now) {
+    // Drop samples that are no longer extremal once `value` arrives.
+    while (!q_.empty() && !Better{}(q_.back().value, value)) q_.pop_back();
+    q_.push_back({value, now});
+    expire(now);
+  }
+
+  // Current extremum over [now - window, now]; call with a monotone clock.
+  std::optional<T> get(TimeNs now) {
+    expire(now);
+    if (q_.empty()) return std::nullopt;
+    return q_.front().value;
+  }
+
+  std::optional<T> peek() const {
+    if (q_.empty()) return std::nullopt;
+    return q_.front().value;
+  }
+
+  void clear() { q_.clear(); }
+  bool empty() const { return q_.empty(); }
+
+  // Shift every stored timestamp by `delta` (used when a CCA with windowed
+  // state is transplanted onto a different simulation timeline).
+  void rebase_time(TimeNs delta) {
+    for (auto& e : q_) e.at += delta;
+  }
+
+ private:
+  struct Entry {
+    T value;
+    TimeNs at;
+  };
+
+  void expire(TimeNs now) {
+    while (!q_.empty() && q_.front().at + window_ < now) q_.pop_front();
+  }
+
+  TimeNs window_;
+  std::deque<Entry> q_;
+};
+
+template <typename T>
+struct StrictlyLess {
+  bool operator()(const T& a, const T& b) const { return a < b; }
+};
+template <typename T>
+struct StrictlyGreater {
+  bool operator()(const T& a, const T& b) const { return a > b; }
+};
+
+}  // namespace detail
+
+// Minimum of samples seen within the trailing time window.
+template <typename T>
+using WindowedMin = detail::WindowedExtremum<T, detail::StrictlyLess<T>>;
+
+// Maximum of samples seen within the trailing time window.
+template <typename T>
+using WindowedMax = detail::WindowedExtremum<T, detail::StrictlyGreater<T>>;
+
+// Exponentially weighted moving average with gain `g` per sample.
+class Ewma {
+ public:
+  explicit Ewma(double gain) : gain_(gain) {}
+
+  void update(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ += gain_ * (sample - value_);
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void reset() { initialized_ = false; }
+
+ private:
+  double gain_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace ccstarve

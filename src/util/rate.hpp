@@ -1,0 +1,76 @@
+// Strong data-rate type (bits per second) plus conversions between
+// rates, byte counts and durations.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  static constexpr Rate zero() { return Rate(0.0); }
+  static constexpr Rate bps(double v) { return Rate(v); }
+  static constexpr Rate kbps(double v) { return Rate(v * 1e3); }
+  static constexpr Rate mbps(double v) { return Rate(v * 1e6); }
+  static constexpr Rate gbps(double v) { return Rate(v * 1e9); }
+  static constexpr Rate bytes_per_sec(double v) { return Rate(v * 8.0); }
+  // Effectively unlimited; used for CCAs that are purely window-limited.
+  static constexpr Rate infinite() {
+    return Rate(std::numeric_limits<double>::infinity());
+  }
+  // Rate achieved by delivering `bytes` over `dt`.
+  static constexpr Rate from_bytes_over(uint64_t bytes, TimeNs dt) {
+    return dt <= TimeNs::zero()
+               ? infinite()
+               : bytes_per_sec(static_cast<double>(bytes) / dt.to_seconds());
+  }
+
+  constexpr double bits_per_sec() const { return bps_; }
+  constexpr double to_mbps() const { return bps_ * 1e-6; }
+  constexpr double bytes_per_second() const { return bps_ / 8.0; }
+  constexpr bool is_infinite() const {
+    return bps_ == std::numeric_limits<double>::infinity();
+  }
+
+  // Time to serialize `bytes` at this rate.
+  constexpr TimeNs transmission_time(uint64_t bytes) const {
+    if (is_infinite()) return TimeNs::zero();
+    return TimeNs::seconds(static_cast<double>(bytes) * 8.0 / bps_);
+  }
+  // Bytes delivered in `dt` at this rate.
+  constexpr double bytes_in(TimeNs dt) const {
+    return bytes_per_second() * dt.to_seconds();
+  }
+
+  constexpr Rate operator+(Rate o) const { return Rate(bps_ + o.bps_); }
+  constexpr Rate operator-(Rate o) const { return Rate(bps_ - o.bps_); }
+  constexpr Rate operator*(double k) const { return Rate(bps_ * k); }
+  constexpr Rate operator/(double k) const { return Rate(bps_ / k); }
+  constexpr double operator/(Rate o) const { return bps_ / o.bps_; }
+
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Rate(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+constexpr Rate operator*(double k, Rate r) { return r * k; }
+
+constexpr Rate min(Rate a, Rate b) { return a < b ? a : b; }
+constexpr Rate max(Rate a, Rate b) { return a > b ? a : b; }
+
+// The MTU-sized segment the whole system (and the paper's alpha arithmetic)
+// assumes.
+inline constexpr uint32_t kMss = 1500;
+
+}  // namespace ccstarve

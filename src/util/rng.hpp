@@ -1,0 +1,31 @@
+// Deterministic xoshiro256++ PRNG.
+//
+// Every stochastic element in the emulator (loss gates, randomized CCA
+// decisions such as BBR's probe offsets or PCC's trial ordering) owns one of
+// these, seeded explicitly, so experiments replay bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace ccstarve {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform over [0, 2^64).
+  uint64_t next_u64();
+  // Uniform over [0, 1).
+  double next_double();
+  // Uniform over [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer over [0, n).
+  uint64_t next_below(uint64_t n);
+  // True with probability p.
+  bool bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ccstarve

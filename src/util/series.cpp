@@ -1,0 +1,101 @@
+#include "util/series.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace ccstarve {
+
+void TimeSeries::add(TimeNs t, double v) {
+  assert(samples_.empty() || t >= samples_.back().at);
+  samples_.push_back({t, v});
+}
+
+size_t TimeSeries::lower_index(TimeNs t) const {
+  auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const Sample& s, TimeNs when) { return s.at < when; });
+  if (it == samples_.end()) return samples_.size() - 1;
+  return static_cast<size_t>(it - samples_.begin());
+}
+
+double TimeSeries::at(TimeNs t) const {
+  assert(!samples_.empty());
+  if (t <= samples_.front().at) return samples_.front().value;
+  if (t >= samples_.back().at) return samples_.back().value;
+  const size_t hi = lower_index(t);
+  const Sample& b = samples_[hi];
+  if (b.at == t || hi == 0) return b.value;
+  const Sample& a = samples_[hi - 1];
+  const double frac = (t - a.at) / (b.at - a.at);
+  return a.value + frac * (b.value - a.value);
+}
+
+double TimeSeries::step_at(TimeNs t) const {
+  assert(!samples_.empty());
+  if (t <= samples_.front().at) return samples_.front().value;
+  if (t >= samples_.back().at) return samples_.back().value;
+  size_t hi = lower_index(t);
+  if (samples_[hi].at == t) return samples_[hi].value;
+  return samples_[hi - 1].value;
+}
+
+double TimeSeries::min_over(TimeNs a, TimeNs b) const {
+  double m = at(a);
+  for (const auto& s : samples_) {
+    if (s.at < a || s.at > b) continue;
+    m = std::min(m, s.value);
+  }
+  return std::min(m, at(b));
+}
+
+double TimeSeries::max_over(TimeNs a, TimeNs b) const {
+  double m = at(a);
+  for (const auto& s : samples_) {
+    if (s.at < a || s.at > b) continue;
+    m = std::max(m, s.value);
+  }
+  return std::max(m, at(b));
+}
+
+double TimeSeries::mean_over(TimeNs a, TimeNs b) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.at < a || s.at > b) continue;
+    sum += s.value;
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : at(a);
+}
+
+TimeSeries TimeSeries::shifted_window(TimeNs a, TimeNs b) const {
+  TimeSeries out;
+  // Anchor the window start with the interpolated value so replaying the
+  // shifted trajectory from t=0 starts exactly where the original was at `a`.
+  if (!samples_.empty() && a >= samples_.front().at) {
+    out.add(TimeNs::zero(), at(a));
+  }
+  for (const auto& s : samples_) {
+    if (s.at < a || s.at > b) continue;
+    if (s.at == a && !out.empty()) continue;
+    out.add(s.at - a, s.value);
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+void TimeSeries::write_csv(std::ostream& os, const std::string& header) const {
+  os << "time_s," << header << '\n';
+  for (const auto& s : samples_) {
+    os << s.at.to_seconds() << ',' << s.value << '\n';
+  }
+}
+
+}  // namespace ccstarve

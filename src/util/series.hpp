@@ -1,0 +1,62 @@
+// Time series of (timestamp, value) samples with interpolation and range
+// queries. This is the backbone of the Theorem 1 machinery: solo-run delay
+// trajectories are recorded as TimeSeries and later *replayed* by the
+// delay-emulating jitter box, which needs value lookups at arbitrary times.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class TimeSeries {
+ public:
+  struct Sample {
+    TimeNs at;
+    double value;
+  };
+
+  // Samples must be appended in non-decreasing time order.
+  void add(TimeNs t, double v);
+
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  const std::vector<Sample>& samples() const { return samples_; }
+  TimeNs front_time() const { return samples_.front().at; }
+  TimeNs back_time() const { return samples_.back().at; }
+
+  // Piecewise-linear interpolation, clamped to the first/last value outside
+  // the sampled range. Must not be called on an empty series.
+  double at(TimeNs t) const;
+
+  // Last sample at or before `t` (step interpolation), clamped.
+  double step_at(TimeNs t) const;
+
+  // Extrema / mean over samples with timestamp in [a, b].
+  double min_over(TimeNs a, TimeNs b) const;
+  double max_over(TimeNs a, TimeNs b) const;
+  double mean_over(TimeNs a, TimeNs b) const;
+
+  // Subseries with timestamps in [a, b], with time shifted so `a` becomes 0.
+  // Used to turn a converged suffix of a trajectory into a t>=0 trajectory
+  // (the paper's time-shifted d-bar and r-bar).
+  TimeSeries shifted_window(TimeNs a, TimeNs b) const;
+
+  // All raw values (for percentile computations).
+  std::vector<double> values() const;
+
+  // Writes "time_s,value" CSV lines.
+  void write_csv(std::ostream& os, const std::string& header) const;
+
+ private:
+  // Index of the first sample with at >= t, clamped to [0, size-1].
+  size_t lower_index(TimeNs t) const;
+
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ccstarve

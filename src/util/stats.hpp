@@ -1,0 +1,38 @@
+// Small online/offline statistics helpers used by the analysis core and the
+// benchmark harnesses: running mean/variance, offline percentiles, and
+// Jain's fairness index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ccstarve {
+
+// Welford online mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample set with linear interpolation; p in [0, 100].
+// Copies and sorts; intended for end-of-run analysis, not hot paths.
+double percentile(std::vector<double> samples, double p);
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 is perfectly fair.
+double jain_index(const std::vector<double>& xs);
+
+}  // namespace ccstarve

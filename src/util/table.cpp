@@ -1,0 +1,46 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace ccstarve {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << "| " << row[i];
+      for (size_t p = row[i].size(); p < widths[i]; ++p) os << ' ';
+      os << ' ';
+    }
+    os << "|\n";
+  };
+  print_row(headers_);
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    os << "|-" << std::string(widths[i], '-') << '-';
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ccstarve

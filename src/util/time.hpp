@@ -1,0 +1,79 @@
+// Strong integer-nanosecond time type used throughout the emulator.
+//
+// A single type serves as both a time point (nanoseconds since simulation
+// start) and a duration; this mirrors how congestion-control code treats
+// RTTs and timestamps interchangeably while still preventing accidental
+// mixing with raw integers or with Rate.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace ccstarve {
+
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+  constexpr explicit TimeNs(int64_t ns) : ns_(ns) {}
+
+  static constexpr TimeNs zero() { return TimeNs(0); }
+  static constexpr TimeNs nanos(int64_t v) { return TimeNs(v); }
+  static constexpr TimeNs micros(double v) {
+    return TimeNs(static_cast<int64_t>(v * 1e3));
+  }
+  static constexpr TimeNs millis(double v) {
+    return TimeNs(static_cast<int64_t>(v * 1e6));
+  }
+  static constexpr TimeNs seconds(double v) {
+    return TimeNs(static_cast<int64_t>(v * 1e9));
+  }
+  // A time beyond any simulation horizon ("never").
+  static constexpr TimeNs infinite() {
+    return TimeNs(std::numeric_limits<int64_t>::max() / 4);
+  }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr bool is_infinite() const { return *this >= infinite(); }
+
+  constexpr TimeNs operator+(TimeNs o) const { return TimeNs(ns_ + o.ns_); }
+  constexpr TimeNs operator-(TimeNs o) const { return TimeNs(ns_ - o.ns_); }
+  constexpr TimeNs operator*(double k) const {
+    return TimeNs(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr TimeNs operator/(double k) const {
+    return TimeNs(static_cast<int64_t>(static_cast<double>(ns_) / k));
+  }
+  constexpr double operator/(TimeNs o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr TimeNs& operator+=(TimeNs o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr TimeNs& operator-=(TimeNs o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr TimeNs operator-() const { return TimeNs(-ns_); }
+
+  constexpr auto operator<=>(const TimeNs&) const = default;
+
+  // "12.345ms"-style rendering for logs and experiment output.
+  std::string to_string() const;
+
+ private:
+  int64_t ns_ = 0;
+};
+
+constexpr TimeNs operator*(double k, TimeNs t) { return t * k; }
+
+constexpr TimeNs min(TimeNs a, TimeNs b) { return a < b ? a : b; }
+constexpr TimeNs max(TimeNs a, TimeNs b) { return a > b ? a : b; }
+
+}  // namespace ccstarve

@@ -1,0 +1,42 @@
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ccstarve {
+
+std::string TimeNs::to_string() const {
+  char buf[48];
+  const double a = std::abs(static_cast<double>(ns_));
+  if (is_infinite()) {
+    return "inf";
+  } else if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds());
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_millis());
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", to_micros());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string Rate::to_string() const {
+  char buf[48];
+  if (is_infinite()) {
+    return "inf";
+  } else if (bps_ >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fGbit/s", bps_ * 1e-9);
+  } else if (bps_ >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fMbit/s", bps_ * 1e-6);
+  } else if (bps_ >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fKbit/s", bps_ * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fbit/s", bps_);
+  }
+  return buf;
+}
+
+}  // namespace ccstarve

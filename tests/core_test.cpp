@@ -1,0 +1,296 @@
+// Unit tests for the analysis core (src/core): solo runs, rate-delay
+// sweeps, fairness metrics, the §6.3 closed forms, equilibrium helpers and
+// the adversary search scaffolding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/misc.hpp"
+#include "cc/vegas.hpp"
+#include "core/equilibrium.hpp"
+#include "core/fairness.hpp"
+#include "core/jitter_search.hpp"
+#include "core/rate_delay.hpp"
+#include "core/rate_range.hpp"
+#include "core/solo.hpp"
+#include "core/theorem1.hpp"
+
+namespace ccstarve {
+namespace {
+
+CcaMaker vegas_maker() {
+  return [] { return std::unique_ptr<Cca>(new Vegas()); };
+}
+CcaMaker const_cwnd_maker(double pkts) {
+  return [pkts] { return std::unique_ptr<Cca>(new ConstCwnd(pkts)); };
+}
+
+TEST(RunSolo, ReportsDelayRangeAndThroughput) {
+  SoloConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  cfg.min_rtt = TimeNs::millis(50);
+  cfg.duration = TimeNs::seconds(20);
+  const SoloResult r = run_solo(vegas_maker(), cfg);
+  EXPECT_GT(r.throughput.to_mbps(), 9.0);
+  EXPECT_GE(r.d_min_s, 0.050);
+  EXPECT_LE(r.d_max_s, 0.070);
+  EXPECT_LE(r.d_min_s, r.d_max_s);
+  EXPECT_FALSE(r.rtt.empty());
+  EXPECT_EQ(r.converged_from, TimeNs::seconds(10));
+}
+
+TEST(RunSolo, ConvergedRttStartsAtZero) {
+  SoloConfig cfg;
+  cfg.link_rate = Rate::mbps(5);
+  cfg.min_rtt = TimeNs::millis(50);
+  cfg.duration = TimeNs::seconds(10);
+  const SoloResult r = run_solo(vegas_maker(), cfg);
+  const TimeSeries win = r.converged_rtt();
+  ASSERT_FALSE(win.empty());
+  EXPECT_EQ(win.front_time(), TimeNs::zero());
+  EXPECT_LE(win.back_time(), TimeNs::seconds(5));
+}
+
+TEST(RunSolo, UnderutilizingCcaReported) {
+  // ConstCwnd(10) on a fat link: utilization must come out tiny (this is
+  // the paper's "silly CCA" that avoids starvation by being inefficient).
+  SoloConfig cfg;
+  cfg.link_rate = Rate::mbps(100);
+  cfg.min_rtt = TimeNs::millis(100);
+  cfg.duration = TimeNs::seconds(10);
+  const SoloResult r = run_solo(const_cwnd_maker(10), cfg);
+  EXPECT_LT(r.utilization(), 0.05);
+}
+
+TEST(ConvergenceTime, DetectsEntryIntoBand) {
+  TimeSeries rtt;
+  // Ramp 100 -> 120 ms over 10 samples, then hold at 120 +- 1.
+  for (int i = 0; i <= 10; ++i) {
+    rtt.add(TimeNs::seconds(i), 0.100 + 0.002 * i);
+  }
+  for (int i = 11; i <= 30; ++i) {
+    rtt.add(TimeNs::seconds(i), 0.120 + (i % 2 ? 0.001 : -0.001));
+  }
+  const auto t = convergence_time(rtt, 0.119, 0.121, 0.0005);
+  ASSERT_TRUE(t.has_value());
+  // The last out-of-band sample is the ramp point at 118 ms (t = 9 s).
+  EXPECT_EQ(*t, TimeNs::seconds(10));
+}
+
+TEST(ConvergenceTime, NeverConvergedReturnsNullopt) {
+  TimeSeries rtt;
+  for (int i = 0; i < 10; ++i) {
+    rtt.add(TimeNs::seconds(i), 0.1 + 0.01 * i);  // monotone ramp
+  }
+  EXPECT_FALSE(convergence_time(rtt, 0.10, 0.11, 0.0).has_value());
+  EXPECT_FALSE(convergence_time(TimeSeries{}, 0, 1, 0).has_value());
+}
+
+TEST(ConvergenceTime, AlwaysInBandReturnsStart) {
+  TimeSeries rtt;
+  for (int i = 0; i < 5; ++i) rtt.add(TimeNs::seconds(i), 0.1);
+  const auto t = convergence_time(rtt, 0.1, 0.1, 0.001);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, TimeNs::zero());
+}
+
+TEST(ConvergenceTime, VegasConvergesWithinAFewSeconds) {
+  SoloConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  cfg.min_rtt = TimeNs::millis(50);
+  cfg.duration = TimeNs::seconds(20);
+  const SoloResult r = run_solo(vegas_maker(), cfg);
+  const auto t = convergence_time(r.rtt, r.d_min_s, r.d_max_s, 0.002);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_LT(*t, TimeNs::seconds(5));
+}
+
+TEST(RateDelaySweep, VegasCurveIsFlatDeltaAndDecreasingDmax) {
+  RateDelaySweepConfig cfg;
+  cfg.min_rate = Rate::mbps(1);
+  cfg.max_rate = Rate::mbps(64);
+  cfg.points = 4;
+  cfg.min_rtt = TimeNs::millis(50);
+  cfg.duration = TimeNs::seconds(20);
+  const auto sweep = rate_delay_sweep(vegas_maker(), cfg);
+  ASSERT_EQ(sweep.size(), 4u);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].link_rate, sweep[i - 1].link_rate);
+    // d_max decreases with C for the Vegas family (Fig. 2's shape).
+    EXPECT_LE(sweep[i].d_max_s, sweep[i - 1].d_max_s + 0.001);
+  }
+  // delta(C) = 0 for Vegas at every rate.
+  for (const auto& p : sweep) EXPECT_LT(p.delta_s(), 0.004);
+
+  const DelayBounds b = delay_bounds(sweep, Rate::mbps(2));
+  EXPECT_GT(b.d_max_s, 0.05);
+  EXPECT_LT(b.delta_max_s, 0.004);
+  // lambda filtering: bounds over an empty set are zero.
+  const DelayBounds none = delay_bounds(sweep, Rate::gbps(1));
+  EXPECT_EQ(none.d_max_s, 0.0);
+}
+
+TEST(Fairness, ReportsRatioJainUtilization) {
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  Scenario sc(std::move(cfg));
+  for (double w : {400.0, 100.0}) {
+    FlowSpec f;
+    f.cca = std::make_unique<ConstCwnd>(w);
+    f.min_rtt = TimeNs::millis(50);
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(20));
+  const FairnessReport rep =
+      measure_fairness(sc, TimeNs::seconds(10), TimeNs::seconds(20));
+  ASSERT_EQ(rep.throughput_mbps.size(), 2u);
+  // FIFO sharing is proportional to cwnd: ~4:1.
+  EXPECT_NEAR(rep.ratio, 4.0, 0.5);
+  EXPECT_LT(rep.jain, 0.95);
+  EXPECT_NEAR(rep.utilization, 1.0, 0.05);
+}
+
+TEST(Fairness, SFairnessVerdict) {
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.cca = std::make_unique<ConstCwnd>(200.0);
+    f.min_rtt = TimeNs::millis(50);
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(20));
+  const auto verdict =
+      check_s_fairness(sc, 2.0, TimeNs::seconds(5), TimeNs::seconds(20));
+  EXPECT_TRUE(verdict.s_fair);
+  EXPECT_LT(verdict.worst_suffix_ratio, 1.5);
+}
+
+TEST(RateRange, ClosedFormsMatchPaperExamples) {
+  // Paper §6.3: D = 10 ms, s = 2, Rmax = 100 ms -> range ~ 2^10 ~ 10^3.
+  RateRangeParams p;
+  p.d = TimeNs::millis(10);
+  p.s = 2.0;
+  p.rm = TimeNs::zero();
+  p.rmax = TimeNs::millis(100);
+  EXPECT_NEAR(exponential_rate_range(p), std::pow(2.0, 9.0), 1.0);
+  // With s = 4 the paper quotes ~2^20 ~ 10^6 (s^( (100-10)/10 ) = 4^9).
+  p.s = 4.0;
+  EXPECT_NEAR(exponential_rate_range(p), std::pow(4.0, 9.0), 1.0);
+  // Vegas family: (Rmax - Rm)/D * (1 - 1/s) = 10 * 0.75 = 7.5.
+  EXPECT_NEAR(vegas_family_rate_range(p), 7.5, 1e-9);
+  EXPECT_NEAR(vegas_family_mu_plus(p), 7.5, 1e-9);
+}
+
+TEST(RateRange, ExponentialBeatsVegasFamilyByOrders) {
+  RateRangeParams p;
+  p.d = TimeNs::millis(10);
+  p.s = 2.0;
+  p.rm = TimeNs::millis(10);
+  p.rmax = TimeNs::millis(150);
+  EXPECT_GT(exponential_rate_range(p) / vegas_family_rate_range(p), 100.0);
+}
+
+TEST(RateRange, ExponentialMuInterpolates) {
+  RateRangeParams p;
+  p.d = TimeNs::millis(10);
+  p.s = 2.0;
+  p.rm = TimeNs::millis(100);
+  p.rmax = TimeNs::millis(100);
+  // At rtt = Rm + Rmax the normalized rate is 1 (mu-).
+  EXPECT_NEAR(exponential_mu(p, TimeNs::millis(200)), 1.0, 1e-9);
+  // Each D less of queueing doubles it.
+  EXPECT_NEAR(exponential_mu(p, TimeNs::millis(190)), 2.0, 1e-9);
+  EXPECT_NEAR(exponential_mu(p, TimeNs::millis(180)), 4.0, 1e-9);
+}
+
+TEST(Equilibrium, ClosedForms) {
+  // Vegas: Rm + n*alpha*MSS/C.
+  EXPECT_NEAR(vegas_equilibrium_rtt(Rate::mbps(12), TimeNs::millis(100), 1, 4)
+                  .to_millis(),
+              104.0, 0.01);
+  EXPECT_NEAR(vegas_equilibrium_rtt(Rate::mbps(12), TimeNs::millis(100), 2, 4)
+                  .to_millis(),
+              108.0, 0.01);
+  // BBR cwnd-limited: 2*Rm + n*quanta*MSS/C.
+  EXPECT_NEAR(
+      bbr_cwnd_limited_rtt(Rate::mbps(12), TimeNs::millis(100), 2, 3)
+          .to_millis(),
+      206.0, 0.01);
+  // Rate diverges as RTT -> 2*Rm.
+  EXPECT_TRUE(
+      bbr_cwnd_limited_rate(TimeNs::millis(199), TimeNs::millis(100), 3)
+          .is_infinite());
+  EXPECT_NEAR(
+      bbr_cwnd_limited_rate(TimeNs::millis(210), TimeNs::millis(100), 3)
+          .to_mbps(),
+      3 * kMss * 8 / 0.010 / 1e6, 0.01);
+  // Copa delta: 4 packets' transmission time.
+  EXPECT_NEAR(copa_delta(Rate::mbps(96)).to_millis(), 0.5, 0.01);
+  // Vegas-family mu(d) inverse relation.
+  EXPECT_NEAR(
+      vegas_family_mu(TimeNs::millis(110), TimeNs::millis(100), 4).to_mbps(),
+      4 * kMss * 8 / 0.010 / 1e6, 0.01);
+}
+
+TEST(PigeonholeFinder, VegasRatesCollideInDelay) {
+  PigeonholeConfig cfg;
+  cfg.f = 0.9;
+  cfg.s = 8.0;
+  cfg.lambda = Rate::mbps(2);
+  cfg.max_steps = 3;
+  cfg.min_rtt = TimeNs::millis(100);
+  cfg.duration = TimeNs::seconds(30);
+  const PigeonholePair pair = find_rate_pair(vegas_maker(), cfg);
+  ASSERT_TRUE(pair.found);
+  EXPECT_GE(pair.fast.link_rate / pair.slow.link_rate, cfg.s / cfg.f - 0.01);
+  EXPECT_LT(pair.dmax_gap_s, cfg.epsilon_s);
+  // Vegas is maximally delay-convergent.
+  EXPECT_LT(pair.delta_max_s, 0.004);
+  const PigeonholeSummary sum = pair.summary();
+  EXPECT_TRUE(sum.found);
+  EXPECT_GT(sum.x2_mbps, 7.0 * sum.x1_mbps);
+  EXPECT_EQ(sum.dmax_by_step_s.size(), 3u);
+}
+
+TEST(JitterSearch, CleanSchedulesKeepConstCwndPredictable) {
+  // Two fixed-window flows cannot starve each other under any bounded-jitter
+  // schedule; the search reports no fairness violation at s = 4.
+  JitterSearchConfig cfg;
+  cfg.link_rate = Rate::mbps(5);
+  cfg.min_rtt = TimeNs::millis(50);
+  cfg.d = TimeNs::millis(10);
+  cfg.duration = TimeNs::seconds(15);
+  cfg.f = 0.05;  // ConstCwnd(50) on 5 Mbit/s is efficient enough
+  cfg.s = 4.0;
+  cfg.random_schedules = 2;
+  const JitterSearchResult res =
+      search_jitter_adversary(const_cwnd_maker(50), cfg);
+  EXPECT_FALSE(res.any_violation);
+  EXPECT_GE(res.outcomes.size(), 8u);
+  EXPECT_LT(res.worst_ratio, 4.0);
+}
+
+TEST(JitterSearch, FindsVegasUnderutilization) {
+  // Vegas under a constant-D schedule on one flow keeps the pair utilizing,
+  // but square-wave schedules create min-RTT confusion; the point here is
+  // the harness surfaces per-schedule outcomes.
+  JitterSearchConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  cfg.min_rtt = TimeNs::millis(50);
+  cfg.d = TimeNs::millis(20);
+  cfg.duration = TimeNs::seconds(20);
+  cfg.f = 0.5;
+  cfg.s = 3.0;
+  cfg.random_schedules = 1;
+  const JitterSearchResult res = search_jitter_adversary(vegas_maker(), cfg);
+  ASSERT_FALSE(res.outcomes.empty());
+  // The no-jitter baseline must be efficient and fair.
+  EXPECT_EQ(res.outcomes.front().name, "none");
+  EXPECT_GT(res.outcomes.front().utilization, 0.9);
+  EXPECT_LT(res.outcomes.front().ratio, 2.0);
+}
+
+}  // namespace
+}  // namespace ccstarve

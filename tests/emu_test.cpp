@@ -1,0 +1,136 @@
+// Unit tests for the Mahimahi-format trace substrate (src/emu).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cc/misc.hpp"
+#include "cc/vegas.hpp"
+#include "emu/trace.hpp"
+#include "emu/trace_link.hpp"
+#include "sim/link.hpp"
+#include "sim/receiver.hpp"
+#include "sim/sender.hpp"
+#include "sim/simulator.hpp"
+
+namespace ccstarve {
+namespace {
+
+TEST(DeliveryTrace, ParsesMahimahiFormat) {
+  std::istringstream in("0\n5\n5\n12\n");
+  const DeliveryTrace t = DeliveryTrace::parse(in);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.opportunities()[0], TimeNs::zero());
+  EXPECT_EQ(t.opportunities()[1], TimeNs::millis(5));
+  EXPECT_EQ(t.opportunities()[2], TimeNs::millis(5));  // two in one ms
+  EXPECT_EQ(t.opportunities()[3], TimeNs::millis(12));
+  EXPECT_EQ(t.span(), TimeNs::millis(13));
+}
+
+TEST(DeliveryTrace, RejectsMalformedInput) {
+  std::istringstream bad("1\nabc\n");
+  EXPECT_THROW(DeliveryTrace::parse(bad), std::runtime_error);
+  std::istringstream decreasing("5\n3\n");
+  EXPECT_THROW(DeliveryTrace::parse(decreasing), std::runtime_error);
+}
+
+TEST(DeliveryTrace, RoundTripsThroughWriter) {
+  std::istringstream in("0\n7\n7\n20\n");
+  const DeliveryTrace t = DeliveryTrace::parse(in);
+  std::ostringstream out;
+  t.write(out);
+  EXPECT_EQ(out.str(), "0\n7\n7\n20\n");
+}
+
+TEST(DeliveryTrace, ConstantGeneratorMatchesRate) {
+  const DeliveryTrace t =
+      DeliveryTrace::constant(Rate::mbps(12), TimeNs::seconds(1));
+  // 12 Mbit/s = 1 packet per ms = ~1000 opportunities in 1 s.
+  EXPECT_NEAR(static_cast<double>(t.size()), 1000.0, 5.0);
+  EXPECT_NEAR(t.mean_rate().to_mbps(), 12.0, 0.5);
+}
+
+TEST(DeliveryTrace, SawtoothAveragesBetweenExtremes) {
+  const DeliveryTrace t = DeliveryTrace::sawtooth(
+      Rate::mbps(2), Rate::mbps(10), TimeNs::millis(200), TimeNs::seconds(2));
+  EXPECT_NEAR(t.mean_rate().to_mbps(), 6.0, 1.0);
+}
+
+TEST(DeliveryTrace, PoissonHitsMeanRate) {
+  const DeliveryTrace t =
+      DeliveryTrace::poisson(Rate::mbps(8), TimeNs::seconds(5), 99);
+  EXPECT_NEAR(t.mean_rate().to_mbps(), 8.0, 1.0);
+}
+
+class CountSink final : public PacketHandler {
+ public:
+  void handle(Packet) override { ++count; }
+  int count = 0;
+};
+
+TEST(TraceDrivenLink, DeliversAtOpportunities) {
+  Simulator sim;
+  CountSink sink;
+  std::istringstream in("1\n2\n3\n");
+  TraceDrivenLink link(sim, DeliveryTrace::parse(in), {}, sink);
+  for (int i = 0; i < 2; ++i) link.handle(Packet{});
+  sim.run_until(TimeNs::millis(2));
+  EXPECT_EQ(sink.count, 2);
+  EXPECT_EQ(link.opportunities_used(), 2u);
+}
+
+TEST(TraceDrivenLink, WastesIdleOpportunitiesAndLoops) {
+  Simulator sim;
+  CountSink sink;
+  std::istringstream in("1\n2\n");
+  TraceDrivenLink link(sim, DeliveryTrace::parse(in), {}, sink);
+  sim.run_until(TimeNs::millis(10));  // trace loops every 3 ms
+  EXPECT_EQ(sink.count, 0);
+  EXPECT_GE(link.opportunities_wasted(), 6u);
+  // A packet injected later is served by a looped opportunity.
+  link.handle(Packet{});
+  sim.run_until(TimeNs::millis(20));
+  EXPECT_EQ(sink.count, 1);
+}
+
+TEST(TraceDrivenLink, DropTail) {
+  Simulator sim;
+  CountSink sink;
+  std::istringstream in("1000\n");
+  TraceDrivenLink::Config cfg;
+  cfg.buffer_bytes = 2 * kMss;
+  TraceDrivenLink link(sim, DeliveryTrace::parse(in), cfg, sink);
+  for (int i = 0; i < 5; ++i) link.handle(Packet{});
+  EXPECT_EQ(link.drops(), 3u);
+  EXPECT_EQ(link.queued_bytes(), 2ull * kMss);
+}
+
+TEST(TraceDrivenLink, SustainsVegasFlowEndToEnd) {
+  // Wire a full flow over a trace-driven bottleneck: sender -> trace link ->
+  // receiver -> sender, and check Vegas fills the trace's mean rate.
+  Simulator sim;
+  const DeliveryTrace trace =
+      DeliveryTrace::constant(Rate::mbps(12), TimeNs::seconds(2));
+
+  // Chain assembled in dependency order.
+  Sender::Config sc;
+  struct Pipe final : PacketHandler {
+    PacketHandler* next = nullptr;
+    void handle(Packet p) override { next->handle(p); }
+  };
+  Pipe to_link;
+  auto sender = std::make_unique<Sender>(
+      sim, sc, std::make_unique<Vegas>(), to_link);
+  Receiver receiver(sim, AckPolicy{}, *sender);
+  PropagationDelay prop(sim, TimeNs::millis(40), receiver);
+  TraceDrivenLink link(sim, trace, {}, prop);
+  to_link.next = &link;
+
+  sender->start(TimeNs::zero());
+  sim.run_until(TimeNs::seconds(20));
+  const double mbps =
+      static_cast<double>(sender->delivered_bytes()) * 8.0 / 20.0 / 1e6;
+  EXPECT_GT(mbps, 10.0);
+}
+
+}  // namespace
+}  // namespace ccstarve

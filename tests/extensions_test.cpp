@@ -1,0 +1,336 @@
+// Tests for the extension modules: ECN/AQM (§6.4), the traffic shapers
+// (token bucket, GSO burster), LEDBAT, and the Appendix-C model checker.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cc/allegro.hpp"
+#include "cc/ecn_reno.hpp"
+#include "cc/ledbat.hpp"
+#include "cc/reno.hpp"
+#include "core/model_check.hpp"
+#include "core/solo.hpp"
+#include "sim/aqm.hpp"
+#include "sim/scenario.hpp"
+#include "sim/shaper.hpp"
+
+namespace ccstarve {
+namespace {
+
+// ---------- AQM policies ----------
+
+TEST(ThresholdEcn, MarksAboveThreshold) {
+  ThresholdEcn aqm(10 * kMss);
+  EXPECT_FALSE(aqm.should_mark(9 * kMss));
+  EXPECT_TRUE(aqm.should_mark(10 * kMss));
+  EXPECT_TRUE(aqm.should_mark(50 * kMss));
+}
+
+TEST(RedEcn, RampsBetweenThresholds) {
+  RedEcn::Params p;
+  p.min_threshold_bytes = 10 * kMss;
+  p.max_threshold_bytes = 30 * kMss;
+  p.max_probability = 1.0;
+  p.queue_weight = 1.0;  // no averaging: test the ramp directly
+  RedEcn aqm(p);
+  // Below min: never.
+  int marks = 0;
+  for (int i = 0; i < 200; ++i) marks += aqm.should_mark(5 * kMss);
+  EXPECT_EQ(marks, 0);
+  // Above max: always.
+  marks = 0;
+  for (int i = 0; i < 200; ++i) marks += aqm.should_mark(40 * kMss);
+  EXPECT_EQ(marks, 200);
+  // Mid-ramp: roughly half.
+  marks = 0;
+  for (int i = 0; i < 2000; ++i) marks += aqm.should_mark(20 * kMss);
+  EXPECT_NEAR(marks, 1000, 150);
+}
+
+TEST(RedEcn, AveragesQueue) {
+  RedEcn::Params p;
+  p.queue_weight = 0.5;
+  RedEcn aqm(p);
+  aqm.should_mark(100 * kMss);
+  aqm.should_mark(100 * kMss);
+  EXPECT_GT(aqm.average_queue_bytes(), 100.0 * kMss * 0.7);
+}
+
+TEST(EcnPlumbing, MarksFlowToSenderAndBack) {
+  // A window big enough to keep ~20 packets queued on a slow link; with a
+  // 5-packet marking threshold, ECN echoes must reach the CCA.
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(4);
+  cfg.aqm = std::make_unique<ThresholdEcn>(5 * kMss);
+  Scenario sc(std::move(cfg));
+  FlowSpec f;
+  f.cca = std::make_unique<EcnReno>();
+  f.min_rtt = TimeNs::millis(40);
+  sc.add_flow(std::move(f));
+  sc.run_until(TimeNs::seconds(20));
+  EXPECT_GT(sc.link().ce_marks(), 0u);
+  const auto& cca = static_cast<const EcnReno&>(sc.sender(0).cca());
+  EXPECT_GT(cca.ecn_backoffs(), 0u);
+  // And the AQM keeps the queue bounded: RTT stays well under bufferbloat.
+  const double rtt =
+      sc.stats(0).rtt_seconds.mean_over(TimeNs::seconds(10), TimeNs::seconds(20));
+  EXPECT_LT(rtt, 0.150);
+  EXPECT_GT(sc.throughput(0).to_mbps(), 3.0);
+}
+
+// ---------- ECN-Reno (§6.4) ----------
+
+TEST(EcnReno, BacksOffOncePerRttOnEce) {
+  EcnReno cca;
+  AckSample a;
+  a.now = TimeNs::seconds(1);
+  a.rtt = TimeNs::millis(100);
+  a.newly_acked_bytes = kMss;
+  a.ece = true;
+  const uint64_t w0 = cca.cwnd_bytes();
+  cca.on_ack(a);
+  const uint64_t w1 = cca.cwnd_bytes();
+  EXPECT_LT(w1, w0);
+  // A second ECE within the same RTT is ignored.
+  a.now = TimeNs::seconds(1) + TimeNs::millis(10);
+  cca.on_ack(a);
+  EXPECT_EQ(cca.cwnd_bytes(), w1);
+  EXPECT_EQ(cca.ecn_backoffs(), 1u);
+}
+
+TEST(EcnReno, ToleratesFastRetransmitLoss) {
+  EcnReno cca;
+  for (int i = 0; i < 50; ++i) {
+    AckSample a;
+    a.now = TimeNs::millis(10 * i);
+    a.rtt = TimeNs::millis(50);
+    a.newly_acked_bytes = kMss;
+    cca.on_ack(a);
+  }
+  const uint64_t grown = cca.cwnd_bytes();
+  LossSample loss;
+  loss.is_timeout = false;
+  cca.on_loss(loss);
+  EXPECT_EQ(cca.cwnd_bytes(), grown);  // ignored (§6.4)
+  EXPECT_EQ(cca.tolerated_losses(), 1u);
+  loss.is_timeout = true;
+  cca.on_loss(loss);
+  EXPECT_LT(cca.cwnd_bytes(), grown);  // timeouts still bite
+}
+
+TEST(EcnReno, ImmuneToAsymmetricRandomLossUnderAqm) {
+  // The §6.4 conjecture, as a regression test: rerun §5.4's asymmetric-loss
+  // shape with ECN-Reno + threshold AQM and require a bounded ratio.
+  const Rate link = Rate::mbps(30);
+  ScenarioConfig cfg;
+  cfg.link_rate = link;
+  cfg.buffer_bytes =
+      static_cast<uint64_t>(link.bytes_per_second() * 0.040);
+  cfg.aqm = std::make_unique<ThresholdEcn>(cfg.buffer_bytes / 4);
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.cca = std::make_unique<EcnReno>();
+    f.min_rtt = TimeNs::millis(40);
+    if (i == 0) {
+      f.loss_rate = 0.02;
+      f.loss_seed = 77;
+    }
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(40));
+  const double lossy =
+      sc.throughput(0, TimeNs::seconds(10), TimeNs::seconds(40)).to_mbps();
+  const double clean =
+      sc.throughput(1, TimeNs::seconds(10), TimeNs::seconds(40)).to_mbps();
+  EXPECT_LT(clean / lossy, 2.0);        // no starvation
+  EXPECT_GT(lossy + clean, 0.75 * 30);  // and the link is used
+}
+
+// ---------- Token bucket ----------
+
+TEST(TokenBucketFilter, PassesWithinBurstDelaysBeyond) {
+  Simulator sim;
+  struct Sink final : PacketHandler {
+    std::vector<TimeNs> at;
+    Simulator& sim;
+    explicit Sink(Simulator& s) : sim(s) {}
+    void handle(Packet) override { at.push_back(sim.now()); }
+  } sink(sim);
+  TokenBucketFilter::Config cfg;
+  cfg.rate = Rate::mbps(12);       // refills 1 pkt per ms
+  cfg.burst_bytes = 2 * kMss;      // two free packets
+  TokenBucketFilter tbf(sim, cfg, sink);
+  for (int i = 0; i < 4; ++i) tbf.handle(Packet{});
+  sim.run_until(TimeNs::seconds(1));
+  ASSERT_EQ(sink.at.size(), 4u);
+  EXPECT_EQ(sink.at[0], TimeNs::zero());
+  EXPECT_EQ(sink.at[1], TimeNs::zero());
+  // The 3rd and 4th wait for refills (~1 ms per packet).
+  EXPECT_NEAR(sink.at[2].to_millis(), 1.0, 0.1);
+  EXPECT_NEAR(sink.at[3].to_millis(), 2.0, 0.1);
+  EXPECT_EQ(tbf.delayed_packets(), 2u);
+}
+
+TEST(TokenBucketFilter, LongRunRateIsShaped) {
+  Simulator sim;
+  struct Count final : PacketHandler {
+    uint64_t bytes = 0;
+    void handle(Packet p) override { bytes += p.bytes; }
+  } sink;
+  TokenBucketFilter::Config cfg;
+  cfg.rate = Rate::mbps(6);
+  TokenBucketFilter tbf(sim, cfg, sink);
+  // Offer 12 Mbit/s for 5 s.
+  for (int i = 0; i < 5000; ++i) {
+    sim.schedule_at(TimeNs::millis(i), [&tbf] { tbf.handle(Packet{}); });
+  }
+  sim.run_until(TimeNs::seconds(20));
+  // Everything eventually passes, but over the first 5 s only ~6 Mbit/s.
+  EXPECT_EQ(sink.bytes, 5000ull * kMss);
+}
+
+// ---------- GSO burster ----------
+
+TEST(GsoBurster, ReleasesFullBurstsImmediately) {
+  Simulator sim;
+  struct Sink final : PacketHandler {
+    std::vector<TimeNs> at;
+    Simulator& sim;
+    explicit Sink(Simulator& s) : sim(s) {}
+    void handle(Packet) override { at.push_back(sim.now()); }
+  } sink(sim);
+  GsoBurster::Config cfg;
+  cfg.burst_pkts = 4;
+  GsoBurster gso(sim, cfg, sink);
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_at(TimeNs::millis(i), [&gso] { gso.handle(Packet{}); });
+  }
+  sim.run_until(TimeNs::seconds(1));
+  ASSERT_EQ(sink.at.size(), 4u);
+  // All four left together when the burst filled (at t = 3 ms).
+  for (const TimeNs t : sink.at) EXPECT_EQ(t, TimeNs::millis(3));
+  EXPECT_EQ(gso.bursts_released(), 1u);
+}
+
+TEST(GsoBurster, FlushesPartialBurstOnTimeout) {
+  Simulator sim;
+  struct Sink final : PacketHandler {
+    int count = 0;
+    void handle(Packet) override { ++count; }
+  } sink;
+  GsoBurster::Config cfg;
+  cfg.burst_pkts = 8;
+  cfg.flush_timeout = TimeNs::millis(5);
+  GsoBurster gso(sim, cfg, sink);
+  gso.handle(Packet{});
+  gso.handle(Packet{});
+  sim.run_until(TimeNs::millis(4));
+  EXPECT_EQ(sink.count, 0);
+  sim.run_until(TimeNs::millis(10));
+  EXPECT_EQ(sink.count, 2);
+}
+
+// ---------- LEDBAT ----------
+
+TEST(Ledbat, ConvergesToTargetDelay) {
+  SoloConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  cfg.min_rtt = TimeNs::millis(50);
+  cfg.duration = TimeNs::seconds(40);
+  const SoloResult r =
+      run_solo([] { return std::unique_ptr<Cca>(new Ledbat()); }, cfg);
+  EXPECT_GT(r.utilization(), 0.9);
+  // Queueing delay hovers at the 25 ms target: RTT ~ 75 ms.
+  EXPECT_NEAR(r.d_max_s, 0.075, 0.012);
+  // Delay-convergent: small oscillation — starvation-prone by Theorem 1.
+  EXPECT_LT(r.delta_s(), 0.02);
+}
+
+TEST(Ledbat, YieldsToReno) {
+  // LEDBAT's design goal: scavenge. Against Reno it must back off.
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  cfg.buffer_bytes = 100ull * kMss;
+  Scenario sc(std::move(cfg));
+  FlowSpec a;
+  a.cca = std::make_unique<Ledbat>();
+  a.min_rtt = TimeNs::millis(50);
+  sc.add_flow(std::move(a));
+  FlowSpec b;
+  b.cca = std::make_unique<NewReno>();
+  b.min_rtt = TimeNs::millis(50);
+  b.start_at = TimeNs::seconds(5);
+  sc.add_flow(std::move(b));
+  sc.run_until(TimeNs::seconds(40));
+  const double ledbat =
+      sc.throughput(0, TimeNs::seconds(20), TimeNs::seconds(40)).to_mbps();
+  const double reno =
+      sc.throughput(1, TimeNs::seconds(20), TimeNs::seconds(40)).to_mbps();
+  EXPECT_GT(reno, 2.0 * ledbat);
+}
+
+// ---------- Model checker (Appendix C) ----------
+
+TEST(ModelCheck, AimdDropTailHasNoStarvationTrace) {
+  // The paper: "no trace of length 10 RTTs where starvation is unbounded
+  // for two AIMD flows when the bottleneck has 1 BDP of buffer."
+  ModelCheckConfig cfg;
+  cfg.preferential_loss = false;
+  const ModelCheckResult r = model_check(AbstractAimd{}, cfg);
+  EXPECT_LT(r.worst_final_ratio, 4.0);
+  EXPECT_GT(r.worst_final_utilization, 0.5);
+  EXPECT_GT(r.states_explored, 0u);
+}
+
+TEST(ModelCheck, AimdWithBiasedLossStarves) {
+  ModelCheckConfig cfg;
+  cfg.preferential_loss = true;
+  cfg.horizon_rtts = 12;
+  const ModelCheckResult r = model_check(AbstractAimd{}, cfg);
+  EXPECT_GT(r.worst_final_ratio, 10.0);
+  EXPECT_FALSE(r.witness.empty());
+}
+
+TEST(ModelCheck, VegasModelStarvesUnderDelayAdversary) {
+  ModelCheckConfig cfg;
+  cfg.capacity_pkts_per_rtt = 30;
+  cfg.buffer_pkts = 30;
+  cfg.d_rtt = 1.0;
+  cfg.initial_cwnd1 = cfg.initial_cwnd2 = 1;
+  cfg.horizon_rtts = 30;
+  cfg.max_cwnd_pkts = 128;
+  cfg.preferential_loss = false;
+  const ModelCheckResult r = model_check(AbstractVegas{}, cfg);
+  EXPECT_GT(r.worst_final_ratio, 5.0);
+}
+
+TEST(ModelCheck, ExpMappingModelStaysBounded) {
+  // Same adversary, the §6.3 design: bounded near s^2.
+  ModelCheckConfig cfg;
+  cfg.capacity_pkts_per_rtt = 30;
+  cfg.buffer_pkts = 30;
+  cfg.d_rtt = 1.0;
+  cfg.initial_cwnd1 = cfg.initial_cwnd2 = 1;
+  cfg.horizon_rtts = 30;
+  cfg.max_cwnd_pkts = 128;
+  cfg.preferential_loss = false;
+  const ModelCheckResult r =
+      model_check(AbstractExpMapping{1.0, 2.0, 3.0, 2}, cfg);
+  EXPECT_LT(r.worst_final_ratio, 2.0 * 2.0 + 0.5);
+}
+
+TEST(ModelCheck, WitnessReplaysToWorstState) {
+  ModelCheckConfig cfg;
+  cfg.preferential_loss = true;
+  cfg.horizon_rtts = 6;
+  const ModelCheckResult r = model_check(AbstractAimd{}, cfg);
+  ASSERT_FALSE(r.witness.empty());
+  EXPECT_EQ(r.witness.size(), static_cast<size_t>(cfg.horizon_rtts));
+  // Each step names a round and a choice.
+  EXPECT_NE(r.witness.front().find("r0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccstarve

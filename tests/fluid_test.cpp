@@ -1,0 +1,132 @@
+// Tests for the fluid (ODE) models: equilibria must match the paper's
+// closed forms and cross-validate the packet-level implementations.
+#include <gtest/gtest.h>
+
+#include "core/equilibrium.hpp"
+#include "core/fluid.hpp"
+
+namespace ccstarve {
+namespace {
+
+TEST(FluidVegasModel, SoloEquilibriumMatchesClosedForm) {
+  FluidFlowSpec f;
+  f.cca = std::make_shared<FluidVegas>(4.0, TimeNs::millis(100));
+  FluidConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  const FluidResult r = run_fluid({f}, cfg);
+  // q* = alpha/C = 4.8 ms; RTT* = 104.8 ms; full utilization.
+  EXPECT_NEAR(r.final_queue_s, 0.0048, 0.0004);
+  EXPECT_NEAR(r.final_rtt_s[0],
+              vegas_equilibrium_rtt(cfg.link_rate, TimeNs::millis(100), 1, 4)
+                  .to_seconds(),
+              0.0005);
+  EXPECT_NEAR(r.final_rate_mbps[0], 10.0, 0.2);
+}
+
+TEST(FluidVegasModel, TwoFlowsShareFairly) {
+  FluidFlowSpec a, b;
+  a.cca = b.cca = std::make_shared<FluidVegas>(4.0, TimeNs::millis(100));
+  a.initial_window_bytes = 40.0 * kMss;  // very different starts
+  b.initial_window_bytes = 4.0 * kMss;
+  FluidConfig cfg;
+  cfg.link_rate = Rate::mbps(20);
+  cfg.duration = TimeNs::seconds(120);
+  const FluidResult r = run_fluid({a, b}, cfg);
+  EXPECT_NEAR(r.final_rate_mbps[0], r.final_rate_mbps[1], 1.0);
+  EXPECT_NEAR(r.final_rate_mbps[0] + r.final_rate_mbps[1], 20.0, 0.5);
+}
+
+TEST(FluidVegasModel, ConstantEtaOffsetStarves) {
+  // The paper's §4.1 example in fluid form: a flow whose measured delay
+  // carries a constant eta sends at ~alpha/(q + eta), independent of C.
+  FluidFlowSpec victim, clean;
+  victim.cca = clean.cca =
+      std::make_shared<FluidVegas>(4.0, TimeNs::millis(100));
+  victim.eta = TimeNs::millis(10);
+  FluidConfig cfg;
+  cfg.link_rate = Rate::mbps(50);
+  cfg.duration = TimeNs::seconds(120);
+  const FluidResult r = run_fluid({victim, clean}, cfg);
+  // victim rate ~ alpha / (q* + eta) with q* ~ alpha/C_clean-ish ~ 1 ms.
+  EXPECT_LT(r.final_rate_mbps[0], 6.0);
+  EXPECT_GT(r.final_rate_mbps[1], 42.0);
+  // Doubling C would double the clean flow but not the victim: starvation
+  // scales without bound.
+  FluidConfig cfg2 = cfg;
+  cfg2.link_rate = Rate::mbps(100);
+  const FluidResult r2 = run_fluid({victim, clean}, cfg2);
+  EXPECT_LT(r2.final_rate_mbps[0], 1.3 * r.final_rate_mbps[0]);
+  EXPECT_GT(r2.final_rate_mbps[1], 1.8 * r.final_rate_mbps[1]);
+}
+
+TEST(FluidBbrModel, CwndLimitedEquilibriumMatchesSection52) {
+  // Two flows, Rm = 40 ms: RTT* = 2*Rm + n*quanta/C, each rate = C/2.
+  FluidFlowSpec a, b;
+  a.cca = b.cca =
+      std::make_shared<FluidBbrCwndLimited>(3.0, TimeNs::millis(40));
+  a.rm = b.rm = TimeNs::millis(40);
+  a.eta = b.eta = TimeNs::millis(40);  // the standing extra Rm of delay
+  FluidConfig cfg;
+  cfg.link_rate = Rate::mbps(20);
+  cfg.duration = TimeNs::seconds(60);
+  const FluidResult r = run_fluid({a, b}, cfg);
+  const double predicted =
+      bbr_cwnd_limited_rtt(cfg.link_rate, TimeNs::millis(40), 2, 3.0)
+          .to_seconds();
+  EXPECT_NEAR(r.final_rtt_s[0], predicted, 0.002);
+  EXPECT_NEAR(r.final_rate_mbps[0], 10.0, 0.8);
+  EXPECT_NEAR(r.final_rate_mbps[1], 10.0, 0.8);
+}
+
+TEST(FluidBbrModel, RttAsymmetryStarvesSmallRttFlow) {
+  // §5.2's RTT-unfairness fixed point: with the extra delay supplied by the
+  // *shared* queue, rate_i = quanta/(q - Rm_i); the queue settles just above
+  // Rm_large, so the small-Rm flow's denominator is ~Rm_large - Rm_small and
+  // its rate collapses (the 40/80 ms experiment's mechanism).
+  FluidFlowSpec small, large;
+  small.cca = std::make_shared<FluidBbrCwndLimited>(3.0, TimeNs::millis(40));
+  large.cca = std::make_shared<FluidBbrCwndLimited>(3.0, TimeNs::millis(80));
+  small.rm = TimeNs::millis(40);
+  large.rm = TimeNs::millis(80);
+  FluidConfig cfg;
+  cfg.link_rate = Rate::mbps(20);
+  cfg.duration = TimeNs::seconds(240);
+  const FluidResult r = run_fluid({small, large}, cfg);
+  EXPECT_GT(r.final_rate_mbps[1], 5.0 * r.final_rate_mbps[0]);
+  // The shared queue sits just above the larger 2*Rm - Rm = 80 ms anchor.
+  EXPECT_GT(r.final_queue_s, 0.080);
+}
+
+TEST(FluidJitterAwareModel, EtaDifferenceBoundedByS) {
+  // Algorithm 1's designed property, exact in the fluid limit: two flows
+  // whose non-congestive delays differ by D end up within a factor s.
+  FluidJitterAware::Params p;  // s = 2, D = 10 ms
+  FluidFlowSpec a, b;
+  a.cca = b.cca = std::make_shared<FluidJitterAware>(p);
+  a.eta = TimeNs::millis(10);
+  FluidConfig cfg;
+  cfg.link_rate = Rate::mbps(20);
+  cfg.duration = TimeNs::seconds(120);
+  const FluidResult r = run_fluid({a, b}, cfg);
+  const double ratio = r.final_rate_mbps[1] / r.final_rate_mbps[0];
+  EXPECT_GT(ratio, 1.2);  // the offset does cost something...
+  EXPECT_LE(ratio, p.s + 0.1);  // ...but never more than s
+  EXPECT_NEAR(r.final_rate_mbps[0] + r.final_rate_mbps[1], 20.0, 1.0);
+}
+
+TEST(FluidModel, SamplesTrajectories) {
+  FluidFlowSpec f;
+  f.cca = std::make_shared<FluidVegas>(4.0, TimeNs::millis(100));
+  FluidConfig cfg;
+  cfg.link_rate = Rate::mbps(5);
+  cfg.duration = TimeNs::seconds(10);
+  const FluidResult r = run_fluid({f}, cfg);
+  ASSERT_EQ(r.rate_mbps.size(), 1u);
+  EXPECT_GT(r.rate_mbps[0].size(), 100u);
+  EXPECT_GT(r.queue_seconds.size(), 100u);
+  // Monotone time axis and non-negative queue throughout.
+  for (const auto& s : r.queue_seconds.samples()) EXPECT_GE(s.value, 0.0);
+}
+
+}  // namespace
+}  // namespace ccstarve

@@ -1,0 +1,406 @@
+// Integration tests: the paper's experiments in miniature. Each test runs
+// the same scenario shape as a §5 experiment or a theorem construction (at
+// reduced scale so the suite stays fast) and asserts the *direction and
+// rough factor* of the published result.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cc/allegro.hpp"
+#include "cc/bbr.hpp"
+#include "cc/copa.hpp"
+#include "cc/cubic.hpp"
+#include "cc/jitter_aware.hpp"
+#include "cc/reno.hpp"
+#include "cc/vegas.hpp"
+#include "cc/vivace.hpp"
+#include "core/equilibrium.hpp"
+#include "core/fairness.hpp"
+#include "core/jitter_search.hpp"
+#include "core/theorem1.hpp"
+#include "core/theorem2.hpp"
+#include "core/theorem3.hpp"
+#include "sim/scenario.hpp"
+
+namespace ccstarve {
+namespace {
+
+// ---- §5.1: Copa min-RTT attack ----
+
+Copa::Params attack_copa_params() {
+  Copa::Params p;
+  // The paper's analysis concerns Copa's delay-based default mode; its
+  // min-RTT memory is "a long period" — longer than the experiment.
+  p.enable_mode_switching = false;
+  p.min_rtt_window = TimeNs::seconds(600);
+  return p;
+}
+
+TEST(PaperExperiments, CopaSoloMinRttAttackSlashesThroughput) {
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(60);
+  Scenario sc(std::move(cfg));
+  FlowSpec f;
+  f.cca = std::make_unique<Copa>(attack_copa_params());
+  f.min_rtt = TimeNs::millis(59);
+  f.data_jitter = std::make_unique<AllButOneJitter>(TimeNs::millis(1),
+                                                    TimeNs::millis(150));
+  sc.add_flow(std::move(f));
+  sc.run_until(TimeNs::seconds(30));
+  // Paper: 8 Mbit/s of 120 (6.7%). One 1 ms-early packet caps Copa at
+  // 1/(delta * 1ms) packets/s ~ 24 Mbit/s regardless of link rate.
+  EXPECT_LT(sc.throughput(0, TimeNs::seconds(10), TimeNs::seconds(30))
+                .to_mbps(),
+            30.0);
+}
+
+TEST(PaperExperiments, CopaTwoFlowAttackStarvesVictim) {
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(120);
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.cca = std::make_unique<Copa>(attack_copa_params());
+    f.min_rtt = TimeNs::millis(59);
+    if (i == 0) {
+      f.data_jitter = std::make_unique<AllButOneJitter>(TimeNs::millis(1),
+                                                        TimeNs::millis(150));
+    } else {
+      f.data_jitter = std::make_unique<ConstantJitter>(TimeNs::millis(1));
+    }
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(40));
+  const double victim =
+      sc.throughput(0, TimeNs::seconds(15), TimeNs::seconds(40)).to_mbps();
+  const double other =
+      sc.throughput(1, TimeNs::seconds(15), TimeNs::seconds(40)).to_mbps();
+  // Paper: 8.8 vs 95 Mbit/s.
+  EXPECT_GT(other, 3.0 * victim);
+  EXPECT_GT(other + victim, 90.0);  // link still near fully used
+}
+
+// ---- §5.2: BBR RTT starvation in cwnd-limited mode ----
+
+TEST(PaperExperiments, BbrSmallRttFlowStarves) {
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(120);
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    Bbr::Params p;
+    p.seed = 7 + static_cast<uint64_t>(i);
+    f.cca = std::make_unique<Bbr>(p);
+    f.min_rtt = TimeNs::millis(i == 0 ? 40 : 80);
+    f.ack_jitter = std::make_unique<UniformJitter>(
+        TimeNs::zero(), TimeNs::millis(3), 100 + static_cast<uint64_t>(i));
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(60));
+  // Measure the converged half (the paper's 8.3-vs-107 averages include the
+  // pre-collapse start; the steady-state contrast is what the theory pins).
+  const double small_rtt =
+      sc.throughput(0, TimeNs::seconds(30), TimeNs::seconds(60)).to_mbps();
+  const double large_rtt =
+      sc.throughput(1, TimeNs::seconds(30), TimeNs::seconds(60)).to_mbps();
+  // Paper: 8.3 vs 107 (order of magnitude); the small-RTT flow starves.
+  EXPECT_GT(large_rtt, 8.0 * small_rtt);
+}
+
+TEST(PaperExperiments, BbrCwndLimitedEquilibriumMatchesFixedPoint) {
+  // §5.2's quantitative fixed point: with n flows in cwnd-limited mode the
+  // RTT converges to 2*Rm + n*quanta/C. (The paper's quanta=0 corollary —
+  // "any split is a fixed point" — is a fluid-analysis statement; our
+  // packet-level dynamics add a fairness drift it abstracts away, see
+  // EXPERIMENTS.md.)
+  auto run = [](int n_flows) {
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(20);
+    Scenario sc(std::move(cfg));
+    for (int i = 0; i < n_flows; ++i) {
+      FlowSpec f;
+      Bbr::Params p;
+      p.seed = 7 + static_cast<uint64_t>(i);
+      f.cca = std::make_unique<Bbr>(p);
+      f.min_rtt = TimeNs::millis(40);
+      f.ack_jitter = std::make_unique<UniformJitter>(
+          TimeNs::zero(), TimeNs::millis(3), 100 + static_cast<uint64_t>(i));
+      sc.add_flow(std::move(f));
+    }
+    sc.run_until(TimeNs::seconds(60));
+    return sc.stats(0).rtt_seconds.mean_over(TimeNs::seconds(30),
+                                             TimeNs::seconds(60));
+  };
+  for (int n : {1, 2}) {
+    const double predicted =
+        bbr_cwnd_limited_rtt(Rate::mbps(20), TimeNs::millis(40), n, 3.0)
+            .to_seconds();
+    EXPECT_NEAR(run(n), predicted, 0.012) << n << " flows";
+  }
+}
+
+// ---- §5.3: PCC Vivace with quantized ACK delivery ----
+
+TEST(PaperExperiments, VivaceQuantizedAcksStarve) {
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(120);
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    Vivace::Params p;
+    p.seed = 3 + static_cast<uint64_t>(i);
+    f.cca = std::make_unique<Vivace>(p);
+    f.min_rtt = TimeNs::millis(60);
+    if (i == 0) {
+      f.ack_jitter =
+          std::make_unique<PeriodicReleaseJitter>(TimeNs::millis(60));
+    }
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(60));
+  // Paper: 9.9 vs 99.4 Mbit/s.
+  EXPECT_GT(sc.throughput(1).to_mbps(), 8.0 * sc.throughput(0).to_mbps());
+}
+
+// ---- §5.4: PCC Allegro with asymmetric random loss ----
+
+TEST(PaperExperiments, AllegroAsymmetricLossStarvesAndControlsHold) {
+  const Rate link = Rate::mbps(60);
+  const uint64_t bdp = static_cast<uint64_t>(
+      link.bytes_per_second() * 0.040);
+  auto run = [&](double loss0, double loss1, int flows) {
+    ScenarioConfig cfg;
+    cfg.link_rate = link;
+    cfg.buffer_bytes = bdp;
+    auto sc = std::make_unique<Scenario>(std::move(cfg));
+    for (int i = 0; i < flows; ++i) {
+      FlowSpec f;
+      Allegro::Params p;
+      p.seed = 5 + static_cast<uint64_t>(i);
+      f.cca = std::make_unique<Allegro>(p);
+      f.min_rtt = TimeNs::millis(40);
+      f.loss_rate = i == 0 ? loss0 : loss1;
+      f.loss_seed = 77 + static_cast<uint64_t>(i);
+      sc->add_flow(std::move(f));
+    }
+    sc->run_until(TimeNs::seconds(60));
+    return sc;
+  };
+  // Headline: one flow with 2% loss starves (paper: 10.3 vs 99.1; we match
+  // the direction and a >3x factor — see EXPERIMENTS.md for the deviation
+  // discussion on PCC-vs-PCC convergence).
+  auto headline = run(0.02, 0.0, 2);
+  EXPECT_GT(headline->throughput(1).to_mbps(),
+            3.0 * headline->throughput(0).to_mbps());
+  // Control: both with 2% loss still fill the link between them (the paper
+  // additionally observed a fair split; our reimplementation shows a
+  // winner-take-most PCC-vs-PCC artifact, documented in EXPERIMENTS.md).
+  auto both = run(0.02, 0.02, 2);
+  const double a = both->throughput(0).to_mbps();
+  const double b = both->throughput(1).to_mbps();
+  EXPECT_GT(a + b, 40.0);
+}
+
+// ---- Fig. 7: loss-based unfairness is bounded ----
+
+TEST(PaperExperiments, DelayedAckUnfairnessIsBoundedForLossBased) {
+  auto run = [](bool cubic) {
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(6);
+    cfg.buffer_bytes = 60ull * kMss;
+    auto sc = std::make_unique<Scenario>(std::move(cfg));
+    for (int i = 0; i < 2; ++i) {
+      FlowSpec f;
+      if (cubic) {
+        f.cca = std::make_unique<Cubic>();
+      } else {
+        f.cca = std::make_unique<NewReno>();
+      }
+      f.min_rtt = TimeNs::millis(120);
+      if (i == 0) f.ack_policy.ack_every = 4;  // delayed ACKs on one flow
+      sc->add_flow(std::move(f));
+    }
+    sc->run_until(TimeNs::seconds(120));
+    return sc;
+  };
+  for (bool cubic : {false, true}) {
+    auto sc = run(cubic);
+    const double bursty = sc->throughput(0).to_mbps();
+    const double paced = sc->throughput(1).to_mbps();
+    // Direction: the delayed-ACK (bursty) flow loses. Bound: unlike the
+    // delay-convergent CCAs, the ratio stays small (paper: 2.7x / 3.2x).
+    EXPECT_GT(paced, bursty * 0.9);
+    EXPECT_LT(paced / bursty, 6.0);
+    EXPECT_GT(paced + bursty, 4.5);  // still filling the link
+  }
+}
+
+// ---- §6.1: the modified-BBR conjecture ----
+
+TEST(PaperExperiments, HigherPacingBbrIsEfficientButStillUnfair) {
+  // §6.1: raising BBR's pacing rate forces cwnd-limited mode; CCAC could
+  // then find no under-utilization — but Theorem 1 says efficiency +
+  // delay-convergence still cannot buy starvation-freedom. We check both
+  // halves: the modified BBR stays efficient under the bounded adversary,
+  // and the Rm-40/80 starvation persists.
+  JitterSearchConfig search;
+  search.link_rate = Rate::mbps(40);
+  search.min_rtt = TimeNs::millis(50);
+  search.d = TimeNs::millis(10);
+  search.duration = TimeNs::seconds(40);
+  search.f = 0.5;
+  search.s = 1e9;  // efficiency check only
+  search.random_schedules = 1;
+  Bbr::Params mod;
+  mod.cruise_gain = 1.1;
+  const JitterSearchResult res = search_jitter_adversary(
+      [mod] { return std::unique_ptr<Cca>(new Bbr(mod)); }, search);
+  EXPECT_GT(res.worst_utilization, search.f);
+
+  // Starvation persists with RTT asymmetry.
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(60);
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    Bbr::Params p = mod;
+    p.seed = 7 + static_cast<uint64_t>(i);
+    f.cca = std::make_unique<Bbr>(p);
+    f.min_rtt = TimeNs::millis(i == 0 ? 40 : 80);
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(60));
+  const double small_rtt =
+      sc.throughput(0, TimeNs::seconds(30), TimeNs::seconds(60)).to_mbps();
+  const double large_rtt =
+      sc.throughput(1, TimeNs::seconds(30), TimeNs::seconds(60)).to_mbps();
+  EXPECT_GT(large_rtt, 4.0 * small_rtt);
+}
+
+// ---- Theorem 1 pipeline ----
+
+TEST(Theorems, Theorem1ConstructionStarvesVegas) {
+  PigeonholeConfig pg;
+  pg.f = 0.9;
+  pg.s = 8.0;
+  pg.lambda = Rate::mbps(2);
+  pg.max_steps = 3;
+  pg.duration = TimeNs::seconds(40);
+  EmulationConfig emu;
+  emu.duration = TimeNs::seconds(20);
+  const Theorem1Report rep = run_theorem1(
+      [] { return std::unique_ptr<Cca>(new Vegas()); }, pg, emu);
+  ASSERT_TRUE(rep.pigeonhole.found);
+  ASSERT_TRUE(rep.outcome.has_value());
+  // The achieved ratio meets the requested s.
+  EXPECT_GE(rep.outcome->ratio, pg.s * 0.9);
+  // And the emulation stayed within the D = 2*delta_max + 2*eps budget.
+  EXPECT_EQ(rep.outcome->slow_jitter.budget_violations, 0u);
+  EXPECT_EQ(rep.outcome->fast_jitter.budget_violations, 0u);
+  EXPECT_LE(rep.outcome->slow_jitter.max_added, rep.d_used);
+}
+
+TEST(Theorems, Theorem1ColdStartAlsoStarves) {
+  PigeonholeConfig pg;
+  pg.f = 0.9;
+  pg.s = 8.0;
+  pg.lambda = Rate::mbps(2);
+  pg.max_steps = 3;
+  pg.duration = TimeNs::seconds(40);
+  PigeonholePair pair = find_rate_pair(
+      [] { return std::unique_ptr<Cca>(new Vegas()); }, pg);
+  ASSERT_TRUE(pair.found);
+  EmulationConfig emu;
+  emu.duration = TimeNs::seconds(30);
+  emu.transplant = false;
+  emu.jitter_budget_d =
+      TimeNs::seconds(2.0 * pair.delta_max_s + 2.0 * pg.epsilon_s);
+  const EmulationOutcome out = emulate_two_flow(
+      [] { return std::unique_ptr<Cca>(new Vegas()); }, std::move(pair),
+      emu);
+  EXPECT_GE(out.ratio, 4.0);
+}
+
+// ---- Theorem 2 pipeline ----
+
+TEST(Theorems, Theorem2DrivesUtilizationArbitrarilyLow) {
+  Theorem2Config cfg;
+  cfg.modest_rate = Rate::mbps(5);
+  cfg.huge_rate = Rate::mbps(250);
+  cfg.solo_duration = TimeNs::seconds(25);
+  cfg.emu_duration = TimeNs::seconds(25);
+  const Theorem2Outcome out = run_theorem2(
+      [] { return std::unique_ptr<Cca>(new Vegas()); }, cfg);
+  EXPECT_LT(out.utilization, 0.05);
+  EXPECT_NEAR(out.emulated_throughput_mbps, out.solo_throughput_mbps,
+              0.3 * out.solo_throughput_mbps + 1.0);
+}
+
+TEST(Theorems, Theorem2ScalesWithLinkRate) {
+  // Doubling C' halves utilization: the CCA is oblivious to the real link.
+  auto run = [](double huge) {
+    Theorem2Config cfg;
+    cfg.modest_rate = Rate::mbps(5);
+    cfg.huge_rate = Rate::mbps(huge);
+    cfg.solo_duration = TimeNs::seconds(20);
+    cfg.emu_duration = TimeNs::seconds(20);
+    return run_theorem2(
+        [] { return std::unique_ptr<Cca>(new Vegas()); }, cfg);
+  };
+  const auto u100 = run(100).utilization;
+  const auto u400 = run(400).utilization;
+  EXPECT_NEAR(u100 / u400, 4.0, 1.0);
+}
+
+// ---- Theorem 3 pipeline ----
+
+TEST(Theorems, Theorem3StrongModelStarvation) {
+  Theorem3Config cfg;
+  cfg.lambda = Rate::mbps(5);
+  cfg.min_rtt = TimeNs::millis(50);
+  cfg.duration = TimeNs::seconds(25);
+  cfg.s = 4.0;
+  const Theorem3Outcome out = run_theorem3(
+      [] { return std::unique_ptr<Cca>(new Vegas()); }, cfg);
+  ASSERT_TRUE(out.found_pair);
+  EXPECT_GE(out.ratio, cfg.s);
+  EXPECT_GT(out.d, TimeNs::zero());
+}
+
+// ---- §6.3: the JitterAware CCA resists the bounded adversary ----
+
+TEST(Theorems, JitterAwareSurvivesAdversarySearch) {
+  JitterSearchConfig cfg;
+  cfg.link_rate = Rate::mbps(60);
+  cfg.min_rtt = TimeNs::millis(100);
+  cfg.d = TimeNs::millis(10);  // the design-time jitter bound
+  cfg.duration = TimeNs::seconds(60);
+  cfg.f = 0.3;
+  cfg.s = 5.0;  // > design s^2: tolerate amplification across two flows
+  cfg.random_schedules = 2;
+  JitterAware::Params p;  // defaults designed for D = 10 ms, Rm = 100 ms
+  const JitterSearchResult res = search_jitter_adversary(
+      [p] { return std::unique_ptr<Cca>(new JitterAware(p)); }, cfg);
+  EXPECT_FALSE(res.any_violation)
+      << "worst util " << res.worst_utilization << " worst ratio "
+      << res.worst_ratio;
+}
+
+TEST(Theorems, VegasFailsTheSameAdversarySearch) {
+  // The contrast that motivates §6: under the identical bounded adversary,
+  // the maximally delay-convergent CCA is driven past the fairness bound.
+  JitterSearchConfig cfg;
+  cfg.link_rate = Rate::mbps(60);
+  cfg.min_rtt = TimeNs::millis(100);
+  cfg.d = TimeNs::millis(10);
+  cfg.duration = TimeNs::seconds(60);
+  cfg.f = 0.3;
+  cfg.s = 5.0;
+  cfg.random_schedules = 2;
+  const JitterSearchResult res = search_jitter_adversary(
+      [] { return std::unique_ptr<Cca>(new Vegas()); }, cfg);
+  EXPECT_TRUE(res.any_violation);
+}
+
+}  // namespace
+}  // namespace ccstarve

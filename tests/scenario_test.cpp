@@ -1,0 +1,157 @@
+// Scenario-level behavioural tests: multi-flow sharing, mixed CCAs,
+// per-flow propagation delays, the strong-model link variant, and trace
+// file round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "cc/cubic.hpp"
+#include "cc/misc.hpp"
+#include "cc/vegas.hpp"
+#include "emu/trace.hpp"
+#include "sim/scenario.hpp"
+
+namespace ccstarve {
+namespace {
+
+TEST(MultiFlow, ThreeEqualFlowsSplitEvenly) {
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(12);
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 3; ++i) {
+    FlowSpec f;
+    f.cca = std::make_unique<ConstCwnd>(150.0);
+    f.min_rtt = TimeNs::millis(30);
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(30));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(
+        sc.throughput(i, TimeNs::seconds(10), TimeNs::seconds(30)).to_mbps(),
+        4.0, 0.4);
+  }
+}
+
+TEST(MultiFlow, FixedWindowShareIsInverselyProportionalToRtt) {
+  // Classic window-limited arithmetic: throughput = W/RTT, so with equal
+  // windows the 2x-RTT flow gets half. (Distinct from BBR's §5.2 dynamics.)
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(100);  // never the bottleneck
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.cca = std::make_unique<ConstCwnd>(50.0);
+    f.min_rtt = TimeNs::millis(i == 0 ? 50 : 100);
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(20));
+  const double fast = sc.throughput(0).to_mbps();
+  const double slow = sc.throughput(1).to_mbps();
+  EXPECT_NEAR(fast / slow, 2.0, 0.15);
+}
+
+TEST(MultiFlow, BufferFillerBeatsDelayBasedOnDeepBuffer) {
+  // The coexistence problem that stalled delay CCAs for a decade (§1):
+  // against Cubic on a deep buffer, plain Vegas (no mode switching) is
+  // squeezed to its alpha packets.
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(16);
+  cfg.buffer_bytes = 400ull * kMss;  // deep
+  Scenario sc(std::move(cfg));
+  FlowSpec v;
+  v.cca = std::make_unique<Vegas>();
+  v.min_rtt = TimeNs::millis(40);
+  sc.add_flow(std::move(v));
+  FlowSpec c;
+  c.cca = std::make_unique<Cubic>();
+  c.min_rtt = TimeNs::millis(40);
+  sc.add_flow(std::move(c));
+  sc.run_until(TimeNs::seconds(40));
+  const double vegas =
+      sc.throughput(0, TimeNs::seconds(20), TimeNs::seconds(40)).to_mbps();
+  const double cubic =
+      sc.throughput(1, TimeNs::seconds(20), TimeNs::seconds(40)).to_mbps();
+  EXPECT_GT(cubic, 4.0 * vegas);
+}
+
+TEST(MultiFlow, LateFlowConvergesWithVegas) {
+  // Vegas AIAD with a unique fixed point: a flow joining 10 s late still
+  // converges toward an even split.
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.cca = std::make_unique<Vegas>();
+    f.min_rtt = TimeNs::millis(40);
+    f.start_at = TimeNs::seconds(i * 10.0);
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(60));
+  const double a =
+      sc.throughput(0, TimeNs::seconds(40), TimeNs::seconds(60)).to_mbps();
+  const double b =
+      sc.throughput(1, TimeNs::seconds(40), TimeNs::seconds(60)).to_mbps();
+  EXPECT_LT(std::max(a, b) / std::min(a, b), 1.6);
+}
+
+TEST(StrongModelLink, TwoFlowsShareDelayServerFifo) {
+  // The §6.5 link variant carries multiple flows through one FIFO with an
+  // imposed delay pattern; both see the same queueing delays.
+  ScenarioConfig cfg;
+  cfg.delay_server = [](TimeNs) { return TimeNs::millis(5); };
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.cca = std::make_unique<ConstCwnd>(20.0);
+    f.min_rtt = TimeNs::millis(40);
+    sc.add_flow(std::move(f));
+  }
+  sc.run_until(TimeNs::seconds(10));
+  EXPECT_FALSE(sc.has_bottleneck());
+  for (int i = 0; i < 2; ++i) {
+    // RTT = 40 ms prop + 5 ms imposed; throughput = W/RTT.
+    const double rtt = sc.stats(i).rtt_seconds.at(TimeNs::seconds(8));
+    EXPECT_NEAR(rtt, 0.045, 0.002);
+    EXPECT_NEAR(sc.throughput(i).to_mbps(), 20 * kMss * 8 / 0.045 / 1e6, 0.6);
+  }
+}
+
+TEST(MultiFlow, PerFlowJitterBudgetsAreIndependent) {
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(10);
+  cfg.jitter_budget = TimeNs::millis(5);
+  Scenario sc(std::move(cfg));
+  FlowSpec noisy;
+  noisy.cca = std::make_unique<ConstCwnd>(20.0);
+  noisy.min_rtt = TimeNs::millis(40);
+  noisy.ack_jitter = std::make_unique<ConstantJitter>(TimeNs::millis(8));
+  sc.add_flow(std::move(noisy));
+  FlowSpec clean;
+  clean.cca = std::make_unique<ConstCwnd>(20.0);
+  clean.min_rtt = TimeNs::millis(40);
+  sc.add_flow(std::move(clean));
+  sc.run_until(TimeNs::seconds(5));
+  EXPECT_GT(sc.ack_jitter_stats(0).budget_violations, 0u);
+  EXPECT_EQ(sc.ack_jitter_stats(1).budget_violations, 0u);
+  EXPECT_EQ(sc.data_jitter_stats(0).budget_violations, 0u);
+}
+
+TEST(TraceFiles, SaveAndLoadRoundTrip) {
+  const DeliveryTrace t =
+      DeliveryTrace::constant(Rate::mbps(6), TimeNs::seconds(2));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ccstarve_trace_test.trace")
+          .string();
+  t.save(path);
+  const DeliveryTrace loaded = DeliveryTrace::load(path);
+  EXPECT_EQ(loaded.size(), t.size());
+  EXPECT_EQ(loaded.span(), t.span());
+  std::remove(path.c_str());
+  EXPECT_THROW(DeliveryTrace::load(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccstarve

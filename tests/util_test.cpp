@@ -1,0 +1,225 @@
+// Unit tests for src/util: time/rate arithmetic, filters, stats, series.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/filters.hpp"
+#include "util/rate.hpp"
+#include "util/rng.hpp"
+#include "util/series.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+namespace {
+
+TEST(TimeNs, FactoryConversions) {
+  EXPECT_EQ(TimeNs::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(TimeNs::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(TimeNs::micros(3).ns(), 3'000);
+  EXPECT_DOUBLE_EQ(TimeNs::millis(250).to_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(TimeNs::seconds(0.004).to_millis(), 4.0);
+}
+
+TEST(TimeNs, Arithmetic) {
+  const TimeNs a = TimeNs::millis(10);
+  const TimeNs b = TimeNs::millis(4);
+  EXPECT_EQ((a + b).to_millis(), 14.0);
+  EXPECT_EQ((a - b).to_millis(), 6.0);
+  EXPECT_EQ((a * 2.5).to_millis(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ(ccstarve::min(a, b), b);
+  EXPECT_EQ(ccstarve::max(a, b), a);
+  EXPECT_LT(-a, TimeNs::zero());
+}
+
+TEST(TimeNs, InfiniteIsSticky) {
+  EXPECT_TRUE(TimeNs::infinite().is_infinite());
+  EXPECT_FALSE(TimeNs::seconds(1e6).is_infinite());
+  EXPECT_GT(TimeNs::infinite(), TimeNs::seconds(1e9));
+}
+
+TEST(TimeNs, ToString) {
+  EXPECT_EQ(TimeNs::millis(12.5).to_string(), "12.500ms");
+  EXPECT_EQ(TimeNs::seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(TimeNs::nanos(5).to_string(), "5ns");
+}
+
+TEST(Rate, Conversions) {
+  EXPECT_DOUBLE_EQ(Rate::mbps(120).bits_per_sec(), 120e6);
+  EXPECT_DOUBLE_EQ(Rate::mbps(120).bytes_per_second(), 15e6);
+  EXPECT_DOUBLE_EQ(Rate::bytes_per_sec(1000).bits_per_sec(), 8000);
+  EXPECT_DOUBLE_EQ(Rate::kbps(500).to_mbps(), 0.5);
+}
+
+TEST(Rate, TransmissionTime) {
+  // 1500 bytes at 12 Mbit/s = 1 ms.
+  EXPECT_EQ(Rate::mbps(12).transmission_time(1500).to_millis(), 1.0);
+  EXPECT_EQ(Rate::infinite().transmission_time(1500), TimeNs::zero());
+}
+
+TEST(Rate, FromBytesOver) {
+  const Rate r = Rate::from_bytes_over(15'000'000, TimeNs::seconds(1));
+  EXPECT_DOUBLE_EQ(r.to_mbps(), 120.0);
+  EXPECT_TRUE(Rate::from_bytes_over(1, TimeNs::zero()).is_infinite());
+}
+
+TEST(Rate, BytesIn) {
+  EXPECT_DOUBLE_EQ(Rate::mbps(8).bytes_in(TimeNs::seconds(2)), 2e6);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.02);
+  EXPECT_NEAR(hits / 100000.0, 0.02, 0.005);
+}
+
+TEST(Rng, NextBelow) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(7), 7u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(WindowedMin, TracksWindow) {
+  WindowedMin<double> f(TimeNs::seconds(1));
+  f.update(5.0, TimeNs::seconds(0));
+  f.update(3.0, TimeNs::seconds(0.5));
+  EXPECT_EQ(f.get(TimeNs::seconds(0.5)).value(), 3.0);
+  // The 3.0 sample expires at t=1.6.
+  f.update(7.0, TimeNs::seconds(1.4));
+  EXPECT_EQ(f.get(TimeNs::seconds(1.4)).value(), 3.0);
+  EXPECT_EQ(f.get(TimeNs::seconds(1.6)).value(), 7.0);
+}
+
+TEST(WindowedMin, EmptyAfterExpiry) {
+  WindowedMin<int> f(TimeNs::millis(10));
+  f.update(1, TimeNs::zero());
+  EXPECT_FALSE(f.get(TimeNs::seconds(1)).has_value());
+}
+
+TEST(WindowedMax, TracksWindow) {
+  WindowedMax<double> f(TimeNs::seconds(1));
+  f.update(5.0, TimeNs::seconds(0));
+  f.update(9.0, TimeNs::seconds(0.2));
+  f.update(4.0, TimeNs::seconds(0.4));
+  EXPECT_EQ(f.get(TimeNs::seconds(0.4)).value(), 9.0);
+  // The 9.0 sample expires after t = 1.2; 4.0 remains until t = 1.4.
+  EXPECT_EQ(f.get(TimeNs::seconds(1.3)).value(), 4.0);
+  EXPECT_FALSE(f.get(TimeNs::seconds(1.5)).has_value());
+}
+
+TEST(WindowedFilters, RebaseShiftsExpiry) {
+  WindowedMin<double> f(TimeNs::seconds(1));
+  f.update(2.0, TimeNs::seconds(10));
+  f.rebase_time(TimeNs::seconds(-10));
+  EXPECT_EQ(f.get(TimeNs::seconds(0.5)).value(), 2.0);
+  EXPECT_FALSE(f.get(TimeNs::seconds(2)).has_value());
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  for (int i = 0; i < 50; ++i) e.update(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleSets) {
+  Ewma e(0.1);
+  e.update(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(RunningStats, MeanVarMinMax) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(JainIndex, Extremes) {
+  EXPECT_DOUBLE_EQ(jain_index({1, 1, 1, 1}), 1.0);
+  EXPECT_NEAR(jain_index({1, 0, 0, 0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+}
+
+TEST(TimeSeries, InterpolationAndClamping) {
+  TimeSeries ts;
+  ts.add(TimeNs::seconds(1), 10.0);
+  ts.add(TimeNs::seconds(3), 30.0);
+  EXPECT_DOUBLE_EQ(ts.at(TimeNs::seconds(2)), 20.0);
+  EXPECT_DOUBLE_EQ(ts.at(TimeNs::seconds(0)), 10.0);   // clamped low
+  EXPECT_DOUBLE_EQ(ts.at(TimeNs::seconds(5)), 30.0);   // clamped high
+  EXPECT_DOUBLE_EQ(ts.step_at(TimeNs::seconds(2.9)), 10.0);
+}
+
+TEST(TimeSeries, RangeQueries) {
+  TimeSeries ts;
+  for (int i = 0; i <= 10; ++i) {
+    ts.add(TimeNs::seconds(i), static_cast<double>(i % 4));
+  }
+  EXPECT_DOUBLE_EQ(ts.min_over(TimeNs::seconds(1), TimeNs::seconds(5)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(TimeNs::seconds(1), TimeNs::seconds(5)), 3.0);
+  EXPECT_NEAR(ts.mean_over(TimeNs::seconds(0), TimeNs::seconds(10)),
+              (0 + 1 + 2 + 3 + 0 + 1 + 2 + 3 + 0 + 1 + 2) / 11.0, 1e-12);
+}
+
+TEST(TimeSeries, ShiftedWindow) {
+  TimeSeries ts;
+  ts.add(TimeNs::seconds(0), 0.0);
+  ts.add(TimeNs::seconds(10), 100.0);
+  ts.add(TimeNs::seconds(20), 200.0);
+  const TimeSeries w = ts.shifted_window(TimeNs::seconds(5), TimeNs::seconds(15));
+  EXPECT_DOUBLE_EQ(w.at(TimeNs::zero()), 50.0);   // interpolated anchor
+  EXPECT_DOUBLE_EQ(w.at(TimeNs::seconds(5)), 100.0);
+  EXPECT_EQ(w.back_time(), TimeNs::seconds(5));
+}
+
+TEST(TimeSeries, CsvOutput) {
+  TimeSeries ts;
+  ts.add(TimeNs::seconds(1), 2.5);
+  std::ostringstream os;
+  ts.write_csv(os, "value");
+  EXPECT_EQ(os.str(), "time_s,value\n1,2.5\n");
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| a | bb |"), std::string::npos);
+  EXPECT_NE(os.str().find("| 1 | 2  |"), std::string::npos);
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace ccstarve

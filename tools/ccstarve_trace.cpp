@@ -1,0 +1,70 @@
+// ccstarve_trace — Mahimahi trace utility.
+//
+//   ccstarve_trace gen constant 12 8 > uplink.trace     # 12 Mbit/s, 8 s
+//   ccstarve_trace gen sawtooth 2 16 4 8 > cell.trace   # 2..16 Mbit/s, 4 s period, 8 s
+//   ccstarve_trace gen poisson 8 8 42 > noisy.trace     # mean 8 Mbit/s, seed 42
+//   ccstarve_trace info cell.trace                      # span / rate summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "emu/trace.hpp"
+
+using namespace ccstarve;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ccstarve_trace gen constant <mbps> <seconds>\n"
+               "  ccstarve_trace gen sawtooth <lo mbps> <hi mbps> <period s> "
+               "<seconds>\n"
+               "  ccstarve_trace gen poisson <mbps> <seconds> <seed>\n"
+               "  ccstarve_trace info <file>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "info") {
+    if (argc != 3) return usage();
+    try {
+      const DeliveryTrace t = DeliveryTrace::load(argv[2]);
+      std::printf("%s: %zu delivery opportunities, span %s, mean rate %s\n",
+                  argv[2], t.size(), t.span().to_string().c_str(),
+                  t.mean_rate().to_string().c_str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ccstarve_trace: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (cmd != "gen" || argc < 3) return usage();
+  const std::string kind = argv[2];
+  DeliveryTrace trace;
+  if (kind == "constant" && argc == 5) {
+    trace = DeliveryTrace::constant(Rate::mbps(std::atof(argv[3])),
+                                    TimeNs::seconds(std::atof(argv[4])));
+  } else if (kind == "sawtooth" && argc == 7) {
+    trace = DeliveryTrace::sawtooth(
+        Rate::mbps(std::atof(argv[3])), Rate::mbps(std::atof(argv[4])),
+        TimeNs::seconds(std::atof(argv[5])),
+        TimeNs::seconds(std::atof(argv[6])));
+  } else if (kind == "poisson" && argc == 6) {
+    trace = DeliveryTrace::poisson(
+        Rate::mbps(std::atof(argv[3])), TimeNs::seconds(std::atof(argv[4])),
+        static_cast<uint64_t>(std::atoll(argv[5])));
+  } else {
+    return usage();
+  }
+  trace.write(std::cout);
+  return 0;
+}
