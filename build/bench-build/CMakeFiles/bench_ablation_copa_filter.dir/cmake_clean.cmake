@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_copa_filter"
+  "../bench/bench_ablation_copa_filter.pdb"
+  "CMakeFiles/bench_ablation_copa_filter.dir/bench_ablation_copa_filter.cpp.o"
+  "CMakeFiles/bench_ablation_copa_filter.dir/bench_ablation_copa_filter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_copa_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

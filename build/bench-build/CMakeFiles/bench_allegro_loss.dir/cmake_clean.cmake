@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_allegro_loss"
+  "../bench/bench_allegro_loss.pdb"
+  "CMakeFiles/bench_allegro_loss.dir/bench_allegro_loss.cpp.o"
+  "CMakeFiles/bench_allegro_loss.dir/bench_allegro_loss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allegro_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

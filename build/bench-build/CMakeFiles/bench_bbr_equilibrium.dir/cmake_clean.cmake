@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bbr_equilibrium"
+  "../bench/bench_bbr_equilibrium.pdb"
+  "CMakeFiles/bench_bbr_equilibrium.dir/bench_bbr_equilibrium.cpp.o"
+  "CMakeFiles/bench_bbr_equilibrium.dir/bench_bbr_equilibrium.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bbr_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bbr_starvation"
+  "../bench/bench_bbr_starvation.pdb"
+  "CMakeFiles/bench_bbr_starvation.dir/bench_bbr_starvation.cpp.o"
+  "CMakeFiles/bench_bbr_starvation.dir/bench_bbr_starvation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bbr_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

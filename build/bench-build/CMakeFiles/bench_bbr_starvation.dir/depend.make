@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bbr_starvation.
+# This may be replaced when dependencies are built.

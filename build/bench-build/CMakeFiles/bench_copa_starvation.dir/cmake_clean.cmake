@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_copa_starvation"
+  "../bench/bench_copa_starvation.pdb"
+  "CMakeFiles/bench_copa_starvation.dir/bench_copa_starvation.cpp.o"
+  "CMakeFiles/bench_copa_starvation.dir/bench_copa_starvation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_copa_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ecn_aqm"
+  "../bench/bench_ecn_aqm.pdb"
+  "CMakeFiles/bench_ecn_aqm.dir/bench_ecn_aqm.cpp.o"
+  "CMakeFiles/bench_ecn_aqm.dir/bench_ecn_aqm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecn_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

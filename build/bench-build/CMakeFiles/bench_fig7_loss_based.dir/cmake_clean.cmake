@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_loss_based"
+  "../bench/bench_fig7_loss_based.pdb"
+  "CMakeFiles/bench_fig7_loss_based.dir/bench_fig7_loss_based.cpp.o"
+  "CMakeFiles/bench_fig7_loss_based.dir/bench_fig7_loss_based.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_loss_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

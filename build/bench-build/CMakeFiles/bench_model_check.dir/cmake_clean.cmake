@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_check"
+  "../bench/bench_model_check.pdb"
+  "CMakeFiles/bench_model_check.dir/bench_model_check.cpp.o"
+  "CMakeFiles/bench_model_check.dir/bench_model_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem1_construction"
+  "../bench/bench_theorem1_construction.pdb"
+  "CMakeFiles/bench_theorem1_construction.dir/bench_theorem1_construction.cpp.o"
+  "CMakeFiles/bench_theorem1_construction.dir/bench_theorem1_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem2_underutilization"
+  "../bench/bench_theorem2_underutilization.pdb"
+  "CMakeFiles/bench_theorem2_underutilization.dir/bench_theorem2_underutilization.cpp.o"
+  "CMakeFiles/bench_theorem2_underutilization.dir/bench_theorem2_underutilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem2_underutilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

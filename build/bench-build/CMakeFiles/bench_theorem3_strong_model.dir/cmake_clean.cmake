@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem3_strong_model"
+  "../bench/bench_theorem3_strong_model.pdb"
+  "CMakeFiles/bench_theorem3_strong_model.dir/bench_theorem3_strong_model.cpp.o"
+  "CMakeFiles/bench_theorem3_strong_model.dir/bench_theorem3_strong_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem3_strong_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

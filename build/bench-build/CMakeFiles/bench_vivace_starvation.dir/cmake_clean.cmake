@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vivace_starvation"
+  "../bench/bench_vivace_starvation.pdb"
+  "CMakeFiles/bench_vivace_starvation.dir/bench_vivace_starvation.cpp.o"
+  "CMakeFiles/bench_vivace_starvation.dir/bench_vivace_starvation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vivace_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_for_jitter.dir/design_for_jitter.cpp.o"
+  "CMakeFiles/design_for_jitter.dir/design_for_jitter.cpp.o.d"
+  "design_for_jitter"
+  "design_for_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_for_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/allegro.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/allegro.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/allegro.cpp.o.d"
+  "/root/repo/src/cc/bbr.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/bbr.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/bbr.cpp.o.d"
+  "/root/repo/src/cc/copa.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/copa.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/copa.cpp.o.d"
+  "/root/repo/src/cc/cubic.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/cubic.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/cubic.cpp.o.d"
+  "/root/repo/src/cc/ecn_reno.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/ecn_reno.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/ecn_reno.cpp.o.d"
+  "/root/repo/src/cc/fast.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/fast.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/fast.cpp.o.d"
+  "/root/repo/src/cc/jitter_aware.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/jitter_aware.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/jitter_aware.cpp.o.d"
+  "/root/repo/src/cc/ledbat.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/ledbat.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/ledbat.cpp.o.d"
+  "/root/repo/src/cc/misc.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/misc.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/misc.cpp.o.d"
+  "/root/repo/src/cc/pcc_common.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/pcc_common.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/pcc_common.cpp.o.d"
+  "/root/repo/src/cc/reno.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/reno.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/reno.cpp.o.d"
+  "/root/repo/src/cc/vegas.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/vegas.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/vegas.cpp.o.d"
+  "/root/repo/src/cc/verus.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/verus.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/verus.cpp.o.d"
+  "/root/repo/src/cc/vivace.cpp" "src/cc/CMakeFiles/ccstarve_cc.dir/vivace.cpp.o" "gcc" "src/cc/CMakeFiles/ccstarve_cc.dir/vivace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccstarve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

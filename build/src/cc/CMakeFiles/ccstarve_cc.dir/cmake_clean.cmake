@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccstarve_cc.dir/allegro.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/allegro.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/bbr.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/bbr.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/copa.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/copa.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/cubic.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/cubic.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/ecn_reno.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/ecn_reno.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/fast.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/fast.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/jitter_aware.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/jitter_aware.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/ledbat.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/ledbat.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/misc.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/misc.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/pcc_common.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/pcc_common.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/reno.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/reno.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/vegas.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/vegas.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/verus.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/verus.cpp.o.d"
+  "CMakeFiles/ccstarve_cc.dir/vivace.cpp.o"
+  "CMakeFiles/ccstarve_cc.dir/vivace.cpp.o.d"
+  "libccstarve_cc.a"
+  "libccstarve_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccstarve_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/equilibrium.cpp" "src/core/CMakeFiles/ccstarve_core.dir/equilibrium.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/equilibrium.cpp.o.d"
+  "/root/repo/src/core/fairness.cpp" "src/core/CMakeFiles/ccstarve_core.dir/fairness.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/fairness.cpp.o.d"
+  "/root/repo/src/core/fluid.cpp" "src/core/CMakeFiles/ccstarve_core.dir/fluid.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/fluid.cpp.o.d"
+  "/root/repo/src/core/jitter_search.cpp" "src/core/CMakeFiles/ccstarve_core.dir/jitter_search.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/jitter_search.cpp.o.d"
+  "/root/repo/src/core/model_check.cpp" "src/core/CMakeFiles/ccstarve_core.dir/model_check.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/model_check.cpp.o.d"
+  "/root/repo/src/core/rate_delay.cpp" "src/core/CMakeFiles/ccstarve_core.dir/rate_delay.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/rate_delay.cpp.o.d"
+  "/root/repo/src/core/rate_range.cpp" "src/core/CMakeFiles/ccstarve_core.dir/rate_range.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/rate_range.cpp.o.d"
+  "/root/repo/src/core/solo.cpp" "src/core/CMakeFiles/ccstarve_core.dir/solo.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/solo.cpp.o.d"
+  "/root/repo/src/core/theorem1.cpp" "src/core/CMakeFiles/ccstarve_core.dir/theorem1.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/theorem1.cpp.o.d"
+  "/root/repo/src/core/theorem2.cpp" "src/core/CMakeFiles/ccstarve_core.dir/theorem2.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/theorem2.cpp.o.d"
+  "/root/repo/src/core/theorem3.cpp" "src/core/CMakeFiles/ccstarve_core.dir/theorem3.cpp.o" "gcc" "src/core/CMakeFiles/ccstarve_core.dir/theorem3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccstarve_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/ccstarve_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccstarve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccstarve_core.dir/equilibrium.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/equilibrium.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/fairness.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/fairness.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/fluid.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/fluid.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/jitter_search.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/jitter_search.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/model_check.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/model_check.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/rate_delay.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/rate_delay.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/rate_range.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/rate_range.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/solo.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/solo.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/theorem1.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/theorem1.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/theorem2.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/theorem2.cpp.o.d"
+  "CMakeFiles/ccstarve_core.dir/theorem3.cpp.o"
+  "CMakeFiles/ccstarve_core.dir/theorem3.cpp.o.d"
+  "libccstarve_core.a"
+  "libccstarve_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccstarve_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccstarve_emu.dir/trace.cpp.o"
+  "CMakeFiles/ccstarve_emu.dir/trace.cpp.o.d"
+  "CMakeFiles/ccstarve_emu.dir/trace_link.cpp.o"
+  "CMakeFiles/ccstarve_emu.dir/trace_link.cpp.o.d"
+  "libccstarve_emu.a"
+  "libccstarve_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccstarve_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

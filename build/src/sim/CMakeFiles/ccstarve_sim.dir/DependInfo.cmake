@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/jitter.cpp" "src/sim/CMakeFiles/ccstarve_sim.dir/jitter.cpp.o" "gcc" "src/sim/CMakeFiles/ccstarve_sim.dir/jitter.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/ccstarve_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/ccstarve_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/receiver.cpp" "src/sim/CMakeFiles/ccstarve_sim.dir/receiver.cpp.o" "gcc" "src/sim/CMakeFiles/ccstarve_sim.dir/receiver.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/ccstarve_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/ccstarve_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/sender.cpp" "src/sim/CMakeFiles/ccstarve_sim.dir/sender.cpp.o" "gcc" "src/sim/CMakeFiles/ccstarve_sim.dir/sender.cpp.o.d"
+  "/root/repo/src/sim/shaper.cpp" "src/sim/CMakeFiles/ccstarve_sim.dir/shaper.cpp.o" "gcc" "src/sim/CMakeFiles/ccstarve_sim.dir/shaper.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ccstarve_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ccstarve_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccstarve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

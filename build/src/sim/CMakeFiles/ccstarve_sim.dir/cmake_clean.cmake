@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccstarve_sim.dir/jitter.cpp.o"
+  "CMakeFiles/ccstarve_sim.dir/jitter.cpp.o.d"
+  "CMakeFiles/ccstarve_sim.dir/link.cpp.o"
+  "CMakeFiles/ccstarve_sim.dir/link.cpp.o.d"
+  "CMakeFiles/ccstarve_sim.dir/receiver.cpp.o"
+  "CMakeFiles/ccstarve_sim.dir/receiver.cpp.o.d"
+  "CMakeFiles/ccstarve_sim.dir/scenario.cpp.o"
+  "CMakeFiles/ccstarve_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/ccstarve_sim.dir/sender.cpp.o"
+  "CMakeFiles/ccstarve_sim.dir/sender.cpp.o.d"
+  "CMakeFiles/ccstarve_sim.dir/shaper.cpp.o"
+  "CMakeFiles/ccstarve_sim.dir/shaper.cpp.o.d"
+  "CMakeFiles/ccstarve_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ccstarve_sim.dir/simulator.cpp.o.d"
+  "libccstarve_sim.a"
+  "libccstarve_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccstarve_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

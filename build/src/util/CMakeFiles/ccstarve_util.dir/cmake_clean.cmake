@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccstarve_util.dir/rng.cpp.o"
+  "CMakeFiles/ccstarve_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ccstarve_util.dir/series.cpp.o"
+  "CMakeFiles/ccstarve_util.dir/series.cpp.o.d"
+  "CMakeFiles/ccstarve_util.dir/stats.cpp.o"
+  "CMakeFiles/ccstarve_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ccstarve_util.dir/table.cpp.o"
+  "CMakeFiles/ccstarve_util.dir/table.cpp.o.d"
+  "CMakeFiles/ccstarve_util.dir/units.cpp.o"
+  "CMakeFiles/ccstarve_util.dir/units.cpp.o.d"
+  "libccstarve_util.a"
+  "libccstarve_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccstarve_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/ccstarve_run"
+  "../tools/ccstarve_run.pdb"
+  "CMakeFiles/ccstarve_run.dir/ccstarve_run.cpp.o"
+  "CMakeFiles/ccstarve_run.dir/ccstarve_run.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccstarve_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

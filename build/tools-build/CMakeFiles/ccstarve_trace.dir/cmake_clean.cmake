@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/ccstarve_trace"
+  "../tools/ccstarve_trace.pdb"
+  "CMakeFiles/ccstarve_trace.dir/ccstarve_trace.cpp.o"
+  "CMakeFiles/ccstarve_trace.dir/ccstarve_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccstarve_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
