@@ -8,95 +8,56 @@
 // Our Copa pins its delay-based default mode (the regime the paper's §5.1
 // analysis describes); its competitive-mode heuristic partially masks the
 // attack (discussed in EXPERIMENTS.md).
+//
+// The three scenarios are expressed as sweep-engine flow sets and run in
+// parallel (one worker each); "copa-default" is the mode-switching-off,
+// long-min-RTT-window Copa the original hand-built params selected. The
+// attack jitter delays every packet 1 ms except one early packet at
+// t = 150 ms, so the min-RTT filter under-estimates Rm by 1 ms forever
+// after; the clean flow sees the same +1 ms on every packet (identical
+// effective Rm = 60 ms), just never an early one.
 #include "bench_common.hpp"
 
-#include "cc/copa.hpp"
-#include "sim/jitter.hpp"
+#include "sweep/engine.hpp"
 
 using namespace ccstarve;
 
 namespace {
 
-Copa::Params attack_params() {
-  Copa::Params p;
-  p.enable_mode_switching = false;
-  p.min_rtt_window = TimeNs::seconds(600);  // "min over a long period"
-  return p;
-}
-
-std::unique_ptr<JitterPolicy> attack_jitter() {
-  // Every packet is delayed 1 ms except one early packet: the flow's
-  // min-RTT filter under-estimates Rm by 1 ms forever after.
-  return std::make_unique<AllButOneJitter>(TimeNs::millis(1),
-                                           TimeNs::millis(150));
-}
+constexpr const char* kVictim =
+    "copa-default:rtt=59:datajitter=allbutone:1,0.15";
+constexpr const char* kClean = "copa-default:rtt=59:datajitter=const:1";
 
 }  // namespace
 
 int main() {
-  const TimeNs duration = TimeNs::seconds(60);
-  const TimeNs measure_from = TimeNs::seconds(10);
-  Table table({"scenario", "flow", "measured Mbit/s", "paper Mbit/s"});
+  sweep::SweepGrid grid;
+  grid.flow_sets = {
+      kVictim,                                // (a) solo victim
+      std::string(kVictim) + "+" + kClean,    // (b) victim vs clean
+      std::string(kClean) + "+" + kClean,     // control: both clean
+  };
+  grid.link_mbps = {120};
+  grid.duration_s = {60};
+  grid.warmup_fraction = 1.0 / 6.0;  // measure over [10 s, 60 s]
 
-  {
-    ScenarioConfig cfg;
-    cfg.link_rate = Rate::mbps(120);
-    Scenario sc(std::move(cfg));
-    FlowSpec f;
-    f.cca = std::make_unique<Copa>(attack_params());
-    f.min_rtt = TimeNs::millis(59);
-    f.data_jitter = attack_jitter();
-    sc.add_flow(std::move(f));
-    sc.run_until(duration);
-    table.add_row({"solo + 1ms minRTT error", "copa (victim)",
-                   Table::num(bench::mbps(sc, 0, measure_from, duration), 1),
-                   "8"});
-  }
-  {
-    ScenarioConfig cfg;
-    cfg.link_rate = Rate::mbps(120);
-    Scenario sc(std::move(cfg));
-    for (int i = 0; i < 2; ++i) {
-      FlowSpec f;
-      f.cca = std::make_unique<Copa>(attack_params());
-      f.min_rtt = TimeNs::millis(59);
-      if (i == 0) {
-        f.data_jitter = attack_jitter();
-      } else {
-        // The clean flow sees the same +1 ms on every packet (so both paths
-        // have identical effective Rm = 60 ms), just never an early one.
-        f.data_jitter = std::make_unique<ConstantJitter>(TimeNs::millis(1));
-      }
-      sc.add_flow(std::move(f));
-    }
-    sc.run_until(duration);
-    table.add_row({"two flows, one attacked", "copa (victim)",
-                   Table::num(bench::mbps(sc, 0, measure_from, duration), 1),
-                   "8.8"});
-    table.add_row({"two flows, one attacked", "copa (clean)",
-                   Table::num(bench::mbps(sc, 1, measure_from, duration), 1),
-                   "95"});
-  }
-  {
-    // Control: both flows clean share fairly and fill the link.
-    ScenarioConfig cfg;
-    cfg.link_rate = Rate::mbps(120);
-    Scenario sc(std::move(cfg));
-    for (int i = 0; i < 2; ++i) {
-      FlowSpec f;
-      f.cca = std::make_unique<Copa>(attack_params());
-      f.min_rtt = TimeNs::millis(59);
-      f.data_jitter = std::make_unique<ConstantJitter>(TimeNs::millis(1));
-      sc.add_flow(std::move(f));
-    }
-    sc.run_until(duration);
-    table.add_row({"control: both clean", "copa #1",
-                   Table::num(bench::mbps(sc, 0, measure_from, duration), 1),
-                   "~60"});
-    table.add_row({"control: both clean", "copa #2",
-                   Table::num(bench::mbps(sc, 1, measure_from, duration), 1),
-                   "~60"});
-  }
+  sweep::SweepOptions opt;  // jobs = hardware threads
+  const auto outcome = sweep::run_sweep(grid.expand(), opt);
+
+  Table table({"scenario", "flow", "measured Mbit/s", "paper Mbit/s"});
+  const auto& solo = outcome.records[0].throughput_mbps;
+  const auto& attacked = outcome.records[1].throughput_mbps;
+  const auto& control = outcome.records[2].throughput_mbps;
+  table.add_row({"solo + 1ms minRTT error", "copa (victim)",
+                 Table::num(solo[0], 1), "8"});
+  table.add_row({"two flows, one attacked", "copa (victim)",
+                 Table::num(attacked[0], 1), "8.8"});
+  table.add_row({"two flows, one attacked", "copa (clean)",
+                 Table::num(attacked[1], 1), "95"});
+  table.add_row({"control: both clean", "copa #1",
+                 Table::num(control[0], 1), "~60"});
+  table.add_row({"control: both clean", "copa #2",
+                 Table::num(control[1], 1), "~60"});
 
   bench::header("Copa min-RTT starvation (E5.1)",
                 "Section 5.1, 120 Mbit/s, Rm = 60 ms, one 59 ms packet");

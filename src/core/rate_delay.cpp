@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace ccstarve {
 
 std::vector<RateDelayPoint> rate_delay_sweep(const CcaMaker& maker,
                                              const RateDelaySweepConfig& cfg) {
-  std::vector<RateDelayPoint> out;
-  out.reserve(static_cast<size_t>(cfg.points));
+  std::vector<RateDelayPoint> out(static_cast<size_t>(cfg.points));
   const double lo = std::log10(cfg.min_rate.bits_per_sec());
   const double hi = std::log10(cfg.max_rate.bits_per_sec());
-  for (int i = 0; i < cfg.points; ++i) {
+  // Each point is an independent solo run writing its own slot, so the
+  // sweep result does not depend on the worker count.
+  parallel_for(out.size(), cfg.jobs, [&](size_t i) {
     const double frac =
         cfg.points == 1 ? 0.0
                         : static_cast<double>(i) / (cfg.points - 1);
@@ -21,8 +24,8 @@ std::vector<RateDelayPoint> rate_delay_sweep(const CcaMaker& maker,
     sc.duration = cfg.duration;
     sc.trim_percent = cfg.trim_percent;
     const SoloResult r = run_solo(maker, sc);
-    out.push_back({sc.link_rate, r.d_min_s, r.d_max_s, r.utilization()});
-  }
+    out[i] = {sc.link_rate, r.d_min_s, r.d_max_s, r.utilization()};
+  });
   return out;
 }
 

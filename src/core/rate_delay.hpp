@@ -24,9 +24,14 @@ struct RateDelaySweepConfig {
   TimeNs min_rtt = TimeNs::millis(100);
   TimeNs duration = TimeNs::seconds(60);
   double trim_percent = 1.0;
+  // Worker threads for the per-point solo runs (each owns its Scenario, so
+  // results are identical to a serial sweep); 0 = one per hardware thread.
+  unsigned jobs = 1;
 };
 
-// One solo run per grid point.
+// One solo run per grid point; points run across `jobs` workers, so with
+// jobs != 1 the maker must be safe to invoke concurrently (the usual
+// stateless make_unique lambdas are).
 std::vector<RateDelayPoint> rate_delay_sweep(const CcaMaker& maker,
                                              const RateDelaySweepConfig& cfg);
 

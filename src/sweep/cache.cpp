@@ -1,0 +1,57 @@
+#include "sweep/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sweep/record.hpp"
+
+namespace ccstarve::sweep {
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+uint64_t ResultCache::fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.json",
+                static_cast<unsigned long long>(fnv1a(key)));
+  return dir_ + "/" + name;
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream is(path_for(key));
+  if (!is) return std::nullopt;
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  const auto rec = SweepRecord::from_json(line);
+  if (!rec || rec->key != key) return std::nullopt;
+  return line;
+}
+
+void ResultCache::store(const std::string& key,
+                        const std::string& record_line) const {
+  if (!enabled()) return;
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    os << record_line << '\n';
+    if (!os) return;  // disk full etc: leave no entry rather than a bad one
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+}  // namespace ccstarve::sweep

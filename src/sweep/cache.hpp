@@ -1,0 +1,44 @@
+// Disk-backed sweep result cache: one file per completed point, named by
+// the FNV-1a hash of the point's canonical key and containing the point's
+// serialized JSONL record verbatim. Re-running a sweep skips every point
+// whose record is already on disk, which also makes interrupted sweeps
+// resumable — workers write each record as soon as the point finishes.
+//
+// Lookups verify the stored record's embedded key against the requested
+// key, so a (vanishingly unlikely) 64-bit hash collision degrades to a
+// cache miss rather than returning the wrong point's result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ccstarve::sweep {
+
+class ResultCache {
+ public:
+  // Empty dir disables the cache (lookup always misses, store is a no-op).
+  // A non-empty dir is created if missing.
+  explicit ResultCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+
+  // Returns the stored record line for `key`, or nullopt on miss,
+  // key mismatch, or unparseable file.
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  // Persists a record line for `key`. Writes to a temporary file first and
+  // renames into place so a killed sweep never leaves a truncated entry.
+  // Safe to call concurrently for distinct keys.
+  void store(const std::string& key, const std::string& record_line) const;
+
+  // Path of the entry file for `key` (whether or not it exists).
+  std::string path_for(const std::string& key) const;
+
+  static uint64_t fnv1a(const std::string& s);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ccstarve::sweep

@@ -1,0 +1,216 @@
+#include "sweep/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+
+#include "core/fairness.hpp"
+#include "sim/scenario.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/spec_parse.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace ccstarve::sweep {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+// Seed derivation: every random element of a point's scenario is seeded
+// from the point's seed axis and the flow index only, so a point's record
+// does not depend on which worker ran it or on the rest of the grid. The
+// offsets mirror ccstarve_run's historical choices (7/77/100/200) shifted
+// into per-point seed space.
+uint64_t seed_base(const SweepPoint& pt) { return pt.seed * 1000; }
+
+}  // namespace
+
+void request_stop() { g_stop.store(true, std::memory_order_relaxed); }
+void clear_stop() { g_stop.store(false, std::memory_order_relaxed); }
+bool stop_requested() { return g_stop.load(std::memory_order_relaxed); }
+
+SweepRecord run_point(const SweepPoint& pt) {
+  const auto flows = parse_flow_set(pt.flow_set);
+  const TimeNs duration = TimeNs::seconds(pt.duration_s);
+  const TimeNs warmup = TimeNs::seconds(pt.warmup_s);
+
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(pt.link_mbps);
+  cfg.buffer_bytes = parse_buffer_bytes(pt.buffer, cfg.link_rate, pt.rtt_ms);
+  Scenario sc(std::move(cfg));
+
+  std::vector<double> flow_rtt_ms;
+  for (size_t i = 0; i < flows.size(); ++i) {
+    const FlowArgs& fa = flows[i];
+    const uint64_t base = seed_base(pt);
+    FlowSpec spec;
+    spec.cca = make_cca(fa.cca, base + 7 + i);
+    spec.min_rtt = TimeNs::millis(fa.rtt_ms.value_or(pt.rtt_ms));
+    spec.start_at = TimeNs::seconds(fa.start_s);
+    spec.loss_rate = fa.loss;
+    spec.loss_seed = base + 77 + i;
+    std::string data_jitter = fa.data_jitter;
+    // The grid's jitter axis targets flow 0 (the "victim" in the paper's
+    // constructions); a per-flow datajitter= option takes precedence.
+    if (i == 0 && data_jitter.empty()) data_jitter = pt.jitter;
+    if (auto j = make_jitter(fa.ack_jitter, base + 100 + i)) {
+      spec.ack_jitter = std::move(j);
+    }
+    if (auto j = make_jitter(data_jitter, base + 200 + i)) {
+      spec.data_jitter = std::move(j);
+    }
+    spec.stats_interval = TimeNs::millis(10);
+    flow_rtt_ms.push_back(fa.rtt_ms.value_or(pt.rtt_ms));
+    sc.add_flow(std::move(spec));
+  }
+
+  sc.run_until(duration);
+
+  SweepRecord rec;
+  rec.key = pt.key();
+  for (const auto& fa : flows) rec.ccas.push_back(fa.cca);
+
+  const FairnessReport fair = measure_fairness(sc, warmup, duration);
+  rec.throughput_mbps = fair.throughput_mbps;
+  rec.min_mbps = *std::min_element(rec.throughput_mbps.begin(),
+                                   rec.throughput_mbps.end());
+  rec.max_mbps = *std::max_element(rec.throughput_mbps.begin(),
+                                   rec.throughput_mbps.end());
+  rec.starvation_ratio = fair.ratio;
+  rec.jain = fair.jain;
+  rec.utilization = fair.utilization;
+
+  double qdelay_sum = 0.0;
+  size_t qdelay_n = 0;
+  for (size_t i = 0; i < flows.size(); ++i) {
+    const TimeSeries& rtt = sc.stats(i).rtt_seconds;
+    std::vector<double> window;
+    for (const auto& s : rtt.samples()) {
+      if (s.at >= warmup && s.at <= duration) window.push_back(s.value);
+    }
+    if (window.empty()) {
+      // A fully starved flow may never complete an RTT sample in the
+      // window; report zeros rather than poisoning aggregates with NaN.
+      rec.mean_rtt_ms.push_back(0.0);
+      rec.d_min_ms.push_back(0.0);
+      rec.d_max_ms.push_back(0.0);
+      continue;
+    }
+    const double mean_ms = rtt.mean_over(warmup, duration) * 1e3;
+    // 1%-trimmed converged delay range, matching the rate-delay figures'
+    // treatment of stray samples (e.g. a ProbeRTT dip).
+    const double d_min_ms = percentile(window, 1.0) * 1e3;
+    const double d_max_ms = percentile(std::move(window), 99.0) * 1e3;
+    rec.mean_rtt_ms.push_back(mean_ms);
+    rec.d_min_ms.push_back(d_min_ms);
+    rec.d_max_ms.push_back(d_max_ms);
+    qdelay_sum += std::max(0.0, mean_ms - flow_rtt_ms[i]);
+    rec.qdelay_max_ms = std::max(rec.qdelay_max_ms,
+                                 std::max(0.0, d_max_ms - flow_rtt_ms[i]));
+    ++qdelay_n;
+    rec.retransmits += sc.stats(i).fast_retransmits;
+    rec.timeouts += sc.stats(i).timeouts;
+  }
+  rec.qdelay_mean_ms = qdelay_n ? qdelay_sum / qdelay_n : 0.0;
+  return rec;
+}
+
+SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
+                       const SweepOptions& opt) {
+  const size_t n = points.size();
+  std::vector<std::string> lines(n);
+  std::vector<char> done(n, 0);
+  std::atomic<size_t> simulated{0}, cache_hits{0}, completed{0};
+  std::mutex progress_mu;
+  const ResultCache cache(opt.cache_dir);
+
+  parallel_for(n, opt.jobs, [&](size_t i) {
+    if (stop_requested()) return;
+    const std::string key = points[i].key();
+    const char* how;
+    if (auto hit = cache.lookup(key)) {
+      lines[i] = std::move(*hit);
+      cache_hits.fetch_add(1, std::memory_order_relaxed);
+      how = "cached";
+    } else {
+      const SweepRecord rec = run_point(points[i]);
+      lines[i] = rec.to_json();
+      cache.store(key, lines[i]);
+      simulated.fetch_add(1, std::memory_order_relaxed);
+      how = "run";
+    }
+    done[i] = 1;
+    const size_t c = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (opt.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      std::fprintf(stderr, "sweep: %zu/%zu (%s) %s\n", c, n, how,
+                   key.c_str());
+    }
+  });
+
+  SweepOutcome out;
+  out.stats.total = n;
+  out.stats.simulated = simulated.load();
+  out.stats.cache_hits = cache_hits.load();
+  for (size_t i = 0; i < n; ++i) {
+    if (!done[i]) {
+      ++out.stats.skipped;
+      continue;
+    }
+    auto rec = SweepRecord::from_json(lines[i]);
+    // lines[i] came from to_json or a key-verified cache entry; a parse
+    // failure here would be a bug, not an input problem.
+    if (!rec) continue;
+    out.records.push_back(std::move(*rec));
+    out.lines.push_back(std::move(lines[i]));
+  }
+  out.interrupted = stop_requested();
+  return out;
+}
+
+void write_jsonl(std::ostream& os, const SweepOutcome& outcome) {
+  for (const auto& line : outcome.lines) os << line << '\n';
+}
+
+namespace {
+
+// Pulls one "name=value" field out of a canonical point key for display.
+std::string key_field(const std::string& key, const std::string& name) {
+  for (const auto& part : split(key, '|')) {
+    if (part.compare(0, name.size() + 1, name + "=") == 0) {
+      return part.substr(name.size() + 1);
+    }
+  }
+  return "?";
+}
+
+std::string join_nums(const std::vector<double>& vs, int precision) {
+  std::string out;
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (i) out += "/";
+    out += Table::num(vs[i], precision);
+  }
+  return out;
+}
+
+}  // namespace
+
+Table summary_table(const std::vector<SweepRecord>& records) {
+  Table t({"flows", "link", "rtt", "jitter", "buf", "seed",
+           "thr Mbit/s", "ratio", "jain", "util", "qdelay ms"});
+  for (const auto& r : records) {
+    t.add_row({key_field(r.key, "flows"), key_field(r.key, "link"),
+               key_field(r.key, "rtt"), key_field(r.key, "jit"),
+               key_field(r.key, "buf"), key_field(r.key, "seed"),
+               join_nums(r.throughput_mbps, 2),
+               Table::num(r.starvation_ratio, 2), Table::num(r.jain, 3),
+               Table::num(r.utilization, 2),
+               Table::num(r.qdelay_mean_ms, 2)});
+  }
+  return t;
+}
+
+}  // namespace ccstarve::sweep

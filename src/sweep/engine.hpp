@@ -1,0 +1,69 @@
+// Parallel sweep executor. Each SweepPoint is simulated by exactly one
+// worker thread on its own Scenario (which owns its own Simulator and RNGs
+// — no state is shared between points), so results are bit-for-bit
+// identical to a serial run regardless of --jobs. Completed points are
+// written to the result cache immediately, making interrupted sweeps
+// resumable; cached points are returned verbatim without re-simulating.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sweep/grid.hpp"
+#include "sweep/record.hpp"
+#include "util/table.hpp"
+
+namespace ccstarve::sweep {
+
+struct SweepOptions {
+  unsigned jobs = 0;      // worker threads; 0 = one per hardware thread
+  std::string cache_dir;  // empty = caching disabled
+  bool progress = false;  // one stderr line per completed point
+};
+
+struct SweepStats {
+  size_t total = 0;       // points in the grid
+  size_t simulated = 0;   // points actually run this invocation
+  size_t cache_hits = 0;  // points served from the result cache
+  size_t skipped = 0;     // points abandoned after request_stop()
+};
+
+struct SweepOutcome {
+  // Completed points in grid order. `lines` holds each record's canonical
+  // JSONL line — for cache hits this is the stored line verbatim, which is
+  // what makes warm-cache output byte-identical to the run that filled it.
+  std::vector<SweepRecord> records;
+  std::vector<std::string> lines;
+  SweepStats stats;
+  bool interrupted = false;
+};
+
+// Simulates one point: builds the Scenario from the point's specs, runs it
+// for the point's duration, and measures throughput/fairness/delay over
+// [warmup_s, duration_s]. Deterministic in the point alone.
+SweepRecord run_point(const SweepPoint& pt);
+
+// Runs every point across opt.jobs workers. Never throws on a per-point
+// basis — a malformed spec throws SpecError before any simulation starts
+// (points are validated when the grid expands, and run_point re-derives
+// everything from validated specs).
+SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
+                       const SweepOptions& opt);
+
+// Asks an in-flight run_sweep to stop: workers finish the point they are
+// on, remaining points are skipped, and the outcome (with interrupted set)
+// contains every record completed so far. Safe to call from a signal
+// handler. clear_stop() re-arms for the next sweep.
+void request_stop();
+void clear_stop();
+bool stop_requested();
+
+// Writes outcome.lines, one record per line.
+void write_jsonl(std::ostream& os, const SweepOutcome& outcome);
+
+// Human-readable per-point summary (one row per record).
+Table summary_table(const std::vector<SweepRecord>& records);
+
+}  // namespace ccstarve::sweep

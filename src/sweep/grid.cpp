@@ -1,0 +1,75 @@
+#include "sweep/grid.hpp"
+
+#include <cstdio>
+
+#include "sweep/spec_parse.hpp"
+#include "util/rate.hpp"
+
+namespace ccstarve::sweep {
+
+std::string canon_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  std::string s(buf);
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string SweepPoint::key() const {
+  std::string k;
+  k += "flows=" + flow_set;
+  k += "|link=" + canon_num(link_mbps);
+  k += "|rtt=" + canon_num(rtt_ms);
+  k += "|jit=" + (jitter.empty() ? std::string("none") : jitter);
+  k += "|buf=" + (buffer.empty() ? std::string("-") : buffer);
+  k += "|seed=" + std::to_string(seed);
+  k += "|dur=" + canon_num(duration_s);
+  k += "|warm=" + canon_num(warmup_s);
+  return k;
+}
+
+std::vector<SweepPoint> SweepGrid::expand() const {
+  if (flow_sets.empty()) throw SpecError("sweep grid has no flow sets");
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw SpecError(std::string("sweep grid axis '") + what +
+                             "' is empty");
+  };
+  require(!link_mbps.empty(), "link");
+  require(!rtt_ms.empty(), "rtt");
+  require(!jitter.empty(), "jitter");
+  require(!buffer.empty(), "buffer");
+  require(!seeds.empty(), "seed");
+  require(!duration_s.empty(), "duration");
+
+  // Validate specs once up front rather than per point (a flow set may be
+  // repeated across thousands of points).
+  for (const auto& fs : flow_sets) parse_flow_set(fs);
+  for (const auto& j : jitter) make_jitter(j, 1);
+  for (const auto& b : buffer) parse_buffer_bytes(b, Rate::mbps(60), 60);
+
+  std::vector<SweepPoint> out;
+  out.reserve(flow_sets.size() * link_mbps.size() * rtt_ms.size() *
+              jitter.size() * buffer.size() * seeds.size() *
+              duration_s.size());
+  for (const auto& fs : flow_sets)
+    for (double link : link_mbps)
+      for (double rtt : rtt_ms)
+        for (const auto& jit : jitter)
+          for (const auto& buf : buffer)
+            for (uint64_t seed : seeds)
+              for (double dur : duration_s) {
+                SweepPoint p;
+                p.flow_set = fs;
+                p.link_mbps = link;
+                p.rtt_ms = rtt;
+                p.jitter = jit.empty() ? "none" : jit;
+                p.buffer = buf.empty() ? "-" : buf;
+                p.seed = seed;
+                p.duration_s = dur;
+                p.warmup_s = dur * warmup_fraction;
+                out.push_back(std::move(p));
+              }
+  return out;
+}
+
+}  // namespace ccstarve::sweep

@@ -1,0 +1,60 @@
+// Declarative sweep grids: a cartesian product of scenario axes expanded
+// into SweepPoints, each with a canonical string key. The key is the unit
+// of identity for the whole subsystem — JSONL records echo it, the result
+// cache is addressed by its hash, and the determinism guarantee is stated
+// in terms of it (same key => same record bytes, regardless of worker
+// count or which machine ran the point).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccstarve::sweep {
+
+// One concrete scenario to simulate. All fields are plain values (flow sets
+// and jitter remain spec strings; see spec_parse.hpp for the grammar) so a
+// point is trivially copyable across worker threads and serializable into
+// its key.
+struct SweepPoint {
+  std::string flow_set;   // '+'-joined flow specs, e.g. "copa+copa:loss=0.01"
+  double link_mbps = 60;
+  double rtt_ms = 60;     // default per-flow min RTT (flow rtt= overrides)
+  std::string jitter;     // data-path jitter on flow 0 ("none" = ideal path)
+  std::string buffer;     // "-" unbounded | <pkts> | <x>bdp
+  uint64_t seed = 1;
+  double duration_s = 60;
+  double warmup_s = 0;    // measurement window is [warmup_s, duration_s]
+
+  // Canonical key, e.g.
+  //   flows=copa+copa|link=120|rtt=60|jit=none|buf=-|seed=1|dur=60|warm=10
+  // Numbers are rendered with canon_num so the same value always yields the
+  // same bytes.
+  std::string key() const;
+};
+
+// Axis values for the cartesian product. expand() iterates axes outermost
+// to innermost in declaration order, so point order is deterministic and
+// independent of how the axes were filled in.
+struct SweepGrid {
+  std::vector<std::string> flow_sets;          // required, at least one
+  std::vector<double> link_mbps = {60};
+  std::vector<double> rtt_ms = {60};
+  std::vector<std::string> jitter = {"none"};
+  std::vector<std::string> buffer = {"-"};
+  std::vector<uint64_t> seeds = {1};
+  std::vector<double> duration_s = {60};
+  // Measurement window starts at this fraction of the duration (1/6 of a
+  // 60 s run reproduces the benches' [10 s, 60 s] window).
+  double warmup_fraction = 1.0 / 6.0;
+
+  // Validates every spec (throws SpecError on a bad axis value) and returns
+  // the full product. Size is the product of the axis sizes.
+  std::vector<SweepPoint> expand() const;
+};
+
+// Shortest round-trippable decimal rendering used in keys and JSONL
+// records: "%.12g" with "-0" normalized to "0".
+std::string canon_num(double v);
+
+}  // namespace ccstarve::sweep

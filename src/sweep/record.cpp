@@ -1,0 +1,256 @@
+#include "sweep/record.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "sweep/grid.hpp"
+
+namespace ccstarve::sweep {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void append_str(std::string& j, const char* field, const std::string& v) {
+  j += '"';
+  j += field;
+  j += "\":\"";
+  j += escape(v);
+  j += '"';
+}
+
+// canon_num renders non-finite values as inf/nan, which is not JSON;
+// records should never contain them, but clamp defensively.
+std::string json_num(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  return canon_num(v);
+}
+
+void append_num(std::string& j, const char* field, double v) {
+  j += '"';
+  j += field;
+  j += "\":";
+  j += json_num(v);
+}
+
+void append_num_array(std::string& j, const char* field,
+                      const std::vector<double>& vs) {
+  j += '"';
+  j += field;
+  j += "\":[";
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (i) j += ',';
+    j += json_num(vs[i]);
+  }
+  j += ']';
+}
+
+void append_str_array(std::string& j, const char* field,
+                      const std::vector<std::string>& vs) {
+  j += '"';
+  j += field;
+  j += "\":[";
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (i) j += ',';
+    j += '"';
+    j += escape(vs[i]);
+    j += '"';
+  }
+  j += ']';
+}
+
+// Minimal extraction parser for the record's own flat schema (the only JSON
+// this repo ever reads back). Each find_* locates `"field":` at the top
+// level of the one-line object and parses the value after it.
+class Extractor {
+ public:
+  explicit Extractor(const std::string& line) : line_(line) {}
+  bool ok() const { return ok_; }
+
+  std::string str(const char* field) {
+    size_t pos = value_pos(field);
+    std::string out;
+    if (!ok_ || !parse_string(pos, &out)) ok_ = false;
+    return out;
+  }
+
+  double num(const char* field) {
+    size_t pos = value_pos(field);
+    double out = 0;
+    if (!ok_ || !parse_number(pos, &out)) ok_ = false;
+    return out;
+  }
+
+  std::vector<double> num_array(const char* field) {
+    size_t pos = value_pos(field);
+    std::vector<double> out;
+    if (!ok_ || pos >= line_.size() || line_[pos] != '[') {
+      ok_ = false;
+      return out;
+    }
+    ++pos;
+    while (pos < line_.size() && line_[pos] != ']') {
+      double v = 0;
+      size_t end = pos;
+      if (!parse_number_at(&end, &v)) {
+        ok_ = false;
+        return out;
+      }
+      out.push_back(v);
+      pos = end;
+      if (pos < line_.size() && line_[pos] == ',') ++pos;
+    }
+    if (pos >= line_.size()) ok_ = false;
+    return out;
+  }
+
+  std::vector<std::string> str_array(const char* field) {
+    size_t pos = value_pos(field);
+    std::vector<std::string> out;
+    if (!ok_ || pos >= line_.size() || line_[pos] != '[') {
+      ok_ = false;
+      return out;
+    }
+    ++pos;
+    while (pos < line_.size() && line_[pos] != ']') {
+      std::string v;
+      if (!parse_string(pos, &v)) {
+        ok_ = false;
+        return out;
+      }
+      out.push_back(std::move(v));
+      // Advance past the quoted string we just parsed (escapes included).
+      pos = skip_string(pos);
+      if (pos < line_.size() && line_[pos] == ',') ++pos;
+    }
+    if (pos >= line_.size()) ok_ = false;
+    return out;
+  }
+
+ private:
+  size_t value_pos(const char* field) {
+    const std::string needle = std::string("\"") + field + "\":";
+    // Field names never appear inside values (keys use '=' not '":'), so a
+    // plain find is sufficient for this self-produced format.
+    const size_t at = line_.find(needle);
+    if (at == std::string::npos) {
+      ok_ = false;
+      return std::string::npos;
+    }
+    return at + needle.size();
+  }
+
+  bool parse_string(size_t pos, std::string* out) {
+    if (pos >= line_.size() || line_[pos] != '"') return false;
+    for (size_t i = pos + 1; i < line_.size(); ++i) {
+      if (line_[i] == '\\' && i + 1 < line_.size()) {
+        out->push_back(line_[++i]);
+      } else if (line_[i] == '"') {
+        return true;
+      } else {
+        out->push_back(line_[i]);
+      }
+    }
+    return false;
+  }
+
+  size_t skip_string(size_t pos) {
+    for (size_t i = pos + 1; i < line_.size(); ++i) {
+      if (line_[i] == '\\') {
+        ++i;
+      } else if (line_[i] == '"') {
+        return i + 1;
+      }
+    }
+    return line_.size();
+  }
+
+  bool parse_number(size_t pos, double* out) {
+    size_t end = pos;
+    return parse_number_at(&end, out);
+  }
+
+  bool parse_number_at(size_t* pos, double* out) {
+    if (*pos >= line_.size()) return false;
+    const char* start = line_.c_str() + *pos;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) return false;
+    *pos += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  const std::string& line_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string SweepRecord::to_json() const {
+  std::string j = "{";
+  append_str(j, "key", key);
+  j += ',';
+  append_str_array(j, "ccas", ccas);
+  j += ',';
+  append_num_array(j, "throughput_mbps", throughput_mbps);
+  j += ',';
+  append_num(j, "min_mbps", min_mbps);
+  j += ',';
+  append_num(j, "max_mbps", max_mbps);
+  j += ',';
+  append_num(j, "starvation_ratio", starvation_ratio);
+  j += ',';
+  append_num(j, "jain", jain);
+  j += ',';
+  append_num(j, "utilization", utilization);
+  j += ',';
+  append_num_array(j, "mean_rtt_ms", mean_rtt_ms);
+  j += ',';
+  append_num_array(j, "d_min_ms", d_min_ms);
+  j += ',';
+  append_num_array(j, "d_max_ms", d_max_ms);
+  j += ',';
+  append_num(j, "qdelay_mean_ms", qdelay_mean_ms);
+  j += ',';
+  append_num(j, "qdelay_max_ms", qdelay_max_ms);
+  j += ',';
+  append_num(j, "retransmits", static_cast<double>(retransmits));
+  j += ',';
+  append_num(j, "timeouts", static_cast<double>(timeouts));
+  j += '}';
+  return j;
+}
+
+std::optional<SweepRecord> SweepRecord::from_json(const std::string& line) {
+  Extractor ex(line);
+  SweepRecord r;
+  r.key = ex.str("key");
+  r.ccas = ex.str_array("ccas");
+  r.throughput_mbps = ex.num_array("throughput_mbps");
+  r.min_mbps = ex.num("min_mbps");
+  r.max_mbps = ex.num("max_mbps");
+  r.starvation_ratio = ex.num("starvation_ratio");
+  r.jain = ex.num("jain");
+  r.utilization = ex.num("utilization");
+  r.mean_rtt_ms = ex.num_array("mean_rtt_ms");
+  r.d_min_ms = ex.num_array("d_min_ms");
+  r.d_max_ms = ex.num_array("d_max_ms");
+  r.qdelay_mean_ms = ex.num("qdelay_mean_ms");
+  r.qdelay_max_ms = ex.num("qdelay_max_ms");
+  r.retransmits = static_cast<uint64_t>(ex.num("retransmits"));
+  r.timeouts = static_cast<uint64_t>(ex.num("timeouts"));
+  if (!ex.ok()) return std::nullopt;
+  return r;
+}
+
+}  // namespace ccstarve::sweep

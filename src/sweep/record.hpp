@@ -1,0 +1,49 @@
+// Per-point sweep result record and its canonical JSONL form.
+//
+// A record is produced exactly once per sweep point, by whichever worker
+// simulated it, and is the unit of output (one JSON object per line) and of
+// caching (the cache stores the serialized line verbatim). Serialization is
+// canonical — fixed field order, canon_num number rendering — so records
+// are byte-comparable across runs, worker counts, and cache hits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccstarve::sweep {
+
+struct SweepRecord {
+  std::string key;                      // SweepPoint::key() of the point
+  std::vector<std::string> ccas;        // per-flow CCA names
+  // Per-flow throughput over the measurement window [warmup, duration].
+  std::vector<double> throughput_mbps;
+  double min_mbps = 0.0;
+  double max_mbps = 0.0;
+  // max/min throughput over the window (the paper's starvation ratio).
+  double starvation_ratio = 1.0;
+  double jain = 1.0;                    // Jain fairness index
+  double utilization = 0.0;             // sum(throughput) / link rate
+  // Per-flow RTT statistics over the window, milliseconds. d_min/d_max are
+  // the 1st/99th percentile of RTT samples (the trimmed converged delay
+  // range of the rate-delay figures).
+  std::vector<double> mean_rtt_ms;
+  std::vector<double> d_min_ms;
+  std::vector<double> d_max_ms;
+  // Queueing + jitter delay: RTT in excess of the flow's propagation RTT,
+  // averaged (resp. maxed) across flows.
+  double qdelay_mean_ms = 0.0;
+  double qdelay_max_ms = 0.0;
+  uint64_t retransmits = 0;             // summed across flows
+  uint64_t timeouts = 0;
+
+  // One-line canonical JSON object (no trailing newline).
+  std::string to_json() const;
+
+  // Parses a line produced by to_json(). Returns nullopt on malformed or
+  // schema-incomplete input (e.g. a truncated cache file).
+  static std::optional<SweepRecord> from_json(const std::string& line);
+};
+
+}  // namespace ccstarve::sweep

@@ -1,0 +1,223 @@
+#include "sweep/spec_parse.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "cc/allegro.hpp"
+#include "cc/bbr.hpp"
+#include "cc/copa.hpp"
+#include "cc/cubic.hpp"
+#include "cc/ecn_reno.hpp"
+#include "cc/fast.hpp"
+#include "cc/jitter_aware.hpp"
+#include "cc/ledbat.hpp"
+#include "cc/misc.hpp"
+#include "cc/reno.hpp"
+#include "cc/vegas.hpp"
+#include "cc/verus.hpp"
+#include "cc/vivace.hpp"
+#include "sim/scenario.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve::sweep {
+
+namespace {
+
+double parse_num(const std::string& s, const std::string& what) {
+  try {
+    size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size() || std::isnan(v)) {
+      throw SpecError("bad " + what + " '" + s + "'");
+    }
+    return v;
+  } catch (const SpecError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw SpecError("bad " + what + " '" + s + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+const std::vector<std::string>& cca_names() {
+  static const std::vector<std::string> names = {
+      "vegas",  "fast",   "copa",       "copa-default", "bbr",
+      "vivace", "allegro", "newreno",   "cubic",        "ledbat",
+      "verus",  "delay-aimd", "jitter-aware", "ecn-reno", "const-cwnd"};
+  return names;
+}
+
+std::unique_ptr<Cca> make_cca(const std::string& name, uint64_t seed) {
+  if (name == "vegas") return std::make_unique<Vegas>();
+  if (name == "fast") return std::make_unique<FastTcp>();
+  if (name == "copa") return std::make_unique<Copa>();
+  if (name == "copa-default") {
+    Copa::Params p;
+    p.enable_mode_switching = false;
+    p.min_rtt_window = TimeNs::seconds(600);
+    return std::make_unique<Copa>(p);
+  }
+  if (name == "bbr") {
+    Bbr::Params p;
+    p.seed = seed;
+    return std::make_unique<Bbr>(p);
+  }
+  if (name == "vivace") {
+    Vivace::Params p;
+    p.seed = seed;
+    return std::make_unique<Vivace>(p);
+  }
+  if (name == "allegro") {
+    Allegro::Params p;
+    p.seed = seed;
+    return std::make_unique<Allegro>(p);
+  }
+  if (name == "newreno") return std::make_unique<NewReno>();
+  if (name == "cubic") return std::make_unique<Cubic>();
+  if (name == "ledbat") return std::make_unique<Ledbat>();
+  if (name == "delay-aimd") return std::make_unique<DelayAimd>();
+  if (name == "jitter-aware") return std::make_unique<JitterAware>();
+  if (name == "ecn-reno") return std::make_unique<EcnReno>();
+  if (name == "verus") return std::make_unique<Verus>();
+  if (name == "const-cwnd") return std::make_unique<ConstCwnd>(50);
+  throw SpecError("unknown cca '" + name + "'");
+}
+
+std::unique_ptr<JitterPolicy> make_jitter(const std::string& spec,
+                                          uint64_t seed) {
+  if (spec.empty() || spec == "none") return nullptr;
+  const auto parts = split(spec, ':');
+  const std::string& kind = parts[0];
+  const auto args = parts.size() > 1 ? split(parts[1], ',')
+                                     : std::vector<std::string>{};
+  auto ms = [&](size_t i) {
+    if (i >= args.size()) {
+      throw SpecError("jitter spec '" + spec + "' missing argument");
+    }
+    return TimeNs::millis(parse_num(args[i], "jitter argument"));
+  };
+  auto secs = [&](size_t i) {
+    if (i >= args.size()) {
+      throw SpecError("jitter spec '" + spec + "' missing argument");
+    }
+    return TimeNs::seconds(parse_num(args[i], "jitter argument"));
+  };
+  if (kind == "const") return std::make_unique<ConstantJitter>(ms(0));
+  if (kind == "uniform") {
+    return std::make_unique<UniformJitter>(TimeNs::zero(), ms(0), seed);
+  }
+  if (kind == "quantize") return std::make_unique<PeriodicReleaseJitter>(ms(0));
+  if (kind == "onoff") {
+    return std::make_unique<OnOffJitter>(ms(0), ms(1), ms(2));
+  }
+  if (kind == "step") return std::make_unique<StepJitter>(ms(0), secs(1));
+  if (kind == "allbutone") {
+    return std::make_unique<AllButOneJitter>(ms(0), secs(1));
+  }
+  throw SpecError("unknown jitter spec '" + spec + "'");
+}
+
+FlowArgs parse_flow(const std::string& value) {
+  FlowArgs out;
+  const auto parts = split(value, ':');
+  out.cca = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const size_t eq = parts[i].find('=');
+    if (eq == std::string::npos) {
+      throw SpecError("bad flow option '" + parts[i] + "'");
+    }
+    const std::string key = parts[i].substr(0, eq);
+    const std::string val = parts[i].substr(eq + 1);
+    if (key == "start") {
+      out.start_s = parse_num(val, "flow start");
+    } else if (key == "rtt") {
+      out.rtt_ms = parse_num(val, "flow rtt");
+    } else if (key == "loss") {
+      out.loss = parse_num(val, "flow loss");
+    } else if (key == "ackjitter" || key == "datajitter") {
+      std::string spec = val;
+      // Jitter args may themselves contain ':' (e.g. quantize:60): re-join
+      // the following ':'-parts until the next key=value option.
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        if (parts[j].find('=') != std::string::npos) break;
+        spec += ":" + parts[j];
+        ++i;
+      }
+      (key == "ackjitter" ? out.ack_jitter : out.data_jitter) = spec;
+    } else {
+      throw SpecError("unknown flow option '" + key + "'");
+    }
+  }
+  // Validate eagerly so errors surface at parse time, not mid-sweep.
+  make_cca(out.cca, 1);
+  make_jitter(out.ack_jitter, 1);
+  make_jitter(out.data_jitter, 1);
+  return out;
+}
+
+std::vector<FlowArgs> parse_flow_set(const std::string& value) {
+  std::vector<FlowArgs> out;
+  for (const auto& part : split(value, '+')) {
+    if (part.empty()) throw SpecError("empty flow spec in '" + value + "'");
+    out.push_back(parse_flow(part));
+  }
+  return out;
+}
+
+uint64_t parse_buffer_bytes(const std::string& spec, Rate link_rate,
+                            double rtt_ms) {
+  if (spec.empty() || spec == "-") {
+    return ScenarioConfig{}.buffer_bytes;  // unbounded default
+  }
+  if (spec.size() > 3 && spec.substr(spec.size() - 3) == "bdp") {
+    const double x = parse_num(spec.substr(0, spec.size() - 3), "buffer");
+    return static_cast<uint64_t>(x * link_rate.bytes_per_second() * rtt_ms /
+                                 1e3);
+  }
+  return static_cast<uint64_t>(parse_num(spec, "buffer")) * kMss;
+}
+
+std::vector<double> parse_axis_values(const std::string& spec) {
+  std::vector<double> out;
+  if (spec.compare(0, 4, "lin:") == 0 || spec.compare(0, 4, "log:") == 0) {
+    const bool logspace = spec[2] == 'g';
+    const auto parts = split(spec.substr(4), ':');
+    if (parts.size() != 3) {
+      throw SpecError("range spec '" + spec + "' wants <lo>:<hi>:<n>");
+    }
+    const double lo = parse_num(parts[0], "range lo");
+    const double hi = parse_num(parts[1], "range hi");
+    const int n = static_cast<int>(parse_num(parts[2], "range count"));
+    if (n < 1) throw SpecError("range spec '" + spec + "' wants n >= 1");
+    if (logspace && (lo <= 0 || hi <= 0)) {
+      throw SpecError("log range '" + spec + "' wants positive bounds");
+    }
+    for (int i = 0; i < n; ++i) {
+      const double frac = n == 1 ? 0.0 : static_cast<double>(i) / (n - 1);
+      out.push_back(logspace ? std::pow(10.0, std::log10(lo) +
+                                                  frac * (std::log10(hi) -
+                                                          std::log10(lo)))
+                             : lo + frac * (hi - lo));
+    }
+    return out;
+  }
+  for (const auto& part : split(spec, ',')) {
+    out.push_back(parse_num(part, "axis value"));
+  }
+  return out;
+}
+
+}  // namespace ccstarve::sweep

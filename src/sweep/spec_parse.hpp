@@ -1,0 +1,74 @@
+// Shared command-line spec grammar for scenario construction, used by both
+// ccstarve_run and ccstarve_sweep (and by the sweep engine itself, which
+// stores flow sets as spec strings inside canonical sweep-point keys).
+//
+// Grammar (unchanged from the original ccstarve_run flags):
+//
+//   flow spec:   <cca>[:opt=val]*
+//     options:   start=<s>  rtt=<ms>  loss=<frac>
+//                ackjitter=<jitter spec>  datajitter=<jitter spec>
+//   jitter spec: const:<ms> | uniform:<ms> | quantize:<ms> |
+//                onoff:<ms>,<on ms>,<off ms> | step:<ms>,<start s> |
+//                allbutone:<ms>,<exempt s> | none
+//   flow set:    one or more flow specs joined by '+'
+//                (e.g. "copa+copa:datajitter=const:1")
+//   buffer spec: "-" (unbounded) | <pkts> | <x>bdp
+//
+// Parse errors throw SpecError; the CLIs catch it and exit, the sweep grid
+// validates specs eagerly at expansion time so a bad axis value fails before
+// any simulation work starts.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cc/cca.hpp"
+#include "sim/jitter.hpp"
+#include "util/rate.hpp"
+
+namespace ccstarve::sweep {
+
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+std::vector<std::string> split(const std::string& s, char sep);
+
+// Known CCA names, in the order ccstarve_run's --help lists them.
+const std::vector<std::string>& cca_names();
+
+// Instantiates a CCA by name; `seed` feeds the randomized CCAs (BBR,
+// Vivace, Allegro). Throws SpecError for unknown names.
+std::unique_ptr<Cca> make_cca(const std::string& name, uint64_t seed);
+
+// Instantiates a jitter policy from a spec string; "none" and "" yield null.
+std::unique_ptr<JitterPolicy> make_jitter(const std::string& spec,
+                                          uint64_t seed);
+
+struct FlowArgs {
+  std::string cca;
+  double start_s = 0.0;
+  std::optional<double> rtt_ms;
+  double loss = 0.0;
+  std::string ack_jitter, data_jitter;
+};
+
+FlowArgs parse_flow(const std::string& value);
+
+// '+'-separated list of flow specs; must be non-empty.
+std::vector<FlowArgs> parse_flow_set(const std::string& value);
+
+// Buffer size in bytes. "-" or "" means unbounded (the scenario default);
+// "<x>bdp" scales with link rate and rtt; otherwise a packet count.
+uint64_t parse_buffer_bytes(const std::string& spec, Rate link_rate,
+                            double rtt_ms);
+
+// Parses "a,b,c" into doubles, or expands the range forms
+// "lin:<lo>:<hi>:<n>" and "log:<lo>:<hi>:<n>" into n inclusive grid points.
+std::vector<double> parse_axis_values(const std::string& spec);
+
+}  // namespace ccstarve::sweep

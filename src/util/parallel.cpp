@@ -1,0 +1,53 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccstarve {
+
+unsigned effective_jobs(unsigned jobs, size_t n) {
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  if (n < jobs) jobs = static_cast<unsigned>(std::max<size_t>(1, n));
+  return jobs;
+}
+
+void parallel_for(size_t n, unsigned jobs,
+                  const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  jobs = effective_jobs(jobs, n);
+  if (jobs == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the queue so sibling workers stop picking up new items.
+        next.store(n, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ccstarve

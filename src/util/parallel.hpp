@@ -1,0 +1,24 @@
+// Minimal fixed-size thread pool primitive: run fn(0..n-1) across `jobs`
+// worker threads pulling indices from an atomic work queue. Results must be
+// written to pre-sized, per-index slots by the caller, which keeps output
+// order (and therefore byte-level reproducibility) independent of the worker
+// count. Used by the sweep engine and the rate-delay sweeps.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ccstarve {
+
+// Number of workers actually used for `jobs` requested over `n` items:
+// jobs == 0 means "one per hardware thread", and we never spawn more
+// workers than items.
+unsigned effective_jobs(unsigned jobs, size_t n);
+
+// Invokes fn(i) for every i in [0, n) across effective_jobs(jobs, n)
+// threads. fn must be safe to call concurrently for distinct indices.
+// If any invocation throws, the first exception (by completion order) is
+// rethrown on the calling thread after all workers have drained.
+void parallel_for(size_t n, unsigned jobs, const std::function<void(size_t)>& fn);
+
+}  // namespace ccstarve

@@ -1,0 +1,312 @@
+// Tests for the src/sweep subsystem: spec grammar, grid expansion and
+// canonical keys, JSONL record round-tripping, the result cache, and the
+// engine's two load-bearing guarantees — parallel runs are byte-identical
+// to serial runs, and a warm cache re-simulates nothing.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "sim/scenario.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/record.hpp"
+#include "sweep/spec_parse.hpp"
+#include "util/parallel.hpp"
+
+using namespace ccstarve;
+using namespace ccstarve::sweep;
+
+namespace {
+
+// Cheap grid (short runs, two flow sets x two rates) used by the engine
+// tests; ~1 simulated second per point keeps the suite fast.
+SweepGrid small_grid() {
+  SweepGrid g;
+  g.flow_sets = {"vegas+vegas", "copa:datajitter=const:1"};
+  g.link_mbps = {12, 24};
+  g.rtt_ms = {20};
+  g.duration_s = {1.5};
+  g.seeds = {1, 2};
+  return g;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("ccstarve_sweep_test_") + tag + "_" +
+             std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace
+
+TEST(SpecParse, FlowGrammarRoundTrip) {
+  const FlowArgs fa =
+      parse_flow("copa:start=2.5:rtt=40:loss=0.01:datajitter=onoff:5,10,20");
+  EXPECT_EQ(fa.cca, "copa");
+  EXPECT_DOUBLE_EQ(fa.start_s, 2.5);
+  EXPECT_DOUBLE_EQ(*fa.rtt_ms, 40);
+  EXPECT_DOUBLE_EQ(fa.loss, 0.01);
+  EXPECT_EQ(fa.data_jitter, "onoff:5,10,20");
+  EXPECT_TRUE(fa.ack_jitter.empty());
+}
+
+TEST(SpecParse, JitterSpecWithColonArgsRejoins) {
+  // quantize's argument follows a ':', the historical ccstarve_run quirk.
+  const FlowArgs fa = parse_flow("copa:ackjitter=quantize:60");
+  EXPECT_EQ(fa.ack_jitter, "quantize:60");
+  EXPECT_NE(make_jitter(fa.ack_jitter, 1), nullptr);
+}
+
+TEST(SpecParse, ErrorsThrowSpecError) {
+  EXPECT_THROW(parse_flow("nosuchcca"), SpecError);
+  EXPECT_THROW(parse_flow("copa:bogus=1"), SpecError);
+  EXPECT_THROW(parse_flow("copa:rtt=abc"), SpecError);
+  EXPECT_THROW(make_jitter("warble:3", 1), SpecError);
+  EXPECT_THROW(make_jitter("onoff:1", 1), SpecError);  // missing args
+  EXPECT_THROW(parse_flow_set("copa++copa"), SpecError);
+  EXPECT_THROW(parse_buffer_bytes("xbdp", Rate::mbps(10), 10), SpecError);
+}
+
+TEST(SpecParse, EveryAdvertisedCcaInstantiates) {
+  for (const auto& name : cca_names()) {
+    EXPECT_NE(make_cca(name, 1), nullptr) << name;
+  }
+}
+
+TEST(SpecParse, BufferSpecs) {
+  EXPECT_EQ(parse_buffer_bytes("-", Rate::mbps(10), 10),
+            ScenarioConfig{}.buffer_bytes);
+  EXPECT_EQ(parse_buffer_bytes("100", Rate::mbps(10), 10), 100 * kMss);
+  // 2 BDP at 10 Mbit/s x 10 ms = 2 * 1.25e6 B/s * 0.01 s = 25000 bytes.
+  EXPECT_EQ(parse_buffer_bytes("2bdp", Rate::mbps(10), 10), 25000u);
+}
+
+TEST(SpecParse, AxisValueLists) {
+  EXPECT_EQ(parse_axis_values("1,2,4").size(), 3u);
+  const auto lin = parse_axis_values("lin:0:10:5");
+  ASSERT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin[1], 2.5);
+  const auto lg = parse_axis_values("log:1:100:3");
+  ASSERT_EQ(lg.size(), 3u);
+  EXPECT_NEAR(lg[1], 10.0, 1e-9);
+  EXPECT_THROW(parse_axis_values("log:0:100:3"), SpecError);
+  EXPECT_THROW(parse_axis_values("lin:0:1"), SpecError);
+}
+
+TEST(SweepGrid, ExpandsCartesianProductWithUniqueKeys) {
+  SweepGrid g = small_grid();
+  g.jitter = {"none", "quantize:10"};
+  const auto points = g.expand();
+  EXPECT_EQ(points.size(), 2u * 2u * 2u * 2u);  // flows x link x jitter x seed
+  std::set<std::string> keys;
+  for (const auto& p : points) keys.insert(p.key());
+  EXPECT_EQ(keys.size(), points.size());
+}
+
+TEST(SweepGrid, KeyIsCanonicalAndStable) {
+  SweepPoint p;
+  p.flow_set = "copa+copa";
+  p.link_mbps = 120;
+  p.rtt_ms = 60;
+  p.jitter = "none";
+  p.buffer = "-";
+  p.seed = 3;
+  p.duration_s = 60;
+  p.warmup_s = 10;
+  EXPECT_EQ(p.key(),
+            "flows=copa+copa|link=120|rtt=60|jit=none|buf=-|seed=3|dur=60"
+            "|warm=10");
+}
+
+TEST(SweepGrid, RejectsBadSpecsBeforeRunning) {
+  SweepGrid g = small_grid();
+  g.flow_sets.push_back("nosuchcca");
+  EXPECT_THROW(g.expand(), SpecError);
+  g = small_grid();
+  g.jitter = {"warble:1"};
+  EXPECT_THROW(g.expand(), SpecError);
+}
+
+TEST(SweepRecord, JsonRoundTrip) {
+  SweepRecord r;
+  r.key = "flows=copa|link=60|rtt=60|jit=none|buf=-|seed=1|dur=60|warm=10";
+  r.ccas = {"copa", "bbr"};
+  r.throughput_mbps = {1.25, 58.7512345};
+  r.min_mbps = 1.25;
+  r.max_mbps = 58.7512345;
+  r.starvation_ratio = 47.0009876;
+  r.jain = 0.52;
+  r.utilization = 0.999;
+  r.mean_rtt_ms = {61.5, 63.25};
+  r.d_min_ms = {60.1, 60.2};
+  r.d_max_ms = {70.5, 71.5};
+  r.qdelay_mean_ms = 2.375;
+  r.qdelay_max_ms = 11.5;
+  r.retransmits = 12;
+  r.timeouts = 1;
+
+  const std::string line = r.to_json();
+  const auto back = SweepRecord::from_json(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->key, r.key);
+  EXPECT_EQ(back->ccas, r.ccas);
+  EXPECT_EQ(back->throughput_mbps, r.throughput_mbps);
+  EXPECT_EQ(back->mean_rtt_ms, r.mean_rtt_ms);
+  EXPECT_EQ(back->retransmits, r.retransmits);
+  // Reserialization is a fixed point: canonical bytes in, same bytes out.
+  EXPECT_EQ(back->to_json(), line);
+}
+
+TEST(SweepRecord, RejectsMalformedLines) {
+  EXPECT_FALSE(SweepRecord::from_json("").has_value());
+  EXPECT_FALSE(SweepRecord::from_json("{\"key\":\"k\"}").has_value());
+  EXPECT_FALSE(SweepRecord::from_json("not json at all").has_value());
+}
+
+TEST(ResultCache, StoreLookupAndCollisionSafety) {
+  TempDir dir("cache");
+  ResultCache cache(dir.str());
+  SweepRecord r;
+  r.key = "flows=copa|link=60";
+  r.ccas = {"copa"};
+  r.throughput_mbps = {1.0};
+  cache.store(r.key, r.to_json());
+  const auto hit = cache.lookup(r.key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, r.to_json());
+  // A different key (even one hashing to another file) misses.
+  EXPECT_FALSE(cache.lookup("flows=bbr|link=60").has_value());
+  // A stored record whose embedded key disagrees (hash collision stand-in)
+  // is treated as a miss, not returned as the wrong point's result.
+  ResultCache other(dir.str());
+  std::ofstream(other.path_for("some-other-key"))
+      << r.to_json() << "\n";
+  EXPECT_FALSE(other.lookup("some-other-key").has_value());
+}
+
+TEST(ResultCache, DisabledCacheIsInert) {
+  ResultCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  cache.store("k", "{}");
+  EXPECT_FALSE(cache.lookup("k").has_value());
+}
+
+TEST(ParallelFor, CoversAllIndicesAndPropagatesErrors) {
+  std::vector<int> hits(100, 0);
+  parallel_for(hits.size(), 4, [&](size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_THROW(
+      parallel_for(8, 4,
+                   [](size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+// Acceptance: --jobs=1 and --jobs=N produce byte-identical JSONL records
+// for the same grid.
+TEST(SweepEngine, ParallelMatchesSerialByteForByte) {
+  const auto points = small_grid().expand();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 3;
+  const auto a = run_sweep(points, serial);
+  const auto b = run_sweep(points, parallel);
+  ASSERT_EQ(a.records.size(), points.size());
+  ASSERT_EQ(a.lines.size(), b.lines.size());
+  for (size_t i = 0; i < a.lines.size(); ++i) {
+    EXPECT_EQ(a.lines[i], b.lines[i]) << "point " << points[i].key();
+  }
+  EXPECT_EQ(a.stats.simulated, points.size());
+  EXPECT_EQ(b.stats.simulated, points.size());
+  std::ostringstream ja, jb;
+  write_jsonl(ja, a);
+  write_jsonl(jb, b);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+// Acceptance: a repeated invocation against a warm cache re-simulates zero
+// points and returns the identical records.
+TEST(SweepEngine, WarmCacheSimulatesNothing) {
+  TempDir dir("warm");
+  const auto points = small_grid().expand();
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.cache_dir = dir.str();
+  const auto cold = run_sweep(points, opt);
+  EXPECT_EQ(cold.stats.simulated, points.size());
+  EXPECT_EQ(cold.stats.cache_hits, 0u);
+  const auto warm = run_sweep(points, opt);
+  EXPECT_EQ(warm.stats.simulated, 0u);
+  EXPECT_EQ(warm.stats.cache_hits, points.size());
+  EXPECT_EQ(warm.lines, cold.lines);
+}
+
+// A partially-filled cache (an interrupted sweep) resumes: only the
+// missing points are simulated.
+TEST(SweepEngine, PartialCacheResumesRemainder) {
+  TempDir dir("partial");
+  const auto points = small_grid().expand();
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.cache_dir = dir.str();
+  const auto full = run_sweep(points, opt);
+  // Evict half the entries, as if the first run had been interrupted.
+  ResultCache cache(dir.str());
+  for (size_t i = 0; i < points.size(); i += 2) {
+    std::filesystem::remove(cache.path_for(points[i].key()));
+  }
+  const auto resumed = run_sweep(points, opt);
+  EXPECT_EQ(resumed.stats.simulated, (points.size() + 1) / 2);
+  EXPECT_EQ(resumed.stats.cache_hits, points.size() / 2);
+  EXPECT_EQ(resumed.lines, full.lines);
+}
+
+TEST(SweepEngine, RequestStopSkipsRemainingPoints) {
+  clear_stop();
+  request_stop();
+  const auto points = small_grid().expand();
+  const auto out = run_sweep(points, SweepOptions{});
+  EXPECT_TRUE(out.interrupted);
+  EXPECT_EQ(out.records.size(), 0u);
+  EXPECT_EQ(out.stats.skipped, points.size());
+  clear_stop();
+}
+
+TEST(SweepEngine, RecordMeasuresStarvation) {
+  // One victim Copa with the §5.1 min-RTT attack vs one clean Copa: the
+  // engine's record should show a large starvation ratio on its own.
+  SweepPoint p;
+  p.flow_set =
+      "copa-default:rtt=59:datajitter=allbutone:1,0.15"
+      "+copa-default:rtt=59:datajitter=const:1";
+  p.link_mbps = 120;
+  p.rtt_ms = 60;
+  p.jitter = "none";
+  p.buffer = "-";
+  p.seed = 1;
+  p.duration_s = 20;
+  p.warmup_s = 5;
+  const SweepRecord rec = run_point(p);
+  ASSERT_EQ(rec.throughput_mbps.size(), 2u);
+  EXPECT_GT(rec.starvation_ratio, 3.0);
+  EXPECT_LT(rec.jain, 0.95);
+  EXPECT_GT(rec.utilization, 0.5);
+  EXPECT_EQ(rec.key, p.key());
+}

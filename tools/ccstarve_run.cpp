@@ -4,8 +4,8 @@
 // summary and (optionally) dumps per-flow RTT/throughput time series as CSV
 // for plotting.
 //
-//   ccstarve_run --link=120 --rtt=60 --duration=60 \
-//                --flow=copa --flow=copa:ackjitter=quantize:60 \
+//   ccstarve_run --link=120 --rtt=60 --duration=60
+//                --flow=copa --flow=copa:ackjitter=quantize:60
 //                --csv=/tmp/out
 //
 // Flags:
@@ -26,6 +26,9 @@
 //                   allbutone:<ms>,<exempt s>
 //   CCAs: vegas fast copa copa-default bbr vivace allegro newreno cubic
 //         ledbat verus delay-aimd jitter-aware ecn-reno const-cwnd
+//
+// The flow/jitter/buffer spec grammar lives in src/sweep/spec_parse and is
+// shared with ccstarve_sweep, which runs whole grids of these scenarios.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,20 +39,8 @@
 #include <string>
 #include <vector>
 
-#include "cc/allegro.hpp"
-#include "cc/bbr.hpp"
-#include "cc/copa.hpp"
-#include "cc/cubic.hpp"
-#include "cc/ecn_reno.hpp"
-#include "cc/fast.hpp"
-#include "cc/jitter_aware.hpp"
-#include "cc/ledbat.hpp"
-#include "cc/misc.hpp"
-#include "cc/reno.hpp"
-#include "cc/vegas.hpp"
-#include "cc/verus.hpp"
-#include "cc/vivace.hpp"
 #include "sim/scenario.hpp"
+#include "sweep/spec_parse.hpp"
 #include "util/table.hpp"
 
 using namespace ccstarve;
@@ -59,126 +50,6 @@ namespace {
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "ccstarve_run: %s\n", msg.c_str());
   std::exit(2);
-}
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  size_t start = 0;
-  while (true) {
-    const size_t pos = s.find(sep, start);
-    out.push_back(s.substr(start, pos - start));
-    if (pos == std::string::npos) break;
-    start = pos + 1;
-  }
-  return out;
-}
-
-std::unique_ptr<Cca> make_cca(const std::string& name, uint64_t seed) {
-  if (name == "vegas") return std::make_unique<Vegas>();
-  if (name == "fast") return std::make_unique<FastTcp>();
-  if (name == "copa") return std::make_unique<Copa>();
-  if (name == "copa-default") {
-    Copa::Params p;
-    p.enable_mode_switching = false;
-    p.min_rtt_window = TimeNs::seconds(600);
-    return std::make_unique<Copa>(p);
-  }
-  if (name == "bbr") {
-    Bbr::Params p;
-    p.seed = seed;
-    return std::make_unique<Bbr>(p);
-  }
-  if (name == "vivace") {
-    Vivace::Params p;
-    p.seed = seed;
-    return std::make_unique<Vivace>(p);
-  }
-  if (name == "allegro") {
-    Allegro::Params p;
-    p.seed = seed;
-    return std::make_unique<Allegro>(p);
-  }
-  if (name == "newreno") return std::make_unique<NewReno>();
-  if (name == "cubic") return std::make_unique<Cubic>();
-  if (name == "ledbat") return std::make_unique<Ledbat>();
-  if (name == "delay-aimd") return std::make_unique<DelayAimd>();
-  if (name == "jitter-aware") return std::make_unique<JitterAware>();
-  if (name == "ecn-reno") return std::make_unique<EcnReno>();
-  if (name == "verus") return std::make_unique<Verus>();
-  if (name == "const-cwnd") return std::make_unique<ConstCwnd>(50);
-  die("unknown cca '" + name + "'");
-}
-
-std::unique_ptr<JitterPolicy> make_jitter(const std::string& spec,
-                                          uint64_t seed) {
-  const auto parts = split(spec, ':');
-  const std::string& kind = parts[0];
-  const auto args = parts.size() > 1 ? split(parts[1], ',') :
-                                       std::vector<std::string>{};
-  auto ms = [&](size_t i) {
-    if (i >= args.size()) die("jitter spec '" + spec + "' missing argument");
-    return TimeNs::millis(std::stod(args[i]));
-  };
-  if (kind == "const") return std::make_unique<ConstantJitter>(ms(0));
-  if (kind == "uniform") {
-    return std::make_unique<UniformJitter>(TimeNs::zero(), ms(0), seed);
-  }
-  if (kind == "quantize") return std::make_unique<PeriodicReleaseJitter>(ms(0));
-  if (kind == "onoff") return std::make_unique<OnOffJitter>(ms(0), ms(1), ms(2));
-  if (kind == "step") {
-    return std::make_unique<StepJitter>(
-        ms(0), TimeNs::seconds(std::stod(args.at(1))));
-  }
-  if (kind == "allbutone") {
-    return std::make_unique<AllButOneJitter>(
-        ms(0), TimeNs::seconds(std::stod(args.at(1))));
-  }
-  die("unknown jitter spec '" + spec + "'");
-}
-
-struct FlowArgs {
-  std::string cca;
-  double start_s = 0.0;
-  std::optional<double> rtt_ms;
-  double loss = 0.0;
-  std::string ack_jitter, data_jitter;
-};
-
-FlowArgs parse_flow(const std::string& value) {
-  FlowArgs out;
-  const auto parts = split(value, ':');
-  out.cca = parts[0];
-  for (size_t i = 1; i < parts.size(); ++i) {
-    const size_t eq = parts[i].find('=');
-    if (eq == std::string::npos) die("bad flow option '" + parts[i] + "'");
-    const std::string key = parts[i].substr(0, eq);
-    const std::string val = parts[i].substr(eq + 1);
-    if (key == "start") {
-      out.start_s = std::stod(val);
-    } else if (key == "rtt") {
-      out.rtt_ms = std::stod(val);
-    } else if (key == "loss") {
-      out.loss = std::stod(val);
-    } else if (key == "ackjitter") {
-      out.ack_jitter = val;
-      // jitter args may themselves contain ':' (e.g. quantize:60): re-join.
-      for (size_t j = i + 1; j < parts.size(); ++j) {
-        if (parts[j].find('=') != std::string::npos) break;
-        out.ack_jitter += ":" + parts[j];
-        ++i;
-      }
-    } else if (key == "datajitter") {
-      out.data_jitter = val;
-      for (size_t j = i + 1; j < parts.size(); ++j) {
-        if (parts[j].find('=') != std::string::npos) break;
-        out.data_jitter += ":" + parts[j];
-        ++i;
-      }
-    } else {
-      die("unknown flow option '" + key + "'");
-    }
-  }
-  return out;
 }
 
 void dump_csv(const std::string& prefix, size_t i, const FlowStats& stats) {
@@ -198,101 +69,99 @@ int main(int argc, char** argv) {
   double link_mbps = 60, rtt_ms = 60, duration_s = 60;
   std::string buffer_spec, csv_prefix;
   double ecn_threshold_pkts = 0;
-  std::vector<FlowArgs> flows;
+  std::vector<sweep::FlowArgs> flows;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto val = [&](const char* name) {
-      const size_t n = std::strlen(name);
-      return arg.compare(0, n, name) == 0 ? std::optional(arg.substr(n))
-                                          : std::nullopt;
-    };
-    if (auto v = val("--link=")) {
-      link_mbps = std::stod(*v);
-    } else if (auto v = val("--rtt=")) {
-      rtt_ms = std::stod(*v);
-    } else if (auto v = val("--duration=")) {
-      duration_s = std::stod(*v);
-    } else if (auto v = val("--buffer=")) {
-      buffer_spec = *v;
-    } else if (auto v = val("--ecn=")) {
-      ecn_threshold_pkts = std::stod(*v);
-    } else if (auto v = val("--csv=")) {
-      csv_prefix = *v;
-    } else if (auto v = val("--flow=")) {
-      flows.push_back(parse_flow(*v));
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("see the header comment of tools/ccstarve_run.cpp\n");
-      return 0;
-    } else {
-      die("unknown flag '" + arg + "' (try --help)");
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto val = [&](const char* name) {
+        const size_t n = std::strlen(name);
+        return arg.compare(0, n, name) == 0 ? std::optional(arg.substr(n))
+                                            : std::nullopt;
+      };
+      if (auto v = val("--link=")) {
+        link_mbps = std::stod(*v);
+      } else if (auto v = val("--rtt=")) {
+        rtt_ms = std::stod(*v);
+      } else if (auto v = val("--duration=")) {
+        duration_s = std::stod(*v);
+      } else if (auto v = val("--buffer=")) {
+        buffer_spec = *v;
+      } else if (auto v = val("--ecn=")) {
+        ecn_threshold_pkts = std::stod(*v);
+      } else if (auto v = val("--csv=")) {
+        csv_prefix = *v;
+      } else if (auto v = val("--flow=")) {
+        flows.push_back(sweep::parse_flow(*v));
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("see the header comment of tools/ccstarve_run.cpp\n");
+        return 0;
+      } else {
+        die("unknown flag '" + arg + "' (try --help)");
+      }
     }
-  }
-  if (flows.empty()) flows.push_back(parse_flow("copa"));
+    if (flows.empty()) flows.push_back(sweep::parse_flow("copa"));
 
-  ScenarioConfig cfg;
-  cfg.link_rate = Rate::mbps(link_mbps);
-  if (!buffer_spec.empty()) {
-    if (buffer_spec.size() > 3 &&
-        buffer_spec.substr(buffer_spec.size() - 3) == "bdp") {
-      const double x = std::stod(buffer_spec);
-      cfg.buffer_bytes = static_cast<uint64_t>(
-          x * cfg.link_rate.bytes_per_second() * rtt_ms / 1e3);
-    } else {
-      cfg.buffer_bytes = static_cast<uint64_t>(std::stod(buffer_spec)) * kMss;
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(link_mbps);
+    cfg.buffer_bytes =
+        sweep::parse_buffer_bytes(buffer_spec, cfg.link_rate, rtt_ms);
+    if (ecn_threshold_pkts > 0) {
+      cfg.aqm = std::make_unique<ThresholdEcn>(
+          static_cast<uint64_t>(ecn_threshold_pkts) * kMss);
     }
-  }
-  if (ecn_threshold_pkts > 0) {
-    cfg.aqm = std::make_unique<ThresholdEcn>(
-        static_cast<uint64_t>(ecn_threshold_pkts) * kMss);
-  }
-  Scenario sc(std::move(cfg));
+    Scenario sc(std::move(cfg));
 
-  for (size_t i = 0; i < flows.size(); ++i) {
-    const FlowArgs& fa = flows[i];
-    FlowSpec spec;
-    spec.cca = make_cca(fa.cca, 7 + i);
-    spec.min_rtt = TimeNs::millis(fa.rtt_ms.value_or(rtt_ms));
-    spec.start_at = TimeNs::seconds(fa.start_s);
-    spec.loss_rate = fa.loss;
-    spec.loss_seed = 77 + i;
-    if (!fa.ack_jitter.empty()) {
-      spec.ack_jitter = make_jitter(fa.ack_jitter, 100 + i);
+    for (size_t i = 0; i < flows.size(); ++i) {
+      const sweep::FlowArgs& fa = flows[i];
+      FlowSpec spec;
+      spec.cca = sweep::make_cca(fa.cca, 7 + i);
+      spec.min_rtt = TimeNs::millis(fa.rtt_ms.value_or(rtt_ms));
+      spec.start_at = TimeNs::seconds(fa.start_s);
+      spec.loss_rate = fa.loss;
+      spec.loss_seed = 77 + i;
+      if (auto j = sweep::make_jitter(fa.ack_jitter, 100 + i)) {
+        spec.ack_jitter = std::move(j);
+      }
+      if (auto j = sweep::make_jitter(fa.data_jitter, 200 + i)) {
+        spec.data_jitter = std::move(j);
+      }
+      spec.stats_interval = TimeNs::millis(10);
+      sc.add_flow(std::move(spec));
     }
-    if (!fa.data_jitter.empty()) {
-      spec.data_jitter = make_jitter(fa.data_jitter, 200 + i);
+
+    sc.run_until(TimeNs::seconds(duration_s));
+
+    Table t({"flow", "cca", "throughput Mbit/s", "mean RTT ms", "retx",
+             "timeouts"});
+    for (size_t i = 0; i < flows.size(); ++i) {
+      const auto& stats = sc.stats(i);
+      const double rtt_mean =
+          stats.rtt_seconds.empty()
+              ? 0.0
+              : stats.rtt_seconds.mean_over(TimeNs::zero(),
+                                            TimeNs::seconds(duration_s)) *
+                    1e3;
+      t.add_row({std::to_string(i), flows[i].cca,
+                 Table::num(sc.throughput(i).to_mbps(), 2),
+                 Table::num(rtt_mean, 1),
+                 std::to_string(stats.fast_retransmits),
+                 std::to_string(stats.timeouts)});
+      if (!csv_prefix.empty()) dump_csv(csv_prefix, i, stats);
     }
-    spec.stats_interval = TimeNs::millis(10);
-    sc.add_flow(std::move(spec));
+    t.print(std::cout);
+    if (sc.has_bottleneck() && sc.link().ce_marks() > 0) {
+      std::printf("CE marks: %llu\n",
+                  static_cast<unsigned long long>(sc.link().ce_marks()));
+    }
+    if (!csv_prefix.empty()) {
+      std::printf("CSV series written to %s.flowN.{rtt,delivered}.csv\n",
+                  csv_prefix.c_str());
+    }
+    return 0;
+  } catch (const sweep::SpecError& e) {
+    die(e.what());
+  } catch (const std::exception& e) {
+    die(e.what());
   }
-
-  sc.run_until(TimeNs::seconds(duration_s));
-
-  Table t({"flow", "cca", "throughput Mbit/s", "mean RTT ms", "retx",
-           "timeouts"});
-  for (size_t i = 0; i < flows.size(); ++i) {
-    const auto& stats = sc.stats(i);
-    const double rtt_mean =
-        stats.rtt_seconds.empty()
-            ? 0.0
-            : stats.rtt_seconds.mean_over(TimeNs::zero(),
-                                          TimeNs::seconds(duration_s)) *
-                  1e3;
-    t.add_row({std::to_string(i), flows[i].cca,
-               Table::num(sc.throughput(i).to_mbps(), 2),
-               Table::num(rtt_mean, 1),
-               std::to_string(stats.fast_retransmits),
-               std::to_string(stats.timeouts)});
-    if (!csv_prefix.empty()) dump_csv(csv_prefix, i, stats);
-  }
-  t.print(std::cout);
-  if (sc.has_bottleneck() && sc.link().ce_marks() > 0) {
-    std::printf("CE marks: %llu\n",
-                static_cast<unsigned long long>(sc.link().ce_marks()));
-  }
-  if (!csv_prefix.empty()) {
-    std::printf("CSV series written to %s.flowN.{rtt,delivered}.csv\n",
-                csv_prefix.c_str());
-  }
-  return 0;
 }

@@ -1,0 +1,179 @@
+// ccstarve_sweep — parallel experiment-sweep runner.
+//
+// Expands a cartesian product of scenario axes into a grid of independent
+// runs, executes them across worker threads, and emits one JSONL record
+// per point plus a summary table. Completed points are cached on disk, so
+// re-running a sweep (or resuming an interrupted one) skips finished work.
+//
+//   ccstarve_sweep --flows=copa+copa --flows=bbr+bbr
+//                  --link=log:1:100:9 --rtt=20,60,100
+//                  --jitter=none --jitter=quantize:60
+//                  --jobs=8 --out=sweep.jsonl
+//
+// Axes (each flag value multiplies the grid):
+//   --flows=<set>        flow set, '+'-joined ccstarve_run flow specs;
+//                        repeatable (one grid axis value per flag)
+//   --link=<list>        bottleneck Mbit/s: "a,b,c" or lin:<lo>:<hi>:<n>
+//                        or log:<lo>:<hi>:<n>          (default 60)
+//   --rtt=<list>         propagation RTT ms, same forms (default 60)
+//   --duration=<list>    simulated seconds             (default 60)
+//   --buffer=<list>      comma list of "-" | <pkts> | <x>bdp (default -)
+//   --jitter=<spec>      data-path jitter on flow 0; repeatable
+//                        (default none; per-flow datajitter= overrides)
+//   --seed=<list>        integer seeds                 (default 1)
+// Execution:
+//   --jobs=<N>           worker threads (default: hardware threads)
+//   --warmup-frac=<f>    measurement window starts at f*duration (def 1/6)
+//   --out=<path>         write JSONL records there ("-" = stdout)
+//   --cache=<dir>        result cache directory (default .sweep-cache)
+//   --no-cache           disable the result cache
+//   --quiet              suppress per-point progress on stderr
+//
+// SIGINT finishes in-flight points, flushes completed records to --out,
+// and exits 130; a later identical invocation resumes from the cache.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweep/engine.hpp"
+#include "sweep/spec_parse.hpp"
+#include "util/parallel.hpp"
+
+using namespace ccstarve;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "ccstarve_sweep: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+std::vector<uint64_t> parse_seeds(const std::string& spec) {
+  std::vector<uint64_t> out;
+  for (double v : sweep::parse_axis_values(spec)) {
+    if (v < 0) die("negative seed in '" + spec + "'");
+    out.push_back(static_cast<uint64_t>(v));
+  }
+  return out;
+}
+
+void on_sigint(int) { sweep::request_stop(); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep::SweepGrid grid;
+  sweep::SweepOptions opt;
+  opt.progress = true;
+  opt.cache_dir = ".sweep-cache";
+  std::string out_path;
+  bool no_cache = false;
+
+  // Clear the defaulted axes the first time the corresponding flag appears,
+  // so "--link=10 --link=20" and "--link=10,20" mean the same grid.
+  bool saw_jitter = false, saw_buffer = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto val = [&](const char* name) {
+        const size_t n = std::strlen(name);
+        return arg.compare(0, n, name) == 0 ? std::optional(arg.substr(n))
+                                            : std::nullopt;
+      };
+      if (auto v = val("--flows=")) {
+        grid.flow_sets.push_back(*v);
+      } else if (auto v = val("--link=")) {
+        grid.link_mbps = sweep::parse_axis_values(*v);
+      } else if (auto v = val("--rtt=")) {
+        grid.rtt_ms = sweep::parse_axis_values(*v);
+      } else if (auto v = val("--duration=")) {
+        grid.duration_s = sweep::parse_axis_values(*v);
+      } else if (auto v = val("--buffer=")) {
+        if (!saw_buffer) grid.buffer.clear();
+        saw_buffer = true;
+        for (const auto& b : sweep::split(*v, ',')) grid.buffer.push_back(b);
+      } else if (auto v = val("--jitter=")) {
+        if (!saw_jitter) grid.jitter.clear();
+        saw_jitter = true;
+        grid.jitter.push_back(*v);
+      } else if (auto v = val("--seed=")) {
+        grid.seeds = parse_seeds(*v);
+      } else if (auto v = val("--warmup-frac=")) {
+        try {
+          grid.warmup_fraction = std::stod(*v);
+        } catch (const std::exception&) {
+          die("bad --warmup-frac value '" + *v + "'");
+        }
+        if (grid.warmup_fraction < 0 || grid.warmup_fraction >= 1) {
+          die("--warmup-frac wants a fraction in [0, 1)");
+        }
+      } else if (auto v = val("--jobs=")) {
+        try {
+          opt.jobs = static_cast<unsigned>(std::stoul(*v));
+        } catch (const std::exception&) {
+          die("bad --jobs value '" + *v + "'");
+        }
+      } else if (auto v = val("--out=")) {
+        out_path = *v;
+      } else if (auto v = val("--cache=")) {
+        opt.cache_dir = *v;
+      } else if (arg == "--no-cache") {
+        no_cache = true;
+      } else if (arg == "--quiet") {
+        opt.progress = false;
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("see the header comment of tools/ccstarve_sweep.cpp\n");
+        return 0;
+      } else {
+        die("unknown flag '" + arg + "' (try --help)");
+      }
+    }
+    if (grid.flow_sets.empty()) die("at least one --flows=<set> is required");
+    if (no_cache) opt.cache_dir.clear();
+
+    const std::vector<sweep::SweepPoint> points = grid.expand();
+    std::fprintf(stderr, "sweep: %zu points, %u jobs%s\n", points.size(),
+                 effective_jobs(opt.jobs, points.size()),
+                 opt.cache_dir.empty()
+                     ? ""
+                     : (", cache " + opt.cache_dir).c_str());
+
+    std::signal(SIGINT, on_sigint);
+    std::signal(SIGTERM, on_sigint);
+    const sweep::SweepOutcome outcome = sweep::run_sweep(points, opt);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+
+    if (!out_path.empty()) {
+      if (out_path == "-") {
+        sweep::write_jsonl(std::cout, outcome);
+      } else {
+        std::ofstream os(out_path, std::ios::trunc);
+        if (!os) die("cannot open '" + out_path + "' for writing");
+        sweep::write_jsonl(os, outcome);
+      }
+    }
+    sweep::summary_table(outcome.records).print(std::cout);
+    std::fprintf(stderr,
+                 "sweep: %zu/%zu points done (%zu simulated, %zu cached"
+                 "%s%s)\n",
+                 outcome.records.size(), outcome.stats.total,
+                 outcome.stats.simulated, outcome.stats.cache_hits,
+                 outcome.stats.skipped ? ", interrupted: skipped " : "",
+                 outcome.stats.skipped
+                     ? std::to_string(outcome.stats.skipped).c_str()
+                     : "");
+    return outcome.interrupted ? 130 : 0;
+  } catch (const sweep::SpecError& e) {
+    die(e.what());
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+}
