@@ -6,7 +6,7 @@
 namespace ccstarve {
 
 TraceDrivenLink::TraceDrivenLink(Simulator& sim, DeliveryTrace trace,
-                                 const Config& config, PacketHandler& next)
+                                 const Config& config, PacketSink next)
     : sim_(sim), trace_(std::move(trace)), config_(config), next_(next) {
   assert(!trace_.empty());
   schedule_next_opportunity();
@@ -15,9 +15,15 @@ TraceDrivenLink::TraceDrivenLink(Simulator& sim, DeliveryTrace trace,
 void TraceDrivenLink::handle(Packet pkt) {
   if (queued_bytes_ + pkt.bytes > config_.buffer_bytes) {
     ++drops_;
+    if (TraceRecorder* tr = sim_.tracer()) {
+      tr->record('D', sim_.now(), pkt.flow, pkt.seq, pkt.is_dummy ? 1 : 0);
+    }
     return;
   }
   queued_bytes_ += pkt.bytes;
+  if (TraceRecorder* tr = sim_.tracer()) {
+    tr->record('E', sim_.now(), pkt.flow, pkt.seq, queued_bytes_);
+  }
   queue_.push_back(pkt);
 }
 
@@ -35,6 +41,9 @@ void TraceDrivenLink::on_opportunity() {
     queue_.pop_front();
     queued_bytes_ -= pkt.bytes;
     ++used_;
+    if (TraceRecorder* tr = sim_.tracer()) {
+      tr->record('L', sim_.now(), pkt.flow, pkt.seq, pkt.bytes);
+    }
     next_.handle(pkt);
   }
   if (++next_index_ >= trace_.size()) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <utility>
 
 #include "emu/trace.hpp"
 #include "sim/packet.hpp"
@@ -19,8 +20,13 @@ class TraceDrivenLink final : public PacketHandler {
     uint64_t buffer_bytes = std::numeric_limits<uint64_t>::max() / 2;
   };
 
+  template <typename Next>
   TraceDrivenLink(Simulator& sim, DeliveryTrace trace, const Config& config,
-                  PacketHandler& next);
+                  Next& next)
+      : TraceDrivenLink(sim, std::move(trace), config, as_sink(next)) {}
+
+  TraceDrivenLink(Simulator& sim, DeliveryTrace trace, const Config& config,
+                  PacketSink next);
 
   void handle(Packet pkt) override;
 
@@ -36,7 +42,7 @@ class TraceDrivenLink final : public PacketHandler {
   Simulator& sim_;
   DeliveryTrace trace_;
   Config config_;
-  PacketHandler& next_;
+  PacketSink next_;
   std::deque<Packet> queue_;
   uint64_t queued_bytes_ = 0;
   uint64_t drops_ = 0;

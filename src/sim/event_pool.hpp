@@ -1,0 +1,82 @@
+// Pooled event nodes for the discrete-event core.
+//
+// Every scheduled callback lives in a fixed-size Event node: timestamp,
+// insertion sequence (the determinism tie-break), an intrusive link used
+// both by timer-wheel slot lists and by the pool's free list, and an
+// InlineFn holding the callback in place. Nodes are recycled through an
+// intrusive free list, so after warm-up the schedule→dispatch cycle
+// performs zero allocations; chunked backing storage keeps nodes stable in
+// memory (heaps and slot lists hold Event*, never move nodes).
+//
+// A pool may be shared across consecutive Simulator instances (the sweep
+// engine keeps one per worker thread), which removes per-point allocation
+// churn from grid runs. The pool must outlive every Simulator using it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/inline_fn.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+// Sized so the common hot callbacks — a lambda over (sink, Packet), 80
+// bytes — stay inline, and Event lands on exactly two cache lines: 24B
+// header, then the InlineFn (2 pointers + max_align_t-aligned 80B buffer).
+inline constexpr std::size_t kEventCallbackCapacity = 80;
+
+struct Event {
+  TimeNs at;
+  uint64_t seq = 0;
+  Event* next = nullptr;
+  InlineFn<void(), kEventCallbackCapacity> fn;
+};
+static_assert(sizeof(Event) == 128, "Event should stay two cache lines");
+
+class EventPool {
+ public:
+  EventPool() = default;
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  // Returns a node with fn unset. O(1); allocates only when the free list
+  // and the current chunk are both exhausted.
+  Event* alloc() {
+    if (free_ != nullptr) {
+      Event* e = free_;
+      free_ = e->next;
+      return e;
+    }
+    if (used_in_chunk_ == kChunkSize) {
+      chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+      used_in_chunk_ = 0;
+    }
+    ++carved_;
+    return &chunks_.back()[used_in_chunk_++];
+  }
+
+  // Destroys the node's callback and recycles the node.
+  void release(Event* e) {
+    e->fn.reset();
+    e->next = free_;
+    free_ = e;
+  }
+
+  // Nodes ever carved from chunk storage: stops growing once the workload's
+  // peak concurrent event count has been reached — the "zero steady-state
+  // allocation" property bench_simcore and sim_test assert on.
+  uint64_t nodes_carved() const { return carved_; }
+
+ private:
+  static constexpr std::size_t kChunkSize = 512;
+
+  std::vector<std::unique_ptr<Event[]>> chunks_;
+  std::size_t used_in_chunk_ = kChunkSize;
+  Event* free_ = nullptr;
+  uint64_t carved_ = 0;
+};
+
+}  // namespace ccstarve

@@ -15,24 +15,4 @@ TimeNs OnOffJitter::release_at(const Packet&, TimeNs arrival) {
   return pos < on_time_.ns() ? arrival + high_ : arrival;
 }
 
-JitterBox::JitterBox(Simulator& sim, std::unique_ptr<JitterPolicy> policy,
-                     TimeNs budget, PacketHandler& next)
-    : sim_(sim), policy_(std::move(policy)), budget_(budget), next_(next) {}
-
-void JitterBox::handle(Packet pkt) {
-  const TimeNs arrival = sim_.now();
-  TimeNs release = policy_->release_at(pkt, arrival);
-  release = ccstarve::max(release, arrival);     // eta >= 0
-  release = ccstarve::max(release, last_release_);  // no reordering
-  last_release_ = release;
-
-  const TimeNs added = release - arrival;
-  ++stats_.packets;
-  stats_.total_added_seconds += added.to_seconds();
-  stats_.max_added = ccstarve::max(stats_.max_added, added);
-  if (added > budget_) ++stats_.budget_violations;
-
-  sim_.schedule_at(release, [this, pkt] { next_.handle(pkt); });
-}
-
 }  // namespace ccstarve

@@ -196,10 +196,29 @@ class JitterBox final : public PacketHandler {
   };
 
   // `budget` is the model's D; pass TimeNs::infinite() to disable auditing.
+  template <typename Next>
   JitterBox(Simulator& sim, std::unique_ptr<JitterPolicy> policy,
-            TimeNs budget, PacketHandler& next);
+            TimeNs budget, Next& next)
+      : sim_(sim),
+        policy_(std::move(policy)),
+        budget_(budget),
+        next_(as_sink(next)) {}
 
-  void handle(Packet pkt) override;
+  void handle(Packet pkt) override {
+    const TimeNs arrival = sim_.now();
+    TimeNs release = policy_->release_at(pkt, arrival);
+    release = ccstarve::max(release, arrival);     // eta >= 0
+    release = ccstarve::max(release, last_release_);  // no reordering
+    last_release_ = release;
+
+    const TimeNs added = release - arrival;
+    ++stats_.packets;
+    stats_.total_added_seconds += added.to_seconds();
+    stats_.max_added = ccstarve::max(stats_.max_added, added);
+    if (added > budget_) ++stats_.budget_violations;
+
+    sim_.schedule_at(release, [next = next_, pkt] { next.handle(pkt); });
+  }
 
   const Stats& stats() const { return stats_; }
 
@@ -207,7 +226,7 @@ class JitterBox final : public PacketHandler {
   Simulator& sim_;
   std::unique_ptr<JitterPolicy> policy_;
   TimeNs budget_;
-  PacketHandler& next_;
+  PacketSink next_;
   TimeNs last_release_ = TimeNs::zero();
   Stats stats_;
 };

@@ -1,31 +1,6 @@
 #include "sim/link.hpp"
 
-#include <utility>
-
 namespace ccstarve {
-
-BottleneckLink::BottleneckLink(Simulator& sim, const Config& config,
-                               PacketHandler& next)
-    : sim_(sim),
-      rate_(config.rate),
-      buffer_bytes_(config.buffer_bytes),
-      next_(next) {}
-
-void BottleneckLink::handle(Packet pkt) {
-  if (queued_bytes_ + pkt.bytes > buffer_bytes_) {
-    ++drops_;
-    if (drop_listener_) drop_listener_(pkt);
-    return;
-  }
-  if (aqm_ && !pkt.is_dummy && !pkt.is_ack &&
-      aqm_->should_mark(queued_bytes_)) {
-    pkt.ecn_ce = true;
-    ++ce_marks_;
-  }
-  queued_bytes_ += pkt.bytes;
-  queue_.push_back(pkt);
-  if (!busy_) start_service();
-}
 
 void BottleneckLink::prefill(uint64_t bytes) {
   while (bytes > 0) {
@@ -65,20 +40,11 @@ void BottleneckLink::finish_service() {
   queued_bytes_ -= pkt.bytes;
   busy_ = false;
   ++delivered_packets_;
+  if (TraceRecorder* tr = sim_.tracer()) {
+    tr->record('L', sim_.now(), pkt.flow, pkt.seq, pkt.bytes);
+  }
   next_.handle(pkt);
   if (!queue_.empty()) start_service();
-}
-
-void PropagationDelay::handle(Packet pkt) {
-  sim_.schedule_in(delay_, [this, pkt] { next_.handle(pkt); });
-}
-
-void DelayServerLink::handle(Packet pkt) {
-  const TimeNs arrival = sim_.now();
-  TimeNs release = arrival + ccstarve::max(TimeNs::zero(), fn_(arrival));
-  release = ccstarve::max(release, last_release_);
-  last_release_ = release;
-  sim_.schedule_at(release, [this, pkt] { next_.handle(pkt); });
 }
 
 }  // namespace ccstarve

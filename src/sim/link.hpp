@@ -8,6 +8,11 @@
 //   * DelayServerLink — FIFO element that imposes an arbitrary caller-chosen
 //     queueing-delay trajectory; this is the §6.5 "strong model" adversary,
 //     which may emulate any variable-rate link.
+//
+// Downstream edges are PacketSinks bound at construction (see
+// sim/packet.hpp): constructors accept any handler type and capture its
+// concrete static type, and the per-packet handle() bodies live here in the
+// header so the Link→Jitter→Receiver chain inlines at the wiring site.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +40,34 @@ class BottleneckLink final : public PacketHandler {
     uint64_t buffer_bytes = std::numeric_limits<uint64_t>::max() / 2;
   };
 
-  BottleneckLink(Simulator& sim, const Config& config, PacketHandler& next);
+  template <typename Next>
+  BottleneckLink(Simulator& sim, const Config& config, Next& next)
+      : sim_(sim),
+        rate_(config.rate),
+        buffer_bytes_(config.buffer_bytes),
+        next_(as_sink(next)) {}
 
-  void handle(Packet pkt) override;
+  void handle(Packet pkt) override {
+    if (queued_bytes_ + pkt.bytes > buffer_bytes_) {
+      ++drops_;
+      if (TraceRecorder* tr = sim_.tracer()) {
+        tr->record('D', sim_.now(), pkt.flow, pkt.seq, pkt.is_dummy ? 1 : 0);
+      }
+      if (drop_listener_) drop_listener_(pkt);
+      return;
+    }
+    if (aqm_ && !pkt.is_dummy && !pkt.is_ack &&
+        aqm_->should_mark(queued_bytes_)) {
+      pkt.ecn_ce = true;
+      ++ce_marks_;
+    }
+    queued_bytes_ += pkt.bytes;
+    if (TraceRecorder* tr = sim_.tracer()) {
+      tr->record('E', sim_.now(), pkt.flow, pkt.seq, queued_bytes_);
+    }
+    queue_.push_back(pkt);
+    if (!busy_) start_service();
+  }
 
   // Installs an ECN marking discipline (install before traffic flows).
   void set_aqm(std::unique_ptr<AqmPolicy> aqm) { aqm_ = std::move(aqm); }
@@ -70,7 +100,7 @@ class BottleneckLink final : public PacketHandler {
   Simulator& sim_;
   Rate rate_;
   uint64_t buffer_bytes_;
-  PacketHandler& next_;
+  PacketSink next_;
   std::deque<Packet> queue_;
   uint64_t queued_bytes_ = 0;
   bool busy_ = false;
@@ -84,17 +114,20 @@ class BottleneckLink final : public PacketHandler {
 
 class PropagationDelay final : public PacketHandler {
  public:
-  PropagationDelay(Simulator& sim, TimeNs delay, PacketHandler& next)
-      : sim_(sim), delay_(delay), next_(next) {}
+  template <typename Next>
+  PropagationDelay(Simulator& sim, TimeNs delay, Next& next)
+      : sim_(sim), delay_(delay), next_(as_sink(next)) {}
 
-  void handle(Packet pkt) override;
+  void handle(Packet pkt) override {
+    sim_.schedule_in(delay_, [next = next_, pkt] { next.handle(pkt); });
+  }
 
   TimeNs delay() const { return delay_; }
 
  private:
   Simulator& sim_;
   TimeNs delay_;
-  PacketHandler& next_;
+  PacketSink next_;
 };
 
 // FIFO element whose per-packet holding time is a caller-supplied function of
@@ -105,15 +138,22 @@ class DelayServerLink final : public PacketHandler {
  public:
   using DelayFn = std::function<TimeNs(TimeNs arrival)>;
 
-  DelayServerLink(Simulator& sim, DelayFn fn, PacketHandler& next)
-      : sim_(sim), fn_(std::move(fn)), next_(next) {}
+  template <typename Next>
+  DelayServerLink(Simulator& sim, DelayFn fn, Next& next)
+      : sim_(sim), fn_(std::move(fn)), next_(as_sink(next)) {}
 
-  void handle(Packet pkt) override;
+  void handle(Packet pkt) override {
+    const TimeNs arrival = sim_.now();
+    TimeNs release = arrival + ccstarve::max(TimeNs::zero(), fn_(arrival));
+    release = ccstarve::max(release, last_release_);
+    last_release_ = release;
+    sim_.schedule_at(release, [next = next_, pkt] { next.handle(pkt); });
+  }
 
  private:
   Simulator& sim_;
   DelayFn fn_;
-  PacketHandler& next_;
+  PacketSink next_;
   TimeNs last_release_ = TimeNs::zero();
 };
 

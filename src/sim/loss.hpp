@@ -11,8 +11,9 @@ namespace ccstarve {
 
 class LossGate final : public PacketHandler {
  public:
-  LossGate(double loss_rate, uint64_t seed, PacketHandler& next)
-      : loss_rate_(loss_rate), rng_(seed), next_(next) {}
+  template <typename Next>
+  LossGate(double loss_rate, uint64_t seed, Next& next)
+      : loss_rate_(loss_rate), rng_(seed), next_(as_sink(next)) {}
 
   void handle(Packet pkt) override {
     if (!pkt.is_dummy && loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
@@ -27,7 +28,7 @@ class LossGate final : public PacketHandler {
  private:
   double loss_rate_;
   Rng rng_;
-  PacketHandler& next_;
+  PacketSink next_;
   uint64_t dropped_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "util/rate.hpp"
 #include "util/time.hpp"
@@ -48,6 +49,51 @@ class PacketHandler {
   virtual ~PacketHandler() = default;
   virtual void handle(Packet pkt) = 0;
 };
+
+// Statically-bound packet destination: the fast-path alternative to a
+// PacketHandler& edge.
+//
+// PacketSink::of<T>(target) captures the *concrete* type of its target in a
+// specialized thunk, so a hop through a sink is one indirect call into a
+// function whose body is T::handle — no vtable load, and (because the
+// wiring in scenario.cpp instantiates the thunks next to the inline handler
+// bodies) the compiler can flatten the whole Link→Jitter→Receiver chain.
+// Binding a plain PacketHandler& still works; the thunk then performs the
+// virtual call, so generic composition in tests loses nothing.
+class PacketSink {
+ public:
+  PacketSink() = default;
+
+  template <typename T>
+  static PacketSink of(T& target) {
+    return PacketSink(&target, [](void* ctx, const Packet& pkt) {
+      static_cast<T*>(ctx)->handle(pkt);
+    });
+  }
+
+  void handle(const Packet& pkt) const { fn_(ctx_, pkt); }
+  explicit operator bool() const { return fn_ != nullptr; }
+
+ private:
+  using Fn = void (*)(void*, const Packet&);
+  PacketSink(void* ctx, Fn fn) : ctx_(ctx), fn_(fn) {}
+
+  void* ctx_ = nullptr;
+  Fn fn_ = nullptr;
+};
+
+// Accepts either a ready-made PacketSink or any object with a handle()
+// member; used by path-element constructors so existing call sites that
+// pass concrete handlers (or PacketHandler&) keep compiling while the sink
+// records the most-derived static type it was given.
+template <typename T>
+PacketSink as_sink(T& target) {
+  if constexpr (std::is_same_v<std::remove_cv_t<T>, PacketSink>) {
+    return target;
+  } else {
+    return PacketSink::of(target);
+  }
+}
 
 // Terminal sink that discards packets (used for dummies and in tests).
 class NullHandler final : public PacketHandler {

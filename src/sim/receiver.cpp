@@ -2,43 +2,6 @@
 
 namespace ccstarve {
 
-Receiver::Receiver(Simulator& sim, const AckPolicy& policy,
-                   PacketHandler& ack_path)
-    : sim_(sim), policy_(policy), ack_path_(ack_path) {}
-
-void Receiver::handle(Packet pkt) {
-  if (pkt.is_dummy || pkt.is_ack) return;
-  ++packets_;
-
-  if (pkt.seq == cum_) {
-    cum_ += pkt.bytes;
-    // Absorb any previously buffered out-of-order segments that are now
-    // contiguous.
-    auto it = ooo_.begin();
-    while (it != ooo_.end() && *it <= cum_) {
-      if (*it == cum_) cum_ += kMss;
-      it = ooo_.erase(it);
-    }
-  } else if (pkt.seq > cum_) {
-    ooo_.insert(pkt.seq);
-  }
-  // pkt.seq < cum_: spurious retransmission, still ACKed below so the
-  // sender's scoreboard converges.
-
-  last_data_ = pkt;
-  ece_pending_ |= pkt.ecn_ce;
-  ++unacked_;
-
-  const bool gap = pkt.seq != cum_ - pkt.bytes;  // did not advance in order
-  if (gap || unacked_ >= policy_.ack_every) {
-    // Out-of-order data triggers an immediate (duplicate) ACK, as TCP does;
-    // in-order data respects the delayed-ACK policy.
-    emit_ack(pkt);
-  } else if (!timer_armed_) {
-    arm_timer();
-  }
-}
-
 void Receiver::arm_timer() {
   timer_armed_ = true;
   const uint64_t epoch = ++timer_epoch_;
@@ -62,6 +25,10 @@ void Receiver::emit_ack(const Packet& trigger) {
   unacked_ = 0;
   timer_armed_ = false;
   ++timer_epoch_;
+  if (TraceRecorder* tr = sim_.tracer()) {
+    tr->record('A', sim_.now(), ack.flow, ack.ack_cum,
+               ack.ack_seq * 2 + (ack.ack_ece ? 1 : 0));
+  }
   ack_path_.handle(ack);
 }
 

@@ -22,9 +22,45 @@ struct AckPolicy {
 
 class Receiver final : public PacketHandler {
  public:
-  Receiver(Simulator& sim, const AckPolicy& policy, PacketHandler& ack_path);
+  template <typename AckPath>
+  Receiver(Simulator& sim, const AckPolicy& policy, AckPath& ack_path)
+      : sim_(sim), policy_(policy), ack_path_(as_sink(ack_path)) {}
 
-  void handle(Packet pkt) override;
+  void handle(Packet pkt) override {
+    if (pkt.is_dummy || pkt.is_ack) return;
+    ++packets_;
+    if (TraceRecorder* tr = sim_.tracer()) {
+      tr->record('R', sim_.now(), pkt.flow, pkt.seq, cum_);
+    }
+
+    if (pkt.seq == cum_) {
+      cum_ += pkt.bytes;
+      // Absorb any previously buffered out-of-order segments that are now
+      // contiguous.
+      auto it = ooo_.begin();
+      while (it != ooo_.end() && *it <= cum_) {
+        if (*it == cum_) cum_ += kMss;
+        it = ooo_.erase(it);
+      }
+    } else if (pkt.seq > cum_) {
+      ooo_.insert(pkt.seq);
+    }
+    // pkt.seq < cum_: spurious retransmission, still ACKed below so the
+    // sender's scoreboard converges.
+
+    last_data_ = pkt;
+    ece_pending_ |= pkt.ecn_ce;
+    ++unacked_;
+
+    const bool gap = pkt.seq != cum_ - pkt.bytes;  // did not advance in order
+    if (gap || unacked_ >= policy_.ack_every) {
+      // Out-of-order data triggers an immediate (duplicate) ACK, as TCP
+      // does; in-order data respects the delayed-ACK policy.
+      emit_ack(pkt);
+    } else if (!timer_armed_) {
+      arm_timer();
+    }
+  }
 
   uint64_t cum_received() const { return cum_; }
   uint64_t packets_received() const { return packets_; }
@@ -35,7 +71,7 @@ class Receiver final : public PacketHandler {
 
   Simulator& sim_;
   AckPolicy policy_;
-  PacketHandler& ack_path_;
+  PacketSink ack_path_;
   std::set<uint64_t> ooo_;  // out-of-order segment seqs awaiting the gap
   uint64_t cum_ = 0;        // bytes received in order
   uint64_t packets_ = 0;

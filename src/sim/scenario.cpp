@@ -6,11 +6,14 @@
 namespace ccstarve {
 
 Scenario::Scenario(ScenarioConfig config)
-    : config_(std::move(config)), demux_(*this) {
+    : sim_(config.event_pool), config_(std::move(config)), demux_(*this) {
+  // The sinks below capture concrete types (Demux, BottleneckLink, ...), so
+  // this translation unit instantiates thunks whose bodies are the inline
+  // handle() definitions — the hot per-packet chain devirtualizes here.
   if (config_.delay_server) {
     delay_server_ =
         std::make_unique<DelayServerLink>(sim_, config_.delay_server, demux_);
-    ingress_ = delay_server_.get();
+    ingress_ = as_sink(*delay_server_);
   } else {
     BottleneckLink::Config lc;
     lc.rate = config_.link_rate;
@@ -18,7 +21,7 @@ Scenario::Scenario(ScenarioConfig config)
     link_ = std::make_unique<BottleneckLink>(sim_, lc, demux_);
     if (config_.aqm) link_->set_aqm(std::move(config_.aqm));
     if (config_.prefill_bytes > 0) link_->prefill(config_.prefill_bytes);
-    ingress_ = link_.get();
+    ingress_ = as_sink(*link_);
   }
 }
 
@@ -41,14 +44,14 @@ uint32_t Scenario::add_flow(FlowSpec spec) {
   sc.max_cwnd_bytes = spec.max_cwnd_bytes;
   // The chain is built in dependency order: each element references the one
   // that consumes its output.
-  PacketHandler* sender_egress = ingress_;
+  PacketSink sender_egress = ingress_;
   if (spec.loss_rate > 0.0) {
     flow->loss_gate =
-        std::make_unique<LossGate>(spec.loss_rate, spec.loss_seed, *ingress_);
-    sender_egress = flow->loss_gate.get();
+        std::make_unique<LossGate>(spec.loss_rate, spec.loss_seed, ingress_);
+    sender_egress = as_sink(*flow->loss_gate);
   }
   flow->sender =
-      std::make_unique<Sender>(sim_, sc, std::move(spec.cca), *sender_egress);
+      std::make_unique<Sender>(sim_, sc, std::move(spec.cca), sender_egress);
   flow->ack_jitter = std::make_unique<JitterBox>(
       sim_,
       spec.ack_jitter ? std::move(spec.ack_jitter)

@@ -60,6 +60,10 @@ struct ScenarioConfig {
   uint64_t prefill_bytes = 0;
   // Optional ECN marking discipline installed at the bottleneck (paper 6.4).
   std::unique_ptr<AqmPolicy> aqm;
+  // Optional shared event pool (see sim/event_pool.hpp). Null: the
+  // simulator owns a private pool. The sweep engine passes a per-worker
+  // pool so consecutive grid points reuse warm event nodes.
+  EventPool* event_pool = nullptr;
 };
 
 class Scenario {
@@ -126,7 +130,7 @@ class Scenario {
   Demux demux_;
   std::unique_ptr<BottleneckLink> link_;
   std::unique_ptr<DelayServerLink> delay_server_;
-  PacketHandler* ingress_ = nullptr;  // where senders push data packets
+  PacketSink ingress_;  // where senders push data packets
   std::vector<std::unique_ptr<Flow>> flows_;
 };
 

@@ -11,7 +11,7 @@ constexpr TimeNs kMaxRto = TimeNs::seconds(60);
 }  // namespace
 
 Sender::Sender(Simulator& sim, const Config& config, std::unique_ptr<Cca> cca,
-               PacketHandler& data_path)
+               PacketSink data_path)
     : sim_(sim), config_(config), cca_(std::move(cca)), data_path_(data_path) {
   assert(cca_ != nullptr);
 }
@@ -79,6 +79,9 @@ void Sender::send_segment(uint64_t seq, bool retransmit) {
 
   cca_->on_packet_sent(sim_.now(), seq, pkt.bytes, inflight_bytes_,
                         retransmit);
+  if (TraceRecorder* tr = sim_.tracer()) {
+    tr->record('S', sim_.now(), pkt.flow, pkt.seq, retransmit ? 1 : 0);
+  }
   arm_rto();
   data_path_.handle(pkt);
 }

@@ -43,8 +43,13 @@ class Sender final : public PacketHandler {
     uint64_t max_cwnd_bytes = uint64_t{1} << 40;
   };
 
+  template <typename DataPath>
   Sender(Simulator& sim, const Config& config, std::unique_ptr<Cca> cca,
-         PacketHandler& data_path);
+         DataPath& data_path)
+      : Sender(sim, config, std::move(cca), as_sink(data_path)) {}
+
+  Sender(Simulator& sim, const Config& config, std::unique_ptr<Cca> cca,
+         PacketSink data_path);
 
   // Begins transmitting at the given absolute time.
   void start(TimeNs at);
@@ -83,7 +88,7 @@ class Sender final : public PacketHandler {
   Simulator& sim_;
   Config config_;
   std::unique_ptr<Cca> cca_;
-  PacketHandler& data_path_;
+  PacketSink data_path_;
 
   bool started_ = false;
   TimeNs start_time_ = TimeNs::zero();

@@ -4,13 +4,6 @@
 
 namespace ccstarve {
 
-TokenBucketFilter::TokenBucketFilter(Simulator& sim, const Config& config,
-                                     PacketHandler& next)
-    : sim_(sim),
-      config_(config),
-      next_(next),
-      tokens_(static_cast<double>(config.burst_bytes)) {}
-
 void TokenBucketFilter::refill() {
   const TimeNs now = sim_.now();
   tokens_ = std::min(
@@ -50,10 +43,6 @@ void TokenBucketFilter::drain_queue() {
     drain_queue();
   });
 }
-
-GsoBurster::GsoBurster(Simulator& sim, const Config& config,
-                       PacketHandler& next)
-    : sim_(sim), config_(config), next_(next) {}
 
 void GsoBurster::handle(Packet pkt) {
   held_.push_back(pkt);

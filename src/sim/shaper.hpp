@@ -28,7 +28,12 @@ class TokenBucketFilter final : public PacketHandler {
     uint64_t burst_bytes = 10 * kMss;  // bucket depth
   };
 
-  TokenBucketFilter(Simulator& sim, const Config& config, PacketHandler& next);
+  template <typename Next>
+  TokenBucketFilter(Simulator& sim, const Config& config, Next& next)
+      : sim_(sim),
+        config_(config),
+        next_(as_sink(next)),
+        tokens_(static_cast<double>(config.burst_bytes)) {}
 
   void handle(Packet pkt) override;
 
@@ -41,7 +46,7 @@ class TokenBucketFilter final : public PacketHandler {
 
   Simulator& sim_;
   Config config_;
-  PacketHandler& next_;
+  PacketSink next_;
   double tokens_;
   TimeNs last_refill_ = TimeNs::zero();
   std::deque<Packet> queue_;
@@ -57,7 +62,9 @@ class GsoBurster final : public PacketHandler {
     TimeNs flush_timeout = TimeNs::millis(5);
   };
 
-  GsoBurster(Simulator& sim, const Config& config, PacketHandler& next);
+  template <typename Next>
+  GsoBurster(Simulator& sim, const Config& config, Next& next)
+      : sim_(sim), config_(config), next_(as_sink(next)) {}
 
   void handle(Packet pkt) override;
 
@@ -68,7 +75,7 @@ class GsoBurster final : public PacketHandler {
 
   Simulator& sim_;
   Config config_;
-  PacketHandler& next_;
+  PacketSink next_;
   std::deque<Packet> held_;
   uint64_t timer_epoch_ = 0;
   uint64_t bursts_ = 0;

@@ -1,34 +1,176 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
+#include <bit>
 
 namespace ccstarve {
 
-void Simulator::schedule_at(TimeNs at, std::function<void()> fn) {
-  assert(at >= now_);
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+Simulator::Simulator(EventPool* shared_pool)
+    : pool_(shared_pool != nullptr ? shared_pool : &owned_pool_),
+      wheel_(kWheelSlots, nullptr) {
+  near_.reserve(16);
+  far_.reserve(64);
 }
 
-void Simulator::schedule_in(TimeNs delay, std::function<void()> fn) {
-  schedule_at(now_ + delay, std::move(fn));
+Simulator::~Simulator() { release_all(); }
+
+void Simulator::release_all() {
+  for (Event* e : near_) pool_->release(e);
+  near_.clear();
+  for (Event* e : far_) pool_->release(e);
+  far_.clear();
+  for (uint64_t word = 0; word < kBitmapWords; ++word) {
+    uint64_t bits = occupancy_[word];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      Event* e = wheel_[word * 64 + static_cast<uint64_t>(bit)];
+      while (e != nullptr) {
+        Event* next = e->next;
+        pool_->release(e);
+        e = next;
+      }
+      wheel_[word * 64 + static_cast<uint64_t>(bit)] = nullptr;
+    }
+    occupancy_[word] = 0;
+  }
+  pending_ = 0;
+}
+
+void Simulator::heap_push(std::vector<Event*>& heap, Event* e) {
+  heap.push_back(e);
+  std::push_heap(heap.begin(), heap.end(), Later{});
+}
+
+Event* Simulator::heap_pop(std::vector<Event*>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), Later{});
+  Event* e = heap.back();
+  heap.pop_back();
+  return e;
+}
+
+void Simulator::insert(Event* e) {
+  const uint64_t tick = tick_of(e->at);
+  if (tick <= cur_tick_) {
+    // The event's slot has already been harvested (or is being drained);
+    // order it through the near heap.
+    heap_push(near_, e);
+    return;
+  }
+  if (tick - cur_tick_ < kWheelSlots) {
+    const uint64_t slot = tick & kWheelMask;
+    e->next = wheel_[slot];
+    wheel_[slot] = e;
+    occupancy_[slot >> 6] |= uint64_t{1} << (slot & 63);
+    return;
+  }
+  heap_push(far_, e);
+}
+
+bool Simulator::find_next_slot(uint64_t* tick_out) const {
+  const uint64_t start = cur_tick_ & kWheelMask;
+  // Scan kBitmapWords+1 words circularly: the first word is masked to bits
+  // at or after `start`, the wrapped revisit of that word covers the bits
+  // before it.
+  for (uint64_t i = 0; i <= kBitmapWords; ++i) {
+    const uint64_t word = ((start >> 6) + i) % kBitmapWords;
+    uint64_t bits = occupancy_[word];
+    if (i == 0) bits &= ~uint64_t{0} << (start & 63);
+    if (bits == 0) continue;
+    const uint64_t slot =
+        word * 64 + static_cast<uint64_t>(std::countr_zero(bits));
+    // Map the slot index back to an absolute tick within the window
+    // [cur_tick_, cur_tick_ + kWheelSlots).
+    *tick_out = cur_tick_ + ((slot - cur_tick_) & kWheelMask);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::harvest(uint64_t tick) {
+  const uint64_t slot = tick & kWheelMask;
+  Event* e = wheel_[slot];
+  wheel_[slot] = nullptr;
+  occupancy_[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+  while (e != nullptr) {
+    Event* next = e->next;
+    heap_push(near_, e);
+    e = next;
+  }
+}
+
+void Simulator::advance_to(uint64_t tick) {
+  if (tick <= cur_tick_) return;
+  cur_tick_ = tick;
+  while (!far_.empty()) {
+    Event* top = far_.front();
+    const uint64_t top_tick = tick_of(top->at);
+    if (top_tick >= cur_tick_ && top_tick - cur_tick_ >= kWheelSlots) break;
+    insert(heap_pop(far_));
+  }
+}
+
+Event* Simulator::pop_next(TimeNs limit) {
+  for (;;) {
+    if (!near_.empty()) {
+      if (near_.front()->at > limit) return nullptr;
+      return heap_pop(near_);
+    }
+    uint64_t next_tick = 0;
+    if (find_next_slot(&next_tick)) {
+      const TimeNs slot_start =
+          TimeNs::nanos(static_cast<int64_t>(next_tick << kGranularityBits));
+      if (slot_start > limit) {
+        advance_to(tick_of(limit));
+        return nullptr;
+      }
+      advance_to(next_tick);
+      harvest(next_tick);
+      continue;
+    }
+    if (!far_.empty()) {
+      if (far_.front()->at > limit) {
+        if (!limit.is_infinite()) advance_to(tick_of(limit));
+        return nullptr;
+      }
+      // Jumping to the far top's tick migrates it (and any peers within the
+      // new horizon) into the wheel or near heap.
+      advance_to(tick_of(far_.front()->at));
+      continue;
+    }
+    if (!limit.is_infinite()) advance_to(tick_of(limit));
+    return nullptr;
+  }
 }
 
 bool Simulator::run_next() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() returns const&; the move is safe because we pop
-  // immediately and nothing else observes the moved-from function.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.at;
+  Event* e = pop_next(TimeNs::infinite());
+  if (e == nullptr) return false;
+  now_ = e->at;
   ++processed_;
-  ev.fn();
+  --pending_;
+  try {
+    e->fn();
+  } catch (...) {
+    pool_->release(e);
+    throw;
+  }
+  pool_->release(e);
   return true;
 }
 
 void Simulator::run_until(TimeNs t) {
-  while (!queue_.empty() && queue_.top().at <= t) {
-    run_next();
+  while (Event* e = pop_next(t)) {
+    now_ = e->at;
+    ++processed_;
+    --pending_;
+    try {
+      e->fn();
+    } catch (...) {
+      pool_->release(e);
+      throw;
+    }
+    pool_->release(e);
   }
   if (now_ < t) now_ = t;
 }

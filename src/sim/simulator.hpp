@@ -1,31 +1,73 @@
 // Deterministic discrete-event simulator.
 //
-// A single global event queue orders callbacks by (time, insertion sequence);
-// the sequence tie-break makes runs bit-for-bit reproducible regardless of
-// how many events share a timestamp.
+// Events are ordered by (time, insertion sequence); the sequence tie-break
+// makes runs bit-for-bit reproducible regardless of how many events share a
+// timestamp. tests/golden/*.digest pins this ordering against the original
+// binary-heap implementation.
+//
+// The core is built for throughput rather than generality:
+//
+//   * Timer wheel: 4096 slots of 16.384 µs cover a ~67 ms horizon.
+//     Sub-RTT events (pacing, transmission completions, jitter releases) —
+//     the vast majority — insert in O(1) into an intrusive slot list; an
+//     occupancy bitmap finds the next busy slot with a handful of word
+//     scans. Ordering within a slot is restored on harvest by pushing the
+//     slot's events through the tiny `near_` binary heap, so dispatch order
+//     is exactly (at, seq) — identical to a global priority queue.
+//   * Far heap: events beyond the horizon (RTT-scale timers, RTOs) wait in
+//     a conventional binary heap and migrate into the wheel as the window
+//     advances; each event migrates at most once.
+//   * Pooled, alloc-free events: nodes come from an intrusive free-list
+//     pool (sim/event_pool.hpp) and callbacks are emplaced into the node's
+//     inline small-buffer storage (util/inline_fn.hpp), so steady-state
+//     scheduling performs zero allocations. A pool can be shared across
+//     consecutive simulators (see the sweep engine) to also eliminate
+//     per-scenario warm-up churn.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/event_pool.hpp"
+#include "sim/trace_probe.hpp"
 #include "util/time.hpp"
 
 namespace ccstarve {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : Simulator(nullptr) {}
+  // `shared_pool` may be null (the simulator then owns a private pool); a
+  // non-null pool must outlive the simulator.
+  explicit Simulator(EventPool* shared_pool);
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   TimeNs now() const { return now_; }
 
-  // Schedules `fn` to run at absolute time `at` (>= now).
-  void schedule_at(TimeNs at, std::function<void()> fn);
+  // Schedules `fn` to run at absolute time `at` (>= now). The callable is
+  // emplaced directly into a pooled event node — no intermediate moves, no
+  // allocation for captures up to kEventCallbackCapacity bytes.
+  template <typename F>
+  void schedule_at(TimeNs at, F&& fn) {
+    assert(at >= now_);
+    if (tracer_) tracer_->on_schedule(now_, at);
+    Event* e = pool_->alloc();
+    e->at = at;
+    e->seq = next_seq_++;
+    e->fn.emplace(std::forward<F>(fn));
+    insert(e);
+    ++pending_;
+  }
+
   // Schedules `fn` to run `delay` from now.
-  void schedule_in(TimeNs delay, std::function<void()> fn);
+  template <typename F>
+  void schedule_in(TimeNs delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   // Runs events until the queue is empty or the next event is after `t`;
   // afterwards now() == t (time advances even if idle).
@@ -34,26 +76,70 @@ class Simulator {
   // Runs a single event if one exists. Returns false when idle.
   bool run_next();
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return pending_ == 0; }
   uint64_t events_processed() const { return processed_; }
 
+  // Golden-trace probe (see sim/trace_probe.hpp). Null means tracing off;
+  // the recorder must outlive the simulation.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+  TraceRecorder* tracer() const { return tracer_; }
+
  private:
-  struct Event {
-    TimeNs at;
-    uint64_t seq;
-    std::function<void()> fn;
-  };
+  // log2 of the slot width in ns (16.384 µs) and of the slot count (4096):
+  // a ~67 ms horizon, chosen to swallow propagation-delay events (tens of
+  // ms) — the single most common far-future schedule — leaving only RTO-
+  // scale timers to the far heap. Slot width only affects bucketing cost,
+  // never ordering: a slot's events are re-sorted through `near_` anyway.
+  static constexpr int kGranularityBits = 14;
+  static constexpr int kWheelBits = 12;
+  static constexpr uint64_t kWheelSlots = uint64_t{1} << kWheelBits;
+  static constexpr uint64_t kWheelMask = kWheelSlots - 1;
+  static constexpr uint64_t kBitmapWords = kWheelSlots / 64;
+
+  static uint64_t tick_of(TimeNs at) {
+    return static_cast<uint64_t>(at.ns()) >> kGranularityBits;
+  }
+
+  // Min-heap comparator over (at, seq) for use with std::push_heap.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+    bool operator()(const Event* a, const Event* b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
     }
   };
+
+  void insert(Event* e);
+  void heap_push(std::vector<Event*>& heap, Event* e);
+  Event* heap_pop(std::vector<Event*>& heap);
+  // Next event with at <= limit, or null (having advanced the window to
+  // `limit` so future insertions stay fast). Does not adjust pending_.
+  Event* pop_next(TimeNs limit);
+  // Moves the window forward to `tick` (only ever forward) and migrates
+  // far-heap events that now fall inside the wheel horizon.
+  void advance_to(uint64_t tick);
+  // Scans the occupancy bitmap for the first busy slot at or after the
+  // current tick. Returns false when the wheel is empty.
+  bool find_next_slot(uint64_t* tick_out) const;
+  // Empties one slot into the near heap, restoring (at, seq) order.
+  void harvest(uint64_t tick);
+  void release_all();
 
   TimeNs now_ = TimeNs::zero();
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t pending_ = 0;
+  TraceRecorder* tracer_ = nullptr;
+
+  EventPool owned_pool_;
+  EventPool* pool_ = nullptr;
+
+  // Events at or before the current slot, ordered by (at, seq).
+  std::vector<Event*> near_;
+  // Events beyond the wheel horizon.
+  std::vector<Event*> far_;
+  uint64_t cur_tick_ = 0;
+  std::vector<Event*> wheel_;
+  uint64_t occupancy_[kBitmapWords] = {};
 };
 
 }  // namespace ccstarve

@@ -1,0 +1,86 @@
+// Golden-trace probe: an order-sensitive digest over the full packet event
+// stream of a simulation.
+//
+// Components report every packet-level transition (send, enqueue, drop,
+// deliver, receive, ack) to the Simulator's installed TraceRecorder, which
+// folds each tuple into a running FNV-1a hash. Two runs produce the same
+// digest iff they perform the identical sequence of packet events at the
+// identical times — which is exactly the property the event-loop
+// optimisation work must preserve. tests/golden_trace_test.cpp compares
+// digests of canonical scenarios against values committed from the
+// pre-optimisation build; any behavioural drift shows up as a mismatch.
+//
+// When no recorder is installed the per-event cost is a single untaken
+// branch, so production runs pay nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+struct Packet;
+
+class TraceRecorder {
+ public:
+  // Event tags, one per packet transition:
+  //   'S' sender transmitted a segment
+  //   'E' bottleneck enqueued a packet
+  //   'D' bottleneck (or trace link) dropped a packet at enqueue
+  //   'L' packet left the bottleneck (delivered downstream)
+  //   'R' receiver accepted a data segment
+  //   'A' receiver emitted an ACK
+  void record(char tag, TimeNs now, uint64_t a, uint64_t b, uint64_t c) {
+    mix(static_cast<uint64_t>(static_cast<unsigned char>(tag)));
+    mix(static_cast<uint64_t>(now.ns()));
+    mix(a);
+    mix(b);
+    mix(c);
+    ++records_;
+  }
+
+  // Optional schedule-pattern capture: when set, every schedule_at is
+  // reported as its delay relative to the simulator clock. bench_simcore
+  // replays these delays through competing event-queue implementations so
+  // the microbenchmark workload matches a real scenario's schedule mix.
+  void collect_schedule_deltas(std::vector<int64_t>* sink) {
+    schedule_deltas_ = sink;
+  }
+  void on_schedule(TimeNs now, TimeNs at) {
+    if (schedule_deltas_) schedule_deltas_->push_back((at - now).ns());
+  }
+
+  uint64_t digest() const { return hash_; }
+  uint64_t records() const { return records_; }
+
+  // Digest rendered as 16 lowercase hex digits.
+  std::string digest_hex() const {
+    static const char* kHex = "0123456789abcdef";
+    std::string out(16, '0');
+    uint64_t h = hash_;
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<size_t>(i)] = kHex[h & 0xf];
+      h >>= 4;
+    }
+    return out;
+  }
+
+ private:
+  void mix(uint64_t v) {
+    // FNV-1a over the value's 8 little-endian bytes.
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= v & 0xff;
+      hash_ *= 1099511628211ull;
+      v >>= 8;
+    }
+  }
+
+  uint64_t hash_ = 14695981039346656037ull;
+  uint64_t records_ = 0;
+  std::vector<int64_t>* schedule_deltas_ = nullptr;
+};
+
+}  // namespace ccstarve

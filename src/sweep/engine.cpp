@@ -40,6 +40,12 @@ SweepRecord run_point(const SweepPoint& pt) {
   ScenarioConfig cfg;
   cfg.link_rate = Rate::mbps(pt.link_mbps);
   cfg.buffer_bytes = parse_buffer_bytes(pt.buffer, cfg.link_rate, pt.rtt_ms);
+  // Each worker thread keeps a warm event pool across the grid points it
+  // runs, so per-point Simulator construction reuses event nodes instead of
+  // re-carving them. Determinism is unaffected: the pool only recycles
+  // storage, never ordering state.
+  static thread_local EventPool tls_pool;
+  cfg.event_pool = &tls_pool;
   Scenario sc(std::move(cfg));
 
   std::vector<double> flow_rtt_ms;

@@ -1,0 +1,118 @@
+// Small-buffer move-only callable: the event loop's replacement for
+// std::function.
+//
+// A scheduled callback in this codebase is almost always a lambda capturing
+// `this` plus at most one Packet (~72 bytes). std::function heap-allocates
+// anything beyond its tiny SBO, which made every schedule→dispatch cycle
+// allocate and free; InlineFn stores callables up to `Capacity` bytes
+// inline (placement-new into the owner's storage, e.g. a pooled event
+// node), so the hot path never touches the allocator. Oversized or
+// throwing-move callables transparently fall back to the heap rather than
+// failing to compile, keeping the type usable for cold-path callers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ccstarve {
+
+template <typename Sig, std::size_t Capacity = 88>
+class InlineFn;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFn<R(Args...), Capacity> {
+ public:
+  // Does a callable of type F live in the inline buffer (vs the heap)?
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(std::decay_t<F>) <= Capacity &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  // Constructs a callable in place, destroying any current one first.
+  template <typename F>
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (stores_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* dst) {
+        Fn* fn = static_cast<Fn*>(s);
+        if (op == Op::kMove) ::new (dst) Fn(std::move(*fn));
+        fn->~Fn();
+      };
+    } else {
+      ptr() = new Fn(std::forward<F>(f));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (**static_cast<Fn**>(s))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* dst) {
+        Fn** slot = static_cast<Fn**>(s);
+        if (op == Op::kMove) {
+          *static_cast<Fn**>(dst) = *slot;  // steal the heap object
+        } else {
+          delete *slot;
+        }
+      };
+    }
+  }
+
+  void reset() {
+    if (manage_) manage_(Op::kDestroy, storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  enum class Op { kMove, kDestroy };
+  using Invoke = R (*)(void*, Args...);
+  using Manage = void (*)(Op, void* src, void* dst);
+
+  void*& ptr() { return *reinterpret_cast<void**>(storage_); }
+
+  void move_from(InlineFn& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_) manage_(Op::kMove, other.storage_, storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace ccstarve

@@ -1,0 +1,135 @@
+// Golden-trace regression suite.
+//
+// Every canonical scenario in tests/golden_scenarios.hpp is run with a
+// TraceRecorder installed; the digest of its full packet event stream
+// (send/enqueue/drop/deliver/receive/ack tuples with timestamps) must match
+// the value committed in tests/golden/<name>.digest. The committed values
+// were generated from the pre-optimisation event loop, so this suite proves
+// the timer-wheel core is behaviourally bit-identical to the heap-based one.
+//
+// To regenerate after an INTENTIONAL behaviour change:
+//   CCSTARVE_UPDATE_GOLDEN=1 ./tests/golden_trace_test
+// and commit the updated tests/golden/*.digest files with an explanation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "golden_scenarios.hpp"
+
+#ifndef CCSTARVE_GOLDEN_DIR
+#error "CCSTARVE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace ccstarve::golden {
+namespace {
+
+std::filesystem::path digest_path(const std::string& name) {
+  return std::filesystem::path(CCSTARVE_GOLDEN_DIR) / (name + ".digest");
+}
+
+struct StoredDigest {
+  std::string digest_hex;
+  uint64_t records = 0;
+};
+
+std::optional<StoredDigest> read_digest(const std::string& name) {
+  std::ifstream in(digest_path(name));
+  if (!in) return std::nullopt;
+  StoredDigest d;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  std::istringstream ls(line);
+  std::string k1, k2;
+  if (!(ls >> k1 >> k2)) return std::nullopt;
+  if (k1.rfind("fnv1a64=", 0) != 0 || k2.rfind("records=", 0) != 0) {
+    return std::nullopt;
+  }
+  d.digest_hex = k1.substr(8);
+  d.records = std::stoull(k2.substr(8));
+  return d;
+}
+
+void write_digest(const std::string& name, const GoldenResult& r) {
+  std::filesystem::create_directories(CCSTARVE_GOLDEN_DIR);
+  std::ofstream out(digest_path(name));
+  out << "fnv1a64=" << r.digest_hex << " records=" << r.records << "\n";
+}
+
+bool update_mode() {
+  const char* v = std::getenv("CCSTARVE_UPDATE_GOLDEN");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+class GoldenTrace : public ::testing::TestWithParam<GoldenSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, GoldenTrace, ::testing::ValuesIn(golden_specs()),
+    [](const ::testing::TestParamInfo<GoldenSpec>& info) {
+      return info.param.name;
+    });
+
+TEST_P(GoldenTrace, EventStreamMatchesCommittedDigest) {
+  const GoldenSpec& spec = GetParam();
+  const GoldenResult got = run_golden(spec);
+  ASSERT_GT(got.records, 100u)
+      << spec.name << ": scenario produced almost no packet events; the "
+      << "digest would not pin anything meaningful";
+
+  if (update_mode()) {
+    write_digest(spec.name, got);
+    SUCCEED() << "updated " << digest_path(spec.name);
+    return;
+  }
+
+  const auto want = read_digest(spec.name);
+  ASSERT_TRUE(want.has_value())
+      << "missing " << digest_path(spec.name)
+      << "; generate with CCSTARVE_UPDATE_GOLDEN=1";
+  EXPECT_EQ(got.digest_hex, want->digest_hex)
+      << spec.name << ": packet event stream diverged from the committed "
+      << "golden trace (" << got.records << " events vs " << want->records
+      << " committed). If the behaviour change is intentional, regenerate "
+      << "with CCSTARVE_UPDATE_GOLDEN=1 and justify it in the PR.";
+  EXPECT_EQ(got.records, want->records) << spec.name;
+}
+
+// The digest machinery itself must be order- and value-sensitive: two
+// different streams must (overwhelmingly) disagree, identical streams agree.
+TEST(TraceRecorder, DigestIsOrderAndValueSensitive) {
+  TraceRecorder a, b, c, d;
+  a.record('S', TimeNs::millis(1), 0, 100, 0);
+  a.record('E', TimeNs::millis(2), 0, 100, 1500);
+  b.record('S', TimeNs::millis(1), 0, 100, 0);
+  b.record('E', TimeNs::millis(2), 0, 100, 1500);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.records(), 2u);
+  // Swapped order.
+  c.record('E', TimeNs::millis(2), 0, 100, 1500);
+  c.record('S', TimeNs::millis(1), 0, 100, 0);
+  EXPECT_NE(a.digest(), c.digest());
+  // One field off by one.
+  d.record('S', TimeNs::millis(1), 0, 100, 0);
+  d.record('E', TimeNs::millis(2), 0, 101, 1500);
+  EXPECT_NE(a.digest(), d.digest());
+}
+
+// Two runs of the same spec in one process must agree (no hidden global
+// state), which is also what makes the committed digests reproducible.
+TEST(GoldenTraceHarness, RepeatedRunsAgree) {
+  GoldenSpec spec;
+  spec.name = "repeat_check";
+  spec.flow_set = "copa+vegas";
+  spec.duration_s = 2;
+  const GoldenResult a = run_golden(spec);
+  const GoldenResult b = run_golden(spec);
+  EXPECT_EQ(a.digest_hex, b.digest_hex);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.events, b.events);
+}
+
+}  // namespace
+}  // namespace ccstarve::golden

@@ -9,9 +9,11 @@
 //   * RTT sanity: no measured RTT below the propagation delay.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cc/allegro.hpp"
 #include "cc/bbr.hpp"
@@ -336,6 +338,152 @@ TEST_P(WorkConservation, BusyLinkServesAtFullRate) {
   // whole 12 s: output must be exactly the configured rate.
   const double served_mbps = static_cast<double>(sink.bytes) * 8 / 12.0 / 1e6;
   EXPECT_NEAR(served_mbps, 10.0, 0.2);
+}
+
+// --- Packet conservation: at any quiescent point, every packet offered to
+// the bottleneck is accounted for as delivered, dropped, or queued. ---
+class PacketConservation : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketConservation,
+                         ::testing::Values(2u, 12u, 22u, 32u));
+
+TEST_P(PacketConservation, OfferedEqualsDeliveredPlusDroppedPlusQueued) {
+  const uint64_t seed = GetParam();
+  Simulator sim;
+  struct Count final : PacketHandler {
+    uint64_t packets = 0;
+    void handle(Packet) override { ++packets; }
+  } sink;
+  BottleneckLink::Config lc;
+  lc.rate = Rate::mbps(8);
+  lc.buffer_bytes = 20 * kMss;  // small enough that overload drops
+  BottleneckLink link(sim, lc, sink);
+
+  Rng arrivals(seed);
+  TimeNs t = TimeNs::zero();
+  uint64_t offered = 0;
+  for (int burst = 0; burst < 40; ++burst) {
+    // Alternate overload bursts with idle gaps so the queue both fills
+    // (forcing drops) and fully drains (quiescent points) along the way.
+    const int n = static_cast<int>(arrivals.uniform(5, 60));
+    for (int i = 0; i < n; ++i) {
+      t += TimeNs::micros(arrivals.uniform(50, 600));
+      ++offered;
+      sim.schedule_at(t, [&link] { link.handle(Packet{}); });
+    }
+    t += TimeNs::millis(arrivals.uniform(20, 120));
+    const uint64_t offered_so_far = offered;
+    sim.schedule_at(t, [&, offered_so_far] {
+      EXPECT_EQ(offered_so_far, sink.packets + link.drops() +
+                                    link.queued_bytes() / kMss);
+    });
+  }
+  sim.run_until(t + TimeNs::seconds(2));  // long enough to drain fully
+  EXPECT_EQ(link.queued_bytes(), 0u);
+  EXPECT_EQ(offered, sink.packets + link.drops());
+  EXPECT_GT(link.drops(), 0u);  // the property was exercised under overload
+}
+
+// --- FIFO through the jitter box: for every policy draw in [0, D], packets
+// leave in arrival order and the audited delay stays within budget. ---
+class JitterFifo : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterFifo,
+                         ::testing::Values(7u, 17u, 27u, 37u));
+
+TEST_P(JitterFifo, UniformJitterNeverReordersAndKeepsBudget) {
+  const uint64_t seed = GetParam();
+  const TimeNs budget = TimeNs::millis(12);
+  Simulator sim;
+  struct InOrder final : PacketHandler {
+    Simulator* sim = nullptr;
+    uint64_t next_seq = 0;
+    TimeNs last_at = TimeNs::zero();
+    void handle(Packet p) override {
+      EXPECT_EQ(p.seq, next_seq);
+      next_seq = p.seq + kMss;
+      EXPECT_GE(sim->now(), last_at);
+      last_at = sim->now();
+    }
+  } sink;
+  sink.sim = &sim;
+  JitterBox box(sim,
+                std::make_unique<UniformJitter>(TimeNs::zero(), budget, seed),
+                budget, sink);
+
+  Rng arrivals(seed + 1000);
+  TimeNs t = TimeNs::zero();
+  const uint64_t kPackets = 3000;
+  for (uint64_t i = 0; i < kPackets; ++i) {
+    // Inter-arrival from sub-slot to multi-slot scales, so releases contend
+    // with each other and with the no-reorder clamp.
+    t += TimeNs::micros(arrivals.uniform(1, 2500));
+    Packet p;
+    p.seq = i * kMss;
+    sim.schedule_at(t, [&box, p] { box.handle(p); });
+  }
+  sim.run_until(t + TimeNs::seconds(1));
+  EXPECT_EQ(sink.next_seq, kPackets * kMss);
+  EXPECT_EQ(box.stats().packets, kPackets);
+  EXPECT_EQ(box.stats().budget_violations, 0u);
+  EXPECT_LE(box.stats().max_added, budget);
+}
+
+// --- Simulator clock and dispatch order across randomized schedules that
+// straddle every wheel structure: same-slot collisions, in-horizon slots,
+// beyond-horizon (far heap) outliers, and exact-timestamp duplicates. ---
+class SimulatorOrdering : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOrdering,
+                         ::testing::Values(5u, 15u, 25u, 35u, 45u));
+
+TEST_P(SimulatorOrdering, NowIsMonotoneAndOrderMatchesTimeThenInsertion) {
+  const uint64_t seed = GetParam();
+  Simulator sim;
+  Rng rng(seed);
+  struct Scheduled {
+    int64_t at_ns;
+    uint64_t id;  // insertion order
+  };
+  std::vector<Scheduled> expect;
+  std::vector<uint64_t> fired;
+  TimeNs last_now = TimeNs::zero();
+  uint64_t id = 0;
+
+  auto dispatch = [&](uint64_t my_id) {
+    EXPECT_GE(sim.now(), last_now);  // the clock never runs backwards
+    last_now = sim.now();
+    fired.push_back(my_id);
+  };
+  // Delay mix: heavy sub-horizon traffic plus RTO-scale outliers (far
+  // heap), duplicates of the exact same timestamp (seq tie-break), and
+  // zero delays (same-tick insertion during drain).
+  auto random_delay = [&rng]() -> TimeNs {
+    const double pick = rng.uniform(0, 1);
+    if (pick < 0.05) return TimeNs::zero();
+    if (pick < 0.75) return TimeNs::micros(rng.uniform(1, 30000));
+    if (pick < 0.95) return TimeNs::millis(rng.uniform(30, 70));
+    return TimeNs::millis(rng.uniform(70, 900));
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const TimeNs delay = i % 97 == 0 ? TimeNs::millis(40)  // exact dups
+                                     : random_delay();
+    const uint64_t my_id = id++;
+    expect.push_back({delay.ns(), my_id});
+    sim.schedule_in(delay, [&dispatch, my_id] { dispatch(my_id); });
+  }
+  sim.run_until(TimeNs::seconds(2));
+  EXPECT_EQ(sim.now(), TimeNs::seconds(2));
+  ASSERT_EQ(fired.size(), expect.size());
+  // Reference order: (time, insertion sequence), exactly what a global
+  // priority queue would produce.
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Scheduled& a, const Scheduled& b) {
+                     return a.at_ns < b.at_ns;
+                   });
+  for (size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(fired[i], expect[i].id) << "position " << i;
+  }
 }
 
 }  // namespace

@@ -218,27 +218,50 @@ TEST(ParallelFor, CoversAllIndicesAndPropagatesErrors) {
       std::runtime_error);
 }
 
-// Acceptance: --jobs=1 and --jobs=N produce byte-identical JSONL records
-// for the same grid.
-TEST(SweepEngine, ParallelMatchesSerialByteForByte) {
+// Acceptance: every --jobs level produces byte-identical JSONL records for
+// the same grid. Exercised at 1/2/8 so the per-worker-thread event pools
+// (thread_local in run_point) are covered at under-, exactly-, and over-
+// subscribed thread counts.
+TEST(SweepEngine, JobLevelsOneTwoEightMatchByteForByte) {
   const auto points = small_grid().expand();
   SweepOptions serial;
   serial.jobs = 1;
-  SweepOptions parallel;
-  parallel.jobs = 3;
   const auto a = run_sweep(points, serial);
-  const auto b = run_sweep(points, parallel);
   ASSERT_EQ(a.records.size(), points.size());
-  ASSERT_EQ(a.lines.size(), b.lines.size());
-  for (size_t i = 0; i < a.lines.size(); ++i) {
-    EXPECT_EQ(a.lines[i], b.lines[i]) << "point " << points[i].key();
-  }
   EXPECT_EQ(a.stats.simulated, points.size());
-  EXPECT_EQ(b.stats.simulated, points.size());
-  std::ostringstream ja, jb;
+  std::ostringstream ja;
   write_jsonl(ja, a);
-  write_jsonl(jb, b);
-  EXPECT_EQ(ja.str(), jb.str());
+  for (size_t jobs : {2u, 8u}) {
+    SweepOptions parallel;
+    parallel.jobs = jobs;
+    const auto b = run_sweep(points, parallel);
+    ASSERT_EQ(a.lines.size(), b.lines.size()) << "jobs=" << jobs;
+    for (size_t i = 0; i < a.lines.size(); ++i) {
+      EXPECT_EQ(a.lines[i], b.lines[i])
+          << "jobs=" << jobs << " point " << points[i].key();
+    }
+    EXPECT_EQ(b.stats.simulated, points.size());
+    std::ostringstream jb;
+    write_jsonl(jb, b);
+    EXPECT_EQ(ja.str(), jb.str()) << "jobs=" << jobs;
+  }
+}
+
+// Two consecutive in-process runs are byte-identical too: the reused
+// thread-local event pools (warm free lists, non-zero recycled storage)
+// must not leak any state that affects results.
+TEST(SweepEngine, RepeatedInProcessRunsAreByteIdentical) {
+  const auto points = small_grid().expand();
+  SweepOptions opt;
+  opt.jobs = 2;
+  const auto first = run_sweep(points, opt);
+  const auto second = run_sweep(points, opt);
+  ASSERT_EQ(first.lines.size(), second.lines.size());
+  EXPECT_EQ(first.lines, second.lines);
+  std::ostringstream j1, j2;
+  write_jsonl(j1, first);
+  write_jsonl(j2, second);
+  EXPECT_EQ(j1.str(), j2.str());
 }
 
 // Acceptance: a repeated invocation against a warm cache re-simulates zero

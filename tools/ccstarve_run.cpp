@@ -15,6 +15,9 @@
 //   --buffer=<pkts|Xbdp>     drop-tail buffer           (default: unbounded)
 //   --ecn=<threshold pkts>   threshold ECN marking      (default: off)
 //   --csv=<prefix>           write <prefix>.flowN.{rtt,rate}.csv
+//   --trace-digest           print the golden-trace hash of the run (an
+//                            order-sensitive digest of every packet event;
+//                            equal digests <=> behaviourally identical runs)
 //   --flow=<cca>[:opt=val]*  add a flow; repeatable. Options:
 //       start=<s>        start time
 //       rtt=<ms>         per-flow propagation RTT
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
   double link_mbps = 60, rtt_ms = 60, duration_s = 60;
   std::string buffer_spec, csv_prefix;
   double ecn_threshold_pkts = 0;
+  bool trace_digest = false;
   std::vector<sweep::FlowArgs> flows;
 
   try {
@@ -93,6 +97,8 @@ int main(int argc, char** argv) {
         csv_prefix = *v;
       } else if (auto v = val("--flow=")) {
         flows.push_back(sweep::parse_flow(*v));
+      } else if (arg == "--trace-digest") {
+        trace_digest = true;
       } else if (arg == "--help" || arg == "-h") {
         std::printf("see the header comment of tools/ccstarve_run.cpp\n");
         return 0;
@@ -130,6 +136,9 @@ int main(int argc, char** argv) {
       sc.add_flow(std::move(spec));
     }
 
+    TraceRecorder recorder;
+    if (trace_digest) sc.sim().set_tracer(&recorder);
+
     sc.run_until(TimeNs::seconds(duration_s));
 
     Table t({"flow", "cca", "throughput Mbit/s", "mean RTT ms", "retx",
@@ -157,6 +166,11 @@ int main(int argc, char** argv) {
     if (!csv_prefix.empty()) {
       std::printf("CSV series written to %s.flowN.{rtt,delivered}.csv\n",
                   csv_prefix.c_str());
+    }
+    if (trace_digest) {
+      std::printf("trace-digest: fnv1a64=%s records=%llu\n",
+                  recorder.digest_hex().c_str(),
+                  static_cast<unsigned long long>(recorder.records()));
     }
     return 0;
   } catch (const sweep::SpecError& e) {
