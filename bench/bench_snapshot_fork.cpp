@@ -1,0 +1,187 @@
+// Snapshot/fork prefix-sharing benchmark (DESIGN.md §8).
+//
+// Measures the two consumers of Scenario::snapshot()/fork() against their
+// cold-run equivalents, both single-threaded so wall-clock tracks total
+// simulation work:
+//
+//   * Sweep: N jitter-onset variants of a two-flow Copa scenario — cold
+//     runs every point from t=0; shared runs one warm-up stem, snapshots
+//     it just before the earliest onset, and forks every point from it.
+//   * Adversary search: search_jitter_adversary with a late onset — cold
+//     re-simulates the jitter-free warm-up once per schedule; shared forks
+//     every schedule from one converged two-flow equilibrium.
+//
+// Both paths must produce identical results (the sweep records are
+// compared byte-for-byte here and the run aborts on a mismatch), so the
+// speedup is pure wall-clock, not an approximation. Acceptance bar:
+// >= 1.5x on the sweep workload.
+//
+// Usage: bench_snapshot_fork [--quick] [--out PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/jitter_search.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/spec_parse.hpp"
+
+namespace ccstarve {
+namespace {
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct SweepBenchResult {
+  size_t points = 0;
+  double duration_s = 0;
+  double cold_wall_s = 0;
+  double shared_wall_s = 0;
+  size_t forked = 0;
+  bool identical = false;
+  double speedup() const { return cold_wall_s / shared_wall_s; }
+};
+
+// N onset variants sharing one warm-up: jitter "step:8,<onset>" with
+// onsets spread over the last third of the run, plus the jitter-free
+// baseline point.
+SweepBenchResult bench_sweep(bool quick) {
+  sweep::SweepGrid grid;
+  grid.flow_sets = {"copa+copa"};
+  grid.link_mbps = {48};
+  grid.rtt_ms = {40};
+  grid.duration_s = {quick ? 12.0 : 60.0};
+  const double dur = grid.duration_s[0];
+  const int variants = quick ? 7 : 31;
+  grid.jitter = {"none"};
+  for (int i = 0; i < variants; ++i) {
+    // Onsets in [2/3, ~1) of the duration; two decimals keeps the spec
+    // strings canonical.
+    const double onset = dur * (2.0 / 3.0) + i * (dur / (3.2 * variants));
+    char spec[32];
+    std::snprintf(spec, sizeof spec, "step:8,%.2f", onset);
+    grid.jitter.push_back(spec);
+  }
+  const auto points = grid.expand();
+
+  sweep::SweepOptions opt;
+  opt.jobs = 1;
+  SweepBenchResult r;
+  r.points = points.size();
+  r.duration_s = dur;
+
+  auto start = std::chrono::steady_clock::now();
+  const auto cold = sweep::run_sweep(points, opt);
+  r.cold_wall_s = wall_seconds_since(start);
+
+  opt.share_prefix = true;
+  start = std::chrono::steady_clock::now();
+  const auto shared = sweep::run_sweep(points, opt);
+  r.shared_wall_s = wall_seconds_since(start);
+  r.forked = shared.stats.forked;
+  r.identical = cold.lines == shared.lines;
+  return r;
+}
+
+struct SearchBenchResult {
+  size_t schedules = 0;
+  double cold_wall_s = 0;
+  double shared_wall_s = 0;
+  bool identical = false;
+  double speedup() const { return cold_wall_s / shared_wall_s; }
+};
+
+SearchBenchResult bench_search(bool quick) {
+  JitterSearchConfig cfg;
+  cfg.link_rate = Rate::mbps(24);
+  cfg.min_rtt = TimeNs::millis(40);
+  cfg.d = TimeNs::millis(8);
+  cfg.duration = TimeNs::seconds(quick ? 12 : 60);
+  cfg.onset = cfg.duration * 0.8;
+  const CcaMaker maker = [] { return sweep::make_cca("copa", 1007); };
+
+  SearchBenchResult r;
+  auto start = std::chrono::steady_clock::now();
+  cfg.share_warmup = false;
+  const JitterSearchResult cold = search_jitter_adversary(maker, cfg);
+  r.cold_wall_s = wall_seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  cfg.share_warmup = true;
+  const JitterSearchResult shared = search_jitter_adversary(maker, cfg);
+  r.shared_wall_s = wall_seconds_since(start);
+
+  r.schedules = cold.outcomes.size();
+  r.identical = cold.outcomes.size() == shared.outcomes.size();
+  for (size_t i = 0; r.identical && i < cold.outcomes.size(); ++i) {
+    r.identical = cold.outcomes[i].utilization ==
+                      shared.outcomes[i].utilization &&
+                  cold.outcomes[i].ratio == shared.outcomes[i].ratio;
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace ccstarve
+
+int main(int argc, char** argv) {
+  using namespace ccstarve;
+  bool quick = false;
+  std::string out = "BENCH_snapfork.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const SweepBenchResult sw = bench_sweep(quick);
+  std::printf(
+      "sweep    %3zu points x %4.0f sim-s: cold %6.2f s  shared %6.2f s "
+      "(%zu forked)  speedup %.2fx  %s\n",
+      sw.points, sw.duration_s, sw.cold_wall_s, sw.shared_wall_s, sw.forked,
+      sw.speedup(), sw.identical ? "records identical" : "RECORDS DIFFER");
+
+  const SearchBenchResult se = bench_search(quick);
+  std::printf(
+      "search   %3zu schedules:           cold %6.2f s  shared %6.2f s "
+      "              speedup %.2fx  %s\n",
+      se.schedules, se.cold_wall_s, se.shared_wall_s, se.speedup(),
+      se.identical ? "outcomes identical" : "OUTCOMES DIFFER");
+
+  std::ofstream os(out);
+  os << "{\n  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"sweep\": {\"points\": " << sw.points
+     << ", \"duration_s\": " << sw.duration_s
+     << ", \"forked\": " << sw.forked
+     << ", \"cold_wall_s\": " << sw.cold_wall_s
+     << ", \"shared_wall_s\": " << sw.shared_wall_s
+     << ", \"speedup\": " << sw.speedup()
+     << ", \"records_identical\": " << (sw.identical ? "true" : "false")
+     << "},\n"
+     << "  \"search\": {\"schedules\": " << se.schedules
+     << ", \"cold_wall_s\": " << se.cold_wall_s
+     << ", \"shared_wall_s\": " << se.shared_wall_s
+     << ", \"speedup\": " << se.speedup()
+     << ", \"outcomes_identical\": " << (se.identical ? "true" : "false")
+     << "}\n}\n";
+  os.close();
+  std::printf("wrote %s\n", out.c_str());
+
+  if (!sw.identical || !se.identical) {
+    std::fprintf(stderr, "FAIL: shared-prefix results diverge from cold\n");
+    return 1;
+  }
+  return 0;
+}

@@ -42,6 +42,9 @@ class Allegro final : public Cca {
   uint64_t cwnd_bytes() const override { return kNoCwndLimit; }
   Rate pacing_rate() const override { return sending_rate_; }
   std::string name() const override { return "pcc-allegro"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<Allegro>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
   Rate base_rate() const { return base_rate_; }

@@ -51,6 +51,9 @@ class Bbr final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override;
   std::string name() const override { return "bbr"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<Bbr>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
   enum class State { kStartup, kDrain, kProbeBw, kProbeRtt };

@@ -76,6 +76,13 @@ class Cca {
   // Default is correct for CCAs that hold no absolute times.
   virtual void rebase_time(TimeNs /*delta*/) {}
 
+  // Value copy of the algorithm including all live state — filters, cwnd/
+  // rate, RTT estimators, monitor intervals, RNGs. The scenario snapshot
+  // engine (sim/snapshot.hpp) relies on a clone continuing *bit-identically*
+  // to the original; every CCA here holds only value-type state, so
+  // implementations are one-line copy-constructor wrappers.
+  virtual std::unique_ptr<Cca> clone() const = 0;
+
   // Effectively-unbounded cwnd for rate-based CCAs.
   static constexpr uint64_t kNoCwndLimit = uint64_t{1} << 48;
 };

@@ -40,6 +40,9 @@ class Copa final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override;
   std::string name() const override { return "copa"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<Copa>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
   double delta() const { return delta_; }

@@ -29,6 +29,9 @@ class Cubic final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return Rate::infinite(); }
   std::string name() const override { return "cubic"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<Cubic>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
   double cwnd_pkts() const { return cwnd_pkts_; }

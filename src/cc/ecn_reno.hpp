@@ -35,6 +35,9 @@ class EcnReno final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return Rate::infinite(); }
   std::string name() const override { return "ecn-reno"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<EcnReno>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
   uint64_t ecn_backoffs() const { return ecn_backoffs_; }

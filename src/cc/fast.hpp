@@ -28,6 +28,9 @@ class FastTcp final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return Rate::infinite(); }
   std::string name() const override { return "fast"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<FastTcp>(*this);
+  }
 
  private:
   Params params_;

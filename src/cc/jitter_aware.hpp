@@ -41,6 +41,9 @@ class JitterAware final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return mu_; }
   std::string name() const override { return "jitter-aware"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<JitterAware>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
   // Eq. 2: target rate for a measured RTT d.

@@ -34,6 +34,9 @@ class Ledbat final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return Rate::infinite(); }
   std::string name() const override { return "ledbat"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<Ledbat>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
   TimeNs base_delay_estimate() const {

@@ -23,6 +23,9 @@ class ConstCwnd final : public Cca {
   }
   Rate pacing_rate() const override { return Rate::infinite(); }
   std::string name() const override { return "const-cwnd"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<ConstCwnd>(*this);
+  }
 
  private:
   double cwnd_pkts_;
@@ -47,6 +50,9 @@ class DelayAimd final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return Rate::infinite(); }
   std::string name() const override { return "delay-aimd"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<DelayAimd>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
  private:

@@ -25,6 +25,9 @@ class NewReno final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return Rate::infinite(); }
   std::string name() const override { return "newreno"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<NewReno>(*this);
+  }
 
   double cwnd_pkts() const { return cwnd_pkts_; }
   bool in_slow_start() const { return cwnd_pkts_ < ssthresh_pkts_; }

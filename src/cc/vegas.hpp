@@ -31,6 +31,9 @@ class Vegas final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return Rate::infinite(); }
   std::string name() const override { return "vegas"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<Vegas>(*this);
+  }
 
   double base_rtt_seconds() const { return base_rtt_.to_seconds(); }
   // Current estimate of packets queued at the bottleneck.

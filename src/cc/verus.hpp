@@ -46,6 +46,9 @@ class Verus final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return Rate::infinite(); }
   std::string name() const override { return "verus"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<Verus>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
   double target_delay_seconds() const { return target_delay_s_; }

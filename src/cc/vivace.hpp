@@ -43,6 +43,9 @@ class Vivace final : public Cca {
   uint64_t cwnd_bytes() const override;
   Rate pacing_rate() const override { return sending_rate_; }
   std::string name() const override { return "pcc-vivace"; }
+  std::unique_ptr<Cca> clone() const override {
+    return std::make_unique<Vivace>(*this);
+  }
   void rebase_time(TimeNs delta) override;
 
   Rate base_rate() const { return base_rate_; }

@@ -58,25 +58,68 @@ std::vector<Schedule> build_schedules(const JitterSearchConfig cfg) {
 
 }  // namespace
 
+namespace {
+
+// Applies the configured onset: before cfg.onset the adversary is
+// behaviourally absent (DelayedOnsetJitter passes packets through without
+// consulting the inner policy, so its state at the onset equals a fresh
+// instance — the property the shared warm-up relies on).
+std::unique_ptr<JitterPolicy> with_onset(const JitterSearchConfig& cfg,
+                                         std::unique_ptr<JitterPolicy> p) {
+  if (cfg.onset == TimeNs::zero()) return p;
+  return std::make_unique<DelayedOnsetJitter>(cfg.onset, std::move(p));
+}
+
+std::unique_ptr<Scenario> build_two_flow(const CcaMaker& maker,
+                                         const JitterSearchConfig& cfg,
+                                         std::unique_ptr<JitterPolicy> adv) {
+  ScenarioConfig sc;
+  sc.link_rate = cfg.link_rate;
+  sc.jitter_budget = cfg.d;
+  auto scenario = std::make_unique<Scenario>(std::move(sc));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec spec;
+    spec.cca = maker();
+    spec.min_rtt = cfg.min_rtt;
+    if (i == 0) spec.ack_jitter = std::move(adv);
+    scenario->add_flow(std::move(spec));
+  }
+  return scenario;
+}
+
+}  // namespace
+
 JitterSearchResult search_jitter_adversary(const CcaMaker& maker,
                                            const JitterSearchConfig& cfg) {
   JitterSearchResult result;
+
+  const bool fork_schedules =
+      cfg.share_warmup && cfg.onset > TimeNs::zero() &&
+      cfg.onset < cfg.duration;
+  ScenarioSnapshot warm;
+  if (fork_schedules) {
+    // One converged equilibrium, shared by every schedule: the schedules
+    // are inert before the onset, so a jitter-free stem is exact.
+    auto stem = build_two_flow(maker, cfg, nullptr);
+    stem->run_until(cfg.onset - TimeNs::nanos(1));
+    warm = stem->snapshot();
+  }
+
   for (const Schedule& sched : build_schedules(cfg)) {
-    ScenarioConfig sc;
-    sc.link_rate = cfg.link_rate;
-    sc.jitter_budget = cfg.d;
-    Scenario scenario(std::move(sc));
-    for (int i = 0; i < 2; ++i) {
-      FlowSpec spec;
-      spec.cca = maker();
-      spec.min_rtt = cfg.min_rtt;
-      if (i == 0) spec.ack_jitter = sched.make();
-      scenario.add_flow(std::move(spec));
+    std::unique_ptr<Scenario> scenario;
+    if (fork_schedules) {
+      ForkOptions fo;
+      fo.flows.resize(1);
+      fo.flows[0].replace_ack_jitter = true;
+      fo.flows[0].ack_jitter = with_onset(cfg, sched.make());
+      scenario = Scenario::fork(warm, std::move(fo));
+    } else {
+      scenario = build_two_flow(maker, cfg, with_onset(cfg, sched.make()));
     }
-    scenario.run_until(cfg.duration);
+    scenario->run_until(cfg.duration);
 
     const FairnessReport rep =
-        measure_fairness(scenario, cfg.duration * 0.4, cfg.duration);
+        measure_fairness(*scenario, cfg.duration * 0.4, cfg.duration);
     ScheduleOutcome outcome;
     outcome.name = sched.name;
     outcome.utilization = rep.utilization;

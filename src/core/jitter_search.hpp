@@ -27,6 +27,16 @@ struct JitterSearchConfig {
   double s = 4.0;  // fairness ceiling to check
   int random_schedules = 4;
   uint64_t seed = 1234;
+  // Adversary onset: every schedule is wrapped in a DelayedOnsetJitter so
+  // it starts perturbing at this sim time — the paper's constructions
+  // attack an already-converged equilibrium, not the slow-start phase.
+  // Zero (the default) keeps the legacy immediate-onset behaviour.
+  TimeNs onset = TimeNs::zero();
+  // With a non-zero onset, run the jitter-free two-flow warm-up once,
+  // snapshot it just before the onset, and fork every schedule from that
+  // snapshot instead of cold-running each (DESIGN.md §8). Outcomes are
+  // identical either way; this only removes the repeated warm-ups.
+  bool share_warmup = false;
 };
 
 struct ScheduleOutcome {

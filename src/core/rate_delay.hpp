@@ -25,8 +25,10 @@ struct RateDelaySweepConfig {
   TimeNs duration = TimeNs::seconds(60);
   double trim_percent = 1.0;
   // Worker threads for the per-point solo runs (each owns its Scenario, so
-  // results are identical to a serial sweep); 0 = one per hardware thread.
-  unsigned jobs = 1;
+  // results are identical to a serial sweep); 0 = one per hardware thread,
+  // the default here and in sweep::SweepOptions::jobs — every parallel
+  // knob in this codebase uses the machine unless told otherwise.
+  unsigned jobs = 0;
 };
 
 // One solo run per grid point; points run across `jobs` workers, so with

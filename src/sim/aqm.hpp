@@ -29,6 +29,9 @@ class AqmPolicy {
   // Decide whether to CE-mark a packet that arrives with the queue holding
   // `queued_bytes` (excluding this packet).
   virtual bool should_mark(uint64_t queued_bytes) = 0;
+  // Value copy of the policy including its live state (EWMA, RNG), so a
+  // forked scenario continues the same marking sequence (sim/snapshot.hpp).
+  virtual std::unique_ptr<AqmPolicy> clone() const = 0;
 };
 
 // Mark everything above a fixed backlog threshold.
@@ -38,6 +41,9 @@ class ThresholdEcn final : public AqmPolicy {
       : threshold_bytes_(threshold_bytes) {}
   bool should_mark(uint64_t queued_bytes) override {
     return queued_bytes >= threshold_bytes_;
+  }
+  std::unique_ptr<AqmPolicy> clone() const override {
+    return std::make_unique<ThresholdEcn>(*this);
   }
 
  private:
@@ -69,6 +75,10 @@ class RedEcn final : public AqmPolicy {
   }
 
   double average_queue_bytes() const { return avg_; }
+
+  std::unique_ptr<AqmPolicy> clone() const override {
+    return std::make_unique<RedEcn>(*this);
+  }
 
  private:
   Params params_;

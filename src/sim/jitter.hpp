@@ -14,6 +14,7 @@
 
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
 #include "util/rng.hpp"
 #include "util/series.hpp"
 #include "util/time.hpp"
@@ -26,12 +27,20 @@ class JitterPolicy {
   // Absolute release time for a packet arriving now. The box clamps this to
   // `arrival` from below and enforces no-reordering.
   virtual TimeNs release_at(const Packet& pkt, TimeNs arrival) = 0;
+  // Value copy including live state (RNGs, last-arrival trackers), so a
+  // forked scenario continues the exact release sequence a cold run would
+  // have produced (sim/snapshot.hpp). Every policy holds only value-type
+  // state, so implementations are one-line copy-constructor wrappers.
+  virtual std::unique_ptr<JitterPolicy> clone() const = 0;
 };
 
 // eta(t) = 0: the ideal path.
 class ZeroJitter final : public JitterPolicy {
  public:
   TimeNs release_at(const Packet&, TimeNs arrival) override { return arrival; }
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<ZeroJitter>(*this);
+  }
 };
 
 // eta(t) = c for every packet (e.g. a constant processing overhead).
@@ -40,6 +49,9 @@ class ConstantJitter final : public JitterPolicy {
   explicit ConstantJitter(TimeNs c) : c_(c) {}
   TimeNs release_at(const Packet&, TimeNs arrival) override {
     return arrival + c_;
+  }
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<ConstantJitter>(*this);
   }
 
  private:
@@ -72,6 +84,9 @@ class AllButOneJitter final : public JitterPolicy {
   }
 
   bool fired() const { return exempted_; }
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<AllButOneJitter>(*this);
+  }
 
  private:
   TimeNs c_;
@@ -89,6 +104,9 @@ class StepJitter final : public JitterPolicy {
   TimeNs release_at(const Packet&, TimeNs arrival) override {
     return arrival < start_ ? arrival : arrival + c_;
   }
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<StepJitter>(*this);
+  }
 
  private:
   TimeNs c_;
@@ -105,6 +123,9 @@ class UniformJitter final : public JitterPolicy {
            TimeNs::nanos(static_cast<int64_t>(rng_.uniform(
                static_cast<double>(lo_.ns()), static_cast<double>(hi_.ns()))));
   }
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<UniformJitter>(*this);
+  }
 
  private:
   TimeNs lo_, hi_;
@@ -119,6 +140,9 @@ class PeriodicReleaseJitter final : public JitterPolicy {
   explicit PeriodicReleaseJitter(TimeNs period, TimeNs phase = TimeNs::zero())
       : period_(period), phase_(phase) {}
   TimeNs release_at(const Packet&, TimeNs arrival) override;
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<PeriodicReleaseJitter>(*this);
+  }
 
  private:
   TimeNs period_, phase_;
@@ -132,6 +156,9 @@ class OnOffJitter final : public JitterPolicy {
   OnOffJitter(TimeNs high, TimeNs on_time, TimeNs off_time)
       : high_(high), on_time_(on_time), off_time_(off_time) {}
   TimeNs release_at(const Packet&, TimeNs arrival) override;
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<OnOffJitter>(*this);
+  }
 
  private:
   TimeNs high_, on_time_, off_time_;
@@ -145,6 +172,9 @@ class TrajectoryJitter final : public JitterPolicy {
   explicit TrajectoryJitter(TimeSeries eta) : eta_(std::move(eta)) {}
   TimeNs release_at(const Packet&, TimeNs arrival) override {
     return arrival + TimeNs::seconds(eta_.at(arrival));
+  }
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<TrajectoryJitter>(*this);
   }
 
  private:
@@ -177,10 +207,36 @@ class DelayEmulationJitter final : public JitterPolicy {
     if (span <= 0) return target_.at(send_time);
     return target_.at(TimeNs::nanos(send_time.ns() % span));
   }
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<DelayEmulationJitter>(*this);
+  }
 
  private:
   TimeSeries target_;
   bool loop_;
+};
+
+// Identity until `onset`, then delegates to an inner policy. Because the
+// inner policy is never consulted before onset, its state at onset equals
+// its freshly-constructed state — which is what lets the jitter-adversary
+// search run one clean warm-up, snapshot it, and fork every candidate
+// schedule from the same converged equilibrium (core/jitter_search.cpp).
+class DelayedOnsetJitter final : public JitterPolicy {
+ public:
+  DelayedOnsetJitter(TimeNs onset, std::unique_ptr<JitterPolicy> inner)
+      : onset_(onset), inner_(std::move(inner)) {}
+  TimeNs release_at(const Packet& pkt, TimeNs arrival) override {
+    if (arrival < onset_ || !inner_) return arrival;
+    return inner_->release_at(pkt, arrival);
+  }
+  std::unique_ptr<JitterPolicy> clone() const override {
+    return std::make_unique<DelayedOnsetJitter>(
+        onset_, inner_ ? inner_->clone() : nullptr);
+  }
+
+ private:
+  TimeNs onset_;
+  std::unique_ptr<JitterPolicy> inner_;
 };
 
 // The box itself: applies a policy, forbids reordering, audits the added
@@ -217,17 +273,59 @@ class JitterBox final : public PacketHandler {
     stats_.max_added = ccstarve::max(stats_.max_added, added);
     if (added > budget_) ++stats_.budget_violations;
 
-    sim_.schedule_at(release, [next = next_, pkt] { next.handle(pkt); });
+    schedule_release(release, pkt);
   }
 
   const Stats& stats() const { return stats_; }
 
+  // --- snapshot/fork hooks (sim/snapshot.hpp) ---
+
+  struct State {
+    TimeNs last_release = TimeNs::zero();
+    Stats stats;
+  };
+
+  // The policy is captured separately (see Scenario::snapshot), because a
+  // fork may substitute a divergent policy for the snapshot's.
+  std::unique_ptr<JitterPolicy> clone_policy() const {
+    return policy_->clone();
+  }
+
+  State capture(std::vector<PendingEvent>* events, PendingEvent::Kind kind,
+                uint32_t flow) const {
+    capture_in_flight(inflight_, kind, flow, events);
+    return State{last_release_, stats_};
+  }
+
+  void restore(const State& st) {
+    last_release_ = st.last_release;
+    stats_ = st.stats;
+  }
+
+  // Held packets re-enter in ascending (at, seq) order — the box is FIFO,
+  // so this rebuilds the in-flight deque in release order.
+  void restore_in_flight(const PendingEvent& e) {
+    schedule_release(e.at, e.pkt);
+  }
+
  private:
+  void schedule_release(TimeNs release, const Packet& pkt) {
+    InFlightPacket rec;
+    rec.at = release;
+    rec.pkt = pkt;
+    rec.seq = sim_.schedule_at(release, [this, pkt] {
+      inflight_.pop_front();
+      next_.handle(pkt);
+    });
+    inflight_.push_back(rec);
+  }
+
   Simulator& sim_;
   std::unique_ptr<JitterPolicy> policy_;
   TimeNs budget_;
   PacketSink next_;
   TimeNs last_release_ = TimeNs::zero();
+  InFlightQueue inflight_;
   Stats stats_;
 };
 

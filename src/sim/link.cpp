@@ -1,5 +1,7 @@
 #include "sim/link.hpp"
 
+#include <cassert>
+
 namespace ccstarve {
 
 void BottleneckLink::prefill(uint64_t bytes) {
@@ -28,8 +30,55 @@ void BottleneckLink::start_service() {
   busy_ = true;
   const uint64_t epoch = epoch_;
   const TimeNs tx = rate_.transmission_time(queue_.front().bytes);
-  sim_.schedule_in(tx, [this, epoch] {
+  service_at_ = sim_.now() + tx;
+  service_seq_ = sim_.schedule_in(tx, [this, epoch] {
     if (epoch != epoch_) return;  // cancelled by set_rate
+    finish_service();
+  });
+}
+
+BottleneckLink::State BottleneckLink::capture(
+    std::vector<PendingEvent>* events) const {
+  State st;
+  st.rate = rate_;
+  st.queue = queue_;
+  st.queued_bytes = queued_bytes_;
+  st.busy = busy_;
+  st.drops = drops_;
+  st.delivered_packets = delivered_packets_;
+  st.aqm = aqm_ ? aqm_->clone() : nullptr;
+  st.ce_marks = ce_marks_;
+  st.epoch = epoch_;
+  st.service_at = service_at_;
+  if (busy_) {
+    PendingEvent e;
+    e.at = service_at_;
+    e.seq = service_seq_;
+    e.kind = PendingEvent::Kind::kLinkService;
+    events->push_back(e);
+  }
+  return st;
+}
+
+void BottleneckLink::restore(const State& st) {
+  rate_ = st.rate;
+  queue_ = st.queue;
+  queued_bytes_ = st.queued_bytes;
+  busy_ = st.busy;
+  drops_ = st.drops;
+  delivered_packets_ = st.delivered_packets;
+  aqm_ = st.aqm ? st.aqm->clone() : nullptr;
+  ce_marks_ = st.ce_marks;
+  epoch_ = st.epoch;
+  service_at_ = st.service_at;
+}
+
+void BottleneckLink::restore_service(const PendingEvent& e) {
+  assert(busy_ && !queue_.empty());
+  const uint64_t epoch = epoch_;
+  service_at_ = e.at;
+  service_seq_ = sim_.schedule_at(e.at, [this, epoch] {
+    if (epoch != epoch_) return;
     finish_service();
   });
 }

@@ -24,6 +24,7 @@
 #include "sim/aqm.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
 #include "util/rate.hpp"
 #include "util/series.hpp"
 #include "util/time.hpp"
@@ -93,6 +94,26 @@ class BottleneckLink final : public PacketHandler {
     drop_listener_ = std::move(fn);
   }
 
+  // --- snapshot/fork hooks (sim/snapshot.hpp) ---
+
+  struct State {
+    Rate rate = Rate::zero();
+    std::deque<Packet> queue;
+    uint64_t queued_bytes = 0;
+    bool busy = false;
+    uint64_t drops = 0;
+    uint64_t delivered_packets = 0;
+    std::unique_ptr<AqmPolicy> aqm;
+    uint64_t ce_marks = 0;
+    uint64_t epoch = 0;
+    TimeNs service_at = TimeNs::zero();
+  };
+
+  State capture(std::vector<PendingEvent>* events) const;
+  void restore(const State& st);
+  // Re-schedules the head-of-line completion captured at snapshot time.
+  void restore_service(const PendingEvent& e);
+
  private:
   void start_service();
   void finish_service();
@@ -109,6 +130,10 @@ class BottleneckLink final : public PacketHandler {
   std::unique_ptr<AqmPolicy> aqm_;
   uint64_t ce_marks_ = 0;
   uint64_t epoch_ = 0;  // invalidates in-flight service events after set_rate
+  // When busy_, the pending completion of the head packet (the snapshot
+  // captures this instead of the scheduled closure).
+  TimeNs service_at_ = TimeNs::zero();
+  uint64_t service_seq_ = 0;
   std::function<void(const Packet&)> drop_listener_;
 };
 
@@ -119,15 +144,37 @@ class PropagationDelay final : public PacketHandler {
       : sim_(sim), delay_(delay), next_(as_sink(next)) {}
 
   void handle(Packet pkt) override {
-    sim_.schedule_in(delay_, [next = next_, pkt] { next.handle(pkt); });
+    schedule_release(sim_.now() + delay_, pkt);
   }
 
   TimeNs delay() const { return delay_; }
 
+  // --- snapshot/fork hooks (sim/snapshot.hpp) ---
+
+  void capture(std::vector<PendingEvent>* events, uint32_t flow) const {
+    capture_in_flight(inflight_, PendingEvent::Kind::kPropDeliver, flow,
+                      events);
+  }
+  void restore_in_flight(const PendingEvent& e) {
+    schedule_release(e.at, e.pkt);
+  }
+
  private:
+  void schedule_release(TimeNs at, const Packet& pkt) {
+    InFlightPacket rec;
+    rec.at = at;
+    rec.pkt = pkt;
+    rec.seq = sim_.schedule_at(at, [this, pkt] {
+      inflight_.pop_front();
+      next_.handle(pkt);
+    });
+    inflight_.push_back(rec);
+  }
+
   Simulator& sim_;
   TimeNs delay_;
   PacketSink next_;
+  InFlightQueue inflight_;
 };
 
 // FIFO element whose per-packet holding time is a caller-supplied function of
@@ -147,14 +194,42 @@ class DelayServerLink final : public PacketHandler {
     TimeNs release = arrival + ccstarve::max(TimeNs::zero(), fn_(arrival));
     release = ccstarve::max(release, last_release_);
     last_release_ = release;
-    sim_.schedule_at(release, [next = next_, pkt] { next.handle(pkt); });
+    schedule_release(release, pkt);
+  }
+
+  // --- snapshot/fork hooks (sim/snapshot.hpp) ---
+
+  struct State {
+    TimeNs last_release = TimeNs::zero();
+  };
+
+  State capture(std::vector<PendingEvent>* events) const {
+    capture_in_flight(inflight_, PendingEvent::Kind::kDelayServerDeliver, 0,
+                      events);
+    return State{last_release_};
+  }
+  void restore(const State& st) { last_release_ = st.last_release; }
+  void restore_in_flight(const PendingEvent& e) {
+    schedule_release(e.at, e.pkt);
   }
 
  private:
+  void schedule_release(TimeNs release, const Packet& pkt) {
+    InFlightPacket rec;
+    rec.at = release;
+    rec.pkt = pkt;
+    rec.seq = sim_.schedule_at(release, [this, pkt] {
+      inflight_.pop_front();
+      next_.handle(pkt);
+    });
+    inflight_.push_back(rec);
+  }
+
   Simulator& sim_;
   DelayFn fn_;
   PacketSink next_;
   TimeNs last_release_ = TimeNs::zero();
+  InFlightQueue inflight_;
 };
 
 }  // namespace ccstarve

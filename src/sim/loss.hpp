@@ -25,6 +25,19 @@ class LossGate final : public PacketHandler {
 
   uint64_t dropped() const { return dropped_; }
 
+  // --- snapshot/fork hooks (sim/snapshot.hpp) ---
+
+  struct State {
+    Rng rng;
+    uint64_t dropped = 0;
+  };
+
+  State capture() const { return State{rng_, dropped_}; }
+  void restore(const State& st) {
+    rng_ = st.rng;
+    dropped_ = st.dropped;
+  }
+
  private:
   double loss_rate_;
   Rng rng_;

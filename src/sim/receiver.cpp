@@ -5,7 +5,54 @@ namespace ccstarve {
 void Receiver::arm_timer() {
   timer_armed_ = true;
   const uint64_t epoch = ++timer_epoch_;
-  sim_.schedule_in(policy_.delayed_ack_timeout, [this, epoch] {
+  timer_at_ = sim_.now() + policy_.delayed_ack_timeout;
+  timer_seq_ = sim_.schedule_at(timer_at_, [this, epoch] {
+    if (epoch != timer_epoch_ || unacked_ == 0) return;
+    emit_ack(last_data_);
+  });
+}
+
+Receiver::State Receiver::capture(std::vector<PendingEvent>* events,
+                                  uint32_t flow) const {
+  State st;
+  st.ooo = ooo_;
+  st.cum = cum_;
+  st.packets = packets_;
+  st.unacked = unacked_;
+  st.last_data = last_data_;
+  st.timer_epoch = timer_epoch_;
+  st.timer_armed = timer_armed_;
+  st.ece_pending = ece_pending_;
+  st.timer_at = timer_at_;
+  if (timer_armed_) {
+    // Only the live timer matters; timers from earlier epochs fire as
+    // no-ops in a cold run and are skippable on restore.
+    PendingEvent e;
+    e.at = timer_at_;
+    e.seq = timer_seq_;
+    e.kind = PendingEvent::Kind::kReceiverAckTimer;
+    e.flow = flow;
+    events->push_back(e);
+  }
+  return st;
+}
+
+void Receiver::restore(const State& st) {
+  ooo_ = st.ooo;
+  cum_ = st.cum;
+  packets_ = st.packets;
+  unacked_ = st.unacked;
+  last_data_ = st.last_data;
+  timer_epoch_ = st.timer_epoch;
+  timer_armed_ = st.timer_armed;
+  ece_pending_ = st.ece_pending;
+  timer_at_ = st.timer_at;
+}
+
+void Receiver::restore_timer(const PendingEvent& e) {
+  const uint64_t epoch = timer_epoch_;
+  timer_at_ = e.at;
+  timer_seq_ = sim_.schedule_at(e.at, [this, epoch] {
     if (epoch != timer_epoch_ || unacked_ == 0) return;
     emit_ack(last_data_);
   });

@@ -8,6 +8,7 @@
 
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
 #include "util/time.hpp"
 
 namespace ccstarve {
@@ -65,6 +66,25 @@ class Receiver final : public PacketHandler {
   uint64_t cum_received() const { return cum_; }
   uint64_t packets_received() const { return packets_; }
 
+  // --- snapshot/fork hooks (sim/snapshot.hpp) ---
+
+  struct State {
+    std::set<uint64_t> ooo;
+    uint64_t cum = 0;
+    uint64_t packets = 0;
+    uint32_t unacked = 0;
+    Packet last_data;
+    uint64_t timer_epoch = 0;
+    bool timer_armed = false;
+    bool ece_pending = false;
+    TimeNs timer_at = TimeNs::zero();
+  };
+
+  State capture(std::vector<PendingEvent>* events, uint32_t flow) const;
+  void restore(const State& st);
+  // Re-arms the live delayed-ACK timer captured at snapshot time.
+  void restore_timer(const PendingEvent& e);
+
  private:
   void emit_ack(const Packet& trigger);
   void arm_timer();
@@ -79,6 +99,9 @@ class Receiver final : public PacketHandler {
   Packet last_data_;        // newest data segment (echo fields for the ACK)
   uint64_t timer_epoch_ = 0;
   bool timer_armed_ = false;
+  // Deadline/seq of the live timer (epoch == timer_epoch_), for snapshots.
+  TimeNs timer_at_ = TimeNs::zero();
+  uint64_t timer_seq_ = 0;
   // CE seen since the last ACK (ECN-Echo accumulation).
   bool ece_pending_ = false;
 };

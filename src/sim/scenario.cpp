@@ -1,5 +1,6 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -34,9 +35,19 @@ void Scenario::Demux::handle(Packet pkt) {
 }
 
 uint32_t Scenario::add_flow(FlowSpec spec) {
+  return build_flow(std::move(spec), /*schedule_start=*/true);
+}
+
+uint32_t Scenario::build_flow(FlowSpec spec, bool schedule_start) {
   assert(spec.cca != nullptr);
   const uint32_t id = static_cast<uint32_t>(flows_.size());
   auto flow = std::make_unique<Flow>();
+  flow->min_rtt = spec.min_rtt;
+  flow->loss_rate = spec.loss_rate;
+  flow->loss_seed = spec.loss_seed;
+  flow->ack_policy = spec.ack_policy;
+  flow->stats_interval = spec.stats_interval;
+  flow->max_cwnd_bytes = spec.max_cwnd_bytes;
 
   Sender::Config sc;
   sc.flow_id = id;
@@ -67,12 +78,131 @@ uint32_t Scenario::add_flow(FlowSpec spec) {
   flow->prop = std::make_unique<PropagationDelay>(sim_, spec.min_rtt,
                                                   *flow->data_jitter);
 
-  flow->sender->start(spec.start_at);
+  if (schedule_start) flow->sender->start(spec.start_at);
   flows_.push_back(std::move(flow));
   return id;
 }
 
 void Scenario::run_until(TimeNs until) { sim_.run_until(until); }
+
+ScenarioSnapshot Scenario::snapshot() const {
+  ScenarioSnapshot snap;
+  snap.at = sim_.now();
+  snap.link_rate = config_.link_rate;
+  snap.delay_server = config_.delay_server;
+  snap.buffer_bytes = config_.buffer_bytes;
+  snap.jitter_budget = config_.jitter_budget;
+  snap.has_link = link_ != nullptr;
+  if (link_) snap.link = link_->capture(&snap.events);
+  if (delay_server_) snap.dsl = delay_server_->capture(&snap.events);
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    const Flow& f = *flows_[i];
+    const uint32_t id = static_cast<uint32_t>(i);
+    ScenarioSnapshot::FlowSnapshot fs;
+    fs.min_rtt = f.min_rtt;
+    fs.loss_rate = f.loss_rate;
+    fs.loss_seed = f.loss_seed;
+    fs.ack_policy = f.ack_policy;
+    fs.stats_interval = f.stats_interval;
+    fs.max_cwnd_bytes = f.max_cwnd_bytes;
+    fs.cca = f.sender->cca().clone();
+    fs.data_jitter = f.data_jitter->clone_policy();
+    fs.ack_jitter = f.ack_jitter->clone_policy();
+    fs.sender = f.sender->capture(&snap.events);
+    fs.receiver = f.receiver->capture(&snap.events, id);
+    fs.data_box = f.data_jitter->capture(
+        &snap.events, PendingEvent::Kind::kDataJitterDeliver, id);
+    fs.ack_box = f.ack_jitter->capture(
+        &snap.events, PendingEvent::Kind::kAckJitterDeliver, id);
+    f.prop->capture(&snap.events, id);
+    if (f.loss_gate) fs.loss_gate = f.loss_gate->capture();
+    snap.flows.push_back(std::move(fs));
+  }
+  std::sort(snap.events.begin(), snap.events.end(), pending_event_before);
+  return snap;
+}
+
+std::unique_ptr<Scenario> Scenario::fork(const ScenarioSnapshot& snap,
+                                         ForkOptions opts) {
+  ScenarioConfig cfg;
+  cfg.link_rate = snap.link_rate;
+  cfg.delay_server = snap.delay_server;
+  cfg.buffer_bytes = snap.buffer_bytes;
+  cfg.jitter_budget = snap.jitter_budget;
+  cfg.event_pool = opts.event_pool;
+  auto sc = std::make_unique<Scenario>(std::move(cfg));
+  sc->sim_.warp_to(snap.at);
+
+  for (size_t i = 0; i < snap.flows.size(); ++i) {
+    const auto& fs = snap.flows[i];
+    FlowFork* ff = i < opts.flows.size() ? &opts.flows[i] : nullptr;
+    FlowSpec spec;
+    spec.cca = fs.cca->clone();
+    spec.min_rtt = fs.min_rtt;
+    spec.loss_rate = fs.loss_rate;
+    spec.loss_seed = fs.loss_seed;
+    spec.ack_policy = fs.ack_policy;
+    spec.stats_interval = fs.stats_interval;
+    spec.max_cwnd_bytes = fs.max_cwnd_bytes;
+    spec.data_jitter = ff && ff->replace_data_jitter
+                           ? std::move(ff->data_jitter)
+                           : fs.data_jitter->clone();
+    spec.ack_jitter = ff && ff->replace_ack_jitter ? std::move(ff->ack_jitter)
+                                                   : fs.ack_jitter->clone();
+    sc->build_flow(std::move(spec), /*schedule_start=*/false);
+
+    Flow& flow = *sc->flows_.back();
+    flow.sender->restore(fs.sender);
+    flow.receiver->restore(fs.receiver);
+    flow.data_jitter->restore(fs.data_box);
+    flow.ack_jitter->restore(fs.ack_box);
+    if (flow.loss_gate) flow.loss_gate->restore(fs.loss_gate);
+  }
+  if (snap.has_link) sc->link_->restore(snap.link);
+  if (sc->delay_server_) sc->delay_server_->restore(snap.dsl);
+
+  // Re-schedule the captured pending events. Divergent start times are
+  // rewritten first, then the records are re-sorted: scheduling in
+  // ascending (at, seq) order hands out fresh ascending sequences, so
+  // same-timestamp events keep their cold-run relative order.
+  std::vector<PendingEvent> events = snap.events;
+  for (PendingEvent& e : events) {
+    if (e.kind != PendingEvent::Kind::kSenderStart) continue;
+    if (e.flow < opts.flows.size() && opts.flows[e.flow].start_at) {
+      assert(*opts.flows[e.flow].start_at > snap.at);
+      e.at = *opts.flows[e.flow].start_at;
+    }
+  }
+  std::sort(events.begin(), events.end(), pending_event_before);
+  for (const PendingEvent& e : events) {
+    switch (e.kind) {
+      case PendingEvent::Kind::kLinkService:
+        sc->link_->restore_service(e);
+        break;
+      case PendingEvent::Kind::kDelayServerDeliver:
+        sc->delay_server_->restore_in_flight(e);
+        break;
+      case PendingEvent::Kind::kPropDeliver:
+        sc->flows_[e.flow]->prop->restore_in_flight(e);
+        break;
+      case PendingEvent::Kind::kDataJitterDeliver:
+        sc->flows_[e.flow]->data_jitter->restore_in_flight(e);
+        break;
+      case PendingEvent::Kind::kAckJitterDeliver:
+        sc->flows_[e.flow]->ack_jitter->restore_in_flight(e);
+        break;
+      case PendingEvent::Kind::kSenderStart:
+      case PendingEvent::Kind::kSenderPace:
+      case PendingEvent::Kind::kSenderRto:
+        sc->flows_[e.flow]->sender->restore_event(e);
+        break;
+      case PendingEvent::Kind::kReceiverAckTimer:
+        sc->flows_[e.flow]->receiver->restore_timer(e);
+        break;
+    }
+  }
+  return sc;
+}
 
 Rate Scenario::throughput(size_t i, TimeNs from, TimeNs to) const {
   const FlowStats& st = stats(i);

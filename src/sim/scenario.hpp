@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cc/cca.hpp"
@@ -22,6 +23,7 @@
 #include "sim/receiver.hpp"
 #include "sim/sender.hpp"
 #include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
 #include "util/rate.hpp"
 #include "util/time.hpp"
 
@@ -66,6 +68,70 @@ struct ScenarioConfig {
   EventPool* event_pool = nullptr;
 };
 
+// Full live state of a Scenario at one sim time, sufficient to build any
+// number of byte-identical continuations (see DESIGN.md §8). Component
+// state is value copies; CCAs and jitter/AQM policies are clones; pending
+// events are data records re-scheduled on restore in their original
+// (at, seq) order. Move-only (it owns the clones); reusable for N forks.
+struct ScenarioSnapshot {
+  struct FlowSnapshot {
+    // Rebuild recipe (the FlowSpec fields the fork must reproduce).
+    TimeNs min_rtt = TimeNs::zero();
+    double loss_rate = 0.0;
+    uint64_t loss_seed = 1;
+    AckPolicy ack_policy;
+    TimeNs stats_interval = TimeNs::zero();
+    uint64_t max_cwnd_bytes = uint64_t{1} << 40;
+    // Live state.
+    std::unique_ptr<Cca> cca;
+    std::unique_ptr<JitterPolicy> data_jitter;
+    std::unique_ptr<JitterPolicy> ack_jitter;
+    Sender::State sender;
+    Receiver::State receiver;
+    JitterBox::State data_box;
+    JitterBox::State ack_box;
+    LossGate::State loss_gate;  // meaningful when loss_rate > 0
+  };
+
+  TimeNs at = TimeNs::zero();
+  // Scenario recipe.
+  Rate link_rate = Rate::zero();
+  DelayServerLink::DelayFn delay_server;
+  uint64_t buffer_bytes = 0;
+  TimeNs jitter_budget = TimeNs::infinite();
+  // Live state.
+  bool has_link = false;
+  BottleneckLink::State link;
+  DelayServerLink::State dsl;
+  std::vector<FlowSnapshot> flows;
+  // Every pending event, sorted by (at, seq) — cold-run dispatch order.
+  std::vector<PendingEvent> events;
+};
+
+// Per-flow divergence applied at fork time. The caller is responsible for
+// only overriding things that could not have influenced the simulation
+// before the snapshot (a not-yet-fired start time, a jitter policy that
+// was behaviorally identity before the snapshot); the fork-equivalence
+// tests pin this contract.
+struct FlowFork {
+  // New start time for a flow whose start event had not fired; must be
+  // later than the snapshot time.
+  std::optional<TimeNs> start_at;
+  // When set, replaces the snapshot's policy clone (null = ZeroJitter).
+  bool replace_data_jitter = false;
+  std::unique_ptr<JitterPolicy> data_jitter;
+  bool replace_ack_jitter = false;
+  std::unique_ptr<JitterPolicy> ack_jitter;
+};
+
+struct ForkOptions {
+  // Optional shared event pool for the forked simulator (see
+  // ScenarioConfig::event_pool).
+  EventPool* event_pool = nullptr;
+  // Indexed by flow; may be shorter than the snapshot's flow count.
+  std::vector<FlowFork> flows;
+};
+
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig config);
@@ -103,6 +169,19 @@ class Scenario {
   // Paper's definition: bytes acknowledged between time 0 and now()/t.
   Rate throughput(size_t i) const;
 
+  // Captures the complete live state at the current sim time. Call at a
+  // quiescent point — immediately after run_until(T), when every pending
+  // event is strictly in the future. The snapshot is independent of this
+  // scenario (all state is copied/cloned) and may outlive it.
+  ScenarioSnapshot snapshot() const;
+
+  // Builds a continuation of `snap`, optionally diverging per-flow. The
+  // forked scenario starts with now() == snap.at and, absent overrides,
+  // dispatches the exact event sequence a cold run would have — trace
+  // digests over the continuation are byte-identical (DESIGN.md §8).
+  static std::unique_ptr<Scenario> fork(const ScenarioSnapshot& snap,
+                                        ForkOptions opts = {});
+
  private:
   struct Flow;
 
@@ -123,7 +202,18 @@ class Scenario {
     std::unique_ptr<JitterBox> data_jitter;
     std::unique_ptr<Receiver> receiver;
     std::unique_ptr<JitterBox> ack_jitter;
+    // Spec fields a snapshot needs to rebuild this flow in a fork.
+    TimeNs min_rtt = TimeNs::zero();
+    double loss_rate = 0.0;
+    uint64_t loss_seed = 1;
+    AckPolicy ack_policy;
+    TimeNs stats_interval = TimeNs::zero();
+    uint64_t max_cwnd_bytes = uint64_t{1} << 40;
   };
+
+  // add_flow minus the start() scheduling — fork restores the pending
+  // start event (if any) from the snapshot instead.
+  uint32_t build_flow(FlowSpec spec, bool schedule_start);
 
   Simulator sim_;
   ScenarioConfig config_;

@@ -17,7 +17,10 @@ Sender::Sender(Simulator& sim, const Config& config, std::unique_ptr<Cca> cca,
 }
 
 void Sender::start(TimeNs at) {
-  sim_.schedule_at(at, [this] {
+  start_pending_ = true;
+  start_at_ = at;
+  start_seq_ = sim_.schedule_at(at, [this] {
+    start_pending_ = false;
     started_ = true;
     start_time_ = sim_.now();
     pace_next_ = sim_.now();
@@ -38,7 +41,8 @@ void Sender::maybe_send() {
     if (pace_next_ > now) {
       if (!wakeup_scheduled_) {
         wakeup_scheduled_ = true;
-        sim_.schedule_at(pace_next_, [this] {
+        wakeup_at_ = pace_next_;
+        wakeup_seq_ = sim_.schedule_at(pace_next_, [this] {
           wakeup_scheduled_ = false;
           maybe_send();
         });
@@ -213,6 +217,7 @@ void Sender::repair_holes(TimeNs now) {
 void Sender::arm_rto() {
   if (outstanding_.empty()) {
     ++rto_epoch_;  // cancel
+    rto_live_ = false;
     return;
   }
   const uint64_t epoch = ++rto_epoch_;
@@ -224,10 +229,13 @@ void Sender::arm_rto() {
   const TimeNs deadline = ccstarve::max(
       outstanding_.begin()->second.sent_at + backoff_rto,
       sim_.now() + TimeNs::millis(1));
-  sim_.schedule_at(deadline, [this, epoch] { on_rto_fire(epoch); });
+  rto_live_ = true;
+  rto_at_ = deadline;
+  rto_seq_ = sim_.schedule_at(deadline, [this, epoch] { on_rto_fire(epoch); });
 }
 
 void Sender::on_rto_fire(uint64_t epoch) {
+  if (epoch == rto_epoch_) rto_live_ = false;  // the live event is firing
   if (epoch != rto_epoch_ || outstanding_.empty()) return;
   const TimeNs backoff_rto =
       ccstarve::min(rto_ * static_cast<double>(uint64_t{1} << backoff_), kMaxRto);
@@ -248,6 +256,118 @@ void Sender::on_rto_fire(uint64_t epoch) {
   cca_->on_loss(loss);
   arm_rto();
   maybe_send();
+}
+
+Sender::State Sender::capture(std::vector<PendingEvent>* events) const {
+  State st;
+  st.started = started_;
+  st.start_time = start_time_;
+  st.next_seq = next_seq_;
+  st.outstanding = outstanding_;
+  st.inflight_bytes = inflight_bytes_;
+  st.retx_queue = retx_queue_;
+  st.cum_acked = cum_acked_;
+  st.delivered = delivered_;
+  st.packets_sent = packets_sent_;
+  st.dupacks = dupacks_;
+  st.in_recovery = in_recovery_;
+  st.recovery_point = recovery_point_;
+  st.max_sacked = max_sacked_;
+  st.pace_next = pace_next_;
+  st.wakeup_scheduled = wakeup_scheduled_;
+  st.srtt = srtt_;
+  st.rttvar = rttvar_;
+  st.rto = rto_;
+  st.backoff = backoff_;
+  st.rto_epoch = rto_epoch_;
+  st.stats = stats_;
+  st.last_stats_at = last_stats_at_;
+  st.start_pending = start_pending_;
+  st.start_at = start_at_;
+  st.rto_live = rto_live_;
+  st.rto_at = rto_at_;
+  st.wakeup_at = wakeup_at_;
+  const uint32_t flow = config_.flow_id;
+  if (start_pending_) {
+    PendingEvent e;
+    e.at = start_at_;
+    e.seq = start_seq_;
+    e.kind = PendingEvent::Kind::kSenderStart;
+    e.flow = flow;
+    events->push_back(e);
+  }
+  if (wakeup_scheduled_) {
+    PendingEvent e;
+    e.at = wakeup_at_;
+    e.seq = wakeup_seq_;
+    e.kind = PendingEvent::Kind::kSenderPace;
+    e.flow = flow;
+    events->push_back(e);
+  }
+  if (rto_live_) {
+    PendingEvent e;
+    e.at = rto_at_;
+    e.seq = rto_seq_;
+    e.kind = PendingEvent::Kind::kSenderRto;
+    e.flow = flow;
+    events->push_back(e);
+  }
+  return st;
+}
+
+void Sender::restore(const State& st) {
+  started_ = st.started;
+  start_time_ = st.start_time;
+  next_seq_ = st.next_seq;
+  outstanding_ = st.outstanding;
+  inflight_bytes_ = st.inflight_bytes;
+  retx_queue_ = st.retx_queue;
+  cum_acked_ = st.cum_acked;
+  delivered_ = st.delivered;
+  packets_sent_ = st.packets_sent;
+  dupacks_ = st.dupacks;
+  in_recovery_ = st.in_recovery;
+  recovery_point_ = st.recovery_point;
+  max_sacked_ = st.max_sacked;
+  pace_next_ = st.pace_next;
+  wakeup_scheduled_ = st.wakeup_scheduled;
+  srtt_ = st.srtt;
+  rttvar_ = st.rttvar;
+  rto_ = st.rto;
+  backoff_ = st.backoff;
+  rto_epoch_ = st.rto_epoch;
+  stats_ = st.stats;
+  last_stats_at_ = st.last_stats_at;
+  start_pending_ = st.start_pending;
+  start_at_ = st.start_at;
+  rto_live_ = st.rto_live;
+  rto_at_ = st.rto_at;
+  wakeup_at_ = st.wakeup_at;
+}
+
+void Sender::restore_event(const PendingEvent& e) {
+  switch (e.kind) {
+    case PendingEvent::Kind::kSenderStart:
+      // A fork may move a not-yet-started flow's start time; everything
+      // else about the pending event is re-created as start() would.
+      start(e.at);
+      break;
+    case PendingEvent::Kind::kSenderPace:
+      wakeup_at_ = e.at;
+      wakeup_seq_ = sim_.schedule_at(e.at, [this] {
+        wakeup_scheduled_ = false;
+        maybe_send();
+      });
+      break;
+    case PendingEvent::Kind::kSenderRto: {
+      const uint64_t epoch = rto_epoch_;
+      rto_at_ = e.at;
+      rto_seq_ = sim_.schedule_at(e.at, [this, epoch] { on_rto_fire(epoch); });
+      break;
+    }
+    default:
+      assert(false && "not a sender event");
+  }
 }
 
 void Sender::record_stats(TimeNs now, TimeNs rtt) {

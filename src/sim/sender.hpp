@@ -16,6 +16,7 @@
 #include "cc/cca.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
 #include "util/series.hpp"
 #include "util/time.hpp"
 
@@ -67,12 +68,58 @@ class Sender final : public PacketHandler {
   uint64_t packets_sent() const { return packets_sent_; }
   const FlowStats& stats() const { return stats_; }
 
- private:
   struct SentInfo {
     TimeNs sent_at;
     uint32_t bytes;
     uint64_t delivered_at_send;
   };
+
+  // --- snapshot/fork hooks (sim/snapshot.hpp) ---
+  //
+  // The CCA itself is captured separately via Cca::clone() (see
+  // Scenario::snapshot); State covers the transport machinery plus the
+  // data records of the sender's own pending timers (start, pacing wakeup,
+  // live RTO). Timers from stale epochs fire as no-ops in a cold run, so
+  // only the live one per kind is captured.
+
+  struct State {
+    bool started = false;
+    TimeNs start_time = TimeNs::zero();
+    uint64_t next_seq = 0;
+    std::map<uint64_t, SentInfo> outstanding;
+    uint64_t inflight_bytes = 0;
+    std::set<uint64_t> retx_queue;
+    uint64_t cum_acked = 0;
+    uint64_t delivered = 0;
+    uint64_t packets_sent = 0;
+    uint32_t dupacks = 0;
+    bool in_recovery = false;
+    uint64_t recovery_point = 0;
+    uint64_t max_sacked = 0;
+    TimeNs pace_next = TimeNs::zero();
+    bool wakeup_scheduled = false;
+    TimeNs srtt = TimeNs::zero();
+    TimeNs rttvar = TimeNs::zero();
+    TimeNs rto = TimeNs::millis(1000);
+    int backoff = 0;
+    uint64_t rto_epoch = 0;
+    FlowStats stats;
+    TimeNs last_stats_at = TimeNs(-1);
+    bool start_pending = false;
+    TimeNs start_at = TimeNs::zero();
+    bool rto_live = false;
+    TimeNs rto_at = TimeNs::zero();
+    TimeNs wakeup_at = TimeNs::zero();
+  };
+
+  State capture(std::vector<PendingEvent>* events) const;
+  void restore(const State& st);
+  // Re-schedules one of the sender's own captured timers. For kSenderStart
+  // the event's `at` may have been overridden by the fork (a divergent
+  // flow-start time); it must be later than the snapshot time.
+  void restore_event(const PendingEvent& e);
+
+ private:
 
   void maybe_send();
   void send_segment(uint64_t seq, bool retransmit);
@@ -92,6 +139,10 @@ class Sender final : public PacketHandler {
 
   bool started_ = false;
   TimeNs start_time_ = TimeNs::zero();
+  // Pending start() event (not yet fired), for snapshots.
+  bool start_pending_ = false;
+  TimeNs start_at_ = TimeNs::zero();
+  uint64_t start_seq_ = 0;
 
   uint64_t next_seq_ = 0;
   std::map<uint64_t, SentInfo> outstanding_;
@@ -110,6 +161,10 @@ class Sender final : public PacketHandler {
   // Pacing.
   TimeNs pace_next_ = TimeNs::zero();
   bool wakeup_scheduled_ = false;
+  // Deadline/seq of the scheduled wakeup — pace_next_ may move past it
+  // between scheduling and firing, so it is tracked separately.
+  TimeNs wakeup_at_ = TimeNs::zero();
+  uint64_t wakeup_seq_ = 0;
 
   // RTO machinery.
   TimeNs srtt_ = TimeNs::zero();
@@ -117,6 +172,10 @@ class Sender final : public PacketHandler {
   TimeNs rto_ = TimeNs::millis(1000);
   int backoff_ = 0;
   uint64_t rto_epoch_ = 0;
+  // Deadline/seq of the live (current-epoch) RTO event, for snapshots.
+  bool rto_live_ = false;
+  TimeNs rto_at_ = TimeNs::zero();
+  uint64_t rto_seq_ = 0;
 
   FlowStats stats_;
   TimeNs last_stats_at_ = TimeNs(-1);

@@ -175,4 +175,11 @@ void Simulator::run_until(TimeNs t) {
   if (now_ < t) now_ = t;
 }
 
+void Simulator::warp_to(TimeNs t) {
+  assert(pending_ == 0);
+  assert(t >= now_);
+  now_ = t;
+  advance_to(tick_of(t));
+}
+
 }  // namespace ccstarve

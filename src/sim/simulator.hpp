@@ -50,9 +50,12 @@ class Simulator {
 
   // Schedules `fn` to run at absolute time `at` (>= now). The callable is
   // emplaced directly into a pooled event node — no intermediate moves, no
-  // allocation for captures up to kEventCallbackCapacity bytes.
+  // allocation for captures up to kEventCallbackCapacity bytes. Returns the
+  // event's insertion sequence — the determinism tie-break — which the
+  // snapshot machinery records so a restored run can reproduce the relative
+  // order of same-timestamp events (see sim/snapshot.hpp).
   template <typename F>
-  void schedule_at(TimeNs at, F&& fn) {
+  uint64_t schedule_at(TimeNs at, F&& fn) {
     assert(at >= now_);
     if (tracer_) tracer_->on_schedule(now_, at);
     Event* e = pool_->alloc();
@@ -61,12 +64,13 @@ class Simulator {
     e->fn.emplace(std::forward<F>(fn));
     insert(e);
     ++pending_;
+    return e->seq;
   }
 
   // Schedules `fn` to run `delay` from now.
   template <typename F>
-  void schedule_in(TimeNs delay, F&& fn) {
-    schedule_at(now_ + delay, std::forward<F>(fn));
+  uint64_t schedule_in(TimeNs delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   // Runs events until the queue is empty or the next event is after `t`;
@@ -75,6 +79,12 @@ class Simulator {
 
   // Runs a single event if one exists. Returns false when idle.
   bool run_next();
+
+  // Jumps an *empty* simulator (no pending events) straight to absolute
+  // time `t` without dispatching anything. Used when restoring a snapshot:
+  // the forked simulator starts its clock at the snapshot time before the
+  // captured pending events are re-scheduled.
+  void warp_to(TimeNs t);
 
   bool idle() const { return pending_ == 0; }
   uint64_t events_processed() const { return processed_; }

@@ -1,0 +1,80 @@
+// Building blocks of the scenario checkpoint/fork engine (DESIGN.md §8).
+//
+// A snapshot captures the pending events of a running simulation as plain
+// *data records*, never as cloned closures: each record stores the event's
+// absolute time, its original insertion sequence (the determinism
+// tie-break), which component owns it, and — for packet deliveries — the
+// Packet itself. Restoring schedules a fresh, behaviorally identical
+// callback on the forked simulator for each record, in ascending
+// (at, seq) order, so the forked run dispatches the exact event order the
+// cold run would have. The timer wheel, the event pool and InlineFn
+// internals therefore never need to be serialized.
+//
+// The original `seq` values are only used for this *relative* ordering at
+// restore time; the forked simulator assigns its own fresh sequences.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+// One captured pending event. `kind` + `flow` identify the owning
+// component; `pkt` is meaningful only for the packet-delivery kinds.
+struct PendingEvent {
+  enum class Kind : uint8_t {
+    kLinkService,         // BottleneckLink head-of-line completion
+    kDelayServerDeliver,  // DelayServerLink release
+    kPropDeliver,         // PropagationDelay arrival downstream
+    kDataJitterDeliver,   // data-path JitterBox release
+    kAckJitterDeliver,    // ack-path JitterBox release
+    kSenderStart,         // Sender::start() not yet fired
+    kSenderPace,          // pacing wakeup
+    kSenderRto,           // live (current-epoch) retransmission timer
+    kReceiverAckTimer,    // live delayed-ACK timer
+  };
+
+  TimeNs at = TimeNs::zero();
+  uint64_t seq = 0;
+  Kind kind = Kind::kLinkService;
+  uint32_t flow = 0;
+  Packet pkt;
+};
+
+// Sorts captured events into cold-run dispatch order.
+inline bool pending_event_before(const PendingEvent& a, const PendingEvent& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.seq < b.seq;
+}
+
+// Bookkeeping for a packet currently "inside" a FIFO delay element
+// (PropagationDelay, JitterBox, DelayServerLink). These elements never
+// reorder, so a deque with pop-front-on-dispatch mirrors the scheduled
+// deliveries exactly; capture is a copy of the deque.
+struct InFlightPacket {
+  TimeNs at = TimeNs::zero();  // absolute delivery time
+  uint64_t seq = 0;            // insertion sequence of the delivery event
+  Packet pkt;
+};
+
+using InFlightQueue = std::deque<InFlightPacket>;
+
+// Appends one PendingEvent per in-flight packet.
+inline void capture_in_flight(const InFlightQueue& q, PendingEvent::Kind kind,
+                              uint32_t flow, std::vector<PendingEvent>* out) {
+  for (const InFlightPacket& p : q) {
+    PendingEvent e;
+    e.at = p.at;
+    e.seq = p.seq;
+    e.kind = kind;
+    e.flow = flow;
+    e.pkt = p.pkt;
+    out->push_back(e);
+  }
+}
+
+}  // namespace ccstarve

@@ -9,6 +9,7 @@
 #include "core/fairness.hpp"
 #include "sim/scenario.hpp"
 #include "sweep/cache.hpp"
+#include "sweep/prefix.hpp"
 #include "sweep/spec_parse.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -32,23 +33,16 @@ void request_stop() { g_stop.store(true, std::memory_order_relaxed); }
 void clear_stop() { g_stop.store(false, std::memory_order_relaxed); }
 bool stop_requested() { return g_stop.load(std::memory_order_relaxed); }
 
-SweepRecord run_point(const SweepPoint& pt) {
+std::unique_ptr<Scenario> build_point_scenario(const SweepPoint& pt,
+                                               EventPool* event_pool) {
   const auto flows = parse_flow_set(pt.flow_set);
-  const TimeNs duration = TimeNs::seconds(pt.duration_s);
-  const TimeNs warmup = TimeNs::seconds(pt.warmup_s);
 
   ScenarioConfig cfg;
   cfg.link_rate = Rate::mbps(pt.link_mbps);
   cfg.buffer_bytes = parse_buffer_bytes(pt.buffer, cfg.link_rate, pt.rtt_ms);
-  // Each worker thread keeps a warm event pool across the grid points it
-  // runs, so per-point Simulator construction reuses event nodes instead of
-  // re-carving them. Determinism is unaffected: the pool only recycles
-  // storage, never ordering state.
-  static thread_local EventPool tls_pool;
-  cfg.event_pool = &tls_pool;
-  Scenario sc(std::move(cfg));
+  cfg.event_pool = event_pool;
+  auto sc = std::make_unique<Scenario>(std::move(cfg));
 
-  std::vector<double> flow_rtt_ms;
   for (size_t i = 0; i < flows.size(); ++i) {
     const FlowArgs& fa = flows[i];
     const uint64_t base = seed_base(pt);
@@ -69,11 +63,31 @@ SweepRecord run_point(const SweepPoint& pt) {
       spec.data_jitter = std::move(j);
     }
     spec.stats_interval = TimeNs::millis(10);
-    flow_rtt_ms.push_back(fa.rtt_ms.value_or(pt.rtt_ms));
-    sc.add_flow(std::move(spec));
+    sc->add_flow(std::move(spec));
   }
+  return sc;
+}
 
-  sc.run_until(duration);
+SweepRecord run_point(const SweepPoint& pt) {
+  // Each worker thread keeps a warm event pool across the grid points it
+  // runs, so per-point Simulator construction reuses event nodes instead of
+  // re-carving them. Determinism is unaffected: the pool only recycles
+  // storage, never ordering state.
+  static thread_local EventPool tls_pool;
+  auto sc = build_point_scenario(pt, &tls_pool);
+  sc->run_until(TimeNs::seconds(pt.duration_s));
+  return measure_point(pt, *sc);
+}
+
+SweepRecord measure_point(const SweepPoint& pt, const Scenario& sc) {
+  const auto flows = parse_flow_set(pt.flow_set);
+  const TimeNs duration = TimeNs::seconds(pt.duration_s);
+  const TimeNs warmup = TimeNs::seconds(pt.warmup_s);
+
+  std::vector<double> flow_rtt_ms;
+  for (const auto& fa : flows) {
+    flow_rtt_ms.push_back(fa.rtt_ms.value_or(pt.rtt_ms));
+  }
 
   SweepRecord rec;
   rec.key = pt.key();
@@ -129,38 +143,101 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
   const size_t n = points.size();
   std::vector<std::string> lines(n);
   std::vector<char> done(n, 0);
-  std::atomic<size_t> simulated{0}, cache_hits{0}, completed{0};
+  std::atomic<size_t> simulated{0}, cache_hits{0}, forked{0}, completed{0};
   std::mutex progress_mu;
   const ResultCache cache(opt.cache_dir);
 
-  parallel_for(n, opt.jobs, [&](size_t i) {
-    if (stop_requested()) return;
-    const std::string key = points[i].key();
-    const char* how;
-    if (auto hit = cache.lookup(key)) {
-      lines[i] = std::move(*hit);
-      cache_hits.fetch_add(1, std::memory_order_relaxed);
-      how = "cached";
-    } else {
-      const SweepRecord rec = run_point(points[i]);
-      lines[i] = rec.to_json();
-      cache.store(key, lines[i]);
-      simulated.fetch_add(1, std::memory_order_relaxed);
-      how = "run";
-    }
-    done[i] = 1;
+  auto note = [&](size_t i, const char* how) {
     const size_t c = completed.fetch_add(1, std::memory_order_relaxed) + 1;
     if (opt.progress) {
       std::lock_guard<std::mutex> lock(progress_mu);
       std::fprintf(stderr, "sweep: %zu/%zu (%s) %s\n", c, n, how,
-                   key.c_str());
+                   points[i].key().c_str());
     }
-  });
+  };
+  auto try_cache = [&](size_t i) {
+    auto hit = cache.lookup(points[i].key());
+    if (!hit) return false;
+    lines[i] = std::move(*hit);
+    done[i] = 1;
+    cache_hits.fetch_add(1, std::memory_order_relaxed);
+    note(i, "cached");
+    return true;
+  };
+  auto finish = [&](size_t i, const SweepRecord& rec,
+                    std::atomic<size_t>& counter, const char* how) {
+    lines[i] = rec.to_json();
+    cache.store(points[i].key(), lines[i]);
+    done[i] = 1;
+    counter.fetch_add(1, std::memory_order_relaxed);
+    note(i, how);
+  };
+
+  if (!opt.share_prefix) {
+    parallel_for(n, opt.jobs, [&](size_t i) {
+      if (stop_requested()) return;
+      if (!try_cache(i)) finish(i, run_point(points[i]), simulated, "run");
+    });
+  } else {
+    // Pass 1: serve cache hits (cheap disk reads, done serially), then
+    // plan prefix sharing over the misses only — a group whose members
+    // are all cached never builds its stem.
+    std::vector<size_t> misses;
+    std::vector<SweepPoint> miss_points;
+    for (size_t i = 0; i < n && !stop_requested(); ++i) {
+      if (!try_cache(i)) {
+        misses.push_back(i);
+        miss_points.push_back(points[i]);
+      }
+    }
+    const PrefixPlan plan = plan_prefix_sharing(miss_points);
+
+    // Pass 2: one work unit per stem group or solo point. Records are
+    // byte-identical with and without sharing (fork equivalence, pinned
+    // by the sweep tests), so the cache stays oblivious to how a point
+    // was produced.
+    const size_t units = plan.groups.size() + plan.solo.size();
+    parallel_for(units, opt.jobs, [&](size_t u) {
+      if (stop_requested()) return;
+      if (u >= plan.groups.size()) {
+        const size_t i = misses[plan.solo[u - plan.groups.size()]];
+        finish(i, run_point(points[i]), simulated, "run");
+        return;
+      }
+      static thread_local EventPool tls_pool;
+      const PrefixGroup& g = plan.groups[u];
+      SweepPoint stem_pt = points[misses[g.members.front()]];
+      stem_pt.jitter = "none";
+      const ScenarioSnapshot snap = [&] {
+        auto stem = build_point_scenario(stem_pt, &tls_pool);
+        stem->run_until(g.fork_at);
+        return stem->snapshot();
+      }();
+      for (size_t m : g.members) {
+        if (stop_requested()) return;
+        const size_t i = misses[m];
+        const SweepPoint& pt = points[i];
+        ForkOptions fo;
+        fo.event_pool = &tls_pool;
+        // Same policy instance a cold run would build (seed offset 200,
+        // flow 0); "none" members just continue the stem's ideal path.
+        if (auto j = make_jitter(pt.jitter, seed_base(pt) + 200)) {
+          fo.flows.resize(1);
+          fo.flows[0].replace_data_jitter = true;
+          fo.flows[0].data_jitter = std::move(j);
+        }
+        auto sc = Scenario::fork(snap, std::move(fo));
+        sc->run_until(TimeNs::seconds(pt.duration_s));
+        finish(i, measure_point(pt, *sc), forked, "forked");
+      }
+    });
+  }
 
   SweepOutcome out;
   out.stats.total = n;
   out.stats.simulated = simulated.load();
   out.stats.cache_hits = cache_hits.load();
+  out.stats.forked = forked.load();
   for (size_t i = 0; i < n; ++i) {
     if (!done[i]) {
       ++out.stats.skipped;

@@ -8,9 +8,11 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/scenario.hpp"
 #include "sweep/grid.hpp"
 #include "sweep/record.hpp"
 #include "util/table.hpp"
@@ -18,16 +20,26 @@
 namespace ccstarve::sweep {
 
 struct SweepOptions {
-  unsigned jobs = 0;      // worker threads; 0 = one per hardware thread
+  // Worker threads; 0 = one per hardware thread (the same convention as
+  // RateDelaySweepConfig::jobs — every parallel knob in this codebase
+  // defaults to "use the machine").
+  unsigned jobs = 0;
   std::string cache_dir;  // empty = caching disabled
   bool progress = false;  // one stderr line per completed point
+  // Share warm-up prefixes between points that differ only in a
+  // late-activating jitter axis (see sweep/prefix.hpp): one stem run per
+  // group, snapshotted and forked per member. Off by default; records are
+  // byte-identical either way, sharing only changes wall-clock time.
+  bool share_prefix = false;
 };
 
 struct SweepStats {
   size_t total = 0;       // points in the grid
-  size_t simulated = 0;   // points actually run this invocation
+  size_t simulated = 0;   // points cold-run this invocation
   size_t cache_hits = 0;  // points served from the result cache
+  size_t forked = 0;      // points completed as forked continuations
   size_t skipped = 0;     // points abandoned after request_stop()
+  // Invariant: simulated + cache_hits + forked + skipped == total.
 };
 
 struct SweepOutcome {
@@ -44,6 +56,13 @@ struct SweepOutcome {
 // for the point's duration, and measures throughput/fairness/delay over
 // [warmup_s, duration_s]. Deterministic in the point alone.
 SweepRecord run_point(const SweepPoint& pt);
+
+// The two halves of run_point, exposed so prefix sharing (and tests) can
+// put a snapshot/fork between them: build the point's scenario without
+// running it, and measure a scenario that has run to the point's duration.
+std::unique_ptr<Scenario> build_point_scenario(const SweepPoint& pt,
+                                               EventPool* event_pool);
+SweepRecord measure_point(const SweepPoint& pt, const Scenario& sc);
 
 // Runs every point across opt.jobs workers. Never throws on a per-point
 // basis — a malformed spec throws SpecError before any simulation starts

@@ -1,0 +1,69 @@
+#include "sweep/prefix.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "sweep/spec_parse.hpp"
+
+namespace ccstarve::sweep {
+
+TimeNs jitter_activation(const std::string& jitter_spec) {
+  if (jitter_spec.empty() || jitter_spec == "none") return TimeNs::infinite();
+  const std::string step = "step:";
+  if (jitter_spec.compare(0, step.size(), step) != 0) return TimeNs::zero();
+  // "step:<ms>,<start s>" — active from its onset, idle before it.
+  const auto args = split(jitter_spec.substr(step.size()), ',');
+  if (args.size() != 2) return TimeNs::zero();
+  try {
+    return TimeNs::seconds(std::stod(args[1]));
+  } catch (const std::exception&) {
+    return TimeNs::zero();
+  }
+}
+
+PrefixPlan plan_prefix_sharing(const std::vector<SweepPoint>& points) {
+  PrefixPlan plan;
+  // Stem signature: the point's canonical key with the jitter axis
+  // neutralized ("*" is not a valid jitter spec, so signatures cannot
+  // collide with real keys). std::map keeps group order deterministic.
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& pt = points[i];
+    // A per-flow datajitter= override makes the grid's jitter axis inert
+    // for this point, and an immediately-active jitter has no shareable
+    // prefix; both run cold.
+    const bool grid_jitter_applies =
+        parse_flow_set(pt.flow_set).front().data_jitter.empty();
+    if (!grid_jitter_applies ||
+        jitter_activation(pt.jitter) == TimeNs::zero()) {
+      plan.solo.push_back(i);
+      continue;
+    }
+    SweepPoint sig = pt;
+    sig.jitter = "*";
+    groups[sig.key()].push_back(i);
+  }
+  for (auto& [sig, members] : groups) {
+    if (members.size() < 2) {
+      // Nothing to share with — run cold.
+      plan.solo.push_back(members.front());
+      continue;
+    }
+    TimeNs earliest = TimeNs::infinite();
+    for (size_t i : members) {
+      earliest = std::min(earliest, jitter_activation(points[i].jitter));
+    }
+    // An all-"none" group (duplicate points) still forks; the stem then
+    // simply covers almost the whole run.
+    const TimeNs duration = TimeNs::seconds(points[members.front()].duration_s);
+    PrefixGroup g;
+    g.members = std::move(members);
+    g.fork_at = std::min(earliest, duration) - TimeNs::nanos(1);
+    plan.groups.push_back(std::move(g));
+  }
+  std::sort(plan.solo.begin(), plan.solo.end());
+  return plan;
+}
+
+}  // namespace ccstarve::sweep

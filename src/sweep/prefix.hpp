@@ -1,0 +1,51 @@
+// Prefix-sharing planner for the sweep engine (DESIGN.md §8, consumer #1).
+//
+// Points that differ only in the grid's jitter axis share their warm-up
+// prefix whenever every divergent jitter spec first perturbs the path
+// strictly after t=0: one jitter-free "stem" scenario is run to just
+// before the earliest activation, snapshotted, and each member point is
+// completed by a fork with its own policy swapped in. Fork equivalence
+// (sim/snapshot.hpp) makes the member records byte-identical to cold
+// runs, so sharing is purely a wall-clock optimization — the engine keeps
+// it behind SweepOptions::share_prefix and the sweep tests pin the
+// byte-identity.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/grid.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve::sweep {
+
+// Sim time at which `jitter_spec` first perturbs flow 0's data path:
+// infinite for "none"/"" (it never does), the onset for
+// "step:<ms>,<start s>", and zero for every other form (they are active
+// from the first packet, so a warm-up prefix cannot be shared with them).
+TimeNs jitter_activation(const std::string& jitter_spec);
+
+struct PrefixGroup {
+  // Indices into the planned point vector, in input order. Always >= 2
+  // entries — a group of one is returned as a solo point instead.
+  std::vector<size_t> members;
+  // Stem length: one nanosecond before the earliest member activation
+  // (clamped below the duration), so the jitter-free stem is behaviorally
+  // identical to every member over [0, fork_at].
+  TimeNs fork_at = TimeNs::zero();
+};
+
+struct PrefixPlan {
+  std::vector<PrefixGroup> groups;
+  std::vector<size_t> solo;
+};
+
+// Plans prefix sharing over `points` (which must already be validated, as
+// SweepGrid::expand guarantees). Points group when their canonical keys
+// are identical except for the jitter axis, flow 0 leaves its data jitter
+// to the grid (no per-flow datajitter= override), and their jitter
+// activates after t=0. Deterministic in the input alone.
+PrefixPlan plan_prefix_sharing(const std::vector<SweepPoint>& points);
+
+}  // namespace ccstarve::sweep

@@ -86,6 +86,11 @@ inline std::vector<GoldenSpec> golden_specs() {
        .delay_server_amp_ms = 25, .delay_server_period_s = 2.0});
   add({.name = "trace_link_sawtooth", .flow_set = "cubic",
        .trace_link = true});
+  // Fork-heavy shape: two Copas where flow 0 gains 8 ms of step jitter at
+  // t = 5 s — exactly what prefix sharing snapshots at 5 s - 1 ns and
+  // forks. Pins the digest the snapshot_test fork paths must reproduce.
+  add({.name = "copa_late_step",
+       .flow_set = "copa:datajitter=step:8,5+copa"});
   return specs;
 }
 

@@ -27,6 +27,8 @@
 #include "cc/verus.hpp"
 #include "cc/vivace.hpp"
 #include "sim/scenario.hpp"
+#include "sim/trace_probe.hpp"
+#include "sweep/spec_parse.hpp"
 
 namespace ccstarve {
 namespace {
@@ -194,6 +196,73 @@ TEST_P(PerCca, TransplantedCcaStaysEffective) {
                            .to_mbps();
   EXPECT_GT(after, 0.4 * before) << c.name << ": " << before << " -> "
                                  << after;
+}
+
+// --- Fork equivalence: for every registered CCA, a continuation forked
+// from a mid-run snapshot dispatches exactly the packet events of the
+// uninterrupted run (DESIGN.md §8). Loss and data jitter are on so the
+// snapshot covers retransmission, RTO, RNG, and jitter-box state. ---
+class ForkEquivalence : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredCcas, ForkEquivalence,
+                         ::testing::ValuesIn(sweep::cca_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(ForkEquivalence, SnapshotForkMatchesColdDigest) {
+  const std::string& name = GetParam();
+  const TimeNs duration = TimeNs::seconds(12);
+  // Snapshot point pseudo-randomized per CCA (FNV-1a of the name) so each
+  // algorithm is cut at a different, unaligned mid-run time in
+  // [0.2, 0.8] x duration.
+  uint64_t h = 1469598103934665603ull;
+  for (const char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  const TimeNs t =
+      duration * (0.2 + 0.6 * static_cast<double>(h % 1000) / 1000.0);
+
+  auto build = [&] {
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(16);
+    auto sc = std::make_unique<Scenario>(std::move(cfg));
+    FlowSpec f;
+    f.cca = sweep::make_cca(name, 11);
+    f.min_rtt = TimeNs::millis(40);
+    f.loss_rate = 0.01;
+    f.loss_seed = 5;
+    f.data_jitter = std::make_unique<UniformJitter>(TimeNs::zero(),
+                                                    TimeNs::millis(3), 7);
+    sc->add_flow(std::move(f));
+    return sc;
+  };
+
+  TraceRecorder cold;
+  {
+    auto sc = build();
+    sc->sim().set_tracer(&cold);
+    sc->run_until(duration);
+  }
+
+  TraceRecorder forked;
+  ScenarioSnapshot snap;
+  {
+    auto sc = build();
+    sc->sim().set_tracer(&forked);
+    sc->run_until(t);
+    snap = sc->snapshot();
+  }
+  auto fk = Scenario::fork(snap);
+  fk->sim().set_tracer(&forked);
+  fk->run_until(duration);
+  EXPECT_EQ(cold.digest_hex(), forked.digest_hex()) << name << " cut at "
+                                                    << t.to_seconds() << " s";
 }
 
 // --- Reliability: in-order delivery survives random loss. ---

@@ -1,0 +1,219 @@
+// Scenario snapshot/fork correctness (DESIGN.md §8).
+//
+// The contract under test: a continuation forked from a snapshot at time T
+// dispatches the exact packet-event sequence a cold run dispatches after T.
+// Digest comparisons use the golden-trace recorder, so "equal" here means
+// byte-identical event streams (tags, times, fields), not statistical
+// similarity.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/jitter_search.hpp"
+#include "golden_scenarios.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trace_probe.hpp"
+#include "sweep/spec_parse.hpp"
+
+namespace ccstarve {
+namespace {
+
+using golden::GoldenSpec;
+using golden::build_golden;
+
+// Digest of an uninterrupted [0, duration] run.
+std::string cold_digest(const GoldenSpec& spec) {
+  auto sc = build_golden(spec);
+  TraceRecorder rec;
+  sc->sim().set_tracer(&rec);
+  sc->run_until(TimeNs::seconds(spec.duration_s));
+  return rec.digest_hex();
+}
+
+// Digest of a run that is snapshotted at `t` and finished by a fork: the
+// same recorder watches the stem over [0, t] and the fork over (t, end],
+// so the digest covers the full event stream and is directly comparable
+// with cold_digest().
+std::string forked_digest(const GoldenSpec& spec, TimeNs t) {
+  TraceRecorder rec;
+  ScenarioSnapshot snap;
+  {
+    auto stem = build_golden(spec);
+    stem->sim().set_tracer(&rec);
+    stem->run_until(t);
+    snap = stem->snapshot();
+  }  // the stem is gone; only the snapshot survives
+  auto forked = Scenario::fork(snap);
+  forked->sim().set_tracer(&rec);
+  forked->run_until(TimeNs::seconds(spec.duration_s));
+  return rec.digest_hex();
+}
+
+// Every golden scenario that runs on the Scenario topology (the trace-link
+// golden bypasses Scenario and is out of snapshot scope).
+std::vector<GoldenSpec> forkable_specs() {
+  std::vector<GoldenSpec> out;
+  for (auto& s : golden::golden_specs()) {
+    if (!s.trace_link) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+class SnapshotFork : public ::testing::TestWithParam<GoldenSpec> {};
+
+TEST_P(SnapshotFork, ForkContinuationMatchesColdRun) {
+  const GoldenSpec& spec = GetParam();
+  // Mid-run, deliberately not aligned to any scenario period.
+  const TimeNs t = TimeNs::seconds(spec.duration_s) * 0.37;
+  EXPECT_EQ(cold_digest(spec), forked_digest(spec, t)) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SnapshotFork,
+                         ::testing::ValuesIn(forkable_specs()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(SnapshotForkTest, RepeatedForksFromOneSnapshotAgree) {
+  GoldenSpec spec{.name = "copa_duo", .flow_set = "copa+copa"};
+  auto stem = build_golden(spec);
+  stem->run_until(TimeNs::seconds(3));
+  const ScenarioSnapshot snap = stem->snapshot();
+
+  auto digest_of_fork = [&] {
+    auto fk = Scenario::fork(snap);
+    TraceRecorder rec;
+    fk->sim().set_tracer(&rec);
+    fk->run_until(TimeNs::seconds(spec.duration_s));
+    return rec.digest_hex();
+  };
+  const std::string first = digest_of_fork();
+  EXPECT_EQ(first, digest_of_fork());
+  EXPECT_EQ(first, digest_of_fork());
+}
+
+TEST(SnapshotForkTest, StemContinuesUnperturbedAfterSnapshot) {
+  GoldenSpec spec{.name = "copa_duo", .flow_set = "copa+copa"};
+  const std::string cold = cold_digest(spec);
+
+  auto sc = build_golden(spec);
+  TraceRecorder rec;
+  sc->sim().set_tracer(&rec);
+  sc->run_until(TimeNs::seconds(3));
+  const ScenarioSnapshot snap = sc->snapshot();  // capture is read-only
+  sc->run_until(TimeNs::seconds(spec.duration_s));
+  EXPECT_EQ(cold, rec.digest_hex());
+}
+
+TEST(SnapshotForkTest, SnapshotOfForkForksAgain) {
+  GoldenSpec spec{.name = "copa_duo", .flow_set = "copa+copa"};
+  TraceRecorder rec;
+  ScenarioSnapshot snap1;
+  {
+    auto stem = build_golden(spec);
+    stem->sim().set_tracer(&rec);
+    stem->run_until(TimeNs::seconds(2));
+    snap1 = stem->snapshot();
+  }
+  ScenarioSnapshot snap2;
+  {
+    auto mid = Scenario::fork(snap1);
+    mid->sim().set_tracer(&rec);
+    mid->run_until(TimeNs::seconds(5));
+    snap2 = mid->snapshot();
+  }
+  auto tail = Scenario::fork(snap2);
+  tail->sim().set_tracer(&rec);
+  tail->run_until(TimeNs::seconds(spec.duration_s));
+  EXPECT_EQ(cold_digest(spec), rec.digest_hex());
+}
+
+TEST(SnapshotForkTest, StartTimeOverrideMatchesColdLateStart) {
+  // Cold reference: second flow joins at t=5.
+  GoldenSpec late{.name = "late", .flow_set = "copa+copa:start=5"};
+  const std::string cold = cold_digest(late);
+
+  // Stem: identical up to t=4 (the second flow is pending either way),
+  // forked with the start overridden to 5.
+  TraceRecorder rec;
+  ScenarioSnapshot snap;
+  {
+    auto stem = build_golden(
+        GoldenSpec{.name = "stem", .flow_set = "copa+copa:start=9999"});
+    stem->sim().set_tracer(&rec);
+    stem->run_until(TimeNs::seconds(4));
+    snap = stem->snapshot();
+  }
+  ForkOptions opts;
+  opts.flows.resize(2);
+  opts.flows[1].start_at = TimeNs::seconds(5);
+  auto forked = Scenario::fork(snap, std::move(opts));
+  forked->sim().set_tracer(&rec);
+  forked->run_until(TimeNs::seconds(late.duration_s));
+  EXPECT_EQ(cold, rec.digest_hex());
+}
+
+TEST(SnapshotForkTest, JitterOverrideMatchesColdLateOnset) {
+  // Cold reference: flow 0's data path gains 8 ms of constant jitter at
+  // t=5 (step onset).
+  GoldenSpec late{.name = "late",
+                  .flow_set = "copa:datajitter=step:8,5+copa"};
+  const std::string cold = cold_digest(late);
+
+  // Stem runs jitter-free to just before the onset; the fork swaps in the
+  // member's policy. A fresh StepJitter clone equals the cold run's policy
+  // state because StepJitter is stateless.
+  const TimeNs fork_at = TimeNs::seconds(5) - TimeNs::nanos(1);
+  TraceRecorder rec;
+  ScenarioSnapshot snap;
+  {
+    auto stem =
+        build_golden(GoldenSpec{.name = "stem", .flow_set = "copa+copa"});
+    stem->sim().set_tracer(&rec);
+    stem->run_until(fork_at);
+    snap = stem->snapshot();
+  }
+  ForkOptions opts;
+  opts.flows.resize(1);
+  opts.flows[0].replace_data_jitter = true;
+  opts.flows[0].data_jitter = sweep::make_jitter("step:8,5", /*seed=*/1);
+  auto forked = Scenario::fork(snap, std::move(opts));
+  forked->sim().set_tracer(&rec);
+  forked->run_until(TimeNs::seconds(late.duration_s));
+  EXPECT_EQ(cold, rec.digest_hex());
+}
+
+TEST(SnapshotForkTest, JitterSearchSharedWarmupMatchesColdSearch) {
+  // The adversary search's fork path: one converged two-flow equilibrium,
+  // every schedule forked from it. Outcomes must equal the cold search
+  // exactly (same doubles, not approximately) because the forks are
+  // byte-identical continuations.
+  JitterSearchConfig cfg;
+  cfg.link_rate = Rate::mbps(16);
+  cfg.min_rtt = TimeNs::millis(40);
+  cfg.d = TimeNs::millis(8);
+  cfg.duration = TimeNs::seconds(8);
+  cfg.onset = TimeNs::seconds(3);
+  cfg.random_schedules = 1;
+  const CcaMaker maker = [] { return sweep::make_cca("vegas", 11); };
+
+  cfg.share_warmup = false;
+  const JitterSearchResult cold = search_jitter_adversary(maker, cfg);
+  cfg.share_warmup = true;
+  const JitterSearchResult shared = search_jitter_adversary(maker, cfg);
+
+  ASSERT_EQ(cold.outcomes.size(), shared.outcomes.size());
+  for (size_t i = 0; i < cold.outcomes.size(); ++i) {
+    EXPECT_EQ(cold.outcomes[i].name, shared.outcomes[i].name);
+    EXPECT_EQ(cold.outcomes[i].utilization, shared.outcomes[i].utilization)
+        << cold.outcomes[i].name;
+    EXPECT_EQ(cold.outcomes[i].ratio, shared.outcomes[i].ratio)
+        << cold.outcomes[i].name;
+  }
+  EXPECT_EQ(cold.worst_utilization, shared.worst_utilization);
+  EXPECT_EQ(cold.worst_ratio, shared.worst_ratio);
+  EXPECT_EQ(cold.any_violation, shared.any_violation);
+}
+
+}  // namespace
+}  // namespace ccstarve

@@ -16,6 +16,7 @@
 #include "sweep/cache.hpp"
 #include "sweep/engine.hpp"
 #include "sweep/grid.hpp"
+#include "sweep/prefix.hpp"
 #include "sweep/record.hpp"
 #include "sweep/spec_parse.hpp"
 #include "util/parallel.hpp"
@@ -310,6 +311,111 @@ TEST(SweepEngine, RequestStopSkipsRemainingPoints) {
   EXPECT_EQ(out.records.size(), 0u);
   EXPECT_EQ(out.stats.skipped, points.size());
   clear_stop();
+}
+
+namespace {
+
+// Grid whose jitter axis mixes shareable (late-onset / none) and
+// unshareable (immediately active) specs — the shape --share-prefix is
+// built for: one warm-up, many onset variants.
+SweepGrid share_grid() {
+  SweepGrid g;
+  g.flow_sets = {"copa+copa"};
+  g.link_mbps = {24};
+  g.rtt_ms = {20};
+  g.jitter = {"none", "step:4,2", "step:8,4", "const:2"};
+  g.duration_s = {6};
+  g.seeds = {1};
+  return g;
+}
+
+}  // namespace
+
+TEST(PrefixPlan, JitterActivationTimes) {
+  EXPECT_EQ(jitter_activation("none"), TimeNs::infinite());
+  EXPECT_EQ(jitter_activation(""), TimeNs::infinite());
+  EXPECT_EQ(jitter_activation("step:8,5"), TimeNs::seconds(5));
+  EXPECT_EQ(jitter_activation("step:8,0"), TimeNs::zero());
+  EXPECT_EQ(jitter_activation("const:2"), TimeNs::zero());
+  EXPECT_EQ(jitter_activation("uniform:3"), TimeNs::zero());
+}
+
+TEST(PrefixPlan, GroupsByStemSignature) {
+  auto g = share_grid();
+  g.seeds = {1, 2};
+  const auto points = g.expand();  // 4 jitter x 2 seeds
+  const PrefixPlan plan = plan_prefix_sharing(points);
+  // One group per seed (none + two steps); the const:2 points run cold.
+  ASSERT_EQ(plan.groups.size(), 2u);
+  EXPECT_EQ(plan.solo.size(), 2u);
+  for (const auto& grp : plan.groups) {
+    EXPECT_EQ(grp.members.size(), 3u);
+    // Stem stops 1 ns before the earliest onset (step:4,2).
+    EXPECT_EQ(grp.fork_at, TimeNs::seconds(2) - TimeNs::nanos(1));
+    uint64_t seed = 0;
+    for (size_t i : grp.members) {
+      if (seed == 0) seed = points[i].seed;
+      EXPECT_EQ(points[i].seed, seed);  // no cross-seed grouping
+      EXPECT_NE(points[i].jitter, "const:2");
+    }
+  }
+}
+
+TEST(PrefixPlan, FlowLevelJitterOverrideDisablesSharing) {
+  // datajitter= on flow 0 makes the grid's jitter axis inert, so these
+  // points must not be grouped around a jitter-free stem.
+  SweepGrid g = share_grid();
+  g.flow_sets = {"copa:datajitter=const:1+copa"};
+  const auto points = g.expand();
+  const PrefixPlan plan = plan_prefix_sharing(points);
+  EXPECT_TRUE(plan.groups.empty());
+  EXPECT_EQ(plan.solo.size(), points.size());
+}
+
+// Acceptance: --share-prefix changes wall-clock work, never bytes. Every
+// record from the forked path must equal the cold-run record exactly —
+// this exercises snapshot/fork end to end including the measurement
+// pipeline (stats time series restored across the fork).
+TEST(SweepEngine, SharePrefixRecordsMatchColdByteForByte) {
+  const auto points = share_grid().expand();
+  SweepOptions cold;
+  cold.jobs = 2;
+  const auto a = run_sweep(points, cold);
+  ASSERT_EQ(a.records.size(), points.size());
+  EXPECT_EQ(a.stats.simulated, points.size());
+  EXPECT_EQ(a.stats.forked, 0u);
+
+  SweepOptions shared = cold;
+  shared.share_prefix = true;
+  const auto b = run_sweep(points, shared);
+  ASSERT_EQ(b.lines.size(), a.lines.size());
+  for (size_t i = 0; i < a.lines.size(); ++i) {
+    EXPECT_EQ(a.lines[i], b.lines[i]) << points[i].key();
+  }
+  // none + step:4,2 + step:8,4 fork from one stem; const:2 runs cold.
+  EXPECT_EQ(b.stats.forked, 3u);
+  EXPECT_EQ(b.stats.simulated, 1u);
+  EXPECT_EQ(b.stats.simulated + b.stats.cache_hits + b.stats.forked +
+                b.stats.skipped,
+            b.stats.total);
+}
+
+// Sharing composes with the cache: forked records are stored like any
+// other, and a warm cache never rebuilds a stem.
+TEST(SweepEngine, SharePrefixWarmCacheSimulatesNothing) {
+  TempDir dir("share_warm");
+  const auto points = share_grid().expand();
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.cache_dir = dir.str();
+  opt.share_prefix = true;
+  const auto cold = run_sweep(points, opt);
+  EXPECT_EQ(cold.stats.forked, 3u);
+  const auto warm = run_sweep(points, opt);
+  EXPECT_EQ(warm.stats.cache_hits, points.size());
+  EXPECT_EQ(warm.stats.simulated, 0u);
+  EXPECT_EQ(warm.stats.forked, 0u);
+  EXPECT_EQ(warm.lines, cold.lines);
 }
 
 TEST(SweepEngine, RecordMeasuresStarvation) {

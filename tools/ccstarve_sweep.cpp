@@ -23,6 +23,10 @@
 //   --seed=<list>        integer seeds                 (default 1)
 // Execution:
 //   --jobs=<N>           worker threads (default: hardware threads)
+//   --share-prefix       share warm-up prefixes between points differing
+//                        only in a late-activating jitter axis (one stem
+//                        run per group, snapshot/forked per member;
+//                        records are byte-identical to cold runs)
 //   --warmup-frac=<f>    measurement window starts at f*duration (def 1/6)
 //   --out=<path>         write JSONL records there ("-" = stdout)
 //   --cache=<dir>        result cache directory (default .sweep-cache)
@@ -124,6 +128,8 @@ int main(int argc, char** argv) {
         out_path = *v;
       } else if (auto v = val("--cache=")) {
         opt.cache_dir = *v;
+      } else if (arg == "--share-prefix") {
+        opt.share_prefix = true;
       } else if (arg == "--no-cache") {
         no_cache = true;
       } else if (arg == "--quiet") {
@@ -161,15 +167,15 @@ int main(int argc, char** argv) {
       }
     }
     sweep::summary_table(outcome.records).print(std::cout);
+    // The four buckets partition the grid (SweepStats invariant), so this
+    // line always sums to total — no point is double-counted or dropped.
+    const sweep::SweepStats& st = outcome.stats;
     std::fprintf(stderr,
-                 "sweep: %zu/%zu points done (%zu simulated, %zu cached"
-                 "%s%s)\n",
-                 outcome.records.size(), outcome.stats.total,
-                 outcome.stats.simulated, outcome.stats.cache_hits,
-                 outcome.stats.skipped ? ", interrupted: skipped " : "",
-                 outcome.stats.skipped
-                     ? std::to_string(outcome.stats.skipped).c_str()
-                     : "");
+                 "sweep: %zu/%zu points done (%zu simulated + %zu cached + "
+                 "%zu forked + %zu skipped = %zu)\n",
+                 outcome.records.size(), st.total, st.simulated,
+                 st.cache_hits, st.forked, st.skipped,
+                 st.simulated + st.cache_hits + st.forked + st.skipped);
     return outcome.interrupted ? 130 : 0;
   } catch (const sweep::SpecError& e) {
     die(e.what());
