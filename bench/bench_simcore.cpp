@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "check/scenarios.hpp"
 #include "sim/scenario.hpp"
 #include "sim/trace_probe.hpp"
 #include "sweep/spec_parse.hpp"
@@ -40,14 +41,9 @@ double wall_seconds_since(
 }
 
 // ---------------------------------------------------------------------------
-// Scenario throughput.
-
-struct ScenarioBench {
-  const char* name;
-  const char* flow_set;
-  double link_mbps;
-  double rtt_ms;
-};
+// Scenario throughput. The scenarios come from the shared registry
+// (check/scenarios.hpp, bench_specs()), built exactly as the golden and
+// fuzz harnesses build theirs.
 
 struct ScenarioRow {
   std::string name;
@@ -58,32 +54,12 @@ struct ScenarioRow {
   uint64_t packets = 0;
 };
 
-std::unique_ptr<Scenario> build_scenario(const ScenarioBench& b,
-                                         EventPool* pool) {
-  const auto flows = sweep::parse_flow_set(b.flow_set);
-  ScenarioConfig cfg;
-  cfg.link_rate = Rate::mbps(b.link_mbps);
-  cfg.buffer_bytes =
-      sweep::parse_buffer_bytes("2bdp", cfg.link_rate, b.rtt_ms);
-  cfg.event_pool = pool;
-  auto sc = std::make_unique<Scenario>(std::move(cfg));
-  constexpr uint64_t base = 1000;  // sweep seed derivation, seed=1
-  for (size_t i = 0; i < flows.size(); ++i) {
-    FlowSpec fs;
-    fs.cca = sweep::make_cca(flows[i].cca, base + 7 + i);
-    fs.min_rtt = TimeNs::millis(b.rtt_ms);
-    fs.stats_interval = TimeNs::millis(10);
-    sc->add_flow(std::move(fs));
-  }
-  return sc;
-}
-
-ScenarioRow run_scenario(const ScenarioBench& b, double sim_seconds) {
+ScenarioRow run_scenario(const golden::GoldenSpec& b, double sim_seconds) {
   // Warm pool + code before the timed run, on a short prefix.
   EventPool pool;
-  build_scenario(b, &pool)->run_until(TimeNs::millis(200));
+  golden::build_golden(b, &pool)->run_until(TimeNs::millis(200));
 
-  auto sc = build_scenario(b, &pool);
+  auto sc = golden::build_golden(b, &pool);
   const auto start = std::chrono::steady_clock::now();
   sc->run_until(TimeNs::seconds(sim_seconds));
   ScenarioRow row;
@@ -183,9 +159,9 @@ struct ReplayChain {
 };
 
 // Captures the schedule-delay pattern of the 4-flow scenario.
-std::vector<int64_t> capture_deltas(const ScenarioBench& b,
+std::vector<int64_t> capture_deltas(const golden::GoldenSpec& b,
                                     double sim_seconds) {
-  auto sc = build_scenario(b, nullptr);
+  auto sc = golden::build_golden(b);
   TraceRecorder recorder;
   std::vector<int64_t> deltas;
   recorder.collect_schedule_deltas(&deltas);
@@ -231,18 +207,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  const ScenarioBench kScenarios[] = {
-      {"flows_1", "newreno", 48, 40},
-      {"flows_4", "newreno+cubic+vegas+copa", 96, 60},
-      {"flows_16",
-       "newreno+cubic+vegas+copa+newreno+cubic+vegas+copa"
-       "+newreno+cubic+vegas+copa+newreno+cubic+vegas+copa",
-       192, 60},
-  };
+  const std::vector<golden::GoldenSpec> kScenarios = golden::bench_specs();
   const double sim_seconds = quick ? 2.0 : 8.0;
 
   std::vector<ScenarioRow> rows;
-  for (const ScenarioBench& b : kScenarios) {
+  for (const golden::GoldenSpec& b : kScenarios) {
     rows.push_back(run_scenario(b, sim_seconds));
     const ScenarioRow& r = rows.back();
     std::printf(

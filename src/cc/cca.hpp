@@ -55,6 +55,17 @@ struct LossSample {
   bool is_timeout = false;
 };
 
+// Bounds the invariant checker (src/check/invariants.hpp) holds a CCA's
+// outputs to on every ACK. Defaults are the weakest sane contract — a
+// positive window no bigger than twice the rate-based sentinel; algorithms
+// with known floors (cwnd never below 1–2 MSS) tighten min_cwnd_bytes.
+struct CcaSanity {
+  uint64_t min_cwnd_bytes = 1;
+  uint64_t max_cwnd_bytes = 2 * (uint64_t{1} << 48);
+  // Pacing must be positive (or infinite for pure window-based CCAs).
+  bool pacing_may_be_infinite = true;
+};
+
 class Cca {
  public:
   virtual ~Cca() = default;
@@ -82,6 +93,10 @@ class Cca {
   // to the original; every CCA here holds only value-type state, so
   // implementations are one-line copy-constructor wrappers.
   virtual std::unique_ptr<Cca> clone() const = 0;
+
+  // Output bounds the runtime invariant checker asserts per ACK. The
+  // default is the weakest contract; override to tighten (see CcaSanity).
+  virtual CcaSanity sanity() const { return CcaSanity{}; }
 
   // Effectively-unbounded cwnd for rate-based CCAs.
   static constexpr uint64_t kNoCwndLimit = uint64_t{1} << 48;

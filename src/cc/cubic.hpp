@@ -33,6 +33,12 @@ class Cubic final : public Cca {
     return std::make_unique<Cubic>(*this);
   }
   void rebase_time(TimeNs delta) override;
+  // cwnd_bytes() floors at 1 MSS (cubic.cpp).
+  CcaSanity sanity() const override {
+    CcaSanity s;
+    s.min_cwnd_bytes = kMss;
+    return s;
+  }
 
   double cwnd_pkts() const { return cwnd_pkts_; }
 

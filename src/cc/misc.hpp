@@ -26,6 +26,13 @@ class ConstCwnd final : public Cca {
   std::unique_ptr<Cca> clone() const override {
     return std::make_unique<ConstCwnd>(*this);
   }
+  // The window never moves; the checker may pin it exactly.
+  CcaSanity sanity() const override {
+    CcaSanity s;
+    s.min_cwnd_bytes = cwnd_bytes();
+    s.max_cwnd_bytes = cwnd_bytes();
+    return s;
+  }
 
  private:
   double cwnd_pkts_;

@@ -28,6 +28,12 @@ class NewReno final : public Cca {
   std::unique_ptr<Cca> clone() const override {
     return std::make_unique<NewReno>(*this);
   }
+  // cwnd_bytes() floors at 1 MSS (reno.cpp).
+  CcaSanity sanity() const override {
+    CcaSanity s;
+    s.min_cwnd_bytes = kMss;
+    return s;
+  }
 
   double cwnd_pkts() const { return cwnd_pkts_; }
   bool in_slow_start() const { return cwnd_pkts_ < ssthresh_pkts_; }

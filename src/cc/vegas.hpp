@@ -34,6 +34,12 @@ class Vegas final : public Cca {
   std::unique_ptr<Cca> clone() const override {
     return std::make_unique<Vegas>(*this);
   }
+  // cwnd_pkts_ never drops below 2 on any path (vegas.cpp).
+  CcaSanity sanity() const override {
+    CcaSanity s;
+    s.min_cwnd_bytes = 2 * kMss;
+    return s;
+  }
 
   double base_rtt_seconds() const { return base_rtt_.to_seconds(); }
   // Current estimate of packets queued at the bottleneck.

@@ -1,0 +1,564 @@
+#include "check/fuzzer.hpp"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "sim/trace_probe.hpp"
+#include "util/rng.hpp"
+
+namespace ccstarve::check {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Inverse of sweep::parse_flow for the option subset the fuzzer emits.
+std::string flow_to_string(const sweep::FlowArgs& fa) {
+  std::string s = fa.cca;
+  if (fa.start_s != 0.0) s += ":start=" + fmt(fa.start_s);
+  if (fa.rtt_ms.has_value()) s += ":rtt=" + fmt(*fa.rtt_ms);
+  if (fa.loss != 0.0) s += ":loss=" + fmt(fa.loss);
+  if (!fa.ack_jitter.empty() && fa.ack_jitter != "none") {
+    s += ":ackjitter=" + fa.ack_jitter;
+  }
+  if (!fa.data_jitter.empty() && fa.data_jitter != "none") {
+    s += ":datajitter=" + fa.data_jitter;
+  }
+  return s;
+}
+
+std::string join_flows(const std::vector<std::string>& flows) {
+  std::string s;
+  for (size_t i = 0; i < flows.size(); ++i) {
+    if (i > 0) s += '+';
+    s += flows[i];
+  }
+  return s;
+}
+
+// Whether a flow's behaviour is independent of its position in the flow
+// list. Positional seeds feed the loss gate, uniform jitter and the
+// randomized CCAs, so any of those makes a swap change behaviour.
+bool position_independent(const sweep::FlowArgs& fa) {
+  if (fa.loss != 0.0) return false;
+  if (starts_with(fa.data_jitter, "uniform") ||
+      starts_with(fa.ack_jitter, "uniform")) {
+    return false;
+  }
+  return fa.cca != "bbr" && fa.cca != "vivace" && fa.cca != "allegro";
+}
+
+struct FlowEnd {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t cum = 0;
+  bool operator==(const FlowEnd&) const = default;
+};
+
+std::vector<FlowEnd> collect_ends(const Scenario& sc) {
+  std::vector<FlowEnd> ends(sc.flow_count());
+  for (size_t i = 0; i < sc.flow_count(); ++i) {
+    ends[i] = {sc.sender(i).packets_sent(), sc.sender(i).delivered_bytes(),
+               sc.receiver(i).cum_received()};
+  }
+  return ends;
+}
+
+std::string end_str(const FlowEnd& e) {
+  return "sent=" + std::to_string(e.sent) +
+         " delivered=" + std::to_string(e.delivered) +
+         " cum=" + std::to_string(e.cum);
+}
+
+std::string jitter_spec(Rng& rng) {
+  switch (rng.next_below(6)) {
+    case 0: {
+      const double c[] = {1, 2, 5, 8};
+      return "const:" + fmt(c[rng.next_below(4)]);
+    }
+    case 1: {
+      const double c[] = {2, 5};
+      return "uniform:" + fmt(c[rng.next_below(2)]);
+    }
+    case 2: {
+      const double c[] = {20, 60};
+      return "quantize:" + fmt(c[rng.next_below(2)]);
+    }
+    case 3:
+      return "onoff:8,50,50";
+    case 4:
+      return "step:5,0.5";
+    default:
+      return "allbutone:1,0.3";
+  }
+}
+
+}  // namespace
+
+std::string FuzzCase::to_line() const {
+  return std::to_string(seed) + "|" + flow_set + "|" + fmt(link_mbps) + "|" +
+         fmt(rtt_ms) + "|" + (buffer.empty() ? "-" : buffer) + "|" +
+         fmt(ecn_threshold_pkts) + "|" + std::to_string(prefill_bytes) + "|" +
+         fmt(jitter_budget_ms) + "|" + fmt(duration_s) + "|" +
+         (trace_link ? "1" : "0");
+}
+
+std::optional<FuzzCase> FuzzCase::from_line(const std::string& line,
+                                            std::string* error) {
+  const auto set_error = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+  };
+  const std::vector<std::string> f = sweep::split(line, '|');
+  if (f.size() != 10) {
+    set_error("expected 10 '|'-separated fields, got " +
+              std::to_string(f.size()));
+    return std::nullopt;
+  }
+  FuzzCase c;
+  try {
+    c.seed = std::stoull(f[0]);
+    c.flow_set = f[1];
+    c.link_mbps = std::stod(f[2]);
+    c.rtt_ms = std::stod(f[3]);
+    c.buffer = f[4];
+    c.ecn_threshold_pkts = std::stod(f[5]);
+    c.prefill_bytes = std::stoull(f[6]);
+    c.jitter_budget_ms = std::stod(f[7]);
+    c.duration_s = std::stod(f[8]);
+    c.trace_link = f[9] == "1";
+  } catch (const std::exception& e) {
+    set_error(std::string("bad numeric field: ") + e.what());
+    return std::nullopt;
+  }
+  if (c.link_mbps <= 0 || c.rtt_ms <= 0 || c.duration_s <= 0) {
+    set_error("link_mbps, rtt_ms and duration_s must be positive");
+    return std::nullopt;
+  }
+  try {
+    const auto flows = sweep::parse_flow_set(c.flow_set);
+    if (c.trace_link && flows.size() != 1) {
+      set_error("trace-link cases take exactly one flow");
+      return std::nullopt;
+    }
+    sweep::parse_buffer_bytes(c.buffer, Rate::mbps(c.link_mbps), c.rtt_ms);
+  } catch (const sweep::SpecError& e) {
+    set_error(e.what());
+    return std::nullopt;
+  }
+  return c;
+}
+
+golden::GoldenSpec FuzzCase::to_spec() const {
+  golden::GoldenSpec s;
+  s.name = "fuzz_" + std::to_string(seed);
+  s.flow_set = flow_set;
+  s.link_mbps = link_mbps;
+  s.rtt_ms = rtt_ms;
+  s.buffer = buffer;
+  s.ecn_threshold_pkts = ecn_threshold_pkts;
+  s.prefill_bytes = prefill_bytes;
+  s.jitter_budget_ms = jitter_budget_ms;
+  s.trace_link = trace_link;
+  s.seed = seed;
+  s.duration_s = duration_s;
+  return s;
+}
+
+std::string FuzzCase::repro_command() const {
+  if (trace_link) {
+    return "ccstarve_fuzz --replay '" + to_line() + "'";
+  }
+  std::string cmd = "ccstarve_run";
+  for (const std::string& f : sweep::split(flow_set, '+')) {
+    cmd += " --flow=" + f;
+  }
+  cmd += " --link=" + fmt(link_mbps) + " --rtt=" + fmt(rtt_ms);
+  if (!buffer.empty() && buffer != "-") cmd += " --buffer=" + buffer;
+  if (ecn_threshold_pkts > 0) cmd += " --ecn=" + fmt(ecn_threshold_pkts);
+  if (prefill_bytes > 0) {
+    cmd += " --prefill=" + std::to_string(prefill_bytes);
+  }
+  if (jitter_budget_ms > 0) {
+    cmd += " --jitter-budget=" + fmt(jitter_budget_ms);
+  }
+  cmd += " --duration=" + fmt(duration_s) + " --seed=" +
+         std::to_string(seed) + " --check";
+  return cmd;
+}
+
+FuzzCase generate_case(uint64_t seed) {
+  FuzzCase c;
+  c.seed = seed;
+  Rng rng(seed ^ 0x5bf03635aca38fd5ULL);
+  const std::vector<std::string>& names = sweep::cca_names();
+  const double links[] = {24, 48, 96, 120, 192};
+  const double rtts[] = {20, 40, 60, 100};
+  const double durs[] = {0.8, 1.2, 1.6, 2.4};
+  c.link_mbps = links[rng.next_below(5)];
+  c.rtt_ms = rtts[rng.next_below(4)];
+  c.duration_s = durs[rng.next_below(4)];
+
+  if (rng.next_below(16) == 0) {
+    // Mahimahi-style single-flow trace-link case; the remaining axes do not
+    // apply to that topology.
+    c.trace_link = true;
+    c.flow_set = names[rng.next_below(names.size())];
+    return c;
+  }
+
+  const size_t flow_count = 1 + rng.next_below(4);
+  std::vector<std::string> flows;
+  for (size_t i = 0; i < flow_count; ++i) {
+    std::string f = names[rng.next_below(names.size())];
+    if (rng.next_below(4) == 0) {
+      f += ":start=" + fmt(0.1 * static_cast<double>(1 + rng.next_below(5)));
+    }
+    if (rng.next_below(4) == 0) {
+      f += ":rtt=" + fmt(rtts[rng.next_below(4)]);
+    }
+    if (rng.next_below(6) == 0) {
+      const double losses[] = {0.005, 0.01, 0.02};
+      f += ":loss=" + fmt(losses[rng.next_below(3)]);
+    }
+    if (rng.next_below(3) == 0) f += ":datajitter=" + jitter_spec(rng);
+    if (rng.next_below(4) == 0) f += ":ackjitter=" + jitter_spec(rng);
+    flows.push_back(std::move(f));
+  }
+  c.flow_set = join_flows(flows);
+
+  const char* buffers[] = {"-", "1bdp", "2bdp", "4bdp", "90"};
+  c.buffer = buffers[rng.next_below(5)];
+  if (rng.next_below(8) == 0) c.ecn_threshold_pkts = 30;
+  if (rng.next_below(8) == 0) c.prefill_bytes = 30000;
+  // Largest jitter any generated policy can add is the 60 ms quantization
+  // period, so a 100 ms budget must never be violated on a clean run.
+  if (rng.next_below(4) == 0) c.jitter_budget_ms = 100;
+  return c;
+}
+
+namespace {
+
+// The scenario-topology oracle set (everything except trace-link cases).
+std::optional<FuzzFailure> run_scenario_case(const FuzzCase& c,
+                                             const FuzzOptions& opts) {
+  const golden::GoldenSpec spec = c.to_spec();
+  const TimeNs end = TimeNs::seconds(c.duration_s);
+  Rng rng(c.seed ^ 0x853c49e6748fea9bULL);
+  // Random quiescent snapshot point in the middle of the run.
+  const TimeNs mid = TimeNs::nanos(static_cast<int64_t>(
+      static_cast<double>(end.ns()) * (0.35 + 0.3 * rng.next_double())));
+
+  // Run A: invariants on, tracer split at the snapshot point so the
+  // continuation digest is comparable with the fork's.
+  auto sc1 = golden::build_golden(spec);
+  InvariantChecker ck1;
+  ck1.attach(*sc1);
+  TraceRecorder r1;
+  sc1->sim().set_tracer(&r1);
+  sc1->run_until(mid);
+  ScenarioSnapshot snap;
+  try {
+    snap = sc1->snapshot();
+  } catch (const SnapshotError& e) {
+    return FuzzFailure{"snapshot", e.what()};
+  }
+  const std::string d_pre = r1.digest_hex();
+  TraceRecorder r2;
+  sc1->sim().set_tracer(&r2);
+  sc1->run_until(end);
+  ck1.checkpoint();
+  if (!ck1.ok()) return FuzzFailure{"invariant", ck1.report()};
+  const std::string d_post = r2.digest_hex();
+  const std::vector<FlowEnd> ends1 = collect_ends(*sc1);
+
+  // Run B: a second cold run must be byte-identical (determinism; this is
+  // also what makes sweep results independent of --jobs scheduling).
+  {
+    auto sc2 = golden::build_golden(spec);
+    TraceRecorder r3;
+    sc2->sim().set_tracer(&r3);
+    sc2->run_until(mid);
+    if (r3.digest_hex() != d_pre) {
+      return FuzzFailure{"determinism",
+                         "prefix digests differ across identical runs: " +
+                             d_pre + " vs " + r3.digest_hex()};
+    }
+    TraceRecorder r4;
+    sc2->sim().set_tracer(&r4);
+    sc2->run_until(end);
+    if (r4.digest_hex() != d_post) {
+      return FuzzFailure{"determinism",
+                         "continuation digests differ across identical "
+                         "runs: " +
+                             d_post + " vs " + r4.digest_hex()};
+    }
+  }
+
+  // Fork: a snapshot restored at the quiescent point must replay the
+  // continuation byte-for-byte, with invariants (checker synced from the
+  // fork's live state) holding throughout.
+  {
+    auto fk = Scenario::fork(snap);
+    InvariantChecker ckf;
+    ckf.attach(*fk);
+    TraceRecorder r5;
+    fk->sim().set_tracer(&r5);
+    fk->run_until(end);
+    ckf.checkpoint();
+    if (!ckf.ok()) return FuzzFailure{"invariant-fork", ckf.report()};
+    if (r5.digest_hex() != d_post) {
+      return FuzzFailure{
+          "fork-identity",
+          "fork at t=" + std::to_string(mid.ns()) +
+              "ns diverged from the uninterrupted continuation: " + d_post +
+              " vs " + r5.digest_hex()};
+    }
+  }
+
+  if (!opts.metamorphic) return std::nullopt;
+
+  std::vector<sweep::FlowArgs> flows = sweep::parse_flow_set(c.flow_set);
+  std::vector<std::string> flow_strs = sweep::split(c.flow_set, '+');
+
+  // Relabel symmetry: swapping two position-independent flows permutes the
+  // per-flow outcomes. Skipped when either run saw two flows reach the
+  // bottleneck in the same nanosecond (the (time, seq) tie-break is then
+  // order-dependent by design).
+  if (flows.size() >= 2) {
+    const size_t i = rng.next_below(flows.size());
+    size_t j = rng.next_below(flows.size() - 1);
+    if (j >= i) ++j;
+    if (position_independent(flows[i]) && position_independent(flows[j])) {
+      FuzzCase swapped = c;
+      std::vector<std::string> sf = flow_strs;
+      std::swap(sf[i], sf[j]);
+      swapped.flow_set = join_flows(sf);
+      auto scs = golden::build_golden(swapped.to_spec());
+      InvariantChecker cks;
+      cks.attach(*scs);
+      scs->run_until(end);
+      if (!ck1.saw_cross_flow_link_tie() && !cks.saw_cross_flow_link_tie()) {
+        const std::vector<FlowEnd> endss = collect_ends(*scs);
+        for (size_t k = 0; k < ends1.size(); ++k) {
+          const size_t mapped = k == i ? j : (k == j ? i : k);
+          if (!(ends1[k] == endss[mapped])) {
+            return FuzzFailure{
+                "relabel-symmetry",
+                "swapping flows " + std::to_string(i) + " and " +
+                    std::to_string(j) + ": flow " + std::to_string(k) +
+                    " [" + end_str(ends1[k]) + "] became flow " +
+                    std::to_string(mapped) + " [" + end_str(endss[mapped]) +
+                    "]"};
+          }
+        }
+      }
+    }
+  }
+
+  // Constant-jitter exactness and monotonicity: a const:<c> data box adds
+  // exactly c to every packet, and doubling c doubles the observation.
+  for (size_t k = 0; k < flows.size(); ++k) {
+    if (!starts_with(flows[k].data_jitter, "const:")) continue;
+    const double c_ms = std::stod(flows[k].data_jitter.substr(6));
+    const TimeNs c_ns = TimeNs::millis(c_ms);
+    if (sc1->data_jitter_stats(k).packets == 0) break;
+    const TimeNs seen = ck1.observed_max_added(static_cast<uint32_t>(k),
+                                               /*ack_path=*/false);
+    if (seen != c_ns) {
+      return FuzzFailure{"const-jitter",
+                         "flow " + std::to_string(k) + " datajitter=const:" +
+                             fmt(c_ms) + " added " +
+                             std::to_string(seen.ns()) + "ns, expected " +
+                             std::to_string(c_ns.ns()) + "ns"};
+    }
+    if (c.jitter_budget_ms > 0 && 2 * c_ms > c.jitter_budget_ms) break;
+    FuzzCase doubled = c;
+    std::vector<sweep::FlowArgs> df = flows;
+    df[k].data_jitter = "const:" + fmt(2 * c_ms);
+    std::vector<std::string> dstrs;
+    for (const sweep::FlowArgs& fa : df) dstrs.push_back(flow_to_string(fa));
+    doubled.flow_set = join_flows(dstrs);
+    auto scd = golden::build_golden(doubled.to_spec());
+    InvariantChecker ckd;
+    ckd.attach(*scd);
+    scd->run_until(end);
+    if (!ckd.ok()) return FuzzFailure{"invariant", ckd.report()};
+    const TimeNs seen2 = ckd.observed_max_added(static_cast<uint32_t>(k),
+                                                /*ack_path=*/false);
+    if (scd->data_jitter_stats(k).packets > 0 &&
+        (seen2 != c_ns + c_ns || seen2 <= seen)) {
+      return FuzzFailure{
+          "jitter-monotone",
+          "flow " + std::to_string(k) + ": doubling const jitter " +
+              fmt(c_ms) + "ms changed the observed added delay from " +
+              std::to_string(seen.ns()) + "ns to " +
+              std::to_string(seen2.ns()) + "ns, expected exactly " +
+              std::to_string((c_ns + c_ns).ns()) + "ns"};
+    }
+    break;  // one const-jitter flow is enough per case
+  }
+
+  return std::nullopt;
+}
+
+std::optional<FuzzFailure> run_trace_case(const FuzzCase& c) {
+  const golden::GoldenSpec spec = c.to_spec();
+  InvariantChecker ck1;
+  const golden::GoldenResult a = golden::run_trace_link_golden(spec, &ck1);
+  if (!ck1.ok()) return FuzzFailure{"invariant", ck1.report()};
+  InvariantChecker ck2;
+  const golden::GoldenResult b = golden::run_trace_link_golden(spec, &ck2);
+  if (a.digest_hex != b.digest_hex) {
+    return FuzzFailure{"determinism",
+                       "trace-link digests differ across identical runs: " +
+                           a.digest_hex + " vs " + b.digest_hex};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<FuzzFailure> run_case(const FuzzCase& c,
+                                    const FuzzOptions& opts) {
+  try {
+    if (c.trace_link) return run_trace_case(c);
+    return run_scenario_case(c, opts);
+  } catch (const sweep::SpecError& e) {
+    return FuzzFailure{"spec", e.what()};
+  } catch (const std::exception& e) {
+    return FuzzFailure{"exception", e.what()};
+  }
+}
+
+FuzzCase shrink_case(const FuzzCase& c, const FuzzOptions& opts,
+                     FuzzFailure* out_failure, int max_runs) {
+  FuzzCase cur = c;
+  FuzzFailure fail;
+  int runs = 0;
+  const auto still_fails = [&](const FuzzCase& cand) {
+    if (runs >= max_runs) return false;
+    ++runs;
+    const auto r = run_case(cand, opts);
+    if (r.has_value()) {
+      fail = *r;
+      return true;
+    }
+    return false;
+  };
+  if (!still_fails(cur)) {
+    // Not reproducible (or budget exhausted immediately): return as-is.
+    if (out_failure != nullptr) *out_failure = fail;
+    return cur;
+  }
+
+  bool changed = true;
+  while (changed && runs < max_runs) {
+    changed = false;
+
+    // Drop whole flows.
+    std::vector<std::string> flows = sweep::split(cur.flow_set, '+');
+    for (size_t i = 0; i < flows.size() && flows.size() > 1;) {
+      std::vector<std::string> fewer = flows;
+      fewer.erase(fewer.begin() + static_cast<long>(i));
+      FuzzCase cand = cur;
+      cand.flow_set = join_flows(fewer);
+      if (still_fails(cand)) {
+        cur = cand;
+        flows = std::move(fewer);
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Strip per-flow options.
+    for (size_t i = 0; i < flows.size(); ++i) {
+      sweep::FlowArgs fa = sweep::parse_flow(flows[i]);
+      const auto try_edit = [&](sweep::FlowArgs edited) {
+        std::vector<std::string> ef = flows;
+        ef[i] = flow_to_string(edited);
+        if (ef[i] == flows[i]) return;
+        FuzzCase cand = cur;
+        cand.flow_set = join_flows(ef);
+        if (still_fails(cand)) {
+          cur = cand;
+          flows = std::move(ef);
+          fa = std::move(edited);
+          changed = true;
+        }
+      };
+      sweep::FlowArgs e = fa;
+      e.loss = 0.0;
+      try_edit(e);
+      e = fa;
+      e.data_jitter.clear();
+      try_edit(e);
+      e = fa;
+      e.ack_jitter.clear();
+      try_edit(e);
+      e = fa;
+      e.rtt_ms.reset();
+      try_edit(e);
+      e = fa;
+      e.start_s = 0.0;
+      try_edit(e);
+    }
+
+    // Remove whole axes.
+    const auto try_case = [&](FuzzCase cand) {
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        changed = true;
+      }
+    };
+    if (cur.ecn_threshold_pkts > 0) {
+      FuzzCase cand = cur;
+      cand.ecn_threshold_pkts = 0;
+      try_case(std::move(cand));
+    }
+    if (cur.prefill_bytes > 0) {
+      FuzzCase cand = cur;
+      cand.prefill_bytes = 0;
+      try_case(std::move(cand));
+    }
+    if (cur.jitter_budget_ms > 0) {
+      FuzzCase cand = cur;
+      cand.jitter_budget_ms = 0;
+      try_case(std::move(cand));
+    }
+    if (!cur.buffer.empty() && cur.buffer != "-") {
+      FuzzCase cand = cur;
+      cand.buffer = "-";
+      try_case(std::move(cand));
+    }
+    if (cur.trace_link) {
+      FuzzCase cand = cur;
+      cand.trace_link = false;
+      try_case(std::move(cand));
+    }
+
+    // Halve the horizon.
+    while (cur.duration_s > 0.25 && runs < max_runs) {
+      FuzzCase cand = cur;
+      cand.duration_s = cur.duration_s / 2;
+      if (!still_fails(cand)) break;
+      cur = std::move(cand);
+      changed = true;
+    }
+  }
+
+  if (out_failure != nullptr) *out_failure = fail;
+  return cur;
+}
+
+}  // namespace ccstarve::check

@@ -1,0 +1,88 @@
+// Seed-driven deterministic scenario fuzzer.
+//
+// A FuzzCase is a point in the spec grammar the sweep engine already
+// understands (CCA mix x jitter policies x loss x AQM x buffer x link /
+// trace-link x durations). generate_case(seed) maps a seed to a case, the
+// same seed always producing the same case; run_case() executes it under
+// the runtime invariant observers (check/invariants.hpp) plus metamorphic
+// oracles the emulator's design promises:
+//
+//   * determinism      — two cold runs produce byte-identical trace digests;
+//   * fork-identity    — a snapshot at a quiescent mid-point, forked and run
+//                        to the horizon, reproduces the continuation digest
+//                        of the uninterrupted run (DESIGN.md par.8);
+//   * relabel-symmetry — swapping two randomness-free flows in the '+' list
+//                        permutes the per-flow outcomes (skipped when two
+//                        flows ever hit the bottleneck in the same ns, where
+//                        the (time, seq) tie-break is order-dependent);
+//   * const-jitter     — a datajitter=const:<c> box adds exactly c to every
+//                        packet, and doubling c doubles the observed added
+//                        delay (monotonicity of eta in the configured bound).
+//
+// On failure, shrink_case() greedily minimises the spec — drop flows, strip
+// per-flow options, remove AQM/prefill/buffer axes, halve the horizon —
+// re-running the oracles after each candidate edit, and the shrunk case
+// prints a ready-to-paste repro command (ccstarve_run --check, or
+// ccstarve_fuzz --replay for trace-link cases).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/scenarios.hpp"
+
+namespace ccstarve::check {
+
+struct FuzzCase {
+  uint64_t seed = 1;
+  std::string flow_set = "copa";
+  double link_mbps = 96;
+  double rtt_ms = 60;
+  std::string buffer = "-";       // "-" | <pkts> | <x>bdp
+  double ecn_threshold_pkts = 0;  // >0 installs ThresholdEcn
+  uint64_t prefill_bytes = 0;
+  double jitter_budget_ms = 0;  // 0 = unbounded D
+  double duration_s = 2.0;
+  bool trace_link = false;
+
+  // Corpus line format, one case per line ('|' cannot occur in the spec
+  // grammar): seed|flow_set|link_mbps|rtt_ms|buffer|ecn|prefill|budget|
+  // duration_s|trace_link
+  std::string to_line() const;
+  // Parses and validates (the flow set must parse); returns nullopt and
+  // fills *error on a malformed line.
+  static std::optional<FuzzCase> from_line(const std::string& line,
+                                           std::string* error = nullptr);
+
+  golden::GoldenSpec to_spec() const;
+  // Command line reproducing this case: ccstarve_run --check for scenario
+  // cases, ccstarve_fuzz --replay for trace-link ones.
+  std::string repro_command() const;
+};
+
+// Deterministic seed -> case mapping over the grammar axes.
+FuzzCase generate_case(uint64_t seed);
+
+struct FuzzFailure {
+  std::string oracle;  // "invariant", "determinism", "fork-identity", ...
+  std::string detail;
+};
+
+struct FuzzOptions {
+  // Also run the relabel-symmetry and const-jitter variant oracles (extra
+  // scenario runs per case).
+  bool metamorphic = true;
+};
+
+// Runs the case under invariant observers and oracles; nullopt means pass.
+std::optional<FuzzFailure> run_case(const FuzzCase& c,
+                                    const FuzzOptions& opts = {});
+
+// Greedy minimisation of a failing case: applies spec-shrinking edits while
+// run_case still fails, up to `max_runs` oracle executions. Returns the
+// minimal failing case; *out_failure (optional) receives its failure.
+FuzzCase shrink_case(const FuzzCase& c, const FuzzOptions& opts,
+                     FuzzFailure* out_failure = nullptr, int max_runs = 200);
+
+}  // namespace ccstarve::check

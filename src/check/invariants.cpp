@@ -1,0 +1,466 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ccstarve::check {
+
+namespace {
+std::string ns_str(TimeNs t) { return std::to_string(t.ns()) + "ns"; }
+}  // namespace
+
+InvariantChecker::PacketId InvariantChecker::PacketId::of(const Packet& p) {
+  PacketId id;
+  id.flow = p.flow;
+  id.seq = p.seq;
+  id.bytes = p.bytes;
+  id.is_dummy = p.is_dummy;
+  id.is_ack = p.is_ack;
+  id.ack_cum = p.ack_cum;
+  return id;
+}
+
+std::string InvariantChecker::PacketId::str() const {
+  std::string s = "flow=" + std::to_string(flow) +
+                  " seq=" + std::to_string(seq) +
+                  " bytes=" + std::to_string(bytes);
+  if (is_ack) s += " ack_cum=" + std::to_string(ack_cum);
+  if (is_dummy) s += " dummy";
+  if (is_ack) s += " ack";
+  return s;
+}
+
+void InvariantChecker::attach(Scenario& sc) {
+  scenario_ = &sc;
+  // Exact conservation needs every packet movement observed: true when
+  // nothing has moved yet. A forked scenario starts with zero events
+  // processed but now() > 0 and restored in-flight traffic the probe never
+  // saw, so both conditions are required. (Prefill dummies are injected at
+  // construction without dispatching events; the queue sync below absorbs
+  // them and the conservation checkpoint tracks only real flows.)
+  full_accounting_ =
+      sc.sim().events_processed() == 0 && sc.sim().now() == TimeNs::zero();
+  if (sc.has_bottleneck()) {
+    timing_enabled_ = true;
+    link_rate_ = sc.link().rate();
+    buffer_bytes_ = sc.link().buffer_bytes();
+    link_queue_.clear();
+    for (const Packet& p : sc.link().queue()) {
+      link_queue_.push_back({PacketId::of(p)});
+    }
+    link_queued_bytes_ = sc.link().queued_bytes();
+    link_busy_ = sc.link().busy();
+    head_expected_valid_ = false;
+    if (link_busy_) {
+      head_expected_ = sc.link().service_at();
+      head_expected_valid_ = true;
+    }
+    preattach_link_drops_ = sc.link().drops();
+  }
+  for (size_t i = 0; i < sc.flow_count(); ++i) {
+    const uint32_t id = static_cast<uint32_t>(i);
+    FlowCounters& fc = flow(id);
+    fc.min_rtt = sc.min_rtt(i);
+    fc.has_sanity = true;
+    fc.sanity = sc.sender(i).cca().sanity();
+    fc.last_receiver_cum = sc.receiver(i).cum_received();
+    const auto seed = [](BoxModel& bm, const JitterBox& jb) {
+      bm.held.clear();
+      for (const InFlightPacket& p : jb.in_flight()) {
+        bm.held.push_back({PacketId::of(p.pkt), p.at});
+      }
+      bm.last_release = jb.last_release();
+      bm.synced = true;
+    };
+    seed(box(id, /*ack_path=*/false), sc.data_box(i));
+    seed(box(id, /*ack_path=*/true), sc.ack_box(i));
+  }
+  last_event_at_ = sc.sim().now();
+  sc.sim().set_checker(this);
+}
+
+void InvariantChecker::attach(Simulator& sim) {
+  scenario_ = nullptr;
+  full_accounting_ = false;
+  timing_enabled_ = false;
+  last_event_at_ = sim.now();
+  sim.set_checker(this);
+}
+
+void InvariantChecker::fail(const char* check, TimeNs at, std::string detail) {
+  ++total_violations_;
+  if (violations_.size() < kMaxStored) {
+    violations_.push_back({check, at, std::move(detail)});
+  }
+}
+
+void InvariantChecker::note_time(TimeNs now) {
+  if (now < last_event_at_) {
+    fail("time-monotone", now,
+         "observed t=" + ns_str(now) + " after t=" + ns_str(last_event_at_));
+  }
+  last_event_at_ = ccstarve::max(last_event_at_, now);
+}
+
+InvariantChecker::FlowCounters& InvariantChecker::flow(uint32_t id) {
+  if (id >= flows_.size()) flows_.resize(id + 1);
+  return flows_[id];
+}
+
+InvariantChecker::BoxModel& InvariantChecker::box(uint32_t flow_id,
+                                                  bool ack_path) {
+  auto& v = ack_path ? ack_boxes_ : data_boxes_;
+  if (flow_id >= v.size()) v.resize(flow_id + 1);
+  return v[flow_id];
+}
+
+TimeNs InvariantChecker::observed_max_added(uint32_t flow_id,
+                                            bool ack_path) const {
+  const auto& v = ack_path ? ack_boxes_ : data_boxes_;
+  if (flow_id >= v.size()) return TimeNs::zero();
+  return v[flow_id].max_added;
+}
+
+void InvariantChecker::on_link_enqueue(TimeNs now, const Packet& pkt,
+                                       uint64_t queued_after) {
+  note_time(now);
+  if (queued_after != link_queued_bytes_ + pkt.bytes) {
+    fail("link-bytes", now,
+         "queued_bytes " + std::to_string(queued_after) + " after enqueue of " +
+             std::to_string(pkt.bytes) + "B, model had " +
+             std::to_string(link_queued_bytes_) + "B");
+  }
+  link_queued_bytes_ = queued_after;  // resync: report once, not per packet
+  if (queued_after > buffer_bytes_) {
+    fail("link-buffer", now,
+         "occupancy " + std::to_string(queued_after) + "B exceeds buffer " +
+             std::to_string(buffer_bytes_) + "B");
+  }
+  if (!pkt.is_dummy) {
+    if (now == last_link_arrival_ && !last_link_arrival_dummy_ &&
+        pkt.flow != last_link_arrival_flow_) {
+      cross_flow_link_tie_ = true;
+    }
+    last_link_arrival_ = now;
+    last_link_arrival_flow_ = pkt.flow;
+    last_link_arrival_dummy_ = false;
+    ++flow(pkt.flow).link_enqueued;
+  }
+  link_queue_.push_back({PacketId::of(pkt)});
+  if (!link_busy_) {
+    link_busy_ = true;
+    if (timing_enabled_) {
+      head_expected_ = now + link_rate_.transmission_time(pkt.bytes);
+      head_expected_valid_ = true;
+    }
+  }
+}
+
+void InvariantChecker::on_link_drop(TimeNs now, const Packet& pkt) {
+  note_time(now);
+  if (!pkt.is_dummy) ++flow(pkt.flow).link_dropped;
+  ++link_drops_;
+}
+
+void InvariantChecker::on_link_deliver(TimeNs now, const Packet& pkt) {
+  note_time(now);
+  const PacketId id = PacketId::of(pkt);
+  if (link_queue_.empty()) {
+    fail("link-fifo", now, "delivery of [" + id.str() + "] with empty queue");
+  } else {
+    const ModelPacket front = link_queue_.front();
+    link_queue_.pop_front();
+    if (!(front.id == id)) {
+      fail("link-fifo", now,
+           "delivered [" + id.str() + "] but head of FIFO was [" +
+               front.id.str() + "]");
+    }
+    link_queued_bytes_ -=
+        std::min<uint64_t>(front.id.bytes, link_queued_bytes_);
+    if (timing_enabled_ && head_expected_valid_ && now != head_expected_) {
+      fail("link-service", now,
+           "head [" + id.str() + "] completed at " + ns_str(now) +
+               ", expected " + ns_str(head_expected_) +
+               " (work conservation / service timing)");
+    }
+  }
+  if (!link_queue_.empty()) {
+    if (timing_enabled_) {
+      head_expected_ =
+          now + link_rate_.transmission_time(link_queue_.front().id.bytes);
+      head_expected_valid_ = true;
+    }
+  } else {
+    link_busy_ = false;
+    head_expected_valid_ = false;
+  }
+  if (!pkt.is_dummy) ++flow(pkt.flow).link_delivered;
+}
+
+void InvariantChecker::on_link_rate_change(TimeNs now, Rate rate) {
+  note_time(now);
+  link_rate_ = rate;
+  // Mirrors BottleneckLink::set_rate: the head packet restarts service at
+  // the new rate from "now".
+  if (timing_enabled_ && link_busy_ && !link_queue_.empty()) {
+    head_expected_ = now + link_rate_.transmission_time(
+                               link_queue_.front().id.bytes);
+    head_expected_valid_ = true;
+  }
+}
+
+void InvariantChecker::on_jitter_admit(TimeNs arrival, TimeNs release,
+                                       const Packet& pkt, bool ack_path,
+                                       TimeNs budget) {
+  note_time(arrival);
+  BoxModel& bm = box(pkt.flow, ack_path);
+  const char* which = ack_path ? "ack" : "data";
+  if (release < arrival) {
+    fail("jitter-eta-negative", arrival,
+         std::string(which) + " box flow " + std::to_string(pkt.flow) +
+             ": release " + ns_str(release) + " before arrival " +
+             ns_str(arrival));
+  }
+  if (release < bm.last_release) {
+    fail("jitter-fifo", arrival,
+         std::string(which) + " box flow " + std::to_string(pkt.flow) +
+             ": [" + PacketId::of(pkt).str() + "] admitted for release " +
+             ns_str(release) + " before the previous packet's " +
+             ns_str(bm.last_release));
+  }
+  const TimeNs added = release - arrival;
+  if (!budget.is_infinite() && added > budget) {
+    fail("jitter-budget", arrival,
+         std::string(which) + " box flow " + std::to_string(pkt.flow) +
+             ": added delay " + ns_str(added) + " exceeds budget D=" +
+             ns_str(budget));
+  }
+  bm.last_release = ccstarve::max(bm.last_release, release);
+  bm.max_added = ccstarve::max(bm.max_added, added);
+  bm.held.push_back({PacketId::of(pkt), ccstarve::max(release, arrival)});
+  FlowCounters& fc = flow(pkt.flow);
+  ++(ack_path ? fc.ack_admitted : fc.data_admitted);
+}
+
+void InvariantChecker::on_jitter_release(TimeNs now, const Packet& pkt,
+                                         bool ack_path) {
+  note_time(now);
+  BoxModel& bm = box(pkt.flow, ack_path);
+  const char* which = ack_path ? "ack" : "data";
+  const PacketId id = PacketId::of(pkt);
+  if (bm.held.empty()) {
+    fail("jitter-fifo", now,
+         std::string(which) + " box flow " + std::to_string(pkt.flow) +
+             ": release of [" + id.str() + "] that was never admitted");
+  } else {
+    const BoxModel::Held front = bm.held.front();
+    bm.held.pop_front();
+    if (!(front.id == id)) {
+      fail("jitter-fifo", now,
+           std::string(which) + " box flow " + std::to_string(pkt.flow) +
+               ": released [" + id.str() + "] but head of FIFO was [" +
+               front.id.str() + "]");
+    } else if (now != front.release) {
+      fail("jitter-release-time", now,
+           std::string(which) + " box flow " + std::to_string(pkt.flow) +
+               ": [" + id.str() + "] released at " + ns_str(now) +
+               ", admission promised " + ns_str(front.release));
+    }
+  }
+  FlowCounters& fc = flow(pkt.flow);
+  ++(ack_path ? fc.ack_released : fc.data_released);
+}
+
+void InvariantChecker::on_segment_sent(TimeNs now, const Packet& pkt) {
+  note_time(now);
+  ++flow(pkt.flow).sent;
+}
+
+void InvariantChecker::on_receiver_data(TimeNs now, const Packet& pkt,
+                                        uint64_t cum_after) {
+  note_time(now);
+  FlowCounters& fc = flow(pkt.flow);
+  ++fc.received;
+  if (cum_after < fc.last_receiver_cum) {
+    fail("receiver-cum-monotone", now,
+         "flow " + std::to_string(pkt.flow) + ": cumulative " +
+             std::to_string(cum_after) + " fell below " +
+             std::to_string(fc.last_receiver_cum));
+  }
+  fc.last_receiver_cum = cum_after;
+}
+
+void InvariantChecker::on_ack_emitted(TimeNs now, const Packet& ack) {
+  note_time(now);
+  FlowCounters& fc = flow(ack.flow);
+  ++fc.acks_emitted;
+  if (ack.ack_cum < fc.last_ack_cum) {
+    fail("ack-cum-monotone", now,
+         "flow " + std::to_string(ack.flow) + ": ack_cum " +
+             std::to_string(ack.ack_cum) + " fell below " +
+             std::to_string(fc.last_ack_cum));
+  }
+  fc.last_ack_cum = ack.ack_cum;
+}
+
+void InvariantChecker::on_ack_sample(TimeNs now, uint32_t flow_id, TimeNs rtt,
+                                     uint64_t cwnd_bytes, Rate pacing) {
+  note_time(now);
+  FlowCounters& fc = flow(flow_id);
+  ++fc.ack_samples;
+  if (rtt <= TimeNs::zero()) {
+    fail("rtt-positive", now,
+         "flow " + std::to_string(flow_id) + ": rtt " + ns_str(rtt));
+  } else if (fc.min_rtt > TimeNs::zero() && rtt < fc.min_rtt) {
+    fail("rtt-floor", now,
+         "flow " + std::to_string(flow_id) + ": rtt " + ns_str(rtt) +
+             " below the propagation floor " + ns_str(fc.min_rtt));
+  }
+  if (fc.has_sanity) {
+    if (cwnd_bytes < fc.sanity.min_cwnd_bytes ||
+        cwnd_bytes > fc.sanity.max_cwnd_bytes) {
+      fail("cca-cwnd", now,
+           "flow " + std::to_string(flow_id) + ": cwnd " +
+               std::to_string(cwnd_bytes) + "B outside [" +
+               std::to_string(fc.sanity.min_cwnd_bytes) + ", " +
+               std::to_string(fc.sanity.max_cwnd_bytes) + "]");
+    }
+    if (pacing.is_infinite()) {
+      if (!fc.sanity.pacing_may_be_infinite) {
+        fail("cca-pacing", now,
+             "flow " + std::to_string(flow_id) + ": infinite pacing rate");
+      }
+    } else if (pacing.bytes_per_second() <= 0.0) {
+      fail("cca-pacing", now,
+           "flow " + std::to_string(flow_id) + ": non-positive pacing rate");
+    }
+  }
+}
+
+void InvariantChecker::checkpoint() {
+  if (scenario_ == nullptr) return;
+  Scenario& sc = *scenario_;
+  const TimeNs now = sc.sim().now();
+  const bool link = sc.has_bottleneck();
+
+  if (link) {
+    if (link_queued_bytes_ != sc.link().queued_bytes()) {
+      fail("conservation", now,
+           "modeled link occupancy " + std::to_string(link_queued_bytes_) +
+               "B != actual " + std::to_string(sc.link().queued_bytes()) +
+               "B");
+    }
+    if (link_queue_.size() != sc.link().queue().size()) {
+      fail("conservation", now,
+           "modeled link queue holds " + std::to_string(link_queue_.size()) +
+               " packets, actual " + std::to_string(sc.link().queue().size()));
+    }
+    if (full_accounting_ &&
+        preattach_link_drops_ + link_drops_ != sc.link().drops()) {
+      fail("conservation", now,
+           "observed " + std::to_string(link_drops_) +
+               " link drops, component counted " +
+               std::to_string(sc.link().drops() - preattach_link_drops_));
+    }
+  }
+
+  for (size_t i = 0; i < sc.flow_count(); ++i) {
+    const uint32_t id = static_cast<uint32_t>(i);
+    FlowCounters& fc = flow(id);
+    const std::string fl = "flow " + std::to_string(i) + ": ";
+    if (!full_accounting_) continue;
+
+    if (fc.sent != sc.sender(i).packets_sent()) {
+      fail("conservation", now,
+           fl + "probe saw " + std::to_string(fc.sent) +
+               " segments sent, sender counted " +
+               std::to_string(sc.sender(i).packets_sent()));
+    }
+    if (fc.received != sc.receiver(i).packets_received()) {
+      fail("conservation", now,
+           fl + "probe saw " + std::to_string(fc.received) +
+               " segments received, receiver counted " +
+               std::to_string(sc.receiver(i).packets_received()));
+    }
+    if (link) {
+      const uint64_t gate = sc.loss_gate_dropped(i);
+      if (fc.sent != gate + fc.link_enqueued + fc.link_dropped) {
+        fail("conservation", now,
+             fl + std::to_string(fc.sent) + " sent != " +
+                 std::to_string(gate) + " gate-dropped + " +
+                 std::to_string(fc.link_enqueued) + " enqueued + " +
+                 std::to_string(fc.link_dropped) + " buffer-dropped");
+      }
+      uint64_t queued = 0;
+      for (const ModelPacket& p : link_queue_) {
+        if (!p.id.is_dummy && p.id.flow == id) ++queued;
+      }
+      if (fc.link_enqueued != fc.link_delivered + queued) {
+        fail("conservation", now,
+             fl + std::to_string(fc.link_enqueued) + " enqueued != " +
+                 std::to_string(fc.link_delivered) + " delivered + " +
+                 std::to_string(queued) + " queued");
+      }
+      if (fc.link_delivered < fc.data_admitted) {
+        fail("conservation", now,
+             fl + "data jitter box admitted " +
+                 std::to_string(fc.data_admitted) +
+                 " packets but the link only delivered " +
+                 std::to_string(fc.link_delivered));
+      }
+    }
+    const uint64_t data_held = box(id, false).held.size();
+    if (fc.data_admitted != fc.data_released + data_held) {
+      fail("conservation", now,
+           fl + "data box: " + std::to_string(fc.data_admitted) +
+               " admitted != " + std::to_string(fc.data_released) +
+               " released + " + std::to_string(data_held) + " held");
+    }
+    if (fc.data_released != fc.received) {
+      fail("conservation", now,
+           fl + std::to_string(fc.data_released) +
+               " data-box releases != " + std::to_string(fc.received) +
+               " receiver arrivals");
+    }
+    if (fc.acks_emitted != fc.ack_admitted) {
+      fail("conservation", now,
+           fl + std::to_string(fc.acks_emitted) + " acks emitted != " +
+               std::to_string(fc.ack_admitted) + " ack-box admissions");
+    }
+    const uint64_t ack_held = box(id, true).held.size();
+    if (fc.ack_admitted != fc.ack_released + ack_held) {
+      fail("conservation", now,
+           fl + "ack box: " + std::to_string(fc.ack_admitted) +
+               " admitted != " + std::to_string(fc.ack_released) +
+               " released + " + std::to_string(ack_held) + " held");
+    }
+    if (fc.ack_released != fc.ack_samples) {
+      fail("conservation", now,
+           fl + std::to_string(fc.ack_released) +
+               " ack-box releases != " + std::to_string(fc.ack_samples) +
+               " sender ack samples");
+    }
+    if (sc.sender(i).delivered_bytes() > sc.receiver(i).cum_received()) {
+      fail("conservation", now,
+           fl + "sender believes " +
+               std::to_string(sc.sender(i).delivered_bytes()) +
+               "B delivered, receiver has " +
+               std::to_string(sc.receiver(i).cum_received()) + "B");
+    }
+  }
+}
+
+std::string InvariantChecker::report(size_t max_lines) const {
+  if (ok()) return "";
+  std::string out = std::to_string(total_violations_) +
+                    " invariant violation(s); first " +
+                    std::to_string(std::min(violations_.size(), max_lines)) +
+                    ":\n";
+  for (size_t i = 0; i < violations_.size() && i < max_lines; ++i) {
+    const Violation& v = violations_[i];
+    out += "  [" + v.check + "] t=" + ns_str(v.at) + " " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace ccstarve::check

@@ -1,0 +1,191 @@
+// Runtime invariant observers for the §3 network model.
+//
+// InvariantChecker is a CheckProbe (sim/check_probe.hpp) that audits, while
+// a simulation runs, the physical properties the paper's theorems assume of
+// the path — and that the emulator is therefore required to honor exactly:
+//
+//   * event times are monotone (no hook ever observes time going backwards);
+//   * the bottleneck is FIFO (packets leave in arrival order, unmodified),
+//     respects its buffer, and is work-conserving with byte-exact service
+//     times (head-of-line completion at start + bytes/rate, restarted from
+//     "now" on a rate change — mirroring BottleneckLink::set_rate);
+//   * jitter boxes never reorder and never hold a packet longer than the
+//     budget D: eta in [0, D] per packet, releases land exactly when the
+//     admission said they would;
+//   * measured RTTs never dip below the flow's propagation floor Rm;
+//   * CCA outputs stay inside the algorithm's declared CcaSanity bounds;
+//   * receiver cumulative-ACK state is monotone.
+//
+// checkpoint() adds quiescent-point packet conservation: every segment a
+// sender emitted is accounted for as dropped (loss gate or buffer),
+// in flight (link queue, propagation, jitter box), or received — with the
+// probe-side counts cross-checked against the components' own counters.
+//
+// A checker is exact from the moment it is attached: attach(Scenario&)
+// seeds its link-queue and jitter-box models from live component state, so
+// it can watch a forked continuation just as well as a cold run. Detached
+// cost is one untaken branch per hook site (the tracer pattern).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/check_probe.hpp"
+#include "sim/scenario.hpp"
+
+namespace ccstarve::check {
+
+struct Violation {
+  std::string check;  // short id: "link-fifo", "jitter-budget", ...
+  TimeNs at = TimeNs::zero();
+  std::string detail;
+};
+
+class InvariantChecker final : public CheckProbe {
+ public:
+  InvariantChecker() = default;
+
+  // Installs this checker on the scenario's simulator and seeds the link /
+  // jitter-box models from live state, so attaching works both at t=0 and
+  // at a quiescent point of a running (e.g. forked) scenario. The scenario
+  // must outlive the checker's use.
+  void attach(Scenario& sc);
+
+  // Standalone attach for non-Scenario harnesses (the trace-driven-link
+  // golden scenario). Service-timing, RTT-floor, CCA-sanity and
+  // conservation checkpoints are disabled; FIFO/buffer/monotonicity run.
+  void attach(Simulator& sim);
+
+  // Upper bound for the queue-occupancy check when no Scenario supplied it.
+  void set_link_buffer(uint64_t bytes) { buffer_bytes_ = bytes; }
+
+  // Quiescent-point accounting (packet conservation, modeled-vs-actual
+  // queue, probe-vs-component counters). Only meaningful when the checker
+  // was attached to a Scenario; exact conservation additionally requires
+  // the attach to have happened before any packet moved.
+  void checkpoint();
+
+  bool ok() const { return total_violations_ == 0; }
+  uint64_t total_violations() const { return total_violations_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  // Human-readable summary of the first few violations (empty when ok).
+  std::string report(size_t max_lines = 8) const;
+
+  // Largest added delay observed through a flow's jitter box since attach
+  // (zero if the box was never exercised). Used by the fuzzer's
+  // constant-jitter exactness oracle.
+  TimeNs observed_max_added(uint32_t flow, bool ack_path) const;
+  // True if two packets from different flows ever arrived at the shared
+  // bottleneck in the same nanosecond — the (time, seq) tie-break then
+  // makes flow-relabel symmetry inapplicable, so that oracle must skip.
+  bool saw_cross_flow_link_tie() const { return cross_flow_link_tie_; }
+
+  // --- CheckProbe ---
+  void on_link_enqueue(TimeNs now, const Packet& pkt,
+                       uint64_t queued_after) override;
+  void on_link_drop(TimeNs now, const Packet& pkt) override;
+  void on_link_deliver(TimeNs now, const Packet& pkt) override;
+  void on_link_rate_change(TimeNs now, Rate rate) override;
+  void on_jitter_admit(TimeNs arrival, TimeNs release, const Packet& pkt,
+                       bool ack_path, TimeNs budget) override;
+  void on_jitter_release(TimeNs now, const Packet& pkt,
+                         bool ack_path) override;
+  void on_segment_sent(TimeNs now, const Packet& pkt) override;
+  void on_receiver_data(TimeNs now, const Packet& pkt,
+                        uint64_t cum_after) override;
+  void on_ack_emitted(TimeNs now, const Packet& ack) override;
+  void on_ack_sample(TimeNs now, uint32_t flow, TimeNs rtt,
+                     uint64_t cwnd_bytes, Rate pacing) override;
+
+ private:
+  // Identity of a packet for FIFO matching.
+  struct PacketId {
+    uint32_t flow = 0;
+    uint64_t seq = 0;
+    uint32_t bytes = 0;
+    bool is_dummy = false;
+    bool is_ack = false;
+    uint64_t ack_cum = 0;
+
+    static PacketId of(const Packet& p);
+    bool operator==(const PacketId&) const = default;
+    std::string str() const;
+  };
+
+  struct ModelPacket {
+    PacketId id;
+  };
+
+  // Per (flow, data/ack) jitter-box model.
+  struct BoxModel {
+    struct Held {
+      PacketId id;
+      TimeNs release = TimeNs::zero();
+    };
+    std::deque<Held> held;
+    TimeNs last_release = TimeNs::zero();
+    TimeNs max_added = TimeNs::zero();
+    bool synced = false;  // seeded from live state (or fresh at t=0)
+  };
+
+  // Per-flow running counters (probe side).
+  struct FlowCounters {
+    uint64_t sent = 0;
+    uint64_t link_enqueued = 0;
+    uint64_t link_dropped = 0;
+    uint64_t link_delivered = 0;
+    uint64_t data_admitted = 0;
+    uint64_t data_released = 0;
+    uint64_t received = 0;
+    uint64_t acks_emitted = 0;
+    uint64_t ack_admitted = 0;
+    uint64_t ack_released = 0;
+    uint64_t ack_samples = 0;
+    uint64_t last_receiver_cum = 0;
+    uint64_t last_ack_cum = 0;
+    TimeNs min_rtt = TimeNs::zero();  // floor; zero = unknown
+    bool has_sanity = false;
+    CcaSanity sanity;
+  };
+
+  void fail(const char* check, TimeNs at, std::string detail);
+  void note_time(TimeNs now);
+  FlowCounters& flow(uint32_t id);
+  BoxModel& box(uint32_t flow_id, bool ack_path);
+
+  Scenario* scenario_ = nullptr;
+  // All segments/acks observed since an attach that predates any traffic:
+  // required for the exact conservation checkpoint.
+  bool full_accounting_ = false;
+
+  // Violations: first kMaxStored kept verbatim, the rest only counted.
+  static constexpr size_t kMaxStored = 64;
+  std::vector<Violation> violations_;
+  uint64_t total_violations_ = 0;
+
+  TimeNs last_event_at_ = TimeNs::zero();
+
+  // Bottleneck model.
+  std::deque<ModelPacket> link_queue_;
+  uint64_t link_queued_bytes_ = 0;
+  uint64_t buffer_bytes_ = ~uint64_t{0};
+  bool link_busy_ = false;
+  bool timing_enabled_ = false;  // exact service times (BottleneckLink only)
+  Rate link_rate_ = Rate::zero();
+  TimeNs head_expected_ = TimeNs::zero();
+  bool head_expected_valid_ = false;
+  uint64_t link_drops_ = 0;            // drops observed since attach
+  uint64_t preattach_link_drops_ = 0;  // component's count at attach time
+  TimeNs last_link_arrival_ = TimeNs(-1);
+  uint32_t last_link_arrival_flow_ = 0;
+  bool last_link_arrival_dummy_ = true;
+  bool cross_flow_link_tie_ = false;
+
+  std::vector<FlowCounters> flows_;
+  std::vector<BoxModel> data_boxes_;
+  std::vector<BoxModel> ack_boxes_;
+};
+
+}  // namespace ccstarve::check

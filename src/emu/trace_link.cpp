@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/check_probe.hpp"
+
 namespace ccstarve {
 
 TraceDrivenLink::TraceDrivenLink(Simulator& sim, DeliveryTrace trace,
@@ -18,6 +20,7 @@ void TraceDrivenLink::handle(Packet pkt) {
     if (TraceRecorder* tr = sim_.tracer()) {
       tr->record('D', sim_.now(), pkt.flow, pkt.seq, pkt.is_dummy ? 1 : 0);
     }
+    if (CheckProbe* ck = sim_.checker()) ck->on_link_drop(sim_.now(), pkt);
     return;
   }
   queued_bytes_ += pkt.bytes;
@@ -25,6 +28,9 @@ void TraceDrivenLink::handle(Packet pkt) {
     tr->record('E', sim_.now(), pkt.flow, pkt.seq, queued_bytes_);
   }
   queue_.push_back(pkt);
+  if (CheckProbe* ck = sim_.checker()) {
+    ck->on_link_enqueue(sim_.now(), pkt, queued_bytes_);
+  }
 }
 
 void TraceDrivenLink::schedule_next_opportunity() {
@@ -44,6 +50,7 @@ void TraceDrivenLink::on_opportunity() {
     if (TraceRecorder* tr = sim_.tracer()) {
       tr->record('L', sim_.now(), pkt.flow, pkt.seq, pkt.bytes);
     }
+    if (CheckProbe* ck = sim_.checker()) ck->on_link_deliver(sim_.now(), pkt);
     next_.handle(pkt);
   }
   if (++next_index_ >= trace_.size()) {

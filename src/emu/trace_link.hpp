@@ -31,6 +31,7 @@ class TraceDrivenLink final : public PacketHandler {
   void handle(Packet pkt) override;
 
   uint64_t queued_bytes() const { return queued_bytes_; }
+  uint64_t buffer_bytes() const { return config_.buffer_bytes; }
   uint64_t drops() const { return drops_; }
   uint64_t opportunities_used() const { return used_; }
   uint64_t opportunities_wasted() const { return wasted_; }

@@ -1,0 +1,58 @@
+// Runtime invariant probe: the observer seam of the §3 model emulation.
+//
+// A CheckProbe installed on a Simulator receives every packet-level
+// transition that matters for the model invariants the paper's theorems
+// rest on (FIFO bottleneck service, no-reorder jitter boxes with bounded
+// eta, work conservation, monotone time). Components report through
+// `if (CheckProbe* ck = sim.checker()) ck->on_...(...)` — exactly the
+// trace-recorder pattern — so a detached probe costs one untaken branch
+// per transition and an attached one costs a virtual call.
+//
+// The concrete invariant observers live in src/check/invariants.hpp; this
+// header stays tiny so sim components can depend on it without pulling the
+// checking subsystem into the core library.
+#pragma once
+
+#include "sim/packet.hpp"
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class CheckProbe {
+ public:
+  virtual ~CheckProbe() = default;
+
+  // --- bottleneck (BottleneckLink and TraceDrivenLink) ---
+  // `queued_after` includes the packet just admitted.
+  virtual void on_link_enqueue(TimeNs /*now*/, const Packet& /*pkt*/,
+                               uint64_t /*queued_after*/) {}
+  virtual void on_link_drop(TimeNs /*now*/, const Packet& /*pkt*/) {}
+  virtual void on_link_deliver(TimeNs /*now*/, const Packet& /*pkt*/) {}
+  // BottleneckLink::set_rate — suspends the exact service-timing check for
+  // the packet in service when it fires mid-transmission.
+  virtual void on_link_rate_change(TimeNs /*now*/, Rate /*rate*/) {}
+
+  // --- jitter boxes ---
+  // Admission: the box decided (after clamping) to hold `pkt` until
+  // `release`; `budget` is the box's configured D. `ack_path`
+  // distinguishes a flow's two boxes.
+  virtual void on_jitter_admit(TimeNs /*arrival*/, TimeNs /*release*/,
+                               const Packet& /*pkt*/, bool /*ack_path*/,
+                               TimeNs /*budget*/) {}
+  virtual void on_jitter_release(TimeNs /*now*/, const Packet& /*pkt*/,
+                                 bool /*ack_path*/) {}
+
+  // --- endpoints ---
+  virtual void on_segment_sent(TimeNs /*now*/, const Packet& /*pkt*/) {}
+  virtual void on_receiver_data(TimeNs /*now*/, const Packet& /*pkt*/,
+                                uint64_t /*cum_after*/) {}
+  virtual void on_ack_emitted(TimeNs /*now*/, const Packet& /*ack*/) {}
+  // One call per ACK the sender processed: the RTT sample it measured and
+  // the CCA outputs it will act on next.
+  virtual void on_ack_sample(TimeNs /*now*/, uint32_t /*flow*/,
+                             TimeNs /*rtt*/, uint64_t /*cwnd_bytes*/,
+                             Rate /*pacing*/) {}
+};
+
+}  // namespace ccstarve

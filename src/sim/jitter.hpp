@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "sim/check_probe.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
@@ -272,11 +273,20 @@ class JitterBox final : public PacketHandler {
     stats_.total_added_seconds += added.to_seconds();
     stats_.max_added = ccstarve::max(stats_.max_added, added);
     if (added > budget_) ++stats_.budget_violations;
+    if (CheckProbe* ck = sim_.checker()) {
+      ck->on_jitter_admit(arrival, release, pkt, pkt.is_ack, budget_);
+    }
 
     schedule_release(release, pkt);
   }
 
   const Stats& stats() const { return stats_; }
+
+  // Attach-time sync for the invariant checker (src/check/invariants.hpp):
+  // packets currently held by the box with their scheduled release times,
+  // and the FIFO horizon the next admission will be clamped to.
+  const InFlightQueue& in_flight() const { return inflight_; }
+  TimeNs last_release() const { return last_release_; }
 
   // --- snapshot/fork hooks (sim/snapshot.hpp) ---
 
@@ -315,6 +325,9 @@ class JitterBox final : public PacketHandler {
     rec.pkt = pkt;
     rec.seq = sim_.schedule_at(release, [this, pkt] {
       inflight_.pop_front();
+      if (CheckProbe* ck = sim_.checker()) {
+        ck->on_jitter_release(sim_.now(), pkt, pkt.is_ack);
+      }
       next_.handle(pkt);
     });
     inflight_.push_back(rec);

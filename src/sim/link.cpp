@@ -16,6 +16,7 @@ void BottleneckLink::prefill(uint64_t bytes) {
 
 void BottleneckLink::set_rate(Rate r) {
   rate_ = r;
+  if (CheckProbe* ck = sim_.checker()) ck->on_link_rate_change(sim_.now(), r);
   if (busy_) {
     // Restart service of the head packet at the new rate. The epoch bump
     // cancels the previously scheduled completion.
@@ -92,6 +93,7 @@ void BottleneckLink::finish_service() {
   if (TraceRecorder* tr = sim_.tracer()) {
     tr->record('L', sim_.now(), pkt.flow, pkt.seq, pkt.bytes);
   }
+  if (CheckProbe* ck = sim_.checker()) ck->on_link_deliver(sim_.now(), pkt);
   next_.handle(pkt);
   if (!queue_.empty()) start_service();
 }

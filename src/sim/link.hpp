@@ -22,6 +22,7 @@
 #include <limits>
 
 #include "sim/aqm.hpp"
+#include "sim/check_probe.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
@@ -54,6 +55,7 @@ class BottleneckLink final : public PacketHandler {
       if (TraceRecorder* tr = sim_.tracer()) {
         tr->record('D', sim_.now(), pkt.flow, pkt.seq, pkt.is_dummy ? 1 : 0);
       }
+      if (CheckProbe* ck = sim_.checker()) ck->on_link_drop(sim_.now(), pkt);
       if (drop_listener_) drop_listener_(pkt);
       return;
     }
@@ -67,6 +69,9 @@ class BottleneckLink final : public PacketHandler {
       tr->record('E', sim_.now(), pkt.flow, pkt.seq, queued_bytes_);
     }
     queue_.push_back(pkt);
+    if (CheckProbe* ck = sim_.checker()) {
+      ck->on_link_enqueue(sim_.now(), pkt, queued_bytes_);
+    }
     if (!busy_) start_service();
   }
 
@@ -85,6 +90,13 @@ class BottleneckLink final : public PacketHandler {
   uint64_t queued_bytes() const { return queued_bytes_; }
   // Backlog expressed as time-to-drain at the current rate.
   TimeNs queueing_delay() const { return rate_.transmission_time(queued_bytes_); }
+
+  // Attach-time sync for the invariant checker (src/check/invariants.hpp):
+  // a checker installed mid-run seeds its queue model from the live state.
+  const std::deque<Packet>& queue() const { return queue_; }
+  bool busy() const { return busy_; }
+  TimeNs service_at() const { return service_at_; }
+  uint64_t buffer_bytes() const { return buffer_bytes_; }
 
   uint64_t drops() const { return drops_; }
   uint64_t delivered_packets() const { return delivered_packets_; }

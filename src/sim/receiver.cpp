@@ -76,6 +76,7 @@ void Receiver::emit_ack(const Packet& trigger) {
     tr->record('A', sim_.now(), ack.flow, ack.ack_cum,
                ack.ack_seq * 2 + (ack.ack_ece ? 1 : 0));
   }
+  if (CheckProbe* ck = sim_.checker()) ck->on_ack_emitted(sim_.now(), ack);
   ack_path_.handle(ack);
 }
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <set>
 
+#include "sim/check_probe.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
@@ -48,6 +49,10 @@ class Receiver final : public PacketHandler {
     }
     // pkt.seq < cum_: spurious retransmission, still ACKed below so the
     // sender's scoreboard converges.
+
+    if (CheckProbe* ck = sim_.checker()) {
+      ck->on_receiver_data(sim_.now(), pkt, cum_);
+    }
 
     last_data_ = pkt;
     ece_pending_ |= pkt.ecn_ce;

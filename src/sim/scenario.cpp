@@ -86,6 +86,15 @@ uint32_t Scenario::build_flow(FlowSpec spec, bool schedule_start) {
 void Scenario::run_until(TimeNs until) { sim_.run_until(until); }
 
 ScenarioSnapshot Scenario::snapshot() const {
+  // Quiescence: every pending event strictly in the future. An event due
+  // exactly "now" may or may not have been dispatched yet depending on how
+  // the caller advanced the clock, so its state is ambiguous to capture.
+  const TimeNs next = sim_.next_pending_at();
+  if (next <= sim_.now()) {
+    throw SnapshotError("Scenario::snapshot: not quiescent: pending event at " +
+                        std::to_string(next.ns()) + "ns is not after now=" +
+                        std::to_string(sim_.now().ns()) + "ns");
+  }
   ScenarioSnapshot snap;
   snap.at = sim_.now();
   snap.link_rate = config_.link_rate;
@@ -124,6 +133,21 @@ ScenarioSnapshot Scenario::snapshot() const {
 
 std::unique_ptr<Scenario> Scenario::fork(const ScenarioSnapshot& snap,
                                          ForkOptions opts) {
+  if (opts.flows.size() > snap.flows.size()) {
+    throw SnapshotError("Scenario::fork: flow override index " +
+                        std::to_string(opts.flows.size() - 1) +
+                        " out of range (snapshot has " +
+                        std::to_string(snap.flows.size()) + " flows)");
+  }
+  for (size_t i = 0; i < opts.flows.size(); ++i) {
+    if (opts.flows[i].start_at && *opts.flows[i].start_at <= snap.at) {
+      throw SnapshotError(
+          "Scenario::fork: flow " + std::to_string(i) + " start_at " +
+          std::to_string(opts.flows[i].start_at->ns()) +
+          "ns is not after the snapshot time " + std::to_string(snap.at.ns()) +
+          "ns");
+    }
+  }
   ScenarioConfig cfg;
   cfg.link_rate = snap.link_rate;
   cfg.delay_server = snap.delay_server;
@@ -169,7 +193,6 @@ std::unique_ptr<Scenario> Scenario::fork(const ScenarioSnapshot& snap,
   for (PendingEvent& e : events) {
     if (e.kind != PendingEvent::Kind::kSenderStart) continue;
     if (e.flow < opts.flows.size() && opts.flows[e.flow].start_at) {
-      assert(*opts.flows[e.flow].start_at > snap.at);
       e.at = *opts.flows[e.flow].start_at;
     }
   }

@@ -155,6 +155,14 @@ class Scenario {
   size_t flow_count() const { return flows_.size(); }
   const Sender& sender(size_t i) const { return *flows_[i]->sender; }
   Sender& sender(size_t i) { return *flows_[i]->sender; }
+  const Receiver& receiver(size_t i) const { return *flows_[i]->receiver; }
+  TimeNs min_rtt(size_t i) const { return flows_[i]->min_rtt; }
+  // Packets the flow's Bernoulli loss gate swallowed (0 when loss_rate==0).
+  uint64_t loss_gate_dropped(size_t i) const {
+    return flows_[i]->loss_gate ? flows_[i]->loss_gate->dropped() : 0;
+  }
+  uint64_t buffer_bytes() const { return config_.buffer_bytes; }
+  TimeNs jitter_budget() const { return config_.jitter_budget; }
   const FlowStats& stats(size_t i) const { return flows_[i]->sender->stats(); }
   const JitterBox::Stats& data_jitter_stats(size_t i) const {
     return flows_[i]->data_jitter->stats();
@@ -162,6 +170,8 @@ class Scenario {
   const JitterBox::Stats& ack_jitter_stats(size_t i) const {
     return flows_[i]->ack_jitter->stats();
   }
+  const JitterBox& data_box(size_t i) const { return *flows_[i]->data_jitter; }
+  const JitterBox& ack_box(size_t i) const { return *flows_[i]->ack_jitter; }
 
   // Average throughput of flow i over [from, to] measured from delivered
   // (cumulatively ACKed) bytes.

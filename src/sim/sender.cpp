@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/check_probe.hpp"
+
 namespace ccstarve {
 
 namespace {
@@ -86,6 +88,7 @@ void Sender::send_segment(uint64_t seq, bool retransmit) {
   if (TraceRecorder* tr = sim_.tracer()) {
     tr->record('S', sim_.now(), pkt.flow, pkt.seq, retransmit ? 1 : 0);
   }
+  if (CheckProbe* ck = sim_.checker()) ck->on_segment_sent(sim_.now(), pkt);
   arm_rto();
   data_path_.handle(pkt);
 }
@@ -190,6 +193,10 @@ void Sender::on_ack_packet(const Packet& ack) {
   sample.in_recovery = in_recovery_;
   sample.ece = ack.ack_ece;
   cca_->on_ack(sample);
+  if (CheckProbe* ck = sim_.checker()) {
+    ck->on_ack_sample(now, config_.flow_id, rtt, cca_->cwnd_bytes(),
+                      cca_->pacing_rate());
+  }
 
   record_stats(now, rtt);
   arm_rto();

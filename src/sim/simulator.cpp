@@ -175,6 +175,24 @@ void Simulator::run_until(TimeNs t) {
   if (now_ < t) now_ = t;
 }
 
+TimeNs Simulator::next_pending_at() const {
+  // near_ holds only events at ticks <= cur_tick_, which precede every
+  // wheel slot; wheel slots precede everything in far_. So the earliest
+  // pending event is in the first non-empty tier.
+  if (!near_.empty()) return near_.front()->at;
+  uint64_t tick = 0;
+  if (find_next_slot(&tick)) {
+    const uint64_t slot = tick & kWheelMask;
+    TimeNs best = TimeNs::infinite();
+    for (Event* e = wheel_[slot]; e != nullptr; e = e->next) {
+      best = ccstarve::min(best, e->at);
+    }
+    return best;
+  }
+  if (!far_.empty()) return far_.front()->at;
+  return TimeNs::infinite();
+}
+
 void Simulator::warp_to(TimeNs t) {
   assert(pending_ == 0);
   assert(t >= now_);

@@ -36,6 +36,8 @@
 
 namespace ccstarve {
 
+class CheckProbe;
+
 class Simulator {
  public:
   Simulator() : Simulator(nullptr) {}
@@ -94,6 +96,17 @@ class Simulator {
   void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
   TraceRecorder* tracer() const { return tracer_; }
 
+  // Runtime invariant probe (see sim/check_probe.hpp). Null means checking
+  // off; the probe must outlive the simulation. Orthogonal to the tracer:
+  // attaching a checker never changes the event stream or its digest.
+  void set_checker(CheckProbe* checker) { checker_ = checker; }
+  CheckProbe* checker() const { return checker_; }
+
+  // Absolute time of the earliest pending event, or TimeNs::infinite() when
+  // idle. O(pending) in the worst case (it may scan one wheel slot); used
+  // by the snapshot machinery to verify quiescence, not on the hot path.
+  TimeNs next_pending_at() const;
+
  private:
   // log2 of the slot width in ns (16.384 µs) and of the slot count (4096):
   // a ~67 ms horizon, chosen to swallow propagation-delay events (tens of
@@ -139,6 +152,7 @@ class Simulator {
   uint64_t processed_ = 0;
   uint64_t pending_ = 0;
   TraceRecorder* tracer_ = nullptr;
+  CheckProbe* checker_ = nullptr;
 
   EventPool owned_pool_;
   EventPool* pool_ = nullptr;

@@ -16,12 +16,24 @@
 
 #include <cstdint>
 #include <deque>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/packet.hpp"
 #include "util/time.hpp"
 
 namespace ccstarve {
+
+// Thrown on snapshot/fork misuse: snapshotting at a non-quiescent time
+// (some pending event is not strictly in the future) or forking with an
+// out-of-range flow override or a start time at or before the snapshot.
+// The messages are pinned by tests/snapshot_test.cpp.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 // One captured pending event. `kind` + `flow` identify the owning
 // component; `pkt` is meaningful only for the packet-delivery kinds.

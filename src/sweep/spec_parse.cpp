@@ -101,33 +101,65 @@ std::unique_ptr<JitterPolicy> make_jitter(const std::string& spec,
   if (spec.empty() || spec == "none") return nullptr;
   const auto parts = split(spec, ':');
   const std::string& kind = parts[0];
+  if (parts.size() > 2) {
+    throw SpecError("jitter spec '" + spec + "' has unexpected extra part '" +
+                    parts[2] + "'");
+  }
   const auto args = parts.size() > 1 ? split(parts[1], ',')
                                      : std::vector<std::string>{};
-  auto ms = [&](size_t i) {
-    if (i >= args.size()) {
-      throw SpecError("jitter spec '" + spec + "' missing argument");
+  // Each kind takes a fixed argument count; extra arguments used to be
+  // silently ignored, which hid typos like onoff:8,50,50,50.
+  auto expect_args = [&](size_t n) {
+    if (args.size() != n) {
+      throw SpecError("jitter spec '" + spec + "' wants " + std::to_string(n) +
+                      " argument(s), got " + std::to_string(args.size()));
     }
-    return TimeNs::millis(parse_num(args[i], "jitter argument"));
   };
-  auto secs = [&](size_t i) {
-    if (i >= args.size()) {
-      throw SpecError("jitter spec '" + spec + "' missing argument");
+  auto num = [&](size_t i) {
+    const double v = parse_num(args[i], "jitter argument");
+    if (v < 0) {
+      throw SpecError("jitter spec '" + spec + "': argument '" + args[i] +
+                      "' must be >= 0");
     }
-    return TimeNs::seconds(parse_num(args[i], "jitter argument"));
+    return v;
   };
-  if (kind == "const") return std::make_unique<ConstantJitter>(ms(0));
+  auto ms = [&](size_t i) { return TimeNs::millis(num(i)); };
+  auto secs = [&](size_t i) { return TimeNs::seconds(num(i)); };
+  if (kind == "const") {
+    expect_args(1);
+    return std::make_unique<ConstantJitter>(ms(0));
+  }
   if (kind == "uniform") {
+    expect_args(1);
     return std::make_unique<UniformJitter>(TimeNs::zero(), ms(0), seed);
   }
-  if (kind == "quantize") return std::make_unique<PeriodicReleaseJitter>(ms(0));
-  if (kind == "onoff") {
-    return std::make_unique<OnOffJitter>(ms(0), ms(1), ms(2));
+  if (kind == "quantize") {
+    expect_args(1);
+    const TimeNs period = ms(0);
+    if (period <= TimeNs::zero()) {
+      throw SpecError("jitter spec '" + spec + "': period '" + args[0] +
+                      "' must be positive");
+    }
+    return std::make_unique<PeriodicReleaseJitter>(period);
   }
-  if (kind == "step") return std::make_unique<StepJitter>(ms(0), secs(1));
+  if (kind == "onoff") {
+    expect_args(3);
+    const TimeNs high = ms(0), on = ms(1), off = ms(2);
+    if (on + off <= TimeNs::zero()) {
+      throw SpecError("jitter spec '" + spec + "': on '" + args[1] +
+                      "' + off '" + args[2] + "' must be positive");
+    }
+    return std::make_unique<OnOffJitter>(high, on, off);
+  }
+  if (kind == "step") {
+    expect_args(2);
+    return std::make_unique<StepJitter>(ms(0), secs(1));
+  }
   if (kind == "allbutone") {
+    expect_args(2);
     return std::make_unique<AllButOneJitter>(ms(0), secs(1));
   }
-  throw SpecError("unknown jitter spec '" + spec + "'");
+  throw SpecError("unknown jitter kind '" + kind + "' in '" + spec + "'");
 }
 
 FlowArgs parse_flow(const std::string& value) {
@@ -143,10 +175,19 @@ FlowArgs parse_flow(const std::string& value) {
     const std::string val = parts[i].substr(eq + 1);
     if (key == "start") {
       out.start_s = parse_num(val, "flow start");
+      if (out.start_s < 0) {
+        throw SpecError("flow start '" + val + "' must be >= 0");
+      }
     } else if (key == "rtt") {
       out.rtt_ms = parse_num(val, "flow rtt");
+      if (*out.rtt_ms <= 0) {
+        throw SpecError("flow rtt '" + val + "' must be positive");
+      }
     } else if (key == "loss") {
       out.loss = parse_num(val, "flow loss");
+      if (out.loss < 0 || out.loss > 1) {
+        throw SpecError("flow loss '" + val + "' must be in [0, 1]");
+      }
     } else if (key == "ackjitter" || key == "datajitter") {
       std::string spec = val;
       // Jitter args may themselves contain ':' (e.g. quantize:60): re-join
@@ -184,10 +225,20 @@ uint64_t parse_buffer_bytes(const std::string& spec, Rate link_rate,
   }
   if (spec.size() > 3 && spec.substr(spec.size() - 3) == "bdp") {
     const double x = parse_num(spec.substr(0, spec.size() - 3), "buffer");
+    if (x <= 0) {
+      throw SpecError("buffer spec '" + spec + "' must be positive");
+    }
     return static_cast<uint64_t>(x * link_rate.bytes_per_second() * rtt_ms /
                                  1e3);
   }
-  return static_cast<uint64_t>(parse_num(spec, "buffer")) * kMss;
+  // A packet count: a negative or fractional value used to be silently
+  // truncated to whatever the cast produced.
+  const double pkts = parse_num(spec, "buffer");
+  if (pkts < 1 || pkts != static_cast<double>(static_cast<uint64_t>(pkts))) {
+    throw SpecError("buffer spec '" + spec +
+                    "' must be a whole packet count >= 1 (or <x>bdp, or '-')");
+  }
+  return static_cast<uint64_t>(pkts) * kMss;
 }
 
 std::vector<double> parse_axis_values(const std::string& spec) {

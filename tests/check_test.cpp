@@ -1,0 +1,299 @@
+// Unit tests for the invariant observer and the scenario fuzzer (src/check).
+//
+// The scenario suites (golden_trace_test, snapshot_test, property_test) run
+// the checker against live traffic and prove it stays silent on correct
+// code; this file proves the opposite direction — that each check actually
+// fires — by feeding the observer hand-crafted bad event sequences through
+// its CheckProbe interface, and pins the fuzz-case corpus format and the
+// shrinker's end-to-end behaviour.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/fuzzer.hpp"
+#include "check/invariants.hpp"
+#include "sim/packet.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "sweep/spec_parse.hpp"
+
+namespace ccstarve {
+namespace {
+
+bool fired(const check::InvariantChecker& ck, const std::string& name) {
+  for (const auto& v : ck.violations()) {
+    if (v.check == name) return true;
+  }
+  return false;
+}
+
+Packet data_pkt(uint32_t flow, uint64_t seq) {
+  Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  return p;
+}
+
+// --- Positive direction: a clean scenario keeps the checker silent. ---
+
+TEST(InvariantChecker, CleanScenarioReportsOk) {
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(24);
+  Scenario sc(std::move(cfg));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.cca = sweep::make_cca("copa", 1);
+    f.min_rtt = TimeNs::millis(40);
+    sc.add_flow(std::move(f));
+  }
+  check::InvariantChecker ck;
+  ck.attach(sc);
+  sc.run_until(TimeNs::seconds(2));
+  ck.checkpoint();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+  EXPECT_EQ(ck.total_violations(), 0u);
+  EXPECT_TRUE(ck.report().empty());
+}
+
+// --- Negative direction: every check fires on its bad sequence. ---
+
+TEST(InvariantChecker, DetectsTimeGoingBackwards) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  ck.on_segment_sent(TimeNs::millis(5), data_pkt(0, 0));
+  ck.on_segment_sent(TimeNs::millis(3), data_pkt(0, kMss));
+  EXPECT_FALSE(ck.ok());
+  EXPECT_TRUE(fired(ck, "time-monotone")) << ck.report();
+}
+
+TEST(InvariantChecker, DetectsLinkDeliveryWithEmptyQueue) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  ck.on_link_deliver(TimeNs::millis(1), data_pkt(0, 0));
+  EXPECT_TRUE(fired(ck, "link-fifo")) << ck.report();
+}
+
+TEST(InvariantChecker, DetectsLinkReordering) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  const Packet a = data_pkt(0, 0), b = data_pkt(0, kMss);
+  ck.on_link_enqueue(TimeNs::millis(1), a, a.bytes);
+  ck.on_link_enqueue(TimeNs::millis(1), b, a.bytes + b.bytes);
+  ck.on_link_deliver(TimeNs::millis(2), b);  // b overtook a
+  EXPECT_TRUE(fired(ck, "link-fifo")) << ck.report();
+}
+
+TEST(InvariantChecker, DetectsBufferOverrun) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  ck.set_link_buffer(2 * kMss);
+  uint64_t queued = 0;
+  for (uint64_t i = 0; i < 3; ++i) {
+    const Packet p = data_pkt(0, i * kMss);
+    queued += p.bytes;
+    ck.on_link_enqueue(TimeNs::millis(1), p, queued);
+  }
+  EXPECT_TRUE(fired(ck, "link-buffer")) << ck.report();
+}
+
+TEST(InvariantChecker, DetectsByteAccountingDrift) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  const Packet p = data_pkt(0, 0);
+  // The component claims more queued bytes than arrived.
+  ck.on_link_enqueue(TimeNs::millis(1), p, p.bytes + 100);
+  EXPECT_TRUE(fired(ck, "link-bytes")) << ck.report();
+}
+
+TEST(InvariantChecker, DetectsNegativeJitter) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  ck.on_jitter_admit(TimeNs::millis(5), TimeNs::millis(4), data_pkt(0, 0),
+                     /*ack_path=*/false, TimeNs::infinite());
+  EXPECT_TRUE(fired(ck, "jitter-eta-negative")) << ck.report();
+}
+
+TEST(InvariantChecker, DetectsJitterBudgetOverrun) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  ck.on_jitter_admit(TimeNs::millis(5), TimeNs::millis(20), data_pkt(0, 0),
+                     /*ack_path=*/false, /*budget=*/TimeNs::millis(10));
+  EXPECT_TRUE(fired(ck, "jitter-budget")) << ck.report();
+  EXPECT_EQ(ck.observed_max_added(0, false), TimeNs::millis(15));
+}
+
+TEST(InvariantChecker, DetectsJitterReorderingAtAdmit) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  ck.on_jitter_admit(TimeNs::millis(1), TimeNs::millis(10), data_pkt(0, 0),
+                     false, TimeNs::infinite());
+  // Second packet promised a release before the first packet's.
+  ck.on_jitter_admit(TimeNs::millis(2), TimeNs::millis(8),
+                     data_pkt(0, kMss), false, TimeNs::infinite());
+  EXPECT_TRUE(fired(ck, "jitter-fifo")) << ck.report();
+}
+
+TEST(InvariantChecker, DetectsLateJitterRelease) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  const Packet p = data_pkt(0, 0);
+  ck.on_jitter_admit(TimeNs::millis(1), TimeNs::millis(10), p, false,
+                     TimeNs::infinite());
+  ck.on_jitter_release(TimeNs::millis(11), p, false);  // promised 10 ms
+  EXPECT_TRUE(fired(ck, "jitter-release-time")) << ck.report();
+}
+
+TEST(InvariantChecker, DetectsCumulativeAckRegression) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  ck.on_receiver_data(TimeNs::millis(1), data_pkt(0, 0), 3000);
+  ck.on_receiver_data(TimeNs::millis(2), data_pkt(0, kMss), 1500);
+  EXPECT_TRUE(fired(ck, "receiver-cum-monotone")) << ck.report();
+
+  Packet ack = data_pkt(0, 0);
+  ack.is_ack = true;
+  ack.ack_cum = 3000;
+  ck.on_ack_emitted(TimeNs::millis(3), ack);
+  ack.ack_cum = 1500;
+  ck.on_ack_emitted(TimeNs::millis(4), ack);
+  EXPECT_TRUE(fired(ck, "ack-cum-monotone")) << ck.report();
+}
+
+TEST(InvariantChecker, DetectsNonPositiveRtt) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  ck.on_ack_sample(TimeNs::millis(1), /*flow=*/0, TimeNs::zero(),
+                   /*cwnd_bytes=*/10 * kMss, Rate::infinite());
+  EXPECT_TRUE(fired(ck, "rtt-positive")) << ck.report();
+}
+
+TEST(InvariantChecker, StoresAtMostABoundedNumberOfViolationsVerbatim) {
+  Simulator sim;
+  check::InvariantChecker ck;
+  ck.attach(sim);
+  for (int i = 0; i < 100; ++i) {
+    ck.on_link_deliver(TimeNs::millis(1), data_pkt(0, 0));
+  }
+  EXPECT_EQ(ck.total_violations(), 100u);
+  EXPECT_LT(ck.violations().size(), 100u);  // the tail is only counted
+  const std::string rep = ck.report(/*max_lines=*/3);
+  EXPECT_NE(rep.find("link-fifo"), std::string::npos);
+  EXPECT_NE(rep.find("100"), std::string::npos) << rep;  // total is shown
+}
+
+// --- Fuzz cases: corpus line format and seed determinism. ---
+
+TEST(FuzzCase, LineRoundTripsThroughFromLine) {
+  for (uint64_t seed : {1ull, 7ull, 23ull, 100ull}) {
+    const check::FuzzCase c = check::generate_case(seed);
+    std::string err;
+    const auto back = check::FuzzCase::from_line(c.to_line(), &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(back->to_line(), c.to_line());
+  }
+}
+
+TEST(FuzzCase, GenerationIsDeterministicInTheSeed) {
+  EXPECT_EQ(check::generate_case(42).to_line(),
+            check::generate_case(42).to_line());
+  EXPECT_EQ(check::generate_case(777).to_line(),
+            check::generate_case(777).to_line());
+}
+
+TEST(FuzzCase, FromLineRejectsMalformedLines) {
+  std::string err;
+  // Wrong field count.
+  EXPECT_FALSE(check::FuzzCase::from_line("1|copa|96", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  // Flow set that fails the sweep grammar.
+  EXPECT_FALSE(check::FuzzCase::from_line(
+                   "1|nosuchcca|96|60|-|0|0|0|1.2|0", &err)
+                   .has_value());
+  EXPECT_NE(err.find("nosuchcca"), std::string::npos) << err;
+  // Non-numeric field.
+  EXPECT_FALSE(
+      check::FuzzCase::from_line("x|copa|96|60|-|0|0|0|1.2|0", &err)
+          .has_value());
+  // Non-positive duration.
+  EXPECT_FALSE(
+      check::FuzzCase::from_line("1|copa|96|60|-|0|0|0|0|0", &err)
+          .has_value());
+  // Bad buffer spec.
+  EXPECT_FALSE(
+      check::FuzzCase::from_line("1|copa|96|60|1.5|0|0|0|1.2|0", &err)
+          .has_value());
+}
+
+TEST(FuzzCase, ReproCommandIsAPasteableCcstarveRunInvocation) {
+  check::FuzzCase c;
+  c.seed = 9;
+  c.flow_set = "copa+vegas:loss=0.01";
+  c.jitter_budget_ms = 50;
+  const std::string cmd = c.repro_command();
+  EXPECT_NE(cmd.find("ccstarve_run"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--seed=9"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--jitter-budget=50"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--check"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("loss=0.01"), std::string::npos) << cmd;
+}
+
+TEST(FuzzRunner, KnownGoodCasesPass) {
+  for (uint64_t seed : {1ull, 2ull}) {
+    const auto r = check::run_case(check::generate_case(seed));
+    EXPECT_FALSE(r.has_value())
+        << "seed " << seed << " failed [" << r->oracle << "]: " << r->detail;
+  }
+}
+
+// --- Shrinker: a genuinely failing case minimises to its essence. ---
+//
+// A constant 5 ms data-jitter box under a 1 ms budget D violates the
+// eta <= D invariant on the very first packet, regardless of the other
+// flows and axes — so the shrinker must strip everything else and keep
+// exactly the jittered flow and the budget.
+TEST(FuzzShrinker, MinimisesABudgetViolationToTheEssentialFlow) {
+  check::FuzzCase c;
+  c.seed = 3;
+  c.flow_set = "copa+vegas:loss=0.01+copa:datajitter=const:5";
+  c.jitter_budget_ms = 1;
+  c.buffer = "2bdp";
+  c.ecn_threshold_pkts = 30;
+  c.prefill_bytes = 30000;
+  c.duration_s = 1.2;
+
+  const auto failure = check::run_case(c);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->oracle, "invariant");
+  EXPECT_NE(failure->detail.find("jitter-budget"), std::string::npos)
+      << failure->detail;
+
+  check::FuzzFailure mf;
+  const check::FuzzCase m = check::shrink_case(c, {}, &mf);
+  EXPECT_EQ(m.flow_set, "copa:datajitter=const:5");
+  EXPECT_DOUBLE_EQ(m.ecn_threshold_pkts, 0);
+  EXPECT_EQ(m.prefill_bytes, 0u);
+  EXPECT_EQ(m.buffer, "-");
+  EXPECT_DOUBLE_EQ(m.jitter_budget_ms, 1);  // removing it would pass
+  EXPECT_LT(m.duration_s, c.duration_s);
+  EXPECT_EQ(mf.oracle, "invariant");
+
+  const std::string cmd = m.repro_command();
+  EXPECT_NE(cmd.find("ccstarve_run"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--jitter-budget=1"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("datajitter=const:5"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--check"), std::string::npos) << cmd;
+}
+
+}  // namespace
+}  // namespace ccstarve

@@ -1,0 +1,65 @@
+// Replays the committed fuzz corpus (tests/fuzz_corpus/corpus.txt) under
+// the full oracle set, so the cases the fuzzer has historically covered —
+// every CCA family, jitter policy, buffer/AQM axis, and the trace-link
+// topology — are re-verified on every ctest run, not only when someone
+// remembers to run ccstarve_fuzz. A new regression shows up here as the
+// exact corpus line (and repro command) that broke.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.hpp"
+
+#ifndef CCSTARVE_FUZZ_CORPUS
+#error "CCSTARVE_FUZZ_CORPUS must point at tests/fuzz_corpus/corpus.txt"
+#endif
+
+namespace ccstarve {
+namespace {
+
+std::vector<std::string> corpus_lines() {
+  std::ifstream is(CCSTARVE_FUZZ_CORPUS);
+  EXPECT_TRUE(is.good()) << "cannot open " << CCSTARVE_FUZZ_CORPUS;
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back(line);
+  }
+  return out;
+}
+
+class FuzzCorpus : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Lines, FuzzCorpus, ::testing::ValuesIn(corpus_lines()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      // Name each test after the case's seed field, unique by construction.
+      return "seed_" + info.param.substr(0, info.param.find('|'));
+    });
+
+TEST_P(FuzzCorpus, CasePassesAllOracles) {
+  std::string err;
+  const auto c = check::FuzzCase::from_line(GetParam(), &err);
+  ASSERT_TRUE(c.has_value()) << "malformed corpus line: " << err;
+  const auto r = check::run_case(*c);
+  EXPECT_FALSE(r.has_value())
+      << "corpus case failed [" << r->oracle << "]:\n"
+      << r->detail << "\nrepro: " << c->repro_command();
+}
+
+TEST(FuzzCorpusFile, HasMeaningfulCoverage) {
+  const auto lines = corpus_lines();
+  EXPECT_GE(lines.size(), 15u);
+  // Seeds double as line ids; they must be unique for test naming.
+  std::vector<std::string> seeds;
+  for (const auto& l : lines) seeds.push_back(l.substr(0, l.find('|')));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end())
+      << "duplicate seed field in corpus.txt";
+}
+
+}  // namespace
+}  // namespace ccstarve

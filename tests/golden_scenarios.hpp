@@ -1,200 +1,6 @@
-// Canonical golden-trace scenarios.
-//
-// Each GoldenSpec pins one corner of the emulator (a CCA family, a jitter
-// policy, AQM, the strong model, the trace-driven link) with fixed seeds and
-// durations. run_golden() executes the scenario with a TraceRecorder
-// installed and returns the digest of its full packet event stream.
-// tests/golden_trace_test.cpp compares these digests against values
-// committed from the pre-optimisation event loop, so any behavioural drift
-// introduced by core rework fails loudly. bench_simcore reuses the builder
-// for its throughput scenarios.
+// The canonical scenario registry moved to src/check/scenarios.hpp so the
+// bench binaries and the fuzzer can share it; this shim keeps the historic
+// include path working for the tests.
 #pragma once
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "emu/trace.hpp"
-#include "emu/trace_link.hpp"
-#include "sim/scenario.hpp"
-#include "sim/trace_probe.hpp"
-#include "sweep/spec_parse.hpp"
-
-namespace ccstarve::golden {
-
-struct GoldenSpec {
-  std::string name;
-  // Flow set in the sweep grammar ("copa+vegas:loss=0.01"); empty only for
-  // the special trace-link scenario below.
-  std::string flow_set;
-  double link_mbps = 96;
-  double rtt_ms = 60;
-  std::string buffer = "-";
-  double ecn_threshold_pkts = 0;   // >0 installs ThresholdEcn
-  uint64_t prefill_bytes = 0;
-  // >0 replaces the bottleneck with a DelayServerLink whose queueing delay
-  // follows a triangle wave of this amplitude/period (the §6.5 strong
-  // model). Integer-ratio arithmetic keeps the wave libm-free.
-  double delay_server_amp_ms = 0;
-  double delay_server_period_s = 1.0;
-  // Uses a TraceDrivenLink (Mahimahi model) instead of the Scenario
-  // topology; flow_set must then name exactly one flow.
-  bool trace_link = false;
-  uint64_t seed = 1;
-  double duration_s = 8;
-};
-
-struct GoldenResult {
-  std::string digest_hex;
-  uint64_t records = 0;  // packet events folded into the digest
-  uint64_t events = 0;   // simulator events processed
-};
-
-// ~14 scenarios: one per CCA family plus jitter/AQM/strong-model/trace-link
-// variants. Append rather than edit: digests are keyed by name.
-inline std::vector<GoldenSpec> golden_specs() {
-  std::vector<GoldenSpec> specs;
-  auto add = [&specs](GoldenSpec s) { specs.push_back(std::move(s)); };
-  add({.name = "vegas_solo", .flow_set = "vegas", .link_mbps = 48,
-       .rtt_ms = 40});
-  add({.name = "copa_duo", .flow_set = "copa+copa"});
-  add({.name = "copa_minrtt_attack",
-       .flow_set = "copa-default:datajitter=allbutone:1,2"
-                   "+copa-default:datajitter=const:1",
-       .link_mbps = 120});
-  add({.name = "bbr_rtt_asym", .flow_set = "bbr:rtt=40+bbr:rtt=80"});
-  add({.name = "vivace_ack_quantize",
-       .flow_set = "vivace:ackjitter=quantize:60+vivace"});
-  add({.name = "allegro_loss", .flow_set = "allegro:loss=0.02+allegro",
-       .buffer = "2bdp"});
-  add({.name = "newreno_droptail", .flow_set = "newreno+newreno",
-       .link_mbps = 48, .buffer = "1bdp"});
-  add({.name = "cubic_vs_vegas", .flow_set = "cubic+vegas",
-       .buffer = "2bdp"});
-  add({.name = "ledbat_vs_newreno", .flow_set = "ledbat+newreno",
-       .link_mbps = 48, .buffer = "2bdp"});
-  add({.name = "verus_uniform_jitter",
-       .flow_set = "verus:datajitter=uniform:5", .link_mbps = 48});
-  add({.name = "ecn_reno_aqm", .flow_set = "ecn-reno+ecn-reno",
-       .link_mbps = 48, .ecn_threshold_pkts = 30});
-  add({.name = "fast_onoff_jitter",
-       .flow_set = "fast:datajitter=onoff:8,50,50+fast"});
-  add({.name = "prefill_step_jitter",
-       .flow_set = "jitter-aware:datajitter=step:10,3+vegas",
-       .prefill_bytes = 60000});
-  add({.name = "strong_model_triangle", .flow_set = "vegas+copa",
-       .delay_server_amp_ms = 25, .delay_server_period_s = 2.0});
-  add({.name = "trace_link_sawtooth", .flow_set = "cubic",
-       .trace_link = true});
-  // Fork-heavy shape: two Copas where flow 0 gains 8 ms of step jitter at
-  // t = 5 s — exactly what prefix sharing snapshots at 5 s - 1 ns and
-  // forks. Pins the digest the snapshot_test fork paths must reproduce.
-  add({.name = "copa_late_step",
-       .flow_set = "copa:datajitter=step:8,5+copa"});
-  return specs;
-}
-
-// Triangle wave in [0, amp] with the given period, evaluated at t. Pure
-// integer modulus plus one double divide: bit-stable across runs.
-inline TimeNs triangle_delay(TimeNs t, TimeNs amp, TimeNs period) {
-  const int64_t pos = t.ns() % period.ns();
-  const int64_t half = period.ns() / 2;
-  const int64_t up = pos < half ? pos : period.ns() - pos;
-  return TimeNs::nanos(static_cast<int64_t>(
-      static_cast<double>(amp.ns()) * static_cast<double>(up) /
-      static_cast<double>(half)));
-}
-
-// Builds the Scenario topology for a (non-trace-link) spec. Seed derivation
-// mirrors sweep::run_point so digests stay comparable with sweep behaviour.
-inline std::unique_ptr<Scenario> build_golden(const GoldenSpec& spec) {
-  const auto flows = sweep::parse_flow_set(spec.flow_set);
-  ScenarioConfig cfg;
-  cfg.link_rate = Rate::mbps(spec.link_mbps);
-  cfg.buffer_bytes =
-      sweep::parse_buffer_bytes(spec.buffer, cfg.link_rate, spec.rtt_ms);
-  cfg.prefill_bytes = spec.prefill_bytes;
-  if (spec.ecn_threshold_pkts > 0) {
-    cfg.aqm = std::make_unique<ThresholdEcn>(
-        static_cast<uint64_t>(spec.ecn_threshold_pkts) * kMss);
-  }
-  if (spec.delay_server_amp_ms > 0) {
-    const TimeNs amp = TimeNs::millis(spec.delay_server_amp_ms);
-    const TimeNs period = TimeNs::seconds(spec.delay_server_period_s);
-    cfg.delay_server = [amp, period](TimeNs arrival) {
-      return triangle_delay(arrival, amp, period);
-    };
-  }
-  auto sc = std::make_unique<Scenario>(std::move(cfg));
-  const uint64_t base = spec.seed * 1000;
-  for (size_t i = 0; i < flows.size(); ++i) {
-    const sweep::FlowArgs& fa = flows[i];
-    FlowSpec fs;
-    fs.cca = sweep::make_cca(fa.cca, base + 7 + i);
-    fs.min_rtt = TimeNs::millis(fa.rtt_ms.value_or(spec.rtt_ms));
-    fs.start_at = TimeNs::seconds(fa.start_s);
-    fs.loss_rate = fa.loss;
-    fs.loss_seed = base + 77 + i;
-    if (auto j = sweep::make_jitter(fa.ack_jitter, base + 100 + i)) {
-      fs.ack_jitter = std::move(j);
-    }
-    if (auto j = sweep::make_jitter(fa.data_jitter, base + 200 + i)) {
-      fs.data_jitter = std::move(j);
-    }
-    fs.stats_interval = TimeNs::millis(10);
-    sc->add_flow(std::move(fs));
-  }
-  return sc;
-}
-
-// Runs the single-flow Mahimahi-style scenario: sender -> trace-driven
-// link -> propagation -> receiver, with the recorder watching the link.
-inline GoldenResult run_trace_link_golden(const GoldenSpec& spec) {
-  const auto flows = sweep::parse_flow_set(spec.flow_set);
-  Simulator sim;
-  TraceRecorder recorder;
-  sim.set_tracer(&recorder);
-
-  const uint64_t base = spec.seed * 1000;
-  // Build back-to-front: each element needs its downstream neighbour.
-  std::unique_ptr<Sender> sender;
-  struct AckRelay final : PacketHandler {
-    Sender** target;
-    void handle(Packet pkt) override { (*target)->handle(pkt); }
-  } ack_relay;
-  ack_relay.target = nullptr;
-  JitterBox ack_jitter(sim, std::make_unique<ZeroJitter>(), TimeNs::infinite(),
-                       ack_relay);
-  Receiver receiver(sim, AckPolicy{}, ack_jitter);
-  JitterBox data_jitter(sim, std::make_unique<ZeroJitter>(),
-                        TimeNs::infinite(), receiver);
-  PropagationDelay prop(sim, TimeNs::millis(spec.rtt_ms), data_jitter);
-  DeliveryTrace trace = DeliveryTrace::sawtooth(
-      Rate::mbps(5), Rate::mbps(40), TimeNs::seconds(2), TimeNs::seconds(4));
-  TraceDrivenLink::Config lc;
-  lc.buffer_bytes = 120 * kMss;
-  TraceDrivenLink link(sim, std::move(trace), lc, prop);
-  Sender::Config sc;
-  sc.flow_id = 0;
-  sc.stats_interval = TimeNs::millis(10);
-  sender = std::make_unique<Sender>(
-      sim, sc, sweep::make_cca(flows[0].cca, base + 7), link);
-  Sender* sender_ptr = sender.get();
-  ack_relay.target = &sender_ptr;
-  sender->start(TimeNs::zero());
-
-  sim.run_until(TimeNs::seconds(spec.duration_s));
-  return {recorder.digest_hex(), recorder.records(), sim.events_processed()};
-}
-
-inline GoldenResult run_golden(const GoldenSpec& spec) {
-  if (spec.trace_link) return run_trace_link_golden(spec);
-  auto sc = build_golden(spec);
-  TraceRecorder recorder;
-  sc->sim().set_tracer(&recorder);
-  sc->run_until(TimeNs::seconds(spec.duration_s));
-  return {recorder.digest_hex(), recorder.records(),
-          sc->sim().events_processed()};
-}
-
-}  // namespace ccstarve::golden
+#include "check/scenarios.hpp"

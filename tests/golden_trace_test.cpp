@@ -74,7 +74,11 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST_P(GoldenTrace, EventStreamMatchesCommittedDigest) {
   const GoldenSpec& spec = GetParam();
-  const GoldenResult got = run_golden(spec);
+  // Every golden run doubles as an invariant check: the observer hooks add
+  // no trace records, so the committed digests are unchanged.
+  check::InvariantChecker ck;
+  const GoldenResult got = run_golden_checked(spec, &ck);
+  EXPECT_TRUE(ck.ok()) << spec.name << ":\n" << ck.report();
   ASSERT_GT(got.records, 100u)
       << spec.name << ": scenario produced almost no packet events; the "
       << "digest would not pin anything meaningful";
@@ -115,6 +119,22 @@ TEST(TraceRecorder, DigestIsOrderAndValueSensitive) {
   d.record('S', TimeNs::millis(1), 0, 100, 0);
   d.record('E', TimeNs::millis(2), 0, 101, 1500);
   EXPECT_NE(a.digest(), d.digest());
+}
+
+// A run with the invariant observer attached must produce byte-for-byte
+// the same event stream as a plain run: the observer is read-only.
+TEST(GoldenTraceHarness, InvariantObserverDoesNotPerturbDigest) {
+  GoldenSpec spec;
+  spec.name = "observer_check";
+  spec.flow_set = "copa:datajitter=uniform:3+vegas:loss=0.005";
+  spec.duration_s = 2;
+  const GoldenResult plain = run_golden(spec);
+  check::InvariantChecker ck;
+  const GoldenResult checked = run_golden_checked(spec, &ck);
+  EXPECT_TRUE(ck.ok()) << ck.report();
+  EXPECT_EQ(plain.digest_hex, checked.digest_hex);
+  EXPECT_EQ(plain.records, checked.records);
+  EXPECT_EQ(plain.events, checked.events);
 }
 
 // Two runs of the same spec in one process must agree (no hidden global

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cc/allegro.hpp"
+#include "check/invariants.hpp"
 #include "cc/bbr.hpp"
 #include "cc/copa.hpp"
 #include "cc/cubic.hpp"
@@ -82,6 +83,19 @@ INSTANTIATE_TEST_SUITE_P(
 constexpr double kLinkMbps = 12.0;
 constexpr double kDurationS = 25.0;
 
+// Run a scenario to `until` with the runtime invariant observer attached
+// (FIFO, conservation, jitter bounds, CCA sanity); any violation fails the
+// surrounding test. The observer is detached before returning so the
+// checker can go out of scope while the scenario lives on.
+void run_checked(Scenario& sc, TimeNs until, const std::string& label) {
+  check::InvariantChecker ck;
+  ck.attach(sc);
+  sc.run_until(until);
+  ck.checkpoint();
+  EXPECT_TRUE(ck.ok()) << label << ":\n" << ck.report();
+  sc.sim().set_checker(nullptr);
+}
+
 ScenarioConfig base_config(const CcaCase& c) {
   ScenarioConfig cfg;
   cfg.link_rate = Rate::mbps(kLinkMbps);
@@ -101,7 +115,7 @@ TEST_P(PerCca, NeverDeliversMoreThanTheLinkCarries) {
   f.cca = c.make();
   f.min_rtt = TimeNs::millis(60);
   sc.add_flow(std::move(f));
-  sc.run_until(TimeNs::seconds(kDurationS));
+  run_checked(sc, TimeNs::seconds(kDurationS), c.name);
   const double max_bytes =
       Rate::mbps(kLinkMbps).bytes_per_second() * kDurationS;
   EXPECT_LE(static_cast<double>(sc.sender(0).delivered_bytes()),
@@ -119,7 +133,7 @@ TEST_P(PerCca, RunsAreDeterministic) {
     f.data_jitter = std::make_unique<UniformJitter>(
         TimeNs::zero(), TimeNs::millis(5), 42);
     sc.add_flow(std::move(f));
-    sc.run_until(TimeNs::seconds(10));
+    run_checked(sc, TimeNs::seconds(10), c.name);
     return std::pair(sc.sender(0).delivered_bytes(),
                      sc.sim().events_processed());
   };
@@ -137,7 +151,7 @@ TEST_P(PerCca, RttNeverBelowPropagation) {
   f.cca = c.make();
   f.min_rtt = TimeNs::millis(60);
   sc.add_flow(std::move(f));
-  sc.run_until(TimeNs::seconds(kDurationS));
+  run_checked(sc, TimeNs::seconds(kDurationS), c.name);
   for (const auto& s : sc.stats(0).rtt_seconds.samples()) {
     ASSERT_GE(s.value, 0.060);
   }
@@ -154,7 +168,7 @@ TEST_P(PerCca, IdenticalFlowsShareWithinBound) {
     f.start_at = TimeNs::millis(i * 200);  // slight stagger
     sc.add_flow(std::move(f));
   }
-  sc.run_until(TimeNs::seconds(kDurationS));
+  run_checked(sc, TimeNs::seconds(kDurationS), c.name);
   const double a = sc.throughput(0, TimeNs::seconds(kDurationS / 2),
                                  TimeNs::seconds(kDurationS))
                        .to_mbps();
@@ -175,7 +189,7 @@ TEST_P(PerCca, TransplantedCcaStaysEffective) {
   f1.cca = c.make();
   f1.min_rtt = TimeNs::millis(60);
   first.add_flow(std::move(f1));
-  first.run_until(TimeNs::seconds(20));
+  run_checked(first, TimeNs::seconds(20), c.name + " (first)");
   const double before = first
                             .throughput(0, TimeNs::seconds(10),
                                         TimeNs::seconds(20))
@@ -189,7 +203,7 @@ TEST_P(PerCca, TransplantedCcaStaysEffective) {
   f2.cca = std::move(cca);
   f2.min_rtt = TimeNs::millis(60);
   second.add_flow(std::move(f2));
-  second.run_until(TimeNs::seconds(15));
+  run_checked(second, TimeNs::seconds(15), c.name + " (transplanted)");
   const double after = second
                            .throughput(0, TimeNs::seconds(5),
                                        TimeNs::seconds(15))
@@ -246,8 +260,12 @@ TEST_P(ForkEquivalence, SnapshotForkMatchesColdDigest) {
   TraceRecorder cold;
   {
     auto sc = build();
+    check::InvariantChecker ck;
+    ck.attach(*sc);
     sc->sim().set_tracer(&cold);
     sc->run_until(duration);
+    ck.checkpoint();
+    EXPECT_TRUE(ck.ok()) << name << " (cold):\n" << ck.report();
   }
 
   TraceRecorder forked;
@@ -259,8 +277,12 @@ TEST_P(ForkEquivalence, SnapshotForkMatchesColdDigest) {
     snap = sc->snapshot();
   }
   auto fk = Scenario::fork(snap);
+  check::InvariantChecker fork_ck;
+  fork_ck.attach(*fk);
   fk->sim().set_tracer(&forked);
   fk->run_until(duration);
+  fork_ck.checkpoint();
+  EXPECT_TRUE(fork_ck.ok()) << name << " (fork):\n" << fork_ck.report();
   EXPECT_EQ(cold.digest_hex(), forked.digest_hex()) << name << " cut at "
                                                     << t.to_seconds() << " s";
 }
@@ -275,7 +297,7 @@ TEST_P(PerCca, RecoversFromRandomLoss) {
   f.loss_rate = 0.01;
   f.loss_seed = 5;
   sc.add_flow(std::move(f));
-  sc.run_until(TimeNs::seconds(kDurationS));
+  run_checked(sc, TimeNs::seconds(kDurationS), c.name);
   // Whatever the CCA does with the loss signal, the transport must keep
   // advancing the in-order delivery point.
   EXPECT_GT(sc.sender(0).delivered_bytes(), uint64_t{200} * kMss);

@@ -11,9 +11,11 @@
 #include <memory>
 #include <string>
 
+#include "check/invariants.hpp"
 #include "core/jitter_search.hpp"
 #include "golden_scenarios.hpp"
 #include "sim/scenario.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/trace_probe.hpp"
 #include "sweep/spec_parse.hpp"
 
@@ -23,12 +25,17 @@ namespace {
 using golden::GoldenSpec;
 using golden::build_golden;
 
-// Digest of an uninterrupted [0, duration] run.
+// Digest of an uninterrupted [0, duration] run. Runs under the invariant
+// observer, which adds no trace records and so leaves the digest unchanged.
 std::string cold_digest(const GoldenSpec& spec) {
   auto sc = build_golden(spec);
+  check::InvariantChecker ck;
+  ck.attach(*sc);
   TraceRecorder rec;
   sc->sim().set_tracer(&rec);
   sc->run_until(TimeNs::seconds(spec.duration_s));
+  ck.checkpoint();
+  EXPECT_TRUE(ck.ok()) << spec.name << ":\n" << ck.report();
   return rec.digest_hex();
 }
 
@@ -41,13 +48,23 @@ std::string forked_digest(const GoldenSpec& spec, TimeNs t) {
   ScenarioSnapshot snap;
   {
     auto stem = build_golden(spec);
+    check::InvariantChecker stem_ck;
+    stem_ck.attach(*stem);
     stem->sim().set_tracer(&rec);
     stem->run_until(t);
+    stem_ck.checkpoint();
+    EXPECT_TRUE(stem_ck.ok()) << spec.name << " (stem):\n" << stem_ck.report();
     snap = stem->snapshot();
   }  // the stem is gone; only the snapshot survives
   auto forked = Scenario::fork(snap);
+  // Attaching mid-stream syncs the observer to the restored state; the
+  // FIFO/monotonicity/jitter-bound checks still run on the continuation.
+  check::InvariantChecker fork_ck;
+  fork_ck.attach(*forked);
   forked->sim().set_tracer(&rec);
   forked->run_until(TimeNs::seconds(spec.duration_s));
+  fork_ck.checkpoint();
+  EXPECT_TRUE(fork_ck.ok()) << spec.name << " (fork):\n" << fork_ck.report();
   return rec.digest_hex();
 }
 
@@ -181,6 +198,62 @@ TEST(SnapshotForkTest, JitterOverrideMatchesColdLateOnset) {
   forked->sim().set_tracer(&rec);
   forked->run_until(TimeNs::seconds(late.duration_s));
   EXPECT_EQ(cold, rec.digest_hex());
+}
+
+// --- Error paths -----------------------------------------------------------
+// These pin the diagnostic messages: a snapshot mid-dispatch or a malformed
+// fork request must fail loudly, not produce a silently-wrong continuation.
+
+TEST(SnapshotErrors, SnapshotOfNonQuiescentInstantThrows) {
+  GoldenSpec spec{.name = "copa_duo", .flow_set = "copa+copa"};
+  auto sc = build_golden(spec);
+  sc->run_until(TimeNs::seconds(1));
+  // An event due exactly "now" makes the instant non-quiescent: the
+  // same-timestamp dispatch order could not be reconstructed from a capture.
+  sc->sim().schedule_at(sc->sim().now(), [] {});
+  try {
+    sc->snapshot();
+    FAIL() << "snapshot() of a non-quiescent scenario must throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("not quiescent"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapshotErrors, ForkFlowOverrideIndexOutOfRangeThrows) {
+  GoldenSpec spec{.name = "copa_duo", .flow_set = "copa+copa"};
+  auto sc = build_golden(spec);
+  sc->run_until(TimeNs::seconds(1));
+  const ScenarioSnapshot snap = sc->snapshot();
+  ForkOptions opts;
+  opts.flows.resize(3);  // snapshot only has 2 flows
+  try {
+    Scenario::fork(snap, std::move(opts));
+    FAIL() << "fork() with an out-of-range flow override must throw";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+    EXPECT_NE(what.find("2"), std::string::npos)
+        << "diagnostic should name the snapshot's flow count: " << what;
+  }
+}
+
+TEST(SnapshotErrors, ForkStartOverrideNotAfterSnapshotThrows) {
+  GoldenSpec spec{.name = "late", .flow_set = "copa+copa:start=9999"};
+  auto sc = build_golden(spec);
+  sc->run_until(TimeNs::seconds(2));
+  const ScenarioSnapshot snap = sc->snapshot();
+  ForkOptions opts;
+  opts.flows.resize(2);
+  opts.flows[1].start_at = snap.at;  // not strictly after the snapshot
+  try {
+    Scenario::fork(snap, std::move(opts));
+    FAIL() << "fork() with start_at <= snapshot time must throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("not after the snapshot"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(SnapshotForkTest, JitterSearchSharedWarmupMatchesColdSearch) {

@@ -83,6 +83,71 @@ TEST(SpecParse, ErrorsThrowSpecError) {
   EXPECT_THROW(parse_buffer_bytes("xbdp", Rate::mbps(10), 10), SpecError);
 }
 
+// Malformed specs must not only throw: the diagnostic has to name the
+// offending token so a typo in a 50-point sweep spec is findable. (Several
+// of these used to be silently accepted: extra jitter arguments were
+// dropped, fractional packet counts truncated, negative losses kept.)
+TEST(SpecParse, DiagnosticsNameTheOffendingToken) {
+  auto expect_throw_with = [](auto&& fn, const std::string& needle) {
+    try {
+      fn();
+      FAIL() << "expected SpecError mentioning '" << needle << "'";
+    } catch (const SpecError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "diagnostic '" << e.what() << "' should mention '" << needle
+          << "'";
+    }
+  };
+  // Wrong jitter argument counts (the extra argument used to be ignored).
+  expect_throw_with([] { make_jitter("onoff:8,50,50,50", 1); },
+                    "3 argument(s), got 4");
+  expect_throw_with([] { make_jitter("const:5,6", 1); },
+                    "1 argument(s), got 2");
+  expect_throw_with([] { make_jitter("step:5", 1); }, "2 argument(s), got 1");
+  // Out-of-domain jitter arguments.
+  expect_throw_with([] { make_jitter("const:-3", 1); }, "'-3' must be >= 0");
+  expect_throw_with([] { make_jitter("quantize:0", 1); },
+                    "'0' must be positive");
+  expect_throw_with([] { make_jitter("onoff:8,0,0", 1); }, "must be positive");
+  // A stray ':' part after the arguments.
+  expect_throw_with([] { make_jitter("uniform:5:junk", 1); },
+                    "extra part 'junk'");
+  expect_throw_with([] { make_jitter("warble:3", 1); }, "'warble'");
+  // Flow options out of domain.
+  expect_throw_with([] { parse_flow("copa:start=-1"); },
+                    "start '-1' must be >= 0");
+  expect_throw_with([] { parse_flow("copa:rtt=0"); },
+                    "rtt '0' must be positive");
+  expect_throw_with([] { parse_flow("copa:loss=1.5"); },
+                    "loss '1.5' must be in [0, 1]");
+  expect_throw_with([] { parse_flow("copa:loss=-0.1"); },
+                    "loss '-0.1' must be in [0, 1]");
+  expect_throw_with([] { parse_flow("copa:bogus=1"); }, "'bogus'");
+  expect_throw_with([] { parse_flow("nosuchcca"); }, "'nosuchcca'");
+  // Buffer specs: zero/negative sizes and fractional packet counts used to
+  // be cast to garbage.
+  expect_throw_with([] { parse_buffer_bytes("0bdp", Rate::mbps(10), 10); },
+                    "'0bdp' must be positive");
+  expect_throw_with([] { parse_buffer_bytes("-2bdp", Rate::mbps(10), 10); },
+                    "'-2bdp' must be positive");
+  expect_throw_with([] { parse_buffer_bytes("0", Rate::mbps(10), 10); },
+                    "whole packet count");
+  expect_throw_with([] { parse_buffer_bytes("1.5", Rate::mbps(10), 10); },
+                    "whole packet count");
+  expect_throw_with([] { parse_buffer_bytes("-5", Rate::mbps(10), 10); },
+                    "whole packet count");
+}
+
+// The boundary values those diagnostics guard are still accepted.
+TEST(SpecParse, BoundaryValuesStillParse) {
+  EXPECT_DOUBLE_EQ(parse_flow("copa:loss=0").loss, 0.0);
+  EXPECT_DOUBLE_EQ(parse_flow("copa:loss=1").loss, 1.0);
+  EXPECT_DOUBLE_EQ(parse_flow("copa:start=0").start_s, 0.0);
+  EXPECT_NE(make_jitter("const:0", 1), nullptr);
+  EXPECT_NE(make_jitter("onoff:0,50,0", 1), nullptr);
+  EXPECT_EQ(parse_buffer_bytes("1", Rate::mbps(10), 10), kMss);
+}
+
 TEST(SpecParse, EveryAdvertisedCcaInstantiates) {
   for (const auto& name : cca_names()) {
     EXPECT_NE(make_cca(name, 1), nullptr) << name;

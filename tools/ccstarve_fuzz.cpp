@@ -1,0 +1,209 @@
+// ccstarve_fuzz — deterministic scenario fuzzer (src/check).
+//
+// Maps seeds to scenario specs over the sweep grammar, runs each under the
+// runtime invariant observers plus metamorphic oracles (determinism,
+// snapshot/fork byte-identity, flow-relabel symmetry, constant-jitter
+// exactness), and on failure shrinks the spec to a minimal reproducer with
+// a ready-to-paste command line.
+//
+//   ccstarve_fuzz --seeds=500 --time-budget=120s
+//   ccstarve_fuzz --corpus=tests/fuzz_corpus/corpus.txt
+//   ccstarve_fuzz --replay='7|copa+vegas|96|60|2bdp|0|0|0|1.2|0'
+//
+// Flags:
+//   --seeds=<n>         number of generated cases          (default 200)
+//   --start-seed=<n>    first seed                         (default 1)
+//   --jobs=<n>          worker threads                     (default 1)
+//   --time-budget=<s>   stop starting new cases after this many wall
+//                       seconds ("120" or "120s"; default: none)
+//   --corpus=<path>     replay a committed corpus (one case line per line;
+//                       '#' comments) before the generated seeds
+//   --replay=<line>     run exactly one case line, then exit
+//   --repro-out=<path>  append shrunk failing case lines + repro commands
+//   --no-metamorphic    invariants and determinism only (faster)
+//   --no-shrink         report failures without minimising them
+//
+// Exit status: 0 all cases passed, 1 any failure, 2 usage error.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/fuzzer.hpp"
+
+using namespace ccstarve;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "ccstarve_fuzz: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+struct Failure {
+  check::FuzzCase c;
+  check::FuzzFailure f;
+};
+
+double parse_seconds(std::string v) {
+  if (!v.empty() && v.back() == 's') v.pop_back();
+  return std::stod(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seeds = 200, start_seed = 1;
+  int jobs = 1;
+  double time_budget_s = 0;  // 0 = unlimited
+  std::string corpus_path, replay_line, repro_out;
+  check::FuzzOptions opts;
+  bool shrink = true;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto val = [&](const char* name) {
+        const size_t n = std::strlen(name);
+        return arg.compare(0, n, name) == 0 ? std::optional(arg.substr(n))
+                                            : std::nullopt;
+      };
+      if (auto v = val("--seeds=")) {
+        seeds = std::stoull(*v);
+      } else if (auto v = val("--start-seed=")) {
+        start_seed = std::stoull(*v);
+      } else if (auto v = val("--jobs=")) {
+        jobs = std::stoi(*v);
+      } else if (auto v = val("--time-budget=")) {
+        time_budget_s = parse_seconds(*v);
+      } else if (auto v = val("--corpus=")) {
+        corpus_path = *v;
+      } else if (auto v = val("--replay=")) {
+        replay_line = *v;
+      } else if (auto v = val("--repro-out=")) {
+        repro_out = *v;
+      } else if (arg == "--no-metamorphic") {
+        opts.metamorphic = false;
+      } else if (arg == "--no-shrink") {
+        shrink = false;
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("see the header comment of tools/ccstarve_fuzz.cpp\n");
+        return 0;
+      } else {
+        die("unknown flag '" + arg + "' (try --help)");
+      }
+    }
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  if (jobs < 1) die("--jobs must be >= 1");
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+  };
+  const auto out_of_budget = [&] {
+    return time_budget_s > 0 && elapsed() > time_budget_s;
+  };
+
+  const auto report = [&](const Failure& fl) {
+    std::printf("FAIL [%s] case: %s\n  %s\n", fl.f.oracle.c_str(),
+                fl.c.to_line().c_str(), fl.f.detail.c_str());
+    check::FuzzCase minimal = fl.c;
+    check::FuzzFailure mf = fl.f;
+    if (shrink) {
+      std::printf("  shrinking...\n");
+      minimal = check::shrink_case(fl.c, opts, &mf);
+      std::printf("  shrunk [%s] to: %s\n  %s\n", mf.oracle.c_str(),
+                  minimal.to_line().c_str(), mf.detail.c_str());
+    }
+    const std::string cmd = minimal.repro_command();
+    std::printf("  repro: %s\n", cmd.c_str());
+    if (!repro_out.empty()) {
+      std::ofstream os(repro_out, std::ios::app);
+      os << "# [" << mf.oracle << "] " << mf.detail << "\n"
+         << minimal.to_line() << "\n# " << cmd << "\n";
+    }
+  };
+
+  // --replay: exactly one case, verbose.
+  if (!replay_line.empty()) {
+    std::string err;
+    const auto c = check::FuzzCase::from_line(replay_line, &err);
+    if (!c.has_value()) die("bad --replay line: " + err);
+    const auto r = check::run_case(*c, opts);
+    if (!r.has_value()) {
+      std::printf("PASS %s\n", c->to_line().c_str());
+      return 0;
+    }
+    report({*c, *r});
+    return 1;
+  }
+
+  std::vector<Failure> failures;
+  std::mutex mu;
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> done{0};
+  std::atomic<bool> stop{false};
+
+  // Work items: corpus lines first, then generated seeds.
+  std::vector<check::FuzzCase> work;
+  if (!corpus_path.empty()) {
+    std::ifstream is(corpus_path);
+    if (!is) die("cannot open corpus " + corpus_path);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      std::string err;
+      const auto c = check::FuzzCase::from_line(line, &err);
+      if (!c.has_value()) {
+        die("corpus line " + std::to_string(lineno) + ": " + err);
+      }
+      work.push_back(*c);
+    }
+  }
+  const size_t corpus_cases = work.size();
+  for (uint64_t s = 0; s < seeds; ++s) {
+    work.push_back(check::generate_case(start_seed + s));
+  }
+
+  const auto worker = [&] {
+    for (;;) {
+      const uint64_t i = next.fetch_add(1);
+      if (i >= work.size() || stop.load() || out_of_budget()) return;
+      const auto r = check::run_case(work[i], opts);
+      ++done;
+      if (r.has_value()) {
+        std::lock_guard<std::mutex> lock(mu);
+        failures.push_back({work[i], *r});
+        if (failures.size() >= 5) stop.store(true);  // enough to diagnose
+      }
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < jobs; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  for (const Failure& fl : failures) report(fl);
+  std::printf("%llu/%zu cases (%zu corpus + %llu generated), %zu failure(s), "
+              "%.1fs\n",
+              static_cast<unsigned long long>(done.load()), work.size(),
+              corpus_cases, static_cast<unsigned long long>(seeds),
+              failures.size(), elapsed());
+  return failures.empty() ? 0 : 1;
+}

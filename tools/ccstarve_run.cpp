@@ -14,6 +14,15 @@
 //   --duration=<s>           simulated seconds          (default 60)
 //   --buffer=<pkts|Xbdp>     drop-tail buffer           (default: unbounded)
 //   --ecn=<threshold pkts>   threshold ECN marking      (default: off)
+//   --prefill=<bytes>        dummy bytes pre-loaded into the bottleneck
+//   --jitter-budget=<ms>     the model's D: jitter boxes audit added delay
+//                            against this bound         (default: unbounded)
+//   --seed=<n>               base seed for randomized CCAs / loss / jitter
+//                            (default 0; the fuzzer's shrunk repro commands
+//                            pass the failing seed here)
+//   --check                  attach the runtime invariant checker
+//                            (src/check) and fail if any invariant or the
+//                            end-of-run conservation checkpoint is violated
 //   --csv=<prefix>           write <prefix>.flowN.{rtt,rate}.csv
 //   --trace-digest           print the golden-trace hash of the run (an
 //                            order-sensitive digest of every packet event;
@@ -42,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "sim/scenario.hpp"
 #include "sweep/spec_parse.hpp"
 #include "util/table.hpp"
@@ -71,8 +81,9 @@ void dump_csv(const std::string& prefix, size_t i, const FlowStats& stats) {
 int main(int argc, char** argv) {
   double link_mbps = 60, rtt_ms = 60, duration_s = 60;
   std::string buffer_spec, csv_prefix;
-  double ecn_threshold_pkts = 0;
-  bool trace_digest = false;
+  double ecn_threshold_pkts = 0, jitter_budget_ms = 0;
+  uint64_t prefill_bytes = 0, seed = 0;
+  bool trace_digest = false, check = false;
   std::vector<sweep::FlowArgs> flows;
 
   try {
@@ -93,12 +104,20 @@ int main(int argc, char** argv) {
         buffer_spec = *v;
       } else if (auto v = val("--ecn=")) {
         ecn_threshold_pkts = std::stod(*v);
+      } else if (auto v = val("--prefill=")) {
+        prefill_bytes = std::stoull(*v);
+      } else if (auto v = val("--jitter-budget=")) {
+        jitter_budget_ms = std::stod(*v);
+      } else if (auto v = val("--seed=")) {
+        seed = std::stoull(*v);
       } else if (auto v = val("--csv=")) {
         csv_prefix = *v;
       } else if (auto v = val("--flow=")) {
         flows.push_back(sweep::parse_flow(*v));
       } else if (arg == "--trace-digest") {
         trace_digest = true;
+      } else if (arg == "--check") {
+        check = true;
       } else if (arg == "--help" || arg == "-h") {
         std::printf("see the header comment of tools/ccstarve_run.cpp\n");
         return 0;
@@ -116,20 +135,27 @@ int main(int argc, char** argv) {
       cfg.aqm = std::make_unique<ThresholdEcn>(
           static_cast<uint64_t>(ecn_threshold_pkts) * kMss);
     }
+    cfg.prefill_bytes = prefill_bytes;
+    if (jitter_budget_ms > 0) {
+      cfg.jitter_budget = TimeNs::millis(jitter_budget_ms);
+    }
     Scenario sc(std::move(cfg));
 
+    // base = seed * 1000 matches sweep::run_point and the golden/fuzz
+    // builders, so --seed=N reproduces exactly what they ran.
+    const uint64_t base = seed * 1000;
     for (size_t i = 0; i < flows.size(); ++i) {
       const sweep::FlowArgs& fa = flows[i];
       FlowSpec spec;
-      spec.cca = sweep::make_cca(fa.cca, 7 + i);
+      spec.cca = sweep::make_cca(fa.cca, base + 7 + i);
       spec.min_rtt = TimeNs::millis(fa.rtt_ms.value_or(rtt_ms));
       spec.start_at = TimeNs::seconds(fa.start_s);
       spec.loss_rate = fa.loss;
-      spec.loss_seed = 77 + i;
-      if (auto j = sweep::make_jitter(fa.ack_jitter, 100 + i)) {
+      spec.loss_seed = base + 77 + i;
+      if (auto j = sweep::make_jitter(fa.ack_jitter, base + 100 + i)) {
         spec.ack_jitter = std::move(j);
       }
-      if (auto j = sweep::make_jitter(fa.data_jitter, 200 + i)) {
+      if (auto j = sweep::make_jitter(fa.data_jitter, base + 200 + i)) {
         spec.data_jitter = std::move(j);
       }
       spec.stats_interval = TimeNs::millis(10);
@@ -138,8 +164,11 @@ int main(int argc, char** argv) {
 
     TraceRecorder recorder;
     if (trace_digest) sc.sim().set_tracer(&recorder);
+    check::InvariantChecker checker;
+    if (check) checker.attach(sc);
 
     sc.run_until(TimeNs::seconds(duration_s));
+    if (check) checker.checkpoint();
 
     Table t({"flow", "cca", "throughput Mbit/s", "mean RTT ms", "retx",
              "timeouts"});
@@ -171,6 +200,14 @@ int main(int argc, char** argv) {
       std::printf("trace-digest: fnv1a64=%s records=%llu\n",
                   recorder.digest_hex().c_str(),
                   static_cast<unsigned long long>(recorder.records()));
+    }
+    if (check) {
+      if (!checker.ok()) {
+        std::fprintf(stderr, "invariant check FAILED:\n%s",
+                     checker.report().c_str());
+        return 1;
+      }
+      std::printf("invariants: ok\n");
     }
     return 0;
   } catch (const sweep::SpecError& e) {
