@@ -1,0 +1,160 @@
+// Probe-overhead benchmark for the flow-telemetry subsystem (src/obs).
+//
+// For each registry bench scenario (1, 4 and 16 flows; check/scenarios.hpp
+// bench_specs()) the identical run is timed three ways:
+//
+//   * detached — no probe attached; the telemetry seam costs one untaken
+//     branch per hook site. events/sec here is directly comparable to the
+//     scenario rows of BENCH_simcore.json (acceptance: within 1%).
+//   * attached — a FlowTelemetry probe at the default 10 ms cadence, rings
+//     plus streaming aggregates plus the starvation detector, but no JSONL
+//     sink (the in-process sampling cost; acceptance: <= 10% overhead).
+//   * attached+jsonl — the same probe also serialising every bucket to an
+//     in-memory JSONL stream, the full --metrics=... cost.
+//
+// Each configuration runs `reps` times and the best (least-interference)
+// events/sec is kept. Results go to BENCH_telemetry.json.
+//
+// Usage: bench_telemetry [--quick] [--out PATH]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/scenarios.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/scenario.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+namespace {
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+enum class Mode { kDetached, kAttached, kAttachedJsonl };
+
+struct RunResult {
+  double events_per_sec = 0;
+  uint64_t events = 0;
+  uint64_t buckets = 0;
+};
+
+RunResult run_once(const golden::GoldenSpec& b, double sim_seconds,
+                   EventPool* pool, Mode mode) {
+  auto sc = golden::build_golden(b, pool);
+
+  std::ostringstream sink;
+  obs::TelemetryConfig tc;
+  tc.interval = TimeNs::millis(10);
+  if (mode == Mode::kAttachedJsonl) tc.jsonl = &sink;
+  obs::FlowTelemetry telemetry(std::move(tc));
+  if (mode != Mode::kDetached) telemetry.attach(*sc);
+
+  const auto start = std::chrono::steady_clock::now();
+  sc->run_until(TimeNs::seconds(sim_seconds));
+  if (mode != Mode::kDetached) telemetry.finish(TimeNs::seconds(sim_seconds));
+  const double wall = wall_seconds_since(start);
+
+  RunResult r;
+  r.events = sc->sim().events_processed();
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  r.buckets = telemetry.buckets_closed();
+  return r;
+}
+
+}  // namespace
+}  // namespace ccstarve
+
+int main(int argc, char** argv) {
+  using namespace ccstarve;
+  bool quick = false;
+  std::string out = "BENCH_telemetry.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<golden::GoldenSpec> kScenarios = golden::bench_specs();
+  const double sim_seconds = quick ? 2.0 : 8.0;
+  const int reps = quick ? 3 : 5;
+
+  struct Row {
+    std::string name;
+    size_t flows = 0;
+    RunResult detached, attached, jsonl;
+  };
+  std::vector<Row> rows;
+
+  for (const golden::GoldenSpec& b : kScenarios) {
+    // Warm the pool and the code on a short prefix before any timed run.
+    EventPool pool;
+    golden::build_golden(b, &pool)->run_until(TimeNs::millis(200));
+
+    Row row;
+    row.name = b.name;
+    // Interleave the three configurations within each repetition so shared-
+    // machine noise hits all of them alike; keep the fastest of each (the
+    // least-interference estimate).
+    for (int r = 0; r < reps; ++r) {
+      auto keep = [](RunResult* best, RunResult cur) {
+        if (cur.events_per_sec > best->events_per_sec) *best = cur;
+      };
+      keep(&row.detached, run_once(b, sim_seconds, &pool, Mode::kDetached));
+      keep(&row.attached, run_once(b, sim_seconds, &pool, Mode::kAttached));
+      keep(&row.jsonl, run_once(b, sim_seconds, &pool, Mode::kAttachedJsonl));
+    }
+    row.flows = golden::build_golden(b, &pool)->flow_count();
+
+    const double ovr_att = 100.0 * (1.0 - row.attached.events_per_sec /
+                                              row.detached.events_per_sec);
+    const double ovr_js = 100.0 * (1.0 - row.jsonl.events_per_sec /
+                                             row.detached.events_per_sec);
+    std::printf(
+        "%-9s %2zu flows: detached %9.0f ev/s  attached %9.0f ev/s "
+        "(%+5.2f%%)  +jsonl %9.0f ev/s (%+5.2f%%)  %llu buckets\n",
+        row.name.c_str(), row.flows, row.detached.events_per_sec,
+        row.attached.events_per_sec, ovr_att, row.jsonl.events_per_sec,
+        ovr_js, static_cast<unsigned long long>(row.attached.buckets));
+    rows.push_back(std::move(row));
+  }
+
+  std::ofstream os(out);
+  os << "{\n  \"quick\": " << (quick ? "true" : "false")
+     << ",\n  \"interval_ms\": 10,\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double ovr_att =
+        100.0 * (1.0 - r.attached.events_per_sec / r.detached.events_per_sec);
+    const double ovr_js =
+        100.0 * (1.0 - r.jsonl.events_per_sec / r.detached.events_per_sec);
+    os << "    {\"name\": \"" << r.name << "\", \"flows\": " << r.flows
+       << ", \"sim_seconds\": " << sim_seconds
+       << ", \"detached_events_per_sec\": " << r.detached.events_per_sec
+       << ", \"attached_events_per_sec\": " << r.attached.events_per_sec
+       << ", \"attached_jsonl_events_per_sec\": " << r.jsonl.events_per_sec
+       << ", \"overhead_attached_pct\": " << ovr_att
+       << ", \"overhead_jsonl_pct\": " << ovr_js
+       << ", \"events\": " << r.detached.events
+       << ", \"buckets\": " << r.attached.buckets << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,10 +1,12 @@
 #include "check/fuzzer.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "check/invariants.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/trace_probe.hpp"
 #include "util/rng.hpp"
 
@@ -101,6 +103,88 @@ std::string jitter_spec(Rng& rng) {
     default:
       return "allbutone:1,0.3";
   }
+}
+
+// Telemetry oracle helpers: aggregates must be finite and self-consistent,
+// series strictly monotone in time.
+std::string check_aggregate(const obs::StreamingAggregate& a) {
+  if (!std::isfinite(a.mean()) || !std::isfinite(a.variance()) ||
+      !std::isfinite(a.min()) || !std::isfinite(a.max()) ||
+      !std::isfinite(a.p50()) || !std::isfinite(a.p90()) ||
+      !std::isfinite(a.p99())) {
+    return "non-finite aggregate";
+  }
+  if (a.count() == 0) return "";
+  if (a.variance() < 0) return "negative variance";
+  if (a.min() > a.max()) return "min above max";
+  for (double q : {a.p50(), a.p90(), a.p99()}) {
+    if (q < a.min() || q > a.max()) return "quantile outside [min, max]";
+  }
+  return "";
+}
+
+std::string check_ring_monotone(const obs::RingSeries& r) {
+  for (size_t i = 1; i < r.size(); ++i) {
+    if (!(r.at(i - 1).at < r.at(i).at)) {
+      return "series times not strictly increasing at sample " +
+             std::to_string(i);
+    }
+  }
+  return "";
+}
+
+std::optional<FuzzFailure> check_telemetry(const obs::FlowTelemetry& tm) {
+  const auto fail = [](size_t flow, const std::string& what) {
+    return FuzzFailure{"telemetry", "flow " + std::to_string(flow) + ": " +
+                                        what};
+  };
+  for (size_t i = 0; i < tm.flow_count(); ++i) {
+    const obs::FlowTelemetry::FlowSeries& fs = tm.flow(i);
+    const struct {
+      const char* name;
+      const obs::StreamingAggregate* agg;
+    } aggs[] = {{"send_mbps", &fs.agg_send_mbps},
+                {"deliver_mbps", &fs.agg_deliver_mbps},
+                {"rtt_ms", &fs.agg_rtt_ms},
+                {"qdelay_ms", &fs.agg_qdelay_ms}};
+    for (const auto& a : aggs) {
+      const std::string err = check_aggregate(*a.agg);
+      if (!err.empty()) return fail(i, std::string(a.name) + ": " + err);
+    }
+    const struct {
+      const char* name;
+      const obs::RingSeries* ring;
+    } rings[] = {{"send_mbps", &fs.send_mbps},
+                 {"deliver_mbps", &fs.deliver_mbps},
+                 {"rtt_ms", &fs.rtt_ms},
+                 {"cwnd_bytes", &fs.cwnd_bytes}};
+    for (const auto& r : rings) {
+      const std::string err = check_ring_monotone(*r.ring);
+      if (!err.empty()) return fail(i, std::string(r.name) + ": " + err);
+    }
+    if (fs.sent_bytes < fs.delivered_bytes &&
+        tm.link().drops_total == 0) {
+      // Delivered can only trail sent on a lossless path (seeded counters
+      // keep the relation across mid-run attach too).
+      return fail(i, "delivered_bytes above sent_bytes without drops");
+    }
+  }
+  if (const std::string err = check_aggregate(tm.link().agg_queue_ms);
+      !err.empty()) {
+    return FuzzFailure{"telemetry", "link queue_ms: " + err};
+  }
+  for (const obs::RingSeries* r :
+       {&tm.link().queue_ms, &tm.link().drops,
+        &tm.starvation().timeline()}) {
+    if (const std::string err = check_ring_monotone(*r); !err.empty()) {
+      return FuzzFailure{"telemetry", "link/timeline: " + err};
+    }
+  }
+  if (!std::isfinite(tm.starvation().last_ratio()) ||
+      tm.starvation().last_ratio() < 1.0) {
+    return FuzzFailure{"telemetry", "worst-pair ratio below 1 (max/min)"};
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -263,6 +347,10 @@ std::optional<FuzzFailure> run_scenario_case(const FuzzCase& c,
   auto sc1 = golden::build_golden(spec);
   InvariantChecker ck1;
   ck1.attach(*sc1);
+  // Telemetry rides only on run A; run B stays probe-free, so the
+  // determinism oracle below doubles as a digest-transparency check.
+  obs::FlowTelemetry telemetry;
+  if (opts.telemetry) telemetry.attach(*sc1);
   TraceRecorder r1;
   sc1->sim().set_tracer(&r1);
   sc1->run_until(mid);
@@ -278,6 +366,10 @@ std::optional<FuzzFailure> run_scenario_case(const FuzzCase& c,
   sc1->run_until(end);
   ck1.checkpoint();
   if (!ck1.ok()) return FuzzFailure{"invariant", ck1.report()};
+  if (opts.telemetry) {
+    telemetry.finish(end);
+    if (auto f = check_telemetry(telemetry)) return f;
+  }
   const std::string d_post = r2.digest_hex();
   const std::vector<FlowEnd> ends1 = collect_ends(*sc1);
 

@@ -73,6 +73,13 @@ struct FuzzOptions {
   // Also run the relabel-symmetry and const-jitter variant oracles (extra
   // scenario runs per case).
   bool metamorphic = true;
+  // Attach a FlowTelemetry probe (src/obs) to the primary run and check its
+  // telemetry oracle: every streaming aggregate stays finite and
+  // self-consistent, and every recorded series/timeline is strictly
+  // monotone in time. Because the comparison run stays probe-free, the
+  // determinism oracle then also pins that an attached probe never perturbs
+  // trace digests.
+  bool telemetry = true;
 };
 
 // Runs the case under invariant observers and oracles; nullopt means pass.

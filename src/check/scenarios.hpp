@@ -20,6 +20,7 @@
 #include "check/invariants.hpp"
 #include "emu/trace.hpp"
 #include "emu/trace_link.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
 #include "sim/trace_probe.hpp"
 #include "sweep/spec_parse.hpp"
@@ -189,14 +190,18 @@ inline std::unique_ptr<Scenario> build_golden(const GoldenSpec& spec,
 
 // Runs the single-flow Mahimahi-style scenario: sender -> trace-driven
 // link -> propagation -> receiver, with the recorder watching the link.
-// `checker` (optional) is installed alongside the tracer.
-inline GoldenResult run_trace_link_golden(const GoldenSpec& spec,
-                                          CheckProbe* checker = nullptr) {
+// `checker` (optional) is installed alongside the tracer, as is `telemetry`
+// (the trace-link topology has no Scenario, so the probe attaches to the
+// bare simulator with one flow and no propagation-floor seeds).
+inline GoldenResult run_trace_link_golden(
+    const GoldenSpec& spec, CheckProbe* checker = nullptr,
+    obs::FlowTelemetry* telemetry = nullptr) {
   const auto flows = sweep::parse_flow_set(spec.flow_set);
   Simulator sim;
   TraceRecorder recorder;
   sim.set_tracer(&recorder);
   if (checker != nullptr) sim.set_checker(checker);
+  if (telemetry != nullptr) telemetry->attach(sim, 1);
 
   const uint64_t base = spec.seed * 1000;
   // Build back-to-front: each element needs its downstream neighbour.
@@ -227,6 +232,9 @@ inline GoldenResult run_trace_link_golden(const GoldenSpec& spec,
   sender->start(TimeNs::zero());
 
   sim.run_until(TimeNs::seconds(spec.duration_s));
+  if (telemetry != nullptr) {
+    telemetry->finish(TimeNs::seconds(spec.duration_s));
+  }
   return {recorder.digest_hex(), recorder.records(), sim.events_processed()};
 }
 
@@ -238,6 +246,27 @@ inline GoldenResult run_golden(const GoldenSpec& spec,
   sc->sim().set_tracer(&recorder);
   if (checker != nullptr) sc->sim().set_checker(checker);
   sc->run_until(TimeNs::seconds(spec.duration_s));
+  return {recorder.digest_hex(), recorder.records(),
+          sc->sim().events_processed()};
+}
+
+// run_golden with a FlowTelemetry probe attached for the whole run. The
+// probe observes the identical event stream (it never schedules events or
+// mutates packets), so the returned digest must equal a bare run_golden's —
+// tests/obs_test.cpp pins this against every committed digest.
+inline GoldenResult run_golden_telemetry(const GoldenSpec& spec,
+                                         obs::FlowTelemetry* telemetry) {
+  if (spec.trace_link) {
+    return run_trace_link_golden(spec, nullptr, telemetry);
+  }
+  auto sc = build_golden(spec);
+  TraceRecorder recorder;
+  sc->sim().set_tracer(&recorder);
+  if (telemetry != nullptr) telemetry->attach(*sc);
+  sc->run_until(TimeNs::seconds(spec.duration_s));
+  if (telemetry != nullptr) {
+    telemetry->finish(TimeNs::seconds(spec.duration_s));
+  }
   return {recorder.digest_hex(), recorder.records(),
           sc->sim().events_processed()};
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/check_probe.hpp"
+#include "sim/obs_probe.hpp"
 
 namespace ccstarve {
 
@@ -21,6 +22,7 @@ void TraceDrivenLink::handle(Packet pkt) {
       tr->record('D', sim_.now(), pkt.flow, pkt.seq, pkt.is_dummy ? 1 : 0);
     }
     if (CheckProbe* ck = sim_.checker()) ck->on_link_drop(sim_.now(), pkt);
+    if (ObsProbe* ob = sim_.telemetry()) ob->on_link_drop(sim_.now(), pkt);
     return;
   }
   queued_bytes_ += pkt.bytes;
@@ -30,6 +32,9 @@ void TraceDrivenLink::handle(Packet pkt) {
   queue_.push_back(pkt);
   if (CheckProbe* ck = sim_.checker()) {
     ck->on_link_enqueue(sim_.now(), pkt, queued_bytes_);
+  }
+  if (ObsProbe* ob = sim_.telemetry()) {
+    ob->on_link_enqueue(sim_.now(), pkt, queued_bytes_);
   }
 }
 
@@ -51,6 +56,9 @@ void TraceDrivenLink::on_opportunity() {
       tr->record('L', sim_.now(), pkt.flow, pkt.seq, pkt.bytes);
     }
     if (CheckProbe* ck = sim_.checker()) ck->on_link_deliver(sim_.now(), pkt);
+    if (ObsProbe* ob = sim_.telemetry()) {
+      ob->on_link_deliver(sim_.now(), pkt, queued_bytes_);
+    }
     next_.handle(pkt);
   }
   if (++next_index_ >= trace_.size()) {

@@ -1,0 +1,99 @@
+#include "obs/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccstarve::obs {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  want_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  inc_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  return heights_[i] +
+         d / (pos_[i + 1] - pos_[i - 1]) *
+             ((pos_[i] - pos_[i - 1] + d) * (heights_[i + 1] - heights_[i]) /
+                  (pos_[i + 1] - pos_[i]) +
+              (pos_[i + 1] - pos_[i] - d) * (heights_[i] - heights_[i - 1]) /
+                  (pos_[i] - pos_[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (pos_[j] - pos_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+    }
+    return;
+  }
+  ++n_;
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1;
+  for (int i = 0; i < 5; ++i) want_[i] += inc_[i];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = want_[i] - pos_[i];
+    if ((d >= 1 && pos_[i + 1] - pos_[i] > 1) ||
+        (d <= -1 && pos_[i - 1] - pos_[i] < -1)) {
+      const double s = d >= 0 ? 1 : -1;
+      double h = parabolic(i, s);
+      if (heights_[i - 1] < h && h < heights_[i + 1]) {
+        heights_[i] = h;
+      } else {
+        heights_[i] = linear(i, s);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact order statistic of the partial buffer (nearest-rank).
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + static_cast<long>(n_));
+    const size_t rank = std::min(
+        n_ - 1, static_cast<size_t>(q_ * static_cast<double>(n_)));
+    return tmp[rank];
+  }
+  return heights_[2];
+}
+
+void StreamingAggregate::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  p50_.add(x);
+  p90_.add(x);
+  p99_.add(x);
+}
+
+}  // namespace ccstarve::obs

@@ -1,0 +1,64 @@
+// O(1)-memory streaming aggregates for telemetry series.
+//
+// A StreamingAggregate folds an unbounded sample stream into constant
+// state: Welford mean/variance, exact min/max, and P² (Jain & Chlamtac,
+// CACM 1985) estimates of the 50th/90th/99th percentiles. Five markers per
+// quantile, three quantiles, ~200 bytes per aggregate — the memory bound
+// DESIGN.md §11 quotes for week-long simulated horizons.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace ccstarve::obs {
+
+// P² single-quantile estimator. Exact until 5 samples have arrived, then a
+// piecewise-parabolic approximation that never stores more than 5 markers.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q = 0.5);
+
+  void add(double x);
+  // Current estimate; with fewer than 5 samples, the exact order statistic
+  // of what has arrived.
+  double value() const;
+  size_t count() const { return n_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::array<double, 5> heights_{};   // marker heights (sorted)
+  std::array<double, 5> pos_{};       // actual marker positions (1-based)
+  std::array<double, 5> want_{};      // desired positions
+  std::array<double, 5> inc_{};       // desired-position increments
+  size_t n_ = 0;
+};
+
+// Welford mean/variance + min/max + P² p50/p90/p99 over one series.
+class StreamingAggregate {
+ public:
+  StreamingAggregate() : p50_(0.50), p90_(0.90), p99_(0.99) {}
+
+  void add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double p50() const { return p50_.value(); }
+  double p90() const { return p90_.value(); }
+  double p99() const { return p99_.value(); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  P2Quantile p50_, p90_, p99_;
+};
+
+}  // namespace ccstarve::obs

@@ -1,0 +1,110 @@
+#include "obs/profile.hpp"
+
+#include <time.h>
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace ccstarve::obs {
+
+namespace {
+
+double clock_ms(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+}
+
+const char* how_name(char how) {
+  switch (how) {
+    case 'r':
+      return "simulated";
+    case 'c':
+      return "cached";
+    case 'f':
+      return "forked";
+    default:
+      return "?";
+  }
+}
+
+std::string fmt_num(double v) {
+  char buf[40];
+  if (std::isnan(v) || std::isinf(v)) v = 0.0;
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  std::string s = buf;
+  if (s == "-0") s = "0";
+  return s;
+}
+
+}  // namespace
+
+double thread_cpu_ms() { return clock_ms(CLOCK_THREAD_CPUTIME_ID); }
+
+double wall_clock_ms() { return clock_ms(CLOCK_MONOTONIC); }
+
+Table profile_summary_table(const SweepProfile& profile) {
+  Table t({"section", "points", "wall ms", "cpu ms", "share %"});
+
+  const char kinds[] = {'r', 'c', 'f'};
+  double total_wall = 0.0;
+  for (const PointProfile& p : profile.points) total_wall += p.wall_ms;
+  for (char kind : kinds) {
+    size_t n = 0;
+    double wall = 0.0, cpu = 0.0;
+    for (const PointProfile& p : profile.points) {
+      if (p.how != kind) continue;
+      ++n;
+      wall += p.wall_ms;
+      cpu += p.cpu_ms;
+    }
+    const double share = total_wall > 0.0 ? wall / total_wall * 100.0 : 0.0;
+    t.add_row({how_name(kind), std::to_string(n), Table::num(wall),
+               Table::num(cpu), Table::num(share, 1)});
+  }
+
+  for (size_t w = 0; w < profile.workers.size(); ++w) {
+    const WorkerProfile& wp = profile.workers[w];
+    const double idle = profile.wall_ms > wp.busy_wall_ms
+                            ? profile.wall_ms - wp.busy_wall_ms
+                            : 0.0;
+    const double share = profile.wall_ms > 0.0
+                             ? wp.busy_wall_ms / profile.wall_ms * 100.0
+                             : 0.0;
+    t.add_row({"worker " + std::to_string(w) + " (idle " +
+                   Table::num(idle) + " ms)",
+               std::to_string(wp.points), Table::num(wp.busy_wall_ms),
+               Table::num(wp.busy_cpu_ms), Table::num(share, 1)});
+  }
+  return t;
+}
+
+void write_profile_jsonl(std::ostream& os, const SweepProfile& profile) {
+  for (const PointProfile& p : profile.points) {
+    os << "{\"type\":\"point\",\"key\":\"" << p.key << "\",\"how\":\""
+       << how_name(p.how) << "\",\"wall_ms\":" << fmt_num(p.wall_ms)
+       << ",\"cpu_ms\":" << fmt_num(p.cpu_ms) << ",\"worker\":" << p.worker
+       << "}\n";
+  }
+  for (size_t w = 0; w < profile.workers.size(); ++w) {
+    const WorkerProfile& wp = profile.workers[w];
+    os << "{\"type\":\"worker\",\"id\":" << w
+       << ",\"busy_wall_ms\":" << fmt_num(wp.busy_wall_ms)
+       << ",\"busy_cpu_ms\":" << fmt_num(wp.busy_cpu_ms)
+       << ",\"points\":" << wp.points << "}\n";
+  }
+  size_t simulated = 0, cached = 0, forked = 0;
+  for (const PointProfile& p : profile.points) {
+    if (p.how == 'r') ++simulated;
+    if (p.how == 'c') ++cached;
+    if (p.how == 'f') ++forked;
+  }
+  os << "{\"type\":\"sweep_profile\",\"points\":" << profile.points.size()
+     << ",\"simulated\":" << simulated << ",\"cached\":" << cached
+     << ",\"forked\":" << forked << ",\"workers\":" << profile.workers.size()
+     << ",\"wall_ms\":" << fmt_num(profile.wall_ms) << "}\n";
+}
+
+}  // namespace ccstarve::obs

@@ -1,0 +1,59 @@
+// Sweep-engine self-profiling: where does a sweep's wall clock go?
+//
+// The sweep engine (src/sweep/engine.cpp) fills one PointProfile per grid
+// point — how the point was satisfied (simulated, cache hit, or forked off
+// a shared warm-up prefix), its wall and thread-CPU cost, and which worker
+// ran it — plus one WorkerProfile per worker thread. The CLI renders the
+// aggregate as a run-end table (profile_summary_table) and optionally
+// streams per-point lines as JSONL (write_profile_jsonl) next to the sweep
+// results, never into them: profiling is wall-clock-dependent and must stay
+// out of the canonical result records so cached and fresh runs remain
+// byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace ccstarve::obs {
+
+// Current thread's CPU time (CLOCK_THREAD_CPUTIME_ID) in milliseconds.
+double thread_cpu_ms();
+
+// Monotonic wall clock in milliseconds (CLOCK_MONOTONIC).
+double wall_clock_ms();
+
+struct PointProfile {
+  std::string key;   // canonical grid-point key
+  char how = 'r';    // 'r' simulated (ran), 'c' cache hit, 'f' forked
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+  int worker = -1;
+};
+
+struct WorkerProfile {
+  double busy_wall_ms = 0.0;  // summed point wall time on this worker
+  double busy_cpu_ms = 0.0;
+  size_t points = 0;
+};
+
+struct SweepProfile {
+  bool enabled = false;
+  std::vector<PointProfile> points;
+  std::vector<WorkerProfile> workers;
+  double wall_ms = 0.0;  // whole-sweep wall clock (incl. queue waits)
+};
+
+// Per-kind totals plus per-worker busy/idle rows. Idle is the gap between
+// the sweep's wall clock and the worker's busy time — queue-wait plus any
+// serial section (cache probing, prefix simulation) the worker sat out.
+Table profile_summary_table(const SweepProfile& profile);
+
+// One {"type":"point",...} line per grid point and one {"type":"worker",...}
+// line per worker, then a {"type":"sweep_profile",...} trailer.
+void write_profile_jsonl(std::ostream& os, const SweepProfile& profile);
+
+}  // namespace ccstarve::obs

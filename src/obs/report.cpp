@@ -1,0 +1,345 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+namespace ccstarve::obs {
+
+namespace {
+
+// Tolerant extraction parser for the flat one-line JSON objects this repo
+// emits (telemetry logs, sweep records). Missing fields yield the caller's
+// default instead of failing, so new fields stay backward-compatible.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& line) : line_(line) {}
+
+  bool has(const char* field) const {
+    return line_.find(needle(field)) != std::string::npos;
+  }
+
+  double num(const char* field, double fallback = 0.0) const {
+    const size_t pos = value_pos(field);
+    if (pos == std::string::npos) return fallback;
+    const char* start = line_.c_str() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    return end == start ? fallback : v;
+  }
+
+  std::string str(const char* field) const {
+    size_t pos = value_pos(field);
+    std::string out;
+    if (pos == std::string::npos || pos >= line_.size() || line_[pos] != '"')
+      return out;
+    for (size_t i = pos + 1; i < line_.size(); ++i) {
+      if (line_[i] == '\\' && i + 1 < line_.size()) {
+        out.push_back(line_[++i]);
+      } else if (line_[i] == '"') {
+        break;
+      } else {
+        out.push_back(line_[i]);
+      }
+    }
+    return out;
+  }
+
+  std::vector<double> num_array(const char* field) const {
+    std::vector<double> out;
+    size_t pos = value_pos(field);
+    if (pos == std::string::npos || pos >= line_.size() || line_[pos] != '[')
+      return out;
+    ++pos;
+    while (pos < line_.size() && line_[pos] != ']') {
+      const char* start = line_.c_str() + pos;
+      char* end = nullptr;
+      const double v = std::strtod(start, &end);
+      if (end == start) break;
+      out.push_back(v);
+      pos += static_cast<size_t>(end - start);
+      if (pos < line_.size() && line_[pos] == ',') ++pos;
+    }
+    return out;
+  }
+
+  std::vector<std::string> str_array(const char* field) const {
+    std::vector<std::string> out;
+    size_t pos = value_pos(field);
+    if (pos == std::string::npos || pos >= line_.size() || line_[pos] != '[')
+      return out;
+    ++pos;
+    while (pos < line_.size() && line_[pos] != ']') {
+      if (line_[pos] != '"') break;
+      std::string v;
+      size_t i = pos + 1;
+      for (; i < line_.size(); ++i) {
+        if (line_[i] == '\\' && i + 1 < line_.size()) {
+          v.push_back(line_[++i]);
+        } else if (line_[i] == '"') {
+          break;
+        } else {
+          v.push_back(line_[i]);
+        }
+      }
+      out.push_back(std::move(v));
+      pos = i + 1;
+      if (pos < line_.size() && line_[pos] == ',') ++pos;
+    }
+    return out;
+  }
+
+ private:
+  static std::string needle(const char* field) {
+    return std::string("\"") + field + "\":";
+  }
+  size_t value_pos(const char* field) const {
+    const size_t at = line_.find(needle(field));
+    if (at == std::string::npos) return std::string::npos;
+    return at + needle(field).size();
+  }
+
+  const std::string& line_;
+};
+
+AggSummary parse_agg(const std::string& line, const char* field) {
+  // Aggregates are nested objects; slice the object out and parse it flat.
+  AggSummary a;
+  const std::string needle = std::string("\"") + field + "\":{";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return a;
+  const size_t open = at + needle.size() - 1;
+  const size_t close = line.find('}', open);
+  if (close == std::string::npos) return a;
+  const std::string obj = line.substr(open, close - open + 1);
+  JsonLine j(obj);
+  a.n = j.num("n");
+  a.mean = j.num("mean");
+  a.var = j.num("var");
+  a.min = j.num("min");
+  a.max = j.num("max");
+  a.p50 = j.num("p50");
+  a.p90 = j.num("p90");
+  a.p99 = j.num("p99");
+  return a;
+}
+
+std::string csv_num(double v) {
+  if (std::isnan(v) || std::isinf(v)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  std::string s = buf;
+  if (s == "-0") s = "0";
+  return s;
+}
+
+}  // namespace
+
+std::optional<TelemetryLog> TelemetryLog::read(std::istream& in) {
+  TelemetryLog log;
+  bool have_meta = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonLine j(line);
+    const std::string type = j.str("type");
+    if (type == "meta") {
+      have_meta = true;
+      log.flows = static_cast<size_t>(j.num("flows"));
+      log.interval_ms = j.num("interval_ms");
+      log.ratio_window_ms = j.num("ratio_window_ms");
+      log.threshold = j.num("threshold", 2.0);
+      log.attached_at_s = j.num("attached_at_s");
+      log.link_mbps = j.num("link_mbps", -1.0);
+      log.labels = j.str_array("labels");
+      log.min_rtt_ms = j.num_array("min_rtt_ms");
+    } else if (type == "sample") {
+      Sample s;
+      s.t_s = j.num("t_s");
+      s.flow = static_cast<uint32_t>(j.num("flow"));
+      s.send_mbps = j.num("send_mbps");
+      s.deliver_mbps = j.num("deliver_mbps");
+      s.rtt_ms = j.num("rtt_ms");
+      s.qdelay_ms = j.num("qdelay_ms");
+      s.cwnd_bytes = j.num("cwnd_bytes");
+      s.pacing_mbps = j.num("pacing_mbps");
+      s.jitter_ms = j.num("jitter_ms");
+      log.samples.push_back(s);
+    } else if (type == "link") {
+      LinkSample s;
+      s.t_s = j.num("t_s");
+      s.queue_bytes = j.num("queue_bytes");
+      s.queue_ms = j.num("queue_ms");
+      s.drops = j.num("drops");
+      s.deliver_mbps = j.num("deliver_mbps");
+      log.link.push_back(s);
+    } else if (type == "ratio") {
+      Ratio r;
+      r.t_s = j.num("t_s");
+      r.ratio = j.num("ratio", 1.0);
+      log.ratios.push_back(r);
+    } else if (type == "crossing") {
+      Crossing c;
+      c.t_s = j.num("t_s");
+      c.a = static_cast<uint32_t>(j.num("a"));
+      c.b = static_cast<uint32_t>(j.num("b"));
+      c.ratio = j.num("ratio");
+      c.threshold = j.num("threshold");
+      log.crossings.push_back(c);
+    } else if (type == "flow_summary") {
+      FlowSummary f;
+      f.flow = static_cast<uint32_t>(j.num("flow"));
+      f.label = j.str("label");
+      f.sent_bytes = j.num("sent_bytes");
+      f.delivered_bytes = j.num("delivered_bytes");
+      f.drops = j.num("drops");
+      f.send_mbps = parse_agg(line, "send_mbps");
+      f.deliver_mbps = parse_agg(line, "deliver_mbps");
+      f.rtt_ms = parse_agg(line, "rtt_ms");
+      f.qdelay_ms = parse_agg(line, "qdelay_ms");
+      log.flow_summaries.push_back(f);
+    } else if (type == "end") {
+      log.end.present = true;
+      log.end.t_s = j.num("t_s");
+      log.end.buckets = j.num("buckets");
+      log.end.ratio = j.num("ratio", 1.0);
+      log.end.starved = j.num("starved");
+      log.end.first_crossing_s = j.num("first_crossing_s", -1.0);
+      log.end.threshold = j.num("threshold", 2.0);
+      log.end.link_drops = j.num("link_drops");
+    }
+  }
+  if (!have_meta) return std::nullopt;
+  return log;
+}
+
+void write_timeline_csv(std::ostream& out, const TelemetryLog& log) {
+  out << "# per-flow telemetry timeline, interval_ms="
+      << csv_num(log.interval_ms) << "\n";
+  out << "t_s";
+  for (size_t i = 0; i < log.flows; ++i) {
+    const std::string sfx = std::to_string(i);
+    out << ",send" << sfx << "_mbps,deliver" << sfx << "_mbps,rtt" << sfx
+        << "_ms,qdelay" << sfx << "_ms,cwnd" << sfx << "_bytes";
+  }
+  out << ",queue_ms,link_drops\n";
+
+  // Samples arrive flow-major per bucket (flow 0..N-1, then the link line),
+  // all stamped with the bucket's end time; walk them bucket by bucket.
+  size_t si = 0, li = 0;
+  while (si < log.samples.size()) {
+    const double t = log.samples[si].t_s;
+    out << csv_num(t);
+    for (size_t f = 0; f < log.flows; ++f) {
+      if (si < log.samples.size() && log.samples[si].t_s == t &&
+          log.samples[si].flow == f) {
+        const TelemetryLog::Sample& s = log.samples[si++];
+        out << ',' << csv_num(s.send_mbps) << ',' << csv_num(s.deliver_mbps)
+            << ',' << csv_num(s.rtt_ms) << ',' << csv_num(s.qdelay_ms) << ','
+            << csv_num(s.cwnd_bytes);
+      } else {
+        out << ",0,0,0,0,0";
+      }
+    }
+    if (li < log.link.size() && log.link[li].t_s == t) {
+      out << ',' << csv_num(log.link[li].queue_ms) << ','
+          << csv_num(log.link[li].drops);
+      ++li;
+    } else {
+      out << ",0,0";
+    }
+    out << '\n';
+  }
+}
+
+void write_ratio_csv(std::ostream& out, const TelemetryLog& log) {
+  out << "# starvation-ratio timeline (worst flow pair), threshold="
+      << csv_num(log.threshold) << ", window_ms="
+      << csv_num(log.ratio_window_ms) << "\n";
+  out << "t_s,ratio\n";
+  double timeline_first = -1.0;
+  for (const TelemetryLog::Ratio& r : log.ratios) {
+    out << csv_num(r.t_s) << ',' << csv_num(r.ratio) << '\n';
+    if (timeline_first < 0 && r.ratio >= log.threshold) timeline_first = r.t_s;
+  }
+  const double end_first = log.end.present ? log.end.first_crossing_s : -1.0;
+  const bool starved = log.end.present && log.end.starved != 0.0;
+  // The timeline's first crossing must retell the end-of-run verdict: if the
+  // run ended starved there must be a crossing, and the recomputed crossing
+  // time must match the detector's recorded one.
+  const bool times_match =
+      (timeline_first < 0 && end_first < 0) ||
+      (timeline_first >= 0 && end_first >= 0 &&
+       std::fabs(timeline_first - end_first) < 1e-9);
+  const bool agree = times_match && (!starved || timeline_first >= 0);
+  out << "# first_crossing_s=" << csv_num(timeline_first) << "\n";
+  out << "# end_first_crossing_s=" << csv_num(end_first) << "\n";
+  out << "# end_ratio=" << csv_num(log.end.present ? log.end.ratio : 1.0)
+      << "\n";
+  out << "# end_starved=" << (starved ? 1 : 0) << "\n";
+  out << "# agree=" << (agree ? 1 : 0) << "\n";
+}
+
+void write_delay_dist_csv(std::ostream& out, const TelemetryLog& log) {
+  out << "# per-flow delay distributions (streaming aggregates)\n";
+  out << "flow,label,metric,n,mean,min,p50,p90,p99,max\n";
+  for (const TelemetryLog::FlowSummary& f : log.flow_summaries) {
+    const struct {
+      const char* name;
+      const AggSummary* agg;
+    } metrics[] = {{"rtt_ms", &f.rtt_ms}, {"qdelay_ms", &f.qdelay_ms}};
+    for (const auto& m : metrics) {
+      out << f.flow << ',' << f.label << ',' << m.name << ','
+          << csv_num(m.agg->n) << ',' << csv_num(m.agg->mean) << ','
+          << csv_num(m.agg->min) << ',' << csv_num(m.agg->p50) << ','
+          << csv_num(m.agg->p90) << ',' << csv_num(m.agg->p99) << ','
+          << csv_num(m.agg->max) << '\n';
+    }
+  }
+}
+
+bool write_rate_delay_csv(std::ostream& out, std::istream& sweep_jsonl) {
+  out << "# rate-delay scatter from sweep records (Fig. 3 style)\n";
+  out << "key,flow,cca,throughput_mbps,mean_rtt_ms,d_min_ms,d_max_ms\n";
+  bool any = false;
+  std::string line;
+  while (std::getline(sweep_jsonl, line)) {
+    if (line.empty()) continue;
+    JsonLine j(line);
+    if (!j.has("key") || !j.has("throughput_mbps")) continue;
+    const std::string key = j.str("key");
+    const std::vector<std::string> ccas = j.str_array("ccas");
+    const std::vector<double> tput = j.num_array("throughput_mbps");
+    const std::vector<double> rtt = j.num_array("mean_rtt_ms");
+    const std::vector<double> dmin = j.num_array("d_min_ms");
+    const std::vector<double> dmax = j.num_array("d_max_ms");
+    for (size_t f = 0; f < tput.size(); ++f) {
+      out << key << ',' << f << ','
+          << (f < ccas.size() ? ccas[f] : std::string()) << ','
+          << csv_num(tput[f]) << ','
+          << csv_num(f < rtt.size() ? rtt[f] : 0.0) << ','
+          << csv_num(f < dmin.size() ? dmin[f] : 0.0) << ','
+          << csv_num(f < dmax.size() ? dmax[f] : 0.0) << '\n';
+      any = true;
+    }
+  }
+  return any;
+}
+
+std::string detect_input_kind(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.find("\"type\":\"meta\"") != std::string::npos)
+      return "telemetry";
+    if (line.find("\"key\":") != std::string::npos &&
+        line.find("\"throughput_mbps\":") != std::string::npos)
+      return "sweep";
+    return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace ccstarve::obs

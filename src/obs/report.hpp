@@ -1,0 +1,96 @@
+// Figure-data back end for tools/ccstarve_report.
+//
+// Reads the JSONL streams this repo itself produces — FlowTelemetry logs
+// (obs/telemetry.hpp) and sweep result files (sweep/record.hpp) — and turns
+// them into gnuplot-ready CSV: per-flow rate/RTT timelines, the
+// starvation-ratio timeline with its first threshold crossing, per-flow
+// delay distributions, and Fig. 3-style rate-delay scatter data from sweep
+// records. The sweep-record reader is a local mini parser on purpose:
+// ccstarve_obs sits below ccstarve_sweep in the link order, so it cannot
+// call SweepRecord::from_json.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccstarve::obs {
+
+struct AggSummary {
+  double n = 0, mean = 0, var = 0, min = 0, max = 0, p50 = 0, p90 = 0,
+         p99 = 0;
+};
+
+struct TelemetryLog {
+  // meta line
+  size_t flows = 0;
+  double interval_ms = 0, ratio_window_ms = 0, threshold = 2;
+  double attached_at_s = 0, link_mbps = -1;
+  std::vector<std::string> labels;
+  std::vector<double> min_rtt_ms;
+
+  struct Sample {
+    double t_s = 0;
+    uint32_t flow = 0;
+    double send_mbps = 0, deliver_mbps = 0, rtt_ms = 0, qdelay_ms = 0;
+    double cwnd_bytes = 0, pacing_mbps = 0, jitter_ms = 0;
+  };
+  struct LinkSample {
+    double t_s = 0;
+    double queue_bytes = 0, queue_ms = 0, drops = 0, deliver_mbps = 0;
+  };
+  struct Ratio {
+    double t_s = 0, ratio = 1;
+  };
+  struct Crossing {
+    double t_s = 0;
+    uint32_t a = 0, b = 0;
+    double ratio = 0, threshold = 0;
+  };
+  struct FlowSummary {
+    uint32_t flow = 0;
+    std::string label;
+    double sent_bytes = 0, delivered_bytes = 0, drops = 0;
+    AggSummary send_mbps, deliver_mbps, rtt_ms, qdelay_ms;
+  };
+  struct End {
+    bool present = false;
+    double t_s = 0, buckets = 0, ratio = 1, starved = 0;
+    double first_crossing_s = -1, threshold = 2, link_drops = 0;
+  };
+
+  std::vector<Sample> samples;
+  std::vector<LinkSample> link;
+  std::vector<Ratio> ratios;
+  std::vector<Crossing> crossings;
+  std::vector<FlowSummary> flow_summaries;
+  End end;
+
+  // Parses a FlowTelemetry JSONL stream. Unknown line types are skipped;
+  // nullopt only when no meta line was found (not a telemetry log).
+  static std::optional<TelemetryLog> read(std::istream& in);
+};
+
+// Wide per-bucket timeline: t_s, then send/deliver/rtt/qdelay/cwnd per flow,
+// then the link's queue_ms and drop delta. One row per sample bucket.
+void write_timeline_csv(std::ostream& out, const TelemetryLog& log);
+
+// Starvation-ratio timeline plus footer comments: the first crossing
+// recomputed from the timeline itself, the log's end-of-run verdict, and
+// `# agree=` saying whether the two tell the same story.
+void write_ratio_csv(std::ostream& out, const TelemetryLog& log);
+
+// Per-flow delay distributions (rtt_ms and qdelay_ms streaming aggregates).
+void write_delay_dist_csv(std::ostream& out, const TelemetryLog& log);
+
+// Sweep JSONL -> rate-delay scatter rows (one per flow per grid point):
+// key, flow, cca, throughput_mbps, mean_rtt_ms, d_min_ms, d_max_ms.
+// Returns false when no parseable sweep record was found.
+bool write_rate_delay_csv(std::ostream& out, std::istream& sweep_jsonl);
+
+// Sniffs the first non-empty line: "telemetry", "sweep", or "unknown".
+std::string detect_input_kind(std::istream& in);
+
+}  // namespace ccstarve::obs

@@ -1,0 +1,66 @@
+// Fixed-capacity (time, value) ring series.
+//
+// Telemetry keeps one of these per recorded series so memory stays bounded
+// no matter how long the simulated horizon is: the ring retains the newest
+// `capacity` samples and counts (but forgets) everything older. Streaming
+// aggregates (obs/aggregate.hpp) cover the forgotten prefix, so a week-long
+// run still reports exact means/quantile estimates plus a full-resolution
+// tail window.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ccstarve::obs {
+
+class RingSeries {
+ public:
+  struct Sample {
+    TimeNs at = TimeNs::zero();
+    double value = 0.0;
+  };
+
+  RingSeries() : RingSeries(4096) {}
+  explicit RingSeries(size_t capacity) : buf_(capacity ? capacity : 1) {}
+
+  void push(TimeNs at, double value) {
+    buf_[head_] = Sample{at, value};
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+    ++total_;
+  }
+
+  // Samples currently retained (<= capacity).
+  size_t size() const { return size_; }
+  size_t capacity() const { return buf_.size(); }
+  // Samples ever pushed; total() - size() were evicted.
+  uint64_t total() const { return total_; }
+  bool empty() const { return size_ == 0; }
+
+  // i = 0 is the oldest retained sample, i = size()-1 the newest.
+  const Sample& at(size_t i) const {
+    assert(i < size_);
+    return buf_[(head_ + buf_.size() - size_ + i) % buf_.size()];
+  }
+  const Sample& back() const { return at(size_ - 1); }
+
+  // Retained samples in time order (copies; for export, not hot paths).
+  std::vector<Sample> snapshot() const {
+    std::vector<Sample> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<Sample> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace ccstarve::obs

@@ -1,0 +1,86 @@
+#include "obs/starvation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccstarve::obs {
+
+void StarvationDetector::configure(size_t flows, size_t window_buckets,
+                                   double threshold, size_t ring_capacity) {
+  flows_ = flows;
+  window_buckets_ = std::max<size_t>(1, window_buckets);
+  threshold_ = threshold;
+  deltas_.assign(flows, std::vector<uint64_t>(window_buckets_, 0));
+  window_sum_.assign(flows, 0);
+  window_fill_.assign(flows, 0);
+  flow_started_.assign(flows, false);
+  pair_crossed_.assign(flows * flows, false);
+  next_slot_ = 0;
+  timeline_ = RingSeries(ring_capacity);
+  crossings_.clear();
+  engaged_ = false;
+  last_ratio_ = 1.0;
+}
+
+void StarvationDetector::on_bucket(TimeNs bucket_end,
+                                   const std::vector<uint64_t>& delivered_delta,
+                                   const std::vector<bool>& started) {
+  if (flows_ < 2) return;  // a solo flow cannot starve anyone
+  assert(delivered_delta.size() == flows_ && started.size() == flows_);
+
+  for (size_t i = 0; i < flows_; ++i) {
+    if (!flow_started_[i] && started[i]) flow_started_[i] = true;
+    if (!flow_started_[i]) continue;  // window starts at the flow's start
+    window_sum_[i] += delivered_delta[i] - deltas_[i][next_slot_];
+    deltas_[i][next_slot_] = delivered_delta[i];
+    if (window_fill_[i] < window_buckets_) ++window_fill_[i];
+  }
+  next_slot_ = (next_slot_ + 1) % window_buckets_;
+
+  // Engage once every flow has started and accumulated a full window, so a
+  // late-starting flow's ramp-up never reads as a crossing.
+  bool all_full = true;
+  for (size_t i = 0; i < flows_; ++i) {
+    if (!flow_started_[i] || window_fill_[i] < window_buckets_) {
+      all_full = false;
+      break;
+    }
+  }
+  if (!all_full) return;
+  engaged_ = true;
+
+  const auto pair_ratio = [](uint64_t hi, uint64_t lo) {
+    if (lo == 0) return hi == 0 ? 1.0 : kStarvedRatioCap;
+    return std::min(kStarvedRatioCap,
+                    static_cast<double>(hi) / static_cast<double>(lo));
+  };
+
+  uint64_t max_sum = window_sum_[0], min_sum = window_sum_[0];
+  for (size_t i = 1; i < flows_; ++i) {
+    max_sum = std::max(max_sum, window_sum_[i]);
+    min_sum = std::min(min_sum, window_sum_[i]);
+  }
+  last_ratio_ = pair_ratio(max_sum, min_sum);
+  timeline_.push(bucket_end, last_ratio_);
+
+  for (size_t i = 0; i < flows_; ++i) {
+    for (size_t j = i + 1; j < flows_; ++j) {
+      if (pair_crossed_[i * flows_ + j]) continue;
+      const uint64_t hi = std::max(window_sum_[i], window_sum_[j]);
+      const uint64_t lo = std::min(window_sum_[i], window_sum_[j]);
+      const double r = pair_ratio(hi, lo);
+      if (r >= threshold_) {
+        pair_crossed_[i * flows_ + j] = true;
+        PairCrossing c;
+        const bool i_faster = window_sum_[i] >= window_sum_[j];
+        c.a = static_cast<uint32_t>(i_faster ? i : j);
+        c.b = static_cast<uint32_t>(i_faster ? j : i);
+        c.at = bucket_end;
+        c.ratio = r;
+        crossings_.push_back(c);
+      }
+    }
+  }
+}
+
+}  // namespace ccstarve::obs

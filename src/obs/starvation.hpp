@@ -1,0 +1,83 @@
+// Sliding-window throughput-ratio starvation detector (the paper's §7
+// metric, made into a timeline instead of an end-of-run scalar).
+//
+// FlowTelemetry feeds it one delivered-bytes delta per flow per sample
+// bucket. The detector maintains a sliding window of the last W buckets per
+// flow and, once every flow has started and a full window has elapsed,
+// computes the max/min delivered ratio across flows for every bucket — the
+// worst-pair ratio timeline — plus, per flow pair, the first time the
+// pair's ratio crossed the configured threshold. A run's end-of-run verdict
+// (ratio at the final bucket) and the first-crossing timestamp together say
+// not only *that* a flow starved but *when* it started to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/ring.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve::obs {
+
+class StarvationDetector {
+ public:
+  // Ratio reported when the window minimum is zero bytes while the maximum
+  // is not — "infinitely starved", clamped to stay JSON-representable.
+  static constexpr double kStarvedRatioCap = 1e6;
+
+  struct PairCrossing {
+    uint32_t a = 0;  // the faster flow at crossing time
+    uint32_t b = 0;  // the slower flow
+    TimeNs at = TimeNs::zero();
+    double ratio = 0.0;  // the pair ratio at the crossing bucket
+  };
+
+  StarvationDetector() = default;
+  // `window_buckets` sliding-window length in sample buckets (>= 1);
+  // `threshold` the ratio that counts as starvation (paper §7 uses
+  // r >= 2 as "one flow gets less than half its share").
+  void configure(size_t flows, size_t window_buckets, double threshold,
+                 size_t ring_capacity);
+
+  // One call per closed sample bucket, in time order. `delivered_delta[i]`
+  // is flow i's delivered-byte delta over the bucket; `started[i]` whether
+  // the flow has sent anything yet (pre-start flows are excluded rather
+  // than counted as starved).
+  void on_bucket(TimeNs bucket_end, const std::vector<uint64_t>& delivered_delta,
+                 const std::vector<bool>& started);
+
+  // Worst-pair ratio timeline, one point per bucket once engaged.
+  const RingSeries& timeline() const { return timeline_; }
+  bool engaged() const { return engaged_; }
+  double last_ratio() const { return last_ratio_; }
+  double threshold() const { return threshold_; }
+  size_t window_buckets() const { return window_buckets_; }
+
+  // First threshold crossing per flow pair, in crossing-time order.
+  const std::vector<PairCrossing>& crossings() const { return crossings_; }
+  // Earliest crossing across all pairs; TimeNs(-1) when none happened.
+  TimeNs first_crossing() const {
+    return crossings_.empty() ? TimeNs(-1) : crossings_.front().at;
+  }
+
+ private:
+  size_t flows_ = 0;
+  size_t window_buckets_ = 1;
+  double threshold_ = 2.0;
+
+  // Per-flow circular window of bucket deltas plus its running sum.
+  std::vector<std::vector<uint64_t>> deltas_;
+  std::vector<uint64_t> window_sum_;
+  std::vector<size_t> window_fill_;  // buckets accumulated since start
+  std::vector<bool> flow_started_;
+  size_t next_slot_ = 0;
+
+  bool engaged_ = false;
+  double last_ratio_ = 1.0;
+  RingSeries timeline_{4096};
+  std::vector<PairCrossing> crossings_;
+  std::vector<bool> pair_crossed_;  // flows_ x flows_ upper triangle
+};
+
+}  // namespace ccstarve::obs

@@ -1,0 +1,473 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace ccstarve::obs {
+
+namespace {
+
+// Canonical number rendering, mirroring sweep/grid.hpp's canon_num so
+// telemetry JSONL is byte-comparable across runs. Not shared with the sweep
+// library: obs sits below it in the dependency order (sweep links obs).
+std::string json_num(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  std::string s = buf;
+  if (s == "-0") s = "0";
+  return s;
+}
+
+void append_num(std::string& j, const char* field, double v) {
+  j += '"';
+  j += field;
+  j += "\":";
+  j += json_num(v);
+}
+
+void append_str(std::string& j, const char* field, const std::string& v) {
+  j += '"';
+  j += field;
+  j += "\":\"";
+  for (char c : v) {
+    if (c == '"' || c == '\\') j += '\\';
+    j += c;
+  }
+  j += '"';
+}
+
+void append_agg(std::string& j, const char* field,
+                const StreamingAggregate& a) {
+  j += '"';
+  j += field;
+  j += "\":{";
+  append_num(j, "n", static_cast<double>(a.count()));
+  j += ',';
+  append_num(j, "mean", a.mean());
+  j += ',';
+  append_num(j, "var", a.variance());
+  j += ',';
+  append_num(j, "min", a.min());
+  j += ',';
+  append_num(j, "max", a.max());
+  j += ',';
+  append_num(j, "p50", a.p50());
+  j += ',';
+  append_num(j, "p90", a.p90());
+  j += ',';
+  append_num(j, "p99", a.p99());
+  j += '}';
+}
+
+}  // namespace
+
+FlowTelemetry::FlowTelemetry(TelemetryConfig config)
+    : config_(std::move(config)) {
+  if (config_.interval <= TimeNs::zero()) config_.interval = TimeNs::millis(10);
+}
+
+void FlowTelemetry::init_flows(size_t n, TimeNs now) {
+  flows_.clear();
+  accum_.assign(n, FlowAccum{});
+  for (size_t i = 0; i < n; ++i) {
+    FlowSeries fs;
+    fs.send_mbps = RingSeries(config_.ring_capacity);
+    fs.deliver_mbps = RingSeries(config_.ring_capacity);
+    fs.rtt_ms = RingSeries(config_.ring_capacity);
+    fs.cwnd_bytes = RingSeries(config_.ring_capacity);
+    flows_.push_back(std::move(fs));
+  }
+  link_ = LinkSeries{};
+  link_.queue_ms = RingSeries(config_.ring_capacity);
+  link_.drops = RingSeries(config_.ring_capacity);
+  bucket_delivered_delta_.assign(n, 0);
+  bucket_started_.assign(n, false);
+  const int64_t w = config_.ratio_window.ns() / config_.interval.ns();
+  starvation_.configure(n, static_cast<size_t>(std::max<int64_t>(1, w)),
+                        config_.starvation_threshold, config_.ring_capacity);
+  emitted_crossings_ = 0;
+  cur_bucket_ = bucket_of(now);
+  next_close_ns_ = (cur_bucket_ + 1) * config_.interval.ns();
+  buckets_closed_ = 0;
+  attached_ = true;
+  summaries_written_ = false;
+}
+
+void FlowTelemetry::attach(Scenario& sc) {
+  init_flows(sc.flow_count(), sc.sim().now());
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    const Sender& s = sc.sender(i);
+    // Seed the cumulative counters a cold-attached probe would have
+    // accumulated by now, so a probe attached to a fork reproduces the
+    // cold run's post-fork deltas exactly.
+    accum_[i].sent_bytes = s.packets_sent() * kMss;
+    accum_[i].delivered_bytes = s.delivered_bytes();
+    flows_[i].sent_bytes = accum_[i].sent_bytes;
+    flows_[i].delivered_bytes = accum_[i].delivered_bytes;
+    accum_[i].prev_sent = accum_[i].sent_bytes;
+    accum_[i].prev_delivered = accum_[i].delivered_bytes;
+    accum_[i].min_rtt_ms = sc.min_rtt(i).to_seconds() * 1e3;
+    accum_[i].last_cwnd = s.cca().cwnd_bytes();
+    accum_[i].last_pacing = s.cca().pacing_rate();
+  }
+  if (sc.has_bottleneck()) {
+    link_queue_bytes_ = sc.link().queued_bytes();
+    link_.drops_total = sc.link().drops();
+    link_prev_drops_ = link_.drops_total;
+    const Rate r = sc.link().rate();
+    link_rate_mbps_ = r.is_infinite() ? -1.0 : r.to_mbps();
+  } else {
+    link_queue_bytes_ = 0;
+    link_rate_mbps_ = -1.0;
+  }
+  link_prev_delivered_ = link_.delivered_bytes;
+  sc.sim().set_telemetry(this);
+
+  if (config_.jsonl != nullptr && !meta_written_) {
+    meta_written_ = true;
+    std::string j = "{";
+    append_str(j, "type", "meta");
+    j += ',';
+    append_num(j, "flows", static_cast<double>(flows_.size()));
+    j += ',';
+    append_num(j, "interval_ms", config_.interval.to_seconds() * 1e3);
+    j += ',';
+    append_num(j, "ratio_window_ms", config_.ratio_window.to_seconds() * 1e3);
+    j += ',';
+    append_num(j, "threshold", config_.starvation_threshold);
+    j += ',';
+    append_num(j, "attached_at_s", sc.sim().now().to_seconds());
+    j += ',';
+    append_num(j, "link_mbps", link_rate_mbps_);
+    j += ",\"labels\":[";
+    for (size_t i = 0; i < flows_.size(); ++i) {
+      if (i) j += ',';
+      j += '"';
+      j += i < config_.flow_labels.size() ? config_.flow_labels[i] : "";
+      j += '"';
+    }
+    j += "],\"min_rtt_ms\":[";
+    for (size_t i = 0; i < flows_.size(); ++i) {
+      if (i) j += ',';
+      j += json_num(accum_[i].min_rtt_ms);
+    }
+    j += "]}";
+    *config_.jsonl << j << '\n';
+  }
+}
+
+void FlowTelemetry::attach(Simulator& sim, size_t flows) {
+  init_flows(flows, sim.now());
+  link_queue_bytes_ = 0;
+  link_rate_mbps_ = -1.0;
+  sim.set_telemetry(this);
+  if (config_.jsonl != nullptr && !meta_written_) {
+    meta_written_ = true;
+    std::string j = "{";
+    append_str(j, "type", "meta");
+    j += ',';
+    append_num(j, "flows", static_cast<double>(flows));
+    j += ',';
+    append_num(j, "interval_ms", config_.interval.to_seconds() * 1e3);
+    j += ',';
+    append_num(j, "ratio_window_ms", config_.ratio_window.to_seconds() * 1e3);
+    j += ',';
+    append_num(j, "threshold", config_.starvation_threshold);
+    j += ',';
+    append_num(j, "attached_at_s", sim.now().to_seconds());
+    j += ',';
+    append_num(j, "link_mbps", -1.0);
+    j += ",\"labels\":[";
+    for (size_t i = 0; i < flows; ++i) {
+      if (i) j += ',';
+      j += '"';
+      j += i < config_.flow_labels.size() ? config_.flow_labels[i] : "";
+      j += '"';
+    }
+    j += "],\"min_rtt_ms\":[";
+    for (size_t i = 0; i < flows; ++i) {
+      if (i) j += ',';
+      j += json_num(-1.0);
+    }
+    j += "]}";
+    *config_.jsonl << j << '\n';
+  }
+}
+
+void FlowTelemetry::advance_buckets(TimeNs now) {
+  if (!attached_) return;
+  const int64_t b = bucket_of(now);
+  while (cur_bucket_ < b) {
+    close_bucket(cur_bucket_);
+    ++cur_bucket_;
+  }
+  next_close_ns_ = (cur_bucket_ + 1) * config_.interval.ns();
+}
+
+void FlowTelemetry::close_bucket(int64_t index) {
+  const TimeNs bucket_end =
+      TimeNs::nanos((index + 1) * config_.interval.ns());
+  const double t_s = bucket_end.to_seconds();
+  const double interval_s = config_.interval.to_seconds();
+
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    FlowSeries& fs = flows_[i];
+    FlowAccum& ac = accum_[i];
+    const uint64_t sent_delta = ac.sent_bytes - ac.prev_sent;
+    const uint64_t deliver_delta = ac.delivered_bytes - ac.prev_delivered;
+    ac.prev_sent = ac.sent_bytes;
+    ac.prev_delivered = ac.delivered_bytes;
+    fs.sent_bytes = ac.sent_bytes;
+    fs.delivered_bytes = ac.delivered_bytes;
+    fs.drops = ac.drops;
+    bucket_delivered_delta_[i] = deliver_delta;
+    bucket_started_[i] = ac.sent_bytes > 0;
+
+    const double send_mbps =
+        static_cast<double>(sent_delta) * 8.0 / interval_s * 1e-6;
+    const double deliver_mbps =
+        static_cast<double>(deliver_delta) * 8.0 / interval_s * 1e-6;
+    const bool have_rtt = ac.last_rtt_ns >= 0;
+    const double rtt_ms =
+        have_rtt ? TimeNs::nanos(ac.last_rtt_ns).to_seconds() * 1e3 : 0.0;
+    const double qdelay_ms =
+        have_rtt && ac.min_rtt_ms >= 0.0
+            ? std::max(0.0, rtt_ms - ac.min_rtt_ms)
+            : 0.0;
+
+    fs.send_mbps.push(bucket_end, send_mbps);
+    fs.deliver_mbps.push(bucket_end, deliver_mbps);
+    fs.rtt_ms.push(bucket_end, rtt_ms);
+    fs.cwnd_bytes.push(bucket_end, static_cast<double>(ac.last_cwnd));
+    fs.agg_send_mbps.add(send_mbps);
+    fs.agg_deliver_mbps.add(deliver_mbps);
+    if (have_rtt) {
+      fs.agg_rtt_ms.add(rtt_ms);
+      if (ac.min_rtt_ms >= 0.0) fs.agg_qdelay_ms.add(qdelay_ms);
+    }
+
+    if (config_.jsonl != nullptr) {
+      std::string j = "{";
+      append_str(j, "type", "sample");
+      j += ',';
+      append_num(j, "t_s", t_s);
+      j += ',';
+      append_num(j, "flow", static_cast<double>(i));
+      j += ',';
+      append_num(j, "send_mbps", send_mbps);
+      j += ',';
+      append_num(j, "deliver_mbps", deliver_mbps);
+      j += ',';
+      append_num(j, "rtt_ms", rtt_ms);
+      j += ',';
+      append_num(j, "qdelay_ms", qdelay_ms);
+      j += ',';
+      append_num(j, "cwnd_bytes", static_cast<double>(ac.last_cwnd));
+      j += ',';
+      append_num(j, "pacing_mbps",
+                 ac.last_pacing.is_infinite() ? 0.0 : ac.last_pacing.to_mbps());
+      j += ',';
+      append_num(j, "jitter_ms",
+                 TimeNs::nanos(ac.bucket_max_jitter_ns).to_seconds() * 1e3);
+      j += '}';
+      *config_.jsonl << j << '\n';
+    }
+    ac.bucket_max_jitter_ns = 0;
+  }
+
+  // Link row: queue depth expressed as drain time at the last known rate.
+  const double queue_ms =
+      link_rate_mbps_ > 0.0
+          ? static_cast<double>(link_queue_bytes_) * 8.0 /
+                (link_rate_mbps_ * 1e6) * 1e3
+          : 0.0;
+  const uint64_t drop_delta = link_.drops_total - link_prev_drops_;
+  const uint64_t link_deliver_delta =
+      link_.delivered_bytes - link_prev_delivered_;
+  link_prev_drops_ = link_.drops_total;
+  link_prev_delivered_ = link_.delivered_bytes;
+  link_.queue_ms.push(bucket_end, queue_ms);
+  link_.drops.push(bucket_end, static_cast<double>(drop_delta));
+  link_.agg_queue_ms.add(queue_ms);
+  if (config_.jsonl != nullptr) {
+    std::string j = "{";
+    append_str(j, "type", "link");
+    j += ',';
+    append_num(j, "t_s", t_s);
+    j += ',';
+    append_num(j, "queue_bytes", static_cast<double>(link_queue_bytes_));
+    j += ',';
+    append_num(j, "queue_ms", queue_ms);
+    j += ',';
+    append_num(j, "drops", static_cast<double>(drop_delta));
+    j += ',';
+    append_num(j, "deliver_mbps",
+               static_cast<double>(link_deliver_delta) * 8.0 / interval_s *
+                   1e-6);
+    j += '}';
+    *config_.jsonl << j << '\n';
+  }
+
+  starvation_.on_bucket(bucket_end, bucket_delivered_delta_, bucket_started_);
+  if (config_.jsonl != nullptr && starvation_.engaged()) {
+    std::string j = "{";
+    append_str(j, "type", "ratio");
+    j += ',';
+    append_num(j, "t_s", t_s);
+    j += ',';
+    append_num(j, "ratio", starvation_.last_ratio());
+    j += '}';
+    *config_.jsonl << j << '\n';
+    for (; emitted_crossings_ < starvation_.crossings().size();
+         ++emitted_crossings_) {
+      const StarvationDetector::PairCrossing& c =
+          starvation_.crossings()[emitted_crossings_];
+      std::string k = "{";
+      append_str(k, "type", "crossing");
+      k += ',';
+      append_num(k, "t_s", c.at.to_seconds());
+      k += ',';
+      append_num(k, "a", static_cast<double>(c.a));
+      k += ',';
+      append_num(k, "b", static_cast<double>(c.b));
+      k += ',';
+      append_num(k, "ratio", c.ratio);
+      k += ',';
+      append_num(k, "threshold", starvation_.threshold());
+      k += '}';
+      *config_.jsonl << k << '\n';
+    }
+  }
+  ++buckets_closed_;
+}
+
+void FlowTelemetry::finish(TimeNs end_time) {
+  note_time(end_time);
+  // Sync the public counters once more: events in the final partial bucket
+  // (if end_time is off the grid) have updated only the accumulators.
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    flows_[i].sent_bytes = accum_[i].sent_bytes;
+    flows_[i].delivered_bytes = accum_[i].delivered_bytes;
+    flows_[i].drops = accum_[i].drops;
+  }
+  if (!summaries_written_) {
+    summaries_written_ = true;
+    emit_summaries(end_time);
+  }
+}
+
+void FlowTelemetry::emit_summaries(TimeNs end_time) {
+  if (config_.jsonl == nullptr) return;
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    const FlowSeries& fs = flows_[i];
+    std::string j = "{";
+    append_str(j, "type", "flow_summary");
+    j += ',';
+    append_num(j, "flow", static_cast<double>(i));
+    j += ',';
+    append_str(j, "label",
+               i < config_.flow_labels.size() ? config_.flow_labels[i] : "");
+    j += ',';
+    append_num(j, "sent_bytes", static_cast<double>(fs.sent_bytes));
+    j += ',';
+    append_num(j, "delivered_bytes", static_cast<double>(fs.delivered_bytes));
+    j += ',';
+    append_num(j, "drops", static_cast<double>(fs.drops));
+    j += ',';
+    append_agg(j, "send_mbps", fs.agg_send_mbps);
+    j += ',';
+    append_agg(j, "deliver_mbps", fs.agg_deliver_mbps);
+    j += ',';
+    append_agg(j, "rtt_ms", fs.agg_rtt_ms);
+    j += ',';
+    append_agg(j, "qdelay_ms", fs.agg_qdelay_ms);
+    j += '}';
+    *config_.jsonl << j << '\n';
+  }
+  const bool starved = starvation_.engaged() &&
+                       starvation_.last_ratio() >= starvation_.threshold();
+  std::string j = "{";
+  append_str(j, "type", "end");
+  j += ',';
+  append_num(j, "t_s", end_time.to_seconds());
+  j += ',';
+  append_num(j, "buckets", static_cast<double>(buckets_closed_));
+  j += ',';
+  append_num(j, "ratio",
+             starvation_.engaged() ? starvation_.last_ratio() : 1.0);
+  j += ',';
+  append_num(j, "starved", starved ? 1.0 : 0.0);
+  j += ',';
+  append_num(j, "first_crossing_s",
+             starvation_.first_crossing() == TimeNs(-1)
+                 ? -1.0
+                 : starvation_.first_crossing().to_seconds());
+  j += ',';
+  append_num(j, "threshold", starvation_.threshold());
+  j += ',';
+  append_num(j, "link_drops", static_cast<double>(link_.drops_total));
+  j += '}';
+  *config_.jsonl << j << '\n';
+}
+
+void FlowTelemetry::on_segment_sent(TimeNs now, const Packet& pkt) {
+  note_time(now);
+  if (pkt.flow < accum_.size() && !pkt.is_dummy) {
+    accum_[pkt.flow].sent_bytes += pkt.bytes;
+  }
+}
+
+void FlowTelemetry::on_ack_sample(TimeNs now, uint32_t flow, TimeNs rtt,
+                                  uint64_t cwnd_bytes, Rate pacing,
+                                  uint64_t delivered_bytes) {
+  note_time(now);
+  if (flow >= accum_.size()) return;
+  FlowAccum& ac = accum_[flow];
+  ac.delivered_bytes = delivered_bytes;
+  ac.last_rtt_ns = rtt.ns();
+  ac.last_cwnd = cwnd_bytes;
+  ac.last_pacing = pacing;
+}
+
+void FlowTelemetry::on_link_enqueue(TimeNs now, const Packet&,
+                                    uint64_t queued_after) {
+  note_time(now);
+  link_queue_bytes_ = queued_after;
+}
+
+void FlowTelemetry::on_link_drop(TimeNs now, const Packet& pkt) {
+  note_time(now);
+  ++link_.drops_total;
+  if (pkt.flow < accum_.size() && !pkt.is_dummy) ++accum_[pkt.flow].drops;
+}
+
+void FlowTelemetry::on_link_deliver(TimeNs now, const Packet& pkt,
+                                    uint64_t queued_after) {
+  note_time(now);
+  link_queue_bytes_ = queued_after;
+  link_.delivered_bytes += pkt.bytes;
+}
+
+void FlowTelemetry::on_link_rate_change(TimeNs now, Rate rate) {
+  note_time(now);
+  link_rate_mbps_ = rate.is_infinite() ? -1.0 : rate.to_mbps();
+}
+
+void FlowTelemetry::on_jitter_admit(TimeNs arrival, TimeNs release,
+                                    const Packet& pkt, bool /*ack_path*/,
+                                    TimeNs /*budget*/) {
+  note_time(arrival);
+  if (pkt.flow >= accum_.size()) return;
+  FlowAccum& ac = accum_[pkt.flow];
+  ac.bucket_max_jitter_ns =
+      std::max(ac.bucket_max_jitter_ns, (release - arrival).ns());
+}
+
+}  // namespace ccstarve::obs

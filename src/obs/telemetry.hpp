@@ -1,0 +1,180 @@
+// FlowTelemetry: the concrete ObsProbe (sim/obs_probe.hpp).
+//
+// Samples per-flow and per-link series on a fixed cadence without ever
+// scheduling simulator events: every hook first lazily closes any sample
+// buckets the observed event time has moved past (buckets are aligned to
+// the absolute grid [k*I, (k+1)*I)), then folds the event into the current
+// bucket's accumulators. Because bucket closing is driven purely by the
+// event stream — which is identical with and without the probe — attaching
+// telemetry leaves golden trace digests byte-identical.
+//
+// Per closed bucket and flow: send/deliver throughput (delta of cumulative
+// byte counters), the last raw RTT sample (carry-forward), queueing delay
+// (RTT minus the flow's propagation floor), cwnd, pacing rate, and the
+// largest jitter-box delay admitted in the bucket. Per bucket and link:
+// queue depth/delay and drop/deliver deltas. Each series lands in a
+// fixed-capacity ring (obs/ring.hpp) plus an O(1) streaming aggregate
+// (obs/aggregate.hpp), so memory is bounded by
+//   flows * (4 rings * capacity * 16 B + 4 aggregates * ~200 B)
+// regardless of horizon. Closed buckets also feed the starvation detector
+// (obs/starvation.hpp) and, when configured, a JSONL stream that
+// tools/ccstarve_report turns into figure data.
+//
+// Attach mid-run (e.g. to a forked Scenario) seeds the cumulative counters
+// from live component state, so a fork-attached probe reproduces the
+// series a cold-attached run records for every post-fork bucket (pinned by
+// tests/obs_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/aggregate.hpp"
+#include "obs/ring.hpp"
+#include "obs/starvation.hpp"
+#include "sim/obs_probe.hpp"
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+class Scenario;
+class Simulator;
+}  // namespace ccstarve
+
+namespace ccstarve::obs {
+
+struct TelemetryConfig {
+  // Sample cadence; buckets align to the absolute grid [k*I, (k+1)*I).
+  TimeNs interval = TimeNs::millis(10);
+  // Samples retained per ring series (older ones live on in aggregates).
+  size_t ring_capacity = 4096;
+  // Sliding window of the starvation-ratio timeline.
+  TimeNs ratio_window = TimeNs::seconds(1);
+  // Throughput ratio that counts as starvation (paper §7: >= 2).
+  double starvation_threshold = 2.0;
+  // When set, one JSON object per closed bucket/flow is streamed here
+  // (meta + sample/link/ratio lines, then summaries from finish()).
+  std::ostream* jsonl = nullptr;
+  // Optional per-flow labels (CCA names) for the meta line.
+  std::vector<std::string> flow_labels;
+};
+
+class FlowTelemetry final : public ObsProbe {
+ public:
+  struct FlowSeries {
+    RingSeries send_mbps;
+    RingSeries deliver_mbps;
+    RingSeries rtt_ms;
+    RingSeries cwnd_bytes;
+    StreamingAggregate agg_send_mbps;
+    StreamingAggregate agg_deliver_mbps;
+    StreamingAggregate agg_rtt_ms;
+    StreamingAggregate agg_qdelay_ms;
+    // Cumulative counters, synced from the hook-side accumulators at every
+    // bucket close and at finish() (hooks write the compact FlowAccum array
+    // instead of these ~1 KB structs to keep per-event cache traffic low).
+    uint64_t sent_bytes = 0;
+    uint64_t delivered_bytes = 0;
+    uint64_t drops = 0;  // bottleneck drops attributed to this flow
+  };
+
+  struct LinkSeries {
+    RingSeries queue_ms;
+    RingSeries drops;  // drop delta per bucket
+    StreamingAggregate agg_queue_ms;
+    uint64_t drops_total = 0;
+    uint64_t delivered_bytes = 0;
+  };
+
+  explicit FlowTelemetry(TelemetryConfig config = {});
+
+  // Installs the probe on the scenario's simulator and seeds per-flow
+  // cumulative counters, propagation floors and CCA gauges from live state.
+  // Call any time at or before run_until; attach-to-a-fork is the
+  // mid-stream case. The probe must outlive the scenario's run.
+  void attach(Scenario& sc);
+  // Standalone topologies (e.g. the trace-driven link) that have no
+  // Scenario: flows are assumed fresh, propagation floors unknown.
+  void attach(Simulator& sim, size_t flows);
+
+  // Closes every bucket that ends at or before `end_time` and, when a JSONL
+  // stream is configured, emits per-flow summary + end lines. Idempotent
+  // per bucket; call once after run_until(end).
+  void finish(TimeNs end_time);
+
+  size_t flow_count() const { return flows_.size(); }
+  const FlowSeries& flow(size_t i) const { return flows_[i]; }
+  const LinkSeries& link() const { return link_; }
+  const StarvationDetector& starvation() const { return starvation_; }
+  uint64_t buckets_closed() const { return buckets_closed_; }
+  TimeNs interval() const { return config_.interval; }
+
+  // --- ObsProbe hooks ---
+  void on_segment_sent(TimeNs now, const Packet& pkt) override;
+  void on_ack_sample(TimeNs now, uint32_t flow, TimeNs rtt,
+                     uint64_t cwnd_bytes, Rate pacing,
+                     uint64_t delivered_bytes) override;
+  void on_link_enqueue(TimeNs now, const Packet& pkt,
+                       uint64_t queued_after) override;
+  void on_link_drop(TimeNs now, const Packet& pkt) override;
+  void on_link_deliver(TimeNs now, const Packet& pkt,
+                       uint64_t queued_after) override;
+  void on_link_rate_change(TimeNs now, Rate rate) override;
+  void on_jitter_admit(TimeNs arrival, TimeNs release, const Packet& pkt,
+                       bool ack_path, TimeNs budget) override;
+
+ private:
+  // Per-flow bucket-scoped accumulators (reset or carried at bucket close).
+  // Hooks store raw ns / Rate values; conversion to ms/Mbit/s is deferred
+  // to close_bucket so per-event hook bodies stay a few integer stores.
+  struct FlowAccum {
+    uint64_t sent_bytes = 0;
+    uint64_t delivered_bytes = 0;
+    uint64_t drops = 0;
+    uint64_t prev_sent = 0;
+    uint64_t prev_delivered = 0;
+    int64_t last_rtt_ns = -1;      // < 0: no sample observed yet
+    double min_rtt_ms = -1.0;      // < 0: propagation floor unknown
+    uint64_t last_cwnd = 0;
+    Rate last_pacing;
+    int64_t bucket_max_jitter_ns = 0;
+  };
+
+  void init_flows(size_t n, TimeNs now);
+  int64_t bucket_of(TimeNs t) const { return t.ns() / config_.interval.ns(); }
+  // Closes all buckets with index < bucket_of(now). Hooks call this on
+  // every event, so the no-rollover case must stay a compare + branch: the
+  // division and close loop live out of line in advance_buckets().
+  void note_time(TimeNs now) {
+    if (now.ns() < next_close_ns_) return;
+    advance_buckets(now);
+  }
+  void advance_buckets(TimeNs now);
+  void close_bucket(int64_t index);
+  void emit_summaries(TimeNs end_time);
+
+  TelemetryConfig config_;
+  std::vector<FlowSeries> flows_;
+  std::vector<FlowAccum> accum_;
+  LinkSeries link_;
+  uint64_t link_queue_bytes_ = 0;
+  uint64_t link_prev_drops_ = 0;
+  uint64_t link_prev_delivered_ = 0;
+  double link_rate_mbps_ = -1.0;  // < 0: unknown or infinite
+  StarvationDetector starvation_;
+  std::vector<uint64_t> bucket_delivered_delta_;  // scratch for the detector
+  std::vector<bool> bucket_started_;
+  size_t emitted_crossings_ = 0;
+  int64_t cur_bucket_ = 0;
+  // End of the current bucket in ns; INT64_MAX until attached so detached
+  // calls fall through the fast path.
+  int64_t next_close_ns_ = INT64_MAX;
+  uint64_t buckets_closed_ = 0;
+  bool attached_ = false;
+  bool meta_written_ = false;
+  bool summaries_written_ = false;
+};
+
+}  // namespace ccstarve::obs

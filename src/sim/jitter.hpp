@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "sim/check_probe.hpp"
+#include "sim/obs_probe.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
@@ -275,6 +276,9 @@ class JitterBox final : public PacketHandler {
     if (added > budget_) ++stats_.budget_violations;
     if (CheckProbe* ck = sim_.checker()) {
       ck->on_jitter_admit(arrival, release, pkt, pkt.is_ack, budget_);
+    }
+    if (ObsProbe* ob = sim_.telemetry()) {
+      ob->on_jitter_admit(arrival, release, pkt, pkt.is_ack, budget_);
     }
 
     schedule_release(release, pkt);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/obs_probe.hpp"
+
 namespace ccstarve {
 
 void BottleneckLink::prefill(uint64_t bytes) {
@@ -17,6 +19,7 @@ void BottleneckLink::prefill(uint64_t bytes) {
 void BottleneckLink::set_rate(Rate r) {
   rate_ = r;
   if (CheckProbe* ck = sim_.checker()) ck->on_link_rate_change(sim_.now(), r);
+  if (ObsProbe* ob = sim_.telemetry()) ob->on_link_rate_change(sim_.now(), r);
   if (busy_) {
     // Restart service of the head packet at the new rate. The epoch bump
     // cancels the previously scheduled completion.
@@ -94,6 +97,9 @@ void BottleneckLink::finish_service() {
     tr->record('L', sim_.now(), pkt.flow, pkt.seq, pkt.bytes);
   }
   if (CheckProbe* ck = sim_.checker()) ck->on_link_deliver(sim_.now(), pkt);
+  if (ObsProbe* ob = sim_.telemetry()) {
+    ob->on_link_deliver(sim_.now(), pkt, queued_bytes_);
+  }
   next_.handle(pkt);
   if (!queue_.empty()) start_service();
 }

@@ -23,6 +23,7 @@
 
 #include "sim/aqm.hpp"
 #include "sim/check_probe.hpp"
+#include "sim/obs_probe.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
@@ -56,6 +57,7 @@ class BottleneckLink final : public PacketHandler {
         tr->record('D', sim_.now(), pkt.flow, pkt.seq, pkt.is_dummy ? 1 : 0);
       }
       if (CheckProbe* ck = sim_.checker()) ck->on_link_drop(sim_.now(), pkt);
+      if (ObsProbe* ob = sim_.telemetry()) ob->on_link_drop(sim_.now(), pkt);
       if (drop_listener_) drop_listener_(pkt);
       return;
     }
@@ -71,6 +73,9 @@ class BottleneckLink final : public PacketHandler {
     queue_.push_back(pkt);
     if (CheckProbe* ck = sim_.checker()) {
       ck->on_link_enqueue(sim_.now(), pkt, queued_bytes_);
+    }
+    if (ObsProbe* ob = sim_.telemetry()) {
+      ob->on_link_enqueue(sim_.now(), pkt, queued_bytes_);
     }
     if (!busy_) start_service();
   }

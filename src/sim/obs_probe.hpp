@@ -1,0 +1,55 @@
+// Telemetry probe: the third observer seam of the simulator, next to the
+// golden-trace recorder (sim/trace_probe.hpp) and the invariant checker
+// (sim/check_probe.hpp).
+//
+// An ObsProbe installed on a Simulator receives the packet-level signals a
+// measurement layer needs — sends, ACK samples with the CCA outputs, link
+// enqueue/drop/deliver, jitter-box admissions — through the same pattern as
+// the other two probes: `if (ObsProbe* ob = sim.telemetry()) ob->on_...()`.
+// Detached cost is one untaken branch per hook; attached cost is a virtual
+// call into the concrete FlowTelemetry (src/obs/telemetry.hpp).
+//
+// Contract: an ObsProbe is strictly read-only. It never schedules events,
+// never mutates packets, and never feeds anything back into the components
+// it observes, so attaching one leaves trace digests byte-identical (pinned
+// by tests/obs_test.cpp against every committed golden digest).
+#pragma once
+
+#include "sim/packet.hpp"
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+class ObsProbe {
+ public:
+  virtual ~ObsProbe() = default;
+
+  // --- endpoints ---
+  virtual void on_segment_sent(TimeNs /*now*/, const Packet& /*pkt*/) {}
+  // One call per ACK the sender processed: the raw RTT sample, the CCA
+  // outputs it will act on next, and the cumulative delivered byte count —
+  // the delta of which is the per-flow throughput signal.
+  virtual void on_ack_sample(TimeNs /*now*/, uint32_t /*flow*/,
+                             TimeNs /*rtt*/, uint64_t /*cwnd_bytes*/,
+                             Rate /*pacing*/, uint64_t /*delivered_bytes*/) {}
+
+  // --- bottleneck (BottleneckLink and TraceDrivenLink) ---
+  // `queued_after` includes the packet just admitted.
+  virtual void on_link_enqueue(TimeNs /*now*/, const Packet& /*pkt*/,
+                               uint64_t /*queued_after*/) {}
+  virtual void on_link_drop(TimeNs /*now*/, const Packet& /*pkt*/) {}
+  virtual void on_link_deliver(TimeNs /*now*/, const Packet& /*pkt*/,
+                               uint64_t /*queued_after*/) {}
+  virtual void on_link_rate_change(TimeNs /*now*/, Rate /*rate*/) {}
+
+  // --- jitter boxes ---
+  // Admission: the box decided (after clamping) to hold `pkt` until
+  // `release`; `budget` is the box's configured D. `added` = release -
+  // arrival is the jitter-budget consumption this packet observed.
+  virtual void on_jitter_admit(TimeNs /*arrival*/, TimeNs /*release*/,
+                               const Packet& /*pkt*/, bool /*ack_path*/,
+                               TimeNs /*budget*/) {}
+};
+
+}  // namespace ccstarve

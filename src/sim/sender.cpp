@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "sim/check_probe.hpp"
+#include "sim/obs_probe.hpp"
 
 namespace ccstarve {
 
@@ -89,6 +90,7 @@ void Sender::send_segment(uint64_t seq, bool retransmit) {
     tr->record('S', sim_.now(), pkt.flow, pkt.seq, retransmit ? 1 : 0);
   }
   if (CheckProbe* ck = sim_.checker()) ck->on_segment_sent(sim_.now(), pkt);
+  if (ObsProbe* ob = sim_.telemetry()) ob->on_segment_sent(sim_.now(), pkt);
   arm_rto();
   data_path_.handle(pkt);
 }
@@ -196,6 +198,10 @@ void Sender::on_ack_packet(const Packet& ack) {
   if (CheckProbe* ck = sim_.checker()) {
     ck->on_ack_sample(now, config_.flow_id, rtt, cca_->cwnd_bytes(),
                       cca_->pacing_rate());
+  }
+  if (ObsProbe* ob = sim_.telemetry()) {
+    ob->on_ack_sample(now, config_.flow_id, rtt, cca_->cwnd_bytes(),
+                      cca_->pacing_rate(), delivered_);
   }
 
   record_stats(now, rtt);

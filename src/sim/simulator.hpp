@@ -37,6 +37,7 @@
 namespace ccstarve {
 
 class CheckProbe;
+class ObsProbe;
 
 class Simulator {
  public:
@@ -102,6 +103,13 @@ class Simulator {
   void set_checker(CheckProbe* checker) { checker_ = checker; }
   CheckProbe* checker() const { return checker_; }
 
+  // Telemetry probe (see sim/obs_probe.hpp). Null means telemetry off; the
+  // probe must outlive the simulation. Like the other two seams it is
+  // read-only: attaching telemetry never changes the event stream or its
+  // digest, so all three probes may be installed simultaneously.
+  void set_telemetry(ObsProbe* telemetry) { telemetry_ = telemetry; }
+  ObsProbe* telemetry() const { return telemetry_; }
+
   // Absolute time of the earliest pending event, or TimeNs::infinite() when
   // idle. O(pending) in the worst case (it may scan one wheel slot); used
   // by the snapshot machinery to verify quiescence, not on the hot path.
@@ -153,6 +161,7 @@ class Simulator {
   uint64_t pending_ = 0;
   TraceRecorder* tracer_ = nullptr;
   CheckProbe* checker_ = nullptr;
+  ObsProbe* telemetry_ = nullptr;
 
   EventPool owned_pool_;
   EventPool* pool_ = nullptr;

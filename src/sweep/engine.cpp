@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "core/fairness.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/prefix.hpp"
@@ -19,6 +20,24 @@ namespace ccstarve::sweep {
 namespace {
 
 std::atomic<bool> g_stop{false};
+
+// Per-run worker identities for self-profiling. parallel_for spawns fresh
+// threads per call, so thread_local ids must be re-issued per sweep: bumping
+// the generation invalidates every cached id (including the main thread's,
+// which serves cache hits in share-prefix pass 1).
+std::atomic<uint64_t> g_worker_gen{0};
+std::atomic<int> g_next_worker{0};
+
+int profiling_worker_id() {
+  thread_local uint64_t tls_gen = ~uint64_t{0};
+  thread_local int tls_id = -1;
+  const uint64_t gen = g_worker_gen.load(std::memory_order_relaxed);
+  if (tls_gen != gen) {
+    tls_gen = gen;
+    tls_id = g_next_worker.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_id;
+}
 
 // Seed derivation: every random element of a point's scenario is seeded
 // from the point's seed axis and the flow index only, so a point's record
@@ -77,6 +96,44 @@ SweepRecord run_point(const SweepPoint& pt) {
   auto sc = build_point_scenario(pt, &tls_pool);
   sc->run_until(TimeNs::seconds(pt.duration_s));
   return measure_point(pt, *sc);
+}
+
+namespace {
+
+std::string starvation_key_suffix(double window_ms, double threshold) {
+  return "|swin=" + canon_num(window_ms) + "|sthr=" + canon_num(threshold);
+}
+
+}  // namespace
+
+std::string effective_key(const SweepPoint& pt, const SweepOptions& opt) {
+  if (opt.starvation_window_ms <= 0) return pt.key();
+  return pt.key() + starvation_key_suffix(opt.starvation_window_ms,
+                                          opt.starvation_threshold);
+}
+
+SweepRecord run_point_telemetry(const SweepPoint& pt,
+                                double starvation_window_ms,
+                                double starvation_threshold) {
+  static thread_local EventPool tls_pool;
+  auto sc = build_point_scenario(pt, &tls_pool);
+
+  obs::TelemetryConfig tc;
+  tc.interval = TimeNs::millis(10);
+  tc.ratio_window = TimeNs::millis(starvation_window_ms);
+  tc.starvation_threshold = starvation_threshold;
+  obs::FlowTelemetry telemetry(std::move(tc));
+  telemetry.attach(*sc);
+
+  const TimeNs duration = TimeNs::seconds(pt.duration_s);
+  sc->run_until(duration);
+  telemetry.finish(duration);
+
+  SweepRecord rec = measure_point(pt, *sc);
+  rec.key += starvation_key_suffix(starvation_window_ms, starvation_threshold);
+  const TimeNs fc = telemetry.starvation().first_crossing();
+  rec.first_crossing_s = fc == TimeNs(-1) ? -1.0 : fc.to_seconds();
+  return rec;
 }
 
 SweepRecord measure_point(const SweepPoint& pt, const Scenario& sc) {
@@ -141,11 +198,23 @@ SweepRecord measure_point(const SweepPoint& pt, const Scenario& sc) {
 SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
                        const SweepOptions& opt) {
   const size_t n = points.size();
+  const bool telemetry = opt.starvation_window_ms > 0;
+  // See SweepOptions::starvation_window_ms: first crossings are not
+  // fork-invariant, so telemetry-enabled sweeps always cold-run misses.
+  const bool share_prefix = opt.share_prefix && !telemetry;
   std::vector<std::string> lines(n);
+  // 0 = not completed; otherwise how: 'r' simulated, 'c' cached, 'f' forked.
   std::vector<char> done(n, 0);
-  std::atomic<size_t> simulated{0}, cache_hits{0}, forked{0}, completed{0};
+  std::atomic<size_t> completed{0};
   std::mutex progress_mu;
   const ResultCache cache(opt.cache_dir);
+
+  obs::SweepProfile profile;
+  profile.enabled = opt.profile;
+  std::mutex profile_mu;
+  g_worker_gen.fetch_add(1, std::memory_order_relaxed);
+  g_next_worker.store(0, std::memory_order_relaxed);
+  const double sweep_wall0 = obs::wall_clock_ms();
 
   auto note = [&](size_t i, const char* how) {
     const size_t c = completed.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -155,28 +224,57 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
                    points[i].key().c_str());
     }
   };
+  // Charges the elapsed wall/CPU since (wall0, cpu0) to point i on the
+  // calling worker. The caller samples the clocks before starting the
+  // point, so stem simulation in a prefix group lands on its first member.
+  auto profile_point = [&](size_t i, char how, double wall0, double cpu0) {
+    if (!opt.profile) return;
+    obs::PointProfile p;
+    p.key = points[i].key();
+    p.how = how;
+    p.wall_ms = obs::wall_clock_ms() - wall0;
+    p.cpu_ms = obs::thread_cpu_ms() - cpu0;
+    p.worker = profiling_worker_id();
+    std::lock_guard<std::mutex> lock(profile_mu);
+    const size_t w = static_cast<size_t>(p.worker);
+    if (profile.workers.size() <= w) profile.workers.resize(w + 1);
+    profile.workers[w].busy_wall_ms += p.wall_ms;
+    profile.workers[w].busy_cpu_ms += p.cpu_ms;
+    profile.workers[w].points += 1;
+    profile.points.push_back(std::move(p));
+  };
+  auto run_miss = [&](const SweepPoint& pt) {
+    return telemetry ? run_point_telemetry(pt, opt.starvation_window_ms,
+                                           opt.starvation_threshold)
+                     : run_point(pt);
+  };
   auto try_cache = [&](size_t i) {
-    auto hit = cache.lookup(points[i].key());
+    auto hit = cache.lookup(effective_key(points[i], opt));
     if (!hit) return false;
     lines[i] = std::move(*hit);
-    done[i] = 1;
-    cache_hits.fetch_add(1, std::memory_order_relaxed);
+    done[i] = 'c';
     note(i, "cached");
     return true;
   };
-  auto finish = [&](size_t i, const SweepRecord& rec,
-                    std::atomic<size_t>& counter, const char* how) {
+  auto finish = [&](size_t i, const SweepRecord& rec, char how,
+                    const char* how_name) {
     lines[i] = rec.to_json();
-    cache.store(points[i].key(), lines[i]);
-    done[i] = 1;
-    counter.fetch_add(1, std::memory_order_relaxed);
-    note(i, how);
+    cache.store(effective_key(points[i], opt), lines[i]);
+    done[i] = how;
+    note(i, how_name);
   };
 
-  if (!opt.share_prefix) {
+  if (!share_prefix) {
     parallel_for(n, opt.jobs, [&](size_t i) {
       if (stop_requested()) return;
-      if (!try_cache(i)) finish(i, run_point(points[i]), simulated, "run");
+      const double wall0 = obs::wall_clock_ms();
+      const double cpu0 = obs::thread_cpu_ms();
+      if (try_cache(i)) {
+        profile_point(i, 'c', wall0, cpu0);
+        return;
+      }
+      finish(i, run_miss(points[i]), 'r', "run");
+      profile_point(i, 'r', wall0, cpu0);
     });
   } else {
     // Pass 1: serve cache hits (cheap disk reads, done serially), then
@@ -185,7 +283,11 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     std::vector<size_t> misses;
     std::vector<SweepPoint> miss_points;
     for (size_t i = 0; i < n && !stop_requested(); ++i) {
-      if (!try_cache(i)) {
+      const double wall0 = obs::wall_clock_ms();
+      const double cpu0 = obs::thread_cpu_ms();
+      if (try_cache(i)) {
+        profile_point(i, 'c', wall0, cpu0);
+      } else {
         misses.push_back(i);
         miss_points.push_back(points[i]);
       }
@@ -199,9 +301,12 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     const size_t units = plan.groups.size() + plan.solo.size();
     parallel_for(units, opt.jobs, [&](size_t u) {
       if (stop_requested()) return;
+      double wall0 = obs::wall_clock_ms();
+      double cpu0 = obs::thread_cpu_ms();
       if (u >= plan.groups.size()) {
         const size_t i = misses[plan.solo[u - plan.groups.size()]];
-        finish(i, run_point(points[i]), simulated, "run");
+        finish(i, run_point(points[i]), 'r', "run");
+        profile_point(i, 'r', wall0, cpu0);
         return;
       }
       static thread_local EventPool tls_pool;
@@ -228,28 +333,48 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
         }
         auto sc = Scenario::fork(snap, std::move(fo));
         sc->run_until(TimeNs::seconds(pt.duration_s));
-        finish(i, measure_point(pt, *sc), forked, "forked");
+        finish(i, measure_point(pt, *sc), 'f', "forked");
+        // The group's first member also carries the stem's cost, making
+        // the prefix-sharing saving visible as (first - later) wall time.
+        profile_point(i, 'f', wall0, cpu0);
+        wall0 = obs::wall_clock_ms();
+        cpu0 = obs::thread_cpu_ms();
       }
     });
   }
 
   SweepOutcome out;
   out.stats.total = n;
-  out.stats.simulated = simulated.load();
-  out.stats.cache_hits = cache_hits.load();
-  out.stats.forked = forked.load();
   for (size_t i = 0; i < n; ++i) {
     if (!done[i]) {
       ++out.stats.skipped;
       continue;
     }
     auto rec = SweepRecord::from_json(lines[i]);
-    // lines[i] came from to_json or a key-verified cache entry; a parse
-    // failure here would be a bug, not an input problem.
-    if (!rec) continue;
+    if (!rec) {
+      // lines[i] came from to_json or a key-verified cache entry; a parse
+      // failure here would be a bug. Count the point as skipped rather
+      // than attributing a record that is not in the outcome, so
+      // stats.done() == records.size() holds unconditionally.
+      ++out.stats.skipped;
+      continue;
+    }
+    switch (done[i]) {
+      case 'c':
+        ++out.stats.cache_hits;
+        break;
+      case 'f':
+        ++out.stats.forked;
+        break;
+      default:
+        ++out.stats.simulated;
+        break;
+    }
     out.records.push_back(std::move(*rec));
     out.lines.push_back(std::move(lines[i]));
   }
+  profile.wall_ms = obs::wall_clock_ms() - sweep_wall0;
+  out.profile = std::move(profile);
   out.interrupted = stop_requested();
   return out;
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "sim/scenario.hpp"
 #include "sweep/grid.hpp"
 #include "sweep/record.hpp"
@@ -31,6 +32,20 @@ struct SweepOptions {
   // group, snapshotted and forked per member. Off by default; records are
   // byte-identical either way, sharing only changes wall-clock time.
   bool share_prefix = false;
+  // Collect per-point wall/CPU cost and per-worker busy time into
+  // SweepOutcome::profile. Profiling data is wall-clock-dependent and is
+  // kept strictly out of the canonical result records (see obs/profile.hpp).
+  bool profile = false;
+  // > 0: attach a FlowTelemetry probe to every simulated point and export
+  // the first time the sliding-window (this many ms) throughput ratio
+  // crossed starvation_threshold as SweepRecord::first_crossing_s. Changes
+  // record content, so the window/threshold become part of the record key
+  // (plain and telemetry-enabled sweeps never share cache entries), and
+  // share_prefix is ignored: a probe attached to a forked continuation has
+  // a shorter history than a cold run's, so first crossings would not be
+  // fork-invariant.
+  double starvation_window_ms = 0;
+  double starvation_threshold = 2.0;
 };
 
 struct SweepStats {
@@ -39,7 +54,9 @@ struct SweepStats {
   size_t cache_hits = 0;  // points served from the result cache
   size_t forked = 0;      // points completed as forked continuations
   size_t skipped = 0;     // points abandoned after request_stop()
-  // Invariant: simulated + cache_hits + forked + skipped == total.
+  // Invariant: simulated + cache_hits + forked + skipped == total, and
+  // done() always equals the number of records in the outcome.
+  size_t done() const { return simulated + cache_hits + forked; }
 };
 
 struct SweepOutcome {
@@ -49,6 +66,8 @@ struct SweepOutcome {
   std::vector<SweepRecord> records;
   std::vector<std::string> lines;
   SweepStats stats;
+  // Self-profiling data; populated only when SweepOptions::profile is set.
+  obs::SweepProfile profile;
   bool interrupted = false;
 };
 
@@ -56,6 +75,18 @@ struct SweepOutcome {
 // for the point's duration, and measures throughput/fairness/delay over
 // [warmup_s, duration_s]. Deterministic in the point alone.
 SweepRecord run_point(const SweepPoint& pt);
+
+// run_point with a starvation-timeline telemetry probe attached (10 ms
+// cadence): the record additionally carries first_crossing_s and its key
+// gains a "|swin=...|sthr=..." suffix. Deterministic in (pt, window,
+// threshold) alone.
+SweepRecord run_point_telemetry(const SweepPoint& pt,
+                                double starvation_window_ms,
+                                double starvation_threshold);
+
+// The key under which run_sweep caches/labels a point's record: pt.key()
+// plus the starvation window/threshold suffix when opt enables telemetry.
+std::string effective_key(const SweepPoint& pt, const SweepOptions& opt);
 
 // The two halves of run_point, exposed so prefix sharing (and tests) can
 // put a snapshot/fork between them: build the point's scenario without

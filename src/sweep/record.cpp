@@ -227,6 +227,10 @@ std::string SweepRecord::to_json() const {
   append_num(j, "retransmits", static_cast<double>(retransmits));
   j += ',';
   append_num(j, "timeouts", static_cast<double>(timeouts));
+  if (first_crossing_s) {
+    j += ',';
+    append_num(j, "first_crossing_s", *first_crossing_s);
+  }
   j += '}';
   return j;
 }
@@ -249,6 +253,10 @@ std::optional<SweepRecord> SweepRecord::from_json(const std::string& line) {
   r.qdelay_max_ms = ex.num("qdelay_max_ms");
   r.retransmits = static_cast<uint64_t>(ex.num("retransmits"));
   r.timeouts = static_cast<uint64_t>(ex.num("timeouts"));
+  // Optional field: only telemetry-enabled sweeps emit it.
+  if (line.find("\"first_crossing_s\":") != std::string::npos) {
+    r.first_crossing_s = ex.num("first_crossing_s");
+  }
   if (!ex.ok()) return std::nullopt;
   return r;
 }

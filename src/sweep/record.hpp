@@ -37,6 +37,12 @@ struct SweepRecord {
   double qdelay_max_ms = 0.0;
   uint64_t retransmits = 0;             // summed across flows
   uint64_t timeouts = 0;
+  // First time the sliding-window throughput ratio crossed the starvation
+  // threshold (seconds; -1 = never). Present only when the sweep ran with a
+  // starvation-timeline telemetry probe (SweepOptions::starvation_window_ms
+  // > 0); such runs also carry the window/threshold in `key`, so plain and
+  // telemetry-enabled sweeps never share cache entries.
+  std::optional<double> first_crossing_s;
 
   // One-line canonical JSON object (no trailing newline).
   std::string to_json() const;

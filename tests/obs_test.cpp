@@ -1,0 +1,378 @@
+// Tests for the flow-telemetry subsystem (src/obs): the ring/aggregate
+// building blocks, the starvation detector, and the three load-bearing
+// guarantees of the probe itself —
+//
+//   * digest transparency: a telemetry-attached golden run reproduces every
+//     committed trace digest byte-identically;
+//   * fork equivalence: a probe attached to a forked Scenario records the
+//     same post-fork series a probe attached to the cold run's continuation
+//     records;
+//   * report round-trip: the JSONL the probe emits parses back and the
+//     ratio CSV's recomputed first crossing agrees with the probe's own
+//     end-of-run verdict.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "golden_scenarios.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/report.hpp"
+#include "obs/ring.hpp"
+#include "obs/starvation.hpp"
+#include "obs/telemetry.hpp"
+#include "util/stats.hpp"
+
+#ifndef CCSTARVE_GOLDEN_DIR
+#error "CCSTARVE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+using namespace ccstarve;
+using namespace ccstarve::obs;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// RingSeries
+
+TEST(RingSeries, RetainsNewestAndCountsEvicted) {
+  RingSeries r(4);
+  for (int i = 0; i < 10; ++i) {
+    r.push(TimeNs::millis(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.capacity(), 4u);
+  EXPECT_EQ(r.total(), 10u);
+  // Oldest retained is sample 6, newest is 9.
+  EXPECT_EQ(r.at(0).at, TimeNs::millis(6));
+  EXPECT_DOUBLE_EQ(r.at(0).value, 6.0);
+  EXPECT_EQ(r.back().at, TimeNs::millis(9));
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (size_t i = 0; i + 1 < snap.size(); ++i) {
+    EXPECT_LT(snap[i].at, snap[i + 1].at);
+  }
+}
+
+TEST(RingSeries, EmptyAndZeroCapacity) {
+  RingSeries r(0);  // clamped to 1
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.capacity(), 1u);
+  r.push(TimeNs::millis(1), 1.0);
+  r.push(TimeNs::millis(2), 2.0);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.back().value, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// P2Quantile / StreamingAggregate
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile p50(0.5), p99(0.99);
+  for (double x : {3.0, 1.0, 2.0}) {
+    p50.add(x);
+    p99.add(x);
+  }
+  EXPECT_DOUBLE_EQ(p50.value(), 2.0);  // middle order statistic
+  EXPECT_DOUBLE_EQ(p99.value(), 3.0);  // capped at the max
+  EXPECT_EQ(p50.count(), 3u);
+}
+
+TEST(P2Quantile, TracksOfflinePercentilesOnUniformStream) {
+  // Deterministic LCG stream in [0, 100).
+  uint64_t s = 12345;
+  auto next = [&s]() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((s >> 33) % 100000) / 1000.0;
+  };
+  P2Quantile p50(0.5), p90(0.9), p99(0.99);
+  std::vector<double> all;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = next();
+    all.push_back(x);
+    p50.add(x);
+    p90.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), percentile(all, 50), 2.0);
+  EXPECT_NEAR(p90.value(), percentile(all, 90), 2.0);
+  EXPECT_NEAR(p99.value(), percentile(all, 99), 2.0);
+}
+
+TEST(StreamingAggregate, MatchesClosedFormOnKnownData) {
+  StreamingAggregate a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_GE(a.p50(), a.min());
+  EXPECT_LE(a.p50(), a.max());
+  EXPECT_LE(a.p50(), a.p90());
+  EXPECT_LE(a.p90(), a.p99());
+}
+
+// ---------------------------------------------------------------------------
+// StarvationDetector
+
+TEST(StarvationDetector, EngagesAfterFullWindowAndDetectsWorstPair) {
+  StarvationDetector d;
+  d.configure(/*flows=*/2, /*window_buckets=*/4, /*threshold=*/2.0,
+              /*ring_capacity=*/64);
+  std::vector<bool> started = {true, true};
+
+  // Equal halves: never crosses.
+  TimeNs t = TimeNs::zero();
+  for (int i = 0; i < 4; ++i) {
+    t = t + TimeNs::millis(10);
+    d.on_bucket(t, {1000, 1000}, started);
+  }
+  EXPECT_TRUE(d.engaged());
+  EXPECT_DOUBLE_EQ(d.last_ratio(), 1.0);
+  EXPECT_TRUE(d.crossings().empty());
+  EXPECT_EQ(d.first_crossing(), TimeNs(-1));
+
+  // Flow 1 collapses to a quarter of flow 0: after the window slides far
+  // enough the ratio crosses 2 and the crossing is recorded exactly once.
+  TimeNs crossing_seen = TimeNs(-1);
+  for (int i = 0; i < 8; ++i) {
+    t = t + TimeNs::millis(10);
+    d.on_bucket(t, {1000, 250}, started);
+    if (crossing_seen == TimeNs(-1) && !d.crossings().empty()) {
+      crossing_seen = d.first_crossing();
+    }
+  }
+  EXPECT_GT(d.last_ratio(), 2.0);
+  ASSERT_EQ(d.crossings().size(), 1u);
+  EXPECT_EQ(d.crossings().front().a, 0u);  // flow 0 is the faster one
+  EXPECT_EQ(d.crossings().front().b, 1u);
+  EXPECT_EQ(d.first_crossing(), crossing_seen);
+  // The timeline has one point per engaged bucket, in time order.
+  const auto tl = d.timeline().snapshot();
+  ASSERT_GE(tl.size(), 2u);
+  for (size_t i = 0; i + 1 < tl.size(); ++i) {
+    EXPECT_LT(tl[i].at, tl[i + 1].at);
+  }
+}
+
+TEST(StarvationDetector, ZeroDeliveryCapsRatioAndPreStartFlowsExcluded) {
+  StarvationDetector d;
+  d.configure(2, 2, 2.0, 16);
+  // Flow 1 not started: detector must not engage (no false starvation for
+  // a flow that simply has not begun).
+  TimeNs t = TimeNs::millis(10);
+  d.on_bucket(t, {1000, 0}, {true, false});
+  t = t + TimeNs::millis(10);
+  d.on_bucket(t, {1000, 0}, {true, false});
+  EXPECT_FALSE(d.engaged());
+
+  // Both started, one fully silent: ratio caps instead of dividing by zero.
+  for (int i = 0; i < 4; ++i) {
+    t = t + TimeNs::millis(10);
+    d.on_bucket(t, {1000, 0}, {true, true});
+  }
+  EXPECT_TRUE(d.engaged());
+  EXPECT_DOUBLE_EQ(d.last_ratio(), StarvationDetector::kStarvedRatioCap);
+  ASSERT_FALSE(d.crossings().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Digest transparency against every committed golden digest.
+
+std::optional<std::string> committed_digest(const std::string& name) {
+  std::ifstream in(std::string(CCSTARVE_GOLDEN_DIR) + "/" + name + ".digest");
+  if (!in) return std::nullopt;
+  std::string k1, k2;
+  if (!(in >> k1 >> k2) || k1.rfind("fnv1a64=", 0) != 0) return std::nullopt;
+  return k1.substr(8);
+}
+
+class GoldenTelemetry : public ::testing::TestWithParam<golden::GoldenSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, GoldenTelemetry, ::testing::ValuesIn(golden::golden_specs()),
+    [](const ::testing::TestParamInfo<golden::GoldenSpec>& info) {
+      return info.param.name;
+    });
+
+TEST_P(GoldenTelemetry, AttachedProbeLeavesCommittedDigestIntact) {
+  const golden::GoldenSpec& spec = GetParam();
+  const auto want = committed_digest(spec.name);
+  ASSERT_TRUE(want.has_value())
+      << "missing committed digest for " << spec.name;
+
+  std::ostringstream jsonl;
+  TelemetryConfig cfg;
+  cfg.jsonl = &jsonl;  // exercise the serializing path too
+  FlowTelemetry telemetry(std::move(cfg));
+  const golden::GoldenResult got =
+      golden::run_golden_telemetry(spec, &telemetry);
+
+  EXPECT_EQ(got.digest_hex, *want)
+      << spec.name << ": attaching the telemetry probe changed the packet "
+      << "event stream — the probe must be observation-only";
+  EXPECT_GT(telemetry.buckets_closed(), 0u);
+  EXPECT_FALSE(jsonl.str().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fork equivalence: attach-to-a-fork records the cold run's series.
+
+TEST(FlowTelemetry, ForkAttachedSeriesMatchesColdAttached) {
+  golden::GoldenSpec spec;
+  for (const auto& s : golden::golden_specs()) {
+    if (s.name == "copa_late_step") spec = s;
+  }
+  ASSERT_EQ(spec.name, "copa_late_step");
+  // The prefix-sharing fork point for a step:8,5 jitter axis.
+  const TimeNs mid = TimeNs::seconds(5) - TimeNs::nanos(1);
+  const TimeNs end = TimeNs::seconds(spec.duration_s);
+
+  // Cold: one uninterrupted scenario, probe attached mid-run.
+  auto cold = golden::build_golden(spec);
+  cold->run_until(mid);
+  FlowTelemetry cold_probe{TelemetryConfig{}};
+  cold_probe.attach(*cold);
+  cold->run_until(end);
+  cold_probe.finish(end);
+
+  // Forked: same prefix, snapshotted and restored, probe attached to the
+  // fork at the same instant.
+  auto stem = golden::build_golden(spec);
+  stem->run_until(mid);
+  const ScenarioSnapshot snap = stem->snapshot();
+  auto forked = Scenario::fork(snap);
+  FlowTelemetry fork_probe{TelemetryConfig{}};
+  fork_probe.attach(*forked);
+  forked->run_until(end);
+  fork_probe.finish(end);
+
+  ASSERT_EQ(cold_probe.flow_count(), fork_probe.flow_count());
+  EXPECT_EQ(cold_probe.buckets_closed(), fork_probe.buckets_closed());
+  for (size_t f = 0; f < cold_probe.flow_count(); ++f) {
+    const auto& a = cold_probe.flow(f);
+    const auto& b = fork_probe.flow(f);
+    EXPECT_EQ(a.sent_bytes, b.sent_bytes) << "flow " << f;
+    EXPECT_EQ(a.delivered_bytes, b.delivered_bytes) << "flow " << f;
+    const RingSeries* series_a[] = {&a.send_mbps, &a.deliver_mbps, &a.rtt_ms,
+                                    &a.cwnd_bytes};
+    const RingSeries* series_b[] = {&b.send_mbps, &b.deliver_mbps, &b.rtt_ms,
+                                    &b.cwnd_bytes};
+    const char* names[] = {"send", "deliver", "rtt", "cwnd"};
+    for (int k = 0; k < 4; ++k) {
+      const auto sa = series_a[k]->snapshot();
+      const auto sb = series_b[k]->snapshot();
+      ASSERT_EQ(sa.size(), sb.size()) << names[k] << " flow " << f;
+      for (size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sa[i].at, sb[i].at) << names[k] << " flow " << f;
+        EXPECT_DOUBLE_EQ(sa[i].value, sb[i].value)
+            << names[k] << " flow " << f << " bucket " << i;
+      }
+    }
+  }
+  // Starvation timelines (and any crossings) must agree too.
+  const auto ta = cold_probe.starvation().timeline().snapshot();
+  const auto tb = fork_probe.starvation().timeline().snapshot();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].at, tb[i].at);
+    EXPECT_DOUBLE_EQ(ta[i].value, tb[i].value);
+  }
+  EXPECT_EQ(cold_probe.starvation().first_crossing(),
+            fork_probe.starvation().first_crossing());
+}
+
+// ---------------------------------------------------------------------------
+// JSONL -> TelemetryLog -> CSV round trip.
+
+TEST(Report, TelemetryRoundTripAndCrossingAgreement) {
+  golden::GoldenSpec spec;
+  for (const auto& s : golden::golden_specs()) {
+    if (s.name == "copa_minrtt_attack") spec = s;
+  }
+  ASSERT_EQ(spec.name, "copa_minrtt_attack");
+
+  std::ostringstream jsonl;
+  TelemetryConfig cfg;
+  cfg.jsonl = &jsonl;
+  cfg.flow_labels = {"copa-default", "copa-default"};
+  FlowTelemetry telemetry(std::move(cfg));
+  golden::run_golden_telemetry(spec, &telemetry);
+
+  std::istringstream in(jsonl.str());
+  const auto log = TelemetryLog::read(in);
+  ASSERT_TRUE(log.has_value());
+  EXPECT_EQ(log->flows, 2u);
+  EXPECT_DOUBLE_EQ(log->interval_ms, 10.0);
+  ASSERT_EQ(log->labels.size(), 2u);
+  EXPECT_EQ(log->labels[0], "copa-default");
+  EXPECT_EQ(log->samples.size(), telemetry.buckets_closed() * 2);
+  EXPECT_EQ(log->link.size(), telemetry.buckets_closed());
+  EXPECT_TRUE(log->end.present);
+  ASSERT_EQ(log->flow_summaries.size(), 2u);
+  for (const auto& fsum : log->flow_summaries) {
+    EXPECT_GT(fsum.sent_bytes, 0.0);
+    EXPECT_GT(fsum.rtt_ms.n, 0.0);
+    EXPECT_LE(fsum.rtt_ms.p50, fsum.rtt_ms.p99);
+  }
+
+  // The ratio CSV recomputes the first crossing from the timeline; it must
+  // tell the same story as the probe's end-of-run verdict.
+  std::ostringstream ratio_csv;
+  write_ratio_csv(ratio_csv, *log);
+  EXPECT_NE(ratio_csv.str().find("# agree=1"), std::string::npos)
+      << ratio_csv.str();
+
+  std::ostringstream timeline_csv;
+  write_timeline_csv(timeline_csv, *log);
+  // Comment + header + one row per bucket.
+  size_t lines = 0;
+  std::istringstream tl(timeline_csv.str());
+  for (std::string l; std::getline(tl, l);) ++lines;
+  EXPECT_EQ(lines, 2 + telemetry.buckets_closed());
+
+  std::ostringstream dist_csv;
+  write_delay_dist_csv(dist_csv, *log);
+  EXPECT_NE(dist_csv.str().find("rtt_ms"), std::string::npos);
+
+  std::istringstream sniff(jsonl.str());
+  EXPECT_EQ(detect_input_kind(sniff), "telemetry");
+}
+
+TEST(Report, DetectsSweepInputAndWritesRateDelayRows) {
+  // A minimal hand-rolled sweep record line (field subset is enough for the
+  // tolerant reader).
+  const std::string sweep_line =
+      "{\"key\":\"flows=copa+vegas|link=60\",\"ccas\":[\"copa\",\"vegas\"],"
+      "\"throughput_mbps\":[30.5,25.25],\"mean_rtt_ms\":[61.5,63.0],"
+      "\"d_min_ms\":[60.0,60.1],\"d_max_ms\":[70.0,71.0]}\n";
+  std::istringstream sniff(sweep_line);
+  EXPECT_EQ(detect_input_kind(sniff), "sweep");
+
+  std::istringstream in(sweep_line);
+  std::ostringstream csv;
+  ASSERT_TRUE(write_rate_delay_csv(csv, in));
+  // One row per flow plus the header.
+  EXPECT_NE(csv.str().find("copa"), std::string::npos);
+  EXPECT_NE(csv.str().find("30.5"), std::string::npos);
+  EXPECT_NE(csv.str().find("vegas"), std::string::npos);
+
+  std::istringstream junk("not json\n");
+  EXPECT_EQ(detect_input_kind(junk), "unknown");
+}
+
+TEST(Report, ReadRejectsNonTelemetryInput) {
+  std::istringstream in("{\"type\":\"sample\",\"t_s\":1}\n");
+  EXPECT_FALSE(TelemetryLog::read(in).has_value());  // no meta line
+}
+
+}  // namespace

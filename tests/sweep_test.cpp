@@ -483,6 +483,127 @@ TEST(SweepEngine, SharePrefixWarmCacheSimulatesNothing) {
   EXPECT_EQ(warm.lines, cold.lines);
 }
 
+// Satellite fix: the completion counters must add up no matter how a point
+// completed — including when a cache entry exists but is truncated/corrupt
+// (it must count as a miss and be re-simulated, not as a silent cache hit
+// or a phantom record).
+TEST(SweepEngine, StatsStayConsistentAcrossCorruptCacheEntries) {
+  TempDir dir("corrupt");
+  const auto points = small_grid().expand();
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.cache_dir = dir.str();
+  const auto cold = run_sweep(points, opt);
+  ASSERT_EQ(cold.records.size(), points.size());
+
+  // Truncate one entry mid-line and replace another with garbage.
+  ResultCache cache(dir.str());
+  {
+    const auto full = cache.lookup(points[0].key());
+    ASSERT_TRUE(full.has_value());
+    std::ofstream(cache.path_for(points[0].key()))
+        << full->substr(0, full->size() / 2);
+  }
+  std::ofstream(cache.path_for(points[1].key())) << "not a record\n";
+
+  const auto again = run_sweep(points, opt);
+  EXPECT_EQ(again.stats.simulated, 2u);
+  EXPECT_EQ(again.stats.cache_hits, points.size() - 2);
+  EXPECT_EQ(again.stats.skipped, 0u);
+  EXPECT_EQ(again.stats.done(), again.records.size());
+  EXPECT_EQ(again.stats.simulated + again.stats.cache_hits +
+                again.stats.forked + again.stats.skipped,
+            again.stats.total);
+  EXPECT_EQ(again.lines, cold.lines);  // re-simulation reproduces the bytes
+}
+
+TEST(SweepEngine, ProfileRecordsEveryPointAndItsCompletionKind) {
+  TempDir dir("profile");
+  const auto points = small_grid().expand();
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.cache_dir = dir.str();
+  opt.profile = true;
+  const auto cold = run_sweep(points, opt);
+  ASSERT_TRUE(cold.profile.enabled);
+  ASSERT_EQ(cold.profile.points.size(), points.size());
+  for (const auto& p : cold.profile.points) {
+    EXPECT_EQ(p.how, 'r');
+    EXPECT_GE(p.wall_ms, 0.0);
+    EXPECT_GE(p.worker, 0);
+  }
+  EXPECT_GT(cold.profile.wall_ms, 0.0);
+  EXPECT_FALSE(cold.profile.workers.empty());
+
+  const auto warm = run_sweep(points, opt);
+  ASSERT_EQ(warm.profile.points.size(), points.size());
+  for (const auto& p : warm.profile.points) EXPECT_EQ(p.how, 'c');
+
+  // Profiling is observation-only: records are byte-identical to an
+  // unprofiled run's.
+  SweepOptions plain;
+  plain.jobs = 2;
+  const auto base = run_sweep(points, plain);
+  EXPECT_EQ(base.lines, cold.lines);
+  EXPECT_FALSE(base.profile.enabled);
+}
+
+// Telemetry-enabled sweeps: first_crossing_s lands in the record, the key
+// carries the window/threshold suffix (so plain and telemetry caches never
+// mix), and results are deterministic.
+TEST(SweepEngine, TelemetrySweepExportsFirstCrossingDeterministically) {
+  SweepPoint p;
+  p.flow_set =
+      "copa-default:rtt=59:datajitter=allbutone:1,0.15"
+      "+copa-default:rtt=59:datajitter=const:1";
+  p.link_mbps = 120;
+  p.rtt_ms = 60;
+  p.jitter = "none";
+  p.buffer = "-";
+  p.seed = 1;
+  p.duration_s = 20;
+  p.warmup_s = 5;
+
+  const SweepRecord a = run_point_telemetry(p, 1000, 2.0);
+  const SweepRecord b = run_point_telemetry(p, 1000, 2.0);
+  ASSERT_TRUE(a.first_crossing_s.has_value());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.key, p.key() + "|swin=1000|sthr=2");
+  // This is the §5.1 min-RTT attack: the victim starves, so the sliding
+  // window must cross the threshold at some definite time.
+  EXPECT_GT(*a.first_crossing_s, 0.0);
+  EXPECT_LT(*a.first_crossing_s, p.duration_s);
+
+  // The plain record has no crossing field and a plain key.
+  const SweepRecord plain = run_point(p);
+  EXPECT_FALSE(plain.first_crossing_s.has_value());
+  EXPECT_EQ(plain.key, p.key());
+
+  // JSONL round trip preserves the field.
+  const auto back = SweepRecord::from_json(a.to_json());
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->first_crossing_s.has_value());
+  EXPECT_DOUBLE_EQ(*back->first_crossing_s, *a.first_crossing_s);
+}
+
+TEST(SweepEngine, TelemetrySweepDisablesPrefixSharing) {
+  const auto points = share_grid().expand();
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.share_prefix = true;
+  opt.starvation_window_ms = 500;
+  const auto out = run_sweep(points, opt);
+  ASSERT_EQ(out.records.size(), points.size());
+  EXPECT_EQ(out.stats.forked, 0u);  // sharing forced off under telemetry
+  EXPECT_EQ(out.stats.simulated, points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(out.records[i].first_crossing_s.has_value())
+        << points[i].key();
+    EXPECT_EQ(out.records[i].key,
+              effective_key(points[i], opt));
+  }
+}
+
 TEST(SweepEngine, RecordMeasuresStarvation) {
   // One victim Copa with the §5.1 min-RTT attack vs one clean Copa: the
   // engine's record should show a large starvation ratio on its own.

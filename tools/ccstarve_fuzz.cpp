@@ -21,6 +21,7 @@
 //   --replay=<line>     run exactly one case line, then exit
 //   --repro-out=<path>  append shrunk failing case lines + repro commands
 //   --no-metamorphic    invariants and determinism only (faster)
+//   --no-telemetry      skip the flow-telemetry probe + its oracle
 //   --no-shrink         report failures without minimising them
 //
 // Exit status: 0 all cases passed, 1 any failure, 2 usage error.
@@ -91,6 +92,8 @@ int main(int argc, char** argv) {
         repro_out = *v;
       } else if (arg == "--no-metamorphic") {
         opts.metamorphic = false;
+      } else if (arg == "--no-telemetry") {
+        opts.telemetry = false;
       } else if (arg == "--no-shrink") {
         shrink = false;
       } else if (arg == "--help" || arg == "-h") {

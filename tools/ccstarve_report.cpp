@@ -1,0 +1,139 @@
+// ccstarve_report — figure-data generator.
+//
+// Turns the JSONL this repo's own tools emit into gnuplot/CSV figure data:
+//
+//   ccstarve_run --metrics=tele.jsonl ...     (flow-telemetry log)
+//   ccstarve_sweep --out=sweep.jsonl ...      (sweep result records)
+//
+//   ccstarve_report --in=tele.jsonl --mode=ratio --out=ratio.csv
+//   ccstarve_report --in=sweep.jsonl --mode=rate-delay --out=fig3.csv
+//
+// Flags:
+//   --in=<path>    input JSONL ("-" = stdin; stdin only supports one pass,
+//                  so --mode=auto needs a real file)
+//   --out=<path>   output CSV ("-" = stdout, the default)
+//   --mode=<m>     timeline | ratio | delay-dist | rate-delay | auto
+//     timeline     per-bucket wide CSV: send/deliver/rtt/qdelay/cwnd per
+//                  flow plus link queue delay and drops   (telemetry input)
+//     ratio        starvation-ratio timeline; footer comments carry the
+//                  first threshold crossing recomputed from the timeline,
+//                  the log's end-of-run verdict, and agree=0/1
+//                                                         (telemetry input)
+//     delay-dist   per-flow rtt/qdelay distribution summaries
+//                                                         (telemetry input)
+//     rate-delay   Fig. 3-style scatter rows: one line per flow per grid
+//                  point (throughput vs mean/trimmed RTT)     (sweep input)
+//     auto         sniff the input kind and pick ratio (telemetry) or
+//                  rate-delay (sweep)                         (default)
+//
+// Exit status: 0 on success, 1 when the input parses but yields no usable
+// rows, 2 on usage/IO errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+
+using namespace ccstarve;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "ccstarve_report: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path, out_path = "-", mode = "auto";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* name) {
+      const size_t n = std::strlen(name);
+      return arg.compare(0, n, name) == 0 ? std::optional(arg.substr(n))
+                                          : std::nullopt;
+    };
+    if (auto v = val("--in=")) {
+      in_path = *v;
+    } else if (auto v = val("--out=")) {
+      out_path = *v;
+    } else if (auto v = val("--mode=")) {
+      mode = *v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("see the header comment of tools/ccstarve_report.cpp\n");
+      return 0;
+    } else {
+      die("unknown flag '" + arg + "' (try --help)");
+    }
+  }
+  if (in_path.empty()) die("--in=<path> is required");
+  if (mode != "auto" && mode != "timeline" && mode != "ratio" &&
+      mode != "delay-dist" && mode != "rate-delay") {
+    die("unknown --mode '" + mode + "' (try --help)");
+  }
+
+  // Slurp the input so auto-detection and parsing can both make a pass
+  // (telemetry logs and sweep files are small relative to the runs that
+  // produced them).
+  std::stringstream input;
+  if (in_path == "-") {
+    input << std::cin.rdbuf();
+  } else {
+    std::ifstream is(in_path);
+    if (!is) die("cannot open '" + in_path + "'");
+    input << is.rdbuf();
+  }
+
+  if (mode == "auto") {
+    std::istringstream sniff(input.str());
+    const std::string kind = obs::detect_input_kind(sniff);
+    if (kind == "telemetry") {
+      mode = "ratio";
+    } else if (kind == "sweep") {
+      mode = "rate-delay";
+    } else {
+      die("cannot detect input kind of '" + in_path +
+          "' (neither a telemetry log nor sweep records)");
+    }
+  }
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (out_path != "-") {
+    out_file.open(out_path, std::ios::trunc);
+    if (!out_file) die("cannot open '" + out_path + "' for writing");
+    out = &out_file;
+  }
+
+  if (mode == "rate-delay") {
+    std::istringstream in(input.str());
+    if (!obs::write_rate_delay_csv(*out, in)) {
+      std::fprintf(stderr, "ccstarve_report: no sweep records in '%s'\n",
+                   in_path.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  std::istringstream in(input.str());
+  const std::optional<obs::TelemetryLog> log = obs::TelemetryLog::read(in);
+  if (!log) {
+    std::fprintf(stderr, "ccstarve_report: '%s' is not a telemetry log\n",
+                 in_path.c_str());
+    return 1;
+  }
+  if (mode == "timeline") {
+    obs::write_timeline_csv(*out, *log);
+  } else if (mode == "ratio") {
+    obs::write_ratio_csv(*out, *log);
+  } else {
+    obs::write_delay_dist_csv(*out, *log);
+  }
+  return 0;
+}

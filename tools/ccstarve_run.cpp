@@ -24,6 +24,14 @@
 //                            (src/check) and fail if any invariant or the
 //                            end-of-run conservation checkpoint is violated
 //   --csv=<prefix>           write <prefix>.flowN.{rtt,rate}.csv
+//   --metrics=<path>         attach the flow-telemetry probe (src/obs) and
+//                            stream per-flow/link samples, the starvation-
+//                            ratio timeline and end-of-run summaries there
+//                            as JSONL ("-" = stdout). Feed the file to
+//                            ccstarve_report for figure-ready CSV. The probe
+//                            is observation-only: --trace-digest output is
+//                            identical with and without it.
+//   --metrics-interval=<ms>  telemetry sample cadence     (default 10)
 //   --trace-digest           print the golden-trace hash of the run (an
 //                            order-sensitive digest of every packet event;
 //                            equal digests <=> behaviourally identical runs)
@@ -52,6 +60,7 @@
 #include <vector>
 
 #include "check/invariants.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
 #include "sweep/spec_parse.hpp"
 #include "util/table.hpp"
@@ -80,7 +89,8 @@ void dump_csv(const std::string& prefix, size_t i, const FlowStats& stats) {
 
 int main(int argc, char** argv) {
   double link_mbps = 60, rtt_ms = 60, duration_s = 60;
-  std::string buffer_spec, csv_prefix;
+  std::string buffer_spec, csv_prefix, metrics_path;
+  double metrics_interval_ms = 10;
   double ecn_threshold_pkts = 0, jitter_budget_ms = 0;
   uint64_t prefill_bytes = 0, seed = 0;
   bool trace_digest = false, check = false;
@@ -112,6 +122,13 @@ int main(int argc, char** argv) {
         seed = std::stoull(*v);
       } else if (auto v = val("--csv=")) {
         csv_prefix = *v;
+      } else if (auto v = val("--metrics=")) {
+        metrics_path = *v;
+      } else if (auto v = val("--metrics-interval=")) {
+        metrics_interval_ms = std::stod(*v);
+        if (metrics_interval_ms <= 0) {
+          die("--metrics-interval wants a positive cadence in ms");
+        }
       } else if (auto v = val("--flow=")) {
         flows.push_back(sweep::parse_flow(*v));
       } else if (arg == "--trace-digest") {
@@ -167,7 +184,27 @@ int main(int argc, char** argv) {
     check::InvariantChecker checker;
     if (check) checker.attach(sc);
 
+    std::ofstream metrics_file;
+    std::unique_ptr<obs::FlowTelemetry> telemetry;
+    if (!metrics_path.empty()) {
+      obs::TelemetryConfig tc;
+      tc.interval = TimeNs::millis(metrics_interval_ms);
+      if (metrics_path == "-") {
+        tc.jsonl = &std::cout;
+      } else {
+        metrics_file.open(metrics_path, std::ios::trunc);
+        if (!metrics_file) {
+          die("cannot open '" + metrics_path + "' for writing");
+        }
+        tc.jsonl = &metrics_file;
+      }
+      for (const auto& fa : flows) tc.flow_labels.push_back(fa.cca);
+      telemetry = std::make_unique<obs::FlowTelemetry>(std::move(tc));
+      telemetry->attach(sc);
+    }
+
     sc.run_until(TimeNs::seconds(duration_s));
+    if (telemetry) telemetry->finish(TimeNs::seconds(duration_s));
     if (check) checker.checkpoint();
 
     Table t({"flow", "cca", "throughput Mbit/s", "mean RTT ms", "retx",
@@ -195,6 +232,12 @@ int main(int argc, char** argv) {
     if (!csv_prefix.empty()) {
       std::printf("CSV series written to %s.flowN.{rtt,delivered}.csv\n",
                   csv_prefix.c_str());
+    }
+    if (telemetry && metrics_path != "-") {
+      std::printf("telemetry JSONL written to %s (%llu buckets)\n",
+                  metrics_path.c_str(),
+                  static_cast<unsigned long long>(
+                      telemetry->buckets_closed()));
     }
     if (trace_digest) {
       std::printf("trace-digest: fnv1a64=%s records=%llu\n",

@@ -32,6 +32,21 @@
 //   --cache=<dir>        result cache directory (default .sweep-cache)
 //   --no-cache           disable the result cache
 //   --quiet              suppress per-point progress on stderr
+// Telemetry:
+//   --profile[=<path>]   self-profile the sweep: per-point wall/CPU cost and
+//                        per-worker busy/idle summary on stderr; with a
+//                        path, also stream per-point JSONL there. Profiling
+//                        never touches the canonical result records.
+//   --starvation-window=<ms>
+//                        attach a flow-telemetry probe to every simulated
+//                        point and export first_crossing_s (first time the
+//                        sliding-window throughput ratio crossed the
+//                        threshold). Changes record content, so the window/
+//                        threshold join the cache key, and --share-prefix
+//                        is disabled for the run (crossing times depend on
+//                        probe attach time, so they are not fork-invariant).
+//   --starvation-threshold=<x>
+//                        ratio counting as starvation (default 2)
 //
 // SIGINT finishes in-flight points, flushes completed records to --out,
 // and exits 130; a later identical invocation resumes from the cache.
@@ -77,6 +92,7 @@ int main(int argc, char** argv) {
   opt.progress = true;
   opt.cache_dir = ".sweep-cache";
   std::string out_path;
+  std::string profile_path;
   bool no_cache = false;
 
   // Clear the defaulted axes the first time the corresponding flag appears,
@@ -130,6 +146,29 @@ int main(int argc, char** argv) {
         opt.cache_dir = *v;
       } else if (arg == "--share-prefix") {
         opt.share_prefix = true;
+      } else if (arg == "--profile") {
+        opt.profile = true;
+      } else if (auto v = val("--profile=")) {
+        opt.profile = true;
+        profile_path = *v;
+      } else if (auto v = val("--starvation-window=")) {
+        try {
+          opt.starvation_window_ms = std::stod(*v);
+        } catch (const std::exception&) {
+          die("bad --starvation-window value '" + *v + "'");
+        }
+        if (opt.starvation_window_ms <= 0) {
+          die("--starvation-window wants a positive window in ms");
+        }
+      } else if (auto v = val("--starvation-threshold=")) {
+        try {
+          opt.starvation_threshold = std::stod(*v);
+        } catch (const std::exception&) {
+          die("bad --starvation-threshold value '" + *v + "'");
+        }
+        if (opt.starvation_threshold < 1) {
+          die("--starvation-threshold wants a ratio >= 1");
+        }
       } else if (arg == "--no-cache") {
         no_cache = true;
       } else if (arg == "--quiet") {
@@ -143,6 +182,12 @@ int main(int argc, char** argv) {
     }
     if (grid.flow_sets.empty()) die("at least one --flows=<set> is required");
     if (no_cache) opt.cache_dir.clear();
+    if (opt.share_prefix && opt.starvation_window_ms > 0) {
+      std::fprintf(stderr,
+                   "ccstarve_sweep: --starvation-window disables "
+                   "--share-prefix (crossing times are not fork-invariant)\n");
+      opt.share_prefix = false;
+    }
 
     const std::vector<sweep::SweepPoint> points = grid.expand();
     std::fprintf(stderr, "sweep: %zu points, %u jobs%s\n", points.size(),
@@ -167,15 +212,23 @@ int main(int argc, char** argv) {
       }
     }
     sweep::summary_table(outcome.records).print(std::cout);
-    // The four buckets partition the grid (SweepStats invariant), so this
-    // line always sums to total — no point is double-counted or dropped.
+    if (opt.profile) {
+      obs::profile_summary_table(outcome.profile).print(std::cerr);
+      if (!profile_path.empty()) {
+        std::ofstream os(profile_path, std::ios::trunc);
+        if (!os) die("cannot open '" + profile_path + "' for writing");
+        obs::write_profile_jsonl(os, outcome.profile);
+      }
+    }
+    // "done" is the completed-bucket sum (SweepStats::done()), which always
+    // equals the number of emitted records; skipped points make up the rest
+    // of the grid, so done + skipped = total.
     const sweep::SweepStats& st = outcome.stats;
     std::fprintf(stderr,
                  "sweep: %zu/%zu points done (%zu simulated + %zu cached + "
-                 "%zu forked + %zu skipped = %zu)\n",
-                 outcome.records.size(), st.total, st.simulated,
-                 st.cache_hits, st.forked, st.skipped,
-                 st.simulated + st.cache_hits + st.forked + st.skipped);
+                 "%zu forked = %zu done, %zu skipped)\n",
+                 st.done(), st.total, st.simulated, st.cache_hits, st.forked,
+                 st.done(), st.skipped);
     return outcome.interrupted ? 130 : 0;
   } catch (const sweep::SpecError& e) {
     die(e.what());
