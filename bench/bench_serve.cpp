@@ -1,0 +1,233 @@
+// Subscriber-fan-out benchmark for the serve subsystem (src/serve).
+//
+// The design claim under test: a job's simulation thread publishes every
+// telemetry line through ChannelSink -> JobChannel::offer() into bounded
+// per-subscriber queues and never waits for a consumer, so adding
+// subscribers costs only the per-line fan-out loop — not a network stall.
+// The identical run-job scenario is timed at 0, 1, 8 and 32 concurrent
+// subscribers (each a thread draining its queue flat-out, the in-process
+// equivalent of a keeping-up session thread), and the slowdown of each
+// count relative to the 0-subscriber baseline is reported.
+//
+// Acceptance (ISSUE 6): 32 subscribers within 10% of baseline, and a
+// keeping-up subscriber's payload capture byte-identical to the offline
+// --metrics JSONL of the same scenario (checked here against a MemorySink
+// reference run; streams_byte_identical in the JSON).
+//
+// Each configuration runs `reps` times interleaved and the best events/sec
+// is kept. Results go to BENCH_serve.json.
+//
+// Usage: bench_serve [--quick] [--out PATH]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/hub.hpp"
+#include "serve/protocol.hpp"
+#include "sim/scenario.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/spec_parse.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+namespace {
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+sweep::SweepPoint bench_point(double sim_seconds) {
+  sweep::SweepPoint pt;
+  pt.flow_set = "copa+copa+vegas+cubic";
+  pt.link_mbps = 120;
+  pt.rtt_ms = 60;
+  pt.jitter = "none";
+  pt.buffer = "-";
+  pt.seed = 1;
+  pt.duration_s = sim_seconds;
+  return pt;
+}
+
+struct RunResult {
+  double events_per_sec = 0;
+  uint64_t events = 0;
+  uint64_t lines = 0;
+  uint64_t dropped = 0;  // across all subscribers, worst rep kept with best
+};
+
+// One timed run with `subscribers` draining threads attached before the
+// simulation starts (the steady-state serving shape: everyone is live, no
+// backlog replay in the timed region).
+RunResult run_once(const sweep::SweepPoint& pt, size_t subscribers) {
+  serve::JobChannel channel(/*backlog_lines=*/1, /*queue_capacity=*/8192);
+
+  std::vector<std::thread> drains;
+  std::vector<uint64_t> drop_counts(subscribers, 0);
+  for (size_t s = 0; s < subscribers; ++s) {
+    auto q = channel.subscribe();
+    drains.emplace_back([q = std::move(q), &drop_counts, s] {
+      // Batch drain, as the server's session loop does; a real session
+      // would write_line() each item here.
+      while (!q->pop_batch_for(std::chrono::milliseconds(250)).empty()) {
+      }
+      drop_counts[s] = q->dropped();
+    });
+  }
+
+  auto sc = sweep::build_point_scenario(pt, nullptr);
+  serve::ChannelSink sink(channel);
+  obs::TelemetryConfig tc;
+  tc.interval = TimeNs::millis(10);
+  tc.sink = &sink;
+  for (const auto& fa : sweep::parse_flow_set(pt.flow_set)) {
+    tc.flow_labels.push_back(fa.cca);
+  }
+  obs::FlowTelemetry telemetry(std::move(tc));
+  telemetry.attach(*sc);
+
+  const auto start = std::chrono::steady_clock::now();
+  sc->run_until(TimeNs::seconds(pt.duration_s));
+  telemetry.finish(TimeNs::seconds(pt.duration_s));
+  const double wall = wall_seconds_since(start);
+
+  channel.finish();
+  for (auto& t : drains) t.join();
+
+  RunResult r;
+  r.events = sc->sim().events_processed();
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  r.lines = channel.published();
+  for (uint64_t d : drop_counts) r.dropped += d;
+  return r;
+}
+
+// Byte-identity spot check: one subscribed run's payload capture vs the
+// same scenario driven offline into a MemorySink (the --metrics path).
+bool streams_byte_identical(const sweep::SweepPoint& pt) {
+  serve::JobChannel channel(1u << 20, 1u << 20);
+  auto q = channel.subscribe();
+
+  auto run_with = [&pt](obs::TelemetrySink* sink) {
+    auto sc = sweep::build_point_scenario(pt, nullptr);
+    obs::TelemetryConfig tc;
+    tc.interval = TimeNs::millis(10);
+    tc.sink = sink;
+    for (const auto& fa : sweep::parse_flow_set(pt.flow_set)) {
+      tc.flow_labels.push_back(fa.cca);
+    }
+    obs::FlowTelemetry telemetry(std::move(tc));
+    telemetry.attach(*sc);
+    sc->run_until(TimeNs::seconds(pt.duration_s));
+    telemetry.finish(TimeNs::seconds(pt.duration_s));
+  };
+
+  serve::ChannelSink channel_sink(channel);
+  run_with(&channel_sink);
+  channel.finish();
+  std::vector<std::string> streamed;
+  while (auto item = q->pop_for(std::chrono::milliseconds(250))) {
+    if (item->dropped_before != 0) return false;
+    if (!serve::is_control_line(item->text())) {
+      streamed.push_back(item->text());
+    }
+  }
+
+  obs::MemorySink offline(1u << 20);
+  run_with(&offline);
+  return streamed == offline.snapshot() && offline.evicted() == 0;
+}
+
+}  // namespace
+}  // namespace ccstarve
+
+int main(int argc, char** argv) {
+  using namespace ccstarve;
+  bool quick = false;
+  std::string out = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const double sim_seconds = quick ? 2.0 : 8.0;
+  const int reps = quick ? 3 : 5;
+  const size_t kSubscriberCounts[] = {0, 1, 8, 32};
+  const sweep::SweepPoint pt = bench_point(sim_seconds);
+
+  // Warm the code paths before any timed run.
+  {
+    sweep::SweepPoint warm = pt;
+    warm.duration_s = 0.2;
+    run_once(warm, 1);
+  }
+
+  struct Row {
+    size_t subscribers = 0;
+    RunResult best;
+  };
+  std::vector<Row> rows;
+  for (size_t n : kSubscriberCounts) rows.push_back({n, {}});
+
+  // Interleave the configurations within each repetition so shared-machine
+  // noise hits all of them alike; keep the fastest of each.
+  for (int r = 0; r < reps; ++r) {
+    for (Row& row : rows) {
+      const RunResult cur = run_once(pt, row.subscribers);
+      if (cur.events_per_sec > row.best.events_per_sec) row.best = cur;
+    }
+  }
+
+  const double baseline = rows[0].best.events_per_sec;
+  for (const Row& row : rows) {
+    const double slowdown =
+        100.0 * (1.0 - row.best.events_per_sec / baseline);
+    std::printf(
+        "%2zu subscribers: %9.0f ev/s (slowdown %+5.2f%%)  %llu lines  "
+        "%llu dropped\n",
+        row.subscribers, row.best.events_per_sec, slowdown,
+        static_cast<unsigned long long>(row.best.lines),
+        static_cast<unsigned long long>(row.best.dropped));
+  }
+
+  const bool identical = streams_byte_identical(pt);
+  std::printf("streamed vs offline telemetry byte-identical: %s\n",
+              identical ? "yes" : "NO");
+
+  std::ofstream os(out);
+  os << "{\n  \"quick\": " << (quick ? "true" : "false")
+     << ",\n  \"flows\": \"" << pt.flow_set << "\",\n  \"sim_seconds\": "
+     << sim_seconds << ",\n  \"interval_ms\": 10,\n  \"queue_capacity\": 8192"
+     << ",\n  \"streams_byte_identical\": " << (identical ? "true" : "false")
+     << ",\n  \"subscribers\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double slowdown = 100.0 * (1.0 - r.best.events_per_sec / baseline);
+    os << "    {\"subscribers\": " << r.subscribers
+       << ", \"events_per_sec\": " << r.best.events_per_sec
+       << ", \"slowdown_pct\": " << slowdown
+       << ", \"events\": " << r.best.events
+       << ", \"lines\": " << r.best.lines
+       << ", \"dropped\": " << r.best.dropped << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", out.c_str());
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+#include "obs/sink.hpp"
+
+#include <ostream>
+
+namespace ccstarve::obs {
+
+void OstreamSink::line(const std::string& l) { os_ << l << '\n'; }
+
+void OstreamSink::finish() { os_.flush(); }
+
+void MemorySink::line(const std::string& l) {
+  lines_.push_back(l);
+  ++total_;
+  if (lines_.size() > capacity_) lines_.pop_front();
+}
+
+std::vector<std::string> MemorySink::snapshot() const {
+  return std::vector<std::string>(lines_.begin(), lines_.end());
+}
+
+void MemorySink::clear() {
+  lines_.clear();
+  total_ = 0;
+}
+
+void TeeSink::line(const std::string& l) {
+  for (TelemetrySink* s : sinks_) s->line(l);
+}
+
+void TeeSink::finish() {
+  for (TelemetrySink* s : sinks_) s->finish();
+}
+
+}  // namespace ccstarve::obs

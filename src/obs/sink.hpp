@@ -1,0 +1,86 @@
+// TelemetrySink: where FlowTelemetry's JSONL lines go.
+//
+// The telemetry probe renders every closed bucket into canonical one-line
+// JSON objects (meta / sample / link / ratio / crossing / flow_summary /
+// end — see telemetry.cpp). A sink receives those lines, newline excluded,
+// in emission order. The guarantee that makes sinks interchangeable: the
+// LINE SEQUENCE is identical whichever sink is attached — an ostream sink
+// writing a --metrics file, an in-memory ring, and a live network fan-out
+// (serve/hub.hpp) observe byte-identical streams, which is what lets the
+// serve smoke test `cmp` a subscriber's capture against an offline
+// --metrics file.
+//
+// line() is called from the simulation thread, inside event dispatch: a
+// sink must never block on a slow downstream (the network sink applies a
+// bounded-queue drop/coalesce policy instead; see serve/hub.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccstarve::obs {
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  // One complete JSONL object, no trailing newline. Called on the
+  // simulation thread; must not block indefinitely.
+  virtual void line(const std::string& l) = 0;
+
+  // End-of-stream (after the telemetry end line). Default: nothing.
+  virtual void finish() {}
+};
+
+// JSONL-file sink: appends '\n' per line, the historical --metrics format.
+class OstreamSink final : public TelemetrySink {
+ public:
+  explicit OstreamSink(std::ostream& os) : os_(os) {}
+  void line(const std::string& l) override;
+  void finish() override;
+
+ private:
+  std::ostream& os_;
+};
+
+// Bounded in-memory line log: retains the newest `capacity` lines and
+// counts (but forgets) older ones — the RingSeries idea lifted to whole
+// lines. Doubles as the per-job results backlog in the serve subsystem.
+// Not thread-safe; callers that share one (serve's JobChannel) lock.
+class MemorySink final : public TelemetrySink {
+ public:
+  explicit MemorySink(size_t capacity = 65536)
+      : capacity_(capacity ? capacity : 1) {}
+
+  void line(const std::string& l) override;
+
+  // Retained lines, oldest first.
+  const std::deque<std::string>& lines() const { return lines_; }
+  std::vector<std::string> snapshot() const;
+  // Lines ever received; total() - lines().size() were evicted.
+  uint64_t total() const { return total_; }
+  uint64_t evicted() const { return total_ - lines_.size(); }
+  size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  const size_t capacity_;
+  std::deque<std::string> lines_;
+  uint64_t total_ = 0;
+};
+
+// Fan-out to several sinks in registration order.
+class TeeSink final : public TelemetrySink {
+ public:
+  void add(TelemetrySink* sink) { sinks_.push_back(sink); }
+  void line(const std::string& l) override;
+  void finish() override;
+
+ private:
+  std::vector<TelemetrySink*> sinks_;
+};
+
+}  // namespace ccstarve::obs

@@ -71,6 +71,12 @@ void append_agg(std::string& j, const char* field,
 FlowTelemetry::FlowTelemetry(TelemetryConfig config)
     : config_(std::move(config)) {
   if (config_.interval <= TimeNs::zero()) config_.interval = TimeNs::millis(10);
+  if (config_.sink != nullptr) {
+    out_ = config_.sink;
+  } else if (config_.jsonl != nullptr) {
+    owned_sink_ = std::make_unique<OstreamSink>(*config_.jsonl);
+    out_ = owned_sink_.get();
+  }
 }
 
 void FlowTelemetry::init_flows(size_t n, TimeNs now) {
@@ -130,7 +136,7 @@ void FlowTelemetry::attach(Scenario& sc) {
   link_prev_delivered_ = link_.delivered_bytes;
   sc.sim().set_telemetry(this);
 
-  if (config_.jsonl != nullptr && !meta_written_) {
+  if (emitting() && !meta_written_) {
     meta_written_ = true;
     std::string j = "{";
     append_str(j, "type", "meta");
@@ -159,7 +165,7 @@ void FlowTelemetry::attach(Scenario& sc) {
       j += json_num(accum_[i].min_rtt_ms);
     }
     j += "]}";
-    *config_.jsonl << j << '\n';
+    emit(j);
   }
 }
 
@@ -168,7 +174,7 @@ void FlowTelemetry::attach(Simulator& sim, size_t flows) {
   link_queue_bytes_ = 0;
   link_rate_mbps_ = -1.0;
   sim.set_telemetry(this);
-  if (config_.jsonl != nullptr && !meta_written_) {
+  if (emitting() && !meta_written_) {
     meta_written_ = true;
     std::string j = "{";
     append_str(j, "type", "meta");
@@ -197,7 +203,7 @@ void FlowTelemetry::attach(Simulator& sim, size_t flows) {
       j += json_num(-1.0);
     }
     j += "]}";
-    *config_.jsonl << j << '\n';
+    emit(j);
   }
 }
 
@@ -253,7 +259,7 @@ void FlowTelemetry::close_bucket(int64_t index) {
       if (ac.min_rtt_ms >= 0.0) fs.agg_qdelay_ms.add(qdelay_ms);
     }
 
-    if (config_.jsonl != nullptr) {
+    if (emitting()) {
       std::string j = "{";
       append_str(j, "type", "sample");
       j += ',';
@@ -277,7 +283,7 @@ void FlowTelemetry::close_bucket(int64_t index) {
       append_num(j, "jitter_ms",
                  TimeNs::nanos(ac.bucket_max_jitter_ns).to_seconds() * 1e3);
       j += '}';
-      *config_.jsonl << j << '\n';
+      emit(j);
     }
     ac.bucket_max_jitter_ns = 0;
   }
@@ -296,7 +302,7 @@ void FlowTelemetry::close_bucket(int64_t index) {
   link_.queue_ms.push(bucket_end, queue_ms);
   link_.drops.push(bucket_end, static_cast<double>(drop_delta));
   link_.agg_queue_ms.add(queue_ms);
-  if (config_.jsonl != nullptr) {
+  if (emitting()) {
     std::string j = "{";
     append_str(j, "type", "link");
     j += ',';
@@ -312,11 +318,11 @@ void FlowTelemetry::close_bucket(int64_t index) {
                static_cast<double>(link_deliver_delta) * 8.0 / interval_s *
                    1e-6);
     j += '}';
-    *config_.jsonl << j << '\n';
+    emit(j);
   }
 
   starvation_.on_bucket(bucket_end, bucket_delivered_delta_, bucket_started_);
-  if (config_.jsonl != nullptr && starvation_.engaged()) {
+  if (emitting() && starvation_.engaged()) {
     std::string j = "{";
     append_str(j, "type", "ratio");
     j += ',';
@@ -324,7 +330,7 @@ void FlowTelemetry::close_bucket(int64_t index) {
     j += ',';
     append_num(j, "ratio", starvation_.last_ratio());
     j += '}';
-    *config_.jsonl << j << '\n';
+    emit(j);
     for (; emitted_crossings_ < starvation_.crossings().size();
          ++emitted_crossings_) {
       const StarvationDetector::PairCrossing& c =
@@ -342,7 +348,7 @@ void FlowTelemetry::close_bucket(int64_t index) {
       k += ',';
       append_num(k, "threshold", starvation_.threshold());
       k += '}';
-      *config_.jsonl << k << '\n';
+      emit(k);
     }
   }
   ++buckets_closed_;
@@ -360,11 +366,12 @@ void FlowTelemetry::finish(TimeNs end_time) {
   if (!summaries_written_) {
     summaries_written_ = true;
     emit_summaries(end_time);
+    if (emitting()) out_->finish();
   }
 }
 
 void FlowTelemetry::emit_summaries(TimeNs end_time) {
-  if (config_.jsonl == nullptr) return;
+  if (!emitting()) return;
   for (size_t i = 0; i < flows_.size(); ++i) {
     const FlowSeries& fs = flows_[i];
     std::string j = "{";
@@ -389,7 +396,7 @@ void FlowTelemetry::emit_summaries(TimeNs end_time) {
     j += ',';
     append_agg(j, "qdelay_ms", fs.agg_qdelay_ms);
     j += '}';
-    *config_.jsonl << j << '\n';
+    emit(j);
   }
   const bool starved = starvation_.engaged() &&
                        starvation_.last_ratio() >= starvation_.threshold();
@@ -414,7 +421,7 @@ void FlowTelemetry::emit_summaries(TimeNs end_time) {
   j += ',';
   append_num(j, "link_drops", static_cast<double>(link_.drops_total));
   j += '}';
-  *config_.jsonl << j << '\n';
+  emit(j);
 }
 
 void FlowTelemetry::on_segment_sent(TimeNs now, const Packet& pkt) {

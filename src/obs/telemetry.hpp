@@ -28,11 +28,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/aggregate.hpp"
 #include "obs/ring.hpp"
+#include "obs/sink.hpp"
 #include "obs/starvation.hpp"
 #include "sim/obs_probe.hpp"
 #include "util/rate.hpp"
@@ -55,7 +57,13 @@ struct TelemetryConfig {
   // Throughput ratio that counts as starvation (paper §7: >= 2).
   double starvation_threshold = 2.0;
   // When set, one JSON object per closed bucket/flow is streamed here
-  // (meta + sample/link/ratio lines, then summaries from finish()).
+  // (meta + sample/link/ratio lines, then summaries from finish()). The
+  // line sequence is sink-independent: an OstreamSink writing a --metrics
+  // file, a MemorySink, and the serve subsystem's subscriber fan-out all
+  // observe byte-identical streams (pinned by tests/obs_test.cpp).
+  TelemetrySink* sink = nullptr;
+  // Convenience for the common JSONL-file case: when `sink` is null and
+  // this is set, the probe emits through an internally owned OstreamSink.
   std::ostream* jsonl = nullptr;
   // Optional per-flow labels (CCA names) for the meta line.
   std::vector<std::string> flow_labels;
@@ -155,7 +163,14 @@ class FlowTelemetry final : public ObsProbe {
   void close_bucket(int64_t index);
   void emit_summaries(TimeNs end_time);
 
+  bool emitting() const { return out_ != nullptr; }
+  void emit(const std::string& l) { out_->line(l); }
+
   TelemetryConfig config_;
+  // Resolved sink: config_.sink, else an owned OstreamSink over
+  // config_.jsonl, else null (no emission).
+  TelemetrySink* out_ = nullptr;
+  std::unique_ptr<OstreamSink> owned_sink_;
   std::vector<FlowSeries> flows_;
   std::vector<FlowAccum> accum_;
   LinkSeries link_;

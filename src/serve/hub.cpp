@@ -1,0 +1,251 @@
+#include "serve/hub.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "serve/protocol.hpp"
+
+namespace ccstarve::serve {
+
+bool SubscriberQueue::offer(std::shared_ptr<const std::string> line) {
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ok = offer_locked(std::move(line));
+  }
+  if (!ok) not_empty_.notify_all();  // overflow/close: wake the consumer
+  return ok;
+}
+
+bool SubscriberQueue::offer_batch(
+    const std::vector<std::shared_ptr<const std::string>>& lines) {
+  bool ok = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& line : lines) {
+      if (!(ok = offer_locked(line))) break;
+    }
+  }
+  if (!ok) not_empty_.notify_all();
+  return ok;
+}
+
+bool SubscriberQueue::offer_locked(std::shared_ptr<const std::string> line) {
+  if (closed_ || overflowed_) return false;
+  if (items_.size() >= capacity_) {
+    // Full: evict the oldest bulk line and fold its gap into whatever
+    // follows it, keeping the reliable skeleton intact and ordered.
+    bool evicted = false;
+    for (size_t k = 0; k < items_.size(); ++k) {
+      if (!is_bulk_line(*items_[k].line)) continue;
+      const uint64_t gap = items_[k].dropped_before + 1;
+      if (k + 1 < items_.size()) {
+        items_[k + 1].dropped_before += gap;
+      } else {
+        pending_tail_drops_ += gap;
+      }
+      items_.erase(items_.begin() + static_cast<ptrdiff_t>(k));
+      ++dropped_total_;
+      evicted = true;
+      break;
+    }
+    if (!evicted) {
+      // All-reliable queue. A bulk arrival is droppable; a reliable one
+      // means the consumer can never catch up within bounded memory.
+      if (is_bulk_line(*line)) {
+        ++pending_tail_drops_;
+        ++dropped_total_;
+        return true;
+      }
+      overflowed_ = true;
+      closed_ = true;
+      items_.clear();
+      return false;
+    }
+  }
+  StreamItem item{std::move(line), pending_tail_drops_};
+  pending_tail_drops_ = 0;
+  items_.push_back(std::move(item));
+  return true;
+}
+
+// offer() deliberately never notifies (a futex wake per line per
+// subscriber would dominate the publisher's cost; see the header), so an
+// empty-queue wait is sliced: sleep at most kPollSlice on the condvar,
+// recheck, repeat until the deadline. close() still notifies, so shutdown
+// wakes a parked consumer instantly rather than a slice late.
+//
+// The slice is deliberately long. Each parked consumer costs one timer
+// wakeup (and, on a busy machine, one preemption of the simulation
+// thread) per slice: at 32 subscribers a 2 ms slice is 16k wakeups/s and
+// measurably starves a single-core host, while 50 ms is 640/s. The queue
+// absorbs the added latency easily — at the default capacity (8192) a
+// publisher would need >160k lines/s before a napping consumer risks
+// drops, two orders of magnitude above what a job emits.
+constexpr auto kPollSlice = std::chrono::milliseconds(50);
+
+std::optional<StreamItem> SubscriberQueue::pop_for(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!items_.empty()) {
+      StreamItem item = std::move(items_.front());
+      items_.pop_front();
+      return item;
+    }
+    if (closed_) return std::nullopt;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    not_empty_.wait_for(
+        lock, std::min<std::chrono::steady_clock::duration>(
+                  kPollSlice, deadline - now));
+  }
+}
+
+std::vector<StreamItem> SubscriberQueue::pop_batch_for(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!items_.empty()) {
+      std::vector<StreamItem> batch;
+      batch.reserve(items_.size());
+      for (auto& item : items_) batch.push_back(std::move(item));
+      items_.clear();
+      return batch;
+    }
+    if (closed_) return {};
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return {};
+    not_empty_.wait_for(
+        lock, std::min<std::chrono::steady_clock::duration>(
+                  kPollSlice, deadline - now));
+  }
+}
+
+void SubscriberQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+bool SubscriberQueue::drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_ && items_.empty();
+}
+
+bool SubscriberQueue::overflowed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overflowed_;
+}
+
+uint64_t SubscriberQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_total_;
+}
+
+size_t SubscriberQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+void SubscriberQueue::preload_dropped(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_tail_drops_ += n;
+  dropped_total_ += n;
+}
+
+void JobChannel::publish(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  backlog_.line(line);
+  if (subs_.empty()) return;
+  // One allocation per line; each queue holds a reference, not a copy.
+  pending_.push_back(std::make_shared<const std::string>(line));
+  // Micro-batch: bulk lines can wait one burst; anything reliable (a
+  // crossing, a summary, a sweep record) flushes immediately.
+  if (pending_.size() >= kFlushBatch || !is_bulk_line(line)) flush_locked();
+}
+
+void JobChannel::flush_locked() {
+  if (pending_.empty()) return;
+  for (size_t i = 0; i < subs_.size();) {
+    if (subs_[i]->offer_batch(pending_)) {
+      ++i;
+    } else {
+      subs_.erase(subs_.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+  pending_.clear();
+}
+
+void JobChannel::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  flush_locked();
+  for (auto& q : subs_) q->close();
+  subs_.clear();
+}
+
+bool JobChannel::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+std::shared_ptr<SubscriberQueue> JobChannel::subscribe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Flush so existing subscribers are fully caught up before this one
+  // replays the backlog — otherwise the pending lines (already in the
+  // backlog) would reach the new queue twice.
+  flush_locked();
+  auto q = std::make_shared<SubscriberQueue>(queue_capacity_);
+  if (backlog_.evicted() > 0) q->preload_dropped(backlog_.evicted());
+  for (const auto& l : backlog_.lines()) {
+    if (!q->offer(l)) break;  // replay overflow: q is closed, stop early
+  }
+  if (finished_) {
+    q->close();
+  } else if (!q->overflowed()) {
+    subs_.push_back(q);
+  }
+  return q;
+}
+
+std::vector<std::string> JobChannel::backlog_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backlog_.snapshot();
+}
+
+uint64_t JobChannel::backlog_evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backlog_.evicted();
+}
+
+uint64_t JobChannel::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backlog_.total();
+}
+
+size_t JobChannel::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.size();
+}
+
+std::shared_ptr<JobChannel> SubscriberHub::create(uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ch = std::make_shared<JobChannel>(backlog_lines_, queue_capacity_);
+  channels_[job_id] = ch;
+  return ch;
+}
+
+std::shared_ptr<JobChannel> SubscriberHub::get(uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = channels_.find(job_id);
+  return it == channels_.end() ? nullptr : it->second;
+}
+
+}  // namespace ccstarve::serve

@@ -1,0 +1,220 @@
+// Fan-out from one producing job to many subscribers, with the invariant
+// the whole serve subsystem hangs on: a stalled subscriber can never block
+// (or slow unboundedly) the simulation thread.
+//
+// The shape is jittertrap's: the compute side publishes into bounded
+// per-subscriber queues and continues immediately; each session thread
+// drains its own queue at the client's pace. What this repo adds is a
+// byte-identity requirement — a subscriber that keeps up must observe a
+// stream `cmp`-equal to the offline --metrics JSONL — which rules out the
+// obvious "reliable queue + bulk queue" split (draining one before the
+// other would reorder lines even with zero drops). Instead each subscriber
+// owns a SINGLE FIFO in which tier is a drop class, not a lane:
+//
+//   * offer() on a full queue scans from the front for the oldest BULK
+//     line (sample/link/ratio — dense, re-derivable from later buckets),
+//     removes it, and folds its drop count into the item behind it. The
+//     reliable skeleton (meta, crossings, summaries, records, control
+//     lines) is never dropped and never reordered.
+//   * If the queue is all-reliable and the incoming line is bulk, the
+//     incoming line is dropped (counted).
+//   * If the queue is all-reliable and the incoming line is reliable too,
+//     the subscriber is irrecoverably behind: it is marked overflowed and
+//     closed, the session reports an error. This bounds memory even
+//     against a consumer that ignores every line.
+//
+// Drops surface in-stream: the item after a gap carries dropped_before > 0
+// and the session emits a {"type":"dropped","n":N} control line there, so
+// a client always knows its capture is incomplete. A fast consumer sees
+// dropped_before == 0 everywhere and its payload capture is byte-identical
+// to the offline file.
+//
+// Notification strategy: offer() never notifies. A condvar wake is a futex
+// syscall (~microseconds) paid on the SIMULATION thread, per line, per
+// subscriber — at 32 subscribers it dwarfs the lock-and-push itself and
+// was measured slowing the simulation >70%. Instead a consumer's pop_for
+// slices its wait into bounded condvar naps and rechecks, bounding
+// delivery latency at one slice — irrelevant for telemetry streaming —
+// while the publisher pays only an uncontended lock per queue (~tens of
+// ns). close() and overflow still notify, so shutdown and kill wake a
+// parked consumer instantly.
+//
+// JobChannel is the per-job publication point. It holds a bounded backlog
+// (MemorySink) of everything published so far, and subscription replays
+// the backlog and registers the queue under ONE mutex — so every line is
+// delivered exactly once, in order, no matter when the subscriber arrives
+// relative to the job's progress. A subscriber arriving after backlog
+// eviction starts with a dropped marker covering the evicted prefix.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace ccstarve::serve {
+
+// One delivered line plus the number of bulk lines dropped immediately
+// before it for this subscriber. The line is shared across every
+// subscriber queue it sits in — the publisher allocates it once and each
+// offer costs a refcount bump, not a string copy (at 32 subscribers the
+// copies were the second-largest publish cost after condvar wakes).
+struct StreamItem {
+  std::shared_ptr<const std::string> line;
+  uint64_t dropped_before = 0;
+
+  const std::string& text() const { return *line; }
+};
+
+class SubscriberQueue {
+ public:
+  explicit SubscriberQueue(size_t capacity)
+      : capacity_(capacity ? capacity : 1) {}
+
+  // Non-blocking enqueue with the drop/coalesce policy above. Returns
+  // false once the subscriber has overflowed or closed (the caller then
+  // forgets the queue).
+  bool offer(std::shared_ptr<const std::string> line);
+  bool offer(const std::string& line) {
+    return offer(std::make_shared<const std::string>(line));
+  }
+
+  // Enqueues a burst under ONE lock acquisition (same per-line policy).
+  // JobChannel publishes through this so the fan-out cost per line is
+  // lock_cost/batch, not lock_cost — the difference between 18% and <10%
+  // simulation slowdown at 32 subscribers.
+  bool offer_batch(
+      const std::vector<std::shared_ptr<const std::string>>& lines);
+
+  // Blocking pop with timeout; nullopt on timeout or closed-and-drained.
+  std::optional<StreamItem> pop_for(std::chrono::milliseconds timeout);
+
+  // Drains everything currently buffered in ONE lock acquisition (empty on
+  // timeout or closed-and-drained). The streaming consumers use this so
+  // the publisher almost always finds the queue mutex free — per-item
+  // pops were measured contending with 32 publishers' offers.
+  std::vector<StreamItem> pop_batch_for(std::chrono::milliseconds timeout);
+
+  // Drain-only from here on; wakes a blocked consumer.
+  void close();
+
+  // Closed and nothing left to pop.
+  bool drained() const;
+
+  bool overflowed() const;
+  // Total bulk lines dropped for this subscriber so far.
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+
+  // Seeds the drop counter (backlog eviction before this subscriber
+  // arrived); the count attaches to the next enqueued line.
+  void preload_dropped(uint64_t n);
+
+ private:
+  // The per-line policy, caller holds mu_. Returns false on overflow/closed.
+  bool offer_locked(std::shared_ptr<const std::string> line);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<StreamItem> items_;
+  // Drops that happened at the tail (or before any enqueue) and have no
+  // following item yet to carry them.
+  uint64_t pending_tail_drops_ = 0;
+  uint64_t dropped_total_ = 0;
+  bool overflowed_ = false;
+  bool closed_ = false;
+};
+
+// Per-job publication point: backlog + live subscribers behind one mutex.
+class JobChannel {
+ public:
+  explicit JobChannel(size_t backlog_lines, size_t queue_capacity)
+      : backlog_(backlog_lines), queue_capacity_(queue_capacity) {}
+
+  // Called from the job's thread (for telemetry lines, from inside event
+  // dispatch via ChannelSink). Appends to the backlog immediately; the
+  // subscriber fan-out is micro-batched: bulk lines buffer up to
+  // kFlushBatch and a reliable line (or finish(), or a new subscriber)
+  // flushes the buffer, so each subscriber queue's lock is taken once per
+  // burst. A keeping-up subscriber therefore sees bulk lines at most one
+  // telemetry bucket late and reliable lines (crossings, summaries,
+  // records) immediately — order always exactly the publish order.
+  // Overflowed/closed subscribers are dropped from the fan-out list at
+  // flush time.
+  void publish(const std::string& line);
+
+  // Marks the stream complete and closes every subscriber queue (they
+  // drain what is buffered, then report drained()).
+  void finish();
+  bool finished() const;
+
+  // Atomically replays the backlog into a fresh queue and registers it
+  // for live lines. If the channel already finished, the queue comes back
+  // closed (pure replay). Evicted-backlog prefix becomes a preloaded drop
+  // count.
+  std::shared_ptr<SubscriberQueue> subscribe();
+
+  // Backlog snapshot for the non-streaming "results" command.
+  std::vector<std::string> backlog_snapshot() const;
+  uint64_t backlog_evicted() const;
+  uint64_t published() const;
+
+  size_t subscriber_count() const;
+
+ private:
+  static constexpr size_t kFlushBatch = 8;
+
+  // Offers buffered lines to every subscriber (one offer_batch each) and
+  // forgets dead subscribers. Caller holds mu_.
+  void flush_locked();
+
+  mutable std::mutex mu_;
+  obs::MemorySink backlog_;
+  const size_t queue_capacity_;
+  std::vector<std::shared_ptr<SubscriberQueue>> subs_;
+  std::vector<std::shared_ptr<const std::string>> pending_;
+  bool finished_ = false;
+};
+
+// TelemetrySink adapter: FlowTelemetry emits straight into a JobChannel.
+// finish() is NOT forwarded — the job publishes its own job_done control
+// line after the telemetry end line, then finishes the channel itself.
+class ChannelSink final : public obs::TelemetrySink {
+ public:
+  explicit ChannelSink(JobChannel& ch) : ch_(ch) {}
+  void line(const std::string& l) override { ch_.publish(l); }
+
+ private:
+  JobChannel& ch_;
+};
+
+// Registry of job channels, keyed by job id.
+class SubscriberHub {
+ public:
+  explicit SubscriberHub(size_t backlog_lines = 65536,
+                         size_t queue_capacity = 8192)
+      : backlog_lines_(backlog_lines), queue_capacity_(queue_capacity) {}
+
+  std::shared_ptr<JobChannel> create(uint64_t job_id);
+  std::shared_ptr<JobChannel> get(uint64_t job_id) const;
+
+  size_t backlog_lines() const { return backlog_lines_; }
+  size_t queue_capacity() const { return queue_capacity_; }
+
+ private:
+  const size_t backlog_lines_;
+  const size_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<JobChannel>> channels_;
+};
+
+}  // namespace ccstarve::serve

@@ -1,0 +1,345 @@
+#include "serve/jobs.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "check/invariants.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/scenario.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/spec_parse.hpp"
+
+namespace ccstarve::serve {
+
+const char* to_string(JobKind k) {
+  return k == JobKind::run ? "run" : "sweep";
+}
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::queued: return "queued";
+    case JobState::running: return "running";
+    case JobState::done: return "done";
+    case JobState::cancelled: return "cancelled";
+    case JobState::failed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t sep = s.find(';', start);
+    if (sep == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, sep - start));
+    start = sep + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<JobSpec> parse_job_spec(const Request& req,
+                                      std::string* error) {
+  JobSpec spec;
+  const std::string kind = req.str("kind", "run");
+  if (kind == "run") {
+    spec.kind = JobKind::run;
+  } else if (kind == "sweep") {
+    spec.kind = JobKind::sweep;
+  } else {
+    *error = "unknown job kind '" + kind + "' (run or sweep)";
+    return std::nullopt;
+  }
+  const std::string flows = req.str("flows");
+  if (flows.empty()) {
+    *error = "submit needs a \"flows\" spec";
+    return std::nullopt;
+  }
+
+  try {
+    if (spec.kind == JobKind::run) {
+      sweep::parse_flow_set(flows);  // validate before the job runs
+      spec.point.flow_set = flows;
+      spec.point.link_mbps = req.num("link", 60);
+      spec.point.rtt_ms = req.num("rtt", 60);
+      spec.point.duration_s = req.num("duration", 60);
+      spec.point.jitter = req.str("jitter", "none");
+      spec.point.buffer = req.str("buffer", "-");
+      const double seed = req.num("seed", 0);
+      if (seed < 0) {
+        *error = "negative seed";
+        return std::nullopt;
+      }
+      spec.point.seed = static_cast<uint64_t>(seed);
+      sweep::make_jitter(spec.point.jitter, 0);  // validate
+      spec.interval_ms = req.num("interval", 10);
+      if (spec.interval_ms <= 0) {
+        *error = "interval wants a positive cadence in ms";
+        return std::nullopt;
+      }
+      if (spec.point.duration_s <= 0) {
+        *error = "duration wants positive seconds";
+        return std::nullopt;
+      }
+      spec.check = req.num("check", 0) != 0;
+    } else {
+      sweep::SweepGrid grid;
+      grid.flow_sets = split_list(flows);
+      if (req.has("link")) {
+        grid.link_mbps = sweep::parse_axis_values(req.str("link"));
+      }
+      if (req.has("rtt")) {
+        grid.rtt_ms = sweep::parse_axis_values(req.str("rtt"));
+      }
+      if (req.has("duration")) {
+        grid.duration_s = sweep::parse_axis_values(req.str("duration"));
+      }
+      if (req.has("jitter")) grid.jitter = split_list(req.str("jitter"));
+      if (req.has("buffer")) grid.buffer = split_list(req.str("buffer"));
+      if (req.has("seeds")) {
+        grid.seeds.clear();
+        for (double v : sweep::parse_axis_values(req.str("seeds"))) {
+          if (v < 0) {
+            *error = "negative seed in seeds list";
+            return std::nullopt;
+          }
+          grid.seeds.push_back(static_cast<uint64_t>(v));
+        }
+      }
+      if (req.has("warmup_frac")) {
+        grid.warmup_fraction = req.num("warmup_frac");
+        if (grid.warmup_fraction < 0 || grid.warmup_fraction >= 1) {
+          *error = "warmup_frac wants a fraction in [0, 1)";
+          return std::nullopt;
+        }
+      }
+      spec.points = grid.expand();
+      spec.jobs = static_cast<unsigned>(req.num("jobs", 0));
+      spec.share_prefix = req.num("share_prefix", 0) != 0;
+      spec.starvation_window_ms = req.num("starvation_window", 0);
+      spec.starvation_threshold = req.num("starvation_threshold", 2.0);
+      if (spec.starvation_window_ms > 0 && spec.share_prefix) {
+        // Same rule as ccstarve_sweep: crossings are not fork-invariant.
+        spec.share_prefix = false;
+      }
+    }
+  } catch (const sweep::SpecError& e) {
+    *error = e.what();
+    return std::nullopt;
+  }
+  return spec;
+}
+
+JobManager::JobManager(SubscriberHub& hub, JobManagerOptions opt)
+    : hub_(hub), opt_(std::move(opt)) {
+  const unsigned n = std::max(1u, opt_.executors);
+  executors_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+JobManager::~JobManager() { shutdown(); }
+
+uint64_t JobManager::submit(JobSpec spec) {
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->points_total =
+      job->spec.kind == JobKind::run ? 1 : job->spec.points.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_.load(std::memory_order_relaxed)) return 0;
+    job->id = next_id_++;
+    job->channel = hub_.create(job->id);
+    jobs_[job->id] = job;
+  }
+  if (queue_.push(job) != BoundedMq<std::shared_ptr<Job>>::Push::ok) {
+    finish_job(*job, JobState::cancelled);
+    return 0;
+  }
+  return job->id;
+}
+
+bool JobManager::cancel(uint64_t id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    job = it->second;
+  }
+  const JobState st = job->state.load(std::memory_order_acquire);
+  if (st == JobState::done || st == JobState::cancelled ||
+      st == JobState::failed) {
+    return false;
+  }
+  job->cancel.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<JobStatus> JobManager::status(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshot(*it->second);
+}
+
+std::vector<JobStatus> JobManager::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(snapshot(*job));
+  return out;
+}
+
+JobStatus JobManager::snapshot(const Job& job) const {
+  JobStatus st;
+  st.id = job.id;
+  st.kind = job.spec.kind;
+  st.state = job.state.load(std::memory_order_acquire);
+  st.published = job.channel ? job.channel->published() : 0;
+  st.points_total = job.points_total;
+  st.points_done = job.points_done.load(std::memory_order_relaxed);
+  if (st.state == JobState::failed) st.error = job.error;
+  return st;
+}
+
+void JobManager::shutdown() {
+  if (shutdown_.exchange(true)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, job] : jobs_) {
+      job->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+  // close() is drain-only: executors still pop every queued job and, with
+  // its cancel flag set, immediately finish it as cancelled.
+  queue_.close();
+  for (auto& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void JobManager::executor_loop() {
+  while (auto job = queue_.pop()) {
+    execute(**job);
+  }
+}
+
+void JobManager::execute(Job& job) {
+  if (job.cancel.load(std::memory_order_relaxed)) {
+    finish_job(job, JobState::cancelled);
+    return;
+  }
+  job.state.store(JobState::running, std::memory_order_release);
+  JobState terminal = JobState::done;
+  try {
+    if (job.spec.kind == JobKind::run) {
+      run_single(job);
+    } else {
+      run_grid(job);
+    }
+    if (job.cancel.load(std::memory_order_relaxed)) {
+      terminal = JobState::cancelled;
+    } else if (!job.error.empty()) {
+      terminal = JobState::failed;
+    }
+  } catch (const std::exception& e) {
+    job.error = e.what();
+    terminal = JobState::failed;
+  }
+  finish_job(job, terminal);
+}
+
+void JobManager::finish_job(Job& job, JobState terminal) {
+  job.state.store(terminal, std::memory_order_release);
+  JsonObj done;
+  done.str("type", "job_done")
+      .num("job", static_cast<double>(job.id))
+      .str("state", to_string(terminal))
+      .num("points", static_cast<double>(
+                         job.points_done.load(std::memory_order_relaxed)))
+      .num("total", static_cast<double>(job.points_total));
+  if (terminal == JobState::failed) done.str("error", job.error);
+  job.channel->publish(done.done());
+  job.channel->finish();
+}
+
+void JobManager::run_single(Job& job) {
+  const sweep::SweepPoint& pt = job.spec.point;
+  auto sc = sweep::build_point_scenario(pt, nullptr);
+
+  ChannelSink sink(*job.channel);
+  obs::TelemetryConfig tc;
+  tc.interval = TimeNs::millis(job.spec.interval_ms);
+  tc.sink = &sink;
+  for (const auto& fa : sweep::parse_flow_set(pt.flow_set)) {
+    tc.flow_labels.push_back(fa.cca);
+  }
+  obs::FlowTelemetry telemetry(std::move(tc));
+  telemetry.attach(*sc);
+
+  check::InvariantChecker checker;
+  if (job.spec.check) checker.attach(*sc);
+
+  // Slice-stepped run: identical event stream to a single run_until, with
+  // a bounded-latency cancel check between slices.
+  const TimeNs end = TimeNs::seconds(pt.duration_s);
+  const TimeNs slice = TimeNs::millis(250);
+  TimeNs t = TimeNs::zero();
+  bool completed = true;
+  while (t < end) {
+    if (job.cancel.load(std::memory_order_relaxed)) {
+      completed = false;
+      break;
+    }
+    t = std::min(t + slice, end);
+    sc->run_until(t);
+  }
+  // Even a cancelled run flushes summaries + end line for the time it
+  // reached — subscribers never see a truncated stream.
+  telemetry.finish(t);
+  if (completed) job.points_done.store(1, std::memory_order_relaxed);
+
+  if (job.spec.check && completed) {
+    checker.checkpoint();
+    if (!checker.ok()) job.error = "invariant check failed: " +
+                                   checker.report();
+  }
+}
+
+void JobManager::run_grid(Job& job) {
+  sweep::SweepOptions opt;
+  opt.jobs = job.spec.jobs;
+  opt.cache_dir = opt_.cache_dir;
+  opt.share_prefix = job.spec.share_prefix;
+  opt.starvation_window_ms = job.spec.starvation_window_ms;
+  opt.starvation_threshold = job.spec.starvation_threshold;
+  opt.cancel = &job.cancel;
+  const size_t total = job.points_total;
+  opt.on_line = [&job, total](size_t, const std::string& line, char) {
+    // Two publishes per point; workers may interleave their pairs, but a
+    // record always precedes the progress line that counts it.
+    job.channel->publish(line);
+    const size_t done =
+        job.points_done.fetch_add(1, std::memory_order_relaxed) + 1;
+    job.channel->publish(JsonObj()
+                             .str("type", "progress")
+                             .num("job", static_cast<double>(job.id))
+                             .num("done", static_cast<double>(done))
+                             .num("total", static_cast<double>(total))
+                             .done());
+  };
+  sweep::run_sweep(job.spec.points, opt);
+}
+
+}  // namespace ccstarve::serve

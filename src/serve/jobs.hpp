@@ -1,0 +1,159 @@
+// Job lifecycle for the serve daemon: submit / status / cancel over a
+// small executor pool, with every job's output flowing through its
+// SubscriberHub channel.
+//
+// Two job kinds, both built from the same spec grammar the offline tools
+// use (sweep/spec_parse + sweep/grid):
+//
+//   * run — one scenario with a FlowTelemetry probe attached, streaming
+//     the telemetry JSONL live. The scenario comes from
+//     sweep::build_point_scenario and the probe uses ccstarve_run's
+//     defaults, so for the same spec and seed the payload stream is
+//     byte-identical to `ccstarve_run --metrics` output (the serve smoke
+//     test cmp's exactly this). Cancellation is slice-stepped: run_until
+//     advances in 250 ms sim-time slices between checks of the cancel
+//     flag — behaviourally identical to one run_until call, since slicing
+//     changes no event. A cancelled run still gets telemetry finish() at
+//     the time reached, so subscribers always see well-formed summaries
+//     and an end line, never a truncated stream.
+//
+//   * sweep — a grid on the sweep engine (run_sweep) with the per-run
+//     cancel flag and the on_line hook publishing each point's canonical
+//     record as it completes. Records stream in COMPLETION order (the
+//     engine's hook contract), not grid order; `results` on a finished
+//     job returns the backlog in that same order. Each record is followed
+//     by a {"type":"progress"} control line.
+//
+// Executor threads pull jobs off a BoundedMq; shutdown() cancels
+// everything, closes the queue (drain-only — queued jobs surface as
+// cancelled, never silently vanish) and joins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/hub.hpp"
+#include "serve/protocol.hpp"
+#include "sweep/grid.hpp"
+#include "util/mq.hpp"
+
+namespace ccstarve::serve {
+
+enum class JobKind { run, sweep };
+enum class JobState { queued, running, done, cancelled, failed };
+
+const char* to_string(JobKind k);
+const char* to_string(JobState s);
+
+struct JobSpec {
+  JobKind kind = JobKind::run;
+
+  // run: the single scenario (flow_set/link/rtt/jitter/buffer/seed/
+  // duration used; warmup is a measurement concept and ignored here).
+  sweep::SweepPoint point;
+  double interval_ms = 10;  // telemetry cadence, ccstarve_run's default
+  bool check = false;       // attach the runtime invariant checker
+
+  // sweep: the expanded grid (validated at submit time).
+  std::vector<sweep::SweepPoint> points;
+  unsigned jobs = 0;  // worker threads per sweep; 0 = hardware threads
+  bool share_prefix = false;
+  double starvation_window_ms = 0;
+  double starvation_threshold = 2.0;
+};
+
+// Builds a JobSpec from a submit request. Field grammar mirrors the
+// offline CLIs, flattened into one JSON object:
+//
+//   kind     "run" (default) | "sweep"
+//   flows    run: one flow set. sweep: ';'-separated flow sets (flow
+//            specs themselves use '+' ':' ',', so the list needs a
+//            separator they don't).
+//   link/rtt/duration
+//            run: one number. sweep: an axis spec ("a,b,c" / lin: / log:).
+//   jitter   run: data-path jitter on flow 0. sweep: ';'-separated specs.
+//   buffer   run: one buffer spec. sweep: ';'-separated list.
+//   seed     run: one integer (default 0, like ccstarve_run).
+//   seeds    sweep: axis list (default "1", like the grid).
+//   warmup_frac, jobs, share_prefix, starvation_window (ms),
+//   starvation_threshold
+//            sweep execution knobs, as in ccstarve_sweep.
+//   interval run: telemetry cadence ms.   check: 0/1, run only.
+//
+// Returns nullopt and sets *error on a bad spec (SpecError text included).
+std::optional<JobSpec> parse_job_spec(const Request& req, std::string* error);
+
+struct JobStatus {
+  uint64_t id = 0;
+  JobKind kind = JobKind::run;
+  JobState state = JobState::queued;
+  uint64_t published = 0;    // lines published to the channel so far
+  size_t points_total = 0;   // sweep: grid size; run: 1
+  size_t points_done = 0;
+  std::string error;         // set when state == failed
+};
+
+struct JobManagerOptions {
+  unsigned executors = 1;  // concurrent jobs (each sweep parallelizes within)
+  std::string cache_dir;   // sweep result cache; empty = disabled
+};
+
+class JobManager {
+ public:
+  JobManager(SubscriberHub& hub, JobManagerOptions opt);
+  ~JobManager();
+
+  // Creates the job's channel (subscribable immediately) and queues it.
+  // Returns 0 if the manager is shutting down.
+  uint64_t submit(JobSpec spec);
+
+  // Requests cancellation; false for unknown or already-terminal jobs.
+  // Queued jobs surface as cancelled when an executor reaches them.
+  bool cancel(uint64_t id);
+
+  std::optional<JobStatus> status(uint64_t id) const;
+  std::vector<JobStatus> list() const;
+
+  // Cancels everything, closes the queue and joins the executors. Safe to
+  // call twice; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Job {
+    uint64_t id = 0;
+    JobSpec spec;
+    std::shared_ptr<JobChannel> channel;
+    std::atomic<JobState> state{JobState::queued};
+    std::atomic<bool> cancel{false};
+    std::atomic<size_t> points_done{0};
+    size_t points_total = 0;
+    // Written before state stores `failed` (release); read after an
+    // acquire load observes the terminal state.
+    std::string error;
+  };
+
+  void executor_loop();
+  void execute(Job& job);
+  void run_single(Job& job);
+  void run_grid(Job& job);
+  void finish_job(Job& job, JobState terminal);
+  JobStatus snapshot(const Job& job) const;
+
+  SubscriberHub& hub_;
+  const JobManagerOptions opt_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Job>> jobs_;
+  uint64_t next_id_ = 1;
+  BoundedMq<std::shared_ptr<Job>> queue_{1024};
+  std::vector<std::thread> executors_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace ccstarve::serve

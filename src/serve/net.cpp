@@ -1,0 +1,172 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ccstarve::serve {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+TcpConn::TcpConn(TcpConn&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), buf_(std::move(o.buf_)) {}
+
+TcpConn& TcpConn::operator=(TcpConn&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+    buf_ = std::move(o.buf_);
+  }
+  return *this;
+}
+
+bool TcpConn::read_line(std::string* line) {
+  while (true) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    if (fd_ < 0) return false;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error; a partial final line is discarded
+  }
+}
+
+bool TcpConn::write_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed += '\n';
+  size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void TcpConn::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+bool TcpListener::open(const std::string& host, uint16_t port,
+                       std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = errno_text("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad listen address '" + host + "' (IPv4 literal expected)";
+    close();
+    return false;
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = errno_text("bind");
+    close();
+    return false;
+  }
+  if (::listen(fd_, 64) != 0) {
+    *error = errno_text("listen");
+    close();
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    *error = errno_text("getsockname");
+    close();
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+TcpConn TcpListener::accept_for(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return TcpConn();
+  pollfd pfd{fd_, POLLIN, 0};
+  const int r = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (r <= 0 || (pfd.revents & POLLIN) == 0) return TcpConn();
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return TcpConn();
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(cfd);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() first so a thread parked in poll()/accept() wakes.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpConn tcp_connect(const std::string& host, uint16_t port,
+                    std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = errno_text("socket");
+    return TcpConn();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad address '" + host + "' (IPv4 literal expected)";
+    ::close(fd);
+    return TcpConn();
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = errno_text("connect");
+    ::close(fd);
+    return TcpConn();
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(fd);
+}
+
+}  // namespace ccstarve::serve

@@ -1,0 +1,76 @@
+// Minimal blocking TCP transport for the serve daemon: a poll-able
+// listener and a buffered line-oriented connection. The protocol layer
+// (serve/protocol.hpp) works on strings, so everything socket-specific
+// lives here; tests exercise Server end-to-end through these same classes
+// rather than mocking.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ccstarve::serve {
+
+// Move-only owner of a connected socket. Reading is line-buffered
+// (newline-delimited, CR stripped); writing is all-or-nothing.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn() { close(); }
+  TcpConn(TcpConn&& o) noexcept;
+  TcpConn& operator=(TcpConn&& o) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Next line without its terminator; false on EOF/error with nothing
+  // buffered. Blocks until a full line arrives.
+  bool read_line(std::string* line);
+
+  // Writes `line` plus '\n'; false on a broken connection (SIGPIPE is
+  // suppressed — a dead client must never kill the daemon).
+  bool write_line(const std::string& line);
+
+  // Unblocks any reader/writer on another thread, then releases the fd.
+  void shutdown_both();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+// Listening socket bound to host:port; port 0 picks an ephemeral port
+// (tests and the CI smoke job read it back via port()).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds and listens; false (with *error set) on failure.
+  bool open(const std::string& host, uint16_t port, std::string* error);
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  // Waits up to `timeout` for a connection; invalid TcpConn on timeout or
+  // closed listener. The timeout bounds the accept loop's shutdown latency.
+  TcpConn accept_for(std::chrono::milliseconds timeout);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Client-side connect; invalid TcpConn (with *error set) on failure.
+TcpConn tcp_connect(const std::string& host, uint16_t port,
+                    std::string* error);
+
+}  // namespace ccstarve::serve

@@ -1,0 +1,229 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccstarve::serve {
+
+namespace {
+
+// Canonical number rendering (the sweep/grid + obs/telemetry convention),
+// re-stated here because serve sits above both and the protocol must not
+// drift from the JSONL the jobs emit.
+std::string json_num(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  std::string s = buf;
+  if (s == "-0") s = "0";
+  return s;
+}
+
+struct Cursor {
+  const std::string& s;
+  size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) ++i;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+};
+
+bool parse_json_string(Cursor& c, std::string* out) {
+  if (!c.eat('"')) return false;
+  out->clear();
+  while (c.i < c.s.size()) {
+    const char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.i >= c.s.size()) return false;
+      const char esc = c.s[c.i++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        default: return false;  // \uXXXX etc: not needed by this protocol
+      }
+    } else {
+      *out += ch;
+    }
+  }
+  return false;
+}
+
+bool parse_json_number(Cursor& c, double* out) {
+  c.skip_ws();
+  const char* start = c.s.c_str() + c.i;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  c.i += static_cast<size_t>(end - start);
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string Request::str(const std::string& key,
+                         const std::string& dflt) const {
+  auto s = strs.find(key);
+  if (s != strs.end()) return s->second;
+  auto n = nums.find(key);
+  if (n != nums.end()) return json_num(n->second);
+  return dflt;
+}
+
+double Request::num(const std::string& key, double dflt) const {
+  auto n = nums.find(key);
+  if (n != nums.end()) return n->second;
+  auto s = strs.find(key);
+  if (s != strs.end()) {
+    char* end = nullptr;
+    const double v = std::strtod(s->second.c_str(), &end);
+    if (end != s->second.c_str() && *end == '\0') return v;
+  }
+  return dflt;
+}
+
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error) {
+  Cursor c{line};
+  Request req;
+  if (!c.eat('{')) {
+    *error = "request is not a JSON object";
+    return std::nullopt;
+  }
+  if (!c.peek('}')) {
+    do {
+      std::string key;
+      if (!parse_json_string(c, &key)) {
+        *error = "bad key in request";
+        return std::nullopt;
+      }
+      if (!c.eat(':')) {
+        *error = "missing ':' after key '" + key + "'";
+        return std::nullopt;
+      }
+      c.skip_ws();
+      if (c.peek('"')) {
+        std::string v;
+        if (!parse_json_string(c, &v)) {
+          *error = "bad string value for '" + key + "'";
+          return std::nullopt;
+        }
+        req.strs[key] = std::move(v);
+      } else if (c.s.compare(c.i, 4, "true") == 0) {
+        c.i += 4;
+        req.nums[key] = 1;
+      } else if (c.s.compare(c.i, 5, "false") == 0) {
+        c.i += 5;
+        req.nums[key] = 0;
+      } else if (c.s.compare(c.i, 4, "null") == 0) {
+        c.i += 4;
+        req.nums[key] = 0;
+      } else if (c.peek('{') || c.peek('[')) {
+        *error = "nested values are not part of this protocol (key '" + key +
+                 "')";
+        return std::nullopt;
+      } else {
+        double v = 0;
+        if (!parse_json_number(c, &v)) {
+          *error = "bad value for '" + key + "'";
+          return std::nullopt;
+        }
+        req.nums[key] = v;
+      }
+    } while (c.eat(','));
+  }
+  if (!c.eat('}')) {
+    *error = "unterminated request object";
+    return std::nullopt;
+  }
+  c.skip_ws();
+  if (c.i != line.size()) {
+    *error = "trailing bytes after request object";
+    return std::nullopt;
+  }
+  auto cmd = req.strs.find("cmd");
+  if (cmd == req.strs.end() || cmd->second.empty()) {
+    *error = "request has no \"cmd\"";
+    return std::nullopt;
+  }
+  req.cmd = cmd->second;
+  req.strs.erase(cmd);
+  return req;
+}
+
+JsonObj& JsonObj::str(const char* key, const std::string& v) {
+  if (!first_) j_ += ',';
+  first_ = false;
+  j_ += '"';
+  j_ += key;
+  j_ += "\":\"";
+  for (char c : v) {
+    if (c == '"' || c == '\\') j_ += '\\';
+    j_ += c;
+  }
+  j_ += '"';
+  return *this;
+}
+
+JsonObj& JsonObj::num(const char* key, double v) {
+  if (!first_) j_ += ',';
+  first_ = false;
+  j_ += '"';
+  j_ += key;
+  j_ += "\":";
+  j_ += json_num(v);
+  return *this;
+}
+
+std::string JsonObj::done() {
+  j_ += '}';
+  return std::move(j_);
+}
+
+namespace {
+
+// Extracts the value of a leading {"type":"..."} field, empty if absent.
+// Payload and control lines alike put "type" first (telemetry emission and
+// JsonObj both build objects in field order), so a prefix check suffices.
+std::string line_type(const std::string& line) {
+  static const std::string kPrefix = "{\"type\":\"";
+  if (line.compare(0, kPrefix.size(), kPrefix) != 0) return "";
+  const size_t end = line.find('"', kPrefix.size());
+  if (end == std::string::npos) return "";
+  return line.substr(kPrefix.size(), end - kPrefix.size());
+}
+
+}  // namespace
+
+bool is_control_line(const std::string& line) {
+  const std::string t = line_type(line);
+  return t == "hello" || t == "ok" || t == "error" || t == "job" ||
+         t == "progress" || t == "subscribed" || t == "stream_end" ||
+         t == "job_done" || t == "dropped";
+}
+
+bool is_bulk_line(const std::string& line) {
+  const std::string t = line_type(line);
+  return t == "sample" || t == "link" || t == "ratio";
+}
+
+}  // namespace ccstarve::serve

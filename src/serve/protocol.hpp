@@ -1,0 +1,82 @@
+// ccstarve_serve wire protocol: newline-delimited JSON over a byte stream.
+//
+// Requests are flat one-line JSON objects with a "cmd" string plus
+// string/number fields:
+//
+//   {"cmd":"ping"}
+//   {"cmd":"submit","kind":"run","flows":"copa+copa","link":120,
+//    "rtt":60,"duration":20,"seed":0}
+//   {"cmd":"status","job":1}        {"cmd":"cancel","job":1}
+//   {"cmd":"subscribe","job":1}     {"cmd":"results","job":1}
+//   {"cmd":"shutdown"}
+//
+// Responses and streamed events are one-line JSON objects too. The stream a
+// subscriber sees interleaves two kinds of lines:
+//
+//   * PAYLOAD lines, forwarded verbatim from the job: flow-telemetry
+//     objects (type meta/sample/link/ratio/crossing/flow_summary/end) and
+//     sweep result records (no "type" field at all). These are
+//     byte-identical to what the offline tools write (--metrics JSONL,
+//     sweep --out), which is what makes `ccstarve_client tail` output
+//     `cmp`-equal to an offline run.
+//   * CONTROL lines, originated by the server: type hello/ok/error/job/
+//     progress/subscribed/stream_end/job_done/dropped. Clients filter
+//     these out of payload captures (is_control_line).
+//
+// The protocol layer is deliberately transport-agnostic: requests are
+// parsed from strings and responses built as strings, so the same session
+// logic runs over TCP (serve/net.hpp), a socketpair in tests, or any future
+// transport (websocket framing would wrap these same lines).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ccstarve::serve {
+
+// A parsed flat JSON request: "cmd" plus leftover fields, strings and
+// numbers kept separate (true/false arrive as 1/0).
+struct Request {
+  std::string cmd;
+  std::map<std::string, std::string> strs;
+  std::map<std::string, double> nums;
+
+  bool has(const std::string& key) const {
+    return strs.count(key) != 0 || nums.count(key) != 0;
+  }
+  // String view of a field: verbatim for strings, canonical rendering for
+  // numbers (so "link":60 and "link":"60" mean the same axis spec).
+  std::string str(const std::string& key, const std::string& dflt = "") const;
+  double num(const std::string& key, double dflt = 0.0) const;
+};
+
+// Parses one request line. Returns nullopt (and sets *error) on malformed
+// JSON, a non-flat object, or a missing "cmd".
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error);
+
+// One-line JSON object builder for responses/control events, matching the
+// repo's canonical number rendering (%.12g, -0 -> 0).
+class JsonObj {
+ public:
+  JsonObj& str(const char* key, const std::string& v);
+  JsonObj& num(const char* key, double v);
+  // Serializes and closes; the builder is spent afterwards.
+  std::string done();
+
+ private:
+  std::string j_ = "{";
+  bool first_ = true;
+};
+
+// True for server-originated control lines (see the header comment); false
+// for payload lines a client capture should keep.
+bool is_control_line(const std::string& line);
+
+// The bulk/reliable split for the tiered subscriber queues: sample, link
+// and ratio lines are high-rate and droppable for a slow consumer; every
+// other line (meta, crossings, summaries, records, control) is reliable.
+bool is_bulk_line(const std::string& line);
+
+}  // namespace ccstarve::serve

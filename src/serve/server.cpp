@@ -1,0 +1,266 @@
+#include "serve/server.hpp"
+
+#include "serve/protocol.hpp"
+
+namespace ccstarve::serve {
+
+namespace {
+
+constexpr int kProtoVersion = 1;
+
+std::string error_line(const std::string& msg) {
+  return JsonObj().str("type", "error").str("error", msg).done();
+}
+
+std::string status_line(const JobStatus& st) {
+  JsonObj j;
+  j.str("type", "job")
+      .num("job", static_cast<double>(st.id))
+      .str("kind", to_string(st.kind))
+      .str("state", to_string(st.state))
+      .num("published", static_cast<double>(st.published))
+      .num("done", static_cast<double>(st.points_done))
+      .num("total", static_cast<double>(st.points_total));
+  if (!st.error.empty()) j.str("error", st.error);
+  return j.done();
+}
+
+}  // namespace
+
+Server::Server(ServeOptions opt)
+    : opt_(std::move(opt)),
+      hub_(opt_.backlog_lines, opt_.queue_capacity),
+      jobs_(std::make_unique<JobManager>(
+          hub_, JobManagerOptions{opt_.executors, opt_.cache_dir})) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  if (!listener_.open(opt_.host, opt_.port, error)) return false;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::wait() const {
+  while (!stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  request_stop();
+  // Join the accept loop before touching the listener: it polls with a
+  // short timeout and rechecks stop_requested(), so it exits within one
+  // slice — and the listener fd is never closed under a concurrent poll.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  // Cancel jobs first: every channel finishes, so session threads parked
+  // in a subscription stream drain and fall back to read_line ...
+  jobs_->shutdown();
+  // ... where the socket shutdown wakes them for good.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& s : sessions_) s->conn.shutdown_both();
+    for (auto& s : finished_sessions_) s->conn.shutdown_both();
+  }
+  std::vector<std::unique_ptr<Session>> all;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& s : sessions_) all.push_back(std::move(s));
+    for (auto& s : finished_sessions_) all.push_back(std::move(s));
+    sessions_.clear();
+    finished_sessions_.clear();
+  }
+  for (auto& s : all) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+void Server::accept_loop() {
+  while (!stop_requested()) {
+    TcpConn conn = listener_.accept_for(std::chrono::milliseconds(200));
+    reap_finished_sessions();
+    if (!conn.valid()) continue;
+    auto session = std::make_unique<Session>();
+    session->conn = std::move(conn);
+    Session* raw = session.get();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      if (stopped_) return;  // stop() races the accept: drop the conn
+      sessions_.push_back(std::move(session));
+    }
+    raw->thread = std::thread([this, raw] { session_loop(raw); });
+  }
+}
+
+void Server::reap_finished_sessions() {
+  std::vector<std::unique_ptr<Session>> done;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    done.swap(finished_sessions_);
+  }
+  for (auto& s : done) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+void Server::session_loop(Session* session) {
+  session->conn.write_line(JsonObj()
+                               .str("type", "hello")
+                               .str("service", "ccstarve_serve")
+                               .num("proto", kProtoVersion)
+                               .done());
+  std::string line;
+  while (!stop_requested() && session->conn.read_line(&line)) {
+    if (line.empty()) continue;
+    if (!handle_line(session, line)) break;
+  }
+  // Move ourselves to the finished list; the accept loop (or stop()) joins.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i].get() == session) {
+      finished_sessions_.push_back(std::move(sessions_[i]));
+      sessions_.erase(sessions_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+bool Server::handle_line(Session* session, const std::string& line) {
+  std::string perr;
+  auto req = parse_request(line, &perr);
+  if (!req) return session->conn.write_line(error_line(perr));
+  TcpConn& conn = session->conn;
+
+  if (req->cmd == "ping") {
+    return conn.write_line(JsonObj().str("type", "ok").done());
+  }
+
+  if (req->cmd == "submit") {
+    std::string serr;
+    auto spec = parse_job_spec(*req, &serr);
+    if (!spec) return conn.write_line(error_line(serr));
+    const uint64_t id = jobs_->submit(std::move(*spec));
+    if (id == 0) return conn.write_line(error_line("server is shutting down"));
+    return conn.write_line(JsonObj()
+                               .str("type", "job")
+                               .num("job", static_cast<double>(id))
+                               .str("state", "queued")
+                               .done());
+  }
+
+  if (req->cmd == "status") {
+    if (req->has("job")) {
+      auto st = jobs_->status(static_cast<uint64_t>(req->num("job")));
+      if (!st) return conn.write_line(error_line("no such job"));
+      return conn.write_line(status_line(*st));
+    }
+    for (const auto& st : jobs_->list()) {
+      if (!conn.write_line(status_line(st))) return false;
+    }
+    return conn.write_line(JsonObj().str("type", "ok").done());
+  }
+
+  if (req->cmd == "cancel") {
+    if (!req->has("job")) return conn.write_line(error_line("cancel what?"));
+    if (!jobs_->cancel(static_cast<uint64_t>(req->num("job")))) {
+      return conn.write_line(error_line("no such job (or already finished)"));
+    }
+    return conn.write_line(JsonObj().str("type", "ok").done());
+  }
+
+  if (req->cmd == "results") {
+    const uint64_t id = static_cast<uint64_t>(req->num("job"));
+    auto ch = hub_.get(id);
+    if (!ch) return conn.write_line(error_line("no such job"));
+    const uint64_t evicted = ch->backlog_evicted();
+    if (evicted > 0) {
+      if (!conn.write_line(JsonObj()
+                               .str("type", "dropped")
+                               .num("n", static_cast<double>(evicted))
+                               .done())) {
+        return false;
+      }
+    }
+    for (const auto& l : ch->backlog_snapshot()) {
+      if (!conn.write_line(l)) return false;
+    }
+    return conn.write_line(JsonObj()
+                               .str("type", "stream_end")
+                               .num("job", static_cast<double>(id))
+                               .done());
+  }
+
+  if (req->cmd == "subscribe") {
+    const uint64_t id = static_cast<uint64_t>(req->num("job"));
+    if (hub_.get(id) == nullptr) {
+      return conn.write_line(error_line("no such job"));
+    }
+    stream_subscription(session, id);
+    return conn.valid();
+  }
+
+  if (req->cmd == "shutdown") {
+    conn.write_line(JsonObj().str("type", "ok").done());
+    request_stop();
+    return false;
+  }
+
+  return conn.write_line(error_line("unknown command '" + req->cmd + "'"));
+}
+
+void Server::stream_subscription(Session* session, uint64_t job_id) {
+  auto ch = hub_.get(job_id);
+  auto q = ch->subscribe();
+  TcpConn& conn = session->conn;
+  if (!conn.write_line(JsonObj()
+                           .str("type", "subscribed")
+                           .num("job", static_cast<double>(job_id))
+                           .done())) {
+    q->close();
+    return;
+  }
+  while (true) {
+    // Batch drain: one queue-lock acquisition per burst keeps the
+    // publishing simulation thread off this queue's mutex.
+    const auto batch = q->pop_batch_for(std::chrono::milliseconds(250));
+    for (const StreamItem& item : batch) {
+      if (item.dropped_before > 0 &&
+          !conn.write_line(
+              JsonObj()
+                  .str("type", "dropped")
+                  .num("n", static_cast<double>(item.dropped_before))
+                  .done())) {
+        q->close();
+        return;
+      }
+      if (!conn.write_line(item.text())) {
+        q->close();
+        return;
+      }
+    }
+    if (!batch.empty()) continue;
+    if (q->overflowed()) {
+      conn.write_line(error_line(
+          "subscriber too slow: reliable backlog exceeded the queue"));
+      return;
+    }
+    if (q->drained()) break;
+    if (stop_requested()) {
+      q->close();
+      break;
+    }
+  }
+  conn.write_line(JsonObj()
+                      .str("type", "stream_end")
+                      .num("job", static_cast<double>(job_id))
+                      .num("dropped", static_cast<double>(q->dropped()))
+                      .done());
+}
+
+}  // namespace ccstarve::serve

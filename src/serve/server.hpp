@@ -1,0 +1,102 @@
+// The ccstarve_serve daemon core: accept loop + session-per-connection
+// command handling, glued over JobManager (lifecycle) and SubscriberHub
+// (fan-out). tools/ccstarve_serve.cpp is a thin flag wrapper; tests run a
+// Server in-process on an ephemeral port.
+//
+// Session protocol (one NDJSON line each way; see serve/protocol.hpp):
+//
+//   -> greeting            {"type":"hello","proto":1,...}
+//   ping                   {"type":"ok"}
+//   submit ...             {"type":"job","job":N} or {"type":"error",...}
+//   status [job]           {"type":"job",...} per job
+//   cancel job             {"type":"ok"} / {"type":"error",...}
+//   results job            backlog replay, then {"type":"stream_end",...}
+//   subscribe job          {"type":"subscribed","job":N}, then the live
+//                          stream: payload lines verbatim, a
+//                          {"type":"dropped","n":K} marker wherever the
+//                          slow-consumer policy opened a gap, and finally
+//                          {"type":"stream_end",...} when the job
+//                          finishes. The connection then accepts commands
+//                          again. A subscriber too slow even for the drop
+//                          policy gets {"type":"error"} and is closed.
+//   shutdown               {"type":"ok"}, then the daemon stops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/hub.hpp"
+#include "serve/jobs.hpp"
+#include "serve/net.hpp"
+
+namespace ccstarve::serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;       // 0 = ephemeral (tests); daemons pass a real port
+  unsigned executors = 1;  // concurrent jobs
+  std::string cache_dir;   // sweep result cache; empty = disabled
+  size_t queue_capacity = 8192;   // per-subscriber line queue
+  size_t backlog_lines = 65536;   // per-job replay backlog
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions opt);
+  ~Server();
+
+  // Binds and spawns the accept loop; false (with *error) on bind failure.
+  bool start(std::string* error);
+  uint16_t port() const { return listener_.port(); }
+
+  // Asynchronous stop request — a single atomic store, safe from a signal
+  // handler or a session thread (the shutdown command). The accept loop
+  // and wait() notice within their poll timeouts.
+  void request_stop() { stopping_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+
+  // Full teardown: closes the listener, cancels and joins every job, wakes
+  // and joins every session. Idempotent; the destructor calls it.
+  void stop();
+
+  // Polls until request_stop(); the daemon's main thread parks here.
+  void wait() const;
+
+  JobManager& jobs() { return *jobs_; }
+  SubscriberHub& hub() { return hub_; }
+
+ private:
+  struct Session {
+    TcpConn conn;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void session_loop(Session* session);
+  // One command; returns false when the session should end (EOF, write
+  // failure, shutdown).
+  bool handle_line(Session* session, const std::string& line);
+  void stream_subscription(Session* session, uint64_t job_id);
+  void reap_finished_sessions();
+
+  const ServeOptions opt_;
+  SubscriberHub hub_;
+  std::unique_ptr<JobManager> jobs_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<Session>> finished_sessions_;
+  bool stopped_ = false;
+};
+
+}  // namespace ccstarve::serve

@@ -208,6 +208,12 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
   std::atomic<size_t> completed{0};
   std::mutex progress_mu;
   const ResultCache cache(opt.cache_dir);
+  // Global request_stop() or this run's own cancel flag (serve jobs).
+  auto stopping = [&] {
+    return stop_requested() ||
+           (opt.cancel != nullptr &&
+            opt.cancel->load(std::memory_order_relaxed));
+  };
 
   obs::SweepProfile profile;
   profile.enabled = opt.profile;
@@ -254,6 +260,7 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     lines[i] = std::move(*hit);
     done[i] = 'c';
     note(i, "cached");
+    if (opt.on_line) opt.on_line(i, lines[i], 'c');
     return true;
   };
   auto finish = [&](size_t i, const SweepRecord& rec, char how,
@@ -262,11 +269,12 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     cache.store(effective_key(points[i], opt), lines[i]);
     done[i] = how;
     note(i, how_name);
+    if (opt.on_line) opt.on_line(i, lines[i], how);
   };
 
   if (!share_prefix) {
     parallel_for(n, opt.jobs, [&](size_t i) {
-      if (stop_requested()) return;
+      if (stopping()) return;
       const double wall0 = obs::wall_clock_ms();
       const double cpu0 = obs::thread_cpu_ms();
       if (try_cache(i)) {
@@ -282,7 +290,7 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     // are all cached never builds its stem.
     std::vector<size_t> misses;
     std::vector<SweepPoint> miss_points;
-    for (size_t i = 0; i < n && !stop_requested(); ++i) {
+    for (size_t i = 0; i < n && !stopping(); ++i) {
       const double wall0 = obs::wall_clock_ms();
       const double cpu0 = obs::thread_cpu_ms();
       if (try_cache(i)) {
@@ -300,7 +308,7 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     // was produced.
     const size_t units = plan.groups.size() + plan.solo.size();
     parallel_for(units, opt.jobs, [&](size_t u) {
-      if (stop_requested()) return;
+      if (stopping()) return;
       double wall0 = obs::wall_clock_ms();
       double cpu0 = obs::thread_cpu_ms();
       if (u >= plan.groups.size()) {
@@ -319,7 +327,7 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
         return stem->snapshot();
       }();
       for (size_t m : g.members) {
-        if (stop_requested()) return;
+        if (stopping()) return;
         const size_t i = misses[m];
         const SweepPoint& pt = points[i];
         ForkOptions fo;
@@ -375,7 +383,7 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
   }
   profile.wall_ms = obs::wall_clock_ms() - sweep_wall0;
   out.profile = std::move(profile);
-  out.interrupted = stop_requested();
+  out.interrupted = stopping();
   return out;
 }
 

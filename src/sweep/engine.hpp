@@ -6,7 +6,9 @@
 // resumable; cached points are returned verbatim without re-simulating.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -46,6 +48,18 @@ struct SweepOptions {
   // fork-invariant.
   double starvation_window_ms = 0;
   double starvation_threshold = 2.0;
+  // Per-run cooperative cancellation, for callers that host several sweeps
+  // in one process (the serve daemon runs one per job): when set and *cancel
+  // becomes true, workers finish the point they are on and skip the rest,
+  // exactly like the global request_stop() but scoped to this run. The
+  // outcome has `interrupted` set. The flag must outlive run_sweep.
+  const std::atomic<bool>* cancel = nullptr;
+  // Lifecycle hook: called once per completed point, right after its
+  // canonical JSONL line exists — how is 'r' (simulated), 'c' (cache hit)
+  // or 'f' (forked continuation). Invoked concurrently from worker threads
+  // in completion order (NOT grid order); the callee synchronizes. Skipped
+  // points never reach the hook.
+  std::function<void(size_t index, const std::string& line, char how)> on_line;
 };
 
 struct SweepStats {

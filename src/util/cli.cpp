@@ -1,0 +1,155 @@
+#include "util/cli.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccstarve::cli {
+
+namespace {
+
+// Full-string numeric conversions: the std::sto* family accepts trailing
+// garbage ("60x" parses as 60), which hides typos in grid specs. Reject
+// anything that does not consume the whole value.
+template <typename T, typename Conv>
+T parse_full(const std::string& name, const std::string& v, Conv conv) {
+  if (v.empty()) throw UsageError("flag " + name + " wants a value");
+  errno = 0;
+  char* end = nullptr;
+  const auto parsed = conv(v.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    throw UsageError("bad value '" + v + "' for " + name);
+  }
+  return static_cast<T>(parsed);
+}
+
+}  // namespace
+
+Flags::Flags(std::string prog) : prog_(std::move(prog)) {}
+
+void Flags::add(std::string name, Kind kind,
+                std::function<void(const std::string&)> on_value,
+                std::function<void()> on_switch) {
+  specs_.push_back(
+      Spec{std::move(name), kind, std::move(on_value), std::move(on_switch)});
+}
+
+void Flags::value(const std::string& name, double* out) {
+  add(name, Kind::value, [name, out](const std::string& v) {
+    *out = parse_full<double>(name, v, [](const char* s, char** e) {
+      return std::strtod(s, e);
+    });
+  }, nullptr);
+}
+
+void Flags::value(const std::string& name, std::string* out) {
+  add(name, Kind::value, [out](const std::string& v) { *out = v; }, nullptr);
+}
+
+void Flags::value(const std::string& name, uint64_t* out) {
+  add(name, Kind::value, [name, out](const std::string& v) {
+    if (!v.empty() && v[0] == '-') {
+      throw UsageError("bad value '" + v + "' for " + name);
+    }
+    *out = parse_full<uint64_t>(name, v, [](const char* s, char** e) {
+      return std::strtoull(s, e, 10);
+    });
+  }, nullptr);
+}
+
+void Flags::value(const std::string& name, unsigned* out) {
+  add(name, Kind::value, [name, out](const std::string& v) {
+    if (!v.empty() && v[0] == '-') {
+      throw UsageError("bad value '" + v + "' for " + name);
+    }
+    const unsigned long parsed =
+        parse_full<unsigned long>(name, v, [](const char* s, char** e) {
+          return std::strtoul(s, e, 10);
+        });
+    *out = static_cast<unsigned>(parsed);
+  }, nullptr);
+}
+
+void Flags::value(const std::string& name, int* out) {
+  add(name, Kind::value, [name, out](const std::string& v) {
+    *out = static_cast<int>(
+        parse_full<long>(name, v, [](const char* s, char** e) {
+          return std::strtol(s, e, 10);
+        }));
+  }, nullptr);
+}
+
+void Flags::each(const std::string& name,
+                 std::function<void(const std::string&)> fn) {
+  add(name, Kind::value, std::move(fn), nullptr);
+}
+
+void Flags::toggle(const std::string& name, bool* out) {
+  add(name, Kind::switch_, nullptr, [out] { *out = true; });
+}
+
+void Flags::on(const std::string& name, std::function<void()> fn) {
+  add(name, Kind::switch_, nullptr, std::move(fn));
+}
+
+void Flags::optional_value(
+    const std::string& name,
+    std::function<void(const std::string&)> bare_or_value) {
+  auto shared = std::move(bare_or_value);
+  add(name, Kind::optional, shared, [shared] { shared(""); });
+}
+
+void Flags::positionals(std::vector<std::string>* out) { positionals_ = out; }
+
+void Flags::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("see the header comment of tools/%s.cpp\n", prog_.c_str());
+      std::exit(0);
+    }
+    if (arg.compare(0, 2, "--") != 0) {
+      if (positionals_ != nullptr) {
+        positionals_->push_back(arg);
+        continue;
+      }
+      throw UsageError("unexpected argument '" + arg + "' (try --help)");
+    }
+    const size_t eq = arg.find('=');
+    const std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const Spec* spec = nullptr;
+    for (const Spec& s : specs_) {
+      if (s.name == name) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      throw UsageError("unknown flag '" + arg + "' (try --help)");
+    }
+    const bool has_value = eq != std::string::npos;
+    switch (spec->kind) {
+      case Kind::value:
+        if (!has_value) {
+          throw UsageError("flag " + name + " wants " + name + "=<value>");
+        }
+        spec->on_value(arg.substr(eq + 1));
+        break;
+      case Kind::switch_:
+        if (has_value) {
+          throw UsageError("flag " + name + " takes no value");
+        }
+        spec->on_switch();
+        break;
+      case Kind::optional:
+        if (has_value) {
+          spec->on_value(arg.substr(eq + 1));
+        } else {
+          spec->on_switch();
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace ccstarve::cli

@@ -1,0 +1,90 @@
+// Shared --flag=value command-line parsing for the tools/ binaries.
+//
+// Every CLI in this repo speaks the same dialect: long flags with '='-glued
+// values ("--link=120"), bare boolean switches ("--quiet"), repeatable flags
+// whose order matters ("--flow=..."), and -h/--help printing a pointer to
+// the tool's header comment. Each binary used to hand-roll the same
+// prefix-compare loop; cli::Flags centralizes it so new tools get the
+// dialect (and its error messages) for free.
+//
+//   cli::Flags flags("ccstarve_run");
+//   flags.value("--link", &link_mbps);
+//   flags.each("--flow", [&](const std::string& v) { ... });
+//   flags.toggle("--check", &check);
+//   flags.parse(argc, argv);        // throws cli::UsageError on bad input
+//
+// parse() handles --help/-h itself (prints the standard header-comment
+// pointer and exits 0) and throws UsageError for unknown flags or
+// unparsable values; tools catch it alongside their other fatal errors.
+// Positional (non-flag) arguments are rejected unless positionals() was
+// called, in which case they are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ccstarve::cli {
+
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Flags {
+ public:
+  // `prog` names the binary in error messages and the --help pointer.
+  explicit Flags(std::string prog);
+
+  // --name=value flags bound to a typed variable. Values are parsed with
+  // the same std::sto* conversions the tools used, but a trailing-garbage
+  // or empty value is an error instead of being silently truncated.
+  void value(const std::string& name, double* out);
+  void value(const std::string& name, std::string* out);
+  void value(const std::string& name, uint64_t* out);
+  void value(const std::string& name, unsigned* out);
+  void value(const std::string& name, int* out);
+
+  // --name=value flag whose occurrences (in order) go to `fn`; use for
+  // repeatable flags and for values needing custom validation.
+  void each(const std::string& name, std::function<void(const std::string&)> fn);
+
+  // Bare switch: "--name" sets *out. "--name=..." is rejected.
+  void toggle(const std::string& name, bool* out);
+  // Bare switch routed to a callback.
+  void on(const std::string& name, std::function<void()> fn);
+
+  // A flag usable both bare and with a value, e.g. --profile[=path].
+  void optional_value(const std::string& name,
+                      std::function<void(const std::string&)> bare_or_value);
+
+  // Collect non-flag arguments (subcommands, file operands) here instead of
+  // rejecting them. Arguments starting with "--" are still parsed as flags.
+  void positionals(std::vector<std::string>* out);
+
+  // Parses argv[1..argc-1]. On --help or -h prints the standard pointer to
+  // the tool's header comment and exits 0. Throws UsageError on an unknown
+  // flag, a malformed value, or an unexpected positional.
+  void parse(int argc, char** argv) const;
+
+ private:
+  enum class Kind { value, switch_, optional };
+  struct Spec {
+    std::string name;  // including leading "--"
+    Kind kind;
+    std::function<void(const std::string&)> on_value;  // value / optional
+    std::function<void()> on_switch;                   // switch_ / optional
+  };
+
+  void add(std::string name, Kind kind,
+           std::function<void(const std::string&)> on_value,
+           std::function<void()> on_switch);
+
+  std::string prog_;
+  std::vector<Spec> specs_;
+  std::vector<std::string>* positionals_ = nullptr;
+};
+
+}  // namespace ccstarve::cli

@@ -1,0 +1,31 @@
+#include "util/files.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace ccstarve {
+
+bool write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& fill) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return false;
+    fill(os);
+    os.flush();
+    if (!os) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,21 @@
+// Atomic whole-file writes: write to "<path>.tmp", fsync-free rename over
+// the destination. Readers (and a crash or a second SIGINT mid-flush) see
+// either the old complete file or the new complete file, never a truncated
+// record — the same idiom sweep/cache.cpp uses per cache entry, shared here
+// so tool-level outputs (--out JSONL, profiles, bench JSON) get it too.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace ccstarve {
+
+// Runs `fill` on an ofstream for "<path>.tmp", then renames over `path`.
+// Returns false (and removes the temp file) if the file cannot be opened,
+// the stream errors, or the rename fails. A `path` of "-" is the caller's
+// stdout convention and is NOT handled here.
+bool write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& fill);
+
+}  // namespace ccstarve

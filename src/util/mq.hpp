@@ -1,0 +1,121 @@
+// Bounded multi-producer message queue (mutex + condvar, header-only).
+//
+// The serving subsystem's decoupling primitive: simulation threads push
+// telemetry/records into per-consumer queues and must NEVER be blocked or
+// slowed unboundedly by the consumer side, so the hot producer entry point
+// is try_push (non-blocking; a full queue is the caller's signal to apply
+// its drop/coalesce policy — see serve/hub.hpp for the tiered version).
+// Blocking push/pop exist for work-queue uses (the job executor pool) where
+// waiting is the point.
+//
+// close() makes the queue drain-only: blocked producers wake with
+// Push::closed, blocked consumers drain what is buffered and then get
+// nullopt. This is the shutdown-while-blocked contract the serve tests pin:
+// no spurious hangs, no lost in-flight items.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ccstarve {
+
+template <typename T>
+class BoundedMq {
+ public:
+  enum class Push { ok, would_block, closed };
+
+  explicit BoundedMq(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  // Non-blocking: full => would_block (item NOT enqueued), closed => closed.
+  Push try_push(T v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return Push::closed;
+      if (items_.size() >= capacity_) return Push::would_block;
+      items_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return Push::ok;
+  }
+
+  // Blocking: waits for space. Returns closed if the queue is (or becomes)
+  // closed while waiting; the item is then NOT enqueued.
+  Push push(T v) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return Push::closed;
+      items_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return Push::ok;
+  }
+
+  // Blocking: waits for an item. nullopt only when closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return take(lock);
+  }
+
+  // Bounded wait; nullopt on timeout or on closed-and-drained.
+  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    return take(lock);
+  }
+
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return take(lock);
+  }
+
+  // Drain-only from here on; wakes every blocked producer and consumer.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Pops the front under `lock` (if any) and signals a waiting producer.
+  std::optional<T> take(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ccstarve

@@ -12,6 +12,7 @@
 //     end-of-run verdict.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <optional>
@@ -68,6 +69,25 @@ TEST(RingSeries, EmptyAndZeroCapacity) {
   EXPECT_DOUBLE_EQ(r.back().value, 2.0);
 }
 
+TEST(RingSeries, WraparoundKeepsExactTailAcrossManyLaps) {
+  // Push far more samples than capacity with a capacity that does not
+  // divide the total, so the head lands mid-buffer; at() must still walk
+  // oldest-to-newest through the seam after every lap.
+  RingSeries r(7);
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    r.push(TimeNs::millis(static_cast<double>(i)), static_cast<double>(i));
+    EXPECT_EQ(r.total(), i);
+    EXPECT_EQ(r.size(), std::min<uint64_t>(i, 7));
+    // The retained window is exactly the newest size() samples, in order.
+    const uint64_t oldest = i - r.size() + 1;
+    for (size_t k = 0; k < r.size(); ++k) {
+      EXPECT_DOUBLE_EQ(r.at(k).value, static_cast<double>(oldest + k));
+    }
+    EXPECT_DOUBLE_EQ(r.back().value, static_cast<double>(i));
+  }
+  EXPECT_EQ(r.total() - r.size(), 993u);  // evicted count
+}
+
 // ---------------------------------------------------------------------------
 // P2Quantile / StreamingAggregate
 
@@ -119,6 +139,49 @@ TEST(StreamingAggregate, MatchesClosedFormOnKnownData) {
   EXPECT_LE(a.p50(), a.max());
   EXPECT_LE(a.p50(), a.p90());
   EXPECT_LE(a.p90(), a.p99());
+}
+
+TEST(StreamingAggregate, P2StaysAccurateOnVeryLongRuns) {
+  // A long-horizon serve job pushes millions of samples through one
+  // aggregate; the P² markers must not drift. Deterministic LCG uniform
+  // on [0, 1): exact quantiles are the probabilities themselves.
+  StreamingAggregate a;
+  uint64_t s = 99;
+  for (int i = 0; i < 2'000'000; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    a.add(static_cast<double>(s >> 11) / 9007199254740992.0);  // 53-bit
+  }
+  EXPECT_EQ(a.count(), 2'000'000u);
+  EXPECT_NEAR(a.mean(), 0.5, 1e-3);
+  EXPECT_NEAR(a.variance(), 1.0 / 12.0, 1e-3);
+  EXPECT_NEAR(a.p50(), 0.50, 5e-3);
+  EXPECT_NEAR(a.p90(), 0.90, 5e-3);
+  EXPECT_NEAR(a.p99(), 0.99, 5e-3);
+  EXPECT_GE(a.min(), 0.0);
+  EXPECT_LT(a.max(), 1.0);
+}
+
+TEST(StreamingAggregate, P2TracksDistributionShiftMidRun) {
+  // The estimator keeps converging when the distribution changes — the
+  // live-telemetry case where a flow's RTT regime shifts mid-experiment.
+  StreamingAggregate a;
+  uint64_t s = 7;
+  auto uniform = [&s](double lo, double hi) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return lo + (hi - lo) * static_cast<double>(s >> 11) / 9007199254740992.0;
+  };
+  for (int i = 0; i < 500'000; ++i) a.add(uniform(0.0, 1.0));
+  for (int i = 0; i < 1'500'000; ++i) a.add(uniform(10.0, 11.0));
+  // Overall: 25% of mass on [0,1), 75% on [10,11), so the true p50/p90/p99
+  // all sit inside the second mode. P² adapts with some lag on
+  // non-stationary input, so the bound is membership in the new mode (the
+  // markers migrated), not tight convergence.
+  EXPECT_GT(a.p50(), 10.0);
+  EXPECT_LT(a.p50(), 11.0);
+  EXPECT_GT(a.p90(), 10.5);
+  EXPECT_LT(a.p90(), 11.0);
+  EXPECT_GT(a.p99(), 10.8);
+  EXPECT_NEAR(a.mean(), 0.25 * 0.5 + 0.75 * 10.5, 0.02);
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +352,64 @@ TEST(FlowTelemetry, ForkAttachedSeriesMatchesColdAttached) {
   }
   EXPECT_EQ(cold_probe.starvation().first_crossing(),
             fork_probe.starvation().first_crossing());
+}
+
+// ---------------------------------------------------------------------------
+// TelemetrySink interchangeability
+
+// The guarantee the serve subsystem's live streaming stands on: the line
+// sequence a probe emits is identical whichever sink receives it. Runs the
+// same golden scenario through the historical jsonl-ostream path and
+// through a TeeSink fanning out to an OstreamSink and a MemorySink, and
+// requires all three captures byte-equal.
+TEST(TelemetrySink, OstreamMemoryAndTeeObserveIdenticalLineSequences) {
+  golden::GoldenSpec spec = golden::golden_specs().front();
+  const TimeNs end = TimeNs::seconds(spec.duration_s);
+
+  auto lines_of = [](const std::string& text) {
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    std::string l;
+    while (std::getline(is, l)) out.push_back(l);
+    return out;
+  };
+
+  // Historical path: config.jsonl (FlowTelemetry owns an OstreamSink).
+  std::ostringstream via_jsonl;
+  {
+    auto sc = golden::build_golden(spec);
+    TelemetryConfig tc;
+    tc.jsonl = &via_jsonl;
+    FlowTelemetry probe{std::move(tc)};
+    probe.attach(*sc);
+    sc->run_until(end);
+    probe.finish(end);
+  }
+
+  // Sink path: one run, fanned out to two sink types at once.
+  std::ostringstream via_tee;
+  MemorySink memory(1u << 20);
+  {
+    auto sc = golden::build_golden(spec);
+    OstreamSink ostream_sink(via_tee);
+    TeeSink tee;
+    tee.add(&ostream_sink);
+    tee.add(&memory);
+    TelemetryConfig tc;
+    tc.sink = &tee;
+    FlowTelemetry probe{std::move(tc)};
+    probe.attach(*sc);
+    sc->run_until(end);
+    probe.finish(end);
+  }
+
+  const auto a = lines_of(via_jsonl.str());
+  const auto b = lines_of(via_tee.str());
+  const auto c = memory.snapshot();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(memory.evicted(), 0u);
 }
 
 // ---------------------------------------------------------------------------

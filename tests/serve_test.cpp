@@ -1,0 +1,721 @@
+// Tests for the serve subsystem (src/serve) and its util underpinnings:
+//
+//   * BoundedMq: the backpressure/shutdown contract — non-blocking
+//     producers see would_block, blocked producers and consumers wake on
+//     close(), buffered items survive close (drain-only).
+//   * SubscriberQueue: the tiered drop/coalesce policy — bulk lines drop
+//     oldest-first with coalesced gap counts, the reliable skeleton is
+//     never dropped or reordered, an all-reliable overflow kills the
+//     subscriber, and a fast consumer sees zero drops.
+//   * JobChannel: exactly-once ordered delivery across the backlog-replay/
+//     live boundary, eviction surfacing as a preloaded drop count.
+//   * protocol: request parsing, response building, line classification.
+//   * JobManager + Server: jobs end-to-end — the streamed payload of a run
+//     job is byte-identical to the same scenario's offline telemetry
+//     (ccstarve_run --metrics equivalence), sweep jobs stream records and
+//     cancel mid-grid, and the TCP server survives subscribe/cancel/
+//     shutdown sequences.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/hub.hpp"
+#include "serve/jobs.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/spec_parse.hpp"
+#include "util/mq.hpp"
+
+using namespace ccstarve;
+using namespace ccstarve::serve;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// BoundedMq
+
+TEST(BoundedMq, TryPushReportsFullWithoutEnqueuing) {
+  BoundedMq<int> q(2);
+  EXPECT_EQ(q.try_push(1), BoundedMq<int>::Push::ok);
+  EXPECT_EQ(q.try_push(2), BoundedMq<int>::Push::ok);
+  EXPECT_EQ(q.try_push(3), BoundedMq<int>::Push::would_block);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.try_push(3), BoundedMq<int>::Push::ok);
+}
+
+TEST(BoundedMq, PopForTimesOutOnEmpty) {
+  BoundedMq<int> q(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(25));
+}
+
+TEST(BoundedMq, CloseWakesBlockedProducerAndConsumer) {
+  BoundedMq<int> q(1);
+  ASSERT_EQ(q.push(1), BoundedMq<int>::Push::ok);
+
+  std::atomic<bool> producer_woke{false}, consumer_woke{false};
+  std::thread producer([&] {
+    // Queue is full: this blocks until close().
+    EXPECT_EQ(q.push(2), BoundedMq<int>::Push::closed);
+    producer_woke = true;
+  });
+  BoundedMq<int> empty(1);
+  std::thread consumer([&] {
+    EXPECT_FALSE(empty.pop().has_value());
+    consumer_woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(producer_woke.load());
+  EXPECT_FALSE(consumer_woke.load());
+  q.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(producer_woke.load());
+  EXPECT_TRUE(consumer_woke.load());
+  // Drain-only: the buffered item survives the close.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedMq, MultiProducerItemsAllArriveExactlyOnce) {
+  BoundedMq<int> q(8);
+  constexpr int kProducers = 4, kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_EQ(q.push(p * kPerProducer + i), BoundedMq<int>::Push::ok);
+      }
+    });
+  }
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  int got = 0;
+  while (got < kProducers * kPerProducer) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    ++seen[static_cast<size_t>(*v)];
+    ++got;
+  }
+  for (int p : seen) EXPECT_EQ(p, 1);
+  for (auto& t : producers) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// SubscriberQueue tier policy
+
+std::string bulk(int i) {
+  return "{\"type\":\"sample\",\"i\":" + std::to_string(i) + "}";
+}
+std::string reliable(int i) {
+  return "{\"type\":\"crossing\",\"i\":" + std::to_string(i) + "}";
+}
+
+TEST(SubscriberQueue, FastConsumerSeesEverythingInOrderNoDrops) {
+  SubscriberQueue q(4);
+  std::vector<std::string> out;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(q.offer(i % 3 == 0 ? reliable(i) : bulk(i)));
+    while (auto item = q.pop_for(std::chrono::milliseconds(0))) {
+      EXPECT_EQ(item->dropped_before, 0u);
+      out.push_back(item->text());
+    }
+  }
+  EXPECT_EQ(out.size(), 32u);
+  EXPECT_EQ(q.dropped(), 0u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)],
+              i % 3 == 0 ? reliable(i) : bulk(i));
+  }
+}
+
+TEST(SubscriberQueue, OverflowDropsOldestBulkAndCoalescesGapCount) {
+  SubscriberQueue q(3);
+  ASSERT_TRUE(q.offer(bulk(0)));
+  ASSERT_TRUE(q.offer(bulk(1)));
+  ASSERT_TRUE(q.offer(reliable(2)));
+  // Full. Two more arrivals evict bulk(0) then bulk(1); their gap counts
+  // coalesce onto whatever followed them.
+  ASSERT_TRUE(q.offer(bulk(3)));
+  ASSERT_TRUE(q.offer(reliable(4)));
+  EXPECT_EQ(q.dropped(), 2u);
+
+  auto a = q.pop_for(std::chrono::milliseconds(0));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->text(), reliable(2));
+  EXPECT_EQ(a->dropped_before, 2u);  // bulk(0) + bulk(1)
+  auto b = q.pop_for(std::chrono::milliseconds(0));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->text(), bulk(3));
+  EXPECT_EQ(b->dropped_before, 0u);
+  auto c = q.pop_for(std::chrono::milliseconds(0));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->text(), reliable(4));
+  EXPECT_FALSE(q.overflowed());
+}
+
+TEST(SubscriberQueue, BulkIncomingToAllReliableQueueIsCountedNotEnqueued) {
+  SubscriberQueue q(2);
+  ASSERT_TRUE(q.offer(reliable(0)));
+  ASSERT_TRUE(q.offer(reliable(1)));
+  // Nothing droppable in the queue; the incoming bulk line is the drop.
+  ASSERT_TRUE(q.offer(bulk(2)));
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+  // The gap surfaces on the NEXT enqueued line.
+  auto a = q.pop_for(std::chrono::milliseconds(0));
+  EXPECT_EQ(a->text(), reliable(0));
+  auto b = q.pop_for(std::chrono::milliseconds(0));
+  EXPECT_EQ(b->text(), reliable(1));
+  ASSERT_TRUE(q.offer(reliable(3)));
+  auto c = q.pop_for(std::chrono::milliseconds(0));
+  EXPECT_EQ(c->text(), reliable(3));
+  EXPECT_EQ(c->dropped_before, 1u);
+}
+
+TEST(SubscriberQueue, ReliableIncomingToAllReliableQueueOverflows) {
+  SubscriberQueue q(2);
+  ASSERT_TRUE(q.offer(reliable(0)));
+  ASSERT_TRUE(q.offer(reliable(1)));
+  EXPECT_FALSE(q.offer(reliable(2)));
+  EXPECT_TRUE(q.overflowed());
+  EXPECT_FALSE(q.offer(reliable(3)));  // dead once overflowed
+  EXPECT_TRUE(q.drained());            // closed and cleared
+}
+
+TEST(SubscriberQueue, PreloadedDropsAttachToFirstLine) {
+  SubscriberQueue q(4);
+  q.preload_dropped(7);
+  ASSERT_TRUE(q.offer(reliable(0)));
+  auto a = q.pop_for(std::chrono::milliseconds(0));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->dropped_before, 7u);
+  EXPECT_EQ(q.dropped(), 7u);
+}
+
+TEST(SubscriberQueue, CloseWakesBlockedConsumer) {
+  SubscriberQueue q(4);
+  std::thread consumer([&] {
+    auto item = q.pop_for(std::chrono::milliseconds(5000));
+    EXPECT_FALSE(item.has_value());
+    EXPECT_TRUE(q.drained());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+// ---------------------------------------------------------------------------
+// JobChannel
+
+TEST(JobChannel, SubscribeReplaysBacklogThenStreamsLiveExactlyOnce) {
+  JobChannel ch(/*backlog_lines=*/1024, /*queue_capacity=*/1024);
+  for (int i = 0; i < 5; ++i) ch.publish(reliable(i));
+  auto q = ch.subscribe();
+  for (int i = 5; i < 10; ++i) ch.publish(reliable(i));
+  ch.finish();
+  std::vector<std::string> got;
+  while (auto item = q->pop_for(std::chrono::milliseconds(100))) {
+    EXPECT_EQ(item->dropped_before, 0u);
+    got.push_back(item->text());
+  }
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)], reliable(i));
+  }
+  EXPECT_TRUE(q->drained());
+}
+
+TEST(JobChannel, LateSubscriberPastEvictionGetsDropMarker) {
+  JobChannel ch(/*backlog_lines=*/4, /*queue_capacity=*/64);
+  for (int i = 0; i < 10; ++i) ch.publish(reliable(i));
+  EXPECT_EQ(ch.backlog_evicted(), 6u);
+  auto q = ch.subscribe();
+  auto first = q->pop_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->text(), reliable(6));
+  EXPECT_EQ(first->dropped_before, 6u);
+}
+
+TEST(JobChannel, SubscribeAfterFinishIsPureReplay) {
+  JobChannel ch(1024, 1024);
+  ch.publish(reliable(0));
+  ch.finish();
+  ch.publish(reliable(1));  // post-finish publishes are ignored
+  auto q = ch.subscribe();
+  auto a = q->pop_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->text(), reliable(0));
+  EXPECT_FALSE(q->pop_for(std::chrono::milliseconds(10)).has_value());
+  EXPECT_TRUE(q->drained());
+  EXPECT_EQ(ch.published(), 1u);
+}
+
+TEST(JobChannel, OverflowedSubscriberIsForgottenOthersKeepStreaming) {
+  JobChannel ch(1024, /*queue_capacity=*/2);
+  auto slow = ch.subscribe();
+  auto fast = ch.subscribe();
+  EXPECT_EQ(ch.subscriber_count(), 2u);
+  int fast_got = 0;
+  for (int i = 0; i < 8; ++i) {
+    ch.publish(reliable(i));
+    while (fast->pop_for(std::chrono::milliseconds(0))) ++fast_got;
+  }
+  EXPECT_TRUE(slow->overflowed());
+  EXPECT_EQ(ch.subscriber_count(), 1u);
+  EXPECT_EQ(fast_got, 8);
+}
+
+// ---------------------------------------------------------------------------
+// protocol
+
+TEST(Protocol, ParsesFlatRequests) {
+  std::string err;
+  auto r = parse_request(
+      R"({"cmd":"submit","flows":"copa+copa","link":120,"check":true})",
+      &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  EXPECT_EQ(r->cmd, "submit");
+  EXPECT_EQ(r->str("flows"), "copa+copa");
+  EXPECT_EQ(r->num("link"), 120.0);
+  EXPECT_EQ(r->num("check"), 1.0);
+  EXPECT_FALSE(r->has("port"));
+  // Cross-type views: numbers render canonically, numeric strings parse.
+  EXPECT_EQ(r->str("link"), "120");
+}
+
+TEST(Protocol, NumFallsBackToParsingStringFields) {
+  std::string err;
+  auto r = parse_request(R"({"cmd":"submit","link":"60","rtt":"x"})", &err);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->num("link", -1), 60.0);
+  EXPECT_EQ(r->num("rtt", -1), -1.0);  // unparsable -> default
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  std::string err;
+  EXPECT_FALSE(parse_request("", &err).has_value());
+  EXPECT_FALSE(parse_request("not json", &err).has_value());
+  EXPECT_FALSE(parse_request(R"({"flows":"copa"})", &err).has_value());
+  EXPECT_FALSE(parse_request(R"({"cmd":"x","nested":{"a":1}})", &err)
+                   .has_value());
+  EXPECT_FALSE(parse_request(R"({"cmd":"x"} trailing)", &err).has_value());
+  EXPECT_FALSE(parse_request(R"({"cmd":"x")", &err).has_value());
+}
+
+TEST(Protocol, JsonObjEscapesAndRendersCanonicalNumbers) {
+  EXPECT_EQ(JsonObj().str("a", "q\"b\\c").num("n", -0.0).done(),
+            R"({"a":"q\"b\\c","n":0})");
+  EXPECT_EQ(JsonObj().done(), "{}");
+}
+
+TEST(Protocol, ClassifiesControlAndBulkLines) {
+  EXPECT_TRUE(is_control_line(R"({"type":"hello","proto":1})"));
+  EXPECT_TRUE(is_control_line(R"({"type":"stream_end","job":1})"));
+  EXPECT_FALSE(is_control_line(R"({"type":"sample","t":0.01})"));
+  EXPECT_FALSE(is_control_line(R"({"key":"flows=...","jain":1})"));
+
+  EXPECT_TRUE(is_bulk_line(R"({"type":"sample","t":0.01})"));
+  EXPECT_TRUE(is_bulk_line(R"({"type":"link","t":0.01})"));
+  EXPECT_TRUE(is_bulk_line(R"({"type":"ratio","t":0.01})"));
+  EXPECT_FALSE(is_bulk_line(R"({"type":"meta","flows":2})"));
+  EXPECT_FALSE(is_bulk_line(R"({"type":"crossing","t":1})"));
+  EXPECT_FALSE(is_bulk_line(R"({"key":"flows=...","jain":1})"));
+}
+
+// ---------------------------------------------------------------------------
+// parse_job_spec
+
+Request make_request(const std::string& line) {
+  std::string err;
+  auto r = parse_request(line, &err);
+  EXPECT_TRUE(r.has_value()) << err;
+  return *r;
+}
+
+TEST(JobSpecParse, RunDefaultsMirrorCcstarveRun) {
+  std::string err;
+  auto spec = parse_job_spec(
+      make_request(R"({"cmd":"submit","flows":"copa+copa"})"), &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  EXPECT_EQ(spec->kind, JobKind::run);
+  EXPECT_EQ(spec->point.flow_set, "copa+copa");
+  EXPECT_EQ(spec->point.link_mbps, 60.0);
+  EXPECT_EQ(spec->point.rtt_ms, 60.0);
+  EXPECT_EQ(spec->point.duration_s, 60.0);
+  EXPECT_EQ(spec->point.seed, 0u);  // ccstarve_run's default, not the grid's
+  EXPECT_EQ(spec->interval_ms, 10.0);
+  EXPECT_FALSE(spec->check);
+}
+
+TEST(JobSpecParse, SweepGridExpandsAxes) {
+  std::string err;
+  auto spec = parse_job_spec(
+      make_request(R"({"cmd":"submit","kind":"sweep",)"
+                   R"("flows":"copa+copa;bbr+bbr","link":"20,60",)"
+                   R"("seeds":"1,2"})"),
+      &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  EXPECT_EQ(spec->kind, JobKind::sweep);
+  EXPECT_EQ(spec->points.size(), 2u * 2u * 2u);
+}
+
+TEST(JobSpecParse, RejectsBadSpecs) {
+  std::string err;
+  EXPECT_FALSE(
+      parse_job_spec(make_request(R"({"cmd":"submit"})"), &err).has_value());
+  EXPECT_FALSE(parse_job_spec(
+                   make_request(R"({"cmd":"submit","kind":"walk"})"), &err)
+                   .has_value());
+  EXPECT_FALSE(
+      parse_job_spec(
+          make_request(R"({"cmd":"submit","flows":"definitely-not-a-cca"})"),
+          &err)
+          .has_value());
+  EXPECT_FALSE(parse_job_spec(make_request(R"({"cmd":"submit","kind":"sweep",)"
+                                           R"("flows":"copa+copa",)"
+                                           R"("link":"lin:bad"})"),
+                              &err)
+                   .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// JobManager: byte-identity, cancellation, sweep streaming
+
+// The offline reference: the same scenario run the way ccstarve_run
+// --metrics runs it, lines captured in a MemorySink.
+std::vector<std::string> offline_telemetry_lines(const sweep::SweepPoint& pt,
+                                                 double interval_ms) {
+  auto sc = sweep::build_point_scenario(pt, nullptr);
+  obs::MemorySink sink(1u << 20);
+  obs::TelemetryConfig tc;
+  tc.interval = TimeNs::millis(interval_ms);
+  tc.sink = &sink;
+  for (const auto& fa : sweep::parse_flow_set(pt.flow_set)) {
+    tc.flow_labels.push_back(fa.cca);
+  }
+  obs::FlowTelemetry telemetry(std::move(tc));
+  telemetry.attach(*sc);
+  sc->run_until(TimeNs::seconds(pt.duration_s));
+  telemetry.finish(TimeNs::seconds(pt.duration_s));
+  return sink.snapshot();
+}
+
+// Drains a subscription to completion, separating payload from control.
+struct Captured {
+  std::vector<std::string> payload;
+  std::vector<std::string> control;
+  uint64_t dropped = 0;
+};
+
+Captured drain(SubscriberQueue& q) {
+  Captured c;
+  while (true) {
+    auto item = q.pop_for(std::chrono::milliseconds(250));
+    if (!item) {
+      if (q.drained() || q.overflowed()) break;
+      continue;
+    }
+    c.dropped += item->dropped_before;
+    (is_control_line(item->text()) ? c.control : c.payload)
+        .push_back(item->text());
+  }
+  return c;
+}
+
+TEST(JobManager, RunJobStreamsByteIdenticalTelemetry) {
+  SubscriberHub hub(1u << 20, 1u << 20);
+  JobManager mgr(hub, {/*executors=*/1, /*cache_dir=*/""});
+
+  std::string err;
+  auto spec = parse_job_spec(
+      make_request(R"({"cmd":"submit","flows":"copa+copa","duration":3,)"
+                   R"("seed":0})"),
+      &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  const sweep::SweepPoint pt = spec->point;
+
+  const uint64_t id = mgr.submit(std::move(*spec));
+  ASSERT_NE(id, 0u);
+  auto q = hub.get(id)->subscribe();
+  const Captured got = drain(*q);
+
+  EXPECT_EQ(got.dropped, 0u);
+  ASSERT_EQ(got.control.size(), 1u);  // job_done
+  EXPECT_NE(got.control[0].find("\"state\":\"done\""), std::string::npos);
+
+  const std::vector<std::string> want =
+      offline_telemetry_lines(pt, /*interval_ms=*/10);
+  ASSERT_EQ(got.payload.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.payload[i], want[i]) << "line " << i;
+  }
+
+  auto st = mgr.status(id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, JobState::done);
+  EXPECT_EQ(st->points_done, 1u);
+}
+
+TEST(JobManager, CancelledRunJobStillEmitsSummariesAndEndLine) {
+  SubscriberHub hub;
+  JobManager mgr(hub, {1, ""});
+  std::string err;
+  auto spec = parse_job_spec(
+      make_request(R"({"cmd":"submit","flows":"copa+copa","duration":600})"),
+      &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  const uint64_t id = mgr.submit(std::move(*spec));
+  ASSERT_NE(id, 0u);
+  auto q = hub.get(id)->subscribe();
+  // Let it produce a little, then cancel.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_TRUE(mgr.cancel(id));
+  const Captured got = drain(*q);
+
+  // The stream is well-formed despite the cancel: flow summaries and the
+  // telemetry end line precede job_done.
+  ASSERT_FALSE(got.payload.empty());
+  bool saw_end = false, saw_summary = false;
+  for (const auto& l : got.payload) {
+    if (l.rfind("{\"type\":\"end\"", 0) == 0) saw_end = true;
+    if (l.rfind("{\"type\":\"flow_summary\"", 0) == 0) saw_summary = true;
+  }
+  EXPECT_TRUE(saw_end);
+  EXPECT_TRUE(saw_summary);
+  ASSERT_FALSE(got.control.empty());
+  EXPECT_NE(got.control.back().find("\"state\":\"cancelled\""),
+            std::string::npos);
+  auto st = mgr.status(id);
+  EXPECT_EQ(st->state, JobState::cancelled);
+  // Terminal: a second cancel is a no-op error.
+  EXPECT_FALSE(mgr.cancel(id));
+}
+
+TEST(JobManager, SweepJobStreamsRecordsAndProgress) {
+  SubscriberHub hub;
+  JobManager mgr(hub, {1, ""});
+  std::string err;
+  auto spec = parse_job_spec(
+      make_request(R"({"cmd":"submit","kind":"sweep","flows":"copa+copa",)"
+                   R"("link":"20,60","duration":2,"jobs":2})"),
+      &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  const uint64_t id = mgr.submit(std::move(*spec));
+  ASSERT_NE(id, 0u);
+  auto q = hub.get(id)->subscribe();
+  const Captured got = drain(*q);
+
+  // 2 records (completion order), each with a progress line, plus job_done.
+  ASSERT_EQ(got.payload.size(), 2u);
+  for (const auto& l : got.payload) {
+    EXPECT_EQ(l.find("{\"key\":\"flows=copa+copa|"), 0u);
+  }
+  size_t progress = 0;
+  for (const auto& l : got.control) {
+    if (l.find("{\"type\":\"progress\"") == 0) ++progress;
+  }
+  EXPECT_EQ(progress, 2u);
+  auto st = mgr.status(id);
+  EXPECT_EQ(st->state, JobState::done);
+  EXPECT_EQ(st->points_done, 2u);
+  EXPECT_EQ(st->points_total, 2u);
+}
+
+TEST(JobManager, ShutdownCancelsQueuedJobs) {
+  SubscriberHub hub;
+  JobManager mgr(hub, {/*executors=*/1, ""});
+  std::string err;
+  // First job hogs the single executor; the second waits in the queue.
+  auto long_spec = parse_job_spec(
+      make_request(R"({"cmd":"submit","flows":"copa+copa","duration":600})"),
+      &err);
+  auto queued_spec = parse_job_spec(
+      make_request(R"({"cmd":"submit","flows":"copa+copa","duration":1})"),
+      &err);
+  const uint64_t running = mgr.submit(std::move(*long_spec));
+  const uint64_t queued = mgr.submit(std::move(*queued_spec));
+  auto q = hub.get(queued)->subscribe();
+  mgr.shutdown();
+  EXPECT_EQ(mgr.status(running)->state, JobState::cancelled);
+  EXPECT_EQ(mgr.status(queued)->state, JobState::cancelled);
+  // The queued job's subscribers still get a terminal line, not a hang.
+  const Captured got = drain(*q);
+  ASSERT_FALSE(got.control.empty());
+  EXPECT_NE(got.control.back().find("job_done"), std::string::npos);
+  EXPECT_EQ(mgr.submit(JobSpec{}), 0u);  // post-shutdown submits refused
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end over TCP
+
+struct LineClient {
+  TcpConn conn;
+
+  static LineClient connect_to(uint16_t port) {
+    LineClient c;
+    std::string err;
+    c.conn = tcp_connect("127.0.0.1", port, &err);
+    EXPECT_TRUE(c.conn.valid()) << err;
+    std::string hello;
+    EXPECT_TRUE(c.conn.read_line(&hello));
+    EXPECT_EQ(hello.find("{\"type\":\"hello\""), 0u);
+    return c;
+  }
+
+  std::string rpc(const std::string& req) {
+    EXPECT_TRUE(conn.write_line(req));
+    std::string resp;
+    EXPECT_TRUE(conn.read_line(&resp));
+    return resp;
+  }
+};
+
+TEST(Server, EndToEndSubmitSubscribeMatchesOfflineRun) {
+  Server server(ServeOptions{});
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ASSERT_NE(server.port(), 0);
+
+  LineClient c = LineClient::connect_to(server.port());
+  EXPECT_EQ(c.rpc(R"({"cmd":"ping"})"), R"({"type":"ok"})");
+
+  const std::string submitted = c.rpc(
+      R"({"cmd":"submit","flows":"copa+vegas","duration":2,"seed":3})");
+  ASSERT_EQ(submitted.find("{\"type\":\"job\",\"job\":1"), 0u) << submitted;
+
+  ASSERT_TRUE(c.conn.write_line(R"({"cmd":"subscribe","job":1})"));
+  std::vector<std::string> payload;
+  std::string line;
+  bool ended = false;
+  while (c.conn.read_line(&line)) {
+    if (line.find("{\"type\":\"stream_end\"") == 0) {
+      ended = true;
+      break;
+    }
+    if (!is_control_line(line)) payload.push_back(line);
+  }
+  ASSERT_TRUE(ended);
+
+  sweep::SweepPoint pt;
+  pt.flow_set = "copa+vegas";
+  pt.duration_s = 2;
+  pt.seed = 3;
+  const std::vector<std::string> want = offline_telemetry_lines(pt, 10);
+  ASSERT_EQ(payload.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(payload[i], want[i]) << "line " << i;
+  }
+
+  // The connection is back in command mode after the stream.
+  EXPECT_EQ(c.rpc(R"({"cmd":"ping"})"), R"({"type":"ok"})");
+  // results replays the same payload (plus control lines) from the backlog.
+  ASSERT_TRUE(c.conn.write_line(R"({"cmd":"results","job":1})"));
+  std::vector<std::string> replay;
+  while (c.conn.read_line(&line)) {
+    if (line.find("{\"type\":\"stream_end\"") == 0) break;
+    if (!is_control_line(line)) replay.push_back(line);
+  }
+  EXPECT_EQ(replay, payload);
+
+  server.stop();
+}
+
+TEST(Server, ErrorsAndCancelOverTcp) {
+  Server server(ServeOptions{});
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  LineClient c = LineClient::connect_to(server.port());
+  EXPECT_EQ(c.rpc("not json").find("{\"type\":\"error\""), 0u);
+  EXPECT_EQ(c.rpc(R"({"cmd":"warp"})").find("{\"type\":\"error\""), 0u);
+  EXPECT_EQ(c.rpc(R"({"cmd":"cancel","job":99})").find("{\"type\":\"error\""),
+            0u);
+  EXPECT_EQ(c.rpc(R"({"cmd":"status","job":99})").find("{\"type\":\"error\""),
+            0u);
+  EXPECT_EQ(
+      c.rpc(R"({"cmd":"subscribe","job":99})").find("{\"type\":\"error\""),
+      0u);
+  EXPECT_EQ(c.rpc(R"({"cmd":"submit","flows":"nope"})")
+                .find("{\"type\":\"error\""),
+            0u);
+
+  // Cancel a long-running job from a second connection while the first
+  // subscribes; the subscriber's stream terminates.
+  const std::string submitted = c.rpc(
+      R"({"cmd":"submit","flows":"copa+copa","duration":600})");
+  ASSERT_EQ(submitted.find("{\"type\":\"job\""), 0u);
+  LineClient other = LineClient::connect_to(server.port());
+  ASSERT_TRUE(c.conn.write_line(R"({"cmd":"subscribe","job":1})"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(other.rpc(R"({"cmd":"cancel","job":1})"), R"({"type":"ok"})");
+  std::string line;
+  bool ended = false;
+  while (c.conn.read_line(&line)) {
+    if (line.find("{\"type\":\"stream_end\"") == 0) {
+      ended = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(ended);
+
+  // The "shutdown" command stops the server; wait() returns.
+  EXPECT_EQ(other.rpc(R"({"cmd":"shutdown"})"), R"({"type":"ok"})");
+  server.wait();
+  server.stop();
+}
+
+TEST(Server, ManySubscribersAllReceiveCompleteStreams) {
+  ServeOptions opt;
+  opt.executors = 1;
+  Server server(std::move(opt));
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  LineClient submitter = LineClient::connect_to(server.port());
+  const std::string submitted = submitter.rpc(
+      R"({"cmd":"submit","flows":"copa+copa","duration":2,"seed":1})");
+  ASSERT_EQ(submitted.find("{\"type\":\"job\""), 0u);
+
+  constexpr int kSubscribers = 8;
+  std::vector<std::thread> threads;
+  std::vector<size_t> payload_counts(kSubscribers, 0);
+  // Not vector<bool>: adjacent elements share a word, so writes from
+  // different subscriber threads would race even at distinct indices.
+  std::vector<char> clean(kSubscribers, 0);
+  for (int s = 0; s < kSubscribers; ++s) {
+    threads.emplace_back([&, s] {
+      LineClient c = LineClient::connect_to(server.port());
+      if (!c.conn.valid()) return;
+      if (!c.conn.write_line(R"({"cmd":"subscribe","job":1})")) return;
+      std::string line;
+      while (c.conn.read_line(&line)) {
+        if (line.find("{\"type\":\"stream_end\"") == 0) {
+          clean[static_cast<size_t>(s)] = 1;
+          break;
+        }
+        if (!is_control_line(line)) ++payload_counts[static_cast<size_t>(s)];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int s = 0; s < kSubscribers; ++s) {
+    EXPECT_TRUE(clean[static_cast<size_t>(s)]) << "subscriber " << s;
+    EXPECT_EQ(payload_counts[static_cast<size_t>(s)], payload_counts[0]);
+    EXPECT_GT(payload_counts[static_cast<size_t>(s)], 0u);
+  }
+  server.stop();
+}
+
+}  // namespace

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "util/cli.hpp"
 #include "util/filters.hpp"
 #include "util/rate.hpp"
 #include "util/rng.hpp"
@@ -219,6 +222,80 @@ TEST(Table, AlignedOutput) {
   EXPECT_NE(os.str().find("| a | bb |"), std::string::npos);
   EXPECT_NE(os.str().find("| 1 | 2  |"), std::string::npos);
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+// ---------------------------------------------------------------------------
+// cli::Flags — the shared tools/ flag dialect
+
+namespace {
+// parse() takes argc/argv; build them from a vector for the tests.
+void parse_args(const cli::Flags& flags, std::vector<std::string> args) {
+  std::vector<char*> argv = {const_cast<char*>("test")};
+  for (auto& a : args) argv.push_back(a.data());
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+}  // namespace
+
+TEST(CliFlags, TypedValuesSwitchesAndRepeats) {
+  double link = 0;
+  uint64_t seed = 0;
+  int jobs = 0;
+  std::string out;
+  bool check = false;
+  std::vector<std::string> flows;
+  cli::Flags flags("test");
+  flags.value("--link", &link);
+  flags.value("--seed", &seed);
+  flags.value("--jobs", &jobs);
+  flags.value("--out", &out);
+  flags.toggle("--check", &check);
+  flags.each("--flow", [&](const std::string& v) { flows.push_back(v); });
+  parse_args(flags, {"--link=120.5", "--seed=42", "--jobs=-2", "--out=a.jsonl",
+                     "--check", "--flow=copa", "--flow=bbr:loss=0.01"});
+  EXPECT_DOUBLE_EQ(link, 120.5);
+  EXPECT_EQ(seed, 42u);
+  EXPECT_EQ(jobs, -2);
+  EXPECT_EQ(out, "a.jsonl");
+  EXPECT_TRUE(check);
+  ASSERT_EQ(flows.size(), 2u);  // repeats preserved in order
+  EXPECT_EQ(flows[0], "copa");
+  EXPECT_EQ(flows[1], "bbr:loss=0.01");
+}
+
+TEST(CliFlags, RejectsMalformedInput) {
+  double v = 0;
+  bool b = false;
+  cli::Flags flags("test");
+  flags.value("--num", &v);
+  flags.toggle("--flag", &b);
+  EXPECT_THROW(parse_args(flags, {"--nope=1"}), cli::UsageError);
+  EXPECT_THROW(parse_args(flags, {"--num=abc"}), cli::UsageError);
+  EXPECT_THROW(parse_args(flags, {"--num=1.5x"}), cli::UsageError);
+  EXPECT_THROW(parse_args(flags, {"--num="}), cli::UsageError);
+  EXPECT_THROW(parse_args(flags, {"--flag=yes"}), cli::UsageError);
+  EXPECT_THROW(parse_args(flags, {"stray"}), cli::UsageError);
+}
+
+TEST(CliFlags, OptionalValueAndPositionals) {
+  bool profile = false;
+  std::string profile_path = "unset";
+  std::vector<std::string> args;
+  cli::Flags flags("test");
+  flags.optional_value("--profile", [&](const std::string& v) {
+    profile = true;
+    profile_path = v;
+  });
+  flags.positionals(&args);
+  parse_args(flags, {"gen", "--profile", "constant", "12"});
+  EXPECT_TRUE(profile);
+  EXPECT_EQ(profile_path, "");  // bare use passes the empty string
+  ASSERT_EQ(args.size(), 3u);   // flags and operands interleave freely
+  EXPECT_EQ(args[0], "gen");
+  EXPECT_EQ(args[2], "12");
+
+  profile_path = "unset";
+  parse_args(flags, {"--profile=prof.jsonl"});
+  EXPECT_EQ(profile_path, "prof.jsonl");
 }
 
 }  // namespace

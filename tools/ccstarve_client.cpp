@@ -1,0 +1,217 @@
+// ccstarve_client — command-line client for the ccstarve_serve daemon.
+//
+//   ccstarve_client --port=7787 run --flows=copa+copa --duration=30
+//   ccstarve_client --port=7787 submit --kind=sweep
+//       --flows='copa+copa;bbr+bbr' --link=20,60,120  (one line)
+//   ccstarve_client --port=7787 status
+//   ccstarve_client --port=7787 tail --job=3 > live.jsonl
+//
+// Subcommands (one positional):
+//   ping                 round-trip check
+//   submit               submit a job, print the server's job line
+//   run                  submit a run job and immediately tail it: payload
+//                        JSONL on stdout (byte-identical to what
+//                        `ccstarve_run --metrics=-` would emit for the same
+//                        spec), control lines on stderr
+//   status               one line per job (or --job=<n> for one)
+//   cancel --job=<n>     request cancellation
+//   results --job=<n>    replay a job's retained output, then exit
+//   tail --job=<n>       subscribe and stream until the job finishes;
+//                        payload lines on stdout, control lines on stderr
+//   shutdown             ask the daemon to stop
+//
+// Connection flags:
+//   --host=<addr>        daemon address             (default 127.0.0.1)
+//   --port=<n>           daemon port                (required)
+//   --raw                tail/results/run: print control lines on stdout
+//                        too, interleaved exactly as received
+//
+// Job spec flags (submit/run; see src/serve/jobs.hpp for the grammar):
+//   --kind=<run|sweep>   job kind                   (default run)
+//   --flows=<spec>       run: one flow set; sweep: ';'-separated sets
+//   --link= --rtt= --duration=
+//                        run: one number; sweep: axis list / lin: / log:
+//   --jitter=<spec>      run: flow-0 data jitter; sweep: ';'-separated
+//   --buffer=<spec>      run: one buffer spec; sweep: ';'-separated
+//   --seed=<n>           run seed (default 0, like ccstarve_run)
+//   --seeds=<list>       sweep seed axis (default 1)
+//   --interval=<ms>      run telemetry cadence (default 10)
+//   --check              run: attach the invariant checker
+//   --jobs=<n>           sweep worker threads
+//   --share-prefix       sweep: share warm-up prefixes
+//   --warmup-frac=<f>    sweep measurement window start fraction
+//   --starvation-window=<ms> --starvation-threshold=<x>
+//                        sweep first-crossing telemetry
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "util/cli.hpp"
+
+using namespace ccstarve;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "ccstarve_client: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+// Reads one response line; dies on a dropped connection.
+std::string read_response(serve::TcpConn& conn) {
+  std::string line;
+  if (!conn.read_line(&line)) die("connection closed by server");
+  return line;
+}
+
+bool is_type(const std::string& line, const char* type) {
+  const std::string prefix = std::string("{\"type\":\"") + type + "\"";
+  return line.compare(0, prefix.size(), prefix) == 0;
+}
+
+// Streams until stream_end: payload to stdout, control to stderr (or
+// everything to stdout with raw). Returns false if the stream ended with
+// an error line.
+bool pump_stream(serve::TcpConn& conn, bool raw) {
+  std::string line;
+  while (conn.read_line(&line)) {
+    if (raw || !serve::is_control_line(line)) {
+      std::printf("%s\n", line.c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+    if (is_type(line, "stream_end")) return true;
+    if (is_type(line, "error")) return false;
+  }
+  die("connection closed mid-stream");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  unsigned port = 0;
+  bool raw = false;
+  uint64_t job = 0;
+  bool have_job = false;
+  std::vector<std::string> positionals;
+
+  // Job spec fields, forwarded verbatim as strings: Request::num falls
+  // back to parsing string fields, so "60" and 60 mean the same to the
+  // server, while axis lists like "20,60" survive untouched.
+  struct Field {
+    const char* flag;  // --flag
+    const char* key;   // request key
+  };
+  static const Field kFields[] = {
+      {"--kind", "kind"},          {"--flows", "flows"},
+      {"--link", "link"},          {"--rtt", "rtt"},
+      {"--duration", "duration"},  {"--jitter", "jitter"},
+      {"--buffer", "buffer"},      {"--seed", "seed"},
+      {"--seeds", "seeds"},        {"--interval", "interval"},
+      {"--jobs", "jobs"},          {"--warmup-frac", "warmup_frac"},
+      {"--starvation-window", "starvation_window"},
+      {"--starvation-threshold", "starvation_threshold"},
+  };
+  std::vector<std::pair<const Field*, std::string>> fields;
+  bool check = false, share_prefix = false;
+
+  try {
+    cli::Flags flags("ccstarve_client");
+    flags.value("--host", &host);
+    flags.value("--port", &port);
+    flags.toggle("--raw", &raw);
+    flags.each("--job", [&](const std::string& v) {
+      job = std::stoull(v);
+      have_job = true;
+    });
+    for (const Field& f : kFields) {
+      flags.each(f.flag, [&fields, fp = &f](const std::string& v) {
+        fields.emplace_back(fp, v);
+      });
+    }
+    flags.toggle("--check", &check);
+    flags.toggle("--share-prefix", &share_prefix);
+    flags.positionals(&positionals);
+    flags.parse(argc, argv);
+
+    if (positionals.size() != 1) {
+      die("exactly one subcommand expected (try --help)");
+    }
+    const std::string& cmd = positionals[0];
+    if (port == 0 || port > 65535) die("--port=<1..65535> is required");
+
+    std::string error;
+    serve::TcpConn conn =
+        serve::tcp_connect(host, static_cast<uint16_t>(port), &error);
+    if (!conn.valid()) die(error);
+    const std::string hello = read_response(conn);
+    if (!is_type(hello, "hello")) die("unexpected greeting: " + hello);
+
+    // "run" is submit-a-run-job + tail in one connection; "tail" is the
+    // protocol's "subscribe".
+    const bool run_and_tail = cmd == "run";
+    std::string wire_cmd = run_and_tail ? "submit" : cmd;
+    if (wire_cmd == "tail") wire_cmd = "subscribe";
+
+    serve::JsonObj req;
+    req.str("cmd", wire_cmd);
+    if (have_job) req.num("job", static_cast<double>(job));
+    if (wire_cmd == "submit") {
+      for (const auto& [f, v] : fields) req.str(f->key, v);
+      if (check) req.num("check", 1);
+      if (share_prefix) req.num("share_prefix", 1);
+    }
+    if (!conn.write_line(req.done())) die("failed to send request");
+
+    if (cmd == "status") {
+      // One job line per job, then ok (or a single job line with --job).
+      while (true) {
+        const std::string line = read_response(conn);
+        if (is_type(line, "error")) die(line);
+        std::printf("%s\n", line.c_str());
+        if (is_type(line, "ok") || have_job) break;
+      }
+      return 0;
+    }
+
+    const std::string resp = read_response(conn);
+    if (is_type(resp, "error")) die(resp);
+
+    if (cmd == "tail" || cmd == "results") {
+      // resp was "subscribed" (tail) or the first replayed line (results).
+      if (raw || !serve::is_control_line(resp)) {
+        std::printf("%s\n", resp.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", resp.c_str());
+      }
+      if (is_type(resp, "stream_end")) return 0;
+      return pump_stream(conn, raw) ? 0 : 1;
+    }
+
+    if (run_and_tail) {
+      std::fprintf(stderr, "%s\n", resp.c_str());  // the job line
+      // The job id is the "job" field of the response; re-request as a
+      // subscription on the same connection.
+      double id = 0;
+      const std::string marker = "\"job\":";
+      const size_t at = resp.find(marker);
+      if (at == std::string::npos) die("no job id in: " + resp);
+      id = std::strtod(resp.c_str() + at + marker.size(), nullptr);
+      serve::JsonObj sub;
+      sub.str("cmd", "subscribe").num("job", id);
+      if (!conn.write_line(sub.done())) die("failed to subscribe");
+      return pump_stream(conn, raw) ? 0 : 1;
+    }
+
+    std::printf("%s\n", resp.c_str());
+    return 0;
+  } catch (const cli::UsageError& e) {
+    die(e.what());
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+}

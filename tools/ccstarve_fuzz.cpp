@@ -29,7 +29,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdint>
-#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <optional>
@@ -38,6 +37,7 @@
 #include <vector>
 
 #include "check/fuzzer.hpp"
+#include "util/cli.hpp"
 
 using namespace ccstarve;
 
@@ -68,44 +68,29 @@ int main(int argc, char** argv) {
   check::FuzzOptions opts;
   bool shrink = true;
 
+  bool no_metamorphic = false, no_telemetry = false, no_shrink = false;
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      auto val = [&](const char* name) {
-        const size_t n = std::strlen(name);
-        return arg.compare(0, n, name) == 0 ? std::optional(arg.substr(n))
-                                            : std::nullopt;
-      };
-      if (auto v = val("--seeds=")) {
-        seeds = std::stoull(*v);
-      } else if (auto v = val("--start-seed=")) {
-        start_seed = std::stoull(*v);
-      } else if (auto v = val("--jobs=")) {
-        jobs = std::stoi(*v);
-      } else if (auto v = val("--time-budget=")) {
-        time_budget_s = parse_seconds(*v);
-      } else if (auto v = val("--corpus=")) {
-        corpus_path = *v;
-      } else if (auto v = val("--replay=")) {
-        replay_line = *v;
-      } else if (auto v = val("--repro-out=")) {
-        repro_out = *v;
-      } else if (arg == "--no-metamorphic") {
-        opts.metamorphic = false;
-      } else if (arg == "--no-telemetry") {
-        opts.telemetry = false;
-      } else if (arg == "--no-shrink") {
-        shrink = false;
-      } else if (arg == "--help" || arg == "-h") {
-        std::printf("see the header comment of tools/ccstarve_fuzz.cpp\n");
-        return 0;
-      } else {
-        die("unknown flag '" + arg + "' (try --help)");
-      }
-    }
+    cli::Flags flags("ccstarve_fuzz");
+    flags.value("--seeds", &seeds);
+    flags.value("--start-seed", &start_seed);
+    flags.value("--jobs", &jobs);
+    flags.each("--time-budget",
+               [&](const std::string& v) { time_budget_s = parse_seconds(v); });
+    flags.value("--corpus", &corpus_path);
+    flags.value("--replay", &replay_line);
+    flags.value("--repro-out", &repro_out);
+    flags.toggle("--no-metamorphic", &no_metamorphic);
+    flags.toggle("--no-telemetry", &no_telemetry);
+    flags.toggle("--no-shrink", &no_shrink);
+    flags.parse(argc, argv);
+  } catch (const cli::UsageError& e) {
+    die(e.what());
   } catch (const std::exception& e) {
     die(e.what());
   }
+  opts.metamorphic = !no_metamorphic;
+  opts.telemetry = !no_telemetry;
+  shrink = !no_shrink;
   if (jobs < 1) die("--jobs must be >= 1");
 
   const auto started = std::chrono::steady_clock::now();

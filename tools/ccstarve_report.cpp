@@ -29,7 +29,6 @@
 // Exit status: 0 on success, 1 when the input parses but yields no usable
 // rows, 2 on usage/IO errors.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -37,6 +36,7 @@
 #include <string>
 
 #include "obs/report.hpp"
+#include "util/cli.hpp"
 
 using namespace ccstarve;
 
@@ -52,25 +52,14 @@ namespace {
 int main(int argc, char** argv) {
   std::string in_path, out_path = "-", mode = "auto";
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto val = [&](const char* name) {
-      const size_t n = std::strlen(name);
-      return arg.compare(0, n, name) == 0 ? std::optional(arg.substr(n))
-                                          : std::nullopt;
-    };
-    if (auto v = val("--in=")) {
-      in_path = *v;
-    } else if (auto v = val("--out=")) {
-      out_path = *v;
-    } else if (auto v = val("--mode=")) {
-      mode = *v;
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("see the header comment of tools/ccstarve_report.cpp\n");
-      return 0;
-    } else {
-      die("unknown flag '" + arg + "' (try --help)");
-    }
+  try {
+    cli::Flags flags("ccstarve_report");
+    flags.value("--in", &in_path);
+    flags.value("--out", &out_path);
+    flags.value("--mode", &mode);
+    flags.parse(argc, argv);
+  } catch (const cli::UsageError& e) {
+    die(e.what());
   }
   if (in_path.empty()) die("--in=<path> is required");
   if (mode != "auto" && mode != "timeline" && mode != "ratio" &&

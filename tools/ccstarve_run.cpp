@@ -51,7 +51,6 @@
 // shared with ccstarve_sweep, which runs whole grids of these scenarios.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -63,6 +62,7 @@
 #include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
 #include "sweep/spec_parse.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace ccstarve;
@@ -97,50 +97,25 @@ int main(int argc, char** argv) {
   std::vector<sweep::FlowArgs> flows;
 
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      auto val = [&](const char* name) {
-        const size_t n = std::strlen(name);
-        return arg.compare(0, n, name) == 0 ? std::optional(arg.substr(n))
-                                            : std::nullopt;
-      };
-      if (auto v = val("--link=")) {
-        link_mbps = std::stod(*v);
-      } else if (auto v = val("--rtt=")) {
-        rtt_ms = std::stod(*v);
-      } else if (auto v = val("--duration=")) {
-        duration_s = std::stod(*v);
-      } else if (auto v = val("--buffer=")) {
-        buffer_spec = *v;
-      } else if (auto v = val("--ecn=")) {
-        ecn_threshold_pkts = std::stod(*v);
-      } else if (auto v = val("--prefill=")) {
-        prefill_bytes = std::stoull(*v);
-      } else if (auto v = val("--jitter-budget=")) {
-        jitter_budget_ms = std::stod(*v);
-      } else if (auto v = val("--seed=")) {
-        seed = std::stoull(*v);
-      } else if (auto v = val("--csv=")) {
-        csv_prefix = *v;
-      } else if (auto v = val("--metrics=")) {
-        metrics_path = *v;
-      } else if (auto v = val("--metrics-interval=")) {
-        metrics_interval_ms = std::stod(*v);
-        if (metrics_interval_ms <= 0) {
-          die("--metrics-interval wants a positive cadence in ms");
-        }
-      } else if (auto v = val("--flow=")) {
-        flows.push_back(sweep::parse_flow(*v));
-      } else if (arg == "--trace-digest") {
-        trace_digest = true;
-      } else if (arg == "--check") {
-        check = true;
-      } else if (arg == "--help" || arg == "-h") {
-        std::printf("see the header comment of tools/ccstarve_run.cpp\n");
-        return 0;
-      } else {
-        die("unknown flag '" + arg + "' (try --help)");
-      }
+    cli::Flags flags("ccstarve_run");
+    flags.value("--link", &link_mbps);
+    flags.value("--rtt", &rtt_ms);
+    flags.value("--duration", &duration_s);
+    flags.value("--buffer", &buffer_spec);
+    flags.value("--ecn", &ecn_threshold_pkts);
+    flags.value("--prefill", &prefill_bytes);
+    flags.value("--jitter-budget", &jitter_budget_ms);
+    flags.value("--seed", &seed);
+    flags.value("--csv", &csv_prefix);
+    flags.value("--metrics", &metrics_path);
+    flags.value("--metrics-interval", &metrics_interval_ms);
+    flags.each("--flow",
+               [&](const std::string& v) { flows.push_back(sweep::parse_flow(v)); });
+    flags.toggle("--trace-digest", &trace_digest);
+    flags.toggle("--check", &check);
+    flags.parse(argc, argv);
+    if (metrics_interval_ms <= 0) {
+      die("--metrics-interval wants a positive cadence in ms");
     }
     if (flows.empty()) flows.push_back(sweep::parse_flow("copa"));
 

@@ -1,0 +1,108 @@
+// ccstarve_serve — long-running experiment daemon with live telemetry.
+//
+// Accepts scenario/sweep jobs over newline-delimited JSON on TCP, runs
+// them on the sweep engine's worker pool, and streams flow-telemetry
+// buckets and sweep records to any number of concurrent subscribers. A
+// stalled subscriber never blocks a simulation: each subscriber owns a
+// bounded queue with a drop/coalesce policy for bulk lines (see
+// src/serve/hub.hpp), while a subscriber that keeps up receives a stream
+// byte-identical to the offline tools' output.
+//
+//   ccstarve_serve --port=7787 &
+//   ccstarve_client --port=7787 run --flows=copa+copa --duration=30
+//
+// Flags:
+//   --host=<addr>        IPv4 listen address        (default 127.0.0.1)
+//   --port=<n>           TCP port; 0 = ephemeral    (default 7787)
+//   --executors=<n>      concurrent jobs            (default 1; each sweep
+//                        job parallelizes internally via its own jobs=)
+//   --cache=<dir>        sweep result cache         (default .sweep-cache)
+//   --no-cache           disable the sweep result cache
+//   --queue-cap=<n>      per-subscriber line queue  (default 8192)
+//   --backlog=<n>        per-job replay backlog     (default 65536)
+//
+// SIGINT/SIGTERM initiate a graceful stop: in-flight jobs are cancelled
+// (run jobs still flush telemetry summaries for the time reached, sweep
+// jobs finish their in-flight points and keep their cache entries),
+// subscribers get their stream_end lines, and every connection is closed
+// before exit. The protocol is documented in src/serve/server.hpp.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+using namespace ccstarve;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "ccstarve_serve: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+serve::Server* g_server = nullptr;
+
+// Single atomic store; async-signal-safe. Server::wait polls it.
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeOptions opt;
+  opt.port = 7787;
+  opt.cache_dir = ".sweep-cache";
+  bool no_cache = false;
+  unsigned port = opt.port, executors = opt.executors;
+  uint64_t queue_cap = opt.queue_capacity, backlog = opt.backlog_lines;
+
+  try {
+    cli::Flags flags("ccstarve_serve");
+    flags.value("--host", &opt.host);
+    flags.value("--port", &port);
+    flags.value("--executors", &executors);
+    flags.value("--cache", &opt.cache_dir);
+    flags.toggle("--no-cache", &no_cache);
+    flags.value("--queue-cap", &queue_cap);
+    flags.value("--backlog", &backlog);
+    flags.parse(argc, argv);
+
+    if (port > 65535) die("--port wants a value in [0, 65535]");
+    if (executors == 0) die("--executors wants at least 1");
+    if (queue_cap == 0 || backlog == 0) {
+      die("--queue-cap and --backlog want positive sizes");
+    }
+    opt.port = static_cast<uint16_t>(port);
+    opt.executors = executors;
+    if (no_cache) opt.cache_dir.clear();
+    opt.queue_capacity = static_cast<size_t>(queue_cap);
+    opt.backlog_lines = static_cast<size_t>(backlog);
+
+    const std::string host = opt.host;
+    serve::Server server(std::move(opt));
+    std::string error;
+    if (!server.start(&error)) die(error);
+    g_server = &server;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    // Port on stdout, flushed immediately: scripts (and the CI smoke job)
+    // start with --port=0 and read the ephemeral port from here.
+    std::printf("ccstarve_serve: listening on %s:%u\n", host.c_str(),
+                server.port());
+    std::fflush(stdout);
+
+    server.wait();
+    std::fprintf(stderr, "ccstarve_serve: stopping\n");
+    server.stop();
+    g_server = nullptr;
+    return 0;
+  } catch (const cli::UsageError& e) {
+    die(e.what());
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+}

@@ -50,11 +50,12 @@
 //
 // SIGINT finishes in-flight points, flushes completed records to --out,
 // and exits 130; a later identical invocation resumes from the cache.
+// The handler stays installed until outputs are flushed, and file outputs
+// are written atomically (tmp + rename), so a second ^C during the flush
+// can never leave a truncated --out or --profile file.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -62,6 +63,8 @@
 
 #include "sweep/engine.hpp"
 #include "sweep/spec_parse.hpp"
+#include "util/cli.hpp"
+#include "util/files.hpp"
 #include "util/parallel.hpp"
 
 using namespace ccstarve;
@@ -100,86 +103,71 @@ int main(int argc, char** argv) {
   bool saw_jitter = false, saw_buffer = false;
 
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      auto val = [&](const char* name) {
-        const size_t n = std::strlen(name);
-        return arg.compare(0, n, name) == 0 ? std::optional(arg.substr(n))
-                                            : std::nullopt;
-      };
-      if (auto v = val("--flows=")) {
-        grid.flow_sets.push_back(*v);
-      } else if (auto v = val("--link=")) {
-        grid.link_mbps = sweep::parse_axis_values(*v);
-      } else if (auto v = val("--rtt=")) {
-        grid.rtt_ms = sweep::parse_axis_values(*v);
-      } else if (auto v = val("--duration=")) {
-        grid.duration_s = sweep::parse_axis_values(*v);
-      } else if (auto v = val("--buffer=")) {
-        if (!saw_buffer) grid.buffer.clear();
-        saw_buffer = true;
-        for (const auto& b : sweep::split(*v, ',')) grid.buffer.push_back(b);
-      } else if (auto v = val("--jitter=")) {
-        if (!saw_jitter) grid.jitter.clear();
-        saw_jitter = true;
-        grid.jitter.push_back(*v);
-      } else if (auto v = val("--seed=")) {
-        grid.seeds = parse_seeds(*v);
-      } else if (auto v = val("--warmup-frac=")) {
-        try {
-          grid.warmup_fraction = std::stod(*v);
-        } catch (const std::exception&) {
-          die("bad --warmup-frac value '" + *v + "'");
-        }
-        if (grid.warmup_fraction < 0 || grid.warmup_fraction >= 1) {
-          die("--warmup-frac wants a fraction in [0, 1)");
-        }
-      } else if (auto v = val("--jobs=")) {
-        try {
-          opt.jobs = static_cast<unsigned>(std::stoul(*v));
-        } catch (const std::exception&) {
-          die("bad --jobs value '" + *v + "'");
-        }
-      } else if (auto v = val("--out=")) {
-        out_path = *v;
-      } else if (auto v = val("--cache=")) {
-        opt.cache_dir = *v;
-      } else if (arg == "--share-prefix") {
-        opt.share_prefix = true;
-      } else if (arg == "--profile") {
-        opt.profile = true;
-      } else if (auto v = val("--profile=")) {
-        opt.profile = true;
-        profile_path = *v;
-      } else if (auto v = val("--starvation-window=")) {
-        try {
-          opt.starvation_window_ms = std::stod(*v);
-        } catch (const std::exception&) {
-          die("bad --starvation-window value '" + *v + "'");
-        }
-        if (opt.starvation_window_ms <= 0) {
-          die("--starvation-window wants a positive window in ms");
-        }
-      } else if (auto v = val("--starvation-threshold=")) {
-        try {
-          opt.starvation_threshold = std::stod(*v);
-        } catch (const std::exception&) {
-          die("bad --starvation-threshold value '" + *v + "'");
-        }
-        if (opt.starvation_threshold < 1) {
-          die("--starvation-threshold wants a ratio >= 1");
-        }
-      } else if (arg == "--no-cache") {
-        no_cache = true;
-      } else if (arg == "--quiet") {
-        opt.progress = false;
-      } else if (arg == "--help" || arg == "-h") {
-        std::printf("see the header comment of tools/ccstarve_sweep.cpp\n");
-        return 0;
-      } else {
-        die("unknown flag '" + arg + "' (try --help)");
+    cli::Flags flags("ccstarve_sweep");
+    flags.each("--flows",
+               [&](const std::string& v) { grid.flow_sets.push_back(v); });
+    flags.each("--link", [&](const std::string& v) {
+      grid.link_mbps = sweep::parse_axis_values(v);
+    });
+    flags.each("--rtt", [&](const std::string& v) {
+      grid.rtt_ms = sweep::parse_axis_values(v);
+    });
+    flags.each("--duration", [&](const std::string& v) {
+      grid.duration_s = sweep::parse_axis_values(v);
+    });
+    flags.each("--buffer", [&](const std::string& v) {
+      if (!saw_buffer) grid.buffer.clear();
+      saw_buffer = true;
+      for (const auto& b : sweep::split(v, ',')) grid.buffer.push_back(b);
+    });
+    flags.each("--jitter", [&](const std::string& v) {
+      if (!saw_jitter) grid.jitter.clear();
+      saw_jitter = true;
+      grid.jitter.push_back(v);
+    });
+    flags.each("--seed",
+               [&](const std::string& v) { grid.seeds = parse_seeds(v); });
+    flags.each("--warmup-frac", [&](const std::string& v) {
+      try {
+        grid.warmup_fraction = std::stod(v);
+      } catch (const std::exception&) {
+        die("bad --warmup-frac value '" + v + "'");
       }
-    }
+      if (grid.warmup_fraction < 0 || grid.warmup_fraction >= 1) {
+        die("--warmup-frac wants a fraction in [0, 1)");
+      }
+    });
+    flags.value("--jobs", &opt.jobs);
+    flags.value("--out", &out_path);
+    flags.value("--cache", &opt.cache_dir);
+    flags.toggle("--share-prefix", &opt.share_prefix);
+    flags.optional_value("--profile", [&](const std::string& v) {
+      opt.profile = true;
+      profile_path = v;  // empty when used bare
+    });
+    flags.each("--starvation-window", [&](const std::string& v) {
+      try {
+        opt.starvation_window_ms = std::stod(v);
+      } catch (const std::exception&) {
+        die("bad --starvation-window value '" + v + "'");
+      }
+      if (opt.starvation_window_ms <= 0) {
+        die("--starvation-window wants a positive window in ms");
+      }
+    });
+    flags.each("--starvation-threshold", [&](const std::string& v) {
+      try {
+        opt.starvation_threshold = std::stod(v);
+      } catch (const std::exception&) {
+        die("bad --starvation-threshold value '" + v + "'");
+      }
+      if (opt.starvation_threshold < 1) {
+        die("--starvation-threshold wants a ratio >= 1");
+      }
+    });
+    flags.toggle("--no-cache", &no_cache);
+    flags.on("--quiet", [&] { opt.progress = false; });
+    flags.parse(argc, argv);
     if (grid.flow_sets.empty()) die("at least one --flows=<set> is required");
     if (no_cache) opt.cache_dir.clear();
     if (opt.share_prefix && opt.starvation_window_ms > 0) {
@@ -199,27 +187,33 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_sigint);
     std::signal(SIGTERM, on_sigint);
     const sweep::SweepOutcome outcome = sweep::run_sweep(points, opt);
-    std::signal(SIGINT, SIG_DFL);
-    std::signal(SIGTERM, SIG_DFL);
+    // The handler stays installed (as a harmless re-request_stop) until the
+    // outputs below are flushed: restoring SIG_DFL here would let a second
+    // ^C kill the process mid-write. Combined with the atomic tmp+rename
+    // writes, an impatient ^C ^C leaves the old --out intact rather than a
+    // truncated one.
 
     if (!out_path.empty()) {
       if (out_path == "-") {
         sweep::write_jsonl(std::cout, outcome);
-      } else {
-        std::ofstream os(out_path, std::ios::trunc);
-        if (!os) die("cannot open '" + out_path + "' for writing");
-        sweep::write_jsonl(os, outcome);
+      } else if (!write_file_atomic(out_path, [&](std::ostream& os) {
+                   sweep::write_jsonl(os, outcome);
+                 })) {
+        die("cannot write '" + out_path + "'");
       }
     }
     sweep::summary_table(outcome.records).print(std::cout);
     if (opt.profile) {
       obs::profile_summary_table(outcome.profile).print(std::cerr);
-      if (!profile_path.empty()) {
-        std::ofstream os(profile_path, std::ios::trunc);
-        if (!os) die("cannot open '" + profile_path + "' for writing");
-        obs::write_profile_jsonl(os, outcome.profile);
+      if (!profile_path.empty() &&
+          !write_file_atomic(profile_path, [&](std::ostream& os) {
+            obs::write_profile_jsonl(os, outcome.profile);
+          })) {
+        die("cannot write '" + profile_path + "'");
       }
     }
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
     // "done" is the completed-bucket sum (SweepStats::done()), which always
     // equals the number of emitted records; skipped points make up the rest
     // of the grid, so done + skipped = total.

@@ -6,11 +6,12 @@
 //   ccstarve_trace info cell.trace                      # span / rate summary
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "emu/trace.hpp"
+#include "util/cli.hpp"
 
 using namespace ccstarve;
 
@@ -30,15 +31,24 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  try {
+    cli::Flags flags("ccstarve_trace");
+    flags.positionals(&args);
+    flags.parse(argc, argv);
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "ccstarve_trace: %s\n", e.what());
+    return usage();
+  }
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
 
   if (cmd == "info") {
-    if (argc != 3) return usage();
+    if (args.size() != 2) return usage();
     try {
-      const DeliveryTrace t = DeliveryTrace::load(argv[2]);
+      const DeliveryTrace t = DeliveryTrace::load(args[1]);
       std::printf("%s: %zu delivery opportunities, span %s, mean rate %s\n",
-                  argv[2], t.size(), t.span().to_string().c_str(),
+                  args[1].c_str(), t.size(), t.span().to_string().c_str(),
                   t.mean_rate().to_string().c_str());
       return 0;
     } catch (const std::exception& e) {
@@ -47,21 +57,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (cmd != "gen" || argc < 3) return usage();
-  const std::string kind = argv[2];
+  if (cmd != "gen" || args.size() < 2) return usage();
+  const std::string& kind = args[1];
   DeliveryTrace trace;
-  if (kind == "constant" && argc == 5) {
-    trace = DeliveryTrace::constant(Rate::mbps(std::atof(argv[3])),
-                                    TimeNs::seconds(std::atof(argv[4])));
-  } else if (kind == "sawtooth" && argc == 7) {
+  if (kind == "constant" && args.size() == 4) {
+    trace = DeliveryTrace::constant(Rate::mbps(std::atof(args[2].c_str())),
+                                    TimeNs::seconds(std::atof(args[3].c_str())));
+  } else if (kind == "sawtooth" && args.size() == 6) {
     trace = DeliveryTrace::sawtooth(
-        Rate::mbps(std::atof(argv[3])), Rate::mbps(std::atof(argv[4])),
-        TimeNs::seconds(std::atof(argv[5])),
-        TimeNs::seconds(std::atof(argv[6])));
-  } else if (kind == "poisson" && argc == 6) {
+        Rate::mbps(std::atof(args[2].c_str())),
+        Rate::mbps(std::atof(args[3].c_str())),
+        TimeNs::seconds(std::atof(args[4].c_str())),
+        TimeNs::seconds(std::atof(args[5].c_str())));
+  } else if (kind == "poisson" && args.size() == 5) {
     trace = DeliveryTrace::poisson(
-        Rate::mbps(std::atof(argv[3])), TimeNs::seconds(std::atof(argv[4])),
-        static_cast<uint64_t>(std::atoll(argv[5])));
+        Rate::mbps(std::atof(args[2].c_str())),
+        TimeNs::seconds(std::atof(args[3].c_str())),
+        static_cast<uint64_t>(std::atoll(args[4].c_str())));
   } else {
     return usage();
   }
