@@ -1,0 +1,192 @@
+// Many-flow scale-out benchmark: 1k-10k flows through one bottleneck.
+//
+// Sweeps N in {16, 64, 256, 1000, 4000, 10000} identical-share flows (1
+// Mbps per flow, 40 ms RTT, 2 BDP drop-tail) for Copa, BBR and Vegas,
+// with starts staggered over the first second so the cohort does not
+// synchronize at t=0. Each row runs with a FlowTelemetry probe attached:
+// besides events/sec and packets/sec it reports the starved-pair fraction
+// (obs/starvation.hpp) — exhaustive pair tracking through 128 flows,
+// deterministic sampling beyond — giving the starvation-vs-N curve per CCA.
+//
+// The flow-table transport (sim/flow_table.hpp) is what makes this run at
+// memory bandwidth: the bench asserts that per-event cost degrades by at
+// most 4x between 16 and 1000 flows, so an accidental O(N) per-event
+// regression fails the run rather than just slowing it down.
+//
+// Usage: bench_manyflow [--quick] [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "sim/scenario.hpp"
+#include "sweep/spec_parse.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+namespace {
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Row {
+  std::string cca;
+  size_t flows = 0;
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  uint64_t events = 0;
+  uint64_t packets = 0;
+  bool engaged = false;
+  bool sampled = false;
+  size_t tracked_pairs = 0;
+  double starved_pair_fraction = 0;
+};
+
+Row run_cohort(const std::string& cca, size_t flows, double sim_seconds,
+               EventPool* pool) {
+  // 1 Mbps of fair share per flow at every N, 40 ms RTT, 2 BDP of
+  // drop-tail buffer. Keeping the per-flow share constant keeps the
+  // per-flow event mix identical across cohort sizes, so the 16 -> 1000
+  // comparison below isolates the cost of *more flows* (state footprint)
+  // from the cost of *fatter flows* (more packets in flight each).
+  const double link_mbps = static_cast<double>(flows);
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(link_mbps);
+  cfg.buffer_bytes = static_cast<uint64_t>(
+      2.0 * Rate::mbps(link_mbps).bytes_per_second() * 0.040);
+  cfg.event_pool = pool;
+  Scenario sc(std::move(cfg));
+  for (size_t i = 0; i < flows; ++i) {
+    FlowSpec f;
+    f.cca = sweep::make_cca(cca, 7 + i);
+    f.min_rtt = TimeNs::millis(40);
+    // Stagger starts across the first second so 10k flows do not slam the
+    // bottleneck in the same nanosecond.
+    f.start_at = TimeNs(static_cast<int64_t>(i) * 1'000'000'000 /
+                        static_cast<int64_t>(flows));
+    sc.add_flow(std::move(f));
+  }
+
+  obs::TelemetryConfig tc;
+  tc.interval = TimeNs::millis(10);
+  tc.ratio_window = TimeNs::seconds(1);
+  obs::FlowTelemetry telemetry(std::move(tc));
+  telemetry.attach(sc);
+
+  const auto start = std::chrono::steady_clock::now();
+  sc.run_until(TimeNs::seconds(sim_seconds));
+  telemetry.finish(TimeNs::seconds(sim_seconds));
+
+  Row row;
+  row.wall_seconds = wall_seconds_since(start);
+  row.cca = cca;
+  row.flows = flows;
+  row.sim_seconds = sim_seconds;
+  row.events = sc.sim().events_processed();
+  for (size_t i = 0; i < flows; ++i) {
+    row.packets += sc.sender(i).packets_sent();
+  }
+  const obs::StarvationDetector& d = telemetry.starvation();
+  row.engaged = d.engaged();
+  row.sampled = d.sampled();
+  row.tracked_pairs = d.tracked_pair_count();
+  row.starved_pair_fraction = d.starved_pair_fraction();
+  return row;
+}
+
+}  // namespace
+}  // namespace ccstarve
+
+int main(int argc, char** argv) {
+  using namespace ccstarve;
+  bool quick = false;
+  std::string out = "BENCH_manyflow.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> kCcas = {"copa", "bbr", "vegas"};
+  const std::vector<size_t> kFlowCounts =
+      quick ? std::vector<size_t>{16, 64, 256, 1000}
+            : std::vector<size_t>{16, 64, 256, 1000, 4000, 10000};
+  const double sim_seconds = quick ? 2.0 : 8.0;
+
+  EventPool pool;
+  std::vector<Row> rows;
+  // events/sec keyed by (cca, flows) for the scaling assertion below.
+  std::map<std::pair<std::string, size_t>, double> rates;
+  for (const std::string& cca : kCcas) {
+    for (size_t n : kFlowCounts) {
+      rows.push_back(run_cohort(cca, n, sim_seconds, &pool));
+      const Row& r = rows.back();
+      const double eps = r.events / r.wall_seconds;
+      rates[{cca, n}] = eps;
+      std::printf(
+          "%-6s %6zu flows: %9.0f events/s  %9.0f packets/s  "
+          "%5.1f sim-s/wall-s  starved-pair %.4f%s\n",
+          r.cca.c_str(), r.flows, eps, r.packets / r.wall_seconds,
+          r.sim_seconds / r.wall_seconds, r.starved_pair_fraction,
+          r.sampled ? " (sampled)" : "");
+    }
+  }
+
+  // Scaling gate: the flow-table transport must keep per-event cost flat in
+  // N — a 1000-flow cohort may dispatch events at most 4x slower than the
+  // 16-flow one. An O(N)-per-event regression shows up here as ~60x.
+  bool scaling_ok = true;
+  for (const std::string& cca : kCcas) {
+    const double r16 = rates[{cca, 16}];
+    const double r1k = rates[{cca, 1000}];
+    const double degradation = r16 / r1k;
+    std::printf("%-6s scaling 16 -> 1000 flows: %.2fx slower (limit 4x)\n",
+                cca.c_str(), degradation);
+    if (r1k * 4.0 < r16) scaling_ok = false;
+  }
+
+  std::ofstream os(out);
+  os << "{\n  \"quick\": " << (quick ? "true" : "false")
+     << ",\n  \"scaling_ok\": " << (scaling_ok ? "true" : "false")
+     << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"cca\": \"" << r.cca << "\", \"flows\": " << r.flows
+       << ", \"sim_seconds\": " << r.sim_seconds
+       << ", \"wall_seconds\": " << r.wall_seconds
+       << ", \"events\": " << r.events
+       << ", \"events_per_sec\": " << r.events / r.wall_seconds
+       << ", \"packets\": " << r.packets
+       << ", \"packets_per_sec\": " << r.packets / r.wall_seconds
+       << ", \"sim_per_wall\": " << r.sim_seconds / r.wall_seconds
+       << ", \"engaged\": " << (r.engaged ? "true" : "false")
+       << ", \"tracked_pairs\": " << r.tracked_pairs
+       << ", \"sampled\": " << (r.sampled ? "true" : "false")
+       << ", \"starved_pair_fraction\": " << r.starved_pair_fraction << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+  std::printf("wrote %s\n", out.c_str());
+  if (!scaling_ok) {
+    std::fprintf(stderr, "FAIL: events/sec degraded more than 4x from 16 to "
+                         "1000 flows\n");
+    return 1;
+  }
+  return 0;
+}

@@ -300,6 +300,27 @@ FuzzCase generate_case(uint64_t seed) {
     return c;
   }
 
+  if (rng.next_below(8) == 0) {
+    // Many-flow cohort via the `*N` multiplier grammar: one or two CCA
+    // cohorts of up to 512 flows sharing the bottleneck. The link scales
+    // with the cohort (~1 Mbps per flow) and the horizon shrinks, so even
+    // the largest case stays cheap under the full oracle battery.
+    const uint64_t sizes[] = {32, 64, 128, 256, 512};
+    const uint64_t n = sizes[rng.next_below(5)];
+    std::string f =
+        names[rng.next_below(names.size())] + "*" + std::to_string(n);
+    if (rng.next_below(2) == 0) {
+      f += "+" + names[rng.next_below(names.size())] + "*" +
+           std::to_string(n);
+    }
+    c.flow_set = std::move(f);
+    c.link_mbps = static_cast<double>(n);
+    c.duration_s = 0.8;
+    const char* bufs[] = {"-", "2bdp"};
+    c.buffer = bufs[rng.next_below(2)];
+    return c;
+  }
+
   const size_t flow_count = 1 + rng.next_below(4);
   std::vector<std::string> flows;
   for (size_t i = 0; i < flow_count; ++i) {
@@ -364,6 +385,7 @@ std::optional<FuzzFailure> run_scenario_case(const FuzzCase& c,
   TraceRecorder r2;
   sc1->sim().set_tracer(&r2);
   sc1->run_until(end);
+  if (opts.corrupt_after_run) opts.corrupt_after_run(*sc1);
   ck1.checkpoint();
   if (!ck1.ok()) return FuzzFailure{"invariant", ck1.report()};
   if (opts.telemetry) {
@@ -425,8 +447,10 @@ std::optional<FuzzFailure> run_scenario_case(const FuzzCase& c,
   // Relabel symmetry: swapping two position-independent flows permutes the
   // per-flow outcomes. Skipped when either run saw two flows reach the
   // bottleneck in the same nanosecond (the (time, seq) tie-break is then
-  // order-dependent by design).
-  if (flows.size() >= 2) {
+  // order-dependent by design). Also skipped when the spec uses a cohort
+  // multiplier (flow_strs then has fewer entries than expanded flows);
+  // the property_test covers relabeling for expanded cohorts instead.
+  if (flows.size() >= 2 && flow_strs.size() == flows.size()) {
     const size_t i = rng.next_below(flows.size());
     size_t j = rng.next_below(flows.size() - 1);
     if (j >= i) ++j;
@@ -573,8 +597,39 @@ FuzzCase shrink_case(const FuzzCase& c, const FuzzOptions& opts,
       }
     }
 
-    // Strip per-flow options.
+    // Bisect cohort multipliers: a failure inside a `spec*N` cohort usually
+    // reproduces with far fewer flows, and halving converges in log2(N)
+    // oracle runs instead of N drop-one attempts.
     for (size_t i = 0; i < flows.size(); ++i) {
+      while (runs < max_runs) {
+        const size_t star = flows[i].rfind('*');
+        if (star == std::string::npos) break;
+        uint64_t n = 0;
+        try {
+          n = std::stoull(flows[i].substr(star + 1));
+        } catch (const std::exception&) {
+          break;
+        }
+        if (n <= 1) break;
+        const uint64_t half = n / 2;
+        std::vector<std::string> ef = flows;
+        ef[i] = half <= 1 ? flows[i].substr(0, star)
+                          : flows[i].substr(0, star + 1) +
+                                std::to_string(half);
+        FuzzCase cand = cur;
+        cand.flow_set = join_flows(ef);
+        if (!still_fails(cand)) break;
+        cur = std::move(cand);
+        flows = std::move(ef);
+        changed = true;
+      }
+    }
+
+    // Strip per-flow options (skipping multiplier parts — their spec text
+    // is not a bare flow spec until the bisect rule above has reduced the
+    // cohort to a single flow).
+    for (size_t i = 0; i < flows.size(); ++i) {
+      if (flows[i].find('*') != std::string::npos) continue;
       sweep::FlowArgs fa = sweep::parse_flow(flows[i]);
       const auto try_edit = [&](sweep::FlowArgs edited) {
         std::vector<std::string> ef = flows;

@@ -19,14 +19,16 @@
 //                        packet, and doubling c doubles the observed added
 //                        delay (monotonicity of eta in the configured bound).
 //
-// On failure, shrink_case() greedily minimises the spec — drop flows, strip
-// per-flow options, remove AQM/prefill/buffer axes, halve the horizon —
+// On failure, shrink_case() greedily minimises the spec — drop flows,
+// bisect `*N` cohort multipliers, strip per-flow options, remove
+// AQM/prefill/buffer axes, halve the horizon —
 // re-running the oracles after each candidate edit, and the shrunk case
 // prints a ready-to-paste repro command (ccstarve_run --check, or
 // ccstarve_fuzz --replay for trace-link cases).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -80,6 +82,12 @@ struct FuzzOptions {
   // determinism oracle then also pins that an attached probe never perturbs
   // trace digests.
   bool telemetry = true;
+  // Test-only fault injection: called on the primary scenario after its run
+  // completes, immediately before the conservation checkpoint. Lets tests
+  // prove that deliberately corrupted state (e.g. a swapped FlowTable
+  // column) is caught by the invariant oracle and minimised by the
+  // shrinker. Null in production.
+  std::function<void(Scenario&)> corrupt_after_run;
 };
 
 // Runs the case under invariant observers and oracles; nullopt means pass.

@@ -368,6 +368,25 @@ void InvariantChecker::checkpoint() {
     const uint32_t id = static_cast<uint32_t>(i);
     FlowCounters& fc = flow(id);
     const std::string fl = "flow " + std::to_string(i) + ": ";
+
+    // Flow-table cross-checks (independent of attach timing): the SoA
+    // columns must agree with the scoreboard's own accounting. A mis-wired
+    // or swapped column shows up here immediately.
+    const Sender& snd = sc.sender(i);
+    if (snd.inflight_bytes() != snd.scoreboard_bytes()) {
+      fail("flow-table", now,
+           fl + "inflight column " + std::to_string(snd.inflight_bytes()) +
+               "B != scoreboard accounting " +
+               std::to_string(snd.scoreboard_bytes()) + "B");
+    }
+    const FlowTable& ft = sc.flow_table();
+    if (ft.delivered[i] < ft.cum_acked[i]) {
+      fail("flow-table", now,
+           fl + "delivered column " + std::to_string(ft.delivered[i]) +
+               "B below cum-acked column " + std::to_string(ft.cum_acked[i]) +
+               "B");
+    }
+
     if (!full_accounting_) continue;
 
     if (fc.sent != sc.sender(i).packets_sent()) {

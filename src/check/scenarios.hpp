@@ -100,6 +100,15 @@ inline std::vector<GoldenSpec> golden_specs() {
   // forks. Pins the digest the snapshot_test fork paths must reproduce.
   add({.name = "copa_late_step",
        .flow_set = "copa:datajitter=step:8,5+copa"});
+  // Many-flow cohorts (the scale-out battery). Pin the flow-table/scoreboard
+  // hot path at cohort sizes where per-flow heap state would have been the
+  // bottleneck; also the only digests exercising the `*N` multiplier
+  // grammar. Short horizons keep the pinned runs cheap.
+  add({.name = "copa_64flow", .flow_set = "copa*64", .link_mbps = 192,
+       .rtt_ms = 40, .buffer = "2bdp", .duration_s = 4});
+  add({.name = "mixed_256flow",
+       .flow_set = "newreno*64+cubic*64+vegas*64+copa*64",
+       .link_mbps = 384, .rtt_ms = 40, .buffer = "2bdp", .duration_s = 2});
   return specs;
 }
 

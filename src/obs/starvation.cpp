@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 namespace ccstarve::obs {
 
 void StarvationDetector::configure(size_t flows, size_t window_buckets,
-                                   double threshold, size_t ring_capacity) {
+                                   double threshold, size_t ring_capacity,
+                                   size_t pair_cap) {
   flows_ = flows;
   window_buckets_ = std::max<size_t>(1, window_buckets);
   threshold_ = threshold;
@@ -14,12 +16,55 @@ void StarvationDetector::configure(size_t flows, size_t window_buckets,
   window_sum_.assign(flows, 0);
   window_fill_.assign(flows, 0);
   flow_started_.assign(flows, false);
-  pair_crossed_.assign(flows * flows, false);
   next_slot_ = 0;
   timeline_ = RingSeries(ring_capacity);
   crossings_.clear();
   engaged_ = false;
   last_ratio_ = 1.0;
+
+  pairs_.clear();
+  sampled_ = false;
+  pair_cap = std::max<size_t>(1, pair_cap);
+  const size_t total_pairs = flows < 2 ? 0 : flows * (flows - 1) / 2;
+  if (total_pairs <= pair_cap) {
+    pairs_.reserve(total_pairs);
+    for (size_t i = 0; i < flows; ++i) {
+      for (size_t j = i + 1; j < flows; ++j) {
+        pairs_.emplace_back(static_cast<uint32_t>(i),
+                            static_cast<uint32_t>(j));
+      }
+    }
+  } else {
+    // Deterministic sample without replacement: a fixed-seed LCG draws
+    // (i, j) candidates until pair_cap distinct pairs are collected. The
+    // sample depends only on (flows, pair_cap), never on wall-clock or
+    // global RNG state, so runs stay reproducible.
+    sampled_ = true;
+    pairs_.reserve(pair_cap);
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(pair_cap * 2);
+    uint64_t lcg = 0x9e3779b97f4a7c15ull ^ (flows * 0x2545f4914f6cdd1dull);
+    const auto next = [&lcg] {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      return lcg >> 17;
+    };
+    // Attempt budget bounds the loop even in degenerate corner cases; with
+    // pair_cap << total_pairs collisions are rare and it never binds.
+    size_t attempts = 64 * pair_cap;
+    while (pairs_.size() < pair_cap && attempts-- > 0) {
+      uint32_t i = static_cast<uint32_t>(next() % flows);
+      uint32_t j = static_cast<uint32_t>(next() % flows);
+      if (i == j) continue;
+      if (i > j) std::swap(i, j);
+      const uint64_t key = (static_cast<uint64_t>(i) << 32) | j;
+      if (!seen.insert(key).second) continue;
+      pairs_.emplace_back(i, j);
+    }
+    // Crossing-time ordering is about buckets, not pair ids, but a sorted
+    // pair list keeps the per-bucket walk cache-friendly.
+    std::sort(pairs_.begin(), pairs_.end());
+  }
+  pair_crossed_.assign(pairs_.size(), false);
 }
 
 void StarvationDetector::on_bucket(TimeNs bucket_end,
@@ -63,22 +108,22 @@ void StarvationDetector::on_bucket(TimeNs bucket_end,
   last_ratio_ = pair_ratio(max_sum, min_sum);
   timeline_.push(bucket_end, last_ratio_);
 
-  for (size_t i = 0; i < flows_; ++i) {
-    for (size_t j = i + 1; j < flows_; ++j) {
-      if (pair_crossed_[i * flows_ + j]) continue;
-      const uint64_t hi = std::max(window_sum_[i], window_sum_[j]);
-      const uint64_t lo = std::min(window_sum_[i], window_sum_[j]);
-      const double r = pair_ratio(hi, lo);
-      if (r >= threshold_) {
-        pair_crossed_[i * flows_ + j] = true;
-        PairCrossing c;
-        const bool i_faster = window_sum_[i] >= window_sum_[j];
-        c.a = static_cast<uint32_t>(i_faster ? i : j);
-        c.b = static_cast<uint32_t>(i_faster ? j : i);
-        c.at = bucket_end;
-        c.ratio = r;
-        crossings_.push_back(c);
-      }
+  for (size_t p = 0; p < pairs_.size(); ++p) {
+    if (pair_crossed_[p]) continue;
+    const uint32_t i = pairs_[p].first;
+    const uint32_t j = pairs_[p].second;
+    const uint64_t hi = std::max(window_sum_[i], window_sum_[j]);
+    const uint64_t lo = std::min(window_sum_[i], window_sum_[j]);
+    const double r = pair_ratio(hi, lo);
+    if (r >= threshold_) {
+      pair_crossed_[p] = true;
+      PairCrossing c;
+      const bool i_faster = window_sum_[i] >= window_sum_[j];
+      c.a = i_faster ? i : j;
+      c.b = i_faster ? j : i;
+      c.at = bucket_end;
+      c.ratio = r;
+      crossings_.push_back(c);
     }
   }
 }

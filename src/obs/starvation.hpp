@@ -9,6 +9,13 @@
 // pair's ratio crossed the configured threshold. A run's end-of-run verdict
 // (ratio at the final bucket) and the first-crossing timestamp together say
 // not only *that* a flow starved but *when* it started to.
+//
+// Pair tracking is capped: with N flows there are N(N-1)/2 pairs, which at
+// 10k flows is 50M — far too many to walk per bucket (or even to store a
+// crossed bit for). Up to `pair_cap` pairs the detector is exhaustive;
+// above it, it tracks a deterministic pseudo-random sample of `pair_cap`
+// pairs and starved_pair_fraction() becomes an estimator (the sampled and
+// exhaustive modes agree in expectation; obs_test pins the agreement).
 #pragma once
 
 #include <cstddef>
@@ -33,12 +40,17 @@ class StarvationDetector {
     double ratio = 0.0;  // the pair ratio at the crossing bucket
   };
 
+  // Default cap on tracked pairs: exhaustive up to 128 flows (8128 pairs),
+  // sampled beyond.
+  static constexpr size_t kDefaultPairCap = 8192;
+
   StarvationDetector() = default;
   // `window_buckets` sliding-window length in sample buckets (>= 1);
   // `threshold` the ratio that counts as starvation (paper §7 uses
-  // r >= 2 as "one flow gets less than half its share").
+  // r >= 2 as "one flow gets less than half its share"); `pair_cap` the
+  // maximum number of flow pairs tracked for crossings (see file header).
   void configure(size_t flows, size_t window_buckets, double threshold,
-                 size_t ring_capacity);
+                 size_t ring_capacity, size_t pair_cap = kDefaultPairCap);
 
   // One call per closed sample bucket, in time order. `delivered_delta[i]`
   // is flow i's delivered-byte delta over the bucket; `started[i]` whether
@@ -54,11 +66,24 @@ class StarvationDetector {
   double threshold() const { return threshold_; }
   size_t window_buckets() const { return window_buckets_; }
 
-  // First threshold crossing per flow pair, in crossing-time order.
+  // First threshold crossing per tracked flow pair, in crossing-time order.
   const std::vector<PairCrossing>& crossings() const { return crossings_; }
-  // Earliest crossing across all pairs; TimeNs(-1) when none happened.
+  // Earliest crossing across all tracked pairs; TimeNs(-1) when none.
   TimeNs first_crossing() const {
     return crossings_.empty() ? TimeNs(-1) : crossings_.front().at;
+  }
+
+  // Number of pairs actually tracked, and whether they are a sample of the
+  // full N(N-1)/2 set rather than all of it.
+  size_t tracked_pair_count() const { return pairs_.size(); }
+  bool sampled() const { return sampled_; }
+  // Fraction of tracked pairs whose ratio has crossed the threshold at any
+  // bucket so far. Exact when !sampled(); an unbiased estimate otherwise.
+  double starved_pair_fraction() const {
+    return pairs_.empty()
+               ? 0.0
+               : static_cast<double>(crossings_.size()) /
+                     static_cast<double>(pairs_.size());
   }
 
  private:
@@ -77,7 +102,11 @@ class StarvationDetector {
   double last_ratio_ = 1.0;
   RingSeries timeline_{4096};
   std::vector<PairCrossing> crossings_;
-  std::vector<bool> pair_crossed_;  // flows_ x flows_ upper triangle
+  // Tracked pairs (i < j) and their crossed bits, parallel vectors. Either
+  // the full upper triangle (exhaustive) or a deterministic sample.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs_;
+  std::vector<bool> pair_crossed_;
+  bool sampled_ = false;
 };
 
 }  // namespace ccstarve::obs

@@ -97,7 +97,8 @@ void FlowTelemetry::init_flows(size_t n, TimeNs now) {
   bucket_started_.assign(n, false);
   const int64_t w = config_.ratio_window.ns() / config_.interval.ns();
   starvation_.configure(n, static_cast<size_t>(std::max<int64_t>(1, w)),
-                        config_.starvation_threshold, config_.ring_capacity);
+                        config_.starvation_threshold, config_.ring_capacity,
+                        config_.starvation_pair_cap);
   emitted_crossings_ = 0;
   cur_bucket_ = bucket_of(now);
   next_close_ns_ = (cur_bucket_ + 1) * config_.interval.ns();

@@ -56,6 +56,9 @@ struct TelemetryConfig {
   TimeNs ratio_window = TimeNs::seconds(1);
   // Throughput ratio that counts as starvation (paper §7: >= 2).
   double starvation_threshold = 2.0;
+  // Cap on flow pairs tracked for threshold crossings; above it the
+  // detector samples deterministically (see obs/starvation.hpp).
+  size_t starvation_pair_cap = StarvationDetector::kDefaultPairCap;
   // When set, one JSON object per closed bucket/flow is streamed here
   // (meta + sample/link/ratio lines, then summaries from finish()). The
   // line sequence is sink-independent: an OstreamSink writing a --metrics

@@ -29,9 +29,19 @@ namespace ccstarve {
 inline constexpr std::size_t kEventCallbackCapacity = 80;
 
 struct Event {
+  // Flag bits. kOwned marks a caller-provided node (a flat per-flow timer
+  // slot): the dispatcher never returns it to the pool and its callback is
+  // emplaced once for the node's whole lifetime — re-arming re-inserts the
+  // same node with a fresh (at, seq). kQueued tracks whether the node is
+  // currently linked into the wheel/heaps (maintained for owned nodes so
+  // Simulator::disarm can refuse a no-op removal cheaply).
+  static constexpr uint8_t kOwned = 1;
+  static constexpr uint8_t kQueued = 2;
+
   TimeNs at;
   uint64_t seq = 0;
   Event* next = nullptr;
+  uint8_t flags = 0;  // lives in the padding between the header and fn
   InlineFn<void(), kEventCallbackCapacity> fn;
 };
 static_assert(sizeof(Event) == 128, "Event should stay two cache lines");

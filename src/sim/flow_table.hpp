@@ -1,0 +1,88 @@
+// Struct-of-arrays hot state for many-flow scenarios.
+//
+// With thousands of flows, the per-flow transport state that the event loop
+// touches on every ACK and every send must not be scattered across
+// individually-allocated Sender/Receiver objects: a 10k-flow cohort would
+// pull 10k distinct cache-line neighborhoods per simulated RTT. The
+// FlowTable packs the per-flow hot scalars (cwnd/pacing mirrors, inflight,
+// cumulative ACK, next seq, packets sent) into dense columns indexed by the
+// flow's row id, and carves three flat timer-slot arrays — pacing wakeup,
+// RTO, delayed-ACK — of caller-owned Event nodes that the Simulator re-arms
+// in place (sim/event_pool.hpp, Event::kOwned). N flows therefore cost N
+// contiguous cache lines per column sweep, and timer re-arms touch only the
+// flow's own 128-byte slot instead of churning pool nodes.
+//
+// Sender/Receiver objects remain the behavior carriers; they borrow a row
+// (Scenario wires one table across all flows) or, when constructed
+// standalone, own a private single-row table so unit tests and the
+// trace-link topology need no wiring changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/event_pool.hpp"
+#include "util/rate.hpp"
+
+namespace ccstarve {
+
+class FlowTable {
+ public:
+  FlowTable() = default;
+  explicit FlowTable(size_t n) {
+    for (size_t i = 0; i < n; ++i) add_row();
+  }
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  size_t size() const { return inflight_bytes.size(); }
+
+  // Appends one flow row (all columns zeroed, timer slots idle) and returns
+  // its index. Slot addresses are stable across growth (deque), so senders/
+  // receivers may cache Event pointers while later flows are added.
+  uint32_t add_row() {
+    const uint32_t row = static_cast<uint32_t>(size());
+    inflight_bytes.push_back(0);
+    cum_acked.push_back(0);
+    delivered.push_back(0);
+    next_seq.push_back(0);
+    packets_sent.push_back(0);
+    cwnd_bytes.push_back(0);
+    pacing.emplace_back();
+    started.push_back(0);
+    pace_slots.emplace_back();
+    rto_slots.emplace_back();
+    ack_slots.emplace_back();
+    return row;
+  }
+
+  // Hot columns. `cwnd_bytes`/`pacing` mirror the CCA's const getters —
+  // refreshed by the Sender after every CCA callback — so the send loop's
+  // window/pacing gates read a dense column instead of making a virtual
+  // call per iteration (the values are identical by construction).
+  std::vector<uint64_t> inflight_bytes;
+  std::vector<uint64_t> cum_acked;
+  std::vector<uint64_t> delivered;
+  std::vector<uint64_t> next_seq;
+  std::vector<uint64_t> packets_sent;
+  std::vector<uint64_t> cwnd_bytes;
+  std::vector<Rate> pacing;
+  std::vector<uint8_t> started;
+
+  // Flat per-flow timer slots (owned Event nodes; see Simulator::arm).
+  // Deques: reference-stable growth, chunked-contiguous storage.
+  std::deque<Event> pace_slots;
+  std::deque<Event> rto_slots;
+  std::deque<Event> ack_slots;
+
+  // Test-only fault injection: swaps two hot columns wholesale so the
+  // invariant checker's table-vs-scoreboard cross-check (and the fuzzer
+  // shrinker sitting on top of it) can be proven to catch a mis-wired
+  // column. Never called outside tests.
+  void corrupt_swap_inflight_cum() { inflight_bytes.swap(cum_acked); }
+};
+
+}  // namespace ccstarve

@@ -327,14 +327,30 @@ class JitterBox final : public PacketHandler {
     InFlightPacket rec;
     rec.at = release;
     rec.pkt = pkt;
-    rec.seq = sim_.schedule_at(release, [this, pkt] {
+    rec.seq = sim_.schedule_at(release, [this] { drain_releases(); });
+    inflight_.push_back(rec);
+  }
+
+  // Delivers the head packet, then batches any immediately-following
+  // releases that share this timestamp: if the next held packet's event is
+  // literally the next pending event (same at, same seq — e.g. a quantized
+  // ACK bucket), claim it and deliver inline instead of paying another
+  // dispatch. Exact by construction: a claimed event was next anyway, and
+  // anything scheduled while delivering gets a later seq, so it would have
+  // run after that event in the unbatched order too.
+  void drain_releases() {
+    for (;;) {
+      const Packet pkt = inflight_.front().pkt;
       inflight_.pop_front();
       if (CheckProbe* ck = sim_.checker()) {
         ck->on_jitter_release(sim_.now(), pkt, pkt.is_ack);
       }
       next_.handle(pkt);
-    });
-    inflight_.push_back(rec);
+      if (inflight_.empty()) return;
+      const InFlightPacket& head = inflight_.front();
+      if (head.at != sim_.now()) return;
+      if (!sim_.try_claim_next(head.at, head.seq)) return;
+    }
   }
 
   Simulator& sim_;

@@ -2,14 +2,47 @@
 
 namespace ccstarve {
 
+Receiver::~Receiver() {
+  if (Event* slot = timer_slot_ ? timer_slot_ : owned_slot_.get()) {
+    sim_.disarm(slot);
+  }
+}
+
+Event* Receiver::timer_slot() {
+  if (timer_slot_ == nullptr) {
+    owned_slot_ = std::make_unique<Event>();
+    timer_slot_ = owned_slot_.get();
+  }
+  if (!timer_slot_->fn) {
+    timer_slot_->fn.emplace([this] { on_timer_fire(); });
+  }
+  return timer_slot_;
+}
+
 void Receiver::arm_timer() {
   timer_armed_ = true;
-  const uint64_t epoch = ++timer_epoch_;
+  ++timer_epoch_;  // kept for State compatibility (epochs once keyed events)
   timer_at_ = sim_.now() + policy_.delayed_ack_timeout;
-  timer_seq_ = sim_.schedule_at(timer_at_, [this, epoch] {
-    if (epoch != timer_epoch_ || unacked_ == 0) return;
-    emit_ack(last_data_);
-  });
+  Event* slot = timer_slot();
+  if ((slot->flags & Event::kQueued) == 0) {
+    timer_seq_ = sim_.arm(slot, timer_at_);
+  } else {
+    // A cancelled earlier-epoch slot is still queued (at an earlier time);
+    // it will fire, see the live deadline, and re-arm itself.
+    timer_seq_ = slot->seq;
+  }
+}
+
+void Receiver::on_timer_fire() {
+  if (!timer_armed_) return;  // cancelled (the emitting ACK raced the slot)
+  if (sim_.now() < timer_at_) {
+    // Stale early fire: the timer was re-armed with a later deadline after
+    // this slot was queued. Restore coverage at the live deadline.
+    timer_seq_ = sim_.arm(timer_slot(), timer_at_);
+    return;
+  }
+  if (unacked_ == 0) return;
+  emit_ack(last_data_);
 }
 
 Receiver::State Receiver::capture(std::vector<PendingEvent>* events,
@@ -24,12 +57,15 @@ Receiver::State Receiver::capture(std::vector<PendingEvent>* events,
   st.timer_armed = timer_armed_;
   st.ece_pending = ece_pending_;
   st.timer_at = timer_at_;
-  if (timer_armed_) {
-    // Only the live timer matters; timers from earlier epochs fire as
-    // no-ops in a cold run and are skippable on restore.
+  if (timer_slot_ != nullptr && (timer_slot_->flags & Event::kQueued) != 0) {
+    // Capture the slot at its ACTUAL queued time, which may be earlier than
+    // the live deadline (a reused earlier-epoch slot) or stale after the
+    // emitting ACK cancelled it. The fork must replay the early/stale fire
+    // and its re-arm so it consumes the same insertion seqs as the parent's
+    // own continuation; the live deadline travels in State (timer_at).
     PendingEvent e;
-    e.at = timer_at_;
-    e.seq = timer_seq_;
+    e.at = timer_slot_->at;
+    e.seq = timer_slot_->seq;
     e.kind = PendingEvent::Kind::kReceiverAckTimer;
     e.flow = flow;
     events->push_back(e);
@@ -50,12 +86,9 @@ void Receiver::restore(const State& st) {
 }
 
 void Receiver::restore_timer(const PendingEvent& e) {
-  const uint64_t epoch = timer_epoch_;
-  timer_at_ = e.at;
-  timer_seq_ = sim_.schedule_at(e.at, [this, epoch] {
-    if (epoch != timer_epoch_ || unacked_ == 0) return;
-    emit_ack(last_data_);
-  });
+  // restore() already set timer_armed_/timer_at_ (the live deadline); e.at
+  // is the slot's queued time, which may be earlier or stale-cancelled.
+  timer_seq_ = sim_.arm(timer_slot(), e.at);
 }
 
 void Receiver::emit_ack(const Packet& trigger) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 
 #include "sim/check_probe.hpp"
@@ -27,6 +28,12 @@ class Receiver final : public PacketHandler {
   template <typename AckPath>
   Receiver(Simulator& sim, const AckPolicy& policy, AckPath& ack_path)
       : sim_(sim), policy_(policy), ack_path_(as_sink(ack_path)) {}
+  ~Receiver() override;
+
+  // Wires the delayed-ACK timer to a FlowTable-owned Event slot (see
+  // sim/flow_table.hpp). Must be called before any data arrives; without a
+  // slot the receiver lazily allocates a private one.
+  void set_timer_slot(Event* slot) { timer_slot_ = slot; }
 
   void handle(Packet pkt) override {
     if (pkt.is_dummy || pkt.is_ack) return;
@@ -93,10 +100,17 @@ class Receiver final : public PacketHandler {
  private:
   void emit_ack(const Packet& trigger);
   void arm_timer();
+  void on_timer_fire();
+  Event* timer_slot();
 
   Simulator& sim_;
   AckPolicy policy_;
   PacketSink ack_path_;
+  // Owned delayed-ACK timer slot, re-armed in place (Event::kOwned). While
+  // timer_armed_, the slot is queued at some time <= timer_at_; a stale
+  // early fire re-arms itself at the live deadline.
+  Event* timer_slot_ = nullptr;
+  std::unique_ptr<Event> owned_slot_;  // standalone fallback
   std::set<uint64_t> ooo_;  // out-of-order segment seqs awaiting the gap
   uint64_t cum_ = 0;        // bytes received in order
   uint64_t packets_ = 0;

@@ -53,6 +53,8 @@ uint32_t Scenario::build_flow(FlowSpec spec, bool schedule_start) {
   sc.flow_id = id;
   sc.stats_interval = spec.stats_interval;
   sc.max_cwnd_bytes = spec.max_cwnd_bytes;
+  sc.table = &table_;
+  sc.row = table_.add_row();
   // The chain is built in dependency order: each element references the one
   // that consumes its output.
   PacketSink sender_egress = ingress_;
@@ -70,6 +72,7 @@ uint32_t Scenario::build_flow(FlowSpec spec, bool schedule_start) {
       config_.jitter_budget, *flow->sender);
   flow->receiver =
       std::make_unique<Receiver>(sim_, spec.ack_policy, *flow->ack_jitter);
+  flow->receiver->set_timer_slot(&table_.ack_slots[id]);
   flow->data_jitter = std::make_unique<JitterBox>(
       sim_,
       spec.data_jitter ? std::move(spec.data_jitter)

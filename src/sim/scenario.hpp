@@ -16,6 +16,7 @@
 
 #include "cc/cca.hpp"
 #include "sim/aqm.hpp"
+#include "sim/flow_table.hpp"
 #include "sim/jitter.hpp"
 #include "sim/link.hpp"
 #include "sim/loss.hpp"
@@ -153,6 +154,9 @@ class Scenario {
   bool has_bottleneck() const { return link_ != nullptr; }
 
   size_t flow_count() const { return flows_.size(); }
+  // Shared per-flow hot-state columns (one row per flow, in add order).
+  const FlowTable& flow_table() const { return table_; }
+  FlowTable& flow_table() { return table_; }
   const Sender& sender(size_t i) const { return *flows_[i]->sender; }
   Sender& sender(size_t i) { return *flows_[i]->sender; }
   const Receiver& receiver(size_t i) const { return *flows_[i]->receiver; }
@@ -227,6 +231,9 @@ class Scenario {
 
   Simulator sim_;
   ScenarioConfig config_;
+  // Declared before flows_ so rows outlive the Sender/Receiver objects that
+  // borrow them (their destructors disarm the table's timer slots).
+  FlowTable table_;
   Demux demux_;
   std::unique_ptr<BottleneckLink> link_;
   std::unique_ptr<DelayServerLink> delay_server_;

@@ -1,0 +1,271 @@
+// Arena-backed retransmission scoreboard.
+//
+// Replaces the sender's node-based std::map<seq, SentInfo> outstanding set
+// and std::set<seq> retransmit queue with one power-of-two ring of slots
+// indexed by packet number (seq / kMss — segments are always MSS-sized).
+// Present-in-flight and queued-for-retransmit are independent flag bits on
+// the slot, mirroring the old containers exactly: a 1-segment SACK erases
+// the outstanding entry but leaves the retransmit flag, and a popped
+// retransmit is re-sent whether or not its entry survived, just as the old
+// set/map pair behaved.
+//
+// All operations the ACK hot path performs — insert at the tail, erase
+// below the cumulative ACK, oldest-present lookup, lowest-retransmit pop —
+// are amortized O(1) via monotone cursors; the ring never allocates after
+// it has grown to the flow's peak window span.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+// Per-segment transmission record (field order matches the original
+// Sender::SentInfo aggregate — snapshot States still carry these).
+struct SentInfo {
+  TimeNs sent_at;
+  uint32_t bytes;
+  uint64_t delivered_at_send;
+};
+
+class Scoreboard {
+ public:
+  explicit Scoreboard(uint32_t seg_bytes) : seg_(seg_bytes) {
+    slots_.resize(kInitialSlots);
+    mask_ = kInitialSlots - 1;
+  }
+
+  bool empty() const { return present_ == 0; }
+  size_t size() const { return present_; }
+  bool retx_empty() const { return retx_ == 0; }
+  // Sum of present entries' bytes, maintained incrementally — the invariant
+  // checker cross-checks it against the flow table's inflight column.
+  uint64_t present_bytes() const { return present_bytes_; }
+
+  bool contains(uint64_t seq) const {
+    const uint64_t pkt = pkt_of(seq);
+    if (pkt < base_ || pkt >= end_) return false;
+    return (slot(pkt).flags & kPresent) != 0;
+  }
+
+  const SentInfo* find(uint64_t seq) const {
+    const uint64_t pkt = pkt_of(seq);
+    if (pkt < base_ || pkt >= end_) return nullptr;
+    const Slot& s = slot(pkt);
+    return (s.flags & kPresent) != 0 ? &s.info : nullptr;
+  }
+
+  // Inserts or replaces; returns true when the seq was not present (the
+  // map's insert_or_assign `inserted` result, which gates inflight growth).
+  bool insert_or_assign(uint64_t seq, const SentInfo& info) {
+    const uint64_t pkt = pkt_of(seq);
+    assert(pkt >= base_);
+    if (pkt >= end_) {
+      reserve_span(pkt + 1 - base_);
+      end_ = pkt + 1;
+    }
+    Slot& s = slot(pkt);
+    const bool inserted = (s.flags & kPresent) == 0;
+    s.info = info;
+    s.flags |= kPresent;
+    if (inserted) {
+      ++present_;
+      present_bytes_ += info.bytes;
+      if (pkt < oldest_hint_) oldest_hint_ = pkt;
+    }
+    return inserted;
+  }
+
+  // Seq / record of the oldest present entry; call only when !empty().
+  uint64_t oldest_seq() const {
+    advance_oldest();
+    return oldest_hint_ * seg_;
+  }
+  const SentInfo& oldest_info() const {
+    advance_oldest();
+    return slot(oldest_hint_).info;
+  }
+
+  // Erases a present entry; returns its byte count (0 if absent).
+  uint32_t erase(uint64_t seq) {
+    const uint64_t pkt = pkt_of(seq);
+    if (pkt < base_ || pkt >= end_) return 0;
+    Slot& s = slot(pkt);
+    if ((s.flags & kPresent) == 0) return 0;
+    const uint32_t bytes = s.info.bytes;
+    s.flags &= ~kPresent;
+    --present_;
+    present_bytes_ -= bytes;
+    return bytes;
+  }
+
+  // --- retransmit queue ---
+
+  void retx_insert(uint64_t seq) {
+    const uint64_t pkt = pkt_of(seq);
+    assert(pkt >= base_ && pkt < end_);
+    Slot& s = slot(pkt);
+    if ((s.flags & kRetx) != 0) return;
+    s.flags |= kRetx;
+    ++retx_;
+    if (pkt < retx_hint_) retx_hint_ = pkt;
+  }
+
+  bool retx_contains(uint64_t seq) const {
+    const uint64_t pkt = pkt_of(seq);
+    if (pkt < base_ || pkt >= end_) return false;
+    return (slot(pkt).flags & kRetx) != 0;
+  }
+
+  // Seq of the lowest queued retransmit; call only when !retx_empty().
+  uint64_t retx_min_seq() const {
+    advance_retx();
+    return retx_hint_ * seg_;
+  }
+
+  // Pops the lowest queued retransmit. The slot is deliberately left
+  // reserved (base never advances here): the caller immediately re-sends
+  // this seq, re-inserting at the same slot.
+  void retx_pop_lowest() {
+    advance_retx();
+    Slot& s = slot(retx_hint_);
+    s.flags &= ~kRetx;
+    --retx_;
+    ++retx_hint_;
+  }
+
+  // Advances the ring floor past fully-cleared slots below `seq` (call
+  // after the erase-below-cumulative-ACK loops; everything below the
+  // cumulative ACK is unflagged by then, so the span stays window-bounded).
+  void advance_floor(uint64_t seq) {
+    const uint64_t limit = std::min(pkt_of(seq), end_);
+    while (base_ < limit && slot(base_).flags == 0) ++base_;
+    if (oldest_hint_ < base_) oldest_hint_ = base_;
+    if (retx_hint_ < base_) retx_hint_ = base_;
+  }
+
+  // Ascending scan over present entries with seq < seq_limit;
+  // `fn(seq, info)` returns false to stop early.
+  template <typename Fn>
+  void scan_present_below(uint64_t seq_limit, Fn&& fn) const {
+    if (present_ == 0) return;
+    advance_oldest();
+    const uint64_t pkt_limit =
+        std::min<uint64_t>(end_, (seq_limit + seg_ - 1) / seg_);
+    for (uint64_t pkt = oldest_hint_; pkt < pkt_limit; ++pkt) {
+      const Slot& s = slot(pkt);
+      if ((s.flags & kPresent) == 0) continue;
+      if (pkt * seg_ >= seq_limit) break;
+      if (!fn(pkt * seg_, s.info)) return;
+    }
+  }
+
+  // --- snapshot interop: the State structs keep the container types ---
+
+  void export_state(std::map<uint64_t, SentInfo>* outstanding,
+                    std::set<uint64_t>* retx_queue) const {
+    for (uint64_t pkt = base_; pkt < end_; ++pkt) {
+      const Slot& s = slot(pkt);
+      if ((s.flags & kPresent) != 0) (*outstanding)[pkt * seg_] = s.info;
+      if ((s.flags & kRetx) != 0) retx_queue->insert(pkt * seg_);
+    }
+  }
+
+  void import_state(const std::map<uint64_t, SentInfo>& outstanding,
+                    const std::set<uint64_t>& retx_queue) {
+    clear();
+    uint64_t lo = UINT64_MAX;
+    for (const auto& [seq, info] : outstanding) {
+      (void)info;
+      lo = std::min(lo, pkt_of(seq));
+    }
+    for (uint64_t seq : retx_queue) lo = std::min(lo, pkt_of(seq));
+    if (lo == UINT64_MAX) return;
+    base_ = end_ = oldest_hint_ = retx_hint_ = lo;
+    for (const auto& [seq, info] : outstanding) insert_or_assign(seq, info);
+    for (uint64_t seq : retx_queue) {
+      const uint64_t pkt = pkt_of(seq);
+      if (pkt >= end_) {
+        reserve_span(pkt + 1 - base_);
+        end_ = pkt + 1;
+      }
+      Slot& s = slot(pkt);
+      if ((s.flags & kRetx) == 0) {
+        s.flags |= kRetx;
+        ++retx_;
+        if (pkt < retx_hint_) retx_hint_ = pkt;
+      }
+    }
+  }
+
+  void clear() {
+    for (uint64_t pkt = base_; pkt < end_; ++pkt) slot(pkt).flags = 0;
+    base_ = end_ = oldest_hint_ = retx_hint_ = 0;
+    present_ = retx_ = 0;
+    present_bytes_ = 0;
+  }
+
+ private:
+  static constexpr size_t kInitialSlots = 1024;
+  static constexpr uint8_t kPresent = 1;
+  static constexpr uint8_t kRetx = 2;
+
+  struct Slot {
+    SentInfo info = {};
+    uint8_t flags = 0;
+  };
+
+  uint64_t pkt_of(uint64_t seq) const { return seq / seg_; }
+  Slot& slot(uint64_t pkt) { return slots_[pkt & mask_]; }
+  const Slot& slot(uint64_t pkt) const { return slots_[pkt & mask_]; }
+
+  void reserve_span(uint64_t span) {
+    if (span <= slots_.size()) return;
+    size_t cap = slots_.size();
+    while (cap < span) cap *= 2;
+    std::vector<Slot> grown(cap);
+    for (uint64_t pkt = base_; pkt < end_; ++pkt) {
+      grown[pkt & (cap - 1)] = slots_[pkt & mask_];
+    }
+    slots_ = std::move(grown);
+    mask_ = cap - 1;
+  }
+
+  // Presence never reappears below the oldest present entry (new sends land
+  // at the tail, retransmits replace slots whose flags are still set), so
+  // this cursor is monotone and each slot is skipped at most once.
+  void advance_oldest() const {
+    while (oldest_hint_ < end_ &&
+           (slot(oldest_hint_).flags & kPresent) == 0) {
+      ++oldest_hint_;
+    }
+    assert(oldest_hint_ < end_);
+  }
+  // The retransmit cursor is only a lower bound — retx_insert may move it
+  // back down — so it advances lazily from the last known floor.
+  void advance_retx() const {
+    while (retx_hint_ < end_ && (slot(retx_hint_).flags & kRetx) == 0) {
+      ++retx_hint_;
+    }
+    assert(retx_hint_ < end_);
+  }
+
+  uint32_t seg_;
+  std::vector<Slot> slots_;
+  uint64_t mask_ = 0;
+  uint64_t base_ = 0;  // ring floor: no flags below this pkt
+  uint64_t end_ = 0;   // one past the highest flagged pkt
+  size_t present_ = 0;
+  size_t retx_ = 0;
+  uint64_t present_bytes_ = 0;
+  mutable uint64_t oldest_hint_ = 0;  // lowest possibly-present pkt
+  mutable uint64_t retx_hint_ = 0;    // lowest possibly-retx pkt
+};
+
+}  // namespace ccstarve

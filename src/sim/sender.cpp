@@ -15,8 +15,35 @@ constexpr TimeNs kMaxRto = TimeNs::seconds(60);
 
 Sender::Sender(Simulator& sim, const Config& config, std::unique_ptr<Cca> cca,
                PacketSink data_path)
-    : sim_(sim), config_(config), cca_(std::move(cca)), data_path_(data_path) {
+    : sim_(sim),
+      config_(config),
+      cca_(std::move(cca)),
+      data_path_(data_path),
+      scoreboard_(kMss) {
   assert(cca_ != nullptr);
+  if (config_.table != nullptr) {
+    table_ = config_.table;
+    row_ = config_.row;
+    assert(row_ < table_->size());
+  } else {
+    owned_table_ = std::make_unique<FlowTable>(1);
+    table_ = owned_table_.get();
+    row_ = 0;
+  }
+  pace_slot_ = &table_->pace_slots[row_];
+  rto_slot_ = &table_->rto_slots[row_];
+  // Owned slots: the callback is emplaced once; arming re-inserts the node.
+  pace_slot_->fn.emplace([this] {
+    wakeup_scheduled_ = false;
+    maybe_send();
+  });
+  rto_slot_->fn.emplace([this] { on_rto_slot_fire(); });
+  sync_cca_gauges();
+}
+
+Sender::~Sender() {
+  sim_.disarm(pace_slot_);
+  sim_.disarm(rto_slot_);
 }
 
 void Sender::start(TimeNs at) {
@@ -25,6 +52,7 @@ void Sender::start(TimeNs at) {
   start_seq_ = sim_.schedule_at(at, [this] {
     start_pending_ = false;
     started_ = true;
+    table_->started[row_] = 1;
     start_time_ = sim_.now();
     pace_next_ = sim_.now();
     maybe_send();
@@ -35,35 +63,31 @@ void Sender::maybe_send() {
   if (!started_ || !cca_) return;
   const TimeNs now = sim_.now();
   while (true) {
-    const bool has_retx = !retx_queue_.empty();
-    const uint64_t cwnd =
-        std::min(cca_->cwnd_bytes(), config_.max_cwnd_bytes);
-    if (!has_retx && inflight_bytes_ + kMss > cwnd) {
+    const bool has_retx = !scoreboard_.retx_empty();
+    const uint64_t cwnd = std::min(cwnd_col(), config_.max_cwnd_bytes);
+    if (!has_retx && inflight_col() + kMss > cwnd) {
       return;  // window-blocked; an ACK will re-invoke us
     }
     if (pace_next_ > now) {
       if (!wakeup_scheduled_) {
         wakeup_scheduled_ = true;
         wakeup_at_ = pace_next_;
-        wakeup_seq_ = sim_.schedule_at(pace_next_, [this] {
-          wakeup_scheduled_ = false;
-          maybe_send();
-        });
+        wakeup_seq_ = sim_.arm(pace_slot_, pace_next_);
       }
       return;  // pacing-blocked
     }
     uint64_t seq;
     bool retx = false;
     if (has_retx) {
-      seq = *retx_queue_.begin();
-      retx_queue_.erase(retx_queue_.begin());
+      seq = scoreboard_.retx_min_seq();
+      scoreboard_.retx_pop_lowest();
       retx = true;
     } else {
-      seq = next_seq_;
-      next_seq_ += kMss;
+      seq = next_seq_col();
+      next_seq_col() += kMss;
     }
     send_segment(seq, retx);
-    const Rate pr = cca_->pacing_rate();
+    const Rate pr = pacing_col();
     pace_next_ = ccstarve::max(pace_next_, now) + pr.transmission_time(kMss);
   }
 }
@@ -78,14 +102,14 @@ void Sender::send_segment(uint64_t seq, bool retransmit) {
 
   // A retransmitted segment replaces its scoreboard entry; inflight only
   // grows when the segment was not already outstanding.
-  auto [it, inserted] = outstanding_.insert_or_assign(
-      seq, SentInfo{sim_.now(), pkt.bytes, delivered_});
-  (void)it;
-  if (inserted) inflight_bytes_ += pkt.bytes;
-  ++packets_sent_;
+  const bool inserted = scoreboard_.insert_or_assign(
+      seq, SentInfo{sim_.now(), pkt.bytes, delivered_col()});
+  if (inserted) inflight_col() += pkt.bytes;
+  ++sent_col();
 
-  cca_->on_packet_sent(sim_.now(), seq, pkt.bytes, inflight_bytes_,
-                        retransmit);
+  cca_->on_packet_sent(sim_.now(), seq, pkt.bytes, inflight_col(),
+                       retransmit);
+  sync_cca_gauges();
   if (TraceRecorder* tr = sim_.tracer()) {
     tr->record('S', sim_.now(), pkt.flow, pkt.seq, retransmit ? 1 : 0);
   }
@@ -123,39 +147,42 @@ void Sender::on_ack_packet(const Packet& ack) {
   // specifically-acknowledged segment (1-segment SACK).
   uint64_t newly_acked = 0;
   uint64_t delivered_at_send = 0;
-  if (auto it = outstanding_.find(ack.ack_seq); it != outstanding_.end()) {
-    delivered_at_send = it->second.delivered_at_send;
+  if (const SentInfo* info = scoreboard_.find(ack.ack_seq)) {
+    delivered_at_send = info->delivered_at_send;
   }
-  while (!outstanding_.empty() && outstanding_.begin()->first < ack.ack_cum) {
-    newly_acked += outstanding_.begin()->second.bytes;
-    inflight_bytes_ -= outstanding_.begin()->second.bytes;
-    outstanding_.erase(outstanding_.begin());
+  while (!scoreboard_.empty() && scoreboard_.oldest_seq() < ack.ack_cum) {
+    const uint64_t oldest = scoreboard_.oldest_seq();
+    const uint32_t bytes = scoreboard_.erase(oldest);
+    newly_acked += bytes;
+    inflight_col() -= bytes;
   }
-  if (auto it = outstanding_.find(ack.ack_seq); it != outstanding_.end()) {
-    newly_acked += it->second.bytes;
-    inflight_bytes_ -= it->second.bytes;
-    outstanding_.erase(it);
+  if (scoreboard_.contains(ack.ack_seq)) {
+    const uint32_t bytes = scoreboard_.erase(ack.ack_seq);
+    newly_acked += bytes;
+    inflight_col() -= bytes;
   }
   // Drop pending retransmits that the ACK made moot.
-  while (!retx_queue_.empty() && *retx_queue_.begin() < ack.ack_cum) {
-    retx_queue_.erase(retx_queue_.begin());
+  while (!scoreboard_.retx_empty() &&
+         scoreboard_.retx_min_seq() < ack.ack_cum) {
+    scoreboard_.retx_pop_lowest();
   }
+  scoreboard_.advance_floor(ack.ack_cum);
 
   if (ack.ack_seq > max_sacked_) max_sacked_ = ack.ack_seq;
 
-  const uint64_t prev_cum = cum_acked_;
+  const uint64_t prev_cum = cum_col();
   const bool advanced = ack.ack_cum > prev_cum;
   if (advanced) {
-    cum_acked_ = ack.ack_cum;
+    cum_col() = ack.ack_cum;
     backoff_ = 0;
     if (in_recovery_) {
-      if (cum_acked_ >= recovery_point_) {
+      if (cum_col() >= recovery_point_) {
         in_recovery_ = false;
         dupacks_ = 0;
       } else {
         // Partial ACK: repair the known holes (SACK-style), starting with
         // the one at the new cumulative point.
-        queue_retransmit(cum_acked_);
+        queue_retransmit(cum_col());
         repair_holes(now);
       }
     } else {
@@ -167,20 +194,21 @@ void Sender::on_ack_packet(const Packet& ack) {
     if (in_recovery_) repair_holes(now);
     if (dupacks_ == 3 && !in_recovery_) {
       in_recovery_ = true;
-      recovery_point_ = next_seq_;
+      recovery_point_ = next_seq_col();
       ++stats_.fast_retransmits;
       queue_retransmit(ack.ack_cum);
       repair_holes(now);
       LossSample loss;
       loss.now = now;
       loss.lost_bytes = kMss;
-      loss.inflight_bytes = inflight_bytes_;
+      loss.inflight_bytes = inflight_col();
       loss.is_timeout = false;
       cca_->on_loss(loss);
+      sync_cca_gauges();
     }
   }
 
-  delivered_ = cum_acked_ > delivered_ ? cum_acked_ : delivered_;
+  if (cum_col() > delivered_col()) delivered_col() = cum_col();
 
   AckSample sample;
   sample.now = now;
@@ -189,19 +217,19 @@ void Sender::on_ack_packet(const Packet& ack) {
   sample.acked_seq = ack.ack_seq;
   sample.delivered_at_send = delivered_at_send;
   sample.newly_acked_bytes = newly_acked;
-  sample.delivered_bytes = delivered_;
-  sample.inflight_bytes = inflight_bytes_;
+  sample.delivered_bytes = delivered_col();
+  sample.inflight_bytes = inflight_col();
   sample.is_duplicate = !advanced;
   sample.in_recovery = in_recovery_;
   sample.ece = ack.ack_ece;
   cca_->on_ack(sample);
+  sync_cca_gauges();
   if (CheckProbe* ck = sim_.checker()) {
-    ck->on_ack_sample(now, config_.flow_id, rtt, cca_->cwnd_bytes(),
-                      cca_->pacing_rate());
+    ck->on_ack_sample(now, config_.flow_id, rtt, cwnd_col(), pacing_col());
   }
   if (ObsProbe* ob = sim_.telemetry()) {
-    ob->on_ack_sample(now, config_.flow_id, rtt, cca_->cwnd_bytes(),
-                      cca_->pacing_rate(), delivered_);
+    ob->on_ack_sample(now, config_.flow_id, rtt, cwnd_col(), pacing_col(),
+                      delivered_col());
   }
 
   record_stats(now, rtt);
@@ -210,7 +238,7 @@ void Sender::on_ack_packet(const Packet& ack) {
 }
 
 void Sender::queue_retransmit(uint64_t seq) {
-  if (outstanding_.count(seq)) retx_queue_.insert(seq);
+  if (scoreboard_.contains(seq)) scoreboard_.retx_insert(seq);
 }
 
 void Sender::repair_holes(TimeNs now) {
@@ -218,55 +246,82 @@ void Sender::repair_holes(TimeNs now) {
   // are presumed lost. The per-call cap bounds ACK-processing cost.
   const TimeNs age_limit = srtt_ > TimeNs::zero() ? srtt_ : rto_;
   int budget = 128;
-  for (const auto& [seq, info] : outstanding_) {
-    if (seq >= max_sacked_ || budget == 0) break;
-    if (now - info.sent_at > age_limit && !retx_queue_.count(seq)) {
-      retx_queue_.insert(seq);
-      --budget;
-    }
-  }
+  std::vector<uint64_t> to_queue;
+  scoreboard_.scan_present_below(
+      max_sacked_, [&](uint64_t seq, const SentInfo& info) {
+        if (budget == 0) return false;
+        if (now - info.sent_at > age_limit &&
+            !scoreboard_.retx_contains(seq)) {
+          to_queue.push_back(seq);
+          --budget;
+        }
+        return true;
+      });
+  for (uint64_t seq : to_queue) scoreboard_.retx_insert(seq);
 }
 
 void Sender::arm_rto() {
-  if (outstanding_.empty()) {
-    ++rto_epoch_;  // cancel
+  if (scoreboard_.empty()) {
+    ++rto_epoch_;  // cancel (the slot fires as a no-op if still queued)
     rto_live_ = false;
     return;
   }
-  const uint64_t epoch = ++rto_epoch_;
-  const TimeNs backoff_rto =
-      ccstarve::min(rto_ * static_cast<double>(uint64_t{1} << backoff_), kMaxRto);
+  ++rto_epoch_;
+  const TimeNs backoff_rto = ccstarve::min(
+      rto_ * static_cast<double>(uint64_t{1} << backoff_), kMaxRto);
   // Anchor the deadline to the oldest outstanding transmission, not to the
   // last ACK: a busy ACK stream must not postpone the timeout of a head-of-
   // line hole forever.
-  const TimeNs deadline = ccstarve::max(
-      outstanding_.begin()->second.sent_at + backoff_rto,
-      sim_.now() + TimeNs::millis(1));
+  const TimeNs deadline =
+      ccstarve::max(scoreboard_.oldest_info().sent_at + backoff_rto,
+                    sim_.now() + TimeNs::millis(1));
   rto_live_ = true;
   rto_at_ = deadline;
-  rto_seq_ = sim_.schedule_at(deadline, [this, epoch] { on_rto_fire(epoch); });
+  // Coverage invariant: while rto_live_, the owned slot is queued at some
+  // time <= rto_at_. A slot queued early fires, notices the deadline moved,
+  // and re-arms itself — so the common per-ACK deadline extension schedules
+  // nothing at all.
+  if ((rto_slot_->flags & Event::kQueued) == 0) {
+    rto_seq_ = sim_.arm(rto_slot_, deadline);
+  } else if (rto_slot_->at > deadline) {
+    sim_.disarm(rto_slot_);
+    rto_seq_ = sim_.arm(rto_slot_, deadline);
+  } else {
+    rto_seq_ = rto_slot_->seq;
+  }
 }
 
-void Sender::on_rto_fire(uint64_t epoch) {
-  if (epoch == rto_epoch_) rto_live_ = false;  // the live event is firing
-  if (epoch != rto_epoch_ || outstanding_.empty()) return;
-  const TimeNs backoff_rto =
-      ccstarve::min(rto_ * static_cast<double>(uint64_t{1} << backoff_), kMaxRto);
-  if (sim_.now() - outstanding_.begin()->second.sent_at < backoff_rto) {
+void Sender::on_rto_slot_fire() {
+  if (!rto_live_) return;  // cancelled after this slot was armed
+  if (sim_.now() < rto_at_) {
+    // Deadline was pushed later since the slot was armed; restore coverage.
+    rto_seq_ = sim_.arm(rto_slot_, rto_at_);
+    return;
+  }
+  rto_live_ = false;
+  if (scoreboard_.empty()) return;
+  const TimeNs backoff_rto = ccstarve::min(
+      rto_ * static_cast<double>(uint64_t{1} << backoff_), kMaxRto);
+  if (sim_.now() - scoreboard_.oldest_info().sent_at < backoff_rto) {
     arm_rto();  // the head was retransmitted recently; re-check later
     return;
   }
+  rto_timeout_action();
+}
+
+void Sender::rto_timeout_action() {
   ++stats_.timeouts;
   ++backoff_;
   dupacks_ = 0;
   in_recovery_ = false;
-  queue_retransmit(outstanding_.begin()->first);
+  queue_retransmit(scoreboard_.oldest_seq());
   LossSample loss;
   loss.now = sim_.now();
-  loss.lost_bytes = outstanding_.begin()->second.bytes;
-  loss.inflight_bytes = inflight_bytes_;
+  loss.lost_bytes = scoreboard_.oldest_info().bytes;
+  loss.inflight_bytes = inflight_col();
   loss.is_timeout = true;
   cca_->on_loss(loss);
+  sync_cca_gauges();
   arm_rto();
   maybe_send();
 }
@@ -275,13 +330,12 @@ Sender::State Sender::capture(std::vector<PendingEvent>* events) const {
   State st;
   st.started = started_;
   st.start_time = start_time_;
-  st.next_seq = next_seq_;
-  st.outstanding = outstanding_;
-  st.inflight_bytes = inflight_bytes_;
-  st.retx_queue = retx_queue_;
-  st.cum_acked = cum_acked_;
-  st.delivered = delivered_;
-  st.packets_sent = packets_sent_;
+  st.next_seq = table_->next_seq[row_];
+  scoreboard_.export_state(&st.outstanding, &st.retx_queue);
+  st.inflight_bytes = table_->inflight_bytes[row_];
+  st.cum_acked = table_->cum_acked[row_];
+  st.delivered = table_->delivered[row_];
+  st.packets_sent = table_->packets_sent[row_];
   st.dupacks = dupacks_;
   st.in_recovery = in_recovery_;
   st.recovery_point = recovery_point_;
@@ -317,10 +371,15 @@ Sender::State Sender::capture(std::vector<PendingEvent>* events) const {
     e.flow = flow;
     events->push_back(e);
   }
-  if (rto_live_) {
+  if ((rto_slot_->flags & Event::kQueued) != 0) {
+    // Capture the slot at its ACTUAL queued time, which may be earlier than
+    // the live deadline (coverage invariant) or stale after a cancel. The
+    // fork must replay the early/stale fire and its re-arm so it consumes
+    // the same insertion seqs as the parent's own continuation; the true
+    // deadline travels in State (rto_live/rto_at).
     PendingEvent e;
-    e.at = rto_at_;
-    e.seq = rto_seq_;
+    e.at = rto_slot_->at;
+    e.seq = rto_slot_->seq;
     e.kind = PendingEvent::Kind::kSenderRto;
     e.flow = flow;
     events->push_back(e);
@@ -330,14 +389,14 @@ Sender::State Sender::capture(std::vector<PendingEvent>* events) const {
 
 void Sender::restore(const State& st) {
   started_ = st.started;
+  table_->started[row_] = st.started ? 1 : 0;
   start_time_ = st.start_time;
-  next_seq_ = st.next_seq;
-  outstanding_ = st.outstanding;
-  inflight_bytes_ = st.inflight_bytes;
-  retx_queue_ = st.retx_queue;
-  cum_acked_ = st.cum_acked;
-  delivered_ = st.delivered;
-  packets_sent_ = st.packets_sent;
+  table_->next_seq[row_] = st.next_seq;
+  scoreboard_.import_state(st.outstanding, st.retx_queue);
+  table_->inflight_bytes[row_] = st.inflight_bytes;
+  table_->cum_acked[row_] = st.cum_acked;
+  table_->delivered[row_] = st.delivered;
+  table_->packets_sent[row_] = st.packets_sent;
   dupacks_ = st.dupacks;
   in_recovery_ = st.in_recovery;
   recovery_point_ = st.recovery_point;
@@ -356,6 +415,7 @@ void Sender::restore(const State& st) {
   rto_live_ = st.rto_live;
   rto_at_ = st.rto_at;
   wakeup_at_ = st.wakeup_at;
+  if (cca_ != nullptr) sync_cca_gauges();
 }
 
 void Sender::restore_event(const PendingEvent& e) {
@@ -367,17 +427,13 @@ void Sender::restore_event(const PendingEvent& e) {
       break;
     case PendingEvent::Kind::kSenderPace:
       wakeup_at_ = e.at;
-      wakeup_seq_ = sim_.schedule_at(e.at, [this] {
-        wakeup_scheduled_ = false;
-        maybe_send();
-      });
+      wakeup_seq_ = sim_.arm(pace_slot_, e.at);
       break;
-    case PendingEvent::Kind::kSenderRto: {
-      const uint64_t epoch = rto_epoch_;
-      rto_at_ = e.at;
-      rto_seq_ = sim_.schedule_at(e.at, [this, epoch] { on_rto_fire(epoch); });
+    case PendingEvent::Kind::kSenderRto:
+      // restore() already set rto_live_/rto_at_ (the true deadline); e.at is
+      // the slot's queued time, which may be earlier or stale-cancelled.
+      rto_seq_ = sim_.arm(rto_slot_, e.at);
       break;
-    }
     default:
       assert(false && "not a sender event");
   }
@@ -390,9 +446,9 @@ void Sender::record_stats(TimeNs now, TimeNs rtt) {
   }
   last_stats_at_ = now;
   stats_.rtt_seconds.add(now, rtt.to_seconds());
-  stats_.delivered_bytes.add(now, static_cast<double>(delivered_));
-  stats_.cwnd_bytes.add(now, static_cast<double>(cca_->cwnd_bytes()));
-  const Rate pr = cca_->pacing_rate();
+  stats_.delivered_bytes.add(now, static_cast<double>(delivered_col()));
+  stats_.cwnd_bytes.add(now, static_cast<double>(cwnd_col()));
+  const Rate pr = pacing_col();
   stats_.pacing_mbps.add(now, pr.is_infinite() ? -1.0 : pr.to_mbps());
 }
 

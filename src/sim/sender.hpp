@@ -6,6 +6,13 @@
 // retransmission timeout with exponential backoff, and dual cwnd/pacing
 // gating so both window-based (Vegas, Cubic, ...) and rate-based (BBR, PCC,
 // ...) algorithms run on the same code path.
+//
+// Hot per-flow state lives in a FlowTable row (sim/flow_table.hpp): the
+// inflight/cum-ACK/next-seq/packets-sent counters and the cwnd/pacing CCA
+// mirrors are dense columns shared across a scenario's flows, and the
+// pacing-wakeup and RTO timers are flat owned Event slots re-armed in place
+// (no pool traffic per ACK). A standalone Sender owns a private single-row
+// table, so unit-test construction is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +21,9 @@
 #include <set>
 
 #include "cc/cca.hpp"
+#include "sim/flow_table.hpp"
 #include "sim/packet.hpp"
+#include "sim/scoreboard.hpp"
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
 #include "util/series.hpp"
@@ -42,6 +51,10 @@ class Sender final : public PacketHandler {
     // Hard cap on the window regardless of the CCA (safety valve for
     // strong-model experiments where throughput legitimately diverges).
     uint64_t max_cwnd_bytes = uint64_t{1} << 40;
+    // Shared flow table + this sender's row. Null: the sender owns a
+    // private single-row table (standalone/unit-test construction).
+    FlowTable* table = nullptr;
+    uint32_t row = 0;
   };
 
   template <typename DataPath>
@@ -51,6 +64,7 @@ class Sender final : public PacketHandler {
 
   Sender(Simulator& sim, const Config& config, std::unique_ptr<Cca> cca,
          PacketSink data_path);
+  ~Sender() override;
 
   // Begins transmitting at the given absolute time.
   void start(TimeNs at);
@@ -63,24 +77,23 @@ class Sender final : public PacketHandler {
   // Releases the CCA (with its converged state) for transplantation.
   std::unique_ptr<Cca> take_cca() { return std::move(cca_); }
 
-  uint64_t delivered_bytes() const { return delivered_; }
-  uint64_t inflight_bytes() const { return inflight_bytes_; }
-  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t delivered_bytes() const { return table_->delivered[row_]; }
+  uint64_t inflight_bytes() const { return table_->inflight_bytes[row_]; }
+  uint64_t packets_sent() const { return table_->packets_sent[row_]; }
   const FlowStats& stats() const { return stats_; }
+  // Independent inflight accounting (scoreboard-internal), cross-checked
+  // against the flow-table column by the invariant checker.
+  uint64_t scoreboard_bytes() const { return scoreboard_.present_bytes(); }
 
-  struct SentInfo {
-    TimeNs sent_at;
-    uint32_t bytes;
-    uint64_t delivered_at_send;
-  };
+  using SentInfo = ccstarve::SentInfo;
 
   // --- snapshot/fork hooks (sim/snapshot.hpp) ---
   //
   // The CCA itself is captured separately via Cca::clone() (see
   // Scenario::snapshot); State covers the transport machinery plus the
   // data records of the sender's own pending timers (start, pacing wakeup,
-  // live RTO). Timers from stale epochs fire as no-ops in a cold run, so
-  // only the live one per kind is captured.
+  // live RTO). The State keeps the original container types — capture
+  // exports the scoreboard ring, restore imports it.
 
   struct State {
     bool started = false;
@@ -120,7 +133,6 @@ class Sender final : public PacketHandler {
   void restore_event(const PendingEvent& e);
 
  private:
-
   void maybe_send();
   void send_segment(uint64_t seq, bool retransmit);
   void on_ack_packet(const Packet& ack);
@@ -129,13 +141,38 @@ class Sender final : public PacketHandler {
   // the highest SACKed seq that have not been (re)sent for an RTT.
   void repair_holes(TimeNs now);
   void arm_rto();
-  void on_rto_fire(uint64_t epoch);
+  void on_rto_slot_fire();
+  void rto_timeout_action();
   void record_stats(TimeNs now, TimeNs rtt);
+
+  // Flow-table column accessors for this sender's row.
+  uint64_t& inflight_col() { return table_->inflight_bytes[row_]; }
+  uint64_t& cum_col() { return table_->cum_acked[row_]; }
+  uint64_t& delivered_col() { return table_->delivered[row_]; }
+  uint64_t& next_seq_col() { return table_->next_seq[row_]; }
+  uint64_t& sent_col() { return table_->packets_sent[row_]; }
+  uint64_t cwnd_col() const { return table_->cwnd_bytes[row_]; }
+  Rate pacing_col() const { return table_->pacing[row_]; }
+  // Refreshes the CCA gauge mirrors; call after every CCA callback. The
+  // getters are pure, so the mirror always equals what a direct virtual
+  // call would have returned.
+  void sync_cca_gauges() {
+    table_->cwnd_bytes[row_] = cca_->cwnd_bytes();
+    table_->pacing[row_] = cca_->pacing_rate();
+  }
 
   Simulator& sim_;
   Config config_;
   std::unique_ptr<Cca> cca_;
   PacketSink data_path_;
+
+  FlowTable* table_ = nullptr;
+  uint32_t row_ = 0;
+  std::unique_ptr<FlowTable> owned_table_;  // standalone fallback
+  Event* pace_slot_ = nullptr;
+  Event* rto_slot_ = nullptr;
+
+  Scoreboard scoreboard_;
 
   bool started_ = false;
   TimeNs start_time_ = TimeNs::zero();
@@ -144,35 +181,30 @@ class Sender final : public PacketHandler {
   TimeNs start_at_ = TimeNs::zero();
   uint64_t start_seq_ = 0;
 
-  uint64_t next_seq_ = 0;
-  std::map<uint64_t, SentInfo> outstanding_;
-  uint64_t inflight_bytes_ = 0;
-  std::set<uint64_t> retx_queue_;
-  uint64_t cum_acked_ = 0;
-  uint64_t delivered_ = 0;
-  uint64_t packets_sent_ = 0;
-
   // Fast-retransmit state.
   uint32_t dupacks_ = 0;
   bool in_recovery_ = false;
   uint64_t recovery_point_ = 0;
   uint64_t max_sacked_ = 0;
 
-  // Pacing.
+  // Pacing. The wakeup is the flow's owned pace slot; wakeup_scheduled_
+  // mirrors its queued bit, and wakeup_at_/wakeup_seq_ record the armed
+  // deadline for snapshots (pace_next_ may move past it before it fires).
   TimeNs pace_next_ = TimeNs::zero();
   bool wakeup_scheduled_ = false;
-  // Deadline/seq of the scheduled wakeup — pace_next_ may move past it
-  // between scheduling and firing, so it is tracked separately.
   TimeNs wakeup_at_ = TimeNs::zero();
   uint64_t wakeup_seq_ = 0;
 
-  // RTO machinery.
+  // RTO machinery. rto_at_ is the true deadline; the owned RTO slot is
+  // armed at or before it (it fires early when the deadline was pushed
+  // later, re-arming itself — the invariant is that while rto_live_ the
+  // slot covers some time <= rto_at_). rto_epoch_ survives for State
+  // compatibility and restore ordering.
   TimeNs srtt_ = TimeNs::zero();
   TimeNs rttvar_ = TimeNs::zero();
   TimeNs rto_ = TimeNs::millis(1000);
   int backoff_ = 0;
   uint64_t rto_epoch_ = 0;
-  // Deadline/seq of the live (current-epoch) RTO event, for snapshots.
   bool rto_live_ = false;
   TimeNs rto_at_ = TimeNs::zero();
   uint64_t rto_seq_ = 0;

@@ -15,9 +15,15 @@ Simulator::Simulator(EventPool* shared_pool)
 Simulator::~Simulator() { release_all(); }
 
 void Simulator::release_all() {
-  for (Event* e : near_) pool_->release(e);
+  // Owned nodes (flat timer slots) are caller storage: unlink them and
+  // clear their queued bit, but never hand them to the pool.
+  const auto drop = [this](Event* e) {
+    e->flags &= ~Event::kQueued;
+    if ((e->flags & Event::kOwned) == 0) pool_->release(e);
+  };
+  for (Event* e : near_) drop(e);
   near_.clear();
-  for (Event* e : far_) pool_->release(e);
+  for (Event* e : far_) drop(e);
   far_.clear();
   for (uint64_t word = 0; word < kBitmapWords; ++word) {
     uint64_t bits = occupancy_[word];
@@ -27,7 +33,7 @@ void Simulator::release_all() {
       Event* e = wheel_[word * 64 + static_cast<uint64_t>(bit)];
       while (e != nullptr) {
         Event* next = e->next;
-        pool_->release(e);
+        drop(e);
         e = next;
       }
       wheel_[word * 64 + static_cast<uint64_t>(bit)] = nullptr;
@@ -35,6 +41,56 @@ void Simulator::release_all() {
     occupancy_[word] = 0;
   }
   pending_ = 0;
+}
+
+bool Simulator::disarm(Event* e) {
+  if ((e->flags & Event::kQueued) == 0) return false;
+  const auto scan_heap = [this](std::vector<Event*>& heap, Event* target) {
+    auto it = std::find(heap.begin(), heap.end(), target);
+    if (it == heap.end()) return false;
+    heap.erase(it);
+    std::make_heap(heap.begin(), heap.end(), Later{});
+    return true;
+  };
+  bool removed = scan_heap(near_, e);
+  if (!removed) {
+    const uint64_t tick = tick_of(e->at);
+    if (tick >= cur_tick_ && tick - cur_tick_ < kWheelSlots) {
+      const uint64_t slot = tick & kWheelMask;
+      Event** p = &wheel_[slot];
+      while (*p != nullptr && *p != e) p = &(*p)->next;
+      if (*p == e) {
+        *p = e->next;
+        removed = true;
+        if (wheel_[slot] == nullptr) {
+          occupancy_[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+        }
+      }
+    }
+  }
+  if (!removed) removed = scan_heap(far_, e);
+  if (removed) {
+    e->flags &= ~Event::kQueued;
+    --pending_;
+  }
+  return removed;
+}
+
+bool Simulator::try_claim_next(TimeNs at, uint64_t seq) {
+  if (next_pending_at() != at) return false;
+  Event* e = pop_next(at);
+  if (e == nullptr) return false;
+  if (e->at == at && e->seq == seq && (e->flags & Event::kOwned) == 0) {
+    e->flags &= ~Event::kQueued;
+    --pending_;
+    ++coalesced_;
+    pool_->release(e);
+    return true;
+  }
+  // Not the expected event: put it back. insert() keys off the node's own
+  // (at, seq), so ordering is restored exactly.
+  insert(e);
+  return false;
 }
 
 void Simulator::heap_push(std::vector<Event*>& heap, Event* e) {
@@ -149,13 +205,17 @@ bool Simulator::run_next() {
   now_ = e->at;
   ++processed_;
   --pending_;
+  e->flags &= ~Event::kQueued;
+  // An owned node's callback may re-arm the node, so after fn() the node
+  // must not be touched (and is never pool-released).
+  const bool owned = (e->flags & Event::kOwned) != 0;
   try {
     e->fn();
   } catch (...) {
-    pool_->release(e);
+    if (!owned) pool_->release(e);
     throw;
   }
-  pool_->release(e);
+  if (!owned) pool_->release(e);
   return true;
 }
 
@@ -164,13 +224,15 @@ void Simulator::run_until(TimeNs t) {
     now_ = e->at;
     ++processed_;
     --pending_;
+    e->flags &= ~Event::kQueued;
+    const bool owned = (e->flags & Event::kOwned) != 0;
     try {
       e->fn();
     } catch (...) {
-      pool_->release(e);
+      if (!owned) pool_->release(e);
       throw;
     }
-    pool_->release(e);
+    if (!owned) pool_->release(e);
   }
   if (now_ < t) now_ = t;
 }

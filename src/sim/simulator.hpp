@@ -76,6 +76,48 @@ class Simulator {
     return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
+  // --- Owned timer slots -------------------------------------------------
+  //
+  // A component may provide its own Event node (typically one cache-line
+  // pair inside a flow-table column) instead of drawing from the pool. The
+  // node's callback is emplaced ONCE, then the node is re-armed for each
+  // firing: arm() stamps a fresh (at, seq) and links the node into the
+  // wheel exactly like a pooled event, so dispatch order is identical. The
+  // dispatcher skips the pool release for owned nodes, and the callback is
+  // free to re-arm its own node. The node must outlive the simulator or be
+  // disarmed before destruction (Sender/Receiver do so in their dtors).
+
+  // Schedules an owned node at absolute time `at` (>= now). The node must
+  // not currently be queued. Returns the insertion sequence.
+  uint64_t arm(Event* e, TimeNs at) {
+    assert(at >= now_);
+    assert((e->flags & Event::kQueued) == 0);
+    if (tracer_) tracer_->on_schedule(now_, at);
+    e->at = at;
+    e->seq = next_seq_++;
+    e->flags |= Event::kOwned | Event::kQueued;
+    insert(e);
+    ++pending_;
+    return e->seq;
+  }
+
+  // Removes a queued owned node without running it. Returns false (no-op)
+  // when the node is not queued. O(pending) worst case; used on re-arm-
+  // earlier paths and in component destructors, never per event.
+  bool disarm(Event* e);
+
+  // Dispatch-time event coalescing: if the earliest pending event is
+  // exactly (at, seq), consume it without a separate dispatch and return
+  // true. The caller then performs the event's work inline, which is
+  // exact by construction — the claimed event was literally next, so doing
+  // its work now, inside the current dispatch, yields the identical action
+  // order a separate dispatch would have. Used by JitterBox to batch
+  // same-timestamp releases (e.g. quantized ACK buckets) into one wakeup.
+  bool try_claim_next(TimeNs at, uint64_t seq);
+
+  // Events absorbed by try_claim_next (not counted in events_processed).
+  uint64_t events_coalesced() const { return coalesced_; }
+
   // Runs events until the queue is empty or the next event is after `t`;
   // afterwards now() == t (time advances even if idle).
   void run_until(TimeNs t);
@@ -159,6 +201,7 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
   uint64_t pending_ = 0;
+  uint64_t coalesced_ = 0;
   TraceRecorder* tracer_ = nullptr;
   CheckProbe* checker_ = nullptr;
   ObsProbe* telemetry_ = nullptr;

@@ -210,10 +210,36 @@ FlowArgs parse_flow(const std::string& value) {
 }
 
 std::vector<FlowArgs> parse_flow_set(const std::string& value) {
+  // Hard ceiling on the expanded cohort; catches typos like copa*1000000
+  // before they allocate a scenario.
+  constexpr uint64_t kMaxFlowMultiplier = 16384;
   std::vector<FlowArgs> out;
   for (const auto& part : split(value, '+')) {
     if (part.empty()) throw SpecError("empty flow spec in '" + value + "'");
-    out.push_back(parse_flow(part));
+    // Cohort multiplier: `<flow spec>*<count>` expands to `count` identical
+    // flows (e.g. copa:rtt=40*256). '*' never appears inside a flow spec.
+    std::string spec = part;
+    uint64_t count = 1;
+    if (const size_t star = part.rfind('*'); star != std::string::npos) {
+      const std::string rep = part.substr(star + 1);
+      if (rep.empty() ||
+          rep.find_first_not_of("0123456789") != std::string::npos) {
+        throw SpecError("bad flow multiplier '" + rep + "' in '" + part +
+                        "' (want <flow spec>*<count>)");
+      }
+      count = std::stoull(rep);
+      if (count == 0 || count > kMaxFlowMultiplier) {
+        throw SpecError("flow multiplier " + rep + " in '" + part +
+                        "' out of range [1, " +
+                        std::to_string(kMaxFlowMultiplier) + "]");
+      }
+      spec = part.substr(0, star);
+      if (spec.empty()) {
+        throw SpecError("empty flow spec before '*' in '" + part + "'");
+      }
+    }
+    const FlowArgs args = parse_flow(spec);
+    out.insert(out.end(), count, args);
   }
   return out;
 }

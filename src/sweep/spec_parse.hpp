@@ -59,7 +59,9 @@ struct FlowArgs {
 
 FlowArgs parse_flow(const std::string& value);
 
-// '+'-separated list of flow specs; must be non-empty.
+// '+'-separated list of flow specs; must be non-empty. Each spec may carry
+// a cohort multiplier `*<count>` (e.g. "copa*64+bbr:rtt=80*64") expanding
+// to that many identical flows.
 std::vector<FlowArgs> parse_flow_set(const std::string& value);
 
 // Buffer size in bytes. "-" or "" means unbounded (the scenario default);

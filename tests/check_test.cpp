@@ -295,5 +295,41 @@ TEST(FuzzShrinker, MinimisesABudgetViolationToTheEssentialFlow) {
   EXPECT_NE(cmd.find("--check"), std::string::npos) << cmd;
 }
 
+// --- Fault injection: a corrupted FlowTable column is caught and shrunk. ---
+//
+// corrupt_after_run swaps the inflight/cum-acked columns on the primary
+// scenario right before the conservation checkpoint. The hook only fires on
+// cohorts of >= 4 flows, so the shrinker's `*N` bisection must stop at
+// exactly copa*4 — proving both that the flow-table invariant catches a
+// swapped column and that cohort bisection drives the minimisation.
+TEST(FuzzShrinker, CatchesAndBisectsACorruptedFlowTableColumn) {
+  check::FuzzCase c;
+  c.seed = 4;
+  c.flow_set = "copa*16";
+  c.link_mbps = 32;
+  c.rtt_ms = 40;
+  c.duration_s = 0.8;
+
+  check::FuzzOptions opts;
+  opts.metamorphic = false;  // relabel/const-jitter don't apply here
+  opts.corrupt_after_run = [](Scenario& sc) {
+    if (sc.flow_table().size() >= 4) {
+      sc.flow_table().corrupt_swap_inflight_cum();
+    }
+  };
+
+  const auto failure = check::run_case(c, opts);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->oracle, "invariant");
+  EXPECT_NE(failure->detail.find("flow-table"), std::string::npos)
+      << failure->detail;
+
+  check::FuzzFailure mf;
+  const check::FuzzCase m = check::shrink_case(c, opts, &mf);
+  EXPECT_EQ(m.flow_set, "copa*4");  // bisected 16 -> 8 -> 4; 2 passes
+  EXPECT_EQ(mf.oracle, "invariant");
+  EXPECT_NE(mf.detail.find("flow-table"), std::string::npos) << mf.detail;
+}
+
 }  // namespace
 }  // namespace ccstarve

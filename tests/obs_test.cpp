@@ -248,6 +248,55 @@ TEST(StarvationDetector, ZeroDeliveryCapsRatioAndPreStartFlowsExcluded) {
   ASSERT_FALSE(d.crossings().empty());
 }
 
+// Above pair_cap the detector switches to a deterministic pair sample and
+// starved_pair_fraction() becomes an estimator. At the distribution's
+// extremes the estimator is exact regardless of which pairs were drawn, so
+// sampled and exhaustive detectors must agree bit-for-bit there.
+TEST(StarvationDetector, SampledFractionAgreesWithExhaustiveAtExtremes) {
+  constexpr size_t kFlows = 64;  // 2016 pairs
+  StarvationDetector exhaustive;
+  StarvationDetector sampled;
+  exhaustive.configure(kFlows, 2, 2.0, 16, /*pair_cap=*/4096);
+  sampled.configure(kFlows, 2, 2.0, 16, /*pair_cap=*/256);
+
+  EXPECT_FALSE(exhaustive.sampled());
+  EXPECT_EQ(exhaustive.tracked_pair_count(), kFlows * (kFlows - 1) / 2);
+  EXPECT_TRUE(sampled.sampled());
+  EXPECT_EQ(sampled.tracked_pair_count(), 256u);
+
+  const std::vector<bool> started(kFlows, true);
+
+  // Equal deltas: no pair ever crosses — fraction exactly 0 in both modes.
+  std::vector<uint64_t> equal(kFlows, 1000);
+  TimeNs t = TimeNs::zero();
+  for (int i = 0; i < 6; ++i) {
+    t = t + TimeNs::millis(10);
+    exhaustive.on_bucket(t, equal, started);
+    sampled.on_bucket(t, equal, started);
+  }
+  EXPECT_TRUE(exhaustive.engaged());
+  EXPECT_TRUE(sampled.engaged());
+  EXPECT_DOUBLE_EQ(exhaustive.starved_pair_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(sampled.starved_pair_fraction(), 0.0);
+
+  // Geometric deltas 2^i: every pair's ratio is >= 2, so every tracked
+  // pair crosses — fraction exactly 1 in both modes, and the sampled
+  // detector records exactly its tracked-pair count of crossings.
+  std::vector<uint64_t> geometric(kFlows);
+  for (size_t i = 0; i < kFlows; ++i) {
+    geometric[i] = uint64_t{1} << i;
+  }
+  for (int i = 0; i < 6; ++i) {
+    t = t + TimeNs::millis(10);
+    exhaustive.on_bucket(t, geometric, started);
+    sampled.on_bucket(t, geometric, started);
+  }
+  EXPECT_DOUBLE_EQ(exhaustive.starved_pair_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(sampled.starved_pair_fraction(), 1.0);
+  EXPECT_EQ(exhaustive.crossings().size(), kFlows * (kFlows - 1) / 2);
+  EXPECT_EQ(sampled.crossings().size(), 256u);
+}
+
 // ---------------------------------------------------------------------------
 // Digest transparency against every committed golden digest.
 

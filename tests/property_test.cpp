@@ -17,6 +17,7 @@
 
 #include "cc/allegro.hpp"
 #include "check/invariants.hpp"
+#include "check/scenarios.hpp"
 #include "cc/bbr.hpp"
 #include "cc/copa.hpp"
 #include "cc/cubic.hpp"
@@ -301,6 +302,159 @@ TEST_P(PerCca, RecoversFromRandomLoss) {
   // Whatever the CCA does with the loss signal, the transport must keep
   // advancing the in-order delivery point.
   EXPECT_GT(sc.sender(0).delivered_bytes(), uint64_t{200} * kMss);
+}
+
+// --- Cohort scale: the flow-table transport keeps its symmetry and fork
+// properties at hundreds of flows, not just pairs. ---
+
+// Relabel symmetry at N=256: swapping the specs of two flows (one per CCA
+// cohort) must swap their per-flow outcomes and leave every other flow's
+// outcome untouched. All 256 flows get distinct start times and slightly
+// distinct RTTs so no two events tie at the same nanosecond (where the
+// (time, seq) tie-break is construction-order-dependent by design).
+TEST(CohortScale, RelabelSymmetryAt256Flows) {
+  constexpr size_t kFlows = 256;
+  constexpr size_t kSwapA = 3;    // copa slot
+  constexpr size_t kSwapB = 201;  // vegas slot
+  struct Spec {
+    std::string cca;
+    TimeNs start;
+    TimeNs rtt;
+  };
+  std::vector<Spec> specs(kFlows);
+  for (size_t i = 0; i < kFlows; ++i) {
+    specs[i].cca = (i % 2 == 0) ? "copa" : "vegas";
+    specs[i].start = TimeNs(static_cast<int64_t>(i) * 937'251);  // ~0.94 ms
+    specs[i].rtt = TimeNs::millis(40) + TimeNs(static_cast<int64_t>(i % 32) *
+                                               250'017);
+  }
+
+  auto run = [&](const std::vector<Spec>& order) {
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(256);
+    cfg.buffer_bytes = static_cast<uint64_t>(
+        2.0 * Rate::mbps(256).bytes_per_second() * 0.040);
+    auto sc = std::make_unique<Scenario>(std::move(cfg));
+    for (const Spec& s : order) {
+      FlowSpec f;
+      f.cca = sweep::make_cca(s.cca, 1);
+      f.start_at = s.start;
+      f.min_rtt = s.rtt;
+      sc->add_flow(std::move(f));
+    }
+    run_checked(*sc, TimeNs::seconds(2), "cohort relabel");
+    std::vector<uint64_t> delivered(kFlows);
+    for (size_t i = 0; i < kFlows; ++i) {
+      delivered[i] = sc->flow_table().delivered[i];
+    }
+    return delivered;
+  };
+
+  const std::vector<uint64_t> base = run(specs);
+  std::vector<Spec> swapped = specs;
+  std::swap(swapped[kSwapA], swapped[kSwapB]);
+  const std::vector<uint64_t> relabeled = run(swapped);
+
+  for (size_t i = 0; i < kFlows; ++i) {
+    const size_t expect_from =
+        i == kSwapA ? kSwapB : (i == kSwapB ? kSwapA : i);
+    EXPECT_EQ(relabeled[i], base[expect_from]) << "flow " << i;
+  }
+}
+
+// Fork equivalence at N=256: a snapshot of the four-cohort golden scenario
+// taken mid-run, forked and run to the horizon, reproduces the cold run's
+// packet digest byte-for-byte — the flow table, scoreboards, and owned
+// timer slots all capture/restore across hundreds of rows.
+TEST(CohortScale, ForkOf256FlowCohortMatchesColdDigest) {
+  golden::GoldenSpec spec;
+  spec.name = "fork_256";
+  spec.flow_set = "newreno*64+cubic*64+vegas*64+copa*64";
+  spec.link_mbps = 384;
+  spec.rtt_ms = 40;
+  spec.buffer = "2bdp";
+  spec.duration_s = 2;
+  const TimeNs duration = TimeNs::seconds(spec.duration_s);
+  const TimeNs cut = TimeNs::millis(900);
+
+  TraceRecorder cold;
+  {
+    auto sc = golden::build_golden(spec);
+    sc->sim().set_tracer(&cold);
+    sc->run_until(duration);
+  }
+
+  TraceRecorder forked;
+  ScenarioSnapshot snap;
+  {
+    auto sc = golden::build_golden(spec);
+    sc->sim().set_tracer(&forked);
+    sc->run_until(cut);
+    snap = sc->snapshot();
+  }
+  auto fk = Scenario::fork(snap);
+  check::InvariantChecker ck;
+  ck.attach(*fk);
+  fk->sim().set_tracer(&forked);
+  fk->run_until(duration);
+  ck.checkpoint();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+  EXPECT_EQ(cold.digest_hex(), forked.digest_hex());
+}
+
+// Packet conservation over the flow table with randomized start times: for
+// every row the columns must stay mutually consistent at a mid-run
+// checkpoint and at the horizon, including rows whose flows start so late
+// they never send (the never-started analog of a stopped flow).
+TEST(CohortScale, FlowTableColumnsStayConsistentUnderRandomStarts) {
+  constexpr size_t kFlows = 64;
+  ScenarioConfig cfg;
+  cfg.link_rate = Rate::mbps(64);
+  cfg.buffer_bytes = static_cast<uint64_t>(
+      2.0 * Rate::mbps(64).bytes_per_second() * 0.040);
+  Scenario sc(std::move(cfg));
+  uint64_t lcg = 0x6d5f7d51u;
+  std::vector<TimeNs> starts(kFlows);
+  for (size_t i = 0; i < kFlows; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    // Spread starts over [0, 3 s); horizon is 2.5 s, so the tail of the
+    // cohort never starts at all.
+    starts[i] = TimeNs(static_cast<int64_t>((lcg >> 17) % 3'000'000'000ull));
+    FlowSpec f;
+    f.cca = sweep::make_cca(i % 2 == 0 ? "copa" : "newreno", 1);
+    f.start_at = starts[i];
+    f.min_rtt = TimeNs::millis(40);
+    sc.add_flow(std::move(f));
+  }
+
+  check::InvariantChecker ck;
+  ck.attach(sc);
+  const auto audit = [&](const std::string& label) {
+    ck.checkpoint();
+    ASSERT_TRUE(ck.ok()) << label << ":\n" << ck.report();
+    const FlowTable& ft = sc.flow_table();
+    ASSERT_EQ(ft.size(), kFlows);
+    for (size_t i = 0; i < kFlows; ++i) {
+      EXPECT_LE(ft.cum_acked[i], ft.next_seq[i]) << label << " flow " << i;
+      EXPECT_LE(ft.inflight_bytes[i], ft.next_seq[i] - ft.cum_acked[i])
+          << label << " flow " << i;
+      EXPECT_EQ(ft.inflight_bytes[i], sc.sender(i).scoreboard_bytes())
+          << label << " flow " << i;
+      EXPECT_GE(ft.delivered[i], ft.cum_acked[i]) << label << " flow " << i;
+      if (starts[i] >= sc.sim().now()) {
+        EXPECT_EQ(ft.started[i], 0u) << label << " flow " << i;
+        EXPECT_EQ(ft.packets_sent[i], 0u) << label << " flow " << i;
+      } else {
+        EXPECT_EQ(ft.started[i], 1u) << label << " flow " << i;
+        EXPECT_GT(ft.packets_sent[i], 0u) << label << " flow " << i;
+      }
+    }
+  };
+  sc.run_until(TimeNs::millis(1200));
+  audit("mid-run");
+  sc.run_until(TimeNs::millis(2500));
+  audit("horizon");
+  sc.sim().set_checker(nullptr);
 }
 
 // --- Jitter schedules keep their budget for every policy and seed. ---

@@ -73,6 +73,37 @@ TEST(SpecParse, JitterSpecWithColonArgsRejoins) {
   EXPECT_NE(make_jitter(fa.ack_jitter, 1), nullptr);
 }
 
+TEST(SpecParse, CohortMultiplierExpandsIdenticalFlows) {
+  const auto cohort = parse_flow_set("copa*64");
+  ASSERT_EQ(cohort.size(), 64u);
+  for (const FlowArgs& fa : cohort) {
+    EXPECT_EQ(fa.cca, "copa");
+  }
+
+  // Per-flow options ride along with the multiplied part, and plain parts
+  // mix freely with multiplied ones.
+  const auto mixed = parse_flow_set("vegas+bbr:rtt=80*3");
+  ASSERT_EQ(mixed.size(), 4u);
+  EXPECT_EQ(mixed[0].cca, "vegas");
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(mixed[i].cca, "bbr");
+    EXPECT_DOUBLE_EQ(*mixed[i].rtt_ms, 80);
+  }
+
+  // *1 is the identity; the documented cap still parses.
+  EXPECT_EQ(parse_flow_set("copa*1").size(), 1u);
+  EXPECT_EQ(parse_flow_set("copa*16384").size(), 16384u);
+}
+
+TEST(SpecParse, CohortMultiplierRejectsMalformedCounts) {
+  EXPECT_THROW(parse_flow_set("copa*0"), SpecError);      // empty cohort
+  EXPECT_THROW(parse_flow_set("copa*abc"), SpecError);    // not a count
+  EXPECT_THROW(parse_flow_set("copa*16385"), SpecError);  // over the cap
+  EXPECT_THROW(parse_flow_set("copa*"), SpecError);       // missing count
+  EXPECT_THROW(parse_flow_set("*4"), SpecError);          // missing spec
+  EXPECT_THROW(parse_flow_set("copa*4*4"), SpecError);    // double suffix
+}
+
 TEST(SpecParse, ErrorsThrowSpecError) {
   EXPECT_THROW(parse_flow("nosuchcca"), SpecError);
   EXPECT_THROW(parse_flow("copa:bogus=1"), SpecError);

@@ -35,7 +35,9 @@
 //   --trace-digest           print the golden-trace hash of the run (an
 //                            order-sensitive digest of every packet event;
 //                            equal digests <=> behaviourally identical runs)
-//   --flow=<cca>[:opt=val]*  add a flow; repeatable. Options:
+//   --flow=<cca>[:opt=val]*[*<count>]  add a flow (or, with a trailing
+//                            `*<count>`, a cohort of identical flows, e.g.
+//                            --flow=copa*1000); repeatable. Options:
 //       start=<s>        start time
 //       rtt=<ms>         per-flow propagation RTT
 //       loss=<frac>      random loss on the data path
@@ -109,8 +111,9 @@ int main(int argc, char** argv) {
     flags.value("--csv", &csv_prefix);
     flags.value("--metrics", &metrics_path);
     flags.value("--metrics-interval", &metrics_interval_ms);
-    flags.each("--flow",
-               [&](const std::string& v) { flows.push_back(sweep::parse_flow(v)); });
+    flags.each("--flow", [&](const std::string& v) {
+      for (auto& fa : sweep::parse_flow_set(v)) flows.push_back(std::move(fa));
+    });
     flags.toggle("--trace-digest", &trace_digest);
     flags.toggle("--check", &check);
     flags.parse(argc, argv);
