@@ -46,6 +46,9 @@ class Allegro final : public Cca {
     return std::make_unique<Allegro>(*this);
   }
   void rebase_time(TimeNs delta) override;
+  void rebase_progress(uint64_t delta_bytes) override {
+    tracker_.rebase_progress(delta_bytes);
+  }
 
   Rate base_rate() const { return base_rate_; }
   double utility(const MiReport& mi) const;

@@ -55,8 +55,13 @@ class Bbr final : public Cca {
     return std::make_unique<Bbr>(*this);
   }
   void rebase_time(TimeNs delta) override;
+  void rebase_progress(uint64_t delta_bytes) override {
+    next_round_delivered_ += delta_bytes;
+    round_start_delivered_ += delta_bytes;
+  }
 
   enum class State { kStartup, kDrain, kProbeBw, kProbeRtt };
+  const Params& params() const { return params_; }
   State state() const { return state_; }
   Rate bandwidth_estimate() const { return btl_bw_; }
   TimeNs min_rtt_estimate() const { return min_rtt_; }

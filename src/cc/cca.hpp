@@ -87,6 +87,15 @@ class Cca {
   // Default is correct for CCAs that hold no absolute times.
   virtual void rebase_time(TimeNs /*delta*/) {}
 
+  // Shift all internal absolute byte positions (delivered-byte marks,
+  // sequence ranges) by `delta_bytes`, as if the flow had delivered that
+  // many extra bytes before the current moment. The fast-forward engine
+  // (sim/warp) advances every flow's seq and delivered space uniformly when
+  // it warps across a converged interval; CCAs that delimit measurement
+  // epochs by delivered-byte or seq marks must shift them to stay
+  // consistent. Default is correct for CCAs holding no absolute positions.
+  virtual void rebase_progress(uint64_t /*delta_bytes*/) {}
+
   // Value copy of the algorithm including all live state — filters, cwnd/
   // rate, RTT estimators, monitor intervals, RNGs. The scenario snapshot
   // engine (sim/snapshot.hpp) relies on a clone continuing *bit-identically*

@@ -44,6 +44,9 @@ class Copa final : public Cca {
     return std::make_unique<Copa>(*this);
   }
   void rebase_time(TimeNs delta) override;
+  void rebase_progress(uint64_t delta_bytes) override {
+    epoch_end_delivered_ += delta_bytes;
+  }
 
   double delta() const { return delta_; }
   bool in_competitive_mode() const { return competitive_; }

@@ -31,6 +31,12 @@ class FastTcp final : public Cca {
   std::unique_ptr<Cca> clone() const override {
     return std::make_unique<FastTcp>(*this);
   }
+  void rebase_progress(uint64_t delta_bytes) override {
+    epoch_end_delivered_ += delta_bytes;
+  }
+
+  const Params& params() const { return params_; }
+  double base_rtt_seconds() const { return base_rtt_.to_seconds(); }
 
  private:
   Params params_;

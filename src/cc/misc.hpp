@@ -61,6 +61,9 @@ class DelayAimd final : public Cca {
     return std::make_unique<DelayAimd>(*this);
   }
   void rebase_time(TimeNs delta) override;
+  void rebase_progress(uint64_t delta_bytes) override {
+    epoch_end_delivered_ += delta_bytes;
+  }
 
  private:
   Params params_;

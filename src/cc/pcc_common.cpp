@@ -91,6 +91,14 @@ std::optional<MiReport> PccMiTracker::poll_mature(TimeNs now, TimeNs grace) {
   return report;
 }
 
+void PccMiTracker::rebase_progress(uint64_t delta_bytes) {
+  for (Mi& mi : mis_) {
+    if (!mi.any_sent) continue;
+    mi.seq_lo += delta_bytes;
+    mi.seq_hi += delta_bytes;
+  }
+}
+
 void PccMiTracker::rebase_time(TimeNs delta) {
   for (Mi& mi : mis_) {
     mi.start += delta;

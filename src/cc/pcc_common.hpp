@@ -92,6 +92,10 @@ class PccMiTracker {
   std::optional<MiReport> poll_mature(TimeNs now, TimeNs grace);
 
   void rebase_time(TimeNs delta);
+  // Shift every MI's sequence range by `delta_bytes` (see Cca::
+  // rebase_progress): MIs key segments on raw sequence numbers, so a
+  // uniform seq-space shift must move the ranges with it.
+  void rebase_progress(uint64_t delta_bytes);
 
  private:
   struct Mi {

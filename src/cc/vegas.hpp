@@ -34,6 +34,9 @@ class Vegas final : public Cca {
   std::unique_ptr<Cca> clone() const override {
     return std::make_unique<Vegas>(*this);
   }
+  void rebase_progress(uint64_t delta_bytes) override {
+    epoch_end_delivered_ += delta_bytes;
+  }
   // cwnd_pkts_ never drops below 2 on any path (vegas.cpp).
   CcaSanity sanity() const override {
     CcaSanity s;
@@ -41,6 +44,7 @@ class Vegas final : public Cca {
     return s;
   }
 
+  const Params& params() const { return params_; }
   double base_rtt_seconds() const { return base_rtt_.to_seconds(); }
   // Current estimate of packets queued at the bottleneck.
   double diff_pkts() const { return last_diff_; }

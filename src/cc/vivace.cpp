@@ -186,6 +186,10 @@ uint64_t Vivace::cwnd_bytes() const {
   return static_cast<uint64_t>(std::max(cap, 10.0 * kMss));
 }
 
+void Vivace::rebase_progress(uint64_t delta_bytes) {
+  tracker_.rebase_progress(delta_bytes);
+}
+
 void Vivace::rebase_time(TimeNs delta) {
   tracker_.rebase_time(delta);
   min_rtt_.rebase_time(delta);

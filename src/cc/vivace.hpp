@@ -47,6 +47,7 @@ class Vivace final : public Cca {
     return std::make_unique<Vivace>(*this);
   }
   void rebase_time(TimeNs delta) override;
+  void rebase_progress(uint64_t delta_bytes) override;
 
   Rate base_rate() const { return base_rate_; }
   bool in_slow_start() const { return phase_ == Phase::kSlowStart; }

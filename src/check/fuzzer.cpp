@@ -8,6 +8,7 @@
 #include "check/invariants.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/trace_probe.hpp"
+#include "sim/warp/warp.hpp"
 #include "util/rng.hpp"
 
 namespace ccstarve::check {
@@ -436,6 +437,58 @@ std::optional<FuzzFailure> run_scenario_case(const FuzzCase& c,
           "fork at t=" + std::to_string(mid.ns()) +
               "ns diverged from the uninterrupted continuation: " + d_post +
               " vs " + r5.digest_hex()};
+    }
+  }
+
+  // Fast-forward metamorphic oracle: the same case through the warp engine.
+  // The tracer split mirrors run A's (prefix to `mid`, continuation to the
+  // horizon) so that a warp-free hybrid run is comparable digest-by-digest;
+  // WarpRunner::run_until never advances past its argument, so neither
+  // segment can straddle a warp boundary unnoticed.
+  if (opts.fast_forward) {
+    auto scw = golden::build_golden(spec);
+    obs::FlowTelemetry tw;
+    tw.attach(*scw);
+    InvariantChecker ckw;
+    ckw.attach(*scw);
+    TraceRecorder rw1;
+    scw->sim().set_tracer(&rw1);
+    warp::WarpRunner runner(std::move(scw), warp::WarpConfig{});
+    runner.on_fork = [&](Scenario& fsc, TimeNs from, TimeNs to,
+                         const std::vector<uint64_t>& credits) {
+      tw.note_warp(fsc, from, to, credits);
+      ckw.attach(fsc);
+    };
+    runner.run_until(mid);
+    const std::string w_pre = rw1.digest_hex();
+    TraceRecorder rw2;
+    runner.scenario().sim().set_tracer(&rw2);
+    runner.run_until(end);
+    tw.finish(end);
+    ckw.checkpoint();
+    if (!ckw.ok()) return FuzzFailure{"invariant-warp", ckw.report()};
+    if (runner.stats().warps == 0) {
+      if (w_pre != d_pre || rw2.digest_hex() != d_post) {
+        return FuzzFailure{
+            "fast-forward",
+            "no warp fired but hybrid digests differ from pure: prefix " +
+                d_pre + " vs " + w_pre + ", continuation " + d_post +
+                " vs " + rw2.digest_hex()};
+      }
+    } else if (opts.telemetry) {
+      const bool pure_crossed =
+          telemetry.starvation().first_crossing() != TimeNs(-1);
+      const bool warp_crossed =
+          tw.starvation().first_crossing() != TimeNs(-1);
+      if (pure_crossed != warp_crossed) {
+        return FuzzFailure{
+            "fast-forward-verdict",
+            "starvation verdicts disagree after " +
+                std::to_string(runner.stats().warps) + " warp(s): pure " +
+                (pure_crossed ? "crossed" : "never crossed") +
+                ", fast-forward " +
+                (warp_crossed ? "crossed" : "never crossed")};
+      }
     }
   }
 

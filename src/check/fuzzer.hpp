@@ -82,6 +82,14 @@ struct FuzzOptions {
   // determinism oracle then also pins that an attached probe never perturbs
   // trace digests.
   bool telemetry = true;
+  // Re-run the case through the fast-forward engine (sim/warp) and check
+  // its metamorphic contract: when no warp fires the hybrid run's trace
+  // digests are byte-identical to the pure packet run's (the chunked
+  // driver and its snapshot attempts must be inert), and when warps do
+  // fire the starvation verdict (did the worst-pair ratio ever cross the
+  // threshold?) must match the pure run's. Needs `telemetry` for the
+  // verdict half; scenario cases only.
+  bool fast_forward = true;
   // Test-only fault injection: called on the primary scenario after its run
   // completes, immediately before the conservation checkpoint. Lets tests
   // prove that deliberately corrupted state (e.g. a swapped FlowTable

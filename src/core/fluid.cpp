@@ -61,6 +61,22 @@ State axpy(const State& a, const State& b, double h) {
   return out;
 }
 
+// One classic RK4 step of size h.
+State rk4_step(const State& s, const std::vector<FluidFlowSpec>& flows,
+               double cap, double h) {
+  const State k1 = derivative(s, flows, cap);
+  const State k2 = derivative(axpy(s, k1, h / 2.0), flows, cap);
+  const State k3 = derivative(axpy(s, k2, h / 2.0), flows, cap);
+  const State k4 = derivative(axpy(s, k3, h), flows, cap);
+  State step;
+  step.w.resize(s.w.size());
+  for (size_t i = 0; i < s.w.size(); ++i) {
+    step.w[i] = (k1.w[i] + 2 * k2.w[i] + 2 * k3.w[i] + k4.w[i]) / 6.0;
+  }
+  step.q = (k1.q + 2 * k2.q + 2 * k3.q + k4.q) / 6.0;
+  return axpy(s, step, h);
+}
+
 }  // namespace
 
 FluidResult run_fluid(const std::vector<FluidFlowSpec>& flows,
@@ -91,18 +107,7 @@ FluidResult run_fluid(const std::vector<FluidFlowSpec>& flows,
       out.queue_seconds.add(t, s.q);
       next_sample = t + config.sample_every;
     }
-    // Classic RK4.
-    const State k1 = derivative(s, flows, cap);
-    const State k2 = derivative(axpy(s, k1, h / 2.0), flows, cap);
-    const State k3 = derivative(axpy(s, k2, h / 2.0), flows, cap);
-    const State k4 = derivative(axpy(s, k3, h), flows, cap);
-    State step;
-    step.w.resize(s.w.size());
-    for (size_t i = 0; i < s.w.size(); ++i) {
-      step.w[i] = (k1.w[i] + 2 * k2.w[i] + 2 * k3.w[i] + k4.w[i]) / 6.0;
-    }
-    step.q = (k1.q + 2 * k2.q + 2 * k3.q + k4.q) / 6.0;
-    s = axpy(s, step, h);
+    s = rk4_step(s, flows, cap, h);
     t += config.dt;
   }
 
@@ -113,6 +118,46 @@ FluidResult run_fluid(const std::vector<FluidFlowSpec>& flows,
     out.final_rtt_s.push_back(rtt);
   }
   out.final_queue_s = s.q;
+  return out;
+}
+
+FluidIntegrateResult integrate_fluid(const std::vector<FluidFlowSpec>& flows,
+                                     Rate link_rate,
+                                     const std::vector<double>& w0_bytes,
+                                     double q0_s, TimeNs horizon, TimeNs dt) {
+  State s;
+  s.w = w0_bytes;
+  s.w.resize(flows.size(), static_cast<double>(kMss));
+  for (double& w : s.w) w = std::max(w, static_cast<double>(kMss));
+  s.q = std::max(0.0, q0_s);
+
+  const double cap = link_rate.bytes_per_second();
+  const auto rate_of = [&](const State& st, size_t i) {
+    const double rtt =
+        flows[i].rm.to_seconds() + flows[i].eta.to_seconds() + st.q;
+    return st.w[i] / rtt;
+  };
+  std::vector<double> rate0(flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) rate0[i] = rate_of(s, i);
+
+  const double h = dt.to_seconds();
+  TimeNs t = TimeNs::zero();
+  while (t < horizon) {
+    s = rk4_step(s, flows, cap, h);
+    t += dt;
+  }
+
+  FluidIntegrateResult out;
+  out.w_bytes = s.w;
+  out.q_s = s.q;
+  out.queue_drift_s = std::abs(s.q - std::max(0.0, q0_s));
+  out.rate_bytes_per_s.resize(flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) {
+    out.rate_bytes_per_s[i] = rate_of(s, i);
+    const double drift = std::abs(out.rate_bytes_per_s[i] - rate0[i]) /
+                         std::max(rate0[i], 1.0);
+    out.max_rate_drift_frac = std::max(out.max_rate_drift_frac, drift);
+  }
   return out;
 }
 

@@ -33,23 +33,60 @@ class FluidCca {
   virtual std::string name() const = 0;
 };
 
-// Vegas/FAST-family: drive the own-backlog estimate w*(q/RTT) to alpha.
+// Vegas/FAST-family: drive the own-backlog estimate w*(q/RTT) into the
+// [alpha, beta] band. The packet CCA holds cwnd anywhere inside the band,
+// so the fluid stationary set is the whole band, not the single point
+// alpha — a distinction the fast-forward engine's drift validation relies
+// on (a band-stable packet state must read as fluid-stable too). beta < 0
+// (the default) means beta = alpha: a point target, the historical
+// behaviour for closed-form equilibrium work.
 class FluidVegas final : public FluidCca {
  public:
-  FluidVegas(double alpha_pkts, TimeNs rm, double gain_per_rtt = 1.0)
-      : alpha_bytes_(alpha_pkts * kMss), rm_s_(rm.to_seconds()),
-        gain_(gain_per_rtt) {}
+  FluidVegas(double alpha_pkts, TimeNs rm, double gain_per_rtt = 1.0,
+             double beta_pkts = -1.0)
+      : alpha_bytes_(alpha_pkts * kMss),
+        beta_bytes_((beta_pkts < 0 ? alpha_pkts : beta_pkts) * kMss),
+        rm_s_(rm.to_seconds()), gain_(gain_per_rtt) {}
   double dwdt(double w, double rtt, double) const override {
     const double backlog = w * (rtt - rm_s_) / rtt;  // bytes queued (est.)
-    // Smooth AIAD: +-1 packet per RTT scaled by how far we are from alpha.
-    const double err = alpha_bytes_ - backlog;
+    // Smooth AIAD: +-1 packet per RTT scaled by how far we are from the
+    // band; zero inside it.
+    double err = 0.0;
+    if (backlog < alpha_bytes_) {
+      err = alpha_bytes_ - backlog;
+    } else if (backlog > beta_bytes_) {
+      err = beta_bytes_ - backlog;
+    }
     const double step = std::clamp(err / static_cast<double>(kMss), -1.0, 1.0);
     return gain_ * step * kMss / rtt;
   }
   std::string name() const override { return "fluid-vegas"; }
 
  private:
-  double alpha_bytes_, rm_s_, gain_;
+  double alpha_bytes_, beta_bytes_, rm_s_, gain_;
+};
+
+// Copa: target rate 1/(delta * dq) packets/s where dq = RTT - Rm, i.e.
+// target window w* = RTT * MSS / (delta * dq) bytes, approached within one
+// RTT and slew-limited to at most +-w per RTT (Copa moves by v/(delta*cwnd)
+// per ACK; the velocity cap keeps the fluid trajectory comparably tame).
+// Equilibrium with N identical flows: q* = N * MSS / (delta * C).
+class FluidCopa final : public FluidCca {
+ public:
+  FluidCopa(double delta, TimeNs rm)
+      : delta_(delta), rm_s_(rm.to_seconds()) {}
+  double dwdt(double w, double rtt, double) const override {
+    // Floor dq at a tenth of a packet's serialization-ish time scale to
+    // keep the target finite on an empty queue.
+    const double dq = std::max(rtt - rm_s_, 1e-6);
+    const double target = rtt * static_cast<double>(kMss) / (delta_ * dq);
+    const double slew = w / rtt;
+    return std::clamp((target - w) / rtt, -slew, slew);
+  }
+  std::string name() const override { return "fluid-copa"; }
+
+ private:
+  double delta_, rm_s_;
 };
 
 // BBR cwnd-limited mode: w = 2 * xhat * Rm + quanta, with the bandwidth
@@ -119,5 +156,27 @@ struct FluidResult {
 
 FluidResult run_fluid(const std::vector<FluidFlowSpec>& flows,
                       const FluidConfig& config);
+
+// Integration from an explicit initial state — the fast-forward engine's
+// validation primitive. Starts from per-flow windows `w0_bytes` and queue
+// delay `q0_s` (both taken from a packet-level snapshot), integrates the
+// shared-queue model for `horizon`, and reports where the state ended up
+// plus how far it moved. A converged packet state should barely move:
+// large drift means the fluid model disagrees that this is an equilibrium,
+// and the warp is refused.
+struct FluidIntegrateResult {
+  std::vector<double> w_bytes;           // final windows
+  std::vector<double> rate_bytes_per_s;  // final per-flow rates
+  double q_s = 0.0;                      // final queue delay
+  // max_i |rate_end - rate_start| / max(rate_start, 1 byte/s).
+  double max_rate_drift_frac = 0.0;
+  // |q_end - q_start| in seconds.
+  double queue_drift_s = 0.0;
+};
+
+FluidIntegrateResult integrate_fluid(const std::vector<FluidFlowSpec>& flows,
+                                     Rate link_rate,
+                                     const std::vector<double>& w0_bytes,
+                                     double q0_s, TimeNs horizon, TimeNs dt);
 
 }  // namespace ccstarve

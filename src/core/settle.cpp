@@ -1,0 +1,127 @@
+#include "core/settle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccstarve {
+
+void SettlingDetector::trim(TimeNs now) {
+  const TimeNs cutoff = now - config_.window;
+  while (!rtt_.empty() && rtt_.front().at < cutoff) {
+    const Sample s = rtt_.front();
+    rtt_.pop_front();
+    rtt_sum_ -= s.value;
+    if (!band_dirty_ && (s.value <= rtt_min_ || s.value >= rtt_max_)) {
+      band_dirty_ = true;
+    }
+  }
+  while (!delivered_.empty() && delivered_.front().at < cutoff) {
+    delivered_.pop_front();
+  }
+}
+
+void SettlingDetector::refresh_band() const {
+  rtt_min_ = rtt_.empty() ? 0.0 : rtt_.front().value;
+  rtt_max_ = rtt_min_;
+  for (const Sample& s : rtt_) {
+    rtt_min_ = std::min(rtt_min_, s.value);
+    rtt_max_ = std::max(rtt_max_, s.value);
+  }
+  band_dirty_ = false;
+}
+
+void SettlingDetector::add_rtt(TimeNs at, double rtt_s) {
+  if (rtt_.empty()) {
+    rtt_min_ = rtt_max_ = rtt_s;
+    band_dirty_ = false;
+  } else if (!band_dirty_) {
+    rtt_min_ = std::min(rtt_min_, rtt_s);
+    rtt_max_ = std::max(rtt_max_, rtt_s);
+  }
+  rtt_.push_back(Sample{at, rtt_s});
+  rtt_sum_ += rtt_s;
+  trim(at);
+}
+
+void SettlingDetector::add_delivered(TimeNs at, double delivered_bytes) {
+  delivered_.push_back(Sample{at, delivered_bytes});
+  trim(at);
+}
+
+double SettlingDetector::window_rate_bytes_per_s() const {
+  if (delivered_.size() < 2) return 0.0;
+  const double span_s =
+      (delivered_.back().at - delivered_.front().at).to_seconds();
+  if (span_s <= 0.0) return 0.0;
+  return (delivered_.back().value - delivered_.front().value) / span_s;
+}
+
+bool SettlingDetector::settled() const {
+  if (rtt_.size() < config_.min_rtt_samples) return false;
+  if (delivered_.size() < 4) return false;
+  // Coverage: both series must actually span (most of) the window — a burst
+  // of samples after a long silence is not evidence of a steady state.
+  const double need_span_s = config_.window.to_seconds() * 0.8;
+  if ((rtt_.back().at - rtt_.front().at).to_seconds() < need_span_s) {
+    return false;
+  }
+  if ((delivered_.back().at - delivered_.front().at).to_seconds() <
+      need_span_s) {
+    return false;
+  }
+  // RTT band: max - min small relative to the mean.
+  if (band_dirty_) refresh_band();
+  const double band = rtt_max_ - rtt_min_;
+  if (band >
+      config_.band_frac * rtt_mean_s() + config_.band_floor.to_seconds()) {
+    return false;
+  }
+  // Half-window delivery rates agree (the throughput trajectory is flat).
+  const TimeNs mid =
+      delivered_.front().at + (delivered_.back().at - delivered_.front().at) / 2.0;
+  const auto at_less = [](const Sample& s, TimeNs t) { return s.at < t; };
+  const auto it =
+      std::lower_bound(delivered_.begin(), delivered_.end(), mid, at_less);
+  if (it == delivered_.begin() || it == delivered_.end()) return false;
+  const auto rate = [](const Sample& a, const Sample& b) {
+    const double span_s = (b.at - a.at).to_seconds();
+    return span_s <= 0.0 ? 0.0 : (b.value - a.value) / span_s;
+  };
+  const double r1 = rate(delivered_.front(), *it);
+  const double r2 = rate(*it, delivered_.back());
+  if (r1 <= 0.0 || r2 <= 0.0) return false;
+  return std::abs(r1 - r2) <= config_.rate_agree_frac * std::max(r1, r2);
+}
+
+void SettlingDetector::reset() {
+  rtt_.clear();
+  delivered_.clear();
+  rtt_sum_ = 0.0;
+  rtt_min_ = rtt_max_ = 0.0;
+  band_dirty_ = false;
+}
+
+TimeNs earliest_settled(const TimeSeries& rtt_seconds,
+                        const TimeSeries& delivered_bytes,
+                        const SettleConfig& config) {
+  SettlingDetector det(config);
+  const auto& rs = rtt_seconds.samples();
+  const auto& ds = delivered_bytes.samples();
+  size_t ri = 0, di = 0;
+  while (ri < rs.size() || di < ds.size()) {
+    const bool take_rtt =
+        di >= ds.size() || (ri < rs.size() && rs[ri].at <= ds[di].at);
+    if (take_rtt) {
+      det.add_rtt(rs[ri].at, rs[ri].value);
+      if (det.settled()) return rs[ri].at;
+      ++ri;
+    } else {
+      det.add_delivered(ds[di].at, ds[di].value);
+      if (det.settled()) return ds[di].at;
+      ++di;
+    }
+  }
+  return TimeNs(-1);
+}
+
+}  // namespace ccstarve

@@ -1,0 +1,92 @@
+// Online settling detector: the "converged region" heuristic of core/solo,
+// generalized from a fixed trailing fraction of a finished run into an
+// incremental detector that can watch a live trajectory.
+//
+// A flow is *settled* when, over a trailing window,
+//   * enough RTT samples cover the window,
+//   * the RTT band (max - min) is small relative to its mean, and
+//   * the delivery rate over the first and second half of the window agree —
+// i.e. both the delay and the throughput trajectory have flattened out.
+// run_solo's detector mode uses it post-hoc to find the earliest converged
+// point; the fast-forward engine (sim/warp) uses it online to decide when a
+// packet run has reached the equilibrium its fluid model describes.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "util/series.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+struct SettleConfig {
+  // Trailing window the decision looks at.
+  TimeNs window = TimeNs::seconds(5);
+  // Minimum RTT samples inside the window (sparse series never settle).
+  size_t min_rtt_samples = 16;
+  // RTT band test: (max - min) <= band_frac * mean + band_floor.
+  double band_frac = 0.10;
+  TimeNs band_floor = TimeNs::millis(2);
+  // Half-window delivery rates must agree within this relative fraction.
+  double rate_agree_frac = 0.10;
+};
+
+class SettlingDetector {
+ public:
+  SettlingDetector() = default;
+  explicit SettlingDetector(const SettleConfig& config) : config_(config) {}
+
+  const SettleConfig& config() const { return config_; }
+
+  // Feed samples in nondecreasing time order. `delivered_bytes` is the
+  // flow's cumulative delivered-byte counter.
+  void add_rtt(TimeNs at, double rtt_s);
+  void add_delivered(TimeNs at, double delivered_bytes);
+
+  // True when the trailing window ending at the newest sample passes all
+  // three tests. Constant-time against the trimmed window.
+  bool settled() const;
+
+  // Mean delivery rate (bytes/s) across the window; 0 until two delivered
+  // samples are present. This is the packet-measured equilibrium rate the
+  // warp engine credits flows with across a warp.
+  double window_rate_bytes_per_s() const;
+
+  // RTT band over the window (seconds); meaningful only once samples exist.
+  double rtt_min_s() const { return rtt_min_; }
+  double rtt_max_s() const { return rtt_max_; }
+  double rtt_mean_s() const {
+    return rtt_.empty() ? 0.0 : rtt_sum_ / static_cast<double>(rtt_.size());
+  }
+
+  // Forget everything (e.g. after a warp lands in a fresh regime).
+  void reset();
+
+ private:
+  struct Sample {
+    TimeNs at;
+    double value;
+  };
+
+  void trim(TimeNs now);
+  void refresh_band() const;
+
+  SettleConfig config_;
+  std::deque<Sample> rtt_;
+  std::deque<Sample> delivered_;
+  double rtt_sum_ = 0.0;
+  // Band cache, recomputed lazily when eviction removed an extremum.
+  mutable double rtt_min_ = 0.0;
+  mutable double rtt_max_ = 0.0;
+  mutable bool band_dirty_ = false;
+};
+
+// Post-hoc convenience shared by run_solo's detector mode: feeds the two
+// finished series through a detector and returns the earliest time at which
+// it reports settled, or TimeNs(-1) if it never does.
+TimeNs earliest_settled(const TimeSeries& rtt_seconds,
+                        const TimeSeries& delivered_bytes,
+                        const SettleConfig& config);
+
+}  // namespace ccstarve

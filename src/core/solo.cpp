@@ -24,6 +24,13 @@ SoloResult run_solo(const CcaMaker& maker, const SoloConfig& config) {
   out.delivered_bytes = scenario->stats(0).delivered_bytes;
   out.end_time = config.duration;
   out.converged_from = config.duration * (1.0 - config.converged_fraction);
+  if (config.use_settling_detector) {
+    const TimeNs settled_at =
+        earliest_settled(out.rtt, out.delivered_bytes, config.settle);
+    if (settled_at != TimeNs(-1) && settled_at < config.duration) {
+      out.converged_from = settled_at;
+    }
+  }
 
   if (!out.rtt.empty()) {
     if (config.trim_percent > 0.0) {

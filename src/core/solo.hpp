@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "cc/cca.hpp"
+#include "core/settle.hpp"
 #include "sim/scenario.hpp"
 #include "util/rate.hpp"
 #include "util/series.hpp"
@@ -31,6 +32,12 @@ struct SoloConfig {
   // Drop the most extreme tail when reporting d_min/d_max so one stray
   // sample (e.g. a ProbeRTT dip) does not define the range; 0 = strict.
   double trim_percent = 0.0;
+  // Detector-driven converged region: when set, converged_from becomes the
+  // earliest time the online settling detector (core/settle.hpp) reports
+  // settled, falling back to the fraction above when it never does. Off by
+  // default so existing bench numbers are unchanged.
+  bool use_settling_detector = false;
+  SettleConfig settle;
 };
 
 struct SoloResult {

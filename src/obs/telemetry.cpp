@@ -371,6 +371,64 @@ void FlowTelemetry::finish(TimeNs end_time) {
   }
 }
 
+void FlowTelemetry::note_warp(Scenario& sc, TimeNs from, TimeNs to,
+                              const std::vector<uint64_t>& credit_bytes) {
+  if (!attached_) {
+    attach(sc);
+    return;
+  }
+  advance_buckets(from);
+  if (emitting()) {
+    uint64_t total = 0;
+    for (uint64_t c : credit_bytes) total += c;
+    std::string j = "{";
+    append_str(j, "type", "warp");
+    j += ',';
+    append_num(j, "from_s", from.to_seconds());
+    j += ',';
+    append_num(j, "to_s", to.to_seconds());
+    j += ',';
+    append_num(j, "credited_bytes", static_cast<double>(total));
+    j += ",\"credits\":[";
+    for (size_t i = 0; i < flows_.size(); ++i) {
+      if (i) j += ',';
+      j += json_num(i < credit_bytes.size()
+                        ? static_cast<double>(credit_bytes[i])
+                        : 0.0);
+    }
+    j += "]}";
+    emit(j);
+  }
+  // Jump the grid across the gap.
+  cur_bucket_ = bucket_of(to);
+  next_close_ns_ = (cur_bucket_ + 1) * config_.interval.ns();
+  // Re-anchor every delta baseline on the forked scenario's (credited)
+  // counters, so the first post-warp bucket reports only post-warp
+  // activity; last-value gauges refresh from the forked CCA clones.
+  for (size_t i = 0; i < flows_.size() && i < sc.flow_count(); ++i) {
+    const Sender& s = sc.sender(i);
+    FlowAccum& ac = accum_[i];
+    ac.sent_bytes = s.packets_sent() * kMss;
+    ac.delivered_bytes = s.delivered_bytes();
+    ac.prev_sent = ac.sent_bytes;
+    ac.prev_delivered = ac.delivered_bytes;
+    ac.last_cwnd = s.cca().cwnd_bytes();
+    ac.last_pacing = s.cca().pacing_rate();
+    flows_[i].sent_bytes = ac.sent_bytes;
+    flows_[i].delivered_bytes = ac.delivered_bytes;
+  }
+  if (sc.has_bottleneck()) {
+    uint64_t total = 0;
+    for (uint64_t c : credit_bytes) total += c;
+    link_queue_bytes_ = sc.link().queued_bytes();
+    link_.delivered_bytes += total;
+    link_prev_delivered_ = link_.delivered_bytes;
+    link_.drops_total = sc.link().drops();
+    link_prev_drops_ = link_.drops_total;
+  }
+  sc.sim().set_telemetry(this);
+}
+
 void FlowTelemetry::emit_summaries(TimeNs end_time) {
   if (!emitting()) return;
   for (size_t i = 0; i < flows_.size(); ++i) {

@@ -115,6 +115,16 @@ class FlowTelemetry final : public ObsProbe {
   // per bucket; call once after run_until(end).
   void finish(TimeNs end_time);
 
+  // Fast-forward seam (sim/warp): closes the buckets before `from`, emits a
+  // {"type":"warp"} marker, jumps the bucket grid to `to` — the gap's
+  // buckets simply never close, so the stream skips them — then re-syncs
+  // cumulative counters, floors and gauges from the forked scenario and
+  // installs the probe on its simulator. Rings, aggregates and crossing
+  // history are preserved across the seam; the partial bucket containing
+  // `from` is dropped (its baseline is re-anchored post-warp).
+  void note_warp(Scenario& sc, TimeNs from, TimeNs to,
+                 const std::vector<uint64_t>& credit_bytes);
+
   size_t flow_count() const { return flows_.size(); }
   const FlowSeries& flow(size_t i) const { return flows_[i]; }
   const LinkSeries& link() const { return link_; }

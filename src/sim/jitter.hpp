@@ -8,6 +8,7 @@
 // budget by reading these counters.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,6 +26,30 @@ namespace ccstarve {
 
 class JitterPolicy {
  public:
+  // What the fast-forward engine (sim/warp) may do across this policy.
+  // A policy is *transparent* when a uniform time shift of the whole
+  // scenario commutes with its release schedule — shifting every timestamp
+  // by delta (a multiple of `quantum`, when nonzero) produces exactly the
+  // releases the policy would have produced anyway. Policies whose schedule
+  // depends on absolute time in a non-periodic way (random draws, recorded
+  // trajectories) report `opaque` and block warping while active.
+  struct WarpCaps {
+    // Conservative default: an unknown policy blocks warping.
+    bool opaque = true;
+    // Next absolute time the policy's behaviour changes regime (a step
+    // start, an exemption window opening, a delayed onset). The warp engine
+    // never skips across this point. infinite() = no upcoming change.
+    TimeNs next_change = TimeNs::infinite();
+    // When nonzero, time shifts must be integer multiples of this (the
+    // policy's release grid period). zero() = any shift.
+    TimeNs quantum = TimeNs::zero();
+    // Effective non-congestive delay the policy adds per packet in its
+    // current regime (an average for periodic/square-wave policies). Feeds
+    // the fluid model's eta term during warp validation; approximate is
+    // fine — the rate-agreement tolerance absorbs it.
+    TimeNs eta = TimeNs::zero();
+  };
+
   virtual ~JitterPolicy() = default;
   // Absolute release time for a packet arriving now. The box clamps this to
   // `arrival` from below and enforces no-reordering.
@@ -34,6 +59,13 @@ class JitterPolicy {
   // have produced (sim/snapshot.hpp). Every policy holds only value-type
   // state, so implementations are one-line copy-constructor wrappers.
   virtual std::unique_ptr<JitterPolicy> clone() const = 0;
+  // Warpability at time `now` (see WarpCaps). The default — opaque — is the
+  // safe answer for any policy that does not opt in.
+  virtual WarpCaps warp_caps(TimeNs /*now*/) const { return WarpCaps{}; }
+  // Shift internal *measurement* state by delta (new_time = old_time +
+  // delta) after a warp. Spec-anchored times (step starts, onsets, exempt
+  // windows) stay put — they are scenario coordinates, not measurements.
+  virtual void rebase_time(TimeNs /*delta*/) {}
 };
 
 // eta(t) = 0: the ideal path.
@@ -42,6 +74,9 @@ class ZeroJitter final : public JitterPolicy {
   TimeNs release_at(const Packet&, TimeNs arrival) override { return arrival; }
   std::unique_ptr<JitterPolicy> clone() const override {
     return std::make_unique<ZeroJitter>(*this);
+  }
+  WarpCaps warp_caps(TimeNs) const override {
+    return WarpCaps{false, TimeNs::infinite(), TimeNs::zero()};
   }
 };
 
@@ -54,6 +89,9 @@ class ConstantJitter final : public JitterPolicy {
   }
   std::unique_ptr<JitterPolicy> clone() const override {
     return std::make_unique<ConstantJitter>(*this);
+  }
+  WarpCaps warp_caps(TimeNs) const override {
+    return WarpCaps{false, TimeNs::infinite(), TimeNs::zero(), c_};
   }
 
  private:
@@ -89,6 +127,19 @@ class AllButOneJitter final : public JitterPolicy {
   std::unique_ptr<JitterPolicy> clone() const override {
     return std::make_unique<AllButOneJitter>(*this);
   }
+  WarpCaps warp_caps(TimeNs now) const override {
+    // Before the exemption window opens the policy is a plain +c constant;
+    // once open but unfired, which packet gets exempted depends on exact
+    // inter-arrival gaps — opaque. After firing it is constant again.
+    if (exempted_) {
+      return WarpCaps{false, TimeNs::infinite(), TimeNs::zero(), c_};
+    }
+    if (now < exempt_after_) {
+      return WarpCaps{false, exempt_after_, TimeNs::zero(), c_};
+    }
+    return WarpCaps{};
+  }
+  void rebase_time(TimeNs delta) override { last_arrival_ += delta; }
 
  private:
   TimeNs c_;
@@ -108,6 +159,12 @@ class StepJitter final : public JitterPolicy {
   }
   std::unique_ptr<JitterPolicy> clone() const override {
     return std::make_unique<StepJitter>(*this);
+  }
+  WarpCaps warp_caps(TimeNs now) const override {
+    // Constant on either side of the step; the step itself is an epoch the
+    // warp engine must not skip.
+    return WarpCaps{false, now < start_ ? start_ : TimeNs::infinite(),
+                    TimeNs::zero(), now < start_ ? TimeNs::zero() : c_};
   }
 
  private:
@@ -145,6 +202,12 @@ class PeriodicReleaseJitter final : public JitterPolicy {
   std::unique_ptr<JitterPolicy> clone() const override {
     return std::make_unique<PeriodicReleaseJitter>(*this);
   }
+  WarpCaps warp_caps(TimeNs) const override {
+    // Stateless and grid-anchored: a shift by a whole number of periods
+    // maps the release grid onto itself. Mean added delay ~ period/2.
+    return WarpCaps{false, TimeNs::infinite(), period_,
+                    TimeNs::nanos(period_.ns() / 2)};
+  }
 
  private:
   TimeNs period_, phase_;
@@ -160,6 +223,15 @@ class OnOffJitter final : public JitterPolicy {
   TimeNs release_at(const Packet&, TimeNs arrival) override;
   std::unique_ptr<JitterPolicy> clone() const override {
     return std::make_unique<OnOffJitter>(*this);
+  }
+  WarpCaps warp_caps(TimeNs) const override {
+    // Stateless square wave anchored at t=0: shifts by whole cycles
+    // preserve the on/off phase every arrival sees. Mean added delay is
+    // the duty-cycle-weighted high level.
+    return WarpCaps{false, TimeNs::infinite(), on_time_ + off_time_,
+                    TimeNs::nanos(high_.ns() * on_time_.ns() /
+                                  std::max<int64_t>(
+                                      (on_time_ + off_time_).ns(), 1))};
   }
 
  private:
@@ -235,6 +307,16 @@ class DelayedOnsetJitter final : public JitterPolicy {
     return std::make_unique<DelayedOnsetJitter>(
         onset_, inner_ ? inner_->clone() : nullptr);
   }
+  WarpCaps warp_caps(TimeNs now) const override {
+    if (now < onset_ || !inner_) {
+      return WarpCaps{false, inner_ ? onset_ : TimeNs::infinite(),
+                      TimeNs::zero()};
+    }
+    return inner_->warp_caps(now);
+  }
+  void rebase_time(TimeNs delta) override {
+    if (inner_) inner_->rebase_time(delta);
+  }
 
  private:
   TimeNs onset_;
@@ -285,6 +367,9 @@ class JitterBox final : public PacketHandler {
   }
 
   const Stats& stats() const { return stats_; }
+
+  // Read-only policy access for the warp engine's epoch/refusal scan.
+  const JitterPolicy& policy() const { return *policy_; }
 
   // Attach-time sync for the invariant checker (src/check/invariants.hpp):
   // packets currently held by the box with their scheduled release times,

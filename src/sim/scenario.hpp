@@ -161,6 +161,7 @@ class Scenario {
   Sender& sender(size_t i) { return *flows_[i]->sender; }
   const Receiver& receiver(size_t i) const { return *flows_[i]->receiver; }
   TimeNs min_rtt(size_t i) const { return flows_[i]->min_rtt; }
+  double loss_rate(size_t i) const { return flows_[i]->loss_rate; }
   // Packets the flow's Bernoulli loss gate swallowed (0 when loss_rate==0).
   uint64_t loss_gate_dropped(size_t i) const {
     return flows_[i]->loss_gate ? flows_[i]->loss_gate->dropped() : 0;

@@ -80,6 +80,11 @@ class Sender final : public PacketHandler {
   uint64_t delivered_bytes() const { return table_->delivered[row_]; }
   uint64_t inflight_bytes() const { return table_->inflight_bytes[row_]; }
   uint64_t packets_sent() const { return table_->packets_sent[row_]; }
+  bool started() const { return started_; }
+  // A scheduled-but-unfired start() — a spec-anchored epoch the warp engine
+  // must never skip across.
+  bool start_pending() const { return start_pending_; }
+  TimeNs pending_start_at() const { return start_at_; }
   const FlowStats& stats() const { return stats_; }
   // Independent inflight accounting (scoreboard-internal), cross-checked
   // against the flow-table column by the invariant checker.

@@ -1,0 +1,55 @@
+#include <memory>
+
+#include "cc/bbr.hpp"
+#include "cc/copa.hpp"
+#include "cc/fast.hpp"
+#include "cc/vegas.hpp"
+#include "sim/warp/warp.hpp"
+
+namespace ccstarve::warp {
+
+// Each mapping parameterizes the fluid model with the live CCA's *beliefs*
+// (its base-/min-RTT filter state), not the true path geometry — the fluid
+// derivative sees the true RTT (rm + eta + q) via FluidFlowSpec, while the
+// model's internal reference point must match what the packet CCA would
+// subtract. A belief that is still unset (infinite/zero filter) means the
+// CCA has not measured yet, and no faithful model exists.
+std::shared_ptr<FluidCca> fluid_model_for(const Cca& cca) {
+  if (const auto* v = dynamic_cast<const Vegas*>(&cca)) {
+    const double base_s = v->base_rtt_seconds();
+    if (base_s <= 0.0 || base_s > 1e6) return nullptr;
+    // The packet CCA holds cwnd anywhere inside [alpha, beta]; the fluid
+    // model must treat that whole band as stationary or every band-interior
+    // packet equilibrium would read as drift.
+    return std::make_shared<FluidVegas>(v->params().alpha_pkts,
+                                        TimeNs::seconds(base_s), 1.0,
+                                        v->params().beta_pkts);
+  }
+  if (const auto* f = dynamic_cast<const FastTcp*>(&cca)) {
+    // FAST shares Vegas's equilibrium (alpha packets queued); the fluid
+    // trajectory differs but the fixed point — all a warp certifies — is
+    // identical.
+    const double base_s = f->base_rtt_seconds();
+    if (base_s <= 0.0 || base_s > 1e6) return nullptr;
+    return std::make_shared<FluidVegas>(f->params().alpha_pkts,
+                                        TimeNs::seconds(base_s));
+  }
+  if (const auto* c = dynamic_cast<const Copa*>(&cca)) {
+    const TimeNs believed = c->min_rtt_estimate();
+    if (believed <= TimeNs::zero() || believed.is_infinite()) return nullptr;
+    return std::make_shared<FluidCopa>(c->delta(), believed);
+  }
+  if (const auto* b = dynamic_cast<const Bbr*>(&cca)) {
+    // Only the cwnd-limited fixed point (paper §5.2) has a fluid model;
+    // pacing-limited BBR cycles its gain and never holds an equilibrium a
+    // warp could certify.
+    if (!b->cwnd_limited()) return nullptr;
+    const TimeNs believed = b->min_rtt_estimate();
+    if (believed <= TimeNs::zero() || believed.is_infinite()) return nullptr;
+    return std::make_shared<FluidBbrCwndLimited>(b->params().quanta_pkts,
+                                                 believed);
+  }
+  return nullptr;
+}
+
+}  // namespace ccstarve::warp

@@ -1,0 +1,142 @@
+#include <map>
+#include <set>
+#include <utility>
+
+#include "sim/warp/warp.hpp"
+
+namespace ccstarve::warp {
+
+namespace {
+
+// A warp relabels time by +delta and flow f's byte space by +credit[f].
+// Data packets move in seq space; ACKs move in both the cumulative and the
+// SACK coordinate; dummies live outside any flow's byte space. Every packet
+// additionally carries the absolute send time of its data segment (ACKs
+// echo it for RTT sampling), which moves with time.
+struct Shifter {
+  TimeNs delta;
+  const std::vector<uint64_t>& credits;
+
+  uint64_t credit_of(uint32_t flow) const {
+    return flow < credits.size() ? credits[flow] : 0;
+  }
+
+  void packet(Packet& p) const {
+    if (p.is_dummy) return;
+    p.data_sent_at += delta;
+    const uint64_t c = credit_of(p.flow);
+    if (p.is_ack) {
+      p.ack_cum += c;
+      p.ack_seq += c;
+    } else {
+      p.seq += c;
+    }
+  }
+};
+
+}  // namespace
+
+void shift_snapshot(ScenarioSnapshot& snap, TimeNs delta,
+                    const std::vector<uint64_t>& credit_bytes) {
+  const Shifter sh{delta, credit_bytes};
+
+  snap.at += delta;
+
+  // Pending events. kSenderStart is spec-anchored (the caller guaranteed
+  // the warp lands before any pending start); everything else is a
+  // measurement of the pre-warp present and moves with it.
+  for (PendingEvent& e : snap.events) {
+    if (e.kind == PendingEvent::Kind::kSenderStart) continue;
+    e.at += delta;
+    switch (e.kind) {
+      case PendingEvent::Kind::kSenderPace:
+      case PendingEvent::Kind::kSenderRto:
+      case PendingEvent::Kind::kReceiverAckTimer:
+        break;  // pure timer records, no packet payload
+      default:
+        sh.packet(e.pkt);
+    }
+  }
+
+  // Bottleneck: head-of-line completion time and every queued packet move;
+  // the egress counter is credited with the packets that "crossed" during
+  // the gap.
+  uint64_t credited_packets = 0;
+  for (uint64_t c : credit_bytes) credited_packets += c / kMss;
+  if (snap.has_link) {
+    snap.link.service_at += delta;
+    for (Packet& p : snap.link.queue) sh.packet(p);
+    snap.link.delivered_packets += credited_packets;
+  }
+
+  for (size_t i = 0; i < snap.flows.size(); ++i) {
+    ScenarioSnapshot::FlowSnapshot& fs = snap.flows[i];
+    const uint64_t c = sh.credit_of(static_cast<uint32_t>(i));
+    const uint64_t n = c / kMss;
+
+    // --- sender transport state ---
+    Sender::State& s = fs.sender;
+    if (s.started) s.start_time += delta;
+    // start_at / start_pending are spec-anchored: untouched.
+    s.next_seq += c;
+    s.cum_acked += c;
+    s.delivered += c;
+    s.packets_sent += n;
+    // recovery_point / max_sacked only ever enter comparisons against other
+    // seq-space values, so the uniform shift keeps them coherent even when
+    // they still hold their initial 0.
+    s.recovery_point += c;
+    s.max_sacked += c;
+    s.pace_next += delta;
+    if (s.wakeup_scheduled) s.wakeup_at += delta;
+    if (s.rto_live) s.rto_at += delta;
+    if (s.last_stats_at >= TimeNs::zero()) s.last_stats_at += delta;
+    // srtt/rttvar/rto are durations; stats series stay historical (their
+    // pre-warp samples keep pre-warp timestamps).
+    {
+      std::map<uint64_t, Sender::SentInfo> moved;
+      for (const auto& [seq, info] : s.outstanding) {
+        Sender::SentInfo shifted = info;
+        shifted.sent_at += delta;
+        shifted.delivered_at_send += c;
+        moved.emplace(seq + c, shifted);
+      }
+      s.outstanding = std::move(moved);
+    }
+    {
+      std::set<uint64_t> moved;
+      for (uint64_t seq : s.retx_queue) moved.insert(seq + c);
+      s.retx_queue = std::move(moved);
+    }
+
+    // --- CCA and jitter policy clones ---
+    if (fs.cca) {
+      fs.cca->rebase_time(delta);
+      fs.cca->rebase_progress(c);
+    }
+    if (fs.data_jitter) fs.data_jitter->rebase_time(delta);
+    if (fs.ack_jitter) fs.ack_jitter->rebase_time(delta);
+
+    // --- receiver ---
+    Receiver::State& r = fs.receiver;
+    const bool had_data = r.packets > 0;
+    {
+      std::set<uint64_t> moved;
+      for (uint64_t seq : r.ooo) moved.insert(seq + c);
+      r.ooo = std::move(moved);
+    }
+    r.cum += c;
+    r.packets += n;
+    if (had_data) sh.packet(r.last_data);
+    if (r.timer_armed) r.timer_at += delta;
+
+    // --- jitter boxes (FIFO horizons) ---
+    fs.data_box.last_release += delta;
+    fs.ack_box.last_release += delta;
+
+    // Loss gates are never active across a warp (random loss is a
+    // structural refusal), so their RNG state is untouched.
+  }
+}
+
+}  // namespace ccstarve::warp

@@ -1,0 +1,249 @@
+#include "sim/warp/warp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "sim/snapshot.hpp"
+
+namespace ccstarve::warp {
+
+namespace {
+
+// lcm(a, b) capped at `cap`; returns 0 when the true lcm exceeds it (the
+// caller treats an unusable release-grid alignment as a refusal).
+int64_t lcm_capped(int64_t a, int64_t b, int64_t cap) {
+  const int64_t g = std::gcd(a, b);
+  const int64_t q = a / g;
+  if (b != 0 && q > cap / b) return 0;
+  const int64_t l = q * b;
+  return l > cap ? 0 : l;
+}
+
+}  // namespace
+
+WarpRunner::WarpRunner(std::unique_ptr<Scenario> sc, WarpConfig config)
+    : sc_(std::move(sc)), config_(std::move(config)) {}
+
+void WarpRunner::ensure_flows() {
+  const size_t n = sc_->flow_count();
+  if (detectors_.size() == n) return;
+  detectors_.assign(n, SettlingDetector(config_.settle));
+  fed_rtt_.assign(n, 0);
+  fed_delivered_.assign(n, 0);
+}
+
+void WarpRunner::feed_detectors() {
+  for (size_t i = 0; i < detectors_.size(); ++i) {
+    const FlowStats& st = sc_->stats(i);
+    const auto& rtt = st.rtt_seconds.samples();
+    for (size_t k = fed_rtt_[i]; k < rtt.size(); ++k) {
+      detectors_[i].add_rtt(rtt[k].at, rtt[k].value);
+    }
+    fed_rtt_[i] = rtt.size();
+    const auto& del = st.delivered_bytes.samples();
+    for (size_t k = fed_delivered_[i]; k < del.size(); ++k) {
+      detectors_[i].add_delivered(del[k].at, del[k].value);
+    }
+    fed_delivered_[i] = del.size();
+  }
+}
+
+bool WarpRunner::all_started_settled() const {
+  bool any = false;
+  for (size_t i = 0; i < detectors_.size(); ++i) {
+    if (!sc_->sender(i).started()) continue;
+    any = true;
+    if (!detectors_[i].settled()) return false;
+  }
+  return any;
+}
+
+void WarpRunner::reset_detectors() {
+  for (size_t i = 0; i < detectors_.size(); ++i) {
+    detectors_[i].reset();
+    fed_rtt_[i] = sc_->stats(i).rtt_seconds.size();
+    fed_delivered_[i] = sc_->stats(i).delivered_bytes.size();
+  }
+}
+
+void WarpRunner::run_until(TimeNs until) {
+  ensure_flows();
+
+  // Structural warpability never changes after construction: a delay-server
+  // path (delay as a function of absolute arrival time) or random loss
+  // (RNG draws that cannot be replayed analytically) rule out every warp.
+  if (!structural_counted_) {
+    structural_counted_ = true;
+    structural_ok_ = sc_->has_bottleneck();
+    for (size_t i = 0; i < sc_->flow_count(); ++i) {
+      if (sc_->loss_rate(i) > 0.0) structural_ok_ = false;
+    }
+    if (!structural_ok_) {
+      ++stats_.attempts;
+      ++stats_.refused_structural;
+    }
+  }
+  if (!structural_ok_) {
+    sc_->run_until(until);
+    return;
+  }
+
+  while (sc_->sim().now() < until) {
+    const TimeNs chunk_end =
+        ccstarve::min(sc_->sim().now() + config_.chunk, until);
+    sc_->run_until(chunk_end);
+    if (chunk_end >= until) break;
+    feed_detectors();
+    if (!all_started_settled()) continue;
+    attempt_warp(until);
+  }
+}
+
+void WarpRunner::attempt_warp(TimeNs until) {
+  ++stats_.attempts;
+  Scenario& sc = *sc_;
+  const TimeNs now = sc.sim().now();
+  const size_t n = sc.flow_count();
+
+  // Every running flow needs a fluid counterpart.
+  std::vector<std::shared_ptr<FluidCca>> models(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!sc.sender(i).started()) continue;
+    models[i] = fluid_model_for(sc.sender(i).cca());
+    if (!models[i]) {
+      ++stats_.refused_no_model;
+      reset_detectors();
+      return;
+    }
+  }
+
+  // Scan the jitter policies: opaqueness blocks the warp, regime changes
+  // bound it, release grids quantize it, and the effective constant delay
+  // feeds the fluid model's eta term.
+  TimeNs epoch = until;
+  int64_t quantum_lcm = 1;
+  std::vector<TimeNs> eta(n, TimeNs::zero());
+  for (size_t i = 0; i < n; ++i) {
+    const JitterBox* boxes[2] = {&sc.data_box(i), &sc.ack_box(i)};
+    for (const JitterBox* box : boxes) {
+      const JitterPolicy::WarpCaps caps = box->policy().warp_caps(now);
+      if (caps.opaque) {
+        ++stats_.refused_jitter;
+        reset_detectors();
+        return;
+      }
+      if (!caps.next_change.is_infinite() && caps.next_change > now) {
+        epoch = ccstarve::min(epoch, caps.next_change);
+      }
+      if (caps.quantum > TimeNs::zero()) {
+        quantum_lcm = lcm_capped(quantum_lcm, caps.quantum.ns(),
+                                 std::numeric_limits<int64_t>::max() / 4);
+        if (quantum_lcm == 0) {
+          ++stats_.refused_jitter;
+          reset_detectors();
+          return;
+        }
+      }
+      eta[i] += caps.eta;
+    }
+    // A scheduled-but-unfired flow start is a spec-anchored epoch.
+    if (sc.sender(i).start_pending()) {
+      epoch = ccstarve::min(epoch, sc.sender(i).pending_start_at());
+    }
+  }
+  for (TimeNs mark : config_.epoch_marks) {
+    if (mark > now) epoch = ccstarve::min(epoch, mark);
+  }
+
+  // Land `guard` before the epoch so re-entry transients wash out first,
+  // and round down onto the release grid.
+  TimeNs delta = (epoch - config_.guard) - now;
+  if (quantum_lcm > 1) {
+    delta = TimeNs::nanos((delta.ns() / quantum_lcm) * quantum_lcm);
+  }
+  if (delta < config_.min_warp) {
+    ++stats_.refused_window;
+    reset_detectors();
+    return;
+  }
+
+  // Fluid validation: the model must agree that the packet state is an
+  // equilibrium, both instantaneously (rate agreement) and across the gap
+  // (drift under integration).
+  const double q0 = sc.link().queueing_delay().to_seconds();
+  const double link_bps = sc.link().rate().bytes_per_second();
+  std::vector<FluidFlowSpec> fflows;
+  std::vector<size_t> fidx;
+  std::vector<double> w0;
+  std::vector<double> pkt_rate;
+  for (size_t i = 0; i < n; ++i) {
+    if (!models[i]) continue;
+    FluidFlowSpec fs;
+    fs.cca = models[i];
+    fs.rm = sc.min_rtt(i);
+    fs.eta = eta[i];
+    fflows.push_back(std::move(fs));
+    fidx.push_back(i);
+    w0.push_back(static_cast<double>(sc.flow_table().cwnd_bytes[i]));
+    pkt_rate.push_back(detectors_[i].window_rate_bytes_per_s());
+  }
+  for (size_t k = 0; k < fflows.size(); ++k) {
+    const double rtt_s =
+        fflows[k].rm.to_seconds() + fflows[k].eta.to_seconds() + q0;
+    const double fluid_rate = w0[k] / std::max(rtt_s, 1e-9);
+    const double tol =
+        config_.rate_tolerance_frac * pkt_rate[k] + 0.01 * link_bps;
+    if (std::abs(fluid_rate - pkt_rate[k]) > tol) {
+      ++stats_.refused_disagree;
+      reset_detectors();
+      return;
+    }
+  }
+  const TimeNs horizon = ccstarve::min(delta, config_.validation_horizon);
+  const FluidIntegrateResult fr = integrate_fluid(
+      fflows, sc.link().rate(), w0, q0, horizon, config_.fluid_dt);
+  if (fr.max_rate_drift_frac > config_.drift_tolerance_frac ||
+      fr.queue_drift_s > config_.queue_drift_tolerance_s) {
+    ++stats_.refused_disagree;
+    reset_detectors();
+    return;
+  }
+
+  // Certified: snapshot, shift, fork.
+  ScenarioSnapshot snap;
+  try {
+    snap = sc.snapshot();
+  } catch (const SnapshotError&) {
+    // The chunk boundary happened to be non-quiescent; the next one will
+    // almost surely not be. Keep the detectors — this costs one chunk.
+    ++stats_.refused_snapshot;
+    return;
+  }
+
+  std::vector<uint64_t> credits(n, 0);
+  for (size_t k = 0; k < fidx.size(); ++k) {
+    const double bytes = pkt_rate[k] * delta.to_seconds();
+    const uint64_t pkts = static_cast<uint64_t>(
+        std::llround(bytes / static_cast<double>(kMss)));
+    credits[fidx[k]] = pkts * kMss;
+  }
+  shift_snapshot(snap, delta, credits);
+
+  ForkOptions fo;
+  fo.event_pool = config_.event_pool;
+  TraceRecorder* tracer = sc.sim().tracer();
+  std::unique_ptr<Scenario> next = Scenario::fork(snap, std::move(fo));
+  next->sim().set_tracer(tracer);
+
+  const TimeNs to = now + delta;
+  sc_ = std::move(next);
+  ++stats_.warps;
+  stats_.warped_seconds += delta.to_seconds();
+  if (on_fork) on_fork(*sc_, now, to, credits);
+  reset_detectors();
+}
+
+}  // namespace ccstarve::warp

@@ -1,0 +1,152 @@
+// Hybrid packet/fluid fast-forward ("warp") engine — DESIGN.md §14.
+//
+// Long-horizon starvation experiments spend almost all of their wall-clock
+// simulating an equilibrium the fluid models of core/fluid.hpp describe in
+// closed form. The warp engine detects that equilibrium online (via the
+// settling detectors of core/settle.hpp), validates it against the fluid
+// model, and then *teleports* the scenario across the boring interval:
+//
+//   packet run -> settled? -> snapshot -> fluid check -> shift -> fork
+//
+// The shift is a pure relabeling of the quiescent snapshot: every absolute
+// timestamp moves forward by delta, and every flow's sequence/delivered
+// space moves forward by the bytes it would have delivered at its measured
+// equilibrium rate. Because the shift is uniform per flow, every transport
+// invariant (scoreboard ordering, cumulative-ACK relations, in-flight
+// conservation) is preserved *exactly* — the forked scenario is a legal
+// packet state that simply believes it is `delta` later and `credit` bytes
+// further along.
+//
+// The engine refuses to warp — and silently keeps packet-simulating —
+// whenever its error budget cannot be certified:
+//   * a flow's CCA has no fluid counterpart (or BBR is pacing-limited),
+//   * an opaque jitter policy is active (random draws, recorded traces),
+//   * random loss is configured (RNG draws cannot be fast-forwarded),
+//   * the path uses a delay-server link (delay is a function of absolute
+//     arrival time),
+//   * the fluid model's rate disagrees with the packet-measured rate, or
+//   * integrating the fluid model across the gap drifts (not an
+//     equilibrium after all).
+// A run in which no warp fires dispatches exactly the event sequence the
+// pure packet run would have — trace digests are byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/fluid.hpp"
+#include "core/settle.hpp"
+#include "sim/scenario.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve::warp {
+
+// Translates a quiescent snapshot `delta` forward in time and each flow
+// `credit_bytes[i]` forward in seq/delivered space (credits must be
+// multiples of kMss; missing entries mean 0). Spec-anchored times — pending
+// flow starts, jitter step/onset points — stay put; the caller must have
+// chosen `delta` so the warp does not cross any of them.
+void shift_snapshot(ScenarioSnapshot& snap, TimeNs delta,
+                    const std::vector<uint64_t>& credit_bytes);
+
+// The fluid counterpart of a packet CCA, parameterized by the live
+// instance's current *beliefs* (its base-RTT / min-RTT filter state), not
+// the true path geometry. Returns null when no faithful model exists:
+// unknown CCA classes, or BBR outside its cwnd-limited mode.
+std::shared_ptr<FluidCca> fluid_model_for(const Cca& cca);
+
+struct WarpConfig {
+  // Packet-run granularity between settledness checks.
+  TimeNs chunk = TimeNs::seconds(1);
+  // Smallest gap worth the snapshot/validate/fork overhead.
+  TimeNs min_warp = TimeNs::seconds(5);
+  // Re-enter packet simulation this long before the next epoch, so
+  // re-entry transients have washed out by the time anything interesting
+  // happens.
+  TimeNs guard = TimeNs::seconds(1);
+  SettleConfig settle;
+
+  // --- error budget ---
+  // Fluid initial rate must match the packet-measured rate within
+  // rate_tolerance_frac (relative, per flow) plus 1% of link capacity.
+  double rate_tolerance_frac = 0.20;
+  // Integrating the fluid model across the gap must not move any flow's
+  // rate by more than this fraction, nor the queue by more than this.
+  double drift_tolerance_frac = 0.10;
+  double queue_drift_tolerance_s = 0.005;
+  // The drift integration is capped at this horizon — a state that holds
+  // still this long under the ODE is a fixed point for any longer gap.
+  TimeNs validation_horizon = TimeNs::seconds(30);
+  TimeNs fluid_dt = TimeNs::millis(1);
+
+  // Absolute times the warp must never skip across (measurement-window
+  // edges, scheduled interventions). Pending flow starts and jitter-policy
+  // regime changes are discovered automatically.
+  std::vector<TimeNs> epoch_marks;
+
+  // Shared event pool for forked scenarios (see ScenarioConfig).
+  EventPool* event_pool = nullptr;
+};
+
+struct WarpStats {
+  uint64_t warps = 0;
+  double warped_seconds = 0.0;
+  // Settled states considered (each either warps or is refused).
+  uint64_t attempts = 0;
+  uint64_t refused_structural = 0;  // delay server / random loss
+  uint64_t refused_no_model = 0;    // CCA without a fluid counterpart
+  uint64_t refused_jitter = 0;      // opaque policy / incompatible quanta
+  uint64_t refused_window = 0;      // next epoch too close (< min_warp)
+  uint64_t refused_disagree = 0;    // fluid/packet mismatch or drift
+  uint64_t refused_snapshot = 0;    // not quiescent at the chunk boundary
+  uint64_t refusals() const {
+    return refused_structural + refused_no_model + refused_jitter +
+           refused_window + refused_disagree + refused_snapshot;
+  }
+};
+
+// Drives a scenario to a horizon, warping across certified-converged
+// intervals. Owns the scenario: every warp replaces it with a fork, so
+// callers must re-resolve any pointers into it from the on_fork hook.
+class WarpRunner {
+ public:
+  WarpRunner(std::unique_ptr<Scenario> sc, WarpConfig config);
+
+  // Invoked with the freshly forked scenario after every warp, before the
+  // packet run resumes. Probes (telemetry, invariant checkers) must be
+  // re-attached here; the trace recorder is carried over automatically.
+  std::function<void(Scenario& sc, TimeNs from, TimeNs to,
+                     const std::vector<uint64_t>& credit_bytes)>
+      on_fork;
+
+  // Advances to absolute time `until` (chunked run_until + warps).
+  void run_until(TimeNs until);
+
+  Scenario& scenario() { return *sc_; }
+  const Scenario& scenario() const { return *sc_; }
+  std::unique_ptr<Scenario> take_scenario() { return std::move(sc_); }
+  const WarpStats& stats() const { return stats_; }
+
+ private:
+  void ensure_flows();
+  void feed_detectors();
+  bool all_started_settled() const;
+  void reset_detectors();
+  void attempt_warp(TimeNs until);
+
+  std::unique_ptr<Scenario> sc_;
+  WarpConfig config_;
+  WarpStats stats_;
+  std::vector<SettlingDetector> detectors_;
+  // High-water marks into each flow's stats series (which survive forks).
+  std::vector<size_t> fed_rtt_;
+  std::vector<size_t> fed_delivered_;
+  // Structural warpability (delay server, loss) never changes after
+  // construction; checked once, refusal counted once.
+  bool structural_ok_ = true;
+  bool structural_counted_ = false;
+};
+
+}  // namespace ccstarve::warp

@@ -9,6 +9,7 @@
 #include "core/fairness.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
+#include "sim/warp/warp.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/prefix.hpp"
 #include "sweep/spec_parse.hpp"
@@ -87,6 +88,32 @@ std::unique_ptr<Scenario> build_point_scenario(const SweepPoint& pt,
   return sc;
 }
 
+namespace {
+
+// Drives a freshly built point scenario to its duration through the warp
+// engine. The warm-up boundary is pinned as an epoch mark so no warp skips
+// across the measurement window's edge; a telemetry probe, when present,
+// is re-seated across every warp via note_warp.
+std::unique_ptr<Scenario> run_point_warp(std::unique_ptr<Scenario> sc,
+                                         const SweepPoint& pt,
+                                         EventPool* pool,
+                                         obs::FlowTelemetry* telemetry,
+                                         uint64_t* warps_out) {
+  warp::WarpConfig wc;
+  wc.event_pool = pool;
+  wc.epoch_marks.push_back(TimeNs::seconds(pt.warmup_s));
+  warp::WarpRunner runner(std::move(sc), std::move(wc));
+  runner.on_fork = [&](Scenario& fsc, TimeNs from, TimeNs to,
+                       const std::vector<uint64_t>& credits) {
+    if (telemetry) telemetry->note_warp(fsc, from, to, credits);
+  };
+  runner.run_until(TimeNs::seconds(pt.duration_s));
+  if (warps_out) *warps_out += runner.stats().warps;
+  return runner.take_scenario();
+}
+
+}  // namespace
+
 SweepRecord run_point(const SweepPoint& pt) {
   // Each worker thread keeps a warm event pool across the grid points it
   // runs, so per-point Simulator construction reuses event nodes instead of
@@ -98,23 +125,28 @@ SweepRecord run_point(const SweepPoint& pt) {
   return measure_point(pt, *sc);
 }
 
+SweepRecord run_point_fast_forward(const SweepPoint& pt,
+                                   uint64_t* warps_out) {
+  static thread_local EventPool tls_pool;
+  auto sc = build_point_scenario(pt, &tls_pool);
+  sc = run_point_warp(std::move(sc), pt, &tls_pool, nullptr, warps_out);
+  SweepRecord rec = measure_point(pt, *sc);
+  // Matches effective_key's suffix: the cache verifies stored keys, and a
+  // fast-forwarded record must never satisfy a pure-run lookup.
+  rec.key += "|ff=1";
+  return rec;
+}
+
 namespace {
 
 std::string starvation_key_suffix(double window_ms, double threshold) {
   return "|swin=" + canon_num(window_ms) + "|sthr=" + canon_num(threshold);
 }
 
-}  // namespace
-
-std::string effective_key(const SweepPoint& pt, const SweepOptions& opt) {
-  if (opt.starvation_window_ms <= 0) return pt.key();
-  return pt.key() + starvation_key_suffix(opt.starvation_window_ms,
-                                          opt.starvation_threshold);
-}
-
-SweepRecord run_point_telemetry(const SweepPoint& pt,
-                                double starvation_window_ms,
-                                double starvation_threshold) {
+SweepRecord run_point_telemetry_impl(const SweepPoint& pt,
+                                     double starvation_window_ms,
+                                     double starvation_threshold,
+                                     bool fast_forward, uint64_t* warps_out) {
   static thread_local EventPool tls_pool;
   auto sc = build_point_scenario(pt, &tls_pool);
 
@@ -126,14 +158,40 @@ SweepRecord run_point_telemetry(const SweepPoint& pt,
   telemetry.attach(*sc);
 
   const TimeNs duration = TimeNs::seconds(pt.duration_s);
-  sc->run_until(duration);
+  if (fast_forward) {
+    sc = run_point_warp(std::move(sc), pt, &tls_pool, &telemetry, warps_out);
+  } else {
+    sc->run_until(duration);
+  }
   telemetry.finish(duration);
 
   SweepRecord rec = measure_point(pt, *sc);
   rec.key += starvation_key_suffix(starvation_window_ms, starvation_threshold);
+  if (fast_forward) rec.key += "|ff=1";
   const TimeNs fc = telemetry.starvation().first_crossing();
   rec.first_crossing_s = fc == TimeNs(-1) ? -1.0 : fc.to_seconds();
   return rec;
+}
+
+}  // namespace
+
+std::string effective_key(const SweepPoint& pt, const SweepOptions& opt) {
+  std::string key = pt.key();
+  if (opt.starvation_window_ms > 0) {
+    key += starvation_key_suffix(opt.starvation_window_ms,
+                                 opt.starvation_threshold);
+  }
+  // Fast-forwarded records are verdict-equivalent but not bit-identical to
+  // pure packet runs, so the two must never share cache entries.
+  if (opt.fast_forward) key += "|ff=1";
+  return key;
+}
+
+SweepRecord run_point_telemetry(const SweepPoint& pt,
+                                double starvation_window_ms,
+                                double starvation_threshold) {
+  return run_point_telemetry_impl(pt, starvation_window_ms,
+                                  starvation_threshold, false, nullptr);
 }
 
 SweepRecord measure_point(const SweepPoint& pt, const Scenario& sc) {
@@ -201,7 +259,11 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
   const bool telemetry = opt.starvation_window_ms > 0;
   // See SweepOptions::starvation_window_ms: first crossings are not
   // fork-invariant, so telemetry-enabled sweeps always cold-run misses.
-  const bool share_prefix = opt.share_prefix && !telemetry;
+  // Fast-forward likewise disables prefix sharing — the warp engine skips
+  // the shared stem analytically, so the stem/fork machinery would only
+  // add state to reason about for no wall-clock gain.
+  const bool share_prefix =
+      opt.share_prefix && !telemetry && !opt.fast_forward;
   std::vector<std::string> lines(n);
   // 0 = not completed; otherwise how: 'r' simulated, 'c' cached, 'f' forked.
   std::vector<char> done(n, 0);
@@ -249,10 +311,23 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     profile.workers[w].points += 1;
     profile.points.push_back(std::move(p));
   };
+  std::atomic<uint64_t> total_warps{0};
   auto run_miss = [&](const SweepPoint& pt) {
-    return telemetry ? run_point_telemetry(pt, opt.starvation_window_ms,
-                                           opt.starvation_threshold)
-                     : run_point(pt);
+    uint64_t warps = 0;
+    SweepRecord rec;
+    if (telemetry) {
+      rec = opt.fast_forward
+                ? run_point_telemetry_impl(pt, opt.starvation_window_ms,
+                                           opt.starvation_threshold, true,
+                                           &warps)
+                : run_point_telemetry(pt, opt.starvation_window_ms,
+                                      opt.starvation_threshold);
+    } else {
+      rec = opt.fast_forward ? run_point_fast_forward(pt, &warps)
+                             : run_point(pt);
+    }
+    if (warps) total_warps.fetch_add(warps, std::memory_order_relaxed);
+    return rec;
   };
   auto try_cache = [&](size_t i) {
     auto hit = cache.lookup(effective_key(points[i], opt));
@@ -381,6 +456,7 @@ SweepOutcome run_sweep(const std::vector<SweepPoint>& points,
     out.records.push_back(std::move(*rec));
     out.lines.push_back(std::move(lines[i]));
   }
+  out.stats.warps = total_warps.load(std::memory_order_relaxed);
   profile.wall_ms = obs::wall_clock_ms() - sweep_wall0;
   out.profile = std::move(profile);
   out.interrupted = stopping();

@@ -48,6 +48,14 @@ struct SweepOptions {
   // fork-invariant.
   double starvation_window_ms = 0;
   double starvation_threshold = 2.0;
+  // Run points through the hybrid packet/fluid fast-forward engine
+  // (sim/warp): certified-converged stretches are skipped analytically, so
+  // long-horizon points finish in a fraction of the packet-run wall time.
+  // Starvation verdicts match pure runs within the warp error budget, but
+  // records are not bit-identical when a warp fires, so the cache key gains
+  // an "|ff=1" suffix (hybrid and pure sweeps never share entries) and
+  // share_prefix is ignored (the warp engine already skips the stem cost).
+  bool fast_forward = false;
   // Per-run cooperative cancellation, for callers that host several sweeps
   // in one process (the serve daemon runs one per job): when set and *cancel
   // becomes true, workers finish the point they are on and skip the rest,
@@ -68,6 +76,10 @@ struct SweepStats {
   size_t cache_hits = 0;  // points served from the result cache
   size_t forked = 0;      // points completed as forked continuations
   size_t skipped = 0;     // points abandoned after request_stop()
+  // Total fast-forward warps fired across all simulated points (0 unless
+  // SweepOptions::fast_forward). Purely informational — not part of the
+  // partition invariant below.
+  uint64_t warps = 0;
   // Invariant: simulated + cache_hits + forked + skipped == total, and
   // done() always equals the number of records in the outcome.
   size_t done() const { return simulated + cache_hits + forked; }
@@ -97,6 +109,14 @@ SweepRecord run_point(const SweepPoint& pt);
 SweepRecord run_point_telemetry(const SweepPoint& pt,
                                 double starvation_window_ms,
                                 double starvation_threshold);
+
+// run_point through the warp engine (sim/warp): the point's warm-up
+// boundary is pinned as an epoch mark so no warp skips across the
+// measurement window's edge. When `warps_out` is non-null it receives the
+// number of warps that fired (0 means the run was byte-identical to
+// run_point). Deterministic in the point alone.
+SweepRecord run_point_fast_forward(const SweepPoint& pt,
+                                   uint64_t* warps_out = nullptr);
 
 // The key under which run_sweep caches/labels a point's record: pt.key()
 // plus the starvation window/threshold suffix when opt enables telemetry.

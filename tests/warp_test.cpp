@@ -1,0 +1,375 @@
+// Tests for the hybrid packet/fluid fast-forward engine (sim/warp) and the
+// primitives it stands on: the online settling detector (core/settle), the
+// fluid integrator's edge cases (core/fluid), and the snapshot time/credit
+// shift. The two halves of the warp contract are pinned directly:
+//
+//   * when no warp fires, the hybrid driver's trace digest is byte-identical
+//     to the pure packet run's (the chunked run_until and every refused
+//     snapshot attempt must be inert);
+//   * when warps fire, the starvation verdict and per-flow throughputs must
+//     match the pure run within the engine's certified error budget, and no
+//     warp may straddle a jitter onset or a caller epoch mark.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/scenarios.hpp"
+#include "core/fluid.hpp"
+#include "core/settle.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/trace_probe.hpp"
+#include "sim/warp/warp.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SettlingDetector
+
+// Feeds `seconds` of a constant-RTT, constant-rate trajectory at 100 ms
+// cadence (well above min_rtt_samples over the default 5 s window).
+void feed_steady(SettlingDetector& d, double seconds, double rtt_s,
+                 double rate_bytes_per_s) {
+  for (int i = 0; i <= static_cast<int>(seconds * 10); ++i) {
+    const TimeNs at = TimeNs::millis(100 * i);
+    d.add_rtt(at, rtt_s);
+    d.add_delivered(at, rate_bytes_per_s * at.to_seconds());
+  }
+}
+
+TEST(SettlingDetectorTest, SettlesOnSteadyFeed) {
+  SettlingDetector d;
+  feed_steady(d, 8.0, 0.050, 1e6);
+  EXPECT_TRUE(d.settled());
+  // Window rate is the cumulative-counter slope across the window.
+  EXPECT_NEAR(d.window_rate_bytes_per_s(), 1e6, 1e6 * 0.01);
+  EXPECT_NEAR(d.rtt_mean_s(), 0.050, 1e-9);
+}
+
+TEST(SettlingDetectorTest, OscillatingRttNeverSettles) {
+  SettlingDetector d;
+  for (int i = 0; i <= 80; ++i) {
+    const TimeNs at = TimeNs::millis(100 * i);
+    // +-30% RTT swing: far outside the 10% band test.
+    d.add_rtt(at, i % 2 == 0 ? 0.050 : 0.080);
+    d.add_delivered(at, 1e6 * at.to_seconds());
+  }
+  EXPECT_FALSE(d.settled());
+}
+
+TEST(SettlingDetectorTest, SparseRttSamplesBlockSettling) {
+  SettlingDetector d;  // min_rtt_samples = 16 over the 5 s window
+  for (int i = 0; i <= 8; ++i) {
+    const TimeNs at = TimeNs::seconds(i);
+    d.add_rtt(at, 0.050);
+    d.add_delivered(at, 1e6 * at.to_seconds());
+  }
+  EXPECT_FALSE(d.settled());
+}
+
+TEST(SettlingDetectorTest, AcceleratingRateBlocksSettling) {
+  SettlingDetector d;
+  for (int i = 0; i <= 80; ++i) {
+    const TimeNs at = TimeNs::millis(100 * i);
+    d.add_rtt(at, 0.050);
+    // Quadratic delivered counter: second half-window rate is well above
+    // the first's, so the half-window agreement test must fail.
+    const double t = at.to_seconds();
+    d.add_delivered(at, 1e5 * t * t);
+  }
+  EXPECT_FALSE(d.settled());
+}
+
+TEST(SettlingDetectorTest, ResetForgets) {
+  SettlingDetector d;
+  feed_steady(d, 8.0, 0.050, 1e6);
+  ASSERT_TRUE(d.settled());
+  d.reset();
+  EXPECT_FALSE(d.settled());
+  EXPECT_EQ(d.window_rate_bytes_per_s(), 0.0);
+}
+
+TEST(SettlingDetectorTest, EarliestSettledFindsFlattening) {
+  // Ramp for 10 s, then perfectly flat: the earliest settled point must be
+  // after the ramp but well before the end of the flat region.
+  TimeSeries rtt, delivered;
+  double total = 0.0;
+  for (int i = 0; i <= 300; ++i) {
+    const TimeNs at = TimeNs::millis(100 * i);
+    const double t = at.to_seconds();
+    const double ramping = t < 10.0 ? (10.0 - t) / 10.0 : 0.0;
+    rtt.add(at, 0.050 + 0.040 * ramping);
+    total += 0.1 * 1e6 * (1.0 + ramping);
+    delivered.add(at, total);
+  }
+  const TimeNs settled = earliest_settled(rtt, delivered, SettleConfig{});
+  ASSERT_NE(settled, TimeNs(-1));
+  EXPECT_GT(settled.to_seconds(), 10.0);
+  EXPECT_LT(settled.to_seconds(), 20.0);
+
+  // A trajectory that never flattens never settles.
+  TimeSeries rtt2, del2;
+  for (int i = 0; i <= 300; ++i) {
+    const TimeNs at = TimeNs::millis(100 * i);
+    rtt2.add(at, 0.050 * (1.0 + 0.5 * (i % 2)));
+    del2.add(at, 1e6 * at.to_seconds());
+  }
+  EXPECT_EQ(earliest_settled(rtt2, del2, SettleConfig{}), TimeNs(-1));
+}
+
+// ---------------------------------------------------------------------------
+// Fluid edge cases
+
+TEST(FluidVegasTest, BandInteriorIsStationary) {
+  // alpha = 4 pkts, beta = 6 pkts, Rm = 100 ms. A window that queues a
+  // backlog strictly inside [alpha, beta] must have dwdt == 0; below alpha
+  // it must grow, above beta shrink.
+  const FluidVegas band(4.0, TimeNs::millis(100), 1.0, 6.0);
+  const double rm = 0.100;
+  // Pick (w, rtt) pairs with backlog = w*(rtt-rm)/rtt at known points.
+  auto rtt_for = [&](double w, double backlog) { return rm * w / (w - backlog); };
+  const double w = 100.0 * kMss;
+  EXPECT_GT(band.dwdt(w, rtt_for(w, 2.0 * kMss), 0.0), 0.0);   // below alpha
+  EXPECT_EQ(band.dwdt(w, rtt_for(w, 5.0 * kMss), 0.0), 0.0);   // inside band
+  EXPECT_LT(band.dwdt(w, rtt_for(w, 8.0 * kMss), 0.0), 0.0);   // above beta
+
+  // The default (beta < 0) collapses the band to the point alpha — the
+  // historical closed-form behaviour.
+  const FluidVegas point(4.0, TimeNs::millis(100));
+  EXPECT_LT(point.dwdt(w, rtt_for(w, 5.0 * kMss), 0.0), 0.0);
+}
+
+TEST(FluidIntegrateTest, StepHalvingAgrees) {
+  // RK4 self-consistency: halving dt from an off-equilibrium start barely
+  // moves the endpoint. Two Vegas flows from asymmetric windows.
+  std::vector<FluidFlowSpec> flows(2);
+  flows[0].cca = flows[1].cca =
+      std::make_shared<FluidVegas>(4.0, TimeNs::millis(100));
+  flows[0].rm = flows[1].rm = TimeNs::millis(100);
+  const std::vector<double> w0 = {20.0 * kMss, 120.0 * kMss};
+  const auto coarse = integrate_fluid(flows, Rate::mbps(20), w0, 0.002,
+                                      TimeNs::seconds(20), TimeNs::millis(1));
+  const auto fine = integrate_fluid(flows, Rate::mbps(20), w0, 0.002,
+                                    TimeNs::seconds(20), TimeNs::micros(500));
+  ASSERT_EQ(coarse.w_bytes.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(coarse.w_bytes[i], fine.w_bytes[i],
+                0.01 * fine.w_bytes[i] + kMss);
+  }
+  EXPECT_NEAR(coarse.q_s, fine.q_s, 0.001);
+}
+
+TEST(FluidIntegrateTest, QueueStaysNonNegative) {
+  // Under-utilizing windows drain the initial queue; the q >= 0 boundary
+  // must clamp rather than go negative.
+  std::vector<FluidFlowSpec> flows(1);
+  flows[0].cca = std::make_shared<FluidVegas>(4.0, TimeNs::millis(100));
+  flows[0].rm = TimeNs::millis(100);
+  // ~1% of what a 50 Mbit/s link drains per RTT.
+  const std::vector<double> w0 = {4.0 * kMss};
+  const auto r = integrate_fluid(flows, Rate::mbps(50), w0, 0.050,
+                                 TimeNs::seconds(5), TimeNs::millis(1));
+  EXPECT_GE(r.q_s, 0.0);
+  EXPECT_LT(r.q_s, 0.001);  // fully drained
+  EXPECT_GT(r.w_bytes[0], w0[0]);  // and the flow kept growing toward alpha
+}
+
+// ---------------------------------------------------------------------------
+// shift_snapshot
+
+golden::GoldenSpec two_vegas(double duration_s) {
+  golden::GoldenSpec s;
+  s.name = "warp_two_vegas";
+  s.flow_set = "vegas+vegas";
+  s.link_mbps = 48;
+  s.rtt_ms = 40;
+  s.duration_s = duration_s;
+  return s;
+}
+
+TEST(ShiftSnapshotTest, ZeroShiftForkIsByteIdentical) {
+  const golden::GoldenSpec spec = two_vegas(8);
+  const TimeNs mid = TimeNs::seconds(5);
+  const TimeNs end = TimeNs::seconds(8);
+
+  auto sc = golden::build_golden(spec);
+  sc->run_until(mid);
+  ScenarioSnapshot snap = sc->snapshot();
+  warp::shift_snapshot(snap, TimeNs::zero(), {0, 0});
+
+  TraceRecorder cont;
+  sc->sim().set_tracer(&cont);
+  sc->run_until(end);
+
+  auto forked = Scenario::fork(snap);
+  TraceRecorder fd;
+  forked->sim().set_tracer(&fd);
+  forked->run_until(end);
+
+  EXPECT_EQ(cont.digest_hex(), fd.digest_hex());
+  EXPECT_EQ(cont.records(), fd.records());
+}
+
+TEST(ShiftSnapshotTest, ShiftedForkIsLegalAndAdvanced) {
+  const golden::GoldenSpec spec = two_vegas(8);
+  auto sc = golden::build_golden(spec);
+  sc->run_until(TimeNs::seconds(5));
+  const uint64_t pre0 = sc->sender(0).delivered_bytes();
+  const uint64_t pre1 = sc->sender(1).delivered_bytes();
+
+  ScenarioSnapshot snap = sc->snapshot();
+  const TimeNs delta = TimeNs::seconds(600);
+  const std::vector<uint64_t> credits = {1000 * kMss, 1200 * kMss};
+  warp::shift_snapshot(snap, delta, credits);
+  EXPECT_EQ(snap.at, TimeNs::seconds(5) + delta);
+
+  auto forked = Scenario::fork(snap);
+  EXPECT_EQ(forked->sim().now(), snap.at);
+  // The credit moved each flow's cumulative delivered space forward.
+  EXPECT_EQ(forked->sender(0).delivered_bytes(), pre0 + credits[0]);
+  EXPECT_EQ(forked->sender(1).delivered_bytes(), pre1 + credits[1]);
+
+  // The shifted state is a legal transport state: the invariant observers
+  // accept a continued run and the conservation checkpoint passes.
+  check::InvariantChecker ck;
+  ck.attach(*forked);
+  forked->run_until(snap.at + TimeNs::seconds(3));
+  ck.checkpoint();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+// ---------------------------------------------------------------------------
+// WarpRunner
+
+TEST(WarpTest, LossRunIsRefusedAndByteIdentical) {
+  // Random loss cannot be fast-forwarded: the run must be refused
+  // structurally and stay byte-identical to the pure packet run.
+  golden::GoldenSpec spec;
+  spec.flow_set = "newreno+newreno";
+  spec.link_mbps = 48;
+  spec.rtt_ms = 60;
+  spec.buffer = "1bdp";
+  spec.duration_s = 12;
+  const TimeNs end = TimeNs::seconds(spec.duration_s);
+
+  auto pure = golden::build_golden(spec);
+  TraceRecorder pr;
+  pure->sim().set_tracer(&pr);
+  pure->run_until(end);
+
+  auto hybrid = golden::build_golden(spec);
+  TraceRecorder hr;
+  hybrid->sim().set_tracer(&hr);
+  warp::WarpRunner runner(std::move(hybrid), warp::WarpConfig{});
+  runner.run_until(end);
+
+  EXPECT_EQ(runner.stats().warps, 0u);
+  EXPECT_EQ(pr.digest_hex(), hr.digest_hex());
+  EXPECT_EQ(pr.records(), hr.records());
+}
+
+TEST(WarpTest, WarpFiresAndMatchesPureThroughput) {
+  const golden::GoldenSpec spec = two_vegas(60);
+  const TimeNs end = TimeNs::seconds(spec.duration_s);
+
+  auto pure = golden::build_golden(spec);
+  pure->run_until(end);
+
+  warp::WarpRunner runner(golden::build_golden(spec), warp::WarpConfig{});
+  runner.run_until(end);
+  const warp::WarpStats& st = runner.stats();
+  EXPECT_GE(st.warps, 1u);
+  EXPECT_GT(st.warped_seconds, 20.0);
+  EXPECT_EQ(st.attempts, st.warps + st.refusals());
+  EXPECT_EQ(runner.scenario().sim().now(), end);
+
+  for (size_t i = 0; i < 2; ++i) {
+    const double p =
+        pure->throughput(i, TimeNs::zero(), end).bytes_per_second();
+    const double h = runner.scenario()
+                         .throughput(i, TimeNs::zero(), end)
+                         .bytes_per_second();
+    EXPECT_NEAR(h, p, 0.10 * p) << "flow " << i;
+  }
+}
+
+TEST(WarpTest, WarpNeverStraddlesJitterOnset) {
+  // Flow 0 gains 30 ms of step jitter at t = 18 s. Warps may fire before
+  // and after the onset, but none may skip across it — and the starvation
+  // verdict must match the pure packet run's.
+  golden::GoldenSpec spec;
+  spec.flow_set = "vegas:datajitter=step:30,18+vegas";
+  spec.link_mbps = 48;
+  spec.rtt_ms = 40;
+  spec.duration_s = 40;
+  const TimeNs end = TimeNs::seconds(spec.duration_s);
+  const double onset_s = 18.0;
+
+  auto pure = golden::build_golden(spec);
+  obs::FlowTelemetry pure_tele;
+  pure_tele.attach(*pure);
+  pure->run_until(end);
+  pure_tele.finish(end);
+
+  obs::FlowTelemetry tele;
+  std::vector<std::pair<double, double>> warps;
+  auto hybrid = golden::build_golden(spec);
+  tele.attach(*hybrid);
+  warp::WarpRunner runner(std::move(hybrid), warp::WarpConfig{});
+  runner.on_fork = [&](Scenario& fsc, TimeNs from, TimeNs to,
+                       const std::vector<uint64_t>& credits) {
+    tele.note_warp(fsc, from, to, credits);
+    warps.emplace_back(from.to_seconds(), to.to_seconds());
+  };
+  runner.run_until(end);
+  tele.finish(end);
+
+  EXPECT_GE(runner.stats().warps, 1u);
+  for (const auto& [from, to] : warps) {
+    EXPECT_FALSE(from < onset_s && to > onset_s)
+        << "warp " << from << " -> " << to << " straddles the onset";
+  }
+
+  // Verdict equivalence: did the worst-pair ratio ever cross the threshold?
+  const bool pure_starved = pure_tele.starvation().first_crossing() != TimeNs(-1);
+  const bool hybrid_starved = tele.starvation().first_crossing() != TimeNs(-1);
+  EXPECT_EQ(hybrid_starved, pure_starved);
+
+  // The telemetry seam re-synced cumulative counters across every fork:
+  // at finish they equal the live senders' absolute counters.
+  for (size_t i = 0; i < tele.flow_count(); ++i) {
+    EXPECT_EQ(tele.flow(i).delivered_bytes,
+              runner.scenario().sender(i).delivered_bytes());
+  }
+}
+
+TEST(WarpTest, EpochMarksAreNeverStraddled) {
+  // A caller-pinned epoch mark (e.g. a measurement-window edge) must bound
+  // every warp exactly like a discovered jitter onset.
+  const golden::GoldenSpec spec = two_vegas(45);
+  const TimeNs end = TimeNs::seconds(spec.duration_s);
+  const double mark_s = 20.0;
+
+  warp::WarpConfig wc;
+  wc.epoch_marks.push_back(TimeNs::seconds(mark_s));
+  std::vector<std::pair<double, double>> warps;
+  warp::WarpRunner runner(golden::build_golden(spec), std::move(wc));
+  runner.on_fork = [&](Scenario&, TimeNs from, TimeNs to,
+                       const std::vector<uint64_t>&) {
+    warps.emplace_back(from.to_seconds(), to.to_seconds());
+  };
+  runner.run_until(end);
+
+  EXPECT_GE(runner.stats().warps, 1u);
+  for (const auto& [from, to] : warps) {
+    EXPECT_FALSE(from < mark_s && to > mark_s)
+        << "warp " << from << " -> " << to << " straddles the epoch mark";
+  }
+}
+
+}  // namespace
+}  // namespace ccstarve

@@ -23,6 +23,15 @@
 //   --check                  attach the runtime invariant checker
 //                            (src/check) and fail if any invariant or the
 //                            end-of-run conservation checkpoint is violated
+//   --fast-forward           hybrid packet/fluid execution (sim/warp):
+//                            detect convergence online, certify it against
+//                            the fluid models, and analytically skip the
+//                            converged stretches. Starvation verdicts match
+//                            pure packet runs within the engine's error
+//                            budget; runs where no warp fires are
+//                            byte-identical (same --trace-digest). The run
+//                            summary gains a "warp:" line with warp/refusal
+//                            counts.
 //   --csv=<prefix>           write <prefix>.flowN.{rtt,rate}.csv
 //   --metrics=<path>         attach the flow-telemetry probe (src/obs) and
 //                            stream per-flow/link samples, the starvation-
@@ -63,6 +72,7 @@
 #include "check/invariants.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
+#include "sim/warp/warp.hpp"
 #include "sweep/spec_parse.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -95,7 +105,7 @@ int main(int argc, char** argv) {
   double metrics_interval_ms = 10;
   double ecn_threshold_pkts = 0, jitter_budget_ms = 0;
   uint64_t prefill_bytes = 0, seed = 0;
-  bool trace_digest = false, check = false;
+  bool trace_digest = false, check = false, fast_forward = false;
   std::vector<sweep::FlowArgs> flows;
 
   try {
@@ -116,6 +126,7 @@ int main(int argc, char** argv) {
     });
     flags.toggle("--trace-digest", &trace_digest);
     flags.toggle("--check", &check);
+    flags.toggle("--fast-forward", &fast_forward);
     flags.parse(argc, argv);
     if (metrics_interval_ms <= 0) {
       die("--metrics-interval wants a positive cadence in ms");
@@ -134,7 +145,7 @@ int main(int argc, char** argv) {
     if (jitter_budget_ms > 0) {
       cfg.jitter_budget = TimeNs::millis(jitter_budget_ms);
     }
-    Scenario sc(std::move(cfg));
+    auto sc = std::make_unique<Scenario>(std::move(cfg));
 
     // base = seed * 1000 matches sweep::run_point and the golden/fuzz
     // builders, so --seed=N reproduces exactly what they ran.
@@ -154,13 +165,13 @@ int main(int argc, char** argv) {
         spec.data_jitter = std::move(j);
       }
       spec.stats_interval = TimeNs::millis(10);
-      sc.add_flow(std::move(spec));
+      sc->add_flow(std::move(spec));
     }
 
     TraceRecorder recorder;
-    if (trace_digest) sc.sim().set_tracer(&recorder);
+    if (trace_digest) sc->sim().set_tracer(&recorder);
     check::InvariantChecker checker;
-    if (check) checker.attach(sc);
+    if (check) checker.attach(*sc);
 
     std::ofstream metrics_file;
     std::unique_ptr<obs::FlowTelemetry> telemetry;
@@ -178,17 +189,30 @@ int main(int argc, char** argv) {
       }
       for (const auto& fa : flows) tc.flow_labels.push_back(fa.cca);
       telemetry = std::make_unique<obs::FlowTelemetry>(std::move(tc));
-      telemetry->attach(sc);
+      telemetry->attach(*sc);
     }
 
-    sc.run_until(TimeNs::seconds(duration_s));
+    warp::WarpStats warp_stats;
+    if (fast_forward) {
+      warp::WarpRunner runner(std::move(sc), warp::WarpConfig{});
+      runner.on_fork = [&](Scenario& fsc, TimeNs from, TimeNs to,
+                           const std::vector<uint64_t>& credits) {
+        if (telemetry) telemetry->note_warp(fsc, from, to, credits);
+        if (check) checker.attach(fsc);
+      };
+      runner.run_until(TimeNs::seconds(duration_s));
+      warp_stats = runner.stats();
+      sc = runner.take_scenario();
+    } else {
+      sc->run_until(TimeNs::seconds(duration_s));
+    }
     if (telemetry) telemetry->finish(TimeNs::seconds(duration_s));
     if (check) checker.checkpoint();
 
     Table t({"flow", "cca", "throughput Mbit/s", "mean RTT ms", "retx",
              "timeouts"});
     for (size_t i = 0; i < flows.size(); ++i) {
-      const auto& stats = sc.stats(i);
+      const auto& stats = sc->stats(i);
       const double rtt_mean =
           stats.rtt_seconds.empty()
               ? 0.0
@@ -196,16 +220,31 @@ int main(int argc, char** argv) {
                                             TimeNs::seconds(duration_s)) *
                     1e3;
       t.add_row({std::to_string(i), flows[i].cca,
-                 Table::num(sc.throughput(i).to_mbps(), 2),
+                 Table::num(sc->throughput(i).to_mbps(), 2),
                  Table::num(rtt_mean, 1),
                  std::to_string(stats.fast_retransmits),
                  std::to_string(stats.timeouts)});
       if (!csv_prefix.empty()) dump_csv(csv_prefix, i, stats);
     }
     t.print(std::cout);
-    if (sc.has_bottleneck() && sc.link().ce_marks() > 0) {
+    if (fast_forward) {
+      std::printf(
+          "warp: %llu warps (%.1f s skipped), %llu attempts, refusals: "
+          "structural=%llu no-model=%llu jitter=%llu window=%llu "
+          "disagree=%llu snapshot=%llu\n",
+          static_cast<unsigned long long>(warp_stats.warps),
+          warp_stats.warped_seconds,
+          static_cast<unsigned long long>(warp_stats.attempts),
+          static_cast<unsigned long long>(warp_stats.refused_structural),
+          static_cast<unsigned long long>(warp_stats.refused_no_model),
+          static_cast<unsigned long long>(warp_stats.refused_jitter),
+          static_cast<unsigned long long>(warp_stats.refused_window),
+          static_cast<unsigned long long>(warp_stats.refused_disagree),
+          static_cast<unsigned long long>(warp_stats.refused_snapshot));
+    }
+    if (sc->has_bottleneck() && sc->link().ce_marks() > 0) {
       std::printf("CE marks: %llu\n",
-                  static_cast<unsigned long long>(sc.link().ce_marks()));
+                  static_cast<unsigned long long>(sc->link().ce_marks()));
     }
     if (!csv_prefix.empty()) {
       std::printf("CSV series written to %s.flowN.{rtt,delivered}.csv\n",

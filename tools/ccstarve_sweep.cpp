@@ -27,6 +27,14 @@
 //                        only in a late-activating jitter axis (one stem
 //                        run per group, snapshot/forked per member;
 //                        records are byte-identical to cold runs)
+//   --fast-forward       run points through the hybrid packet/fluid warp
+//                        engine (sim/warp): certified-converged stretches
+//                        are skipped analytically, so hour-scale points
+//                        finish 10-100x faster. Starvation verdicts match
+//                        pure runs within the warp error budget; records
+//                        gain an "|ff=1" cache-key suffix so hybrid and
+//                        pure sweeps never share cache entries. Disables
+//                        --share-prefix (the warp already skips the stem).
 //   --warmup-frac=<f>    measurement window starts at f*duration (def 1/6)
 //   --out=<path>         write JSONL records there ("-" = stdout)
 //   --cache=<dir>        result cache directory (default .sweep-cache)
@@ -141,6 +149,7 @@ int main(int argc, char** argv) {
     flags.value("--out", &out_path);
     flags.value("--cache", &opt.cache_dir);
     flags.toggle("--share-prefix", &opt.share_prefix);
+    flags.toggle("--fast-forward", &opt.fast_forward);
     flags.optional_value("--profile", [&](const std::string& v) {
       opt.profile = true;
       profile_path = v;  // empty when used bare
@@ -174,6 +183,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "ccstarve_sweep: --starvation-window disables "
                    "--share-prefix (crossing times are not fork-invariant)\n");
+      opt.share_prefix = false;
+    }
+    if (opt.share_prefix && opt.fast_forward) {
+      std::fprintf(stderr,
+                   "ccstarve_sweep: --fast-forward disables --share-prefix "
+                   "(the warp engine already skips the shared stem)\n");
       opt.share_prefix = false;
     }
 
@@ -223,6 +238,10 @@ int main(int argc, char** argv) {
                  "%zu forked = %zu done, %zu skipped)\n",
                  st.done(), st.total, st.simulated, st.cache_hits, st.forked,
                  st.done(), st.skipped);
+    if (opt.fast_forward) {
+      std::fprintf(stderr, "sweep: %llu fast-forward warps fired\n",
+                   static_cast<unsigned long long>(st.warps));
+    }
     return outcome.interrupted ? 130 : 0;
   } catch (const sweep::SpecError& e) {
     die(e.what());
