@@ -37,6 +37,14 @@ std::string flow_to_string(const sweep::FlowArgs& fa) {
   if (!fa.data_jitter.empty() && fa.data_jitter != "none") {
     s += ":datajitter=" + fa.data_jitter;
   }
+  if (fa.rwnd_pkts > 0) {
+    s += ":rwnd=" + std::to_string(fa.rwnd_pkts);
+    if (fa.drain_mbps > 0) s += ":drain=" + fmt(fa.drain_mbps);
+    if (fa.drain_burst_pkts > 1) {
+      s += ":drainburst=" + std::to_string(fa.drain_burst_pkts);
+    }
+    if (!fa.window_updates) s += ":wndupd=0";
+  }
   return s;
 }
 
@@ -338,6 +346,23 @@ FuzzCase generate_case(uint64_t seed) {
     }
     if (rng.next_below(3) == 0) f += ":datajitter=" + jitter_spec(rng);
     if (rng.next_below(4) == 0) f += ":ackjitter=" + jitter_spec(rng);
+    if (rng.next_below(6) == 0) {
+      // Receiver-side flow control: a finite advertised window, sometimes
+      // with a slow application drain (the starvation-prone corner) and
+      // occasionally with window updates suppressed so recovery leans
+      // entirely on zero-window persist probes.
+      const uint64_t rwnds[] = {16, 30, 64};
+      f += ":rwnd=" + std::to_string(rwnds[rng.next_below(3)]);
+      if (rng.next_below(2) == 0) {
+        // 0.1 sits in the true zero-window regime (one RTT of drain frees
+        // less than an MSS), so persist probes and window-update wakeups
+        // get fuzzed, not just the smooth rwnd clamp.
+        const double drains[] = {0.1, 2, 8};
+        f += ":drain=" + fmt(drains[rng.next_below(3)]);
+        if (rng.next_below(3) == 0) f += ":drainburst=20";
+        if (rng.next_below(4) == 0) f += ":wndupd=0";
+      }
+    }
     flows.push_back(std::move(f));
   }
   c.flow_set = join_flows(flows);
@@ -373,6 +398,7 @@ std::optional<FuzzFailure> run_scenario_case(const FuzzCase& c,
   // determinism oracle below doubles as a digest-transparency check.
   obs::FlowTelemetry telemetry;
   if (opts.telemetry) telemetry.attach(*sc1);
+  if (opts.sabotage_before_run) opts.sabotage_before_run(*sc1);
   TraceRecorder r1;
   sc1->sim().set_tracer(&r1);
   sc1->run_until(mid);
@@ -699,6 +725,18 @@ FuzzCase shrink_case(const FuzzCase& c, const FuzzOptions& opts,
       };
       sweep::FlowArgs e = fa;
       e.loss = 0.0;
+      try_edit(e);
+      e = fa;
+      // Relax the receive window to infinite (drops drain/burst/wndupd with
+      // it — flow_to_string nests those under rwnd). A genuine flow-control
+      // bug keeps the rwnd option in the shrunk repro.
+      e.rwnd_pkts = 0;
+      try_edit(e);
+      e = fa;
+      e.drain_mbps = 0.0;
+      try_edit(e);
+      e = fa;
+      e.window_updates = true;
       try_edit(e);
       e = fa;
       e.data_jitter.clear();

@@ -20,7 +20,8 @@
 //                        delay (monotonicity of eta in the configured bound).
 //
 // On failure, shrink_case() greedily minimises the spec — drop flows,
-// bisect `*N` cohort multipliers, strip per-flow options, remove
+// bisect `*N` cohort multipliers, strip per-flow options (including
+// relaxing a finite rwnd back to infinite), remove
 // AQM/prefill/buffer axes, halve the horizon —
 // re-running the oracles after each candidate edit, and the shrunk case
 // prints a ready-to-paste repro command (ccstarve_run --check, or
@@ -96,6 +97,12 @@ struct FuzzOptions {
   // column) is caught by the invariant oracle and minimised by the
   // shrinker. Null in production.
   std::function<void(Scenario&)> corrupt_after_run;
+  // Test-only behavioural sabotage: called on the primary scenario after
+  // probes attach but before it runs. Lets tests break a live mechanism
+  // (e.g. Sender::set_test_ignore_rwnd, which makes the sender overrun the
+  // advertised window) and prove the runtime invariant observers catch it
+  // and the shrinker keeps the triggering spec option. Null in production.
+  std::function<void(Scenario&)> sabotage_before_run;
 };
 
 // Runs the case under invariant observers and oracles; nullopt means pass.

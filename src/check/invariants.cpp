@@ -64,6 +64,11 @@ void InvariantChecker::attach(Scenario& sc) {
     fc.has_sanity = true;
     fc.sanity = sc.sender(i).cca().sanity();
     fc.last_receiver_cum = sc.receiver(i).cum_received();
+    // Seed the shadow window limit from the receiver's current accept
+    // limit: an upper bound on every advertisement the sender has seen (the
+    // limit is monotone and each emitted ACK advertised the then-current
+    // value), so the clamp check never false-positives on a mid-run attach.
+    fc.wnd_limit = sc.receiver(i).accept_limit();
     const auto seed = [](BoxModel& bm, const JitterBox& jb) {
       bm.held.clear();
       for (const InFlightPacket& p : jb.in_flight()) {
@@ -273,14 +278,32 @@ void InvariantChecker::on_jitter_release(TimeNs now, const Packet& pkt,
 
 void InvariantChecker::on_segment_sent(TimeNs now, const Packet& pkt) {
   note_time(now);
-  ++flow(pkt.flow).sent;
+  FlowCounters& fc = flow(pkt.flow);
+  if (pkt.is_probe) {
+    // Zero-window probes carry a below-window seq by design and are
+    // invisible to the scoreboard; count them separately.
+    ++fc.probes_sent;
+    return;
+  }
+  ++fc.sent;
+  if (pkt.seq + pkt.bytes > fc.wnd_limit) {
+    fail("rwnd-clamp", now,
+         "flow " + std::to_string(pkt.flow) + ": sent seq " +
+             std::to_string(pkt.seq) + "+" + std::to_string(pkt.bytes) +
+             "B beyond the advertised window limit " +
+             std::to_string(fc.wnd_limit));
+  }
 }
 
 void InvariantChecker::on_receiver_data(TimeNs now, const Packet& pkt,
                                         uint64_t cum_after) {
   note_time(now);
   FlowCounters& fc = flow(pkt.flow);
-  ++fc.received;
+  if (pkt.is_probe) {
+    ++fc.probes_received;
+  } else {
+    ++fc.received;
+  }
   if (cum_after < fc.last_receiver_cum) {
     fail("receiver-cum-monotone", now,
          "flow " + std::to_string(pkt.flow) + ": cumulative " +
@@ -301,6 +324,16 @@ void InvariantChecker::on_ack_emitted(TimeNs now, const Packet& ack) {
              std::to_string(fc.last_ack_cum));
   }
   fc.last_ack_cum = ack.ack_cum;
+  if (ack.ack_wnd != kInfiniteWnd) {
+    fc.wnd_limit = std::max(
+        fc.wnd_limit, std::min(kInfiniteWnd, ack.ack_cum + ack.ack_wnd));
+  }
+}
+
+void InvariantChecker::on_wnd_ack(TimeNs now, uint32_t flow_id,
+                                  const Packet& /*ack*/) {
+  note_time(now);
+  ++flow(flow_id).wnd_acks;
 }
 
 void InvariantChecker::on_ack_sample(TimeNs now, uint32_t flow_id, TimeNs rtt,
@@ -386,6 +419,22 @@ void InvariantChecker::checkpoint() {
                "B below cum-acked column " + std::to_string(ft.cum_acked[i]) +
                "B");
     }
+    // Receiver-window clamp at rest: everything ever sent fits under the
+    // shadow advertised-window limit (trivially true at kInfiniteWnd).
+    if (ft.next_seq[i] > fc.wnd_limit) {
+      fail("rwnd-clamp", now,
+           fl + "next_seq column " + std::to_string(ft.next_seq[i]) +
+               " beyond the advertised window limit " +
+               std::to_string(fc.wnd_limit));
+    }
+    // Persist-timer slot coverage: while a flow is rwnd-blocked with a live
+    // persist timer, its owned slot must be queued at or before the true
+    // deadline (otherwise a zero-window stall would never resolve).
+    if (!snd.persist_covered()) {
+      fail("persist-cover", now,
+           fl + "persist timer live at " + ns_str(snd.persist_deadline()) +
+               " but the owned slot does not cover the deadline");
+    }
 
     if (!full_accounting_) continue;
 
@@ -401,11 +450,25 @@ void InvariantChecker::checkpoint() {
                " segments received, receiver counted " +
                std::to_string(sc.receiver(i).packets_received()));
     }
+    if (fc.probes_sent != sc.sender(i).probes_sent()) {
+      fail("conservation", now,
+           fl + "probe saw " + std::to_string(fc.probes_sent) +
+               " persist probes sent, sender counted " +
+               std::to_string(sc.sender(i).probes_sent()));
+    }
+    if (fc.probes_received != sc.receiver(i).probes_received()) {
+      fail("conservation", now,
+           fl + "probe saw " + std::to_string(fc.probes_received) +
+               " persist probes received, receiver counted " +
+               std::to_string(sc.receiver(i).probes_received()));
+    }
     if (link) {
       const uint64_t gate = sc.loss_gate_dropped(i);
-      if (fc.sent != gate + fc.link_enqueued + fc.link_dropped) {
+      if (fc.sent + fc.probes_sent !=
+          gate + fc.link_enqueued + fc.link_dropped) {
         fail("conservation", now,
-             fl + std::to_string(fc.sent) + " sent != " +
+             fl + std::to_string(fc.sent) + " sent + " +
+                 std::to_string(fc.probes_sent) + " probes != " +
                  std::to_string(gate) + " gate-dropped + " +
                  std::to_string(fc.link_enqueued) + " enqueued + " +
                  std::to_string(fc.link_dropped) + " buffer-dropped");
@@ -435,11 +498,12 @@ void InvariantChecker::checkpoint() {
                " admitted != " + std::to_string(fc.data_released) +
                " released + " + std::to_string(data_held) + " held");
     }
-    if (fc.data_released != fc.received) {
+    if (fc.data_released != fc.received + fc.probes_received) {
       fail("conservation", now,
            fl + std::to_string(fc.data_released) +
                " data-box releases != " + std::to_string(fc.received) +
-               " receiver arrivals");
+               " receiver arrivals + " + std::to_string(fc.probes_received) +
+               " probe arrivals");
     }
     if (fc.acks_emitted != fc.ack_admitted) {
       fail("conservation", now,
@@ -453,11 +517,12 @@ void InvariantChecker::checkpoint() {
                " admitted != " + std::to_string(fc.ack_released) +
                " released + " + std::to_string(ack_held) + " held");
     }
-    if (fc.ack_released != fc.ack_samples) {
+    if (fc.ack_released != fc.ack_samples + fc.wnd_acks) {
       fail("conservation", now,
            fl + std::to_string(fc.ack_released) +
                " ack-box releases != " + std::to_string(fc.ack_samples) +
-               " sender ack samples");
+               " sender ack samples + " + std::to_string(fc.wnd_acks) +
+               " window-update acks");
     }
     if (sc.sender(i).delivered_bytes() > sc.receiver(i).cum_received()) {
       fail("conservation", now,

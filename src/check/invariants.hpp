@@ -14,7 +14,12 @@
 //     admission said they would;
 //   * measured RTTs never dip below the flow's propagation floor Rm;
 //   * CCA outputs stay inside the algorithm's declared CcaSanity bounds;
-//   * receiver cumulative-ACK state is monotone.
+//   * receiver cumulative-ACK state is monotone;
+//   * the sender never sends new data beyond the receiver's advertised
+//     window (a shadow wnd-limit integrates every emitted ACK's
+//     ack_cum + ack_wnd; inflight therefore never exceeds min(cwnd, rwnd)),
+//     and while a flow is rwnd-blocked its persist-timer slot covers the
+//     live deadline.
 //
 // checkpoint() adds quiescent-point packet conservation: every segment a
 // sender emitted is accounted for as dropped (loss gate or buffer),
@@ -98,6 +103,7 @@ class InvariantChecker final : public CheckProbe {
   void on_ack_emitted(TimeNs now, const Packet& ack) override;
   void on_ack_sample(TimeNs now, uint32_t flow, TimeNs rtt,
                      uint64_t cwnd_bytes, Rate pacing) override;
+  void on_wnd_ack(TimeNs now, uint32_t flow, const Packet& ack) override;
 
  private:
   // Identity of a packet for FIFO matching.
@@ -145,6 +151,13 @@ class InvariantChecker final : public CheckProbe {
     uint64_t ack_samples = 0;
     uint64_t last_receiver_cum = 0;
     uint64_t last_ack_cum = 0;
+    // Receiver-side flow control. The shadow window limit integrates every
+    // emitted ACK's (ack_cum + ack_wnd) — an upper bound on what the sender
+    // can know, so any send beyond it is a genuine clamp violation.
+    uint64_t wnd_limit = kInfiniteWnd;
+    uint64_t probes_sent = 0;
+    uint64_t probes_received = 0;
+    uint64_t wnd_acks = 0;  // pure window updates the sender consumed
     TimeNs min_rtt = TimeNs::zero();  // floor; zero = unknown
     bool has_sanity = false;
     CcaSanity sanity;

@@ -59,8 +59,9 @@ struct GoldenResult {
   uint64_t events = 0;   // simulator events processed
 };
 
-// ~14 scenarios: one per CCA family plus jitter/AQM/strong-model/trace-link
-// variants. Append rather than edit: digests are keyed by name.
+// ~20 scenarios: one per CCA family plus jitter/AQM/strong-model/trace-link/
+// cohort/receiver-flow-control variants. Append rather than edit: digests
+// are keyed by name.
 inline std::vector<GoldenSpec> golden_specs() {
   std::vector<GoldenSpec> specs;
   auto add = [&specs](GoldenSpec s) { specs.push_back(std::move(s)); };
@@ -109,6 +110,25 @@ inline std::vector<GoldenSpec> golden_specs() {
   add({.name = "mixed_256flow",
        .flow_set = "newreno*64+cubic*64+vegas*64+copa*64",
        .link_mbps = 384, .rtt_ms = 40, .buffer = "2bdp", .duration_s = 2});
+  // Receiver-side flow-control pathologies (the rwnd/persist/app-drain
+  // stack). Each pins a different corner. The drain rates are deliberately
+  // glacial: with every-packet ACKs the returning data-ACK stream refreshes
+  // the advertisement each RTT, so a true zero-window stall only appears
+  // when one RTT of drain frees less than the SWS threshold (here ~0.1 Mbit/s
+  // at ~120 ms loaded RTT). rwnd_oscillate reads in 20-packet bursts ~500 ms
+  // apart, so the window slams shut between reads and window-update wakeups
+  // interleave with persist probes; rwnd_persist_stall suppresses window
+  // updates entirely, so recovery happens only through zero-window persist
+  // probes; rwnd_slow_drain is the smooth-clamp regime — the advertised
+  // window throttles cubic continuously without ever reaching zero.
+  add({.name = "rwnd_oscillate",
+       .flow_set = "copa:rwnd=30:drain=0.5:drainburst=20+copa",
+       .link_mbps = 48, .buffer = "2bdp"});
+  add({.name = "rwnd_persist_stall",
+       .flow_set = "newreno:rwnd=16:drain=0.1:wndupd=0+newreno",
+       .link_mbps = 48, .buffer = "2bdp"});
+  add({.name = "rwnd_slow_drain", .flow_set = "cubic:rwnd=64:drain=5+vegas",
+       .link_mbps = 48, .buffer = "2bdp", .duration_s = 12});
   return specs;
 }
 
@@ -191,6 +211,7 @@ inline std::unique_ptr<Scenario> build_golden(const GoldenSpec& spec,
     if (auto j = sweep::make_jitter(fa.data_jitter, base + 200 + i)) {
       fs.data_jitter = std::move(j);
     }
+    fs.recv = sweep::make_recv_config(fa);
     fs.stats_interval = TimeNs::millis(10);
     sc->add_flow(std::move(fs));
   }

@@ -195,6 +195,7 @@ std::optional<TelemetryLog> TelemetryLog::read(std::istream& in) {
       f.sent_bytes = j.num("sent_bytes");
       f.delivered_bytes = j.num("delivered_bytes");
       f.drops = j.num("drops");
+      f.rwnd_limited_frac = j.num("rwnd_limited_frac");
       f.send_mbps = parse_agg(line, "send_mbps");
       f.deliver_mbps = parse_agg(line, "deliver_mbps");
       f.rtt_ms = parse_agg(line, "rtt_ms");
@@ -209,6 +210,9 @@ std::optional<TelemetryLog> TelemetryLog::read(std::istream& in) {
       log.end.first_crossing_s = j.num("first_crossing_s", -1.0);
       log.end.threshold = j.num("threshold", 2.0);
       log.end.link_drops = j.num("link_drops");
+      const std::string kind = j.str("starved_kind");
+      if (!kind.empty()) log.end.starved_kind = kind;
+      log.end.starved_flow = j.num("starved_flow", -1.0);
     }
   }
   if (!have_meta) return std::nullopt;
@@ -279,6 +283,10 @@ void write_ratio_csv(std::ostream& out, const TelemetryLog& log) {
   out << "# end_ratio=" << csv_num(log.end.present ? log.end.ratio : 1.0)
       << "\n";
   out << "# end_starved=" << (starved ? 1 : 0) << "\n";
+  out << "# starved_kind=" << (log.end.present ? log.end.starved_kind : "none")
+      << "\n";
+  out << "# starved_flow="
+      << csv_num(log.end.present ? log.end.starved_flow : -1.0) << "\n";
   out << "# agree=" << (agree ? 1 : 0) << "\n";
 }
 

@@ -53,12 +53,18 @@ struct TelemetryLog {
     uint32_t flow = 0;
     std::string label;
     double sent_bytes = 0, delivered_bytes = 0, drops = 0;
+    double rwnd_limited_frac = 0;  // fraction of run spent rwnd-blocked
     AggSummary send_mbps, deliver_mbps, rtt_ms, qdelay_ms;
   };
   struct End {
     bool present = false;
     double t_s = 0, buckets = 0, ratio = 1, starved = 0;
     double first_crossing_s = -1, threshold = 2, link_drops = 0;
+    // Starvation classification: "none" when not starved, else
+    // "receiver-limited" (victim spent >= half the run rwnd-blocked) or
+    // "congestion-limited". starved_flow is the victim index, -1 when none.
+    std::string starved_kind = "none";
+    double starved_flow = -1;
   };
 
   std::vector<Sample> samples;
@@ -78,8 +84,9 @@ struct TelemetryLog {
 void write_timeline_csv(std::ostream& out, const TelemetryLog& log);
 
 // Starvation-ratio timeline plus footer comments: the first crossing
-// recomputed from the timeline itself, the log's end-of-run verdict, and
-// `# agree=` saying whether the two tell the same story.
+// recomputed from the timeline itself, the log's end-of-run verdict
+// (including the receiver-limited vs congestion-limited classification),
+// and `# agree=` saying whether the two tell the same story.
 void write_ratio_csv(std::ostream& out, const TelemetryLog& log);
 
 // Per-flow delay distributions (rtt_ms and qdelay_ms streaming aggregates).

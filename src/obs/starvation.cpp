@@ -21,6 +21,8 @@ void StarvationDetector::configure(size_t flows, size_t window_buckets,
   crossings_.clear();
   engaged_ = false;
   last_ratio_ = 1.0;
+  last_max_flow_ = 0;
+  last_min_flow_ = 0;
 
   pairs_.clear();
   sampled_ = false;
@@ -101,9 +103,17 @@ void StarvationDetector::on_bucket(TimeNs bucket_end,
   };
 
   uint64_t max_sum = window_sum_[0], min_sum = window_sum_[0];
+  last_max_flow_ = 0;
+  last_min_flow_ = 0;
   for (size_t i = 1; i < flows_; ++i) {
-    max_sum = std::max(max_sum, window_sum_[i]);
-    min_sum = std::min(min_sum, window_sum_[i]);
+    if (window_sum_[i] > max_sum) {
+      max_sum = window_sum_[i];
+      last_max_flow_ = static_cast<uint32_t>(i);
+    }
+    if (window_sum_[i] < min_sum) {
+      min_sum = window_sum_[i];
+      last_min_flow_ = static_cast<uint32_t>(i);
+    }
   }
   last_ratio_ = pair_ratio(max_sum, min_sum);
   timeline_.push(bucket_end, last_ratio_);

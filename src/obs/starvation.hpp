@@ -63,6 +63,11 @@ class StarvationDetector {
   const RingSeries& timeline() const { return timeline_; }
   bool engaged() const { return engaged_; }
   double last_ratio() const { return last_ratio_; }
+  // The flows realizing the last bucket's worst-pair ratio (ties resolve to
+  // the lowest flow index). Meaningful once engaged(); the min flow is the
+  // starvation victim a classifier should inspect.
+  uint32_t last_max_flow() const { return last_max_flow_; }
+  uint32_t last_min_flow() const { return last_min_flow_; }
   double threshold() const { return threshold_; }
   size_t window_buckets() const { return window_buckets_; }
 
@@ -100,6 +105,8 @@ class StarvationDetector {
 
   bool engaged_ = false;
   double last_ratio_ = 1.0;
+  uint32_t last_max_flow_ = 0;
+  uint32_t last_min_flow_ = 0;
   RingSeries timeline_{4096};
   std::vector<PairCrossing> crossings_;
   // Tracked pairs (i < j) and their crossed bits, parallel vectors. Either

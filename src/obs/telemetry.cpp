@@ -103,6 +103,7 @@ void FlowTelemetry::init_flows(size_t n, TimeNs now) {
   cur_bucket_ = bucket_of(now);
   next_close_ns_ = (cur_bucket_ + 1) * config_.interval.ns();
   buckets_closed_ = 0;
+  attached_at_ns_ = now.ns();
   attached_ = true;
   summaries_written_ = false;
 }
@@ -123,6 +124,10 @@ void FlowTelemetry::attach(Scenario& sc) {
     accum_[i].min_rtt_ms = sc.min_rtt(i).to_seconds() * 1e3;
     accum_[i].last_cwnd = s.cca().cwnd_bytes();
     accum_[i].last_pacing = s.cca().pacing_rate();
+    // A flow blocked on the receiver window at attach time starts its
+    // rwnd-limited interval here; the transition hook only fires on
+    // subsequent gate changes.
+    accum_[i].rwnd_since_ns = s.rwnd_blocked() ? sc.sim().now().ns() : -1;
   }
   if (sc.has_bottleneck()) {
     link_queue_bytes_ = sc.link().queued_bytes();
@@ -223,6 +228,8 @@ void FlowTelemetry::close_bucket(int64_t index) {
       TimeNs::nanos((index + 1) * config_.interval.ns());
   const double t_s = bucket_end.to_seconds();
   const double interval_s = config_.interval.to_seconds();
+  const int64_t bucket_start_ns = index * config_.interval.ns();
+  const int64_t bucket_end_ns = bucket_end.ns();
 
   for (size_t i = 0; i < flows_.size(); ++i) {
     FlowSeries& fs = flows_[i];
@@ -241,6 +248,20 @@ void FlowTelemetry::close_bucket(int64_t index) {
         static_cast<double>(sent_delta) * 8.0 / interval_s * 1e-6;
     const double deliver_mbps =
         static_cast<double>(deliver_delta) * 8.0 / interval_s * 1e-6;
+    // Receiver-window-limited time inside this bucket: the closed intervals
+    // plus the overlap of a still-open blocked interval. An open interval
+    // keeps contributing to later buckets from their start.
+    int64_t rwnd_ns = ac.rwnd_ns_in_bucket;
+    if (ac.rwnd_since_ns >= 0) {
+      rwnd_ns += std::max<int64_t>(
+          0, bucket_end_ns - std::max(ac.rwnd_since_ns, bucket_start_ns));
+    }
+    ac.rwnd_ns_in_bucket = 0;
+    ac.rwnd_ns_total += rwnd_ns;
+    const double rwnd_frac =
+        std::min(1.0, static_cast<double>(rwnd_ns) /
+                          static_cast<double>(config_.interval.ns()));
+
     const bool have_rtt = ac.last_rtt_ns >= 0;
     const double rtt_ms =
         have_rtt ? TimeNs::nanos(ac.last_rtt_ns).to_seconds() * 1e3 : 0.0;
@@ -283,6 +304,8 @@ void FlowTelemetry::close_bucket(int64_t index) {
       j += ',';
       append_num(j, "jitter_ms",
                  TimeNs::nanos(ac.bucket_max_jitter_ns).to_seconds() * 1e3);
+      j += ',';
+      append_num(j, "rwnd_frac", rwnd_frac);
       j += '}';
       emit(j);
     }
@@ -416,6 +439,11 @@ void FlowTelemetry::note_warp(Scenario& sc, TimeNs from, TimeNs to,
     ac.last_pacing = s.cca().pacing_rate();
     flows_[i].sent_bytes = ac.sent_bytes;
     flows_[i].delivered_bytes = ac.delivered_bytes;
+    // Re-seat the gate interval on the forked sender's live gate state (an
+    // interval spanning the warp gap contributes nothing for the skipped
+    // buckets, which never close).
+    ac.rwnd_ns_in_bucket = 0;
+    ac.rwnd_since_ns = s.rwnd_blocked() ? to.ns() : -1;
   }
   if (sc.has_bottleneck()) {
     uint64_t total = 0;
@@ -431,6 +459,24 @@ void FlowTelemetry::note_warp(Scenario& sc, TimeNs from, TimeNs to,
 
 void FlowTelemetry::emit_summaries(TimeNs end_time) {
   if (!emitting()) return;
+  // Whole-run receiver-window-limited fraction per flow: the closed bucket
+  // totals plus whatever accumulated in the final partial bucket, including
+  // a still-open blocked interval reaching end_time.
+  const int64_t elapsed_ns = end_time.ns() - attached_at_ns_;
+  std::vector<double> rwnd_frac(flows_.size(), 0.0);
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    const FlowAccum& ac = accum_[i];
+    int64_t total = ac.rwnd_ns_total + ac.rwnd_ns_in_bucket;
+    if (ac.rwnd_since_ns >= 0) {
+      const int64_t bucket_start_ns = cur_bucket_ * config_.interval.ns();
+      total += std::max<int64_t>(
+          0, end_time.ns() - std::max(ac.rwnd_since_ns, bucket_start_ns));
+    }
+    rwnd_frac[i] = elapsed_ns > 0 ? std::min(1.0, static_cast<double>(total) /
+                                                      static_cast<double>(
+                                                          elapsed_ns))
+                                  : 0.0;
+  }
   for (size_t i = 0; i < flows_.size(); ++i) {
     const FlowSeries& fs = flows_[i];
     std::string j = "{";
@@ -454,11 +500,23 @@ void FlowTelemetry::emit_summaries(TimeNs end_time) {
     append_agg(j, "rtt_ms", fs.agg_rtt_ms);
     j += ',';
     append_agg(j, "qdelay_ms", fs.agg_qdelay_ms);
+    j += ',';
+    append_num(j, "rwnd_limited_frac", rwnd_frac[i]);
     j += '}';
     emit(j);
   }
   const bool starved = starvation_.engaged() &&
                        starvation_.last_ratio() >= starvation_.threshold();
+  // Classify a starved run by its victim (the worst pair's min flow): a
+  // victim that spent most of the run blocked on the receiver window is
+  // receiver-limited; otherwise the bottleneck (congestion) starved it.
+  const uint32_t victim = starvation_.last_min_flow();
+  std::string kind = "none";
+  if (starved) {
+    kind = victim < rwnd_frac.size() && rwnd_frac[victim] >= 0.5
+               ? "receiver-limited"
+               : "congestion-limited";
+  }
   std::string j = "{";
   append_str(j, "type", "end");
   j += ',';
@@ -479,14 +537,38 @@ void FlowTelemetry::emit_summaries(TimeNs end_time) {
   append_num(j, "threshold", starvation_.threshold());
   j += ',';
   append_num(j, "link_drops", static_cast<double>(link_.drops_total));
+  j += ',';
+  append_str(j, "starved_kind", kind);
+  j += ',';
+  append_num(j, "starved_flow",
+             starved ? static_cast<double>(victim) : -1.0);
   j += '}';
   emit(j);
 }
 
 void FlowTelemetry::on_segment_sent(TimeNs now, const Packet& pkt) {
   note_time(now);
-  if (pkt.flow < accum_.size() && !pkt.is_dummy) {
+  // Persist probes are excluded: attach/note_warp seed sent_bytes from the
+  // sender's packets_sent() column, which never counts probes, and the
+  // throughput series must not see 40-byte probe blips.
+  if (pkt.flow < accum_.size() && !pkt.is_dummy && !pkt.is_probe) {
     accum_[pkt.flow].sent_bytes += pkt.bytes;
+  }
+}
+
+void FlowTelemetry::on_send_gate(TimeNs now, uint32_t flow, SendGate gate) {
+  note_time(now);
+  if (flow >= accum_.size()) return;
+  FlowAccum& ac = accum_[flow];
+  const bool blocked = gate == SendGate::kRwnd;
+  if (blocked == (ac.rwnd_since_ns >= 0)) return;
+  if (blocked) {
+    ac.rwnd_since_ns = now.ns();
+  } else {
+    const int64_t bucket_start_ns = cur_bucket_ * config_.interval.ns();
+    ac.rwnd_ns_in_bucket += std::max<int64_t>(
+        0, now.ns() - std::max(ac.rwnd_since_ns, bucket_start_ns));
+    ac.rwnd_since_ns = -1;
   }
 }
 

@@ -145,6 +145,7 @@ class FlowTelemetry final : public ObsProbe {
   void on_link_rate_change(TimeNs now, Rate rate) override;
   void on_jitter_admit(TimeNs arrival, TimeNs release, const Packet& pkt,
                        bool ack_path, TimeNs budget) override;
+  void on_send_gate(TimeNs now, uint32_t flow, SendGate gate) override;
 
  private:
   // Per-flow bucket-scoped accumulators (reset or carried at bucket close).
@@ -161,6 +162,13 @@ class FlowTelemetry final : public ObsProbe {
     uint64_t last_cwnd = 0;
     Rate last_pacing;
     int64_t bucket_max_jitter_ns = 0;
+    // Receiver-window-limited time accounting. rwnd_since_ns >= 0 while the
+    // flow's send gate is SendGate::kRwnd; closed intervals within the
+    // current bucket accumulate in rwnd_ns_in_bucket, and close_bucket adds
+    // the still-open overlap, emitting rwnd_frac per sample.
+    int64_t rwnd_since_ns = -1;
+    int64_t rwnd_ns_in_bucket = 0;
+    int64_t rwnd_ns_total = 0;
   };
 
   void init_flows(size_t n, TimeNs now);
@@ -200,6 +208,7 @@ class FlowTelemetry final : public ObsProbe {
   // calls fall through the fast path.
   int64_t next_close_ns_ = INT64_MAX;
   uint64_t buckets_closed_ = 0;
+  int64_t attached_at_ns_ = 0;  // for the summary's rwnd_limited_frac
   bool attached_ = false;
   bool meta_written_ = false;
   bool summaries_written_ = false;

@@ -53,6 +53,10 @@ class CheckProbe {
   virtual void on_ack_sample(TimeNs /*now*/, uint32_t /*flow*/,
                              TimeNs /*rtt*/, uint64_t /*cwnd_bytes*/,
                              Rate /*pacing*/) {}
+  // Pure window-update ACK consumed by the sender (ack_wnd_only; carries no
+  // new cumulative data and bypasses the RTT/dupack/CCA machinery).
+  virtual void on_wnd_ack(TimeNs /*now*/, uint32_t /*flow*/,
+                          const Packet& /*ack*/) {}
 };
 
 }  // namespace ccstarve

@@ -6,8 +6,9 @@
 // pull 10k distinct cache-line neighborhoods per simulated RTT. The
 // FlowTable packs the per-flow hot scalars (cwnd/pacing mirrors, inflight,
 // cumulative ACK, next seq, packets sent) into dense columns indexed by the
-// flow's row id, and carves three flat timer-slot arrays — pacing wakeup,
-// RTO, delayed-ACK — of caller-owned Event nodes that the Simulator re-arms
+// flow's row id, and carves five flat timer-slot arrays — pacing wakeup,
+// RTO, delayed-ACK, zero-window persist, receiver window-update — of
+// caller-owned Event nodes that the Simulator re-arms
 // in place (sim/event_pool.hpp, Event::kOwned). N flows therefore cost N
 // contiguous cache lines per column sweep, and timer re-arms touch only the
 // flow's own 128-byte slot instead of churning pool nodes.
@@ -56,6 +57,8 @@ class FlowTable {
     pace_slots.emplace_back();
     rto_slots.emplace_back();
     ack_slots.emplace_back();
+    persist_slots.emplace_back();
+    wnd_slots.emplace_back();
     return row;
   }
 
@@ -77,6 +80,11 @@ class FlowTable {
   std::deque<Event> pace_slots;
   std::deque<Event> rto_slots;
   std::deque<Event> ack_slots;
+  // Sender-side zero-window persist probe timer.
+  std::deque<Event> persist_slots;
+  // Receiver-side window-update wakeup (fires when the app drain will have
+  // re-opened a worthwhile window).
+  std::deque<Event> wnd_slots;
 
   // Test-only fault injection: swaps two hot columns wholesale so the
   // invariant checker's table-vs-scoreboard cross-check (and the fuzzer

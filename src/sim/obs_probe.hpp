@@ -33,6 +33,11 @@ class ObsProbe {
   virtual void on_ack_sample(TimeNs /*now*/, uint32_t /*flow*/,
                              TimeNs /*rtt*/, uint64_t /*cwnd_bytes*/,
                              Rate /*pacing*/, uint64_t /*delivered_bytes*/) {}
+  // Send-gate transition: fired when the gate blocking the flow's next send
+  // flips into or out of SendGate::kRwnd (receiver-window-limited), so the
+  // telemetry layer can integrate rwnd-limited time fractions.
+  virtual void on_send_gate(TimeNs /*now*/, uint32_t /*flow*/,
+                            SendGate /*gate*/) {}
 
   // --- bottleneck (BottleneckLink and TraceDrivenLink) ---
   // `queued_after` includes the packet just admitted.

@@ -13,6 +13,21 @@
 
 namespace ccstarve {
 
+// Advertised-window value meaning "no receiver limit". Large enough that
+// cum + wnd never overflows for any reachable sequence number, small enough
+// that adding a buffer size to it cannot wrap either.
+inline constexpr uint64_t kInfiniteWnd = uint64_t{1} << 62;
+
+// Which gate is currently blocking a sender's next segment; reported to the
+// telemetry probe so receiver-limited time can be told apart from
+// congestion-limited time.
+enum class SendGate : uint8_t {
+  kNone = 0,   // nothing blocked (sending, or flow not started)
+  kCwnd = 1,   // congestion window full
+  kRwnd = 2,   // advertised receive window exhausted
+  kPacing = 3  // pacing inter-send spacing
+};
+
 struct Packet {
   uint32_t flow = 0;
   // Data: sequence number of the first payload byte. Segments are always
@@ -25,6 +40,10 @@ struct Packet {
   // Queue-prefill filler used to set an initial queueing delay (Theorem 1
   // construction); occupies the bottleneck but is discarded downstream.
   bool is_dummy = false;
+  // Zero-window persist probe: a header-sized segment sent while the
+  // advertised window is closed, solely to elicit a window-bearing ACK. Not
+  // tracked in the scoreboard and invisible to the CCA.
+  bool is_probe = false;
   // When the corresponding data segment left the sender (echoed on ACKs so
   // the sender can take an RTT sample).
   TimeNs data_sent_at = TimeNs::zero();
@@ -41,6 +60,13 @@ struct Packet {
   uint64_t ack_seq = 0;
   // Number of data segments this ACK covers (>1 with delayed ACKs).
   uint32_t ack_pkts = 1;
+  // Advertised receive window: bytes beyond ack_cum the receiver can accept.
+  // kInfiniteWnd (the default) means flow control is off for this flow.
+  uint64_t ack_wnd = kInfiniteWnd;
+  // Pure window update (persist-probe reply, window-update wakeup, or the
+  // reply to out-of-window data): carries ack_cum/ack_wnd but acknowledges
+  // no new data, so the sender must skip RTT/dupack/CCA processing.
+  bool ack_wnd_only = false;
 };
 
 // Anything that accepts packets at the current simulation time.

@@ -6,6 +6,9 @@ Receiver::~Receiver() {
   if (Event* slot = timer_slot_ ? timer_slot_ : owned_slot_.get()) {
     sim_.disarm(slot);
   }
+  if (Event* slot = wnd_slot_ ? wnd_slot_ : owned_wnd_slot_.get()) {
+    sim_.disarm(slot);
+  }
 }
 
 Event* Receiver::timer_slot() {
@@ -45,6 +48,110 @@ void Receiver::on_timer_fire() {
   emit_ack(last_data_);
 }
 
+Event* Receiver::wnd_slot() {
+  if (wnd_slot_ == nullptr) {
+    owned_wnd_slot_ = std::make_unique<Event>();
+    wnd_slot_ = owned_wnd_slot_.get();
+  }
+  if (!wnd_slot_->fn) {
+    wnd_slot_->fn.emplace([this] { on_wnd_timer_fire(); });
+  }
+  return wnd_slot_;
+}
+
+void Receiver::advance_drain() {
+  if (!recv_.enabled()) return;
+  if (drain_interval_ns_ == 0) {  // infinite drain: consume instantly
+    app_consumed_ = cum_;
+    return;
+  }
+  const uint64_t k =
+      static_cast<uint64_t>(sim_.now().ns()) /
+      static_cast<uint64_t>(drain_interval_ns_);
+  if (k <= last_read_idx_) return;
+  const uint64_t backlog = cum_ - app_consumed_;
+  const uint64_t reads = k - last_read_idx_;
+  // Each read consumes up to a burst; saturate instead of multiplying two
+  // potentially huge factors.
+  const uint64_t consumed =
+      reads >= backlog / recv_.drain_burst_bytes + 1
+          ? backlog
+          : std::min<uint64_t>(backlog, reads * recv_.drain_burst_bytes);
+  app_consumed_ += consumed;
+  last_read_idx_ = k;
+}
+
+void Receiver::maybe_arm_wnd_timer() {
+  if (!recv_.enabled() || !recv_.window_updates || drain_interval_ns_ == 0) {
+    return;
+  }
+  if (wnd_armed_) return;
+  const uint64_t wnd = advertised_wnd();
+  if (wnd >= wnd_threshold_ || cum_ == app_consumed_) return;
+  // Wake at the read that lifts the advertised window back to the
+  // threshold. needed < backlog always (threshold <= buffer/2), so the
+  // drain can actually get there.
+  const uint64_t needed = wnd_threshold_ - wnd;
+  const uint64_t reads =
+      (needed + recv_.drain_burst_bytes - 1) / recv_.drain_burst_bytes;
+  wnd_armed_ = true;
+  wnd_at_ = TimeNs(static_cast<int64_t>(last_read_idx_ + reads) *
+                   drain_interval_ns_);
+  Event* slot = wnd_slot();
+  if ((slot->flags & Event::kQueued) == 0) {
+    wnd_seq_ = sim_.arm(slot, wnd_at_);
+  } else {
+    wnd_seq_ = slot->seq;
+  }
+}
+
+void Receiver::on_wnd_timer_fire() {
+  if (!wnd_armed_) return;
+  if (sim_.now() < wnd_at_) {
+    wnd_seq_ = sim_.arm(wnd_slot(), wnd_at_);
+    return;
+  }
+  wnd_armed_ = false;
+  advance_drain();
+  if (advertised_wnd() >= wnd_threshold_) {
+    emit_wnd_ack(last_data_);
+  } else {
+    maybe_arm_wnd_timer();
+  }
+}
+
+void Receiver::on_probe(const Packet& pkt) {
+  ++probes_received_;
+  advance_drain();
+  if (TraceRecorder* tr = sim_.tracer()) {
+    tr->record('P', sim_.now(), pkt.flow, pkt.seq, cum_);
+  }
+  if (CheckProbe* ck = sim_.checker()) {
+    ck->on_receiver_data(sim_.now(), pkt, cum_);
+  }
+  emit_wnd_ack(pkt);
+}
+
+void Receiver::emit_wnd_ack(const Packet& trigger) {
+  advance_drain();
+  Packet ack;
+  ack.flow = trigger.flow;
+  ack.is_ack = true;
+  ack.ack_wnd_only = true;
+  ack.bytes = 40;
+  ack.data_sent_at = trigger.data_sent_at;
+  ack.ack_cum = cum_;
+  ack.ack_seq = trigger.seq;
+  ack.ack_pkts = 0;  // acknowledges no new data
+  ack.ack_wnd = advertised_wnd();
+  if (TraceRecorder* tr = sim_.tracer()) {
+    tr->record('W', sim_.now(), ack.flow, ack.ack_cum, ack.ack_wnd);
+  }
+  if (CheckProbe* ck = sim_.checker()) ck->on_ack_emitted(sim_.now(), ack);
+  maybe_arm_wnd_timer();
+  ack_path_.handle(ack);
+}
+
 Receiver::State Receiver::capture(std::vector<PendingEvent>* events,
                                   uint32_t flow) const {
   State st;
@@ -57,6 +164,20 @@ Receiver::State Receiver::capture(std::vector<PendingEvent>* events,
   st.timer_armed = timer_armed_;
   st.ece_pending = ece_pending_;
   st.timer_at = timer_at_;
+  st.app_consumed = app_consumed_;
+  st.last_read_idx = last_read_idx_;
+  st.probes_received = probes_received_;
+  st.window_drops = window_drops_;
+  st.wnd_armed = wnd_armed_;
+  st.wnd_at = wnd_at_;
+  if (wnd_slot_ != nullptr && (wnd_slot_->flags & Event::kQueued) != 0) {
+    PendingEvent e;
+    e.at = wnd_slot_->at;
+    e.seq = wnd_slot_->seq;
+    e.kind = PendingEvent::Kind::kReceiverWndTimer;
+    e.flow = flow;
+    events->push_back(e);
+  }
   if (timer_slot_ != nullptr && (timer_slot_->flags & Event::kQueued) != 0) {
     // Capture the slot at its ACTUAL queued time, which may be earlier than
     // the live deadline (a reused earlier-epoch slot) or stale after the
@@ -83,6 +204,12 @@ void Receiver::restore(const State& st) {
   timer_armed_ = st.timer_armed;
   ece_pending_ = st.ece_pending;
   timer_at_ = st.timer_at;
+  app_consumed_ = st.app_consumed;
+  last_read_idx_ = st.last_read_idx;
+  probes_received_ = st.probes_received;
+  window_drops_ = st.window_drops;
+  wnd_armed_ = st.wnd_armed;
+  wnd_at_ = st.wnd_at;
 }
 
 void Receiver::restore_timer(const PendingEvent& e) {
@@ -91,7 +218,12 @@ void Receiver::restore_timer(const PendingEvent& e) {
   timer_seq_ = sim_.arm(timer_slot(), e.at);
 }
 
+void Receiver::restore_wnd_timer(const PendingEvent& e) {
+  wnd_seq_ = sim_.arm(wnd_slot(), e.at);
+}
+
 void Receiver::emit_ack(const Packet& trigger) {
+  advance_drain();
   Packet ack;
   ack.flow = trigger.flow;
   ack.is_ack = true;
@@ -101,6 +233,7 @@ void Receiver::emit_ack(const Packet& trigger) {
   ack.ack_seq = trigger.seq;
   ack.ack_pkts = unacked_ == 0 ? 1 : unacked_;
   ack.ack_ece = ece_pending_;
+  ack.ack_wnd = advertised_wnd();
   ece_pending_ = false;
   unacked_ = 0;
   timer_armed_ = false;
@@ -110,6 +243,7 @@ void Receiver::emit_ack(const Packet& trigger) {
                ack.ack_seq * 2 + (ack.ack_ece ? 1 : 0));
   }
   if (CheckProbe* ck = sim_.checker()) ck->on_ack_emitted(sim_.now(), ack);
+  maybe_arm_wnd_timer();
   ack_path_.handle(ack);
 }
 

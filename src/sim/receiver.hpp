@@ -1,8 +1,21 @@
 // Receiver endpoint: tracks in-order delivery, generates cumulative ACKs
 // (optionally delayed, as in the Fig. 7 experiment where one receiver ACKs
 // only every 4th segment) and echoes timestamps for RTT measurement.
+//
+// Optionally models receiver-side flow control (RecvConfig): a bounded
+// receive buffer drained by the application in fixed-size reads at a
+// configured rate. Every ACK then advertises the remaining window
+// (accept_limit - cum), data beyond the advertised window is dropped and
+// answered with a pure window update, zero-window persist probes are
+// answered likewise, and a window-update timer wakes the sender when the
+// drain has re-opened a worthwhile window. With the default RecvConfig
+// (infinite buffer) every one of these paths is inert: no timer is armed, no
+// extra packet or trace record is produced, and every ACK carries
+// ack_wnd = kInfiniteWnd — which is why the committed golden digests are
+// unchanged by this feature.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -23,21 +36,80 @@ struct AckPolicy {
   TimeNs delayed_ack_timeout = TimeNs::millis(40);
 };
 
+// Application-drain / receive-buffer model. Defaults mean "flow control
+// off": an infinite buffer advertises kInfiniteWnd forever and schedules
+// nothing.
+struct RecvConfig {
+  // Receive-buffer capacity in bytes; >= kInfiniteWnd disables flow control.
+  uint64_t buffer_bytes = kInfiniteWnd;
+  // Application read (drain) rate. infinite() = the app consumes in-order
+  // data the instant it arrives, so a finite buffer becomes a fixed rwnd
+  // clamp; a finite rate leaves a backlog that shrinks the advertised
+  // window between reads.
+  Rate drain_rate = Rate::infinite();
+  // Bytes consumed per application read: reads happen every
+  // drain_burst_bytes / drain_rate and consume up to a burst each. Larger
+  // bursts make the advertised window oscillate in coarser steps.
+  uint64_t drain_burst_bytes = kMss;
+  // Emit pure window-update ACKs when the drain re-opens the window past
+  // the SWS threshold (min(buffer/2, MSS)). Disabling this models the
+  // classic lost-window-update pathology: the sender can then only recover
+  // via persist probes.
+  bool window_updates = true;
+
+  bool enabled() const { return buffer_bytes < kInfiniteWnd; }
+};
+
 class Receiver final : public PacketHandler {
  public:
   template <typename AckPath>
-  Receiver(Simulator& sim, const AckPolicy& policy, AckPath& ack_path)
-      : sim_(sim), policy_(policy), ack_path_(as_sink(ack_path)) {}
+  Receiver(Simulator& sim, const AckPolicy& policy, AckPath& ack_path,
+           RecvConfig recv = {})
+      : sim_(sim), policy_(policy), ack_path_(as_sink(ack_path)), recv_(recv) {
+    if (recv_.drain_burst_bytes == 0) recv_.drain_burst_bytes = kMss;
+    if (recv_.enabled()) {
+      wnd_threshold_ = std::min<uint64_t>(recv_.buffer_bytes / 2, kMss);
+      if (!recv_.drain_rate.is_infinite()) {
+        drain_interval_ns_ = std::max<int64_t>(
+            1, recv_.drain_rate.transmission_time(recv_.drain_burst_bytes)
+                   .ns());
+      }
+    }
+  }
   ~Receiver() override;
 
   // Wires the delayed-ACK timer to a FlowTable-owned Event slot (see
   // sim/flow_table.hpp). Must be called before any data arrives; without a
   // slot the receiver lazily allocates a private one.
   void set_timer_slot(Event* slot) { timer_slot_ = slot; }
+  // Same, for the window-update wakeup timer.
+  void set_wnd_timer_slot(Event* slot) { wnd_slot_ = slot; }
 
   void handle(Packet pkt) override {
     if (pkt.is_dummy || pkt.is_ack) return;
+    if (pkt.is_probe) {
+      on_probe(pkt);
+      return;
+    }
     ++packets_;
+    if (recv_.enabled()) {
+      advance_drain();
+      if (pkt.seq + pkt.bytes > accept_limit()) {
+        // Beyond the advertised window: the buffer cannot hold it. Drop and
+        // answer with a pure window update so a sender that overran (or
+        // raced a shrinking... never-shrinking window means this only
+        // happens to a deliberately misbehaving sender) re-synchronizes.
+        ++window_drops_;
+        if (TraceRecorder* tr = sim_.tracer()) {
+          tr->record('X', sim_.now(), pkt.flow, pkt.seq, cum_);
+        }
+        if (CheckProbe* ck = sim_.checker()) {
+          ck->on_receiver_data(sim_.now(), pkt, cum_);
+        }
+        emit_wnd_ack(pkt);
+        return;
+      }
+    }
     if (TraceRecorder* tr = sim_.tracer()) {
       tr->record('R', sim_.now(), pkt.flow, pkt.seq, cum_);
     }
@@ -77,6 +149,17 @@ class Receiver final : public PacketHandler {
 
   uint64_t cum_received() const { return cum_; }
   uint64_t packets_received() const { return packets_; }
+  uint64_t probes_received() const { return probes_received_; }
+  uint64_t window_drops() const { return window_drops_; }
+  const RecvConfig& recv_config() const { return recv_; }
+  // Highest sequence the receiver can currently buffer: every ACK it has
+  // ever emitted advertised ack_cum + ack_wnd <= accept_limit(), and the
+  // limit is monotone (the drain only consumes), so TCP's never-shrinking
+  // window holds by construction. kInfiniteWnd when flow control is off.
+  uint64_t accept_limit() const {
+    return recv_.enabled() ? app_consumed_ + recv_.buffer_bytes
+                           : kInfiniteWnd;
+  }
 
   // --- snapshot/fork hooks (sim/snapshot.hpp) ---
 
@@ -90,18 +173,34 @@ class Receiver final : public PacketHandler {
     bool timer_armed = false;
     bool ece_pending = false;
     TimeNs timer_at = TimeNs::zero();
+    // Flow-control state (all zero with the default RecvConfig).
+    uint64_t app_consumed = 0;
+    uint64_t last_read_idx = 0;
+    uint64_t probes_received = 0;
+    uint64_t window_drops = 0;
+    bool wnd_armed = false;
+    TimeNs wnd_at = TimeNs::zero();
   };
 
   State capture(std::vector<PendingEvent>* events, uint32_t flow) const;
   void restore(const State& st);
   // Re-arms the live delayed-ACK timer captured at snapshot time.
   void restore_timer(const PendingEvent& e);
+  // Re-arms the live window-update timer captured at snapshot time.
+  void restore_wnd_timer(const PendingEvent& e);
 
  private:
   void emit_ack(const Packet& trigger);
   void arm_timer();
   void on_timer_fire();
   Event* timer_slot();
+  void on_probe(const Packet& pkt);
+  void emit_wnd_ack(const Packet& trigger);
+  void advance_drain();
+  uint64_t advertised_wnd() const { return accept_limit() - cum_; }
+  void maybe_arm_wnd_timer();
+  void on_wnd_timer_fire();
+  Event* wnd_slot();
 
   Simulator& sim_;
   AckPolicy policy_;
@@ -123,6 +222,25 @@ class Receiver final : public PacketHandler {
   uint64_t timer_seq_ = 0;
   // CE seen since the last ACK (ECN-Echo accumulation).
   bool ece_pending_ = false;
+
+  // --- receiver-side flow control (inert with the default RecvConfig) ---
+  RecvConfig recv_;
+  // In-order bytes the application has consumed; advanced lazily to the
+  // read-schedule position implied by now() before any use, which is exact
+  // because reads are a deterministic function of absolute time.
+  uint64_t app_consumed_ = 0;
+  uint64_t last_read_idx_ = 0;  // reads completed = floor(now / interval)
+  int64_t drain_interval_ns_ = 0;  // 0 = infinite drain rate
+  uint64_t wnd_threshold_ = 0;  // SWS-style update threshold
+  uint64_t probes_received_ = 0;
+  uint64_t window_drops_ = 0;
+  // Window-update wakeup timer (same owned-slot coverage discipline as the
+  // delayed-ACK timer above).
+  Event* wnd_slot_ = nullptr;
+  std::unique_ptr<Event> owned_wnd_slot_;
+  bool wnd_armed_ = false;
+  TimeNs wnd_at_ = TimeNs::zero();
+  uint64_t wnd_seq_ = 0;
 };
 
 }  // namespace ccstarve

@@ -48,11 +48,15 @@ uint32_t Scenario::build_flow(FlowSpec spec, bool schedule_start) {
   flow->ack_policy = spec.ack_policy;
   flow->stats_interval = spec.stats_interval;
   flow->max_cwnd_bytes = spec.max_cwnd_bytes;
+  flow->recv = spec.recv;
 
   Sender::Config sc;
   sc.flow_id = id;
   sc.stats_interval = spec.stats_interval;
   sc.max_cwnd_bytes = spec.max_cwnd_bytes;
+  // The handshake advertises the receive buffer: a flow-controlled sender
+  // starts bounded by the peer's buffer, not blind until the first ACK.
+  if (spec.recv.enabled()) sc.initial_wnd_limit = spec.recv.buffer_bytes;
   sc.table = &table_;
   sc.row = table_.add_row();
   // The chain is built in dependency order: each element references the one
@@ -70,9 +74,10 @@ uint32_t Scenario::build_flow(FlowSpec spec, bool schedule_start) {
       spec.ack_jitter ? std::move(spec.ack_jitter)
                       : std::make_unique<ZeroJitter>(),
       config_.jitter_budget, *flow->sender);
-  flow->receiver =
-      std::make_unique<Receiver>(sim_, spec.ack_policy, *flow->ack_jitter);
+  flow->receiver = std::make_unique<Receiver>(sim_, spec.ack_policy,
+                                              *flow->ack_jitter, spec.recv);
   flow->receiver->set_timer_slot(&table_.ack_slots[id]);
+  flow->receiver->set_wnd_timer_slot(&table_.wnd_slots[id]);
   flow->data_jitter = std::make_unique<JitterBox>(
       sim_,
       spec.data_jitter ? std::move(spec.data_jitter)
@@ -117,6 +122,7 @@ ScenarioSnapshot Scenario::snapshot() const {
     fs.ack_policy = f.ack_policy;
     fs.stats_interval = f.stats_interval;
     fs.max_cwnd_bytes = f.max_cwnd_bytes;
+    fs.recv = f.recv;
     fs.cca = f.sender->cca().clone();
     fs.data_jitter = f.data_jitter->clone_policy();
     fs.ack_jitter = f.ack_jitter->clone_policy();
@@ -171,6 +177,7 @@ std::unique_ptr<Scenario> Scenario::fork(const ScenarioSnapshot& snap,
     spec.ack_policy = fs.ack_policy;
     spec.stats_interval = fs.stats_interval;
     spec.max_cwnd_bytes = fs.max_cwnd_bytes;
+    spec.recv = fs.recv;
     spec.data_jitter = ff && ff->replace_data_jitter
                            ? std::move(ff->data_jitter)
                            : fs.data_jitter->clone();
@@ -220,10 +227,14 @@ std::unique_ptr<Scenario> Scenario::fork(const ScenarioSnapshot& snap,
       case PendingEvent::Kind::kSenderStart:
       case PendingEvent::Kind::kSenderPace:
       case PendingEvent::Kind::kSenderRto:
+      case PendingEvent::Kind::kSenderPersist:
         sc->flows_[e.flow]->sender->restore_event(e);
         break;
       case PendingEvent::Kind::kReceiverAckTimer:
         sc->flows_[e.flow]->receiver->restore_timer(e);
+        break;
+      case PendingEvent::Kind::kReceiverWndTimer:
+        sc->flows_[e.flow]->receiver->restore_wnd_timer(e);
         break;
     }
   }

@@ -46,6 +46,9 @@ struct FlowSpec {
   TimeNs stats_interval = TimeNs::zero();
   // Sender-level window cap (see Sender::Config::max_cwnd_bytes).
   uint64_t max_cwnd_bytes = uint64_t{1} << 40;
+  // Receiver-side flow control: buffer size + application drain model.
+  // Defaults mean "off" (infinite buffer, instant drain).
+  RecvConfig recv;
 };
 
 struct ScenarioConfig {
@@ -83,6 +86,7 @@ struct ScenarioSnapshot {
     AckPolicy ack_policy;
     TimeNs stats_interval = TimeNs::zero();
     uint64_t max_cwnd_bytes = uint64_t{1} << 40;
+    RecvConfig recv;
     // Live state.
     std::unique_ptr<Cca> cca;
     std::unique_ptr<JitterPolicy> data_jitter;
@@ -166,6 +170,12 @@ class Scenario {
   uint64_t loss_gate_dropped(size_t i) const {
     return flows_[i]->loss_gate ? flows_[i]->loss_gate->dropped() : 0;
   }
+  // True when flow i models receiver-side flow control (finite buffer).
+  // Such flows depend on absolute time through the receiver's app-drain
+  // read schedule, so the warp engine refuses to fast-forward them.
+  bool rwnd_limited(size_t i) const {
+    return flows_[i]->recv.enabled();
+  }
   uint64_t buffer_bytes() const { return config_.buffer_bytes; }
   TimeNs jitter_budget() const { return config_.jitter_budget; }
   const FlowStats& stats(size_t i) const { return flows_[i]->sender->stats(); }
@@ -224,6 +234,7 @@ class Scenario {
     AckPolicy ack_policy;
     TimeNs stats_interval = TimeNs::zero();
     uint64_t max_cwnd_bytes = uint64_t{1} << 40;
+    RecvConfig recv;
   };
 
   // add_flow minus the start() scheduling — fork restores the pending

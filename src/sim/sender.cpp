@@ -32,18 +32,22 @@ Sender::Sender(Simulator& sim, const Config& config, std::unique_ptr<Cca> cca,
   }
   pace_slot_ = &table_->pace_slots[row_];
   rto_slot_ = &table_->rto_slots[row_];
+  persist_slot_ = &table_->persist_slots[row_];
   // Owned slots: the callback is emplaced once; arming re-inserts the node.
   pace_slot_->fn.emplace([this] {
     wakeup_scheduled_ = false;
     maybe_send();
   });
   rto_slot_->fn.emplace([this] { on_rto_slot_fire(); });
+  persist_slot_->fn.emplace([this] { on_persist_fire(); });
+  wnd_limit_ = config_.initial_wnd_limit;
   sync_cca_gauges();
 }
 
 Sender::~Sender() {
   sim_.disarm(pace_slot_);
   sim_.disarm(rto_slot_);
+  sim_.disarm(persist_slot_);
 }
 
 void Sender::start(TimeNs at) {
@@ -64,8 +68,20 @@ void Sender::maybe_send() {
   const TimeNs now = sim_.now();
   while (true) {
     const bool has_retx = !scoreboard_.retx_empty();
+    // Effective window = min(cwnd, rwnd). The rwnd gate comes first so the
+    // blocking gate is attributed to the receiver whenever the advertised
+    // window (not congestion) is what stops the flow. Retransmissions are
+    // always within the advertised window (it never retracts), so they
+    // bypass both window gates exactly as before.
+    if (!has_retx && !test_ignore_rwnd_ &&
+        next_seq_col() + kMss > wnd_limit_) {
+      set_gate(SendGate::kRwnd);
+      maybe_arm_persist();
+      return;  // receiver-blocked; a window update will re-invoke us
+    }
     const uint64_t cwnd = std::min(cwnd_col(), config_.max_cwnd_bytes);
     if (!has_retx && inflight_col() + kMss > cwnd) {
+      set_gate(SendGate::kCwnd);
       return;  // window-blocked; an ACK will re-invoke us
     }
     if (pace_next_ > now) {
@@ -74,6 +90,7 @@ void Sender::maybe_send() {
         wakeup_at_ = pace_next_;
         wakeup_seq_ = sim_.arm(pace_slot_, pace_next_);
       }
+      set_gate(SendGate::kPacing);
       return;  // pacing-blocked
     }
     uint64_t seq;
@@ -86,10 +103,83 @@ void Sender::maybe_send() {
       seq = next_seq_col();
       next_seq_col() += kMss;
     }
+    set_gate(SendGate::kNone);
     send_segment(seq, retx);
     const Rate pr = pacing_col();
     pace_next_ = ccstarve::max(pace_next_, now) + pr.transmission_time(kMss);
   }
+}
+
+void Sender::set_gate(SendGate g) {
+  const bool was_rwnd = gate_ == SendGate::kRwnd;
+  gate_ = g;
+  const bool is_rwnd = g == SendGate::kRwnd;
+  if (was_rwnd != is_rwnd) {
+    if (!is_rwnd) {
+      // The window opened (or another gate took over): the persist cycle
+      // starts fresh next time.
+      persist_live_ = false;  // a queued slot fires as a no-op
+      persist_backoff_ = 0;
+    }
+    if (ObsProbe* ob = sim_.telemetry()) {
+      ob->on_send_gate(sim_.now(), config_.flow_id, g);
+    }
+  }
+}
+
+void Sender::maybe_arm_persist() {
+  // Only a true zero-window stall needs probing: while data is in flight
+  // (or repairs are pending) the returning ACK stream doubles as the
+  // window-update channel.
+  if (persist_live_ || !scoreboard_.empty()) return;
+  const TimeNs interval = ccstarve::min(
+      rto_ * static_cast<double>(uint64_t{1} << persist_backoff_), kMaxRto);
+  persist_live_ = true;
+  persist_at_ = sim_.now() + interval;
+  // Same coverage discipline as the RTO slot: while live, the owned slot is
+  // queued at some time <= persist_at_; an early fire re-arms itself.
+  if ((persist_slot_->flags & Event::kQueued) == 0) {
+    persist_seq_ = sim_.arm(persist_slot_, persist_at_);
+  } else if (persist_slot_->at > persist_at_) {
+    sim_.disarm(persist_slot_);
+    persist_seq_ = sim_.arm(persist_slot_, persist_at_);
+  } else {
+    persist_seq_ = persist_slot_->seq;
+  }
+}
+
+void Sender::on_persist_fire() {
+  if (!persist_live_) return;  // window opened since this slot was armed
+  if (sim_.now() < persist_at_) {
+    persist_seq_ = sim_.arm(persist_slot_, persist_at_);
+    return;
+  }
+  persist_live_ = false;
+  if (!started_ || !scoreboard_.empty()) return;
+  if (test_ignore_rwnd_ || next_seq_col() + kMss <= wnd_limit_) {
+    maybe_send();  // a window update raced the timer; just send
+    return;
+  }
+  send_probe();
+  if (persist_backoff_ < 30) ++persist_backoff_;
+  maybe_arm_persist();
+}
+
+void Sender::send_probe() {
+  Packet pkt;
+  pkt.flow = config_.flow_id;
+  pkt.seq = next_seq_col();  // the first byte beyond the advertised window
+  pkt.bytes = 40;            // header-sized, like a 1-byte TCP window probe
+  pkt.is_probe = true;
+  pkt.data_sent_at = sim_.now();
+  ++probes_sent_;
+  if (TraceRecorder* tr = sim_.tracer()) {
+    tr->record('p', sim_.now(), pkt.flow, pkt.seq,
+               static_cast<uint64_t>(persist_backoff_));
+  }
+  if (CheckProbe* ck = sim_.checker()) ck->on_segment_sent(sim_.now(), pkt);
+  if (ObsProbe* ob = sim_.telemetry()) ob->on_segment_sent(sim_.now(), pkt);
+  data_path_.handle(pkt);
 }
 
 void Sender::send_segment(uint64_t seq, bool retransmit) {
@@ -124,8 +214,26 @@ void Sender::handle(Packet pkt) {
   on_ack_packet(pkt);
 }
 
+void Sender::update_wnd_limit(const Packet& ack) {
+  // max() because ACKs can arrive reordered through the ACK jitter box and
+  // the receiver's limit itself is monotone.
+  wnd_limit_ = std::max(
+      wnd_limit_, std::min(kInfiniteWnd, ack.ack_cum + ack.ack_wnd));
+}
+
 void Sender::on_ack_packet(const Packet& ack) {
   const TimeNs now = sim_.now();
+  update_wnd_limit(ack);
+  if (ack.ack_wnd_only) {
+    // Pure window update (persist-probe reply or window-update wakeup):
+    // no data is acknowledged, so RTT/dupack/CCA/scoreboard processing
+    // must not run — a burst of these must not fake a fast retransmit.
+    if (CheckProbe* ck = sim_.checker()) {
+      ck->on_wnd_ack(now, config_.flow_id, ack);
+    }
+    maybe_send();
+    return;
+  }
   const TimeNs rtt = now - ack.data_sent_at;
 
   // RTT estimators (RFC 6298 shape).
@@ -354,6 +462,12 @@ Sender::State Sender::capture(std::vector<PendingEvent>* events) const {
   st.rto_live = rto_live_;
   st.rto_at = rto_at_;
   st.wakeup_at = wakeup_at_;
+  st.wnd_limit = wnd_limit_;
+  st.probes_sent = probes_sent_;
+  st.persist_backoff = persist_backoff_;
+  st.persist_live = persist_live_;
+  st.persist_at = persist_at_;
+  st.gate = gate_;
   const uint32_t flow = config_.flow_id;
   if (start_pending_) {
     PendingEvent e;
@@ -381,6 +495,16 @@ Sender::State Sender::capture(std::vector<PendingEvent>* events) const {
     e.at = rto_slot_->at;
     e.seq = rto_slot_->seq;
     e.kind = PendingEvent::Kind::kSenderRto;
+    e.flow = flow;
+    events->push_back(e);
+  }
+  if ((persist_slot_->flags & Event::kQueued) != 0) {
+    // Same queued-time capture as the RTO slot; the true deadline travels
+    // in State (persist_live/persist_at).
+    PendingEvent e;
+    e.at = persist_slot_->at;
+    e.seq = persist_slot_->seq;
+    e.kind = PendingEvent::Kind::kSenderPersist;
     e.flow = flow;
     events->push_back(e);
   }
@@ -415,6 +539,12 @@ void Sender::restore(const State& st) {
   rto_live_ = st.rto_live;
   rto_at_ = st.rto_at;
   wakeup_at_ = st.wakeup_at;
+  wnd_limit_ = st.wnd_limit;
+  probes_sent_ = st.probes_sent;
+  persist_backoff_ = st.persist_backoff;
+  persist_live_ = st.persist_live;
+  persist_at_ = st.persist_at;
+  gate_ = st.gate;
   if (cca_ != nullptr) sync_cca_gauges();
 }
 
@@ -433,6 +563,10 @@ void Sender::restore_event(const PendingEvent& e) {
       // restore() already set rto_live_/rto_at_ (the true deadline); e.at is
       // the slot's queued time, which may be earlier or stale-cancelled.
       rto_seq_ = sim_.arm(rto_slot_, e.at);
+      break;
+    case PendingEvent::Kind::kSenderPersist:
+      // restore() already set persist_live_/persist_at_.
+      persist_seq_ = sim_.arm(persist_slot_, e.at);
       break;
     default:
       assert(false && "not a sender event");

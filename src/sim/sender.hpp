@@ -7,6 +7,16 @@
 // gating so both window-based (Vegas, Cubic, ...) and rate-based (BBR, PCC,
 // ...) algorithms run on the same code path.
 //
+// Receiver-side flow control: every ACK carries an advertised window and the
+// sender sends only within the effective window min(cwnd, rwnd) — new data
+// stops at wnd_limit = max over ACKs of (ack_cum + ack_wnd), which is
+// monotone because the receiver's window never retracts. A zero window with
+// nothing in flight arms a persist timer (a fourth owned FlowTable slot)
+// whose exponentially backed-off probes elicit pure window updates; probes
+// are invisible to the CCA, the scoreboard, and the packets_sent column.
+// With the default wnd_limit = kInfiniteWnd all of it is dead code on the
+// hot path (one always-false compare), which keeps golden digests intact.
+//
 // Hot per-flow state lives in a FlowTable row (sim/flow_table.hpp): the
 // inflight/cum-ACK/next-seq/packets-sent counters and the cwnd/pacing CCA
 // mirrors are dense columns shared across a scenario's flows, and the
@@ -51,6 +61,9 @@ class Sender final : public PacketHandler {
     // Hard cap on the window regardless of the CCA (safety valve for
     // strong-model experiments where throughput legitimately diverges).
     uint64_t max_cwnd_bytes = uint64_t{1} << 40;
+    // Receive window known before the first ACK (the peer's buffer size, as
+    // a handshake would advertise it). kInfiniteWnd = no flow control.
+    uint64_t initial_wnd_limit = kInfiniteWnd;
     // Shared flow table + this sender's row. Null: the sender owns a
     // private single-row table (standalone/unit-test construction).
     FlowTable* table = nullptr;
@@ -90,6 +103,27 @@ class Sender final : public PacketHandler {
   // against the flow-table column by the invariant checker.
   uint64_t scoreboard_bytes() const { return scoreboard_.present_bytes(); }
 
+  // --- receiver flow control (rwnd) ---
+  // Highest sequence the receiver has ever advertised room for.
+  uint64_t wnd_limit() const { return wnd_limit_; }
+  uint64_t probes_sent() const { return probes_sent_; }
+  // The gate that blocked the most recent send attempt.
+  SendGate send_gate() const { return gate_; }
+  bool rwnd_blocked() const { return gate_ == SendGate::kRwnd; }
+  bool persist_live() const { return persist_live_; }
+  TimeNs persist_deadline() const { return persist_at_; }
+  // Slot-coverage invariant for the persist timer (checked at invariant
+  // checkpoints): while live, the owned slot is queued at or before the
+  // true deadline.
+  bool persist_covered() const {
+    return !persist_live_ ||
+           ((persist_slot_->flags & Event::kQueued) != 0 &&
+            persist_slot_->at <= persist_at_);
+  }
+  // Test-only seam: disables the rwnd send gate so the invariant checker's
+  // window-clamp check can be proven to fire (check/fuzzer sabotage hook).
+  void set_test_ignore_rwnd(bool v) { test_ignore_rwnd_ = v; }
+
   using SentInfo = ccstarve::SentInfo;
 
   // --- snapshot/fork hooks (sim/snapshot.hpp) ---
@@ -128,6 +162,13 @@ class Sender final : public PacketHandler {
     bool rto_live = false;
     TimeNs rto_at = TimeNs::zero();
     TimeNs wakeup_at = TimeNs::zero();
+    // Flow-control state (defaults when flow control is off).
+    uint64_t wnd_limit = kInfiniteWnd;
+    uint64_t probes_sent = 0;
+    int persist_backoff = 0;
+    bool persist_live = false;
+    TimeNs persist_at = TimeNs::zero();
+    SendGate gate = SendGate::kNone;
   };
 
   State capture(std::vector<PendingEvent>* events) const;
@@ -141,6 +182,11 @@ class Sender final : public PacketHandler {
   void maybe_send();
   void send_segment(uint64_t seq, bool retransmit);
   void on_ack_packet(const Packet& ack);
+  void update_wnd_limit(const Packet& ack);
+  void set_gate(SendGate g);
+  void maybe_arm_persist();
+  void on_persist_fire();
+  void send_probe();
   void queue_retransmit(uint64_t seq);
   // SACK-style loss repair: queue retransmits for outstanding segments below
   // the highest SACKed seq that have not been (re)sent for an RTT.
@@ -176,6 +222,7 @@ class Sender final : public PacketHandler {
   std::unique_ptr<FlowTable> owned_table_;  // standalone fallback
   Event* pace_slot_ = nullptr;
   Event* rto_slot_ = nullptr;
+  Event* persist_slot_ = nullptr;
 
   Scoreboard scoreboard_;
 
@@ -216,6 +263,20 @@ class Sender final : public PacketHandler {
 
   FlowStats stats_;
   TimeNs last_stats_at_ = TimeNs(-1);
+
+  // Receiver flow control. wnd_limit_ only grows (never-shrinking window),
+  // so a retransmission is always within window by construction. The
+  // persist timer follows the same owned-slot coverage discipline as the
+  // RTO above; its interval is the backed-off RTO, reset whenever the
+  // window opens.
+  uint64_t wnd_limit_ = kInfiniteWnd;
+  uint64_t probes_sent_ = 0;
+  int persist_backoff_ = 0;
+  bool persist_live_ = false;
+  TimeNs persist_at_ = TimeNs::zero();
+  uint64_t persist_seq_ = 0;
+  SendGate gate_ = SendGate::kNone;
+  bool test_ignore_rwnd_ = false;
 };
 
 }  // namespace ccstarve

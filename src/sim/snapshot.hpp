@@ -48,6 +48,8 @@ struct PendingEvent {
     kSenderPace,          // pacing wakeup
     kSenderRto,           // live (current-epoch) retransmission timer
     kReceiverAckTimer,    // live delayed-ACK timer
+    kSenderPersist,       // live zero-window persist probe timer
+    kReceiverWndTimer,    // live window-update wakeup timer
   };
 
   TimeNs at = TimeNs::zero();

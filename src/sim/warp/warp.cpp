@@ -80,6 +80,10 @@ void WarpRunner::run_until(TimeNs until) {
     structural_ok_ = sc_->has_bottleneck();
     for (size_t i = 0; i < sc_->flow_count(); ++i) {
       if (sc_->loss_rate(i) > 0.0) structural_ok_ = false;
+      // Receiver-side flow control ties behavior to absolute time (the
+      // app-drain read schedule) and to persist/window-update timers the
+      // fluid models don't represent; such flows never fast-forward.
+      if (sc_->rwnd_limited(i)) structural_ok_ = false;
     }
     if (!structural_ok_) {
       ++stats_.attempts;

@@ -22,6 +22,9 @@
 //   * a flow's CCA has no fluid counterpart (or BBR is pacing-limited),
 //   * an opaque jitter policy is active (random draws, recorded traces),
 //   * random loss is configured (RNG draws cannot be fast-forwarded),
+//   * receiver-side flow control is active (the app-drain read schedule is
+//     a function of absolute time and the persist/window-update timers have
+//     no fluid counterpart),
 //   * the path uses a delay-server link (delay is a function of absolute
 //     arrival time),
 //   * the fluid model's rate disagrees with the packet-measured rate, or
@@ -95,7 +98,7 @@ struct WarpStats {
   double warped_seconds = 0.0;
   // Settled states considered (each either warps or is refused).
   uint64_t attempts = 0;
-  uint64_t refused_structural = 0;  // delay server / random loss
+  uint64_t refused_structural = 0;  // delay server / loss / rwnd
   uint64_t refused_no_model = 0;    // CCA without a fluid counterpart
   uint64_t refused_jitter = 0;      // opaque policy / incompatible quanta
   uint64_t refused_window = 0;      // next epoch too close (< min_warp)

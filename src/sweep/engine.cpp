@@ -82,6 +82,7 @@ std::unique_ptr<Scenario> build_point_scenario(const SweepPoint& pt,
     if (auto j = make_jitter(data_jitter, base + 200 + i)) {
       spec.data_jitter = std::move(j);
     }
+    spec.recv = make_recv_config(fa);
     spec.stats_interval = TimeNs::millis(10);
     sc->add_flow(std::move(spec));
   }

@@ -188,6 +188,32 @@ FlowArgs parse_flow(const std::string& value) {
       if (out.loss < 0 || out.loss > 1) {
         throw SpecError("flow loss '" + val + "' must be in [0, 1]");
       }
+    } else if (key == "rwnd") {
+      const double pkts = parse_num(val, "flow rwnd");
+      if (pkts < 1 ||
+          pkts != static_cast<double>(static_cast<uint64_t>(pkts))) {
+        throw SpecError("flow rwnd '" + val +
+                        "' must be a whole packet count >= 1");
+      }
+      out.rwnd_pkts = static_cast<uint64_t>(pkts);
+    } else if (key == "drain") {
+      out.drain_mbps = parse_num(val, "flow drain");
+      if (out.drain_mbps <= 0) {
+        throw SpecError("flow drain '" + val + "' must be positive (Mbit/s)");
+      }
+    } else if (key == "drainburst") {
+      const double pkts = parse_num(val, "flow drainburst");
+      if (pkts < 1 ||
+          pkts != static_cast<double>(static_cast<uint64_t>(pkts))) {
+        throw SpecError("flow drainburst '" + val +
+                        "' must be a whole packet count >= 1");
+      }
+      out.drain_burst_pkts = static_cast<uint64_t>(pkts);
+    } else if (key == "wndupd") {
+      if (val != "0" && val != "1") {
+        throw SpecError("flow wndupd '" + val + "' must be 0 or 1");
+      }
+      out.window_updates = val == "1";
     } else if (key == "ackjitter" || key == "datajitter") {
       std::string spec = val;
       // Jitter args may themselves contain ':' (e.g. quantize:60): re-join
@@ -207,6 +233,16 @@ FlowArgs parse_flow(const std::string& value) {
   make_jitter(out.ack_jitter, 1);
   make_jitter(out.data_jitter, 1);
   return out;
+}
+
+RecvConfig make_recv_config(const FlowArgs& fa) {
+  RecvConfig rc;
+  if (fa.rwnd_pkts == 0) return rc;  // flow control off
+  rc.buffer_bytes = fa.rwnd_pkts * kMss;
+  if (fa.drain_mbps > 0) rc.drain_rate = Rate::mbps(fa.drain_mbps);
+  rc.drain_burst_bytes = fa.drain_burst_pkts * kMss;
+  rc.window_updates = fa.window_updates;
+  return rc;
 }
 
 std::vector<FlowArgs> parse_flow_set(const std::string& value) {

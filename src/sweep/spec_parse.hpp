@@ -7,6 +7,7 @@
 //   flow spec:   <cca>[:opt=val]*
 //     options:   start=<s>  rtt=<ms>  loss=<frac>
 //                ackjitter=<jitter spec>  datajitter=<jitter spec>
+//                rwnd=<pkts>  drain=<mbps>  drainburst=<pkts>  wndupd=<0|1>
 //   jitter spec: const:<ms> | uniform:<ms> | quantize:<ms> |
 //                onoff:<ms>,<on ms>,<off ms> | step:<ms>,<start s> |
 //                allbutone:<ms>,<exempt s> | none
@@ -27,6 +28,7 @@
 
 #include "cc/cca.hpp"
 #include "sim/jitter.hpp"
+#include "sim/receiver.hpp"
 #include "util/rate.hpp"
 
 namespace ccstarve::sweep {
@@ -55,9 +57,17 @@ struct FlowArgs {
   std::optional<double> rtt_ms;
   double loss = 0.0;
   std::string ack_jitter, data_jitter;
+  // Receiver-side flow control (rwnd=0: off, the default).
+  uint64_t rwnd_pkts = 0;          // receive-buffer size in packets
+  double drain_mbps = 0.0;         // app drain rate; 0 = instant consumption
+  uint64_t drain_burst_pkts = 1;   // packets consumed per application read
+  bool window_updates = true;      // wndupd=0 models lost window updates
 };
 
 FlowArgs parse_flow(const std::string& value);
+
+// RecvConfig for a parsed flow (defaults when rwnd_pkts == 0).
+RecvConfig make_recv_config(const FlowArgs& fa);
 
 // '+'-separated list of flow specs; must be non-empty. Each spec may carry
 // a cohort multiplier `*<count>` (e.g. "copa*64+bbr:rtt=80*64") expanding

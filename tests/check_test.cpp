@@ -331,5 +331,47 @@ TEST(FuzzShrinker, CatchesAndBisectsACorruptedFlowTableColumn) {
   EXPECT_NE(mf.detail.find("flow-table"), std::string::npos) << mf.detail;
 }
 
+// --- Fault injection: a sender that ignores the advertised window. ---
+//
+// sabotage_before_run flips Sender::set_test_ignore_rwnd on every
+// rwnd-limited flow, so the sender overruns the receiver's advertised
+// window as soon as the clamp would have bound. The rwnd-clamp invariant
+// must catch the overrunning segment, and the shrinker must keep the rwnd
+// option in the minimal repro — relaxing it back to infinite makes the
+// sabotage a no-op and the candidate pass.
+TEST(FuzzShrinker, CatchesABrokenWindowClampAndKeepsRwndInTheRepro) {
+  check::FuzzCase c;
+  c.seed = 5;
+  c.flow_set = "copa:rwnd=16:drain=2+vegas:loss=0.01";
+  c.link_mbps = 48;
+  c.rtt_ms = 40;
+  c.buffer = "2bdp";
+  c.duration_s = 0.8;
+
+  check::FuzzOptions opts;
+  opts.metamorphic = false;
+  opts.telemetry = false;
+  opts.fast_forward = false;
+  opts.sabotage_before_run = [](Scenario& sc) {
+    for (size_t i = 0; i < sc.flow_count(); ++i) {
+      if (sc.rwnd_limited(i)) sc.sender(i).set_test_ignore_rwnd(true);
+    }
+  };
+
+  const auto failure = check::run_case(c, opts);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->oracle, "invariant");
+  EXPECT_NE(failure->detail.find("rwnd-clamp"), std::string::npos)
+      << failure->detail;
+
+  check::FuzzFailure mf;
+  const check::FuzzCase m = check::shrink_case(c, opts, &mf);
+  EXPECT_NE(m.flow_set.find("rwnd=16"), std::string::npos) << m.flow_set;
+  EXPECT_EQ(m.flow_set.find('+'), std::string::npos)
+      << "peer flow should shrink away: " << m.flow_set;
+  EXPECT_EQ(mf.oracle, "invariant");
+  EXPECT_NE(mf.detail.find("rwnd-clamp"), std::string::npos) << mf.detail;
+}
+
 }  // namespace
 }  // namespace ccstarve

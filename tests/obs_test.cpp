@@ -545,4 +545,111 @@ TEST(Report, ReadRejectsNonTelemetryInput) {
   EXPECT_FALSE(TelemetryLog::read(in).has_value());  // no meta line
 }
 
+// ---------------------------------------------------------------------------
+// Starvation classification: receiver-limited vs congestion-limited.
+
+// A zero-window stall: flow 0's receiver drains at 2 Mbps behind a
+// 16-packet buffer while flow 1 runs unconstrained, so flow 0 spends
+// nearly the whole run rwnd-blocked and starves. The end-of-run verdict
+// must blame the receiver, not the network.
+TEST(StarvationKind, ZeroWindowStallClassifiesReceiverLimited) {
+  golden::GoldenSpec spec;
+  spec.name = "rwnd_stall_classify";
+  spec.flow_set = "newreno:rwnd=16:drain=0.1+newreno";
+  spec.link_mbps = 48;
+  spec.rtt_ms = 40;
+  spec.buffer = "2bdp";
+  spec.duration_s = 8;
+
+  std::ostringstream jsonl;
+  TelemetryConfig cfg;
+  cfg.jsonl = &jsonl;
+  cfg.flow_labels = {"newreno:rwnd", "newreno"};
+  FlowTelemetry telemetry(std::move(cfg));
+  golden::run_golden_telemetry(spec, &telemetry);
+
+  std::istringstream in(jsonl.str());
+  const auto log = TelemetryLog::read(in);
+  ASSERT_TRUE(log.has_value());
+  ASSERT_TRUE(log->end.present);
+  EXPECT_NE(log->end.starved, 0.0);
+  EXPECT_EQ(log->end.starved_kind, "receiver-limited");
+  EXPECT_DOUBLE_EQ(log->end.starved_flow, 0.0);
+  ASSERT_EQ(log->flow_summaries.size(), 2u);
+  EXPECT_GE(log->flow_summaries[0].rwnd_limited_frac, 0.5);
+  EXPECT_DOUBLE_EQ(log->flow_summaries[1].rwnd_limited_frac, 0.0);
+}
+
+// The paper's §5.1 Copa min-RTT attack starves the non-jittered flow with
+// no receiver in the loop at all: the same classifier must call it
+// congestion-limited with every rwnd fraction at zero.
+TEST(StarvationKind, CopaMinRttAttackClassifiesCongestionLimited) {
+  // The full-strength §5.1 parameters (the registered copa_minrtt_attack
+  // golden uses a milder jitter split whose end-of-run ratio sits just
+  // under the starvation threshold): one flow sees 1 ms-early delivery on
+  // all but a 0.15 fraction of packets, the victim a constant 1 ms.
+  golden::GoldenSpec spec;
+  spec.name = "copa_minrtt_attack_full";
+  spec.flow_set =
+      "copa-default:rtt=59:datajitter=allbutone:1,0.15"
+      "+copa-default:rtt=59:datajitter=const:1";
+  spec.link_mbps = 120;
+  spec.rtt_ms = 60;
+  spec.duration_s = 8;
+
+  std::ostringstream jsonl;
+  TelemetryConfig cfg;
+  cfg.jsonl = &jsonl;
+  FlowTelemetry telemetry(std::move(cfg));
+  golden::run_golden_telemetry(spec, &telemetry);
+
+  std::istringstream in(jsonl.str());
+  const auto log = TelemetryLog::read(in);
+  ASSERT_TRUE(log.has_value());
+  ASSERT_TRUE(log->end.present);
+  EXPECT_NE(log->end.starved, 0.0);
+  EXPECT_EQ(log->end.starved_kind, "congestion-limited");
+  for (const auto& fsum : log->flow_summaries) {
+    EXPECT_DOUBLE_EQ(fsum.rwnd_limited_frac, 0.0) << "flow " << fsum.flow;
+  }
+}
+
+// Pair-tracking agreement on an rwnd cohort: 16 receiver-limited flows
+// against 16 unconstrained ones cross for exactly the limited x unlimited
+// pairs. The exhaustive and the deterministically sampled detector modes
+// must agree on the verdict and (within sampling error) on the starved
+// pair fraction.
+TEST(StarvationKind, SampledAndExhaustivePairModesAgreeOnRwndCohort) {
+  golden::GoldenSpec spec;
+  spec.name = "rwnd_cohort_sampling";
+  spec.flow_set = "copa:rwnd=16:drain=1*16+copa*16";
+  spec.link_mbps = 64;
+  spec.rtt_ms = 40;
+  spec.buffer = "2bdp";
+  spec.duration_s = 4;
+
+  struct Outcome {
+    bool sampled = false;
+    double fraction = 0;
+    bool crossed = false;
+  };
+  auto run_with_cap = [&](size_t cap) {
+    TelemetryConfig cfg;
+    cfg.starvation_pair_cap = cap;
+    FlowTelemetry tm(std::move(cfg));
+    golden::run_golden_telemetry(spec, &tm);
+    return Outcome{tm.starvation().sampled(),
+                   tm.starvation().starved_pair_fraction(),
+                   tm.starvation().first_crossing() != TimeNs(-1)};
+  };
+
+  const Outcome exhaustive = run_with_cap(4096);  // 496 pairs: all tracked
+  const Outcome sampled = run_with_cap(128);
+  EXPECT_FALSE(exhaustive.sampled);
+  EXPECT_TRUE(sampled.sampled);
+  EXPECT_TRUE(exhaustive.crossed);
+  EXPECT_EQ(exhaustive.crossed, sampled.crossed);
+  EXPECT_NEAR(sampled.fraction, exhaustive.fraction, 0.15);
+}
+
 }  // namespace

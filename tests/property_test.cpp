@@ -304,6 +304,142 @@ TEST_P(PerCca, RecoversFromRandomLoss) {
   EXPECT_GT(sc.sender(0).delivered_bytes(), uint64_t{200} * kMss);
 }
 
+// --- Receiver flow control: a finite advertised window clamps every CCA,
+// under loss and jitter, with the runtime checker enforcing the rwnd-clamp
+// (inflight never past min(cwnd, advertised window)) and persist-coverage
+// invariants throughout. ---
+TEST_P(PerCca, RespectsFiniteReceiveWindowUnderLossAndJitter) {
+  const CcaCase& c = GetParam();
+  Scenario sc(base_config(c));
+  FlowSpec f;
+  f.cca = c.make();
+  f.min_rtt = TimeNs::millis(60);
+  f.loss_rate = 0.01;
+  f.loss_seed = 9;
+  f.data_jitter =
+      std::make_unique<UniformJitter>(TimeNs::zero(), TimeNs::millis(3), 13);
+  f.recv.buffer_bytes = 32 * kMss;
+  f.recv.drain_rate = Rate::mbps(6);
+  sc.add_flow(std::move(f));
+  run_checked(sc, TimeNs::seconds(10), c.name + " (rwnd)");
+  // The stream never ran past what the receiver could accept, and the
+  // transport still made progress through the clamped window.
+  EXPECT_LE(sc.flow_table().next_seq[0], sc.receiver(0).accept_limit())
+      << c.name;
+  EXPECT_GT(sc.sender(0).delivered_bytes(), uint64_t{50} * kMss) << c.name;
+}
+
+// --- Fork equivalence with receiver flow control: the snapshot captures
+// the receive buffer, the drain clock, and the persist / window-update
+// timer slots, so a fork replays the cold continuation byte-for-byte even
+// while one flow is deep in zero-window persist backoff. ---
+TEST(ReceiverFlowControl, ForkWithFiniteRwndMatchesColdDigest) {
+  golden::GoldenSpec spec;
+  spec.name = "fork_rwnd";
+  spec.flow_set =
+      "newreno:rwnd=16:drain=0.1:wndupd=0+copa:rwnd=30:drain=0.5:drainburst=20";
+  spec.link_mbps = 48;
+  spec.rtt_ms = 40;
+  spec.buffer = "2bdp";
+  spec.duration_s = 6;
+  const TimeNs duration = TimeNs::seconds(spec.duration_s);
+  const TimeNs cut = TimeNs::millis(2731);  // unaligned mid-run point
+
+  TraceRecorder cold;
+  {
+    auto sc = golden::build_golden(spec);
+    sc->sim().set_tracer(&cold);
+    sc->run_until(duration);
+  }
+
+  TraceRecorder forked;
+  ScenarioSnapshot snap;
+  {
+    auto sc = golden::build_golden(spec);
+    sc->sim().set_tracer(&forked);
+    sc->run_until(cut);
+    snap = sc->snapshot();
+  }
+  auto fk = Scenario::fork(snap);
+  check::InvariantChecker ck;
+  ck.attach(*fk);
+  fk->sim().set_tracer(&forked);
+  fk->run_until(duration);
+  ck.checkpoint();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+  EXPECT_EQ(cold.digest_hex(), forked.digest_hex());
+  // The scenario is only a persist test if persist actually ran: the glacial
+  // drain (one RTT frees less than the SWS threshold) plus suppressed window
+  // updates must force real zero-window probes, and the forked sender must
+  // have inherited the probe counter across the snapshot.
+  EXPECT_GT(fk->sender(0).probes_sent(), 0u);
+  EXPECT_GT(fk->receiver(0).probes_received(), 0u);
+}
+
+// --- Relabel symmetry with an rwnd cohort: swapping a receiver-limited
+// flow with an unconstrained one must carry the flow-control config along
+// and permute the per-flow outcomes exactly. Distinct starts, RTTs, and
+// drain rates keep every event off the shared-tie nanoseconds. ---
+TEST(ReceiverFlowControl, RelabelSymmetryForRwndCohort) {
+  constexpr size_t kFlows = 8;
+  constexpr size_t kSwapA = 1;  // vegas, unconstrained
+  constexpr size_t kSwapB = 6;  // copa, rwnd-limited
+  struct Spec {
+    std::string cca;
+    TimeNs start;
+    TimeNs rtt;
+    bool limited;
+    double drain_mbps;
+  };
+  std::vector<Spec> specs(kFlows);
+  for (size_t i = 0; i < kFlows; ++i) {
+    specs[i].cca = (i % 2 == 0) ? "copa" : "vegas";
+    specs[i].start = TimeNs(static_cast<int64_t>(i) * 937'251);
+    specs[i].rtt =
+        TimeNs::millis(40) + TimeNs(static_cast<int64_t>(i) * 250'017);
+    specs[i].limited = (i % 2 == 0);
+    // Distinct drain rates keep the per-flow drain clocks (and any
+    // window-update wakeups derived from them) mutually unaligned.
+    specs[i].drain_mbps = 3.0 + 0.1 * static_cast<double>(i);
+  }
+
+  auto run = [&](const std::vector<Spec>& order) {
+    ScenarioConfig cfg;
+    cfg.link_rate = Rate::mbps(32);
+    cfg.buffer_bytes = static_cast<uint64_t>(
+        2.0 * Rate::mbps(32).bytes_per_second() * 0.040);
+    auto sc = std::make_unique<Scenario>(std::move(cfg));
+    for (const Spec& s : order) {
+      FlowSpec f;
+      f.cca = sweep::make_cca(s.cca, 1);
+      f.start_at = s.start;
+      f.min_rtt = s.rtt;
+      if (s.limited) {
+        f.recv.buffer_bytes = 24 * kMss;
+        f.recv.drain_rate = Rate::mbps(s.drain_mbps);
+      }
+      sc->add_flow(std::move(f));
+    }
+    run_checked(*sc, TimeNs::seconds(2), "rwnd relabel");
+    std::vector<uint64_t> delivered(kFlows);
+    for (size_t i = 0; i < kFlows; ++i) {
+      delivered[i] = sc->flow_table().delivered[i];
+    }
+    return delivered;
+  };
+
+  const std::vector<uint64_t> base = run(specs);
+  std::vector<Spec> swapped = specs;
+  std::swap(swapped[kSwapA], swapped[kSwapB]);
+  const std::vector<uint64_t> relabeled = run(swapped);
+
+  for (size_t i = 0; i < kFlows; ++i) {
+    const size_t expect_from =
+        i == kSwapA ? kSwapB : (i == kSwapB ? kSwapA : i);
+    EXPECT_EQ(relabeled[i], base[expect_from]) << "flow " << i;
+  }
+}
+
 // --- Cohort scale: the flow-table transport keeps its symmetry and fork
 // properties at hundreds of flows, not just pairs. ---
 

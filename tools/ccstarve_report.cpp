@@ -17,8 +17,9 @@
 //                  flow plus link queue delay and drops   (telemetry input)
 //     ratio        starvation-ratio timeline; footer comments carry the
 //                  first threshold crossing recomputed from the timeline,
-//                  the log's end-of-run verdict, and agree=0/1
-//                                                         (telemetry input)
+//                  the log's end-of-run verdict with its receiver-limited
+//                  vs congestion-limited classification, and agree=0/1;
+//                  the verdict is also printed on stderr        (telemetry input)
 //     delay-dist   per-flow rtt/qdelay distribution summaries
 //                                                         (telemetry input)
 //     rate-delay   Fig. 3-style scatter rows: one line per flow per grid
@@ -121,6 +122,14 @@ int main(int argc, char** argv) {
     obs::write_timeline_csv(*out, *log);
   } else if (mode == "ratio") {
     obs::write_ratio_csv(*out, *log);
+    if (log->end.present && log->end.starved != 0.0) {
+      const int victim = static_cast<int>(log->end.starved_flow);
+      std::string label;
+      if (victim >= 0 && static_cast<size_t>(victim) < log->labels.size())
+        label = " (" + log->labels[static_cast<size_t>(victim)] + ")";
+      std::fprintf(stderr, "ccstarve_report: starved=%s victim=flow %d%s\n",
+                   log->end.starved_kind.c_str(), victim, label.c_str());
+    }
   } else {
     obs::write_delay_dist_csv(*out, *log);
   }

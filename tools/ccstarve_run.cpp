@@ -52,6 +52,12 @@
 //       loss=<frac>      random loss on the data path
 //       ackjitter=<spec> jitter on the ACK path
 //       datajitter=<spec> jitter on the data path
+//       rwnd=<pkts>      receive-buffer size (enables receiver-side
+//                        flow control; ACKs then advertise a window)
+//       drain=<mbps>     application drain rate (default: instant)
+//       drainburst=<pkts> packets consumed per application read (default 1)
+//       wndupd=<0|1>     emit window-update ACKs (default 1; 0 models
+//                        lost window updates: persist-probe-only recovery)
 //     jitter specs: const:<ms> | uniform:<ms> | quantize:<ms> |
 //                   onoff:<ms>,<on ms>,<off ms> | step:<ms>,<start s> |
 //                   allbutone:<ms>,<exempt s>
@@ -164,6 +170,7 @@ int main(int argc, char** argv) {
       if (auto j = sweep::make_jitter(fa.data_jitter, base + 200 + i)) {
         spec.data_jitter = std::move(j);
       }
+      spec.recv = sweep::make_recv_config(fa);
       spec.stats_interval = TimeNs::millis(10);
       sc->add_flow(std::move(spec));
     }
