@@ -1,0 +1,175 @@
+// Probe-overhead benchmark for the flight recorder (src/obs/flight).
+//
+// For each registry bench scenario (1, 4 and 16 flows; check/scenarios.hpp
+// bench_specs()) the identical run is timed three ways:
+//
+//   * detached — no probe attached; the flight seam costs one untaken
+//     branch per hook site. events/sec here is directly comparable to the
+//     scenario rows of BENCH_simcore.json (acceptance: within 1%).
+//   * attached — a FlightRecorder with trigger=always at the default
+//     32768-event per-flow ring, recording every typed event into the
+//     bounded rings (acceptance: <= 10% overhead).
+//   * attached+export — the same recorder plus a full Chrome-trace export
+//     to an in-memory stream after the run, the --flight=... cost.
+//
+// Each configuration runs `reps` times interleaved and the best
+// (least-interference) events/sec is kept. Results go to BENCH_flight.json.
+//
+// Usage: bench_flight [--quick] [--reps N] [--out PATH]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/scenarios.hpp"
+#include "obs/flight.hpp"
+#include "obs/flight_export.hpp"
+#include "sim/scenario.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+namespace {
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+enum class Mode { kDetached, kAttached, kAttachedExport };
+
+struct RunResult {
+  double events_per_sec = 0;
+  uint64_t events = 0;
+  uint64_t recorded = 0;
+  size_t export_bytes = 0;
+};
+
+RunResult run_once(const golden::GoldenSpec& b, double sim_seconds,
+                   EventPool* pool, Mode mode) {
+  auto sc = golden::build_golden(b, pool);
+
+  obs::FlightConfig fc;
+  fc.trigger = obs::FlightTrigger::kAlways;
+  obs::FlightRecorder flight(std::move(fc));
+  if (mode != Mode::kDetached) flight.attach(*sc);
+
+  const auto start = std::chrono::steady_clock::now();
+  sc->run_until(TimeNs::seconds(sim_seconds));
+  std::ostringstream exported;
+  if (mode == Mode::kAttachedExport) {
+    obs::write_chrome_trace(exported, flight);
+  }
+  const double wall = wall_seconds_since(start);
+
+  RunResult r;
+  r.events = sc->sim().events_processed();
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  r.recorded = flight.recorded();
+  r.export_bytes = exported.str().size();
+  return r;
+}
+
+}  // namespace
+}  // namespace ccstarve
+
+int main(int argc, char** argv) {
+  using namespace ccstarve;
+  bool quick = false;
+  int reps_override = 0;
+  std::string out = "BENCH_flight.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps_override = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--reps N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<golden::GoldenSpec> kScenarios = golden::bench_specs();
+  const double sim_seconds = quick ? 2.0 : 8.0;
+  // Individual timed runs are tens of milliseconds; on a shared machine
+  // the best-of estimator needs enough repetitions to catch
+  // interference-free slices, so --reps is worth raising when the box is
+  // busy.
+  const int reps = reps_override > 0 ? reps_override : (quick ? 3 : 5);
+
+  struct Row {
+    std::string name;
+    size_t flows = 0;
+    RunResult detached, attached, exported;
+  };
+  std::vector<Row> rows;
+
+  for (const golden::GoldenSpec& b : kScenarios) {
+    // Warm the pool and the code on a short prefix before any timed run.
+    EventPool pool;
+    golden::build_golden(b, &pool)->run_until(TimeNs::millis(200));
+
+    Row row;
+    row.name = b.name;
+    // Interleave the three configurations within each repetition so shared-
+    // machine noise hits all of them alike; keep the fastest of each (the
+    // least-interference estimate).
+    for (int r = 0; r < reps; ++r) {
+      auto keep = [](RunResult* best, RunResult cur) {
+        if (cur.events_per_sec > best->events_per_sec) *best = cur;
+      };
+      keep(&row.detached, run_once(b, sim_seconds, &pool, Mode::kDetached));
+      keep(&row.attached, run_once(b, sim_seconds, &pool, Mode::kAttached));
+      keep(&row.exported,
+           run_once(b, sim_seconds, &pool, Mode::kAttachedExport));
+    }
+    row.flows = golden::build_golden(b, &pool)->flow_count();
+
+    const double ovr_att = 100.0 * (1.0 - row.attached.events_per_sec /
+                                              row.detached.events_per_sec);
+    const double ovr_ex = 100.0 * (1.0 - row.exported.events_per_sec /
+                                             row.detached.events_per_sec);
+    std::printf(
+        "%-9s %2zu flows: detached %9.0f ev/s  attached %9.0f ev/s "
+        "(%+5.2f%%)  +export %9.0f ev/s (%+5.2f%%)  %llu recorded\n",
+        row.name.c_str(), row.flows, row.detached.events_per_sec,
+        row.attached.events_per_sec, ovr_att, row.exported.events_per_sec,
+        ovr_ex, static_cast<unsigned long long>(row.attached.recorded));
+    rows.push_back(std::move(row));
+  }
+
+  std::ofstream os(out);
+  os << "{\n  \"quick\": " << (quick ? "true" : "false")
+     << ",\n  \"trigger\": \"always\",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double ovr_att =
+        100.0 * (1.0 - r.attached.events_per_sec / r.detached.events_per_sec);
+    const double ovr_ex =
+        100.0 * (1.0 - r.exported.events_per_sec / r.detached.events_per_sec);
+    os << "    {\"name\": \"" << r.name << "\", \"flows\": " << r.flows
+       << ", \"sim_seconds\": " << sim_seconds
+       << ", \"detached_events_per_sec\": " << r.detached.events_per_sec
+       << ", \"attached_events_per_sec\": " << r.attached.events_per_sec
+       << ", \"attached_export_events_per_sec\": " << r.exported.events_per_sec
+       << ", \"overhead_attached_pct\": " << ovr_att
+       << ", \"overhead_export_pct\": " << ovr_ex
+       << ", \"events\": " << r.detached.events
+       << ", \"recorded\": " << r.attached.recorded
+       << ", \"export_bytes\": " << r.exported.export_bytes << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -2,10 +2,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <utility>
 #include <vector>
 
 #include "check/invariants.hpp"
+#include "obs/flight.hpp"
+#include "obs/flight_export.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/trace_probe.hpp"
 #include "sim/warp/warp.hpp"
@@ -394,10 +397,18 @@ std::optional<FuzzFailure> run_scenario_case(const FuzzCase& c,
   auto sc1 = golden::build_golden(spec);
   InvariantChecker ck1;
   ck1.attach(*sc1);
-  // Telemetry rides only on run A; run B stays probe-free, so the
-  // determinism oracle below doubles as a digest-transparency check.
-  obs::FlowTelemetry telemetry;
+  // Telemetry and the flight recorder ride only on run A; run B stays
+  // probe-free, so the determinism oracle below doubles as a
+  // digest-transparency check for both.
+  obs::FlightConfig fc;
+  fc.trigger = obs::FlightTrigger::kAlways;
+  fc.events_per_flow = 4096;  // bound memory on many-flow cases
+  obs::FlightRecorder flight(fc);
+  obs::TelemetryConfig tc;
+  if (opts.flight) tc.flight = &flight;
+  obs::FlowTelemetry telemetry(tc);
   if (opts.telemetry) telemetry.attach(*sc1);
+  if (opts.flight) flight.attach(*sc1);
   if (opts.sabotage_before_run) opts.sabotage_before_run(*sc1);
   TraceRecorder r1;
   sc1->sim().set_tracer(&r1);
@@ -418,6 +429,17 @@ std::optional<FuzzFailure> run_scenario_case(const FuzzCase& c,
   if (opts.telemetry) {
     telemetry.finish(end);
     if (auto f = check_telemetry(telemetry)) return f;
+  }
+  if (opts.flight) {
+    // Well-formedness oracle: the export must parse back through the
+    // line-oriented reader that ccstarve_report forensics uses.
+    std::ostringstream flight_json;
+    obs::write_chrome_trace(flight_json, flight);
+    std::istringstream in(flight_json.str());
+    std::string err;
+    if (!obs::read_chrome_trace(in, &err)) {
+      return FuzzFailure{"flight", "export did not round-trip: " + err};
+    }
   }
   const std::string d_post = r2.digest_hex();
   const std::vector<FlowEnd> ends1 = collect_ends(*sc1);

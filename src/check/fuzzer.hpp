@@ -83,6 +83,13 @@ struct FuzzOptions {
   // determinism oracle then also pins that an attached probe never perturbs
   // trace digests.
   bool telemetry = true;
+  // Attach a FlightRecorder (src/obs/flight.hpp, trigger=always) to the
+  // primary run and round-trip its Chrome-trace export through the parser.
+  // As with `telemetry`, the comparison run stays probe-free, so the
+  // determinism oracle also pins flight-recorder digest transparency.
+  // Scenario cases only. `--no-flight` on ccstarve_fuzz clears this, which
+  // shrink replays preserve.
+  bool flight = true;
   // Re-run the case through the fast-forward engine (sim/warp) and check
   // its metamorphic contract: when no warp fires the hybrid run's trace
   // digests are byte-identical to the pure packet run's (the chunked

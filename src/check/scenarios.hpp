@@ -20,6 +20,7 @@
 #include "check/invariants.hpp"
 #include "emu/trace.hpp"
 #include "emu/trace_link.hpp"
+#include "obs/flight.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
 #include "sim/trace_probe.hpp"
@@ -225,13 +226,15 @@ inline std::unique_ptr<Scenario> build_golden(const GoldenSpec& spec,
 // bare simulator with one flow and no propagation-floor seeds).
 inline GoldenResult run_trace_link_golden(
     const GoldenSpec& spec, CheckProbe* checker = nullptr,
-    obs::FlowTelemetry* telemetry = nullptr) {
+    obs::FlowTelemetry* telemetry = nullptr,
+    obs::FlightRecorder* flight = nullptr) {
   const auto flows = sweep::parse_flow_set(spec.flow_set);
   Simulator sim;
   TraceRecorder recorder;
   sim.set_tracer(&recorder);
   if (checker != nullptr) sim.set_checker(checker);
   if (telemetry != nullptr) telemetry->attach(sim, 1);
+  if (flight != nullptr) flight->attach(sim, 1);
 
   const uint64_t base = spec.seed * 1000;
   // Build back-to-front: each element needs its downstream neighbour.
@@ -293,6 +296,30 @@ inline GoldenResult run_golden_telemetry(const GoldenSpec& spec,
   TraceRecorder recorder;
   sc->sim().set_tracer(&recorder);
   if (telemetry != nullptr) telemetry->attach(*sc);
+  sc->run_until(TimeNs::seconds(spec.duration_s));
+  if (telemetry != nullptr) {
+    telemetry->finish(TimeNs::seconds(spec.duration_s));
+  }
+  return {recorder.digest_hex(), recorder.records(),
+          sc->sim().events_processed()};
+}
+
+// run_golden with a FlightRecorder (and optionally a FlowTelemetry feeding
+// it detector crossings) attached for the whole run. Like the other probes
+// the recorder is strictly read-only, so the digest must equal a bare
+// run_golden's — tests/flight_test.cpp pins this against every committed
+// digest.
+inline GoldenResult run_golden_flight(const GoldenSpec& spec,
+                                      obs::FlightRecorder* flight,
+                                      obs::FlowTelemetry* telemetry = nullptr) {
+  if (spec.trace_link) {
+    return run_trace_link_golden(spec, nullptr, telemetry, flight);
+  }
+  auto sc = build_golden(spec);
+  TraceRecorder recorder;
+  sc->sim().set_tracer(&recorder);
+  if (telemetry != nullptr) telemetry->attach(*sc);
+  if (flight != nullptr) flight->attach(*sc);
   sc->run_until(TimeNs::seconds(spec.duration_s));
   if (telemetry != nullptr) {
     telemetry->finish(TimeNs::seconds(spec.duration_s));

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/check_probe.hpp"
+#include "sim/flight_probe.hpp"
 #include "sim/obs_probe.hpp"
 
 namespace ccstarve {
@@ -23,6 +24,7 @@ void TraceDrivenLink::handle(Packet pkt) {
     }
     if (CheckProbe* ck = sim_.checker()) ck->on_link_drop(sim_.now(), pkt);
     if (ObsProbe* ob = sim_.telemetry()) ob->on_link_drop(sim_.now(), pkt);
+    if (FlightProbe* fp = sim_.flight()) fp->link_drop(sim_.now(), pkt);
     return;
   }
   queued_bytes_ += pkt.bytes;
@@ -35,6 +37,9 @@ void TraceDrivenLink::handle(Packet pkt) {
   }
   if (ObsProbe* ob = sim_.telemetry()) {
     ob->on_link_enqueue(sim_.now(), pkt, queued_bytes_);
+  }
+  if (FlightProbe* fp = sim_.flight()) {
+    fp->link_enqueue(sim_.now(), pkt, queued_bytes_);
   }
 }
 
@@ -58,6 +63,9 @@ void TraceDrivenLink::on_opportunity() {
     if (CheckProbe* ck = sim_.checker()) ck->on_link_deliver(sim_.now(), pkt);
     if (ObsProbe* ob = sim_.telemetry()) {
       ob->on_link_deliver(sim_.now(), pkt, queued_bytes_);
+    }
+    if (FlightProbe* fp = sim_.flight()) {
+      fp->link_deliver(sim_.now(), pkt, queued_bytes_);
     }
     next_.handle(pkt);
   }

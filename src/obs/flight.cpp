@@ -1,0 +1,137 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace ccstarve::obs {
+
+const char* to_string(FlightTrigger t) {
+  switch (t) {
+    case FlightTrigger::kStarvation: return "starvation";
+    case FlightTrigger::kAlways: return "always";
+    case FlightTrigger::kNever: return "never";
+  }
+  return "?";
+}
+
+bool parse_flight_trigger(const std::string& s, FlightTrigger* out) {
+  if (s == "starvation") {
+    *out = FlightTrigger::kStarvation;
+  } else if (s == "always") {
+    *out = FlightTrigger::kAlways;
+  } else if (s == "never") {
+    *out = FlightTrigger::kNever;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FlightRecorder::FlightRecorder(FlightConfig config)
+    : config_(std::move(config)) {
+  if (config_.events_per_flow == 0) config_.events_per_flow = 1;
+  if (config_.window <= TimeNs::zero()) config_.window = TimeNs::seconds(2);
+  ring_capacity_ = config_.events_per_flow;
+  global_ = FlightRing(config_.global_events);
+  // Configure the seam's inline fast gates: the data-path sampling step,
+  // and a cwnd-change subscription that excludes kAck — per-ACK growth is
+  // already captured exactly by the cwnd counter the kAck events carry, so
+  // recording it again as a change event would double the control-plane
+  // volume for zero export value. Only the interesting reasons (loss, RTO,
+  // send-time adjustments) become instants.
+  path_step_ns_ = ccstarve::max(config_.data_path_step, TimeNs::zero()).ns();
+  cwnd_reason_mask_ =
+      0xFFu & ~(1u << static_cast<unsigned>(CwndReason::kAck));
+}
+
+void FlightRecorder::init_flows(size_t n, TimeNs now) {
+  flows_.assign(n, FlightRing(ring_capacity_));
+  path_clock_.assign(n, {kLongAgoNs, kLongAgoNs});
+  attached_at_ = now;
+  last_seen_ns_ = now.ns();
+}
+
+void FlightRecorder::attach(Scenario& sc) {
+  init_flows(sc.flow_count(), sc.sim().now());
+  sc.sim().set_flight(this);
+}
+
+void FlightRecorder::attach(Simulator& sim, size_t flows) {
+  init_flows(flows, sim.now());
+  sim.set_flight(this);
+}
+
+void FlightRecorder::note_warp(Scenario& sc, TimeNs from, TimeNs to) {
+  if (flows_.empty()) {
+    attach(sc);
+  } else {
+    sc.sim().set_flight(this);
+  }
+  last_seen_ns_ = to.ns();
+  if (!pass_freeze(from)) return;
+  FlightEvent e;
+  e.at = from;
+  e.type = FlightEvent::Type::kWarp;
+  e.a = static_cast<uint64_t>(from.ns());
+  e.b = static_cast<uint64_t>(to.ns());
+  global_.push(e);
+}
+
+void FlightRecorder::note_crossing(TimeNs at, uint32_t flow_a,
+                                   uint32_t flow_b, double ratio) {
+  last_seen_ns_ = std::max(last_seen_ns_, at.ns());
+  if (!triggered_) {
+    triggered_ = true;
+    trigger_at_ = at;
+    if (config_.trigger == FlightTrigger::kStarvation) {
+      freeze_at_ns_ = (at + config_.window).ns();
+    }
+  }
+  if (frozen_) return;
+  FlightEvent e;
+  e.at = at;
+  e.type = FlightEvent::Type::kCrossing;
+  e.a = flow_a;
+  e.b = flow_b;
+  e.c = fbits(ratio);
+  global_.push(e);
+}
+
+void FlightRecorder::note_verdict(TimeNs at, bool starved,
+                                  uint32_t starved_flow,
+                                  const std::string& kind, double ratio) {
+  last_seen_ns_ = std::max(last_seen_ns_, at.ns());
+  FlightEvent e;
+  e.at = at;
+  e.type = FlightEvent::Type::kVerdict;
+  e.a = starved ? 1 : 0;
+  e.b = starved_flow;
+  e.c = fbits(ratio);
+  e.code = kind == "receiver-limited" ? 1 : (kind == "congestion-limited" ? 2 : 0);
+  // Bypass the freeze: the verdict is end-of-run metadata the export must
+  // always carry, even when it postdates the trigger window.
+  global_.push(e);
+}
+
+bool FlightRecorder::should_export() const {
+  switch (config_.trigger) {
+    case FlightTrigger::kNever: return false;
+    case FlightTrigger::kAlways: return true;
+    case FlightTrigger::kStarvation: return triggered_;
+  }
+  return false;
+}
+
+void FlightRecorder::export_window(TimeNs* lo, TimeNs* hi) const {
+  if (config_.trigger == FlightTrigger::kStarvation && triggered_) {
+    *lo = ccstarve::max(TimeNs::zero(), trigger_at_ - config_.window);
+    *hi = trigger_at_ + config_.window;
+    return;
+  }
+  *lo = TimeNs::zero();
+  *hi = TimeNs(std::max(last_seen_ns_, attached_at_.ns()));
+}
+
+}  // namespace ccstarve::obs

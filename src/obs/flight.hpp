@@ -1,0 +1,153 @@
+// FlightRecorder: the concrete flight probe (sim/flight_probe.hpp).
+//
+// The base FlightProbe owns the recording machinery — typed, timestamped
+// causal events (the packet lifecycle, control-plane decisions, link rate
+// changes) written into bounded per-flow ring buffers plus a small global
+// ring, fully inline at the seam call sites. This class adds the policy
+// around it: sizing and attaching the rings, the retroactive starvation
+// trigger, warp boundaries and detector events, and the export-window
+// selection. Memory is horizon-independent: an N-hour run costs the same
+// as an N-second one, and the *pre-trigger* window survives because the
+// ring only ever evicts the oldest events.
+//
+// Triggering is retroactive. With FlightTrigger::kStarvation the recorder
+// runs continuously until the starvation detector's first crossing
+// (delivered via note_crossing, wired through FlowTelemetry), keeps
+// recording for `window` beyond it, then freezes; the export window is
+// [crossing - window, crossing + window] intersected with what the rings
+// retained. kAlways exports everything retained at finish; kNever records
+// (so the probe cost can be measured) but never exports.
+//
+// The recorder is strictly read-only — it never schedules events, never
+// mutates packets, and attaching it leaves every committed golden trace
+// digest byte-identical (pinned by tests/flight_test.cpp). Exports go to
+// Chrome trace-event JSON (obs/flight_export.hpp) and never enter
+// canonical result records: a flight trace is a debugging artifact, not a
+// measurement.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/flight_probe.hpp"
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+class Scenario;
+class Simulator;
+}  // namespace ccstarve
+
+namespace ccstarve::obs {
+
+// The event and ring types live with the record paths in the sim-layer
+// seam header; everything observer-side keeps naming them through obs.
+using FlightEvent = ccstarve::FlightEvent;
+using FlightRing = ccstarve::FlightRing;
+
+enum class FlightTrigger : uint8_t { kStarvation, kAlways, kNever };
+
+const char* to_string(FlightTrigger t);
+// Parses "starvation" | "always" | "never"; returns false on anything else.
+bool parse_flight_trigger(const std::string& s, FlightTrigger* out);
+
+struct FlightConfig {
+  FlightTrigger trigger = FlightTrigger::kStarvation;
+  // Half-width of the export window around the trigger crossing.
+  TimeNs window = TimeNs::seconds(2);
+  // Ring capacity per flow; oldest events are evicted when full. The slab
+  // (sizeof(FlightEvent) = 32 B per slot) is allocated and faulted at
+  // attach so the recording path never pays for growth — budget
+  // flows * events_per_flow * 32 B when attaching to large cohorts.
+  size_t events_per_flow = size_t{1} << 15;
+  // Ring capacity of the global ring (rate changes, warps, detector
+  // events). These are rare; the cap is a safety bound.
+  size_t global_events = 4096;
+  // Record-time sampling step for bulk data-path events: per flow, at most
+  // one normal (non-retransmit) send and one enqueue/deliver queue sample
+  // per step. The exporter thins the queue counter to 1 ms anyway, so the
+  // default loses nothing the export would have shown, while it cuts the
+  // recording cost of the packet firehose and stretches the ring's
+  // retained horizon several-fold. Retransmits, drops and every
+  // control-plane event always record. Zero records everything.
+  TimeNs data_path_step = TimeNs::millis(1);
+  // Optional per-flow labels (CCA names) for exported track names.
+  std::vector<std::string> flow_labels;
+};
+
+// Bit-pattern round trip for stashing a ratio in a FlightEvent payload.
+// Single precision: ~7 significant digits comfortably covers a starvation
+// throughput ratio (the export prints %.6g).
+inline uint32_t fbits(double v) {
+  const float f = static_cast<float>(v);
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+inline double bits_f(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return static_cast<double>(f);
+}
+
+class FlightRecorder final : public FlightProbe {
+ public:
+  explicit FlightRecorder(FlightConfig config = {});
+
+  // Installs the probe on the scenario's simulator and sizes one ring per
+  // flow. The recorder must outlive the scenario's run.
+  void attach(Scenario& sc);
+  // Standalone topologies (e.g. the trace-driven link) with no Scenario.
+  void attach(Simulator& sim, size_t flows);
+
+  // Fast-forward seam: records a warp-boundary event and re-installs the
+  // probe on the forked scenario's simulator. Ring contents and trigger
+  // state are preserved across the seam.
+  void note_warp(Scenario& sc, TimeNs from, TimeNs to);
+
+  // Detector link (wired through TelemetryConfig::flight): the starvation
+  // detector's pair crossings, in detection order. The first one arms the
+  // retroactive trigger under FlightTrigger::kStarvation.
+  void note_crossing(TimeNs at, uint32_t flow_a, uint32_t flow_b,
+                     double ratio);
+  // End-of-run verdict; kind is "none" | "receiver-limited" |
+  // "congestion-limited". Recorded even after the freeze so the export
+  // always carries the verdict.
+  void note_verdict(TimeNs at, bool starved, uint32_t starved_flow,
+                    const std::string& kind, double ratio);
+
+  bool triggered() const { return triggered_; }
+  TimeNs trigger_at() const { return trigger_at_; }
+  // Whether export_window() describes anything exportable: false only for
+  // kNever, and for kStarvation when no crossing ever happened.
+  bool should_export() const;
+  // [lo, hi] of the export selection (inclusive); meaningful only when
+  // should_export().
+  void export_window(TimeNs* lo, TimeNs* hi) const;
+
+  const FlightConfig& config() const { return config_; }
+  size_t flow_count() const { return flows_.size(); }
+  const FlightRing& flow_ring(size_t i) const { return flows_[i]; }
+  const FlightRing& global_ring() const { return global_; }
+  // Total events recorded into the rings (including evicted ones; folded
+  // and coalesced gate transitions never became events). Summed on demand
+  // so the recording path doesn't maintain a counter of its own.
+  uint64_t recorded() const {
+    uint64_t n = global_.total();
+    for (const FlightRing& r : flows_) n += r.total();
+    return n;
+  }
+  TimeNs attached_at() const { return attached_at_; }
+
+ private:
+  void init_flows(size_t n, TimeNs now);
+
+  FlightConfig config_;
+  TimeNs attached_at_ = TimeNs::zero();
+  bool triggered_ = false;
+  TimeNs trigger_at_ = TimeNs(-1);
+};
+
+}  // namespace ccstarve::obs

@@ -1,0 +1,650 @@
+#include "obs/flight_export.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+
+namespace ccstarve::obs {
+namespace {
+
+constexpr uint32_t kLinkPid = 1000;
+// Thinning step for dense counters (inflight, queue occupancy): one sample
+// per millisecond is plenty for a Perfetto chart and keeps exports small.
+constexpr int64_t kThinNs = 1'000'000;
+// Advertised-window headroom against an infinite window is ~2^63; clamp so
+// the counter chart stays readable next to cwnd.
+constexpr uint64_t kRwndClamp = 1'000'000'000'000ull;
+
+const char* gate_name(uint64_t g) {
+  switch (g) {
+    case static_cast<uint64_t>(SendGate::kCwnd): return "cwnd-bound";
+    case static_cast<uint64_t>(SendGate::kRwnd): return "rwnd-bound";
+    case static_cast<uint64_t>(SendGate::kPacing): return "pacing-bound";
+    default: return "sending";
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  void line(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << buf;
+  }
+
+  void counter(uint32_t pid, const char* name, TimeNs at, uint64_t value) {
+    line("{\"ph\":\"C\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,\"name\":\"%s\","
+         "\"args\":{\"value\":%" PRIu64 "}}",
+         pid, us(at), name, value);
+  }
+
+  static double us(TimeNs t) { return static_cast<double>(t.ns()) / 1000.0; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+struct QueueSample {
+  int64_t ns;
+  uint64_t bytes;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const FlightRecorder& rec) {
+  TimeNs lo = TimeNs::zero();
+  TimeNs hi = TimeNs::zero();
+  const bool exporting = rec.should_export();
+  if (exporting) rec.export_window(&lo, &hi);
+
+  os << "{\"traceEvents\":[\n";
+  EventWriter w(os);
+
+  // Track metadata. pid = flow + 1 so flow 0 is not process 0.
+  for (size_t f = 0; f < rec.flow_count(); ++f) {
+    std::string label = f < rec.config().flow_labels.size()
+                            ? json_escape(rec.config().flow_labels[f])
+                            : std::string();
+    if (label.empty()) {
+      w.line("{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_name\","
+             "\"args\":{\"name\":\"flow %zu\"}}",
+             f + 1, f);
+    } else {
+      w.line("{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_name\","
+             "\"args\":{\"name\":\"flow %zu (%s)\"}}",
+             f + 1, f, label.c_str());
+    }
+    w.line("{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_sort_index\","
+           "\"args\":{\"sort_index\":%zu}}",
+           f + 1, f + 1);
+  }
+  w.line("{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"link\"}}",
+         kLinkPid);
+
+  std::vector<QueueSample> queue;
+  if (exporting) {
+    for (size_t f = 0; f < rec.flow_count(); ++f) {
+      const FlightRing& ring = rec.flow_ring(f);
+      const uint32_t pid = static_cast<uint32_t>(f) + 1;
+
+      uint64_t last_cwnd = 0, last_rwnd = 0;
+      bool have_cwnd = false, have_rwnd = false;
+      // "long before any event" without risking subtraction overflow.
+      int64_t last_inflight_ns = -(int64_t{1} << 62);
+      bool have_gate = false;
+      uint64_t cur_gate = 0;
+      TimeNs gate_since = lo;
+      // Closes the open gate slice and starts the next one. Transitions
+      // arrive either as standalone kGate events or folded into a kAck's
+      // code byte (the ACK-clocked rebind; see flight.hpp).
+      auto gate_transition = [&](TimeNs at, uint64_t prev, uint64_t gate) {
+        const TimeNs start = have_gate ? gate_since : lo;
+        const uint64_t name = have_gate ? cur_gate : prev;
+        const double dur_us = EventWriter::us(at) - EventWriter::us(start);
+        if (dur_us > 0) {
+          w.line("{\"ph\":\"X\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"cat\":\"flight\",\"name\":\"%s\"}",
+                 pid, EventWriter::us(start), dur_us, gate_name(name));
+        }
+        have_gate = true;
+        cur_gate = gate;
+        gate_since = at;
+      };
+
+      for (size_t i = 0; i < ring.size(); ++i) {
+        const FlightEvent& e = ring.at(i);
+        if (e.at < lo || e.at > hi) continue;
+        switch (e.type) {
+          case FlightEvent::Type::kSend:
+            if (e.code) {  // only retransmits become instants; normal sends
+                           // stay ring-only to keep the JSON compact
+              w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                     "\"s\":\"t\",\"cat\":\"flight\",\"name\":\"retransmit\","
+                     "\"args\":{\"seq\":%" PRIu64 ",\"bytes\":%" PRIu64 "}}",
+                     pid, EventWriter::us(e.at), e.a, e.b);
+            }
+            break;
+          case FlightEvent::Type::kEnqueue:
+          case FlightEvent::Type::kDeliver:
+            queue.push_back({e.at.ns(), e.b});
+            break;
+          case FlightEvent::Type::kDrop:
+            w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                   "\"s\":\"t\",\"cat\":\"flight\",\"name\":\"drop\","
+                   "\"args\":{\"seq\":%" PRIu64 "}}",
+                   pid, EventWriter::us(e.at), e.a);
+            break;
+          case FlightEvent::Type::kAck:
+            if (!have_cwnd || e.a != last_cwnd) {
+              w.counter(pid, "cwnd_bytes", e.at, e.a);
+              last_cwnd = e.a;
+              have_cwnd = true;
+            }
+            if (!have_rwnd || e.b != last_rwnd) {
+              w.counter(pid, "rwnd_bytes", e.at,
+                        std::min(e.b, kRwndClamp));
+              last_rwnd = e.b;
+              have_rwnd = true;
+            }
+            if (e.at.ns() - last_inflight_ns >= kThinNs) {
+              w.counter(pid, "inflight_bytes", e.at, e.c);
+              last_inflight_ns = e.at.ns();
+            }
+            if (e.code & 0x80) {
+              gate_transition(e.at, (e.code >> 3) & 7, e.code & 7);
+            }
+            break;
+          case FlightEvent::Type::kCwndChange:
+            w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                   "\"s\":\"t\",\"cat\":\"flight\",\"name\":\"cwnd_change\","
+                   "\"args\":{\"old\":%" PRIu64 ",\"new\":%" PRIu64
+                   ",\"reason\":\"%s\"}}",
+                   pid, EventWriter::us(e.at), e.a, e.b,
+                   to_string(static_cast<CwndReason>(e.code)));
+            break;
+          case FlightEvent::Type::kGate:
+            gate_transition(e.at, e.a, e.b);
+            break;
+          case FlightEvent::Type::kPersistProbe:
+            w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                   "\"s\":\"t\",\"cat\":\"flight\",\"name\":\"persist_probe\","
+                   "\"args\":{\"seq\":%" PRIu64 ",\"backoff\":%" PRIu64 "}}",
+                   pid, EventWriter::us(e.at), e.a, e.b);
+            break;
+          case FlightEvent::Type::kRto:
+            w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                   "\"s\":\"t\",\"cat\":\"flight\",\"name\":\"rto\","
+                   "\"args\":{\"backoff\":%" PRIu64 "}}",
+                   pid, EventWriter::us(e.at), e.a);
+            break;
+          case FlightEvent::Type::kDelack:
+            w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                   "\"s\":\"t\",\"cat\":\"flight\",\"name\":\"delack\"}",
+                   pid, EventWriter::us(e.at));
+            break;
+          case FlightEvent::Type::kWindowDrop:
+            w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                   "\"s\":\"t\",\"cat\":\"flight\",\"name\":\"window_drop\","
+                   "\"args\":{\"seq\":%" PRIu64 "}}",
+                   pid, EventWriter::us(e.at), e.a);
+            break;
+          default:
+            break;
+        }
+      }
+      // Close the last open gate interval at the window edge.
+      if (have_gate) {
+        const double dur_us = EventWriter::us(hi) - EventWriter::us(gate_since);
+        if (dur_us > 0) {
+          w.line("{\"ph\":\"X\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"cat\":\"flight\",\"name\":\"%s\"}",
+                 pid, EventWriter::us(gate_since), dur_us,
+                 gate_name(cur_gate));
+        }
+      }
+    }
+
+    // Bottleneck occupancy: enqueue/deliver samples merged across flows.
+    std::stable_sort(queue.begin(), queue.end(),
+                     [](const QueueSample& a, const QueueSample& b) {
+                       return a.ns < b.ns;
+                     });
+    int64_t last_q_ns = -(int64_t{1} << 62);
+    for (size_t i = 0; i < queue.size(); ++i) {
+      const bool last = i + 1 == queue.size();
+      if (!last && queue[i].ns - last_q_ns < kThinNs) continue;
+      w.counter(kLinkPid, "queue_bytes", TimeNs(queue[i].ns),
+                queue[i].bytes);
+      last_q_ns = queue[i].ns;
+    }
+  }
+
+  // Global ring: the verdict bypasses the window filter (it is end-of-run
+  // metadata), everything else respects it.
+  const FlightRing& g = rec.global_ring();
+  for (size_t i = 0; i < g.size(); ++i) {
+    const FlightEvent& e = g.at(i);
+    const bool in_window = exporting && e.at >= lo && e.at <= hi;
+    switch (e.type) {
+      case FlightEvent::Type::kRateChange:
+        if (in_window) {
+          w.counter(kLinkPid, "link_rate_bps", e.at, e.a);
+        }
+        break;
+      case FlightEvent::Type::kWarp:
+        if (in_window) {
+          w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                 "\"s\":\"t\",\"cat\":\"flight\",\"name\":\"warp\","
+                 "\"args\":{\"from_s\":%.6f,\"to_s\":%.6f}}",
+                 kLinkPid, EventWriter::us(e.at), e.a / 1e9, e.b / 1e9);
+        }
+        break;
+      case FlightEvent::Type::kCrossing:
+        if (in_window) {
+          w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+                 "\"s\":\"t\",\"cat\":\"flight\",\"name\":\"crossing\","
+                 "\"args\":{\"flow_a\":%" PRIu64 ",\"flow_b\":%" PRIu64
+                 ",\"ratio\":%.6g}}",
+                 kLinkPid, EventWriter::us(e.at), e.a, e.b, bits_f(e.c));
+        }
+        break;
+      case FlightEvent::Type::kVerdict:
+        w.line("{\"ph\":\"i\",\"pid\":%u,\"tid\":1,\"ts\":%.3f,"
+               "\"s\":\"g\",\"cat\":\"flight\","
+               "\"name\":\"starvation_verdict\","
+               "\"args\":{\"starved\":%s,\"flow\":%" PRIu64
+               ",\"kind\":\"%s\",\"ratio\":%.6g}}",
+               kLinkPid, EventWriter::us(e.at), e.a ? "true" : "false", e.b,
+               e.code == 1 ? "receiver-limited"
+                           : (e.code == 2 ? "congestion-limited" : "none"),
+               bits_f(e.c));
+        break;
+      default:
+        break;
+    }
+  }
+
+  os << "\n],\n";
+  {
+    char buf[256];
+    snprintf(buf, sizeof(buf),
+             "\"otherData\":{\"tool\":\"ccstarve_flight\",\"flows\":%zu,"
+             "\"trigger\":\"%s\",\"trigger_at_s\":%.6f,\"window_s\":%.3f,"
+             "\"window_lo_s\":%.6f,\"window_hi_s\":%.6f,"
+             "\"recorded\":%" PRIu64 ",\"labels\":[",
+             rec.flow_count(), to_string(rec.config().trigger),
+             rec.triggered() ? rec.trigger_at().to_seconds() : -1.0,
+             rec.config().window.to_seconds(),
+             exporting ? lo.to_seconds() : 0.0,
+             exporting ? hi.to_seconds() : 0.0,
+             rec.recorded());
+    os << buf;
+  }
+  for (size_t f = 0; f < rec.flow_count(); ++f) {
+    std::string label = f < rec.config().flow_labels.size()
+                            ? json_escape(rec.config().flow_labels[f])
+                            : std::string();
+    os << (f ? "," : "") << '"' << label << '"';
+  }
+  os << "]}}\n";
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+bool find_number(const std::string& line, const std::string& key,
+                 double* out) {
+  const size_t pos = line.find(key);
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + key.size();
+  char* end = nullptr;
+  const double v = strtod(p, &end);
+  if (end == p) return false;
+  *out = v;
+  return true;
+}
+
+bool find_string(const std::string& line, const std::string& key,
+                 std::string* out) {
+  const size_t pos = line.find(key);
+  if (pos == std::string::npos) return false;
+  const size_t start = pos + key.size();
+  const size_t end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+void ensure_flow(FlightTrace* t, size_t idx) {
+  if (idx >= t->flows) t->flows = idx + 1;
+  if (t->cwnd.size() < t->flows) {
+    t->cwnd.resize(t->flows);
+    t->rwnd.resize(t->flows);
+    t->inflight.resize(t->flows);
+    t->gates.resize(t->flows);
+  }
+}
+
+}  // namespace
+
+std::optional<FlightTrace> read_chrome_trace(std::istream& in,
+                                             std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<FlightTrace> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  FlightTrace t;
+  std::string line;
+  bool saw_header = false;
+  bool saw_meta = false;
+  while (std::getline(in, line)) {
+    if (!saw_header) {
+      if (line.find("\"traceEvents\"") == std::string::npos) {
+        return fail("not a trace-event JSON file (missing traceEvents)");
+      }
+      saw_header = true;
+      // The header line is just the array opener; fall through in case a
+      // compacted file put events on the same line (we only support the
+      // one-per-line layout we write, so nothing more to do here).
+      continue;
+    }
+    if (line.find("\"otherData\"") != std::string::npos) {
+      double v;
+      if (find_number(line, "\"flows\":", &v)) {
+        ensure_flow(&t, static_cast<size_t>(v) ? static_cast<size_t>(v) - 1
+                                               : 0);
+        t.flows = static_cast<size_t>(v);
+      }
+      find_string(line, "\"trigger\":\"", &t.trigger);
+      if (find_number(line, "\"trigger_at_s\":", &v)) t.trigger_at_s = v;
+      if (find_number(line, "\"window_s\":", &v)) t.window_s = v;
+      const size_t lp = line.find("\"labels\":[");
+      if (lp != std::string::npos) {
+        size_t p = lp + 10;
+        while (p < line.size() && line[p] == '"') {
+          const size_t e = line.find('"', p + 1);
+          if (e == std::string::npos) break;
+          t.labels.push_back(line.substr(p + 1, e - p - 1));
+          p = e + 1;
+          if (p < line.size() && line[p] == ',') ++p;
+        }
+      }
+      saw_meta = true;
+      continue;
+    }
+
+    std::string ph;
+    if (!find_string(line, "\"ph\":\"", &ph)) continue;
+    double pid = 0, ts = 0;
+    std::string name;
+    find_number(line, "\"pid\":", &pid);
+    find_number(line, "\"ts\":", &ts);
+    find_string(line, "\"name\":\"", &name);
+    const double t_s = ts / 1e6;
+    const bool is_link = static_cast<uint32_t>(pid) == kLinkPid;
+    const int flow = is_link ? -1 : static_cast<int>(pid) - 1;
+    if (flow >= 0) ensure_flow(&t, static_cast<size_t>(flow));
+
+    if (ph == "C") {
+      double value = 0;
+      find_number(line, "\"value\":", &value);
+      if (is_link) {
+        if (name == "queue_bytes") t.queue.push_back({t_s, value});
+      } else if (flow >= 0) {
+        if (name == "cwnd_bytes") {
+          t.cwnd[flow].push_back({t_s, value});
+        } else if (name == "rwnd_bytes") {
+          t.rwnd[flow].push_back({t_s, value});
+        } else if (name == "inflight_bytes") {
+          t.inflight[flow].push_back({t_s, value});
+        }
+      }
+    } else if (ph == "X" && flow >= 0) {
+      double dur = 0;
+      find_number(line, "\"dur\":", &dur);
+      t.gates[flow].push_back({t_s, dur / 1e6, name});
+    } else if (ph == "i") {
+      t.instants.push_back({t_s, flow, name});
+      if (name == "starvation_verdict") {
+        t.verdict_present = true;
+        t.verdict_starved = line.find("\"starved\":true") != std::string::npos;
+        double v;
+        if (find_number(line, "\"flow\":", &v)) {
+          t.verdict_flow = static_cast<int>(v);
+        }
+        find_string(line, "\"kind\":\"", &t.verdict_kind);
+        if (find_number(line, "\"ratio\":", &v)) t.verdict_ratio = v;
+      }
+    }
+  }
+  if (!saw_header) return fail("empty input");
+  if (!saw_meta) return fail("missing otherData footer (truncated export?)");
+  return t;
+}
+
+// --- forensics ------------------------------------------------------------
+
+namespace {
+
+// Binding-constraint classes per bucket. kNone ("sending") occupancy and
+// uncovered time both count as idle: neither is a *constraint*.
+enum Constraint { kIdle = 0, kCwndBound = 1, kRwndBound = 2, kPacingBound = 3 };
+
+const char* constraint_name(int c) {
+  switch (c) {
+    case kCwndBound: return "cwnd-bound";
+    case kRwndBound: return "rwnd-bound";
+    case kPacingBound: return "pacing-bound";
+    default: return "idle";
+  }
+}
+
+int constraint_of(const std::string& gate) {
+  if (gate == "cwnd-bound") return kCwndBound;
+  if (gate == "rwnd-bound") return kRwndBound;
+  if (gate == "pacing-bound") return kPacingBound;
+  return kIdle;
+}
+
+}  // namespace
+
+bool write_forensics(std::ostream& os, const FlightTrace& trace,
+                     const ForensicsOptions& opt) {
+  if (trace.flows == 0) return false;
+
+  double t0 = 1e300, t1 = -1e300;
+  for (size_t f = 0; f < trace.flows; ++f) {
+    for (const FlightGateSlice& s : trace.gates[f]) {
+      t0 = std::min(t0, s.t_s);
+      t1 = std::max(t1, s.t_s + s.dur_s);
+    }
+    for (const FlightCounterSample& s : trace.cwnd[f]) {
+      t0 = std::min(t0, s.t_s);
+      t1 = std::max(t1, s.t_s);
+    }
+  }
+  for (const FlightInstant& i : trace.instants) {
+    if (i.name == "starvation_verdict") continue;  // may postdate the window
+    t0 = std::min(t0, i.t_s);
+    t1 = std::max(t1, i.t_s);
+  }
+  if (t1 <= t0) {
+    os << "# flight forensics: no events in the export window\n";
+    return true;
+  }
+
+  double bucket_s = opt.bucket_s > 0 ? opt.bucket_s : 0.1;
+  while ((t1 - t0) / bucket_s > 4000) bucket_s *= 2;
+  const size_t buckets =
+      static_cast<size_t>(std::ceil((t1 - t0) / bucket_s));
+
+  // occupancy[b][f][c] = seconds flow f spent under constraint c in bucket b.
+  std::vector<std::vector<std::array<double, 4>>> occ(
+      buckets, std::vector<std::array<double, 4>>(
+                   trace.flows, std::array<double, 4>{0, 0, 0, 0}));
+  for (size_t f = 0; f < trace.flows; ++f) {
+    for (const FlightGateSlice& s : trace.gates[f]) {
+      const int c = constraint_of(s.name);
+      double lo = std::max(s.t_s, t0);
+      const double hi = std::min(s.t_s + s.dur_s, t1);
+      while (lo < hi) {
+        const size_t b = std::min(
+            buckets - 1, static_cast<size_t>((lo - t0) / bucket_s));
+        const double edge = t0 + (b + 1) * bucket_s;
+        const double take = std::min(hi, edge) - lo;
+        occ[b][f][c] += take;
+        lo += take > 0 ? take : bucket_s;
+      }
+    }
+  }
+
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "# flight forensics: %zu flows, trigger=%s", trace.flows,
+           trace.trigger.empty() ? "?" : trace.trigger.c_str());
+  os << buf;
+  if (trace.trigger_at_s >= 0) {
+    snprintf(buf, sizeof(buf), ", first crossing at %.3fs",
+             trace.trigger_at_s);
+    os << buf;
+  }
+  os << "\n";
+  snprintf(buf, sizeof(buf),
+           "# binding constraint per %.0fms bucket (constraint that held the"
+           " flow back longest; idle = unconstrained)\n",
+           bucket_s * 1e3);
+  os << buf;
+
+  os << "t_s";
+  for (size_t f = 0; f < trace.flows; ++f) {
+    snprintf(buf, sizeof(buf), "\tflow%zu", f);
+    os << buf;
+  }
+  os << "\n";
+
+  // label[b][f] for the summary below.
+  std::vector<std::vector<int>> label(buckets,
+                                      std::vector<int>(trace.flows, kIdle));
+  for (size_t b = 0; b < buckets; ++b) {
+    snprintf(buf, sizeof(buf), "%.3f", t0 + b * bucket_s);
+    os << buf;
+    for (size_t f = 0; f < trace.flows; ++f) {
+      int best = kIdle;
+      double best_occ = 0;
+      for (int c = kCwndBound; c <= kPacingBound; ++c) {
+        if (occ[b][f][c] > best_occ) {
+          best_occ = occ[b][f][c];
+          best = c;
+        }
+      }
+      // A constraint must actually dominate the bucket; otherwise the flow
+      // was mostly unconstrained (sending or not running).
+      if (best_occ < bucket_s * 0.5) best = kIdle;
+      label[b][f] = best;
+      os << '\t' << constraint_name(best);
+    }
+    os << "\n";
+  }
+
+  // "why flow F starved" summary.
+  os << "\n";
+  if (!trace.verdict_present) {
+    os << "# no starvation verdict in this trace (run finished without "
+          "telemetry, or export predates the verdict)\n";
+    return true;
+  }
+  if (!trace.verdict_starved || trace.verdict_flow < 0 ||
+      static_cast<size_t>(trace.verdict_flow) >= trace.flows) {
+    snprintf(buf, sizeof(buf),
+             "# verdict: not starved (kind=%s, ratio=%.3g)\n",
+             trace.verdict_kind.empty() ? "none" : trace.verdict_kind.c_str(),
+             trace.verdict_ratio);
+    os << buf;
+    return true;
+  }
+
+  const size_t victim = static_cast<size_t>(trace.verdict_flow);
+  std::array<size_t, 4> counts{0, 0, 0, 0};
+  for (size_t b = 0; b < buckets; ++b) ++counts[label[b][victim]];
+  int dominant = kIdle;
+  for (int c = 1; c < 4; ++c) {
+    if (counts[c] > counts[dominant]) dominant = c;
+  }
+  if (counts[dominant] == 0) dominant = kIdle;
+
+  size_t drops = 0, rtos = 0, persists = 0, cuts = 0, wdrops = 0;
+  for (const FlightInstant& i : trace.instants) {
+    if (i.flow != trace.verdict_flow) continue;
+    if (i.name == "drop") ++drops;
+    if (i.name == "rto") ++rtos;
+    if (i.name == "persist_probe") ++persists;
+    if (i.name == "cwnd_change") ++cuts;
+    if (i.name == "window_drop") ++wdrops;
+  }
+
+  const std::string label_str =
+      victim < trace.labels.size() && !trace.labels[victim].empty()
+          ? " (" + trace.labels[victim] + ")"
+          : "";
+  snprintf(buf, sizeof(buf), "== why flow %zu%s starved ==\n", victim,
+           label_str.c_str());
+  os << buf;
+  snprintf(buf, sizeof(buf),
+           "verdict: starved, %s, throughput ratio %.3g\n",
+           trace.verdict_kind.c_str(), trace.verdict_ratio);
+  os << buf;
+  snprintf(buf, sizeof(buf),
+           "dominant binding constraint: %s (%zu/%zu buckets; cwnd-bound "
+           "%zu, rwnd-bound %zu, pacing-bound %zu, idle %zu)\n",
+           constraint_name(dominant), counts[dominant], buckets,
+           counts[kCwndBound], counts[kRwndBound], counts[kPacingBound],
+           counts[kIdle]);
+  os << buf;
+  snprintf(buf, sizeof(buf),
+           "events in window: %zu drops, %zu window drops, %zu RTOs, "
+           "%zu persist probes, %zu cwnd changes\n",
+           drops, wdrops, rtos, persists, cuts);
+  os << buf;
+  if (trace.trigger_at_s >= 0) {
+    snprintf(buf, sizeof(buf), "first starvation crossing at %.3fs\n",
+             trace.trigger_at_s);
+    os << buf;
+  }
+  return true;
+}
+
+}  // namespace ccstarve::obs

@@ -1,0 +1,94 @@
+// Chrome trace-event export of a FlightRecorder (obs/flight.hpp), plus the
+// parser and forensics renderer behind `ccstarve_report --mode=forensics`.
+//
+// write_chrome_trace emits the JSON Object Format of the Trace Event
+// specification ({"traceEvents":[...], "otherData":{...}}), loadable
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing:
+//
+//   * one process per flow (pid = flow + 1, named after the flow's label)
+//     whose single thread carries the send-gate timeline as complete ("X")
+//     slices — "cwnd-bound" / "rwnd-bound" / "pacing-bound" / "sending" —
+//     and instant ("i") events for drops, retransmits, persist probes,
+//     RTOs, delayed-ACK fires, receiver window drops and cwnd changes;
+//   * per-flow counter ("C") tracks cwnd_bytes / rwnd_bytes /
+//     inflight_bytes sampled at ACK processing (exactly the signal
+//     FlowTelemetry's bucket gauges sample, which the cross-check test
+//     leans on);
+//   * a "link" process (pid 1000) with the bottleneck queue_bytes counter
+//     and rate-change / warp / crossing / starvation_verdict instants.
+//
+// Every traceEvents entry is written on its own line, which is what lets
+// read_chrome_trace get away with a tolerant line-oriented parser instead
+// of a full JSON reader (the same trade report.cpp makes for JSONL).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccstarve::obs {
+
+class FlightRecorder;
+
+// Writes the recorder's export selection (see FlightRecorder's trigger
+// semantics) as Chrome trace-event JSON. With should_export() false this
+// still writes a valid, near-empty document (metadata only) so callers can
+// unconditionally produce a well-formed file.
+void write_chrome_trace(std::ostream& os, const FlightRecorder& rec);
+
+// --- parsed form (for forensics) -----------------------------------------
+
+struct FlightCounterSample {
+  double t_s = 0;
+  double value = 0;
+};
+
+struct FlightGateSlice {
+  double t_s = 0;
+  double dur_s = 0;
+  std::string name;  // "cwnd-bound" | "rwnd-bound" | "pacing-bound" | "sending"
+};
+
+struct FlightInstant {
+  double t_s = 0;
+  int flow = -1;  // -1 for link/global events
+  std::string name;
+};
+
+struct FlightTrace {
+  size_t flows = 0;
+  std::vector<std::string> labels;
+  std::string trigger;
+  double trigger_at_s = -1;
+  double window_s = 0;
+  std::vector<std::vector<FlightCounterSample>> cwnd;
+  std::vector<std::vector<FlightCounterSample>> rwnd;
+  std::vector<std::vector<FlightCounterSample>> inflight;
+  std::vector<FlightCounterSample> queue;
+  std::vector<std::vector<FlightGateSlice>> gates;
+  std::vector<FlightInstant> instants;
+  bool verdict_present = false;
+  bool verdict_starved = false;
+  int verdict_flow = -1;
+  std::string verdict_kind;
+  double verdict_ratio = 0;
+};
+
+// Parses a write_chrome_trace document. Returns nullopt (and fills *error
+// when given) on input that is not a flight trace.
+std::optional<FlightTrace> read_chrome_trace(std::istream& in,
+                                             std::string* error = nullptr);
+
+struct ForensicsOptions {
+  // Bucket width of the binding-constraint timeline.
+  double bucket_s = 0.1;
+};
+
+// Renders the per-bucket binding-constraint timeline (cwnd-bound vs
+// rwnd-bound vs pacing-bound vs idle per flow) plus a human-readable
+// "why flow F starved" summary. Returns false when the trace has no flows.
+bool write_forensics(std::ostream& os, const FlightTrace& trace,
+                     const ForensicsOptions& opt = {});
+
+}  // namespace ccstarve::obs

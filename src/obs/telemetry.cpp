@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/flight.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
 
@@ -100,6 +101,7 @@ void FlowTelemetry::init_flows(size_t n, TimeNs now) {
                         config_.starvation_threshold, config_.ring_capacity,
                         config_.starvation_pair_cap);
   emitted_crossings_ = 0;
+  flight_crossings_ = 0;
   cur_bucket_ = bucket_of(now);
   next_close_ns_ = (cur_bucket_ + 1) * config_.interval.ns();
   buckets_closed_ = 0;
@@ -346,6 +348,17 @@ void FlowTelemetry::close_bucket(int64_t index) {
   }
 
   starvation_.on_bucket(bucket_end, bucket_delivered_delta_, bucket_started_);
+  // Forward new detector crossings to the flight recorder regardless of
+  // whether a JSONL stream exists: the recorder's retroactive trigger must
+  // arm even on stream-less runs.
+  if (config_.flight != nullptr) {
+    for (; flight_crossings_ < starvation_.crossings().size();
+         ++flight_crossings_) {
+      const StarvationDetector::PairCrossing& c =
+          starvation_.crossings()[flight_crossings_];
+      config_.flight->note_crossing(c.at, c.a, c.b, c.ratio);
+    }
+  }
   if (emitting() && starvation_.engaged()) {
     std::string j = "{";
     append_str(j, "type", "ratio");
@@ -389,6 +402,22 @@ void FlowTelemetry::finish(TimeNs end_time) {
   }
   if (!summaries_written_) {
     summaries_written_ = true;
+    if (config_.flight != nullptr) {
+      const bool starved =
+          starvation_.engaged() &&
+          starvation_.last_ratio() >= starvation_.threshold();
+      const uint32_t victim = starvation_.last_min_flow();
+      std::string kind = "none";
+      if (starved) {
+        kind = victim < flows_.size() &&
+                       rwnd_limited_frac(victim, end_time) >= 0.5
+                   ? "receiver-limited"
+                   : "congestion-limited";
+      }
+      config_.flight->note_verdict(
+          end_time, starved, victim, kind,
+          starvation_.engaged() ? starvation_.last_ratio() : 1.0);
+    }
     emit_summaries(end_time);
     if (emitting()) out_->finish();
   }
@@ -462,20 +491,9 @@ void FlowTelemetry::emit_summaries(TimeNs end_time) {
   // Whole-run receiver-window-limited fraction per flow: the closed bucket
   // totals plus whatever accumulated in the final partial bucket, including
   // a still-open blocked interval reaching end_time.
-  const int64_t elapsed_ns = end_time.ns() - attached_at_ns_;
   std::vector<double> rwnd_frac(flows_.size(), 0.0);
   for (size_t i = 0; i < flows_.size(); ++i) {
-    const FlowAccum& ac = accum_[i];
-    int64_t total = ac.rwnd_ns_total + ac.rwnd_ns_in_bucket;
-    if (ac.rwnd_since_ns >= 0) {
-      const int64_t bucket_start_ns = cur_bucket_ * config_.interval.ns();
-      total += std::max<int64_t>(
-          0, end_time.ns() - std::max(ac.rwnd_since_ns, bucket_start_ns));
-    }
-    rwnd_frac[i] = elapsed_ns > 0 ? std::min(1.0, static_cast<double>(total) /
-                                                      static_cast<double>(
-                                                          elapsed_ns))
-                                  : 0.0;
+    rwnd_frac[i] = rwnd_limited_frac(i, end_time);
   }
   for (size_t i = 0; i < flows_.size(); ++i) {
     const FlowSeries& fs = flows_[i];
@@ -544,6 +562,20 @@ void FlowTelemetry::emit_summaries(TimeNs end_time) {
              starved ? static_cast<double>(victim) : -1.0);
   j += '}';
   emit(j);
+}
+
+double FlowTelemetry::rwnd_limited_frac(size_t i, TimeNs end_time) const {
+  const int64_t elapsed_ns = end_time.ns() - attached_at_ns_;
+  if (elapsed_ns <= 0 || i >= accum_.size()) return 0.0;
+  const FlowAccum& ac = accum_[i];
+  int64_t total = ac.rwnd_ns_total + ac.rwnd_ns_in_bucket;
+  if (ac.rwnd_since_ns >= 0) {
+    const int64_t bucket_start_ns = cur_bucket_ * config_.interval.ns();
+    total += std::max<int64_t>(
+        0, end_time.ns() - std::max(ac.rwnd_since_ns, bucket_start_ns));
+  }
+  return std::min(1.0, static_cast<double>(total) /
+                           static_cast<double>(elapsed_ns));
 }
 
 void FlowTelemetry::on_segment_sent(TimeNs now, const Packet& pkt) {

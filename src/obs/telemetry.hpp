@@ -47,6 +47,8 @@ class Simulator;
 
 namespace ccstarve::obs {
 
+class FlightRecorder;
+
 struct TelemetryConfig {
   // Sample cadence; buckets align to the absolute grid [k*I, (k+1)*I).
   TimeNs interval = TimeNs::millis(10);
@@ -70,6 +72,11 @@ struct TelemetryConfig {
   std::ostream* jsonl = nullptr;
   // Optional per-flow labels (CCA names) for the meta line.
   std::vector<std::string> flow_labels;
+  // Optional flight recorder (obs/flight.hpp), notified of detector pair
+  // crossings — the first one arms its retroactive trigger — and of the
+  // end-of-run starvation verdict. Purely an extra consumer: the JSONL
+  // stream and golden digests are unchanged by setting this.
+  FlightRecorder* flight = nullptr;
 };
 
 class FlowTelemetry final : public ObsProbe {
@@ -183,6 +190,9 @@ class FlowTelemetry final : public ObsProbe {
   void advance_buckets(TimeNs now);
   void close_bucket(int64_t index);
   void emit_summaries(TimeNs end_time);
+  // Whole-run receiver-window-limited fraction of flow i up to end_time
+  // (closed buckets + the final partial one + a still-open interval).
+  double rwnd_limited_frac(size_t i, TimeNs end_time) const;
 
   bool emitting() const { return out_ != nullptr; }
   void emit(const std::string& l) { out_->line(l); }
@@ -203,6 +213,7 @@ class FlowTelemetry final : public ObsProbe {
   std::vector<uint64_t> bucket_delivered_delta_;  // scratch for the detector
   std::vector<bool> bucket_started_;
   size_t emitted_crossings_ = 0;
+  size_t flight_crossings_ = 0;  // crossings forwarded to config_.flight
   int64_t cur_bucket_ = 0;
   // End of the current bucket in ns; INT64_MAX until attached so detached
   // calls fall through the fast path.

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <exception>
+#include <sstream>
 
 #include "check/invariants.hpp"
+#include "obs/flight.hpp"
+#include "obs/flight_export.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
 #include "sweep/engine.hpp"
@@ -89,6 +92,24 @@ std::optional<JobSpec> parse_job_spec(const Request& req,
         return std::nullopt;
       }
       spec.check = req.num("check", 0) != 0;
+      spec.flight = req.num("flight", 0) != 0;
+      spec.flight_trigger = req.str("flight_trigger", "starvation");
+      obs::FlightTrigger trig;
+      if (!obs::parse_flight_trigger(spec.flight_trigger, &trig)) {
+        *error = "flight_trigger wants starvation, always or never";
+        return std::nullopt;
+      }
+      spec.flight_window_s = req.num("flight_window", 2);
+      if (spec.flight_window_s <= 0) {
+        *error = "flight_window wants positive seconds";
+        return std::nullopt;
+      }
+      const double fe = req.num("flight_events", 4096);
+      if (fe < 64 || fe > (1 << 20)) {
+        *error = "flight_events wants a per-flow ring size in [64, 1048576]";
+        return std::nullopt;
+      }
+      spec.flight_events = static_cast<size_t>(fe);
     } else {
       sweep::SweepGrid grid;
       grid.flow_sets = split_list(flows);
@@ -285,8 +306,21 @@ void JobManager::run_single(Job& job) {
   for (const auto& fa : sweep::parse_flow_set(pt.flow_set)) {
     tc.flow_labels.push_back(fa.cca);
   }
+
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (job.spec.flight) {
+    obs::FlightConfig fc;
+    obs::parse_flight_trigger(job.spec.flight_trigger, &fc.trigger);
+    fc.window = TimeNs::seconds(job.spec.flight_window_s);
+    fc.events_per_flow = job.spec.flight_events;
+    fc.flow_labels = tc.flow_labels;
+    flight = std::make_unique<obs::FlightRecorder>(std::move(fc));
+    tc.flight = flight.get();
+  }
+
   obs::FlowTelemetry telemetry(std::move(tc));
   telemetry.attach(*sc);
+  if (flight) flight->attach(*sc);
 
   check::InvariantChecker checker;
   if (job.spec.check) checker.attach(*sc);
@@ -309,6 +343,54 @@ void JobManager::run_single(Job& job) {
   // reached — subscribers never see a truncated stream.
   telemetry.finish(t);
   if (completed) job.points_done.store(1, std::memory_order_relaxed);
+
+  if (flight) {
+    if (flight->should_export()) {
+      // The dump is raw Chrome-trace JSON, one line per event, bracketed
+      // by marker lines so a subscriber can carve it back out into a
+      // standalone .json for Perfetto / ccstarve_report forensics. None
+      // of these lines are sample/link/ratio, so the whole dump rides
+      // the reliable tier — bounded by flight_events per flow.
+      std::ostringstream os;
+      obs::write_chrome_trace(os, *flight);
+      const std::string dump = os.str();
+      size_t lines = 0;
+      for (size_t start = 0; start < dump.size();) {
+        size_t nl = dump.find('\n', start);
+        if (nl == std::string::npos) nl = dump.size();
+        ++lines;
+        start = nl + 1;
+      }
+      job.channel->publish(JsonObj()
+                               .str("type", "flight_begin")
+                               .num("job", static_cast<double>(job.id))
+                               .num("lines", static_cast<double>(lines))
+                               .num("events",
+                                    static_cast<double>(flight->recorded()))
+                               .done());
+      for (size_t start = 0; start < dump.size();) {
+        size_t nl = dump.find('\n', start);
+        if (nl == std::string::npos) nl = dump.size();
+        job.channel->publish(dump.substr(start, nl - start));
+        start = nl + 1;
+      }
+      job.channel->publish(JsonObj()
+                               .str("type", "flight_end")
+                               .num("job", static_cast<double>(job.id))
+                               .num("lines", static_cast<double>(lines))
+                               .done());
+    } else {
+      job.channel->publish(JsonObj()
+                               .str("type", "flight_skipped")
+                               .num("job", static_cast<double>(job.id))
+                               .str("reason",
+                                    flight->config().trigger ==
+                                            obs::FlightTrigger::kNever
+                                        ? "trigger=never"
+                                        : "trigger never fired")
+                               .done());
+    }
+  }
 
   if (job.spec.check && completed) {
     checker.checkpoint();

@@ -61,6 +61,17 @@ struct JobSpec {
   double interval_ms = 10;  // telemetry cadence, ccstarve_run's default
   bool check = false;       // attach the runtime invariant checker
 
+  // run: attach a flight recorder and publish its Chrome-trace dump on
+  // the job channel after the run, bracketed by flight_begin/flight_end
+  // marker lines. The dump rides the reliable tier (it is not
+  // sample/link/ratio), so the ring is kept small by default to bound
+  // how much a subscriber must absorb. Trigger grammar matches
+  // ccstarve_run --flight-trigger; validated at submit time.
+  bool flight = false;
+  std::string flight_trigger = "starvation";
+  double flight_window_s = 2;
+  size_t flight_events = 4096;  // per-flow ring capacity
+
   // sweep: the expanded grid (validated at submit time).
   std::vector<sweep::SweepPoint> points;
   unsigned jobs = 0;  // worker threads per sweep; 0 = hardware threads
@@ -86,6 +97,11 @@ struct JobSpec {
 //   starvation_threshold
 //            sweep execution knobs, as in ccstarve_sweep.
 //   interval run: telemetry cadence ms.   check: 0/1, run only.
+//   flight   run: 0/1, attach the flight recorder and publish its
+//            Chrome-trace dump on the channel. flight_trigger
+//            (starvation|always|never), flight_window (seconds around
+//            the trigger) and flight_events (per-flow ring capacity)
+//            tune it, as in ccstarve_run.
 //
 // Returns nullopt and sets *error on a bad spec (SpecError text included).
 std::optional<JobSpec> parse_job_spec(const Request& req, std::string* error);

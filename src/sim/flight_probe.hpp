@@ -1,0 +1,439 @@
+// Flight-recorder probe: the fourth observer seam of the simulator, next
+// to the golden-trace recorder (sim/trace_probe.hpp), the invariant
+// checker (sim/check_probe.hpp) and the telemetry probe
+// (sim/obs_probe.hpp).
+//
+// A FlightProbe installed on a Simulator receives typed, timestamped
+// *causal* events — the packet lifecycle (send/enqueue/drop/deliver/ack)
+// plus the control-plane decisions the other seams do not individuate:
+// cwnd changes with the CCA callback that caused them, every send-gate
+// transition (not just the rwnd boundary ObsProbe reports), persist-probe
+// fires, RTO expirations and delayed-ACK timer fires. It buffers them in
+// bounded per-flow rings so a retroactive trigger can export the window
+// *around* a starvation crossing; the trigger, window and export policy
+// live in the derived recorder (obs/flight.hpp).
+//
+// Hook pattern matches the other seams: `if (FlightProbe* fp =
+// sim.flight()) fp->segment_sent(...)`. Detached cost is one untaken
+// branch per site. Attached, the whole record path — the seam-level fast
+// gates (the retroactive-trigger freeze, the data-path sampling clocks)
+// and the ring write itself — is non-virtual and inlines into the call
+// site. This class deliberately has no virtual hooks: the simulator
+// records millions of events per second, and an out-of-line call per
+// event (the indirect dispatch, the argument marshalling, the
+// caller-saved spills it forces in the sender's hot loop) measurably
+// costs more than the ring write it would perform. Keeping the writes in
+// the header is what holds the attached overhead inside the 10% budget
+// BENCH_flight.json gates.
+//
+// Contract: a FlightProbe is strictly read-only. It never schedules
+// events, never mutates packets, and never feeds anything back into the
+// components it observes, so attaching one leaves trace digests
+// byte-identical (pinned by tests/flight_test.cpp against every committed
+// golden digest).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "util/rate.hpp"
+#include "util/time.hpp"
+
+namespace ccstarve {
+
+// Which CCA callback produced a cwnd change. Exported verbatim into the
+// flight trace as the event's reason code.
+enum class CwndReason : uint8_t {
+  kAck = 0,       // CongestionControl::on_ack
+  kLoss = 1,      // fast-retransmit on_loss (3 dupacks)
+  kRto = 2,       // retransmission-timeout on_loss
+  kSent = 3,      // on_packet_sent adjusted the window
+};
+
+inline const char* to_string(CwndReason r) {
+  switch (r) {
+    case CwndReason::kAck: return "ack";
+    case CwndReason::kLoss: return "fast_retx";
+    case CwndReason::kRto: return "rto";
+    case CwndReason::kSent: return "sent";
+  }
+  return "?";
+}
+
+// One recorded event. `code` and the a/b/c payload are type-specific; see
+// the record paths in FlightProbe for each layout. There is no flow
+// field: per-flow events live in per-flow rings (the ring index IS the
+// flow), and the global-ring types that reference flows carry them in the
+// payload. The slot is exactly half a cache line and 32-byte aligned, so
+// at millions of writes per second no event ever straddles a line — the
+// recording cost is bounded by one read-for-ownership per two events.
+struct alignas(32) FlightEvent {
+  enum class Type : uint8_t {
+    kSend = 0,          // a=seq b=bytes code=retransmit
+    kEnqueue = 1,       // a=seq b=queued_after
+    kDrop = 2,          // a=seq
+    kDeliver = 3,       // a=seq b=queued_after
+    kAck = 4,           // a=cwnd b=rwnd_advertised c=inflight; code holds a
+                        // folded same-instant gate rebind when bit 7 is
+                        // set: 0x80 | prev << 3 | gate (SendGate values)
+    kCwndChange = 5,    // a=old b=new code=CwndReason
+    kGate = 6,          // a=prev b=gate (SendGate values)
+    kPersistProbe = 7,  // a=seq b=backoff
+    kRto = 8,           // a=backoff
+    kDelack = 9,        //
+    kWindowDrop = 10,   // a=seq
+    kRateChange = 11,   // a=bits_per_second (global ring)
+    kWarp = 12,         // a=from_ns b=to_ns (global ring)
+    kCrossing = 13,     // a=flow_a b=flow_b c=fbits(ratio) (global ring)
+    kVerdict = 14,      // a=starved b=victim c=fbits(ratio) code=kind
+  };
+
+  TimeNs at = TimeNs::zero();
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t c = 0;
+  Type type = Type::kSend;
+  uint8_t code = 0;
+};
+static_assert(sizeof(FlightEvent) == 32,
+              "FlightEvent must stay half a cache line");
+
+// Fixed-capacity event ring: push evicts the oldest once full; at(i) walks
+// oldest-to-newest through the wrap seam. The whole slab is allocated and
+// faulted in when the ring is built (at attach time), so the recording
+// path never reallocates, never copies on growth, and never takes a
+// first-touch page fault — recording runs at millions of events per
+// second and those are the costs that pushed the attached overhead past
+// the 10% budget.
+class FlightRing {
+ public:
+  explicit FlightRing(size_t capacity = 1)
+      : capacity_(capacity ? capacity : 1), buf_(capacity_) {}
+
+  // Hands out the slot to fill in place, evicting the oldest event once
+  // full. A reused slot still holds the evicted event's payload, so
+  // callers must write every field their event layout reads.
+  FlightEvent& emplace() {
+    ++total_;
+    FlightEvent& slot = buf_[head_];
+    if (++head_ == capacity_) head_ = 0;
+    // The ring cycles through megabytes, so the slot line is essentially
+    // never cached; hint upcoming slots into cache (write intent) while
+    // the caller fills this one, hiding the read-for-ownership latency
+    // that otherwise dominates the recording cost. Events arrive ~100 ns
+    // apart at full simulation speed, so a few slots of distance gives
+    // the lines time to land.
+    __builtin_prefetch(reinterpret_cast<const char*>(&slot) + 128, 1);
+    __builtin_prefetch(reinterpret_cast<const char*>(&slot) + 256, 1);
+    return slot;
+  }
+
+  void push(const FlightEvent& e) { emplace() = e; }
+
+  // `back`-th newest retained event (0 = newest), or null when fewer are
+  // retained — the gate-fold path peeks a few slots back before deciding
+  // to append (a same-instant data-path event may sit between an ACK and
+  // its gate rebind).
+  FlightEvent* newest(size_t back = 0) {
+    if (size() <= back) return nullptr;
+    size_t j = head_ + capacity_ - 1 - back;
+    if (j >= capacity_) j -= capacity_;
+    return &buf_[j];
+  }
+
+  size_t size() const {
+    return total_ < capacity_ ? static_cast<size_t>(total_) : capacity_;
+  }
+  size_t capacity() const { return capacity_; }
+  // Events ever pushed; total() - size() were evicted.
+  uint64_t total() const { return total_; }
+  const FlightEvent& at(size_t i) const {
+    // Until the first wrap the oldest event sits at 0 (and head_ == size).
+    size_t j = (total_ < capacity_ ? 0 : head_) + i;
+    if (j >= capacity_) j -= capacity_;
+    return buf_[j];
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<FlightEvent> buf_;
+  size_t head_ = 0;
+  uint64_t total_ = 0;
+};
+
+class FlightProbe {
+ public:
+  // --- inline record paths (what the simulator components call) ---
+  // Dummy/probe segments never reach the packet-lifecycle hooks (persist
+  // probes arrive via their dedicated hook instead). After the freeze
+  // fires every hook swallows its event. Normal sends and queue samples
+  // additionally pass the per-flow data-path sampling clocks; retransmits,
+  // drops and control-plane events always record.
+
+  void segment_sent(TimeNs now, const Packet& pkt) {
+    if (pkt.is_dummy || pkt.is_probe) return;
+    if (!pass_freeze(now)) return;
+    if (!pkt.is_retransmit && !path_due(pkt.flow, 0, now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent& e = ring_of(pkt.flow).emplace();
+    e.at = now;
+    e.type = FlightEvent::Type::kSend;
+    e.code = pkt.is_retransmit ? 1 : 0;
+    e.a = pkt.seq;
+    e.b = pkt.bytes;
+    e.c = 0;
+  }
+
+  void link_enqueue(TimeNs now, const Packet& pkt, uint64_t queued_after) {
+    if (pkt.is_dummy) return;
+    if (!pass_freeze(now)) return;
+    if (!path_due(pkt.flow, 1, now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent& e = ring_of(pkt.flow).emplace();
+    e.at = now;
+    e.type = FlightEvent::Type::kEnqueue;
+    e.code = 0;
+    e.a = pkt.seq;
+    e.b = queued_after;
+    e.c = 0;
+  }
+
+  void link_drop(TimeNs now, const Packet& pkt) {
+    if (pkt.is_dummy) return;
+    if (!pass_freeze(now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent& e = ring_of(pkt.flow).emplace();
+    e.at = now;
+    e.type = FlightEvent::Type::kDrop;
+    e.code = 0;
+    e.a = pkt.seq;
+    e.b = 0;
+    e.c = 0;
+  }
+
+  void link_deliver(TimeNs now, const Packet& pkt, uint64_t queued_after) {
+    if (pkt.is_dummy) return;
+    if (!pass_freeze(now)) return;
+    if (!path_due(pkt.flow, 1, now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent& e = ring_of(pkt.flow).emplace();
+    e.at = now;
+    e.type = FlightEvent::Type::kDeliver;
+    e.code = 0;
+    e.a = pkt.seq;
+    e.b = queued_after;
+    e.c = 0;
+  }
+
+  // One call per ACK the sender processed, carrying the gauge values the
+  // counter tracks sample: cwnd as the CCA just set it, the
+  // advertised-window limit the ACK carried, and bytes in flight after
+  // the ACK was absorbed.
+  void ack_sample(TimeNs now, uint32_t flow, TimeNs /*rtt*/,
+                  uint64_t cwnd_bytes, Rate /*pacing*/, uint64_t wnd_limit,
+                  uint64_t inflight, uint64_t delivered_bytes) {
+    if (!pass_freeze(now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent& e = ring_of(flow).emplace();
+    e.at = now;
+    e.type = FlightEvent::Type::kAck;
+    e.code = 0;
+    e.a = cwnd_bytes;
+    // Advertised receive window beyond the cumulative ACK; saturates
+    // instead of wrapping when the limit is kInfiniteWnd.
+    e.b = wnd_limit > delivered_bytes ? wnd_limit - delivered_bytes : 0;
+    // The 32-bit slot caps the inflight counter at 4 GB — far beyond any
+    // window this simulator can carry.
+    e.c = inflight > 0xFFFFFFFFull ? 0xFFFFFFFFu
+                                   : static_cast<uint32_t>(inflight);
+  }
+
+  // Fired only when the CCA callback actually changed cwnd, and only for
+  // reasons the probe subscribed to via cwnd_reason_mask_.
+  void cwnd_change(TimeNs now, uint32_t flow, uint64_t old_cwnd,
+                   uint64_t new_cwnd, CwndReason reason) {
+    if (!(cwnd_reason_mask_ & (1u << static_cast<unsigned>(reason)))) return;
+    if (!pass_freeze(now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent& e = ring_of(flow).emplace();
+    e.at = now;
+    e.type = FlightEvent::Type::kCwndChange;
+    e.code = static_cast<uint8_t>(reason);
+    e.a = old_cwnd;
+    e.b = new_cwnd;
+    e.c = 0;
+  }
+
+  // Every send-gate transition (kNone/kCwnd/kRwnd/kPacing), unlike
+  // ObsProbe::on_send_gate which only reports the rwnd boundary. ACK
+  // processing routinely flips the gate twice at one timestamp (window
+  // opens -> kNone, the immediate send re-binds -> kCwnd/kPacing), and it
+  // does so right after the kAck event for the same instant was recorded.
+  // The intermediate state would only ever export as a zero-duration slice
+  // the writer skips, so fold flaps into the previous transition — and
+  // fold the whole ACK-clocked rebind into the kAck event's spare code
+  // byte (0x80 | prev << 3 | gate) instead of spending a ring slot on it.
+  // In steady state that one byte, written into a still-hot slot, replaces
+  // a full event per ACK: about a third of all ring writes. The walk looks
+  // a few slots back because a sampled data-path event (the send the
+  // opened window released, its link enqueue) may have landed between the
+  // kAck and the re-binding transition.
+  void send_gate(TimeNs now, uint32_t flow, SendGate prev, SendGate gate) {
+    if (!pass_freeze(now)) return;
+    last_seen_ns_ = now.ns();
+    FlightRing& ring = ring_of(flow);
+    for (size_t back = 0; back < 3; ++back) {
+      FlightEvent* last = ring.newest(back);
+      if (!last || last->at != now) break;
+      if (last->type == FlightEvent::Type::kGate) {
+        last->b = static_cast<uint64_t>(gate);
+        return;
+      }
+      if (last->type == FlightEvent::Type::kAck) {
+        const uint8_t p = (last->code & 0x80)
+                              ? static_cast<uint8_t>((last->code >> 3) & 7)
+                              : static_cast<uint8_t>(prev);
+        last->code = static_cast<uint8_t>(
+            0x80u | (p << 3) | (static_cast<uint8_t>(gate) & 7));
+        return;
+      }
+    }
+    FlightEvent& e = ring.emplace();
+    e.at = now;
+    e.type = FlightEvent::Type::kGate;
+    e.code = 0;
+    e.a = static_cast<uint64_t>(prev);
+    e.b = static_cast<uint64_t>(gate);
+    e.c = 0;
+  }
+
+  // Zero-window persist probe left the sender; backoff is the current
+  // persist exponential-backoff level.
+  void persist_probe(TimeNs now, uint32_t flow, uint64_t seq,
+                     uint32_t backoff) {
+    if (!pass_freeze(now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent e;
+    e.at = now;
+    e.type = FlightEvent::Type::kPersistProbe;
+    e.a = seq;
+    e.b = backoff;
+    ring_of(flow).push(e);
+  }
+
+  // Retransmission timeout fired; backoff is the post-increment level.
+  void rto(TimeNs now, uint32_t flow, uint32_t backoff) {
+    if (!pass_freeze(now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent e;
+    e.at = now;
+    e.type = FlightEvent::Type::kRto;
+    e.a = backoff;
+    ring_of(flow).push(e);
+  }
+
+  // Delayed-ACK timer fired with data pending, forcing an ACK out.
+  void delack_fire(TimeNs now, uint32_t flow) {
+    if (!pass_freeze(now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent e;
+    e.at = now;
+    e.type = FlightEvent::Type::kDelack;
+    ring_of(flow).push(e);
+  }
+
+  // Receiver discarded an in-window-violating segment (advertised-window
+  // overrun).
+  void window_drop(TimeNs now, const Packet& pkt) {
+    if (!pass_freeze(now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent e;
+    e.at = now;
+    e.type = FlightEvent::Type::kWindowDrop;
+    e.a = pkt.seq;
+    ring_of(pkt.flow).push(e);
+  }
+
+  // Bottleneck rate change (global ring).
+  void link_rate_change(TimeNs now, Rate rate) {
+    if (!pass_freeze(now)) return;
+    last_seen_ns_ = now.ns();
+    FlightEvent e;
+    e.at = now;
+    e.type = FlightEvent::Type::kRateChange;
+    e.a = rate.is_infinite() ? 0
+                             : static_cast<uint64_t>(rate.to_mbps() * 1e6);
+    global_.push(e);
+  }
+
+  // True once the freeze gate has swallowed an event (the post-trigger
+  // window has been fully recorded).
+  bool frozen() const { return frozen_; }
+
+ protected:
+  // Constructed and torn down only as part of the derived recorder; the
+  // simulator's FlightProbe* is non-owning.
+  FlightProbe() = default;
+  ~FlightProbe() = default;
+
+  // --- fast-gate state (configured by the derived recorder) ---
+  // "long before any event" without risking subtraction overflow; also
+  // the reset value of the data-path sampling clocks.
+  static constexpr int64_t kLongAgoNs = -(int64_t{1} << 62);
+
+  // Freeze gate shared by every record path: false once `now` passes
+  // freeze_at_ns_. Armed by moving freeze_at_ns_ down from INT64_MAX, so
+  // the hot path is a single predictable compare.
+  bool pass_freeze(TimeNs now) {
+    if (now.ns() > freeze_at_ns_) {
+      frozen_ = true;
+      return false;
+    }
+    return true;
+  }
+  // Per-flow data-path sampling clock: true when path_step_ns_ has
+  // elapsed since the clock in `which` ([0] normal sends, [1] queue
+  // samples) last fired, advancing it. Step zero passes everything.
+  bool path_due(uint32_t flow, int which, TimeNs now) {
+    if (path_step_ns_ <= 0) return true;
+    if (flow >= path_clock_.size()) {
+      path_clock_.resize(flow + 1, {kLongAgoNs, kLongAgoNs});
+    }
+    int64_t& slot = path_clock_[flow][which];
+    if (now.ns() - slot < path_step_ns_) return false;
+    slot = now.ns();
+    return true;
+  }
+
+  FlightRing& ring_of(uint32_t flow) {
+    if (flow >= flows_.size()) grow_flow(flow);
+    return flows_[flow];
+  }
+  // Cold path: flows appearing after attach (always outlined — resize
+  // machinery keeps it off the hot record path on its own).
+  void grow_flow(uint32_t flow) {
+    flows_.resize(flow + 1, FlightRing(ring_capacity_));
+  }
+
+  // INT64_MAX = freeze not armed.
+  int64_t freeze_at_ns_ = std::numeric_limits<int64_t>::max();
+  bool frozen_ = false;
+  // Sampling step for normal sends / queue samples; 0 = record everything.
+  int64_t path_step_ns_ = 0;
+  std::vector<std::array<int64_t, 2>> path_clock_;
+  // Bit per CwndReason value; the default subscribes to all of them.
+  uint8_t cwnd_reason_mask_ = 0xFF;
+
+  // --- ring storage (sized by the derived recorder at attach) ---
+  std::vector<FlightRing> flows_;
+  FlightRing global_;
+  size_t ring_capacity_ = 1;  // capacity for rings grow_flow adds
+  // Timestamp of the newest recorded event; the export window's upper
+  // bound under FlightTrigger::kAlways.
+  int64_t last_seen_ns_ = 0;
+};
+
+}  // namespace ccstarve

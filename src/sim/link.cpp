@@ -20,6 +20,7 @@ void BottleneckLink::set_rate(Rate r) {
   rate_ = r;
   if (CheckProbe* ck = sim_.checker()) ck->on_link_rate_change(sim_.now(), r);
   if (ObsProbe* ob = sim_.telemetry()) ob->on_link_rate_change(sim_.now(), r);
+  if (FlightProbe* fp = sim_.flight()) fp->link_rate_change(sim_.now(), r);
   if (busy_) {
     // Restart service of the head packet at the new rate. The epoch bump
     // cancels the previously scheduled completion.
@@ -99,6 +100,9 @@ void BottleneckLink::finish_service() {
   if (CheckProbe* ck = sim_.checker()) ck->on_link_deliver(sim_.now(), pkt);
   if (ObsProbe* ob = sim_.telemetry()) {
     ob->on_link_deliver(sim_.now(), pkt, queued_bytes_);
+  }
+  if (FlightProbe* fp = sim_.flight()) {
+    fp->link_deliver(sim_.now(), pkt, queued_bytes_);
   }
   next_.handle(pkt);
   if (!queue_.empty()) start_service();

@@ -23,6 +23,7 @@
 
 #include "sim/aqm.hpp"
 #include "sim/check_probe.hpp"
+#include "sim/flight_probe.hpp"
 #include "sim/obs_probe.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
@@ -58,6 +59,7 @@ class BottleneckLink final : public PacketHandler {
       }
       if (CheckProbe* ck = sim_.checker()) ck->on_link_drop(sim_.now(), pkt);
       if (ObsProbe* ob = sim_.telemetry()) ob->on_link_drop(sim_.now(), pkt);
+      if (FlightProbe* fp = sim_.flight()) fp->link_drop(sim_.now(), pkt);
       if (drop_listener_) drop_listener_(pkt);
       return;
     }
@@ -76,6 +78,9 @@ class BottleneckLink final : public PacketHandler {
     }
     if (ObsProbe* ob = sim_.telemetry()) {
       ob->on_link_enqueue(sim_.now(), pkt, queued_bytes_);
+    }
+    if (FlightProbe* fp = sim_.flight()) {
+      fp->link_enqueue(sim_.now(), pkt, queued_bytes_);
     }
     if (!busy_) start_service();
   }

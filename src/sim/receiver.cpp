@@ -45,6 +45,9 @@ void Receiver::on_timer_fire() {
     return;
   }
   if (unacked_ == 0) return;
+  if (FlightProbe* fp = sim_.flight()) {
+    fp->delack_fire(sim_.now(), last_data_.flow);
+  }
   emit_ack(last_data_);
 }
 

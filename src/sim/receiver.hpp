@@ -21,6 +21,7 @@
 #include <set>
 
 #include "sim/check_probe.hpp"
+#include "sim/flight_probe.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
@@ -105,6 +106,9 @@ class Receiver final : public PacketHandler {
         }
         if (CheckProbe* ck = sim_.checker()) {
           ck->on_receiver_data(sim_.now(), pkt, cum_);
+        }
+        if (FlightProbe* fp = sim_.flight()) {
+          fp->window_drop(sim_.now(), pkt);
         }
         emit_wnd_ack(pkt);
         return;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "sim/check_probe.hpp"
+#include "sim/flight_probe.hpp"
 #include "sim/obs_probe.hpp"
 
 namespace ccstarve {
@@ -111,7 +112,8 @@ void Sender::maybe_send() {
 }
 
 void Sender::set_gate(SendGate g) {
-  const bool was_rwnd = gate_ == SendGate::kRwnd;
+  const SendGate prev = gate_;
+  const bool was_rwnd = prev == SendGate::kRwnd;
   gate_ = g;
   const bool is_rwnd = g == SendGate::kRwnd;
   if (was_rwnd != is_rwnd) {
@@ -123,6 +125,14 @@ void Sender::set_gate(SendGate g) {
     }
     if (ObsProbe* ob = sim_.telemetry()) {
       ob->on_send_gate(sim_.now(), config_.flow_id, g);
+    }
+  }
+  if (prev != g) {
+    // The flight recorder sees EVERY gate transition, not just the rwnd
+    // boundary — the forensics binding-constraint timeline needs the full
+    // cwnd/rwnd/pacing/none interval structure.
+    if (FlightProbe* fp = sim_.flight()) {
+      fp->send_gate(sim_.now(), config_.flow_id, prev, g);
     }
   }
 }
@@ -179,6 +189,9 @@ void Sender::send_probe() {
   }
   if (CheckProbe* ck = sim_.checker()) ck->on_segment_sent(sim_.now(), pkt);
   if (ObsProbe* ob = sim_.telemetry()) ob->on_segment_sent(sim_.now(), pkt);
+  if (FlightProbe* fp = sim_.flight()) {
+    fp->persist_probe(sim_.now(), pkt.flow, pkt.seq, persist_backoff_);
+  }
   data_path_.handle(pkt);
 }
 
@@ -197,6 +210,7 @@ void Sender::send_segment(uint64_t seq, bool retransmit) {
   if (inserted) inflight_col() += pkt.bytes;
   ++sent_col();
 
+  const uint64_t cwnd_before = cwnd_col();
   cca_->on_packet_sent(sim_.now(), seq, pkt.bytes, inflight_col(),
                        retransmit);
   sync_cca_gauges();
@@ -205,6 +219,13 @@ void Sender::send_segment(uint64_t seq, bool retransmit) {
   }
   if (CheckProbe* ck = sim_.checker()) ck->on_segment_sent(sim_.now(), pkt);
   if (ObsProbe* ob = sim_.telemetry()) ob->on_segment_sent(sim_.now(), pkt);
+  if (FlightProbe* fp = sim_.flight()) {
+    fp->segment_sent(sim_.now(), pkt);
+    if (cwnd_col() != cwnd_before) {
+      fp->cwnd_change(sim_.now(), pkt.flow, cwnd_before, cwnd_col(),
+                         CwndReason::kSent);
+    }
+  }
   arm_rto();
   data_path_.handle(pkt);
 }
@@ -311,8 +332,15 @@ void Sender::on_ack_packet(const Packet& ack) {
       loss.lost_bytes = kMss;
       loss.inflight_bytes = inflight_col();
       loss.is_timeout = false;
+      const uint64_t cwnd_before = cwnd_col();
       cca_->on_loss(loss);
       sync_cca_gauges();
+      if (FlightProbe* fp = sim_.flight()) {
+        if (cwnd_col() != cwnd_before) {
+          fp->cwnd_change(now, config_.flow_id, cwnd_before, cwnd_col(),
+                             CwndReason::kLoss);
+        }
+      }
     }
   }
 
@@ -330,6 +358,7 @@ void Sender::on_ack_packet(const Packet& ack) {
   sample.is_duplicate = !advanced;
   sample.in_recovery = in_recovery_;
   sample.ece = ack.ack_ece;
+  const uint64_t cwnd_before = cwnd_col();
   cca_->on_ack(sample);
   sync_cca_gauges();
   if (CheckProbe* ck = sim_.checker()) {
@@ -338,6 +367,14 @@ void Sender::on_ack_packet(const Packet& ack) {
   if (ObsProbe* ob = sim_.telemetry()) {
     ob->on_ack_sample(now, config_.flow_id, rtt, cwnd_col(), pacing_col(),
                       delivered_col());
+  }
+  if (FlightProbe* fp = sim_.flight()) {
+    if (cwnd_col() != cwnd_before) {
+      fp->cwnd_change(now, config_.flow_id, cwnd_before, cwnd_col(),
+                         CwndReason::kAck);
+    }
+    fp->ack_sample(now, config_.flow_id, rtt, cwnd_col(), pacing_col(),
+                      wnd_limit_, inflight_col(), delivered_col());
   }
 
   record_stats(now, rtt);
@@ -428,8 +465,16 @@ void Sender::rto_timeout_action() {
   loss.lost_bytes = scoreboard_.oldest_info().bytes;
   loss.inflight_bytes = inflight_col();
   loss.is_timeout = true;
+  const uint64_t cwnd_before = cwnd_col();
   cca_->on_loss(loss);
   sync_cca_gauges();
+  if (FlightProbe* fp = sim_.flight()) {
+    fp->rto(sim_.now(), config_.flow_id, backoff_);
+    if (cwnd_col() != cwnd_before) {
+      fp->cwnd_change(sim_.now(), config_.flow_id, cwnd_before, cwnd_col(),
+                         CwndReason::kRto);
+    }
+  }
   arm_rto();
   maybe_send();
 }

@@ -38,6 +38,7 @@ namespace ccstarve {
 
 class CheckProbe;
 class ObsProbe;
+class FlightProbe;
 
 class Simulator {
  public:
@@ -152,6 +153,13 @@ class Simulator {
   void set_telemetry(ObsProbe* telemetry) { telemetry_ = telemetry; }
   ObsProbe* telemetry() const { return telemetry_; }
 
+  // Flight-recorder probe (see sim/flight_probe.hpp). Null means the
+  // recorder is off; the probe must outlive the simulation. Read-only like
+  // the other seams: attaching it never changes the event stream or its
+  // digest, so all four probes may be installed simultaneously.
+  void set_flight(FlightProbe* flight) { flight_ = flight; }
+  FlightProbe* flight() const { return flight_; }
+
   // Absolute time of the earliest pending event, or TimeNs::infinite() when
   // idle. O(pending) in the worst case (it may scan one wheel slot); used
   // by the snapshot machinery to verify quiescence, not on the hot path.
@@ -205,6 +213,7 @@ class Simulator {
   TraceRecorder* tracer_ = nullptr;
   CheckProbe* checker_ = nullptr;
   ObsProbe* telemetry_ = nullptr;
+  FlightProbe* flight_ = nullptr;
 
   EventPool owned_pool_;
   EventPool* pool_ = nullptr;

@@ -1,0 +1,356 @@
+// Flight-recorder suite: digest transparency, telemetry cross-check,
+// ring-eviction window behaviour and export round-trip.
+//
+// The transparency half re-runs every committed golden scenario with a
+// FlightRecorder (and a crossing-feeding FlowTelemetry) attached and pins
+// the trace digest against tests/golden/<name>.digest — the same files
+// golden_trace_test.cpp checks bare. A flight recorder that perturbed as
+// much as one packet event would flip the fnv1a64 here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "golden_scenarios.hpp"
+#include "obs/flight.hpp"
+#include "obs/flight_export.hpp"
+#include "obs/telemetry.hpp"
+
+#ifndef CCSTARVE_GOLDEN_DIR
+#error "CCSTARVE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace ccstarve::golden {
+namespace {
+
+struct StoredDigest {
+  std::string digest_hex;
+  uint64_t records = 0;
+};
+
+std::optional<StoredDigest> read_digest(const std::string& name) {
+  std::ifstream in(std::string(CCSTARVE_GOLDEN_DIR) + "/" + name + ".digest");
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  std::istringstream ls(line);
+  std::string k1, k2;
+  if (!(ls >> k1 >> k2)) return std::nullopt;
+  if (k1.rfind("fnv1a64=", 0) != 0 || k2.rfind("records=", 0) != 0) {
+    return std::nullopt;
+  }
+  return StoredDigest{k1.substr(8), std::stoull(k2.substr(8))};
+}
+
+GoldenSpec spec_by_name(const std::string& name) {
+  for (const GoldenSpec& s : golden_specs()) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "no golden spec named " << name;
+  return {};
+}
+
+// The §5.1 mini-RTT attack tuned until the victim actually starves at the
+// end-of-run verdict (the committed copa_minrtt_attack golden is milder —
+// it crosses transiently but finishes at ratio ~1.9). Used by the tests
+// that assert on the verdict itself.
+GoldenSpec starving_attack_spec() {
+  return {.name = "starving_attack",
+          .flow_set = "copa-default:rtt=59:datajitter=allbutone:1,0.15"
+                      "+copa-default:rtt=59:datajitter=const:1",
+          .link_mbps = 120};
+}
+
+// --- digest transparency over the full golden registry -------------------
+
+class FlightGolden : public ::testing::TestWithParam<GoldenSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, FlightGolden, ::testing::ValuesIn(golden_specs()),
+    [](const ::testing::TestParamInfo<GoldenSpec>& info) {
+      return info.param.name;
+    });
+
+TEST_P(FlightGolden, AttachedRecorderLeavesDigestUntouched) {
+  const GoldenSpec& spec = GetParam();
+  const auto stored = read_digest(spec.name);
+  ASSERT_TRUE(stored.has_value())
+      << "missing committed digest for " << spec.name
+      << " — run golden_trace_test with CCSTARVE_UPDATE_GOLDEN=1 first";
+
+  obs::FlightConfig fc;
+  fc.trigger = obs::FlightTrigger::kAlways;
+  fc.events_per_flow = 4096;
+  obs::FlightRecorder flight(std::move(fc));
+
+  // Telemetry feeds the recorder detector crossings and the verdict; both
+  // probes together must still be invisible to the packet event stream.
+  obs::TelemetryConfig tc;
+  tc.flight = &flight;
+  obs::FlowTelemetry telemetry(std::move(tc));
+
+  const GoldenResult got = run_golden_flight(spec, &flight, &telemetry);
+  EXPECT_EQ(got.digest_hex, stored->digest_hex) << spec.name;
+  EXPECT_EQ(got.records, stored->records) << spec.name;
+  EXPECT_GT(flight.recorded(), 0u) << "recorder saw no events";
+}
+
+// --- flight counters vs telemetry bucket gauges --------------------------
+
+// The exported cwnd_bytes counter is sampled at ACK processing and emitted
+// on change; FlowTelemetry's cwnd_bytes ring holds the last ACK-sampled
+// cwnd per closed bucket. Same signal, two observers — for every bucket
+// sample the last flight counter value at or before the bucket edge (one
+// bucket of skew allowed for edge effects) must agree exactly.
+TEST(FlightCrossCheck, CwndCounterMatchesTelemetryBuckets) {
+  const GoldenSpec spec = spec_by_name("copa_minrtt_attack");
+
+  obs::FlightConfig fc;
+  fc.trigger = obs::FlightTrigger::kAlways;
+  fc.events_per_flow = size_t{1} << 20;  // no eviction: full history
+  obs::FlightRecorder flight(std::move(fc));
+
+  obs::TelemetryConfig tc;
+  tc.flight = &flight;
+  obs::FlowTelemetry telemetry(tc);
+
+  run_golden_flight(spec, &flight, &telemetry);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, flight);
+  std::istringstream is(os.str());
+  std::string err;
+  const auto trace = obs::read_chrome_trace(is, &err);
+  ASSERT_TRUE(trace.has_value()) << err;
+  ASSERT_EQ(trace->flows, 2u);
+
+  const double interval_s = tc.interval.to_seconds();
+  size_t compared = 0;
+  for (size_t f = 0; f < trace->flows; ++f) {
+    const auto& ring = telemetry.flow(f).cwnd_bytes;
+    const auto& counter = trace->cwnd[f];
+    ASSERT_FALSE(counter.empty()) << "flow " << f;
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const double t = ring.at(i).at.to_seconds();
+      const double want = ring.at(i).value;
+      // Last counter sample at or before the bucket edge; allow one bucket
+      // of skew for an emission racing the edge.
+      double got = -1, got_skew = -1;
+      for (const auto& s : counter) {
+        if (s.t_s <= t + 1e-9) got = s.value;
+        if (s.t_s <= t + interval_s + 1e-9) got_skew = s.value;
+      }
+      if (got < 0) continue;  // bucket closed before the first ACK
+      EXPECT_TRUE(want == got || want == got_skew)
+          << "flow " << f << " bucket at t=" << t << ": telemetry " << want
+          << " vs flight " << got << " (skew " << got_skew << ")";
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 100u) << "cross-check barely exercised";
+}
+
+// --- ring eviction + retroactive trigger window --------------------------
+
+// With a deliberately tiny per-flow ring the recorder wraps long before the
+// first starvation crossing arms the trigger. The export must still be
+// well-formed, confined to [trigger - window, trigger + window], and the
+// ring totals must prove eviction actually happened.
+TEST(FlightRing, EvictionKeepsExportWellFormedAndWindowed) {
+  const GoldenSpec spec = spec_by_name("copa_minrtt_attack");
+
+  obs::FlightConfig fc;
+  fc.trigger = obs::FlightTrigger::kStarvation;
+  fc.window = TimeNs::seconds(1);
+  fc.events_per_flow = 256;
+  obs::FlightRecorder flight(std::move(fc));
+
+  obs::TelemetryConfig tc;
+  tc.flight = &flight;
+  obs::FlowTelemetry telemetry(tc);
+
+  run_golden_flight(spec, &flight, &telemetry);
+
+  ASSERT_TRUE(flight.triggered()) << "scenario no longer crosses; pick "
+                                     "another starving golden spec";
+  ASSERT_TRUE(flight.should_export());
+  EXPECT_GT(flight.flow_ring(0).total(), flight.flow_ring(0).capacity())
+      << "ring never wrapped — shrink events_per_flow";
+
+  TimeNs lo = TimeNs::zero(), hi = TimeNs::zero();
+  flight.export_window(&lo, &hi);
+  EXPECT_GE(lo.ns(), 0);
+  EXPECT_EQ(hi.ns() - flight.trigger_at().ns(), fc.window.ns());
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, flight);
+  std::istringstream is(os.str());
+  std::string err;
+  const auto trace = obs::read_chrome_trace(is, &err);
+  ASSERT_TRUE(trace.has_value()) << err;
+  EXPECT_EQ(trace->trigger, "starvation");
+  EXPECT_NEAR(trace->trigger_at_s, flight.trigger_at().to_seconds(), 1e-6);
+
+  const double lo_s = lo.to_seconds() - 1e-6;
+  const double hi_s = hi.to_seconds() + 1e-6;
+  auto in_window = [&](double t) { return t >= lo_s && t <= hi_s; };
+  for (size_t f = 0; f < trace->flows; ++f) {
+    for (const auto& s : trace->cwnd[f]) EXPECT_TRUE(in_window(s.t_s));
+    for (const auto& s : trace->inflight[f]) EXPECT_TRUE(in_window(s.t_s));
+    for (const auto& g : trace->gates[f]) {
+      EXPECT_TRUE(in_window(g.t_s));
+      EXPECT_TRUE(in_window(g.t_s + g.dur_s));
+    }
+  }
+  for (const auto& s : trace->queue) EXPECT_TRUE(in_window(s.t_s));
+  for (const auto& i : trace->instants) {
+    // The verdict instant deliberately escapes the window so the export
+    // always carries the run's conclusion.
+    if (i.name == "starvation_verdict") continue;
+    EXPECT_TRUE(in_window(i.t_s)) << i.name << " at " << i.t_s;
+  }
+
+  // Post-trigger freeze: the recorder must have stopped accepting events
+  // once the window past the crossing was fully recorded (the run lasts
+  // well beyond trigger + window).
+  EXPECT_TRUE(flight.frozen());
+}
+
+// --- export round-trip & trigger modes -----------------------------------
+
+TEST(FlightExport, RoundTripPreservesStructureAndVerdict) {
+  const GoldenSpec spec = starving_attack_spec();
+
+  obs::FlightConfig fc;
+  fc.trigger = obs::FlightTrigger::kAlways;
+  fc.flow_labels = {"copa-attacked", "copa-steady"};
+  obs::FlightRecorder flight(std::move(fc));
+
+  obs::TelemetryConfig tc;
+  tc.flight = &flight;
+  obs::FlowTelemetry telemetry(tc);
+
+  run_golden_flight(spec, &flight, &telemetry);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, flight);
+  std::istringstream is(os.str());
+  std::string err;
+  const auto trace = obs::read_chrome_trace(is, &err);
+  ASSERT_TRUE(trace.has_value()) << err;
+
+  EXPECT_EQ(trace->flows, 2u);
+  ASSERT_EQ(trace->labels.size(), 2u);
+  EXPECT_EQ(trace->labels[0], "copa-attacked");
+  EXPECT_EQ(trace->labels[1], "copa-steady");
+  EXPECT_EQ(trace->trigger, "always");
+
+  // §5.1 shape: the jitter-attacked Copa starves, congestion-limited.
+  ASSERT_TRUE(trace->verdict_present);
+  EXPECT_TRUE(trace->verdict_starved);
+  EXPECT_EQ(trace->verdict_flow, 0);
+  EXPECT_EQ(trace->verdict_kind, "congestion-limited");
+  EXPECT_GE(trace->verdict_ratio, 2.0);
+
+  // Gate slices must tile without overlap per flow (sorted, no slice
+  // starting before the previous one ended).
+  for (size_t f = 0; f < trace->flows; ++f) {
+    for (size_t i = 1; i < trace->gates[f].size(); ++i) {
+      EXPECT_GE(trace->gates[f][i].t_s,
+                trace->gates[f][i - 1].t_s + trace->gates[f][i - 1].dur_s -
+                    1e-6);
+    }
+  }
+}
+
+TEST(FlightExport, NeverTriggerRecordsButExportsMetadataOnly) {
+  const GoldenSpec spec = spec_by_name("vegas_solo");
+
+  obs::FlightConfig fc;
+  fc.trigger = obs::FlightTrigger::kNever;
+  obs::FlightRecorder flight(std::move(fc));
+  run_golden_flight(spec, &flight);
+
+  EXPECT_GT(flight.recorded(), 0u);
+  EXPECT_FALSE(flight.should_export());
+
+  // The writer still produces a well-formed (near-empty) document.
+  std::ostringstream os;
+  obs::write_chrome_trace(os, flight);
+  std::istringstream is(os.str());
+  std::string err;
+  const auto trace = obs::read_chrome_trace(is, &err);
+  ASSERT_TRUE(trace.has_value()) << err;
+  EXPECT_EQ(trace->trigger, "never");
+  for (size_t f = 0; f < trace->flows; ++f) {
+    EXPECT_TRUE(trace->cwnd[f].empty());
+    EXPECT_TRUE(trace->gates[f].empty());
+  }
+}
+
+TEST(FlightExport, StarvationTriggerWithoutCrossingExportsNothing) {
+  // A solo flow can never cross a pairwise starvation threshold.
+  const GoldenSpec spec = spec_by_name("vegas_solo");
+
+  obs::FlightConfig fc;
+  fc.trigger = obs::FlightTrigger::kStarvation;
+  obs::FlightRecorder flight(std::move(fc));
+
+  obs::TelemetryConfig tc;
+  tc.flight = &flight;
+  obs::FlowTelemetry telemetry(tc);
+  run_golden_flight(spec, &flight, &telemetry);
+
+  EXPECT_FALSE(flight.triggered());
+  EXPECT_FALSE(flight.should_export());
+  EXPECT_GT(flight.recorded(), 0u);
+}
+
+TEST(FlightExport, TriggerParserAcceptsExactlyTheDocumentedNames) {
+  obs::FlightTrigger t;
+  EXPECT_TRUE(obs::parse_flight_trigger("starvation", &t));
+  EXPECT_EQ(t, obs::FlightTrigger::kStarvation);
+  EXPECT_TRUE(obs::parse_flight_trigger("always", &t));
+  EXPECT_EQ(t, obs::FlightTrigger::kAlways);
+  EXPECT_TRUE(obs::parse_flight_trigger("never", &t));
+  EXPECT_EQ(t, obs::FlightTrigger::kNever);
+  EXPECT_FALSE(obs::parse_flight_trigger("", &t));
+  EXPECT_FALSE(obs::parse_flight_trigger("sometimes", &t));
+}
+
+// Forensics over a real starving trace: the rendered table must name the
+// starved flow and its dominant binding constraint.
+TEST(FlightForensics, NamesTheBindingConstraintForTheStarvedFlow) {
+  const GoldenSpec spec = starving_attack_spec();
+
+  obs::FlightConfig fc;
+  fc.trigger = obs::FlightTrigger::kStarvation;
+  obs::FlightRecorder flight(std::move(fc));
+
+  obs::TelemetryConfig tc;
+  tc.flight = &flight;
+  obs::FlowTelemetry telemetry(tc);
+  run_golden_flight(spec, &flight, &telemetry);
+  ASSERT_TRUE(flight.should_export());
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, flight);
+  std::istringstream is(os.str());
+  const auto trace = obs::read_chrome_trace(is);
+  ASSERT_TRUE(trace.has_value());
+
+  std::ostringstream fo;
+  ASSERT_TRUE(obs::write_forensics(fo, *trace));
+  const std::string text = fo.str();
+  EXPECT_NE(text.find("why flow 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("congestion-limited"), std::string::npos);
+  EXPECT_NE(text.find("cwnd-bound"), std::string::npos);
+  EXPECT_NE(text.find("first crossing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccstarve::golden

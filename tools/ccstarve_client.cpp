@@ -42,6 +42,11 @@
 //   --warmup-frac=<f>    sweep measurement window start fraction
 //   --starvation-window=<ms> --starvation-threshold=<x>
 //                        sweep first-crossing telemetry
+//   --flight             run: attach the flight recorder; the Chrome-trace
+//                        dump streams on the channel between
+//                        flight_begin/flight_end marker lines
+//   --flight-trigger=<starvation|always|never> --flight-window=<s>
+//   --flight-events=<n>  per-flow ring capacity (default 4096)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -115,9 +120,12 @@ int main(int argc, char** argv) {
       {"--jobs", "jobs"},          {"--warmup-frac", "warmup_frac"},
       {"--starvation-window", "starvation_window"},
       {"--starvation-threshold", "starvation_threshold"},
+      {"--flight-trigger", "flight_trigger"},
+      {"--flight-window", "flight_window"},
+      {"--flight-events", "flight_events"},
   };
   std::vector<std::pair<const Field*, std::string>> fields;
-  bool check = false, share_prefix = false;
+  bool check = false, share_prefix = false, flight = false;
 
   try {
     cli::Flags flags("ccstarve_client");
@@ -135,6 +143,7 @@ int main(int argc, char** argv) {
     }
     flags.toggle("--check", &check);
     flags.toggle("--share-prefix", &share_prefix);
+    flags.toggle("--flight", &flight);
     flags.positionals(&positionals);
     flags.parse(argc, argv);
 
@@ -164,6 +173,7 @@ int main(int argc, char** argv) {
       for (const auto& [f, v] : fields) req.str(f->key, v);
       if (check) req.num("check", 1);
       if (share_prefix) req.num("share_prefix", 1);
+      if (flight) req.num("flight", 1);
     }
     if (!conn.write_line(req.done())) die("failed to send request");
 

@@ -22,6 +22,8 @@
 //   --repro-out=<path>  append shrunk failing case lines + repro commands
 //   --no-metamorphic    invariants and determinism only (faster)
 //   --no-telemetry      skip the flow-telemetry probe + its oracle
+//   --no-flight         skip the flight-recorder probe + its export
+//                       round-trip oracle (shrink replays preserve this)
 //   --no-fast-forward   skip the warp-engine metamorphic oracle (hybrid
 //                       run digest/verdict equivalence vs pure packet)
 //   --no-shrink         report failures without minimising them
@@ -71,7 +73,7 @@ int main(int argc, char** argv) {
   bool shrink = true;
 
   bool no_metamorphic = false, no_telemetry = false, no_shrink = false;
-  bool no_fast_forward = false;
+  bool no_fast_forward = false, no_flight = false;
   try {
     cli::Flags flags("ccstarve_fuzz");
     flags.value("--seeds", &seeds);
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
     flags.value("--repro-out", &repro_out);
     flags.toggle("--no-metamorphic", &no_metamorphic);
     flags.toggle("--no-telemetry", &no_telemetry);
+    flags.toggle("--no-flight", &no_flight);
     flags.toggle("--no-fast-forward", &no_fast_forward);
     flags.toggle("--no-shrink", &no_shrink);
     flags.parse(argc, argv);
@@ -94,6 +97,7 @@ int main(int argc, char** argv) {
   }
   opts.metamorphic = !no_metamorphic;
   opts.telemetry = !no_telemetry;
+  opts.flight = !no_flight;
   opts.fast_forward = !no_fast_forward;
   shrink = !no_shrink;
   if (jobs < 1) die("--jobs must be >= 1");

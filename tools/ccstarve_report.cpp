@@ -4,15 +4,19 @@
 //
 //   ccstarve_run --metrics=tele.jsonl ...     (flow-telemetry log)
 //   ccstarve_sweep --out=sweep.jsonl ...      (sweep result records)
+//   ccstarve_run --flight=flight.json ...     (flight trace, Chrome JSON)
 //
 //   ccstarve_report --in=tele.jsonl --mode=ratio --out=ratio.csv
 //   ccstarve_report --in=sweep.jsonl --mode=rate-delay --out=fig3.csv
+//   ccstarve_report --in=flight.json --mode=forensics
 //
 // Flags:
 //   --in=<path>    input JSONL ("-" = stdin; stdin only supports one pass,
 //                  so --mode=auto needs a real file)
 //   --out=<path>   output CSV ("-" = stdout, the default)
-//   --mode=<m>     timeline | ratio | delay-dist | rate-delay | auto
+//   --bucket=<s>   forensics bucket width in seconds          (default 0.1)
+//   --mode=<m>     timeline | ratio | delay-dist | rate-delay | forensics |
+//                  auto
 //     timeline     per-bucket wide CSV: send/deliver/rtt/qdelay/cwnd per
 //                  flow plus link queue delay and drops   (telemetry input)
 //     ratio        starvation-ratio timeline; footer comments carry the
@@ -24,6 +28,11 @@
 //                                                         (telemetry input)
 //     rate-delay   Fig. 3-style scatter rows: one line per flow per grid
 //                  point (throughput vs mean/trimmed RTT)     (sweep input)
+//     forensics    binding-constraint timeline from a flight trace: which
+//                  gate (cwnd-bound / rwnd-bound / pacing-bound / idle)
+//                  dominated each bucket per flow, plus a "why flow F
+//                  starved" summary keyed off the trace's starvation
+//                  verdict                              (flight-JSON input)
 //     auto         sniff the input kind and pick ratio (telemetry) or
 //                  rate-delay (sweep)                         (default)
 //
@@ -36,6 +45,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/flight_export.hpp"
 #include "obs/report.hpp"
 #include "util/cli.hpp"
 
@@ -52,21 +62,24 @@ namespace {
 
 int main(int argc, char** argv) {
   std::string in_path, out_path = "-", mode = "auto";
+  double bucket_s = 0.1;
 
   try {
     cli::Flags flags("ccstarve_report");
     flags.value("--in", &in_path);
     flags.value("--out", &out_path);
     flags.value("--mode", &mode);
+    flags.value("--bucket", &bucket_s);
     flags.parse(argc, argv);
   } catch (const cli::UsageError& e) {
     die(e.what());
   }
   if (in_path.empty()) die("--in=<path> is required");
   if (mode != "auto" && mode != "timeline" && mode != "ratio" &&
-      mode != "delay-dist" && mode != "rate-delay") {
+      mode != "delay-dist" && mode != "rate-delay" && mode != "forensics") {
     die("unknown --mode '" + mode + "' (try --help)");
   }
+  if (bucket_s <= 0) die("--bucket wants a positive width in seconds");
 
   // Slurp the input so auto-detection and parsing can both make a pass
   // (telemetry logs and sweep files are small relative to the runs that
@@ -87,6 +100,8 @@ int main(int argc, char** argv) {
       mode = "ratio";
     } else if (kind == "sweep") {
       mode = "rate-delay";
+    } else if (input.str().find("\"traceEvents\"") != std::string::npos) {
+      mode = "forensics";
     } else {
       die("cannot detect input kind of '" + in_path +
           "' (neither a telemetry log nor sweep records)");
@@ -99,6 +114,26 @@ int main(int argc, char** argv) {
     out_file.open(out_path, std::ios::trunc);
     if (!out_file) die("cannot open '" + out_path + "' for writing");
     out = &out_file;
+  }
+
+  if (mode == "forensics") {
+    std::istringstream in(input.str());
+    std::string err;
+    const std::optional<obs::FlightTrace> trace =
+        obs::read_chrome_trace(in, &err);
+    if (!trace) {
+      std::fprintf(stderr, "ccstarve_report: '%s' is not a flight trace: %s\n",
+                   in_path.c_str(), err.c_str());
+      return 1;
+    }
+    obs::ForensicsOptions fo;
+    fo.bucket_s = bucket_s;
+    if (!obs::write_forensics(*out, *trace, fo)) {
+      std::fprintf(stderr, "ccstarve_report: no flows in '%s'\n",
+                   in_path.c_str());
+      return 1;
+    }
+    return 0;
   }
 
   if (mode == "rate-delay") {

@@ -41,6 +41,25 @@
 //                            is observation-only: --trace-digest output is
 //                            identical with and without it.
 //   --metrics-interval=<ms>  telemetry sample cadence     (default 10)
+//   --flight=<path>          attach the flight recorder (src/obs/flight) and
+//                            export a Chrome trace-event JSON loadable in
+//                            Perfetto: per-flow gate/instant tracks,
+//                            cwnd/rwnd/inflight counter tracks, bottleneck
+//                            queue track, starvation-verdict instant. Like
+//                            --metrics the probe is observation-only:
+//                            --trace-digest output is identical with and
+//                            without it. Feed the JSON to
+//                            `ccstarve_report forensics` for a binding-
+//                            constraint timeline.
+//   --flight-window=<s>      half-width of the export window around the
+//                            first starvation crossing   (default 2)
+//   --flight-trigger=starvation|always|never
+//                            starvation: record continuously, export only
+//                            [crossing-window, crossing+window] once the
+//                            detector fires (the pre-trigger half survives
+//                            in the ring). always: export everything
+//                            retained. never: record but export nothing
+//                            (cost measurement).
 //   --trace-digest           print the golden-trace hash of the run (an
 //                            order-sensitive digest of every packet event;
 //                            equal digests <=> behaviourally identical runs)
@@ -76,6 +95,8 @@
 #include <vector>
 
 #include "check/invariants.hpp"
+#include "obs/flight.hpp"
+#include "obs/flight_export.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scenario.hpp"
 #include "sim/warp/warp.hpp"
@@ -108,6 +129,8 @@ void dump_csv(const std::string& prefix, size_t i, const FlowStats& stats) {
 int main(int argc, char** argv) {
   double link_mbps = 60, rtt_ms = 60, duration_s = 60;
   std::string buffer_spec, csv_prefix, metrics_path;
+  std::string flight_path, flight_trigger_spec = "starvation";
+  double flight_window_s = 2;
   double metrics_interval_ms = 10;
   double ecn_threshold_pkts = 0, jitter_budget_ms = 0;
   uint64_t prefill_bytes = 0, seed = 0;
@@ -127,6 +150,9 @@ int main(int argc, char** argv) {
     flags.value("--csv", &csv_prefix);
     flags.value("--metrics", &metrics_path);
     flags.value("--metrics-interval", &metrics_interval_ms);
+    flags.value("--flight", &flight_path);
+    flags.value("--flight-window", &flight_window_s);
+    flags.value("--flight-trigger", &flight_trigger_spec);
     flags.each("--flow", [&](const std::string& v) {
       for (auto& fa : sweep::parse_flow_set(v)) flows.push_back(std::move(fa));
     });
@@ -136,6 +162,14 @@ int main(int argc, char** argv) {
     flags.parse(argc, argv);
     if (metrics_interval_ms <= 0) {
       die("--metrics-interval wants a positive cadence in ms");
+    }
+    obs::FlightTrigger flight_trigger = obs::FlightTrigger::kStarvation;
+    if (!obs::parse_flight_trigger(flight_trigger_spec, &flight_trigger)) {
+      die("--flight-trigger wants starvation, always or never (got '" +
+          flight_trigger_spec + "')");
+    }
+    if (flight_window_s <= 0) {
+      die("--flight-window wants a positive half-width in seconds");
     }
     if (flows.empty()) flows.push_back(sweep::parse_flow("copa"));
 
@@ -180,14 +214,26 @@ int main(int argc, char** argv) {
     check::InvariantChecker checker;
     if (check) checker.attach(*sc);
 
+    std::unique_ptr<obs::FlightRecorder> flight;
+    if (!flight_path.empty()) {
+      obs::FlightConfig fc;
+      fc.trigger = flight_trigger;
+      fc.window = TimeNs::seconds(flight_window_s);
+      for (const auto& fa : flows) fc.flow_labels.push_back(fa.cca);
+      flight = std::make_unique<obs::FlightRecorder>(std::move(fc));
+    }
+
     std::ofstream metrics_file;
     std::unique_ptr<obs::FlowTelemetry> telemetry;
-    if (!metrics_path.empty()) {
+    // The flight recorder's starvation trigger and verdict come from the
+    // telemetry-side detector, so --flight implies a (possibly stream-less)
+    // telemetry probe.
+    if (!metrics_path.empty() || flight) {
       obs::TelemetryConfig tc;
       tc.interval = TimeNs::millis(metrics_interval_ms);
       if (metrics_path == "-") {
         tc.jsonl = &std::cout;
-      } else {
+      } else if (!metrics_path.empty()) {
         metrics_file.open(metrics_path, std::ios::trunc);
         if (!metrics_file) {
           die("cannot open '" + metrics_path + "' for writing");
@@ -195,9 +241,11 @@ int main(int argc, char** argv) {
         tc.jsonl = &metrics_file;
       }
       for (const auto& fa : flows) tc.flow_labels.push_back(fa.cca);
+      tc.flight = flight.get();
       telemetry = std::make_unique<obs::FlowTelemetry>(std::move(tc));
       telemetry->attach(*sc);
     }
+    if (flight) flight->attach(*sc);
 
     warp::WarpStats warp_stats;
     if (fast_forward) {
@@ -205,6 +253,7 @@ int main(int argc, char** argv) {
       runner.on_fork = [&](Scenario& fsc, TimeNs from, TimeNs to,
                            const std::vector<uint64_t>& credits) {
         if (telemetry) telemetry->note_warp(fsc, from, to, credits);
+        if (flight) flight->note_warp(fsc, from, to);
         if (check) checker.attach(fsc);
       };
       runner.run_until(TimeNs::seconds(duration_s));
@@ -257,11 +306,33 @@ int main(int argc, char** argv) {
       std::printf("CSV series written to %s.flowN.{rtt,delivered}.csv\n",
                   csv_prefix.c_str());
     }
-    if (telemetry && metrics_path != "-") {
+    if (telemetry && !metrics_path.empty() && metrics_path != "-") {
       std::printf("telemetry JSONL written to %s (%llu buckets)\n",
                   metrics_path.c_str(),
                   static_cast<unsigned long long>(
                       telemetry->buckets_closed()));
+    }
+    if (flight) {
+      if (flight->should_export()) {
+        std::ofstream fo(flight_path, std::ios::trunc);
+        if (!fo) die("cannot open '" + flight_path + "' for writing");
+        obs::write_chrome_trace(fo, *flight);
+        TimeNs lo = TimeNs::zero(), hi = TimeNs::zero();
+        flight->export_window(&lo, &hi);
+        std::printf(
+            "flight trace written to %s (trigger=%s, window %.3f-%.3f s, "
+            "%llu events recorded)\n",
+            flight_path.c_str(), obs::to_string(flight->config().trigger),
+            lo.to_seconds(), hi.to_seconds(),
+            static_cast<unsigned long long>(flight->recorded()));
+      } else {
+        std::printf(
+            "flight: nothing exported (trigger=%s%s)\n",
+            obs::to_string(flight->config().trigger),
+            flight->config().trigger == obs::FlightTrigger::kStarvation
+                ? ", no starvation crossing"
+                : "");
+      }
     }
     if (trace_digest) {
       std::printf("trace-digest: fnv1a64=%s records=%llu\n",

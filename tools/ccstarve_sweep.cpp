@@ -55,6 +55,14 @@
 //                        probe attach time, so they are not fork-invariant).
 //   --starvation-threshold=<x>
 //                        ratio counting as starvation (default 2)
+//   --flight-worst=<path>
+//                        after the sweep completes, deterministically re-run
+//                        the worst point (highest max/min starvation ratio)
+//                        with the flight recorder attached and write its
+//                        Chrome trace-event JSON there (Perfetto-loadable;
+//                        feed to `ccstarve_report forensics`). The re-run is
+//                        observation-only, so the sweep's canonical records
+//                        are untouched.
 //
 // SIGINT finishes in-flight points, flushes completed records to --out,
 // and exits 130; a later identical invocation resumes from the cache.
@@ -69,6 +77,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/flight_export.hpp"
+#include "obs/telemetry.hpp"
 #include "sweep/engine.hpp"
 #include "sweep/spec_parse.hpp"
 #include "util/cli.hpp"
@@ -104,6 +115,7 @@ int main(int argc, char** argv) {
   opt.cache_dir = ".sweep-cache";
   std::string out_path;
   std::string profile_path;
+  std::string flight_worst_path;
   bool no_cache = false;
 
   // Clear the defaulted axes the first time the corresponding flag appears,
@@ -174,6 +186,7 @@ int main(int argc, char** argv) {
         die("--starvation-threshold wants a ratio >= 1");
       }
     });
+    flags.value("--flight-worst", &flight_worst_path);
     flags.toggle("--no-cache", &no_cache);
     flags.on("--quiet", [&] { opt.progress = false; });
     flags.parse(argc, argv);
@@ -218,6 +231,63 @@ int main(int argc, char** argv) {
       }
     }
     sweep::summary_table(outcome.records).print(std::cout);
+
+    if (!flight_worst_path.empty() && !outcome.records.empty()) {
+      // Worst point = highest max/min throughput ratio (the paper's
+      // starvation ratio; the most-starved grid point).
+      const sweep::SweepRecord* worst = &outcome.records.front();
+      for (const auto& r : outcome.records) {
+        if (r.starvation_ratio > worst->starvation_ratio) worst = &r;
+      }
+      const sweep::SweepPoint* wpt = nullptr;
+      for (const auto& pt : points) {
+        if (sweep::effective_key(pt, opt) == worst->key) {
+          wpt = &pt;
+          break;
+        }
+      }
+      if (wpt == nullptr) {
+        std::fprintf(stderr,
+                     "ccstarve_sweep: --flight-worst: record key '%s' "
+                     "matches no grid point; skipping\n",
+                     worst->key.c_str());
+      } else {
+        // Deterministic re-run of just that point with the recorder
+        // attached (probes are read-only, so this reproduces the record's
+        // run exactly). trigger=always: the capture must exist even when
+        // the worst ratio never crossed the starvation threshold.
+        obs::FlightConfig fc;
+        fc.trigger = obs::FlightTrigger::kAlways;
+        obs::TelemetryConfig tc;
+        tc.interval = TimeNs::millis(10);
+        if (opt.starvation_window_ms > 0) {
+          tc.ratio_window = TimeNs::millis(opt.starvation_window_ms);
+        }
+        tc.starvation_threshold = opt.starvation_threshold;
+        for (const auto& fa : sweep::parse_flow_set(wpt->flow_set)) {
+          tc.flow_labels.push_back(fa.cca);
+          fc.flow_labels.push_back(fa.cca);
+        }
+        obs::FlightRecorder flight(std::move(fc));
+        tc.flight = &flight;
+        obs::FlowTelemetry telemetry(std::move(tc));
+        auto sc = sweep::build_point_scenario(*wpt, nullptr);
+        telemetry.attach(*sc);
+        flight.attach(*sc);
+        sc->run_until(TimeNs::seconds(wpt->duration_s));
+        telemetry.finish(TimeNs::seconds(wpt->duration_s));
+        if (!write_file_atomic(flight_worst_path, [&](std::ostream& os) {
+              obs::write_chrome_trace(os, flight);
+            })) {
+          die("cannot write '" + flight_worst_path + "'");
+        }
+        std::fprintf(stderr,
+                     "sweep: flight capture of worst point (%s, ratio %.3g) "
+                     "written to %s\n",
+                     worst->key.c_str(), worst->starvation_ratio,
+                     flight_worst_path.c_str());
+      }
+    }
     if (opt.profile) {
       obs::profile_summary_table(outcome.profile).print(std::cerr);
       if (!profile_path.empty() &&

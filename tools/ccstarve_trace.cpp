@@ -1,9 +1,19 @@
-// ccstarve_trace — Mahimahi trace utility.
+// ccstarve_trace — Mahimahi delivery-trace utility.
 //
-//   ccstarve_trace gen constant 12 8 > uplink.trace     # 12 Mbit/s, 8 s
-//   ccstarve_trace gen sawtooth 2 16 4 8 > cell.trace   # 2..16 Mbit/s, 4 s period, 8 s
-//   ccstarve_trace gen poisson 8 8 42 > noisy.trace     # mean 8 Mbit/s, seed 42
-//   ccstarve_trace info cell.trace                      # span / rate summary
+// "Trace" here means a Mahimahi-style delivery-opportunity schedule (one
+// packet-delivery timestamp per line) consumed by the trace-driven link
+// (src/emu/trace_link). It is unrelated to the two other "traces" in this
+// repo: the golden-trace digest of a run's packet events (ccstarve_run
+// --trace-digest) and the flight recorder's causal event trace
+// (ccstarve_run --flight, a Chrome trace-event JSON for Perfetto /
+// ccstarve_report --mode=forensics).
+//
+//   ccstarve_trace gen constant 12 8 > uplink.trace   # 12 Mbit/s for 8 s
+//   ccstarve_trace gen sawtooth 2 16 4 8 > cell.trace # 2..16 Mbit/s,
+//                                                     # 4 s period, 8 s long
+//   ccstarve_trace gen poisson 8 8 42 > noisy.trace   # mean 8 Mbit/s for
+//                                                     # 8 s, seed 42
+//   ccstarve_trace info cell.trace                    # span / rate summary
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -24,7 +34,12 @@ int usage() {
                "  ccstarve_trace gen sawtooth <lo mbps> <hi mbps> <period s> "
                "<seconds>\n"
                "  ccstarve_trace gen poisson <mbps> <seconds> <seed>\n"
-               "  ccstarve_trace info <file>\n");
+               "  ccstarve_trace info <file>\n"
+               "\n"
+               "Generates/inspects Mahimahi delivery-opportunity traces for\n"
+               "the trace-driven link. Not golden trace digests (ccstarve_run\n"
+               "--trace-digest) and not flight traces (ccstarve_run --flight,\n"
+               "rendered by ccstarve_report --mode=forensics).\n");
   return 2;
 }
 
